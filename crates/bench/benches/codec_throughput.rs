@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of every gradient codec: the INCEPTIONN
+//! lossy codec at each paper error bound, plus the software baselines
+//! (Snappy-class LZ, SZ-class, LSB truncation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
+use inceptionn_compress::szlike::SzCodec;
+use inceptionn_compress::truncate::Truncation;
+use inceptionn_compress::{lz, ErrorBound, InceptionnCodec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N_VALUES: usize = 256 * 1024; // 1 MiB of f32 gradients
+
+fn gradients() -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(42);
+    GradientModel::preset(GradientPreset::AlexNet).sample(&mut rng, N_VALUES)
+}
+
+fn bench_inceptionn(c: &mut Criterion) {
+    let grads = gradients();
+    let bytes = (grads.len() * 4) as u64;
+    let mut group = c.benchmark_group("inceptionn_codec");
+    group.throughput(Throughput::Bytes(bytes));
+    for e in [10u8, 8, 6] {
+        let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+        group.bench_with_input(BenchmarkId::new("compress", format!("2^-{e}")), &codec, |b, codec| {
+            b.iter(|| codec.compress(&grads))
+        });
+        let stream = codec.compress(&grads);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("2^-{e}")),
+            &stream,
+            |b, stream| b.iter(|| codec.decompress(stream).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("quantize", format!("2^-{e}")), &codec, |b, codec| {
+            b.iter(|| codec.quantize(&grads))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let grads = gradients();
+    let raw: Vec<u8> = grads.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let mut group = c.benchmark_group("baseline_codecs");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.bench_function("lz_compress", |b| b.iter(|| lz::compress(&raw)));
+    let packed = lz::compress(&raw);
+    group.bench_function("lz_decompress", |b| b.iter(|| lz::decompress(&packed).unwrap()));
+    let sz = SzCodec::new(ErrorBound::pow2(10));
+    group.bench_function("sz_compress", |b| b.iter(|| sz.compress(&grads)));
+    let trunc = Truncation::new(16);
+    group.bench_function("trunc16_pack", |b| b.iter(|| trunc.compress(&grads)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inceptionn, bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the gradient-exchange algorithms: sequential
+//! and threaded ring all-reduce vs the worker-aggregator baseline, with
+//! and without compression in the loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_distrib::aggregator::worker_aggregator_allreduce;
+use inceptionn_distrib::ring::{ring_allreduce, threaded_ring_allreduce};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_grads(workers: usize, len: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..workers)
+        .map(|_| (0..len).map(|_| rng.gen_range(-0.1f32..0.1)).collect())
+        .collect()
+}
+
+fn bench_exchanges(c: &mut Criterion) {
+    let workers = 4usize;
+    let len = 262_144usize; // 1 MiB per worker
+    let grads = make_grads(workers, len);
+    let bytes = (workers * len * 4) as u64;
+    let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+
+    let mut group = c.benchmark_group("gradient_exchange");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function(BenchmarkId::new("ring", "lossless"), |b| {
+        b.iter(|| {
+            let mut g = grads.clone();
+            ring_allreduce(&mut g, None);
+            g
+        })
+    });
+    group.bench_function(BenchmarkId::new("ring", "eb=2^-10"), |b| {
+        b.iter(|| {
+            let mut g = grads.clone();
+            ring_allreduce(&mut g, Some(&codec));
+            g
+        })
+    });
+    group.bench_function(BenchmarkId::new("worker_aggregator", "lossless"), |b| {
+        b.iter(|| {
+            let mut g = grads.clone();
+            worker_aggregator_allreduce(&mut g, None);
+            g
+        })
+    });
+    group.bench_function(BenchmarkId::new("ring_threaded", "lossless"), |b| {
+        b.iter(|| threaded_ring_allreduce(grads.clone(), None))
+    });
+    group.bench_function(BenchmarkId::new("ring_threaded", "eb=2^-10"), |b| {
+        b.iter(|| threaded_ring_allreduce(grads.clone(), Some(codec)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exchanges
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Runs the design-choice ablations DESIGN.md calls out.
+
+use inceptionn::experiments::ablation::{
+    packet_overhead_sweep, size_selection, topology, zero_class,
+};
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::{banner, fidelity_from_env};
+
+fn main() {
+    banner("Ablations", "DESIGN.md");
+    let fidelity = fidelity_from_env();
+
+    println!("1) per-value size selection vs fixed 16-bit payloads (AlexNet stream)\n");
+    let mut t = TextTable::new(vec!["bound", "adaptive ratio", "fixed-16 ratio", "gain"]);
+    for a in size_selection(fidelity, 1) {
+        t.row(vec![
+            format!("2^-{}", a.bound_exp),
+            format!("{:.2}x", a.adaptive_ratio),
+            format!("{:.2}x", a.fixed16_ratio),
+            format!("{:.2}x", a.adaptive_ratio / a.fixed16_ratio),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("2) ring schedule vs naive all-to-all broadcast (100 MB gradients)\n");
+    let mut t = TextTable::new(vec!["nodes", "ring (s)", "all-to-all (s)", "ring advantage"]);
+    for r in topology(&[4, 6, 8]) {
+        t.row(vec![
+            r.nodes.to_string(),
+            format!("{:.3}", r.ring_s),
+            format!("{:.3}", r.all_to_all_s),
+            format!("{:.1}x", r.all_to_all_s / r.ring_s),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("3) per-packet overhead vs achieved compression gain (ratio 14.9x)\n");
+    let mut t = TextTable::new(vec!["header bytes", "time gain"]);
+    for p in packet_overhead_sweep() {
+        t.row(vec![p.header_bytes.to_string(), format!("{:.1}x", p.time_gain)]);
+    }
+    println!("{}", t.render());
+    println!("(why Sec. VIII-C sees 5.5-11.6x from a 14.9x ratio)\n");
+
+    println!("4) contribution of the 0-bit class alone (AlexNet stream)\n");
+    let mut t = TextTable::new(vec!["bound", "zero frac", "drop-only ratio", "full ratio"]);
+    for z in zero_class(fidelity, 2) {
+        t.row(vec![
+            format!("2^-{}", z.bound_exp),
+            pct(z.zero_fraction),
+            format!("{:.2}x", z.drop_only_ratio),
+            format!("{:.2}x", z.full_ratio),
+        ]);
+    }
+    println!("{}", t.render());
+}

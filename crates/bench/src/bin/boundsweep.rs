@@ -1,0 +1,23 @@
+//! Extension study: fine sweep of the error bound (ratio / zero-class /
+//! accuracy trade-off curve).
+
+use inceptionn::experiments::boundsweep::run;
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::{banner, fidelity_from_env};
+
+fn main() {
+    banner("Error-bound sweep", "extension");
+    let pts = run(fidelity_from_env(), true, 55);
+    let mut t = TextTable::new(vec!["bound", "ratio", "2-bit class", "proxy accuracy"]);
+    for p in &pts {
+        t.row(vec![
+            format!("2^-{}", p.exponent),
+            format!("{:.1}x", p.ratio),
+            pct(p.zero_fraction),
+            p.accuracy.map(|a| pct(a as f64)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The paper's operating points (2^-10 … 2^-6) sit on the knee:");
+    println!("looser bounds add ratio slowly while accuracy risk grows.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 3: model sizes and the share of training time spent
+//! exchanging gradients/weights on the worker-aggregator cluster.
+
+use inceptionn::cluster::ClusterConfig;
+use inceptionn::experiments::breakdown::fig3;
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::banner;
+
+fn main() {
+    banner("Fig. 3", "Sec. II-B");
+    let rows = fig3(&ClusterConfig::default());
+    let mut t = TextTable::new(vec!["model", "size (MB)", "communication share"]);
+    for r in &rows {
+        t.row(vec![
+            r.model.clone(),
+            format!("{:.0}", r.size_mb),
+            pct(r.comm_fraction),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper: AlexNet 233 MB / ~75%, ResNet-152 ~230 MB, VGG-16 525 MB / ~71%.");
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 7: the total-training-time impact of running
+//! compression in *software* (Snappy-class LZ, SZ-class lossy, packed
+//! truncation) on the worker-aggregator cluster.
+
+use inceptionn::cluster::ClusterConfig;
+use inceptionn::experiments::softcomp::{fig7, profile_codecs, SoftScheme};
+use inceptionn::report::TextTable;
+use inceptionn_bench::{banner, fidelity_from_env};
+
+fn main() {
+    banner("Fig. 7", "Sec. VI");
+    let codecs = profile_codecs(fidelity_from_env(), 11);
+    println!("measured software codec profiles (this machine, release build):");
+    let mut t = TextTable::new(vec!["scheme", "ratio", "throughput"]);
+    for c in &codecs {
+        let thr = if c.throughput_bps.is_finite() {
+            format!("{:.0} MB/s", c.throughput_bps / 1e6)
+        } else {
+            "-".to_string()
+        };
+        t.row(vec![c.scheme.label().to_string(), format!("{:.2}x", c.ratio), thr]);
+    }
+    println!("{}", t.render());
+
+    let rows = fig7(&ClusterConfig::default(), &codecs);
+    let mut t = TextTable::new(vec!["model", "scheme", "iteration", "normalized"]);
+    for r in &rows {
+        t.row(vec![
+            r.model.clone(),
+            r.scheme.label().to_string(),
+            format!("{:.3}s", r.iteration_s),
+            format!("{:.2}x", r.normalized),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = SoftScheme::ALL;
+    println!("Paper shape: software compression makes training 2-4x SLOWER —");
+    println!("the CPU codec cost swamps the saved network time; hence the NIC.");
+}

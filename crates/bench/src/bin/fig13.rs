@@ -1,0 +1,42 @@
+//! Regenerates Fig. 13: speedup of the full INCEPTIONN system over the
+//! conventional approach when both train to the *same final accuracy*.
+
+use inceptionn::cluster::ClusterConfig;
+use inceptionn::experiments::speedup::fig13;
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::banner;
+
+fn main() {
+    banner("Fig. 13", "Sec. VIII-B");
+    let rows = fig13(&ClusterConfig::default());
+    let mut t = TextTable::new(vec![
+        "model",
+        "final acc",
+        "epochs WA",
+        "epochs INC+C",
+        "time WA",
+        "time INC+C",
+        "speedup",
+    ]);
+    for r in &rows {
+        let fmt_h = |h: f64| {
+            if h < 0.5 {
+                format!("{:.0}s", h * 3600.0)
+            } else {
+                format!("{h:.0}h")
+            }
+        };
+        t.row(vec![
+            r.model.clone(),
+            pct(r.final_accuracy),
+            r.epochs_wa.to_string(),
+            r.epochs_inc_c.to_string(),
+            fmt_h(r.hours_wa),
+            fmt_h(r.hours_inc_c),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper: 175h->56h (AlexNet), 170s->64s (HDC), 378h->127h (ResNet-50),");
+    println!("847h->384h (VGG-16); 1-2 extra epochs buy back the compression loss.");
+}

@@ -1,0 +1,48 @@
+//! Extension study: the Fig. 1 cluster organizations on a two-tier
+//! fabric with core oversubscription (Sec. VII-C's datacenter setting).
+
+use inceptionn::experiments::hierarchy::{run, Organization};
+use inceptionn::report::TextTable;
+use inceptionn_bench::banner;
+
+fn main() {
+    banner("Fig. 1 organizations on a two-tier fabric", "Sec. VII-C extension");
+    println!("32 nodes (4 racks x 8), AlexNet-sized gradients (233 MB), 10 GbE edge\n");
+    let points = run(50_000);
+    for compressed in [false, true] {
+        println!(
+            "{}",
+            if compressed {
+                "WITH in-NIC compression (eb = 2^-10):"
+            } else {
+                "without compression:"
+            }
+        );
+        let mut t = TextTable::new(vec![
+            "core oversubscription",
+            "flat WA",
+            "hier WA",
+            "flat ring",
+            "hier ring",
+        ]);
+        for oversub in [1u64, 4, 16, 80] {
+            let mut row = vec![format!("{oversub}:1")];
+            for org in Organization::ALL {
+                let p = points
+                    .iter()
+                    .find(|p| {
+                        p.organization == org
+                            && p.oversubscription == oversub
+                            && p.compressed == compressed
+                    })
+                    .unwrap();
+                row.push(format!("{:.2}s", p.exchange_s));
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+    println!("Expected shape: rings dominate aggregators; the hierarchical ring");
+    println!("only pays off once the core is heavily oversubscribed; compression");
+    println!("recovers most of the oversubscription penalty.");
+}

@@ -1,0 +1,31 @@
+//! Extension study: INCEPTIONN vs the related-work gradient-reduction
+//! algorithms of Sec. IX (1-bit SGD, TernGrad, DGC-style top-k).
+
+use inceptionn::experiments::related::run;
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::{banner, fidelity_from_env};
+
+fn main() {
+    banner("Related-work comparison", "Sec. IX extension");
+    let rows = run(fidelity_from_env(), 77);
+    let mut t = TextTable::new(vec![
+        "approach",
+        "ratio",
+        "accuracy",
+        "relative",
+        "stateless (NIC-ready)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.approach.label().to_string(),
+            format!("{:.1}x", r.ratio),
+            pct(r.accuracy as f64),
+            format!("{:.3}", r.relative),
+            if r.approach.is_stateful() { "no" } else { "yes" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The reduction algorithms reach larger ratios but carry per-worker");
+    println!("state (error feedback / sparsity bookkeeping) that must run on the");
+    println!("host CPU — the paper's case for a stateless per-value NIC codec.");
+}

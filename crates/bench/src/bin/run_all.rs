@@ -1,0 +1,57 @@
+//! Regenerates every table and figure in one go, writing each artifact
+//! to `results/<name>.txt` (directory configurable via
+//! `INCEPTIONN_RESULTS_DIR`).
+//!
+//! ```sh
+//! INCEPTIONN_QUICK=1 cargo run --release -p inceptionn-bench --bin run_all
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Binaries regenerated, in paper order.
+const ARTIFACTS: [&str; 15] = [
+    "table1", "table2", "table3", "fig03", "fig04", "fig05", "fig07", "fig12", "fig13", "fig14",
+    "fig15", "ablations", "boundsweep", "hierarchy", "related_work",
+];
+
+fn main() {
+    let dir = std::env::var_os("INCEPTIONN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for name in ARTIFACTS {
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "{name}: binary not found at {} — build the full bench package first:\n  cargo build --release -p inceptionn-bench",
+                bin.display()
+            );
+            std::process::exit(2);
+        }
+        print!("{name:<14}");
+        let out = Command::new(&bin)
+            .output()
+            .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display()));
+        let path = dir.join(format!("{name}.txt"));
+        std::fs::write(&path, &out.stdout).expect("write artifact");
+        if out.status.success() {
+            println!("-> {}", path.display());
+        } else {
+            println!("FAILED ({})", out.status);
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} artifacts regenerated into {}", ARTIFACTS.len(), dir.display());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates Table I: training hyper-parameters per benchmark.
+
+use inceptionn::experiments::breakdown::table1;
+use inceptionn::report::TextTable;
+use inceptionn_bench::banner;
+
+fn main() {
+    banner("Table I", "Sec. VII-A");
+    let cols = table1();
+    let mut t = TextTable::new(vec![
+        "Hyperparameter",
+        "AlexNet",
+        "HDC",
+        "ResNet-50",
+        "VGG-16",
+    ]);
+    let cell = |f: &dyn Fn(&inceptionn::experiments::breakdown::Table1Column) -> String| {
+        cols.iter().map(f).collect::<Vec<_>>()
+    };
+    let rows: Vec<(&str, Vec<String>)> = vec![
+        ("Per-node batch size", cell(&|c| c.batch_per_node.to_string())),
+        ("Learning rate (LR)", cell(&|c| format!("{}", c.learning_rate))),
+        ("LR reduction", cell(&|c| format!("{}", c.lr_reduction))),
+        (
+            "LR reduction iters",
+            cell(&|c| c.lr_reduction_iters.to_string()),
+        ),
+        ("Momentum", cell(&|c| format!("{}", c.momentum))),
+        ("Weight decay", cell(&|c| format!("{}", c.weight_decay))),
+        (
+            "Training iterations",
+            cell(&|c| c.train_iterations.to_string()),
+        ),
+    ];
+    for (name, vals) in rows {
+        let mut row = vec![name.to_string()];
+        row.extend(vals);
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

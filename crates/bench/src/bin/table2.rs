@@ -1,0 +1,49 @@
+//! Regenerates Table II: time breakdown of 100 training iterations on
+//! the 5-node worker-aggregator cluster (communication simulated).
+
+use inceptionn::cluster::ClusterConfig;
+use inceptionn::experiments::breakdown::table2;
+use inceptionn::report::{pct, TextTable};
+use inceptionn_bench::banner;
+
+fn main() {
+    banner("Table II", "Sec. VIII-A");
+    let rows = table2(&ClusterConfig::default());
+    let mut t = TextTable::new(vec![
+        "Steps", "AlexNet", "", "HDC", " ", "ResNet-50", "  ", "VGG-16", "   ",
+    ]);
+    type PhaseGetter = Box<dyn Fn(&inceptionn::experiments::breakdown::Table2Row) -> f64>;
+    let phase_rows: Vec<(&str, PhaseGetter)> = vec![
+        ("Forward pass", Box::new(|r| r.forward)),
+        ("Backward pass", Box::new(|r| r.backward)),
+        ("GPU copy", Box::new(|r| r.gpu_copy)),
+        ("Gradient sum", Box::new(|r| r.grad_sum)),
+        ("Communicate", Box::new(|r| r.communicate)),
+        ("Update", Box::new(|r| r.update)),
+    ];
+    for (name, get) in &phase_rows {
+        let mut row = vec![name.to_string()];
+        for r in &rows {
+            row.push(format!("{:.2}", get(r)));
+            row.push(pct(get(r) / r.total()));
+        }
+        t.row(row);
+    }
+    let mut total = vec!["Total (100 iters)".to_string()];
+    for r in &rows {
+        total.push(format!("{:.2}", r.total()));
+        total.push("100%".to_string());
+    }
+    t.row(total);
+    println!("{}", t.render());
+    println!("Paper 'Communicate' rows (for comparison):");
+    for r in &rows {
+        println!(
+            "  {:<10} paper {:>7.2}s  simulated {:>7.2}s  ({:+.1}%)",
+            r.model,
+            r.paper_communicate,
+            r.communicate,
+            (r.communicate / r.paper_communicate - 1.0) * 100.0
+        );
+    }
+}

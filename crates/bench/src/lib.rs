@@ -1,0 +1,36 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the bits they share.
+
+use inceptionn::experiments::Fidelity;
+
+/// Picks run fidelity from the `INCEPTIONN_QUICK` environment variable
+/// (set it to any value for a fast smoke run; default is `Full`).
+pub fn fidelity_from_env() -> Fidelity {
+    if std::env::var_os("INCEPTIONN_QUICK").is_some() {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    }
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(artifact: &str, paper_section: &str) {
+    println!("================================================================");
+    println!("INCEPTIONN reproduction — {artifact} ({paper_section})");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_defaults_to_full() {
+        // The variable is not set under `cargo test`.
+        if std::env::var_os("INCEPTIONN_QUICK").is_none() {
+            assert_eq!(fidelity_from_env(), Fidelity::Full);
+        }
+    }
+}

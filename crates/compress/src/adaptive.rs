@@ -1,0 +1,286 @@
+//! Extension: per-block adaptive error bounds.
+//!
+//! The paper's codec uses one *absolute* bound for the whole gradient
+//! stream. That is exactly right for the peaked distributions of Fig. 5,
+//! but layers differ in gradient scale: a block whose largest value is
+//! below the bound compresses to all-zeros — total information loss for
+//! that layer — while a block of large values wastes headroom it could
+//! have traded for ratio.
+//!
+//! [`AdaptiveCodec`] re-derives the bound per fixed-size block as
+//! `2^(ceil(log2 max|g|) - R)` (i.e. `R` bits of *relative* precision
+//! against the block's peak), clamped to a configured exponent range,
+//! and prefixes each block with its 5-bit bound exponent. Everything
+//! else — tags, fixed-point forms, the 8-lane packing — is the paper's
+//! codec unchanged, so the hardware cost of the extension is one
+//! exponent register per block.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::inceptionn::{DecodeError, ErrorBound, InceptionnCodec};
+
+/// Bits used for the per-block bound-exponent header.
+const EXP_BITS: u32 = 5;
+
+/// The adaptive-bound codec.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_compress::adaptive::AdaptiveCodec;
+///
+/// let codec = AdaptiveCodec::new(8, 256);
+/// // A "layer" of uniformly tiny gradients…
+/// let tiny = vec![3e-5f32; 512];
+/// let stream = codec.compress(&tiny);
+/// let out = codec.decompress(&stream).unwrap();
+/// // …survives with ~8 bits of relative precision instead of being
+/// // zeroed by a fixed 2^-10 bound.
+/// assert!(out.iter().all(|&v| (v - 3e-5).abs() < 3e-5 * 0.01));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveCodec {
+    /// Relative precision bits `R` kept against each block's peak.
+    relative_bits: u8,
+    /// Values per block.
+    block: usize,
+}
+
+/// A compressed stream with per-block bound headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveStream {
+    /// Encoded value count.
+    pub len: usize,
+    /// Packed bytes.
+    pub bytes: Vec<u8>,
+    /// Exact bit length.
+    pub bit_len: usize,
+}
+
+impl AdaptiveStream {
+    /// Compression ratio vs raw f32 (1.0 when empty).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.len as f64 * 32.0 / self.bit_len.max(1) as f64
+        }
+    }
+}
+
+impl AdaptiveCodec {
+    /// Creates a codec keeping `relative_bits` of precision per block of
+    /// `block` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ relative_bits ≤ 20` and `block ≥ 8`.
+    pub fn new(relative_bits: u8, block: usize) -> Self {
+        assert!(
+            (2..=20).contains(&relative_bits),
+            "relative bits {relative_bits} outside 2..=20"
+        );
+        assert!(block >= 8, "block {block} must hold at least one burst");
+        AdaptiveCodec {
+            relative_bits,
+            block,
+        }
+    }
+
+    /// The bound exponent chosen for one block (the `e` of `2^-e`).
+    fn block_exponent(&self, block: &[f32]) -> u8 {
+        let peak = block
+            .iter()
+            .map(|v| v.abs())
+            .filter(|v| v.is_finite())
+            .fold(0.0f32, f32::max);
+        if peak == 0.0 {
+            // Nothing to preserve: the loosest legal bound.
+            return 1;
+        }
+        // ceil(log2 peak): power-of-two envelope of the block.
+        let envelope = peak.log2().ceil() as i32;
+        let e = self.relative_bits as i32 - envelope;
+        e.clamp(1, 30) as u8
+    }
+
+    /// Compresses a gradient slice.
+    pub fn compress(&self, values: &[f32]) -> AdaptiveStream {
+        let mut w = BitWriter::new();
+        for block in values.chunks(self.block) {
+            let e = self.block_exponent(block);
+            w.write_bits(u32::from(e), EXP_BITS);
+            let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+            let stream = codec.compress(block);
+            // Re-pack the block's bits (LSB-first order preserved).
+            let mut r = BitReader::new(&stream.bytes);
+            let mut remaining = stream.bit_len;
+            while remaining > 0 {
+                let take = remaining.min(32) as u32;
+                let bits = r.read_bits(take).expect("self-produced stream");
+                w.write_bits(bits, take);
+                remaining -= take as usize;
+            }
+        }
+        let bit_len = w.bit_len();
+        AdaptiveStream {
+            len: values.len(),
+            bytes: w.into_bytes(),
+            bit_len,
+        }
+    }
+
+    /// Decompresses a stream produced by [`AdaptiveCodec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn decompress(&self, stream: &AdaptiveStream) -> Result<Vec<f32>, DecodeError> {
+        let mut r = BitReader::new(&stream.bytes);
+        let mut out = Vec::with_capacity(stream.len);
+        let mut remaining = stream.len;
+        while remaining > 0 {
+            let n = remaining.min(self.block);
+            let e = r.read_bits(EXP_BITS).ok_or(DecodeError {
+                at_value: out.len(),
+            })? as u8;
+            let e = e.clamp(1, 30);
+            let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+            // Decode n values directly from the shared reader using the
+            // per-group format (16-bit tags + payloads).
+            let mut left = n;
+            while left > 0 {
+                let group = left.min(crate::inceptionn::LANES_PER_BURST);
+                let tags = r.read_bits(16).ok_or(DecodeError {
+                    at_value: out.len(),
+                })?;
+                for lane in 0..crate::inceptionn::LANES_PER_BURST {
+                    let tag = crate::inceptionn::Tag::from_bits((tags >> (2 * lane)) as u8);
+                    let payload = r.read_bits(tag.payload_bits()).ok_or(DecodeError {
+                        at_value: out.len(),
+                    })?;
+                    if lane < group {
+                        out.push(codec.decompress_value(
+                            crate::inceptionn::CompressedValue { tag, payload },
+                        ));
+                    }
+                }
+                left -= group;
+            }
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// The lossy round trip (compress + decompress).
+    pub fn quantize(&self, values: &[f32]) -> Vec<f32> {
+        let stream = self.compress(values);
+        self.decompress(&stream).expect("self-produced stream")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn round_trip_respects_relative_bound_per_block() {
+        let codec = AdaptiveCodec::new(8, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Three "layers" of very different scales.
+        let mut vals = Vec::new();
+        for scale in [1e-6f32, 1e-3, 0.3] {
+            for _ in 0..200 {
+                vals.push(rng.gen_range(-1.0f32..1.0) * scale);
+            }
+        }
+        let out = codec.quantize(&vals);
+        for (chunk_vals, chunk_out) in vals.chunks(64).zip(out.chunks(64)) {
+            let peak = chunk_vals.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            if peak == 0.0 {
+                continue;
+            }
+            let envelope = 2f32.powi(peak.log2().ceil() as i32);
+            let bound = (envelope * 2f32.powi(-8)).max(2f32.powi(-30));
+            for (a, b) in chunk_vals.iter().zip(chunk_out) {
+                if a.abs() < 1.0 {
+                    assert!(
+                        (a - b).abs() <= bound * 1.0001,
+                        "peak {peak}: {a} -> {b} (bound {bound})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_layers_survive_where_fixed_bound_zeroes_them() {
+        let vals = vec![2e-5f32; 256];
+        let fixed = InceptionnCodec::new(ErrorBound::pow2(10));
+        let fixed_out = fixed.quantize(&vals);
+        assert!(fixed_out.iter().all(|&v| v == 0.0), "fixed bound keeps info?");
+        let adaptive = AdaptiveCodec::new(8, 64);
+        let out = adaptive.quantize(&vals);
+        let mean: f32 = out.iter().sum::<f32>() / out.len() as f32;
+        assert!((mean - 2e-5).abs() < 2e-6, "adaptive mean {mean}");
+    }
+
+    #[test]
+    fn uniform_scale_costs_only_the_headers() {
+        // On a homogeneous stream the adaptive codec pays ~5 bits per
+        // block over the best fixed bound.
+        let mut rng = StdRng::seed_from_u64(2);
+        let vals: Vec<f32> = (0..10_000).map(|_| rng.gen_range(-0.01f32..0.01)).collect();
+        let adaptive = AdaptiveCodec::new(8, 256).compress(&vals);
+        // Compare against the fixed codec at the same effective bound
+        // (envelope 2^-6 with R=8 -> 2^-14... compute what adaptive picked).
+        let fixed_best = InceptionnCodec::new(ErrorBound::pow2(14)).compress(&vals);
+        let overhead =
+            adaptive.bit_len as f64 - fixed_best.bit_len as f64;
+        let headers = (vals.len() as f64 / 256.0).ceil() * 5.0;
+        assert!(
+            overhead.abs() <= headers + 16.0,
+            "overhead {overhead} vs headers {headers}"
+        );
+    }
+
+    #[test]
+    fn zero_block_compresses_maximally() {
+        let codec = AdaptiveCodec::new(8, 64);
+        let stream = codec.compress(&vec![0.0f32; 640]);
+        // 2 bits per value + 5 per block.
+        assert!(stream.compression_ratio() > 14.0);
+        assert!(codec.quantize(&vec![0.0f32; 640]).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let codec = AdaptiveCodec::new(8, 64);
+        let mut stream = codec.compress(&vec![0.5f32; 100]);
+        stream.bytes.truncate(3);
+        assert!(codec.decompress(&stream).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 2..=20")]
+    fn rejects_degenerate_precision() {
+        AdaptiveCodec::new(1, 64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_preserves_count_and_signs(
+            vals in proptest::collection::vec(-1.0f32..1.0, 1..400),
+            r in 4u8..12,
+        ) {
+            let codec = AdaptiveCodec::new(r, 64);
+            let out = codec.quantize(&vals);
+            prop_assert_eq!(out.len(), vals.len());
+            for (a, b) in vals.iter().zip(&out) {
+                prop_assert!(*b == 0.0 || a.signum() == b.signum());
+            }
+        }
+    }
+}

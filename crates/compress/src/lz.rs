@@ -1,0 +1,255 @@
+//! A Snappy-class byte-oriented LZ77 codec.
+//!
+//! The paper (Sec. III) observes that the best software *lossless*
+//! codecs achieve only ~1.5× on floating-point gradient streams while
+//! burning CPU time — floating-point bit patterns rarely repeat at byte
+//! granularity. This module implements a greedy hash-table LZ77 with a
+//! Snappy-like literal/copy token format so the reproduction can measure
+//! that pathology (Fig. 7) with a real codec rather than a constant.
+//!
+//! Format (all little-endian):
+//! * control byte `< 0x80`: a literal run of `control + 1` bytes follows;
+//! * control byte `≥ 0x80`: a back-reference copy of length
+//!   `(control & 0x7f) + MIN_MATCH` from a 16-bit offset that follows.
+
+/// Minimum back-reference length worth encoding.
+const MIN_MATCH: usize = 4;
+/// Maximum copy length encodable in one token.
+const MAX_MATCH: usize = 0x7f + MIN_MATCH;
+/// Maximum literal run per token.
+const MAX_LITERAL: usize = 0x80;
+/// Back-reference window (16-bit offsets).
+const MAX_OFFSET: usize = u16::MAX as usize;
+/// Hash table size (power of two).
+const HASH_SIZE: usize = 1 << 14;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - 14)) as usize & (HASH_SIZE - 1)
+}
+
+/// Compresses `input` into the LZ token stream.
+///
+/// Always succeeds; incompressible data expands by at most one control
+/// byte per 128 input bytes (~0.8%).
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_compress::lz;
+///
+/// let data = b"ababababababababab".to_vec();
+/// let packed = lz::compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(lz::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 8);
+    let mut table = vec![usize::MAX; HASH_SIZE];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    let flush_literals = |out: &mut Vec<u8>, input: &[u8], from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let run = (to - s).min(MAX_LITERAL);
+            out.push((run - 1) as u8);
+            out.extend_from_slice(&input[s..s + run]);
+            s += run;
+        }
+    };
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        let mut matched = 0usize;
+        if candidate != usize::MAX && pos - candidate <= MAX_OFFSET {
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            while matched < limit && input[candidate + matched] == input[pos + matched] {
+                matched += 1;
+            }
+        }
+        if matched >= MIN_MATCH {
+            flush_literals(&mut out, input, literal_start, pos);
+            out.push(0x80 | (matched - MIN_MATCH) as u8);
+            let offset = (pos - candidate) as u16;
+            out.extend_from_slice(&offset.to_le_bytes());
+            // Seed the table inside the match so long repeats chain.
+            let end = pos + matched;
+            pos += 1;
+            while pos < end && pos + MIN_MATCH <= input.len() {
+                table[hash4(&input[pos..])] = pos;
+                pos += 1;
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, input, literal_start, input.len());
+    out
+}
+
+/// Error decoding a corrupt LZ stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LzDecodeError {
+    at: usize,
+    reason: &'static str,
+}
+
+impl std::fmt::Display for LzDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt lz stream at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for LzDecodeError {}
+
+/// Decompresses an LZ token stream produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`LzDecodeError`] on truncated tokens or out-of-range
+/// back-references.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, LzDecodeError> {
+    let mut out = Vec::with_capacity(input.len() * 2);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let control = input[pos];
+        pos += 1;
+        if control < 0x80 {
+            let run = control as usize + 1;
+            if pos + run > input.len() {
+                return Err(LzDecodeError {
+                    at: pos,
+                    reason: "literal run past end of stream",
+                });
+            }
+            out.extend_from_slice(&input[pos..pos + run]);
+            pos += run;
+        } else {
+            let len = (control & 0x7f) as usize + MIN_MATCH;
+            if pos + 2 > input.len() {
+                return Err(LzDecodeError {
+                    at: pos,
+                    reason: "copy token missing offset",
+                });
+            }
+            let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+            pos += 2;
+            if offset == 0 || offset > out.len() {
+                return Err(LzDecodeError {
+                    at: pos,
+                    reason: "copy offset out of range",
+                });
+            }
+            // Byte-by-byte to support overlapping copies (RLE-style).
+            let start = out.len() - offset;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: compresses an `f32` slice (native-endian bytes) and
+/// reports the achieved ratio. This is the measurement Fig. 7 needs.
+pub fn ratio_on_floats(values: &[f32]) -> f64 {
+    let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+    let packed = compress(&bytes);
+    if packed.is_empty() {
+        1.0
+    } else {
+        bytes.len() as f64 / packed.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data: Vec<u8> = b"the quick brown fox ".repeat(100).to_vec();
+        let packed = compress(&data);
+        assert!(packed.len() * 5 < data.len(), "{} vs {}", packed.len(), data.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_copy_rle() {
+        let data = vec![7u8; 1000];
+        let packed = compress(&data);
+        assert!(packed.len() < 50);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn random_bytes_do_not_blow_up() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 100 + 8);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn float_gradient_ratio_is_poor() {
+        // The paper's Sec. III observation: lossless LZ on FP gradients
+        // yields only ~1.5x. Gaussian-ish gradient bytes barely repeat.
+        let mut rng = StdRng::seed_from_u64(9);
+        let grads: Vec<f32> = (0..50_000)
+            .map(|_| {
+                let u: f32 = rng.gen_range(-1.0..1.0);
+                u * u * u * 0.1 // peaked near zero
+            })
+            .collect();
+        let r = ratio_on_floats(&grads);
+        assert!(r < 2.0, "lossless ratio unexpectedly good: {r}");
+        // Incompressible input may expand by the documented <1% overhead.
+        assert!(r > 0.98, "expansion beyond token overhead: {r}");
+    }
+
+    #[test]
+    fn corrupt_streams_error_cleanly() {
+        // Literal run past end.
+        assert!(decompress(&[0x10, 1, 2]).is_err());
+        // Copy with no offset bytes.
+        assert!(decompress(&[0x80]).is_err());
+        // Copy offset beyond what exists.
+        assert!(decompress(&[0x00, 42, 0x80, 9, 0]).is_err());
+        // Zero offset.
+        assert!(decompress(&[0x00, 42, 0x80, 0, 0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_structured_round_trip(seed in any::<u64>(), n in 0usize..2000) {
+            // Byte streams with lots of short repeats, the adversarial case
+            // for copy/literal boundary handling.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let alphabet = [0u8, 1, 255, 42];
+            let data: Vec<u8> = (0..n).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+            let packed = compress(&data);
+            prop_assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+}

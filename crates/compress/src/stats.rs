@@ -1,0 +1,243 @@
+//! Codec accounting: tag/bitwidth distributions (Table III) and
+//! ratio/error summaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::inceptionn::Tag;
+
+/// Counts of the four compressed forms over a gradient stream — the raw
+/// data behind Table III ("bitwidth distribution of compressed
+/// gradients").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitwidthHistogram {
+    /// 2-bit (tag-only) values.
+    pub zero: u64,
+    /// 10-bit values (2-bit tag + 8-bit payload).
+    pub bits8: u64,
+    /// 18-bit values.
+    pub bits16: u64,
+    /// 34-bit values.
+    pub full: u64,
+}
+
+impl BitwidthHistogram {
+    /// Records one compressed value.
+    pub fn record(&mut self, tag: Tag) {
+        match tag {
+            Tag::Zero => self.zero += 1,
+            Tag::Bits8 => self.bits8 += 1,
+            Tag::Bits16 => self.bits16 += 1,
+            Tag::Full => self.full += 1,
+        }
+    }
+
+    /// Total number of values recorded.
+    pub fn total(&self) -> u64 {
+        self.zero + self.bits8 + self.bits16 + self.full
+    }
+
+    /// Fractions `(zero, bits8, bits16, full)`, each in `[0, 1]`.
+    ///
+    /// Returns all zeros when empty.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let t = self.total();
+        if t == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let t = t as f64;
+        (
+            self.zero as f64 / t,
+            self.bits8 as f64 / t,
+            self.bits16 as f64 / t,
+            self.full as f64 / t,
+        )
+    }
+
+    /// Total payload bits (excluding tags).
+    pub fn payload_bits(&self) -> usize {
+        (self.bits8 * 8 + self.bits16 * 16 + self.full * 32) as usize
+    }
+
+    /// Total on-wire bits including the 2-bit tags.
+    pub fn wire_bits(&self) -> usize {
+        self.payload_bits() + 2 * self.total() as usize
+    }
+
+    /// Average compression ratio implied by the distribution
+    /// (`32·n / wire_bits`).
+    ///
+    /// Returns 1.0 when empty.
+    pub fn compression_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            (t as f64 * 32.0) / self.wire_bits() as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &BitwidthHistogram) {
+        self.zero += other.zero;
+        self.bits8 += other.bits8;
+        self.bits16 += other.bits16;
+        self.full += other.full;
+    }
+}
+
+impl fmt::Display for BitwidthHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (z, b8, b16, full) = self.fractions();
+        write!(
+            f,
+            "2-bit {:5.1}% | 10-bit {:5.1}% | 18-bit {:5.1}% | 34-bit {:5.1}%",
+            z * 100.0,
+            b8 * 100.0,
+            b16 * 100.0,
+            full * 100.0
+        )
+    }
+}
+
+/// Summary statistics for one codec run over one stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CodecStats {
+    /// Values processed.
+    pub values: u64,
+    /// Input bytes (`4·values` for f32 streams).
+    pub input_bytes: u64,
+    /// Output (compressed) bytes.
+    pub output_bytes: u64,
+    /// Largest absolute reconstruction error observed.
+    pub max_abs_error: f64,
+    /// Mean absolute reconstruction error.
+    pub mean_abs_error: f64,
+}
+
+impl CodecStats {
+    /// Measures a lossy codec round trip given original and reconstructed
+    /// values plus the compressed byte size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn measure(original: &[f32], reconstructed: &[f32], output_bytes: usize) -> Self {
+        assert_eq!(original.len(), reconstructed.len(), "length mismatch");
+        let mut max_err = 0f64;
+        let mut sum_err = 0f64;
+        for (&a, &b) in original.iter().zip(reconstructed) {
+            // NaNs compare unequal to everything; treat NaN->NaN as exact.
+            if a.is_nan() && b.is_nan() {
+                continue;
+            }
+            let e = f64::from(a) - f64::from(b);
+            let e = e.abs();
+            if e > max_err {
+                max_err = e;
+            }
+            sum_err += e;
+        }
+        CodecStats {
+            values: original.len() as u64,
+            input_bytes: original.len() as u64 * 4,
+            output_bytes: output_bytes as u64,
+            max_abs_error: max_err,
+            mean_abs_error: if original.is_empty() {
+                0.0
+            } else {
+                sum_err / original.len() as f64
+            },
+        }
+    }
+
+    /// Compression ratio (`input_bytes / output_bytes`; 1.0 if output is
+    /// empty).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.output_bytes == 0 {
+            1.0
+        } else {
+            self.input_bytes as f64 / self.output_bytes as f64
+        }
+    }
+}
+
+impl fmt::Display for CodecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} values, ratio {:.2}x, max err {:.3e}",
+            self.values,
+            self.compression_ratio(),
+            self.max_abs_error
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_accounting() {
+        let mut h = BitwidthHistogram::default();
+        for _ in 0..6 {
+            h.record(Tag::Zero);
+        }
+        for _ in 0..2 {
+            h.record(Tag::Bits16);
+        }
+        h.record(Tag::Bits8);
+        h.record(Tag::Full);
+        assert_eq!(h.total(), 10);
+        let (z, b8, b16, full) = h.fractions();
+        assert!((z - 0.6).abs() < 1e-12);
+        assert!((b8 - 0.1).abs() < 1e-12);
+        assert!((b16 - 0.2).abs() < 1e-12);
+        assert!((full - 0.1).abs() < 1e-12);
+        assert_eq!(h.payload_bits(), 8 + 32 + 32);
+        assert_eq!(h.wire_bits(), 72 + 20);
+        let want = 320.0 / 92.0;
+        assert!((h.compression_ratio() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = BitwidthHistogram {
+            zero: 1,
+            bits8: 2,
+            bits16: 3,
+            full: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.full, 8);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = BitwidthHistogram::default();
+        assert_eq!(h.fractions(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(h.compression_ratio(), 1.0);
+        assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn codec_stats_measures_errors() {
+        let orig = [1.0f32, 2.0, -3.0];
+        let rec = [1.0f32, 2.5, -3.25];
+        let s = CodecStats::measure(&orig, &rec, 6);
+        assert_eq!(s.values, 3);
+        assert_eq!(s.input_bytes, 12);
+        assert!((s.compression_ratio() - 2.0).abs() < 1e-12);
+        assert!((s.max_abs_error - 0.5).abs() < 1e-12);
+        assert!((s.mean_abs_error - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn codec_stats_nan_to_nan_is_exact() {
+        let s = CodecStats::measure(&[f32::NAN], &[f32::NAN], 4);
+        assert_eq!(s.max_abs_error, 0.0);
+    }
+}

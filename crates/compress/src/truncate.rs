@@ -1,0 +1,166 @@
+//! Naive IEEE-754 LSB truncation — the paper's strawman lossy scheme
+//! (`16b-T`, `22b-T`, `24b-T` in Figs. 4 and 14).
+//!
+//! Truncating `x` LSBs of the 32-bit representation keeps the sign, the
+//! exponent (until `x > 23`, at which point exponent bits start to go,
+//! which is what wrecks accuracy for `24b-T`), and the top mantissa
+//! bits. The compression ratio is a *constant* `32 / (32 - x)` — at most
+//! 4× for `24b-T` — which is the paper's argument for a value-adaptive
+//! codec instead.
+
+use serde::{Deserialize, Serialize};
+
+/// A truncation scheme dropping `bits` LSBs from every `f32`.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_compress::truncate::Truncation;
+///
+/// let t = Truncation::new(16);
+/// assert_eq!(t.compression_ratio(), 2.0);
+/// let v = t.apply(0.123456789f32);
+/// assert!((v - 0.1234).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Truncation {
+    bits: u8,
+}
+
+impl Truncation {
+    /// Creates a scheme that zeroes the low `bits` bits (`1 ≤ bits ≤ 31`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or ≥ 32.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..32).contains(&bits), "truncation bits {bits} outside 1..32");
+        Truncation { bits }
+    }
+
+    /// Number of truncated LSBs.
+    pub fn bits(self) -> u8 {
+        self.bits
+    }
+
+    /// The fixed compression ratio `32 / (32 - bits)`.
+    pub fn compression_ratio(self) -> f64 {
+        32.0 / f64::from(32 - self.bits)
+    }
+
+    /// Truncates one value (the lossy round trip: the receiver sees
+    /// exactly this).
+    pub fn apply(self, v: f32) -> f32 {
+        let mask = u32::MAX << self.bits;
+        f32::from_bits(v.to_bits() & mask)
+    }
+
+    /// Truncates a slice in place.
+    pub fn apply_inplace(self, values: &mut [f32]) {
+        let mask = u32::MAX << self.bits;
+        for v in values.iter_mut() {
+            *v = f32::from_bits(v.to_bits() & mask);
+        }
+    }
+
+    /// Packs a slice into the truncated wire format: `32 - bits` MSBs of
+    /// each value, bit-packed. Returns the compressed bytes.
+    pub fn compress(self, values: &[f32]) -> Vec<u8> {
+        let keep = u32::from(32 - self.bits);
+        let mut w = crate::bitio::BitWriter::new();
+        for &v in values {
+            w.write_bits(v.to_bits() >> self.bits, keep);
+        }
+        w.into_bytes()
+    }
+
+    /// Unpacks `count` values from the truncated wire format.
+    ///
+    /// Returns `None` if `bytes` is too short.
+    pub fn decompress(self, bytes: &[u8], count: usize) -> Option<Vec<f32>> {
+        let keep = u32::from(32 - self.bits);
+        let mut r = crate::bitio::BitReader::new(bytes);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let top = r.read_bits(keep)?;
+            out.push(f32::from_bits(top << self.bits));
+        }
+        Some(out)
+    }
+}
+
+/// The three truncation settings the paper evaluates.
+pub const PAPER_TRUNCATIONS: [u8; 3] = [16, 22, 24];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ratio_matches_paper_claims() {
+        assert_eq!(Truncation::new(16).compression_ratio(), 2.0);
+        assert!((Truncation::new(22).compression_ratio() - 3.2).abs() < 1e-12);
+        assert_eq!(Truncation::new(24).compression_ratio(), 4.0); // "4x at most"
+    }
+
+    #[test]
+    fn truncation_error_grows_with_bits() {
+        let v = 0.7123456f32;
+        let e16 = (v - Truncation::new(16).apply(v)).abs();
+        let e22 = (v - Truncation::new(22).apply(v)).abs();
+        let e24 = (v - Truncation::new(24).apply(v)).abs();
+        assert!(e16 <= e22 && e22 <= e24);
+        // 16-bit truncation keeps 7 mantissa bits: relative error < 2^-7.
+        assert!(e16 / v < 2f32.powi(-7));
+    }
+
+    #[test]
+    fn truncating_24_bits_perturbs_exponent() {
+        // With 24 LSBs dropped only sign + 7 exponent MSBs remain; values
+        // collapse onto coarse powers of two — the accuracy cliff in Fig. 4.
+        let t = Truncation::new(24);
+        let a = t.apply(0.9f32);
+        let b = t.apply(0.6f32);
+        assert_eq!(a, b, "0.9 and 0.6 should collapse to the same value");
+    }
+
+    #[test]
+    fn pack_round_trip() {
+        let t = Truncation::new(22);
+        let vals: Vec<f32> = (0..100).map(|i| (i as f32 * 0.0173).sin()).collect();
+        let bytes = t.compress(&vals);
+        assert!(bytes.len() * 8 <= vals.len() * 10 + 8);
+        let out = t.decompress(&bytes, vals.len()).unwrap();
+        for (v, o) in vals.iter().zip(&out) {
+            assert_eq!(t.apply(*v).to_bits(), o.to_bits());
+        }
+    }
+
+    #[test]
+    fn decompress_short_buffer_is_none() {
+        let t = Truncation::new(16);
+        assert_eq!(t.decompress(&[0u8; 3], 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..32")]
+    fn rejects_zero_bits() {
+        Truncation::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_apply_is_idempotent(v in any::<f32>(), bits in 1u8..32) {
+            let t = Truncation::new(bits);
+            let once = t.apply(v);
+            prop_assert_eq!(t.apply(once).to_bits(), once.to_bits());
+        }
+
+        #[test]
+        fn prop_truncated_magnitude_never_grows(v in -1e30f32..1e30, bits in 1u8..24) {
+            let t = Truncation::new(bits);
+            prop_assert!(t.apply(v).abs() <= v.abs());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Decoder robustness: arbitrary (corrupt, adversarial) byte streams
+//! must produce clean errors or garbage values — never panics, hangs,
+//! or unbounded allocations. The NIC decompression engine faces raw
+//! network input, so this property is load-bearing.
+
+use inceptionn_compress::szlike::SzCodec;
+use inceptionn_compress::truncate::Truncation;
+use inceptionn_compress::{lz, CompressedStream, ErrorBound, InceptionnCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn inceptionn_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        len in 0usize..2000,
+        e in 1u8..=30,
+    ) {
+        let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+        let stream = CompressedStream {
+            len,
+            bit_len: bytes.len() * 8,
+            bytes,
+        };
+        match codec.decompress(&stream) {
+            Ok(values) => prop_assert_eq!(values.len(), len),
+            Err(err) => prop_assert!(err.at_value <= len),
+        }
+    }
+
+    #[test]
+    fn lz_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..800)) {
+        // Arbitrary token streams either decode or error; decoded output
+        // is bounded by the max expansion a valid stream could produce.
+        if let Ok(out) = lz::decompress(&bytes) {
+            prop_assert!(out.len() <= bytes.len() * 200);
+        }
+    }
+
+    #[test]
+    fn sz_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+        count in 0usize..500,
+    ) {
+        let codec = SzCodec::new(ErrorBound::pow2(10));
+        if let Some(values) = codec.decompress(&bytes, count) {
+            prop_assert_eq!(values.len(), count);
+        }
+    }
+
+    #[test]
+    fn truncation_decode_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        count in 0usize..200,
+        drop_bits in 1u8..32,
+    ) {
+        let t = Truncation::new(drop_bits);
+        if let Some(values) = t.decompress(&bytes, count) {
+            prop_assert_eq!(values.len(), count);
+            // Reconstructed values honor the truncation mask.
+            for v in values {
+                prop_assert_eq!(v.to_bits() & ((1u32 << drop_bits) - 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn flipping_bits_in_valid_stream_is_safe(
+        vals in proptest::collection::vec(-1.0f32..1.0, 1..100),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+        let mut stream = codec.compress(&vals);
+        if !stream.bytes.is_empty() {
+            let idx = flip_byte % stream.bytes.len();
+            stream.bytes[idx] ^= 1 << flip_bit;
+        }
+        // Must not panic; values that do decode are arbitrary but finite
+        // in count.
+        if let Ok(out) = codec.decompress(&stream) {
+            prop_assert_eq!(out.len(), vals.len());
+        }
+    }
+}

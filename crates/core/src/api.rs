@@ -1,0 +1,150 @@
+//! The user-facing collective-communication API.
+//!
+//! Mirrors the paper's software interface (Sec. VI-B): the default MPI
+//! collectives (`collec_comm`) exchange raw gradients, while the
+//! `_comp` variants (`collec_comm_comp`) set the reserved ToS value on
+//! the underlying sockets so the NIC engines compress every gradient
+//! packet. Here the two variants are one [`CollectiveContext`] with an
+//! optional [`ErrorBound`].
+
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_distrib::aggregator::worker_aggregator_allreduce;
+use inceptionn_distrib::ring::{hierarchical_ring_allreduce, ring_allreduce};
+
+/// A handle over a fixed-size worker group, configured once and used
+/// for many exchanges (like an MPI communicator).
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn::api::CollectiveContext;
+///
+/// let ctx = CollectiveContext::new(3);
+/// let mut grads = vec![vec![1.0f32], vec![2.0], vec![4.0]];
+/// ctx.allreduce(&mut grads);
+/// assert_eq!(grads[2], vec![7.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectiveContext {
+    workers: usize,
+    compression: Option<ErrorBound>,
+}
+
+impl CollectiveContext {
+    /// Creates a context over `workers` ring-connected workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "at least one worker required");
+        CollectiveContext {
+            workers,
+            compression: None,
+        }
+    }
+
+    /// Enables in-network lossy compression at the given bound — the
+    /// `collec_comm_comp` variant.
+    pub fn with_compression(mut self, bound: ErrorBound) -> Self {
+        self.compression = Some(bound);
+        self
+    }
+
+    /// The worker-group size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The configured compression bound, if any.
+    pub fn compression(&self) -> Option<ErrorBound> {
+        self.compression
+    }
+
+    fn codec(&self) -> Option<InceptionnCodec> {
+        self.compression.map(InceptionnCodec::new)
+    }
+
+    /// Sums one gradient vector per worker in place via the
+    /// gradient-centric ring (Algorithm 1). Every worker ends with the
+    /// full sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != self.workers()` or the vectors differ
+    /// in length.
+    pub fn allreduce(&self, grads: &mut [Vec<f32>]) {
+        assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
+        ring_allreduce(grads, self.codec().as_ref());
+    }
+
+    /// Sums gradients via the hierarchical grouping of Fig. 1(c).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a worker-count mismatch or when `group_size` does not
+    /// divide the worker count.
+    pub fn allreduce_hierarchical(&self, grads: &mut [Vec<f32>], group_size: usize) {
+        assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
+        hierarchical_ring_allreduce(grads, group_size, self.codec().as_ref());
+    }
+
+    /// Sums gradients via the conventional worker-aggregator exchange
+    /// (only the gradient leg is compressed — the baseline the paper
+    /// calls WA/WA+C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len() != self.workers()`.
+    pub fn allreduce_worker_aggregator(&self, grads: &mut [Vec<f32>]) {
+        assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
+        worker_aggregator_allreduce(grads, self.codec().as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compressed_and_plain_contexts_agree_within_bound() {
+        let plain = CollectiveContext::new(4);
+        let lossy = CollectiveContext::new(4).with_compression(ErrorBound::pow2(10));
+        let make = || -> Vec<Vec<f32>> {
+            (0..4)
+                .map(|w| (0..64).map(|i| ((w * 64 + i) as f32 * 0.001).sin() * 0.1).collect())
+                .collect()
+        };
+        let mut a = make();
+        let mut b = make();
+        plain.allreduce(&mut a);
+        lossy.allreduce(&mut b);
+        let eb = 2f32.powi(-10);
+        for (x, y) in a[0].iter().zip(&b[0]) {
+            assert!((x - y).abs() <= 8.0 * eb, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_three_collectives_compute_the_same_sum() {
+        let ctx = CollectiveContext::new(4);
+        let make = || -> Vec<Vec<f32>> {
+            (0..4).map(|w| vec![w as f32 + 1.0; 16]).collect()
+        };
+        let mut ring = make();
+        ctx.allreduce(&mut ring);
+        let mut hier = make();
+        ctx.allreduce_hierarchical(&mut hier, 2);
+        let mut wa = make();
+        ctx.allreduce_worker_aggregator(&mut wa);
+        assert_eq!(ring[0], vec![10.0f32; 16]);
+        assert_eq!(hier[3], vec![10.0f32; 16]);
+        assert_eq!(wa[1], vec![10.0f32; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one gradient vector per worker")]
+    fn allreduce_checks_worker_count() {
+        CollectiveContext::new(3).allreduce(&mut [vec![0.0f32]]);
+    }
+}

@@ -1,0 +1,304 @@
+//! End-to-end cluster timing model.
+//!
+//! Combines the per-iteration local compute costs of a
+//! [`ModelProfile`] (the paper's own Table II measurements) with the
+//! packet-level network simulation of [`inceptionn_netsim`] to predict
+//! the training time of the four systems Fig. 12 compares:
+//!
+//! | system | exchange | compression |
+//! |---|---|---|
+//! | `Wa`   | worker-aggregator | none |
+//! | `WaC`  | worker-aggregator | gradient (up) leg only |
+//! | `Inc`  | INCEPTIONN ring   | none |
+//! | `IncC` | INCEPTIONN ring   | both legs |
+
+use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_dnn::profile::ModelProfile;
+use inceptionn_netsim::collective::{ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE};
+use inceptionn_netsim::sim::NetworkConfig;
+use inceptionn_netsim::transfer::CompressionSpec;
+use inceptionn_nicsim::engine::{NS_PER_CYCLE, PIPELINE_DEPTH};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The four systems of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    /// Conventional worker-aggregator training (the paper's baseline).
+    Wa,
+    /// Worker-aggregator with in-NIC compression of the gradient leg.
+    WaC,
+    /// INCEPTIONN's ring algorithm without compression.
+    Inc,
+    /// The full INCEPTIONN system: ring plus both-leg compression.
+    IncC,
+}
+
+impl SystemKind {
+    /// All four systems in Fig. 12's order.
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::Wa,
+        SystemKind::WaC,
+        SystemKind::Inc,
+        SystemKind::IncC,
+    ];
+
+    /// The paper's label for the system.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Wa => "WA",
+            SystemKind::WaC => "WA+C",
+            SystemKind::Inc => "INC",
+            SystemKind::IncC => "INC+C",
+        }
+    }
+
+    /// Whether this system uses the ring exchange.
+    pub fn is_ring(self) -> bool {
+        matches!(self, SystemKind::Inc | SystemKind::IncC)
+    }
+
+    /// Whether this system compresses gradient traffic.
+    pub fn is_compressed(self) -> bool {
+        matches!(self, SystemKind::WaC | SystemKind::IncC)
+    }
+}
+
+/// Cluster-level parameters shared by all timing experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Worker count (the paper's testbed: 4, plus one aggregator for WA).
+    pub workers: usize,
+    /// Error bound of the NIC engines for the `+C` systems.
+    pub bound: ErrorBound,
+    /// Gradient values sampled when measuring a model's compression
+    /// ratio (larger = tighter estimate).
+    pub ratio_samples: usize,
+    /// Per-byte host cost of the ring's receive→reduce→send loop
+    /// (see [`RING_HOST_S_PER_BYTE`]); set to 0 for an idealized stack.
+    pub ring_host_s_per_byte: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            bound: ErrorBound::default(),
+            ratio_samples: 50_000,
+            ring_host_s_per_byte: RING_HOST_S_PER_BYTE,
+        }
+    }
+}
+
+/// Per-iteration wall-clock breakdown (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationBreakdown {
+    /// Forward + backward + copies + weight update.
+    pub local_compute_s: f64,
+    /// Gradient sum-reduction (central for WA, distributed for INC).
+    pub reduce_s: f64,
+    /// Time on the wire (including NIC engine latency when compressed).
+    pub comm_s: f64,
+}
+
+impl IterationBreakdown {
+    /// Total iteration wall-clock.
+    pub fn total_s(&self) -> f64 {
+        self.local_compute_s + self.reduce_s + self.comm_s
+    }
+
+    /// Fraction of the iteration spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        self.comm_s / self.total_s()
+    }
+}
+
+/// Measures a model's average gradient compression ratio at a bound by
+/// compressing a sampled synthetic stream of its calibrated
+/// distribution.
+pub fn measured_compression_ratio(
+    preset: GradientPreset,
+    bound: ErrorBound,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grads = GradientModel::preset(preset).sample(&mut rng, samples.max(1));
+    InceptionnCodec::new(bound)
+        .compress(&grads)
+        .compression_ratio()
+}
+
+/// The [`CompressionSpec`] the network simulator should apply for a
+/// model at a bound: measured payload ratio plus the hardware engine's
+/// per-MTU-packet pipeline latency.
+pub fn compression_spec(
+    preset: GradientPreset,
+    bound: ErrorBound,
+    samples: usize,
+) -> CompressionSpec {
+    let ratio = measured_compression_ratio(preset, bound, samples, 0xC0FFEE);
+    // An MTU payload holds 362 f32 lanes = 46 input bursts; compress on
+    // TX plus decompress on RX, each pipelined.
+    let bursts_per_packet = (1448u64 / 4).div_ceil(8);
+    let engine_latency_ns = 2 * (bursts_per_packet + PIPELINE_DEPTH) * NS_PER_CYCLE;
+    CompressionSpec::new(ratio.max(1.0), engine_latency_ns)
+}
+
+/// Predicts one training iteration of `profile` under `system`.
+pub fn iteration_breakdown(
+    profile: &ModelProfile,
+    system: SystemKind,
+    cfg: &ClusterConfig,
+) -> IterationBreakdown {
+    let gamma = profile.gamma_per_byte();
+    let spec = system
+        .is_compressed()
+        .then(|| compression_spec(profile.grad_preset, cfg.bound, cfg.ratio_samples));
+    let exchange = if system.is_ring() {
+        let net = NetworkConfig::ten_gbe(cfg.workers);
+        ring_exchange(&net, profile.weight_bytes, gamma, spec, cfg.ring_host_s_per_byte)
+    } else {
+        let net = NetworkConfig::ten_gbe(cfg.workers + 1);
+        worker_aggregator_exchange(&net, cfg.workers, profile.weight_bytes, gamma, spec)
+    };
+    IterationBreakdown {
+        local_compute_s: profile.local_compute_seconds(),
+        reduce_s: exchange.reduce_s,
+        comm_s: exchange.comm_s,
+    }
+}
+
+/// Training-set size of a profile's dataset (ImageNet for the CNNs,
+/// MNIST-scale for HDC).
+pub fn dataset_samples(profile: &ModelProfile) -> u64 {
+    match profile.grad_preset {
+        GradientPreset::Hdc => 60_000,
+        _ => 1_280_000,
+    }
+}
+
+/// Iterations per epoch on a `workers`-node cluster.
+pub fn iterations_per_epoch(profile: &ModelProfile, workers: usize) -> u64 {
+    dataset_samples(profile) / (profile.batch_per_node as u64 * workers as u64)
+}
+
+/// Wall-clock hours to train `epochs` epochs of `profile` on `system`.
+pub fn training_hours(
+    profile: &ModelProfile,
+    system: SystemKind,
+    cfg: &ClusterConfig,
+    epochs: u32,
+) -> f64 {
+    let per_iter = iteration_breakdown(profile, system, cfg).total_s();
+    let iters = iterations_per_epoch(profile, cfg.workers) * epochs as u64;
+    per_iter * iters as f64 / 3600.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_dnn::profile::ModelId;
+
+    fn quick_cfg() -> ClusterConfig {
+        ClusterConfig {
+            ratio_samples: 5_000,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn wa_iteration_matches_table_ii_for_alexnet() {
+        let profile = ModelProfile::of(ModelId::AlexNet);
+        let b = iteration_breakdown(&profile, SystemKind::Wa, &quick_cfg());
+        // Paper Table II: 1.487 s communicate, 1.9635 s total per iteration.
+        assert!(
+            (b.comm_s - profile.paper_t_communicate).abs() / profile.paper_t_communicate < 0.15,
+            "comm {:.3}s vs paper {:.3}s",
+            b.comm_s,
+            profile.paper_t_communicate
+        );
+        assert!(b.comm_fraction() > 0.70, "comm fraction {:.2}", b.comm_fraction());
+    }
+
+    #[test]
+    fn systems_order_correctly() {
+        // Fig. 12's ordering: WA slowest, then WA+C, INC, INC+C fastest.
+        let profile = ModelProfile::of(ModelId::AlexNet);
+        let cfg = quick_cfg();
+        let t: Vec<f64> = SystemKind::ALL
+            .iter()
+            .map(|&s| iteration_breakdown(&profile, s, &cfg).total_s())
+            .collect();
+        assert!(t[0] > t[1], "WA {:.3} should exceed WA+C {:.3}", t[0], t[1]);
+        assert!(t[1] > t[2], "WA+C {:.3} should exceed INC {:.3}", t[1], t[2]);
+        assert!(t[2] > t[3], "INC {:.3} should exceed INC+C {:.3}", t[2], t[3]);
+    }
+
+    #[test]
+    fn full_system_speedup_is_in_paper_range() {
+        // Fig. 12: INC+C is 2.2-3.1x faster than WA at equal epochs.
+        let cfg = quick_cfg();
+        for id in [ModelId::AlexNet, ModelId::ResNet50, ModelId::Vgg16] {
+            let profile = ModelProfile::of(id);
+            let wa = iteration_breakdown(&profile, SystemKind::Wa, &cfg).total_s();
+            let inc_c = iteration_breakdown(&profile, SystemKind::IncC, &cfg).total_s();
+            let speedup = wa / inc_c;
+            assert!(
+                (1.8..4.5).contains(&speedup),
+                "{}: speedup {speedup:.2}",
+                profile.name()
+            );
+        }
+    }
+
+    #[test]
+    fn communication_reduction_hits_paper_band() {
+        // Sec. VIII-A: INC+C cuts communication time by ~70.9-80.7% vs WA.
+        let cfg = quick_cfg();
+        let mut in_band = 0;
+        for id in ModelId::EVALUATED {
+            let profile = ModelProfile::of(id);
+            let wa = iteration_breakdown(&profile, SystemKind::Wa, &cfg).comm_s;
+            let inc_c = iteration_breakdown(&profile, SystemKind::IncC, &cfg).comm_s;
+            let cut = 1.0 - inc_c / wa;
+            assert!(cut > 0.60, "{}: comm cut only {cut:.2}", profile.name());
+            if (0.68..0.88).contains(&cut) {
+                in_band += 1;
+            }
+        }
+        assert!(in_band >= 2, "most models should land in the paper band");
+    }
+
+    #[test]
+    fn measured_ratio_grows_with_looser_bounds() {
+        let r10 = measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(10), 20_000, 1);
+        let r6 = measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(6), 20_000, 1);
+        assert!(r6 > r10, "{r6} vs {r10}");
+        assert!(r6 > 9.0, "loose-bound ratio {r6}");
+    }
+
+    #[test]
+    fn training_hours_reproduce_fig13_baseline() {
+        // Fig. 13: WA AlexNet trains 64 epochs in ~175 h.
+        let profile = ModelProfile::of(ModelId::AlexNet);
+        let h = training_hours(&profile, SystemKind::Wa, &quick_cfg(), 64);
+        assert!((140.0..210.0).contains(&h), "AlexNet WA: {h:.0} h");
+        // HDC: 17 epochs in ~170 s.
+        let hdc = ModelProfile::of(ModelId::Hdc);
+        let s = training_hours(&hdc, SystemKind::Wa, &quick_cfg(), 17) * 3600.0;
+        assert!((100.0..260.0).contains(&s), "HDC WA: {s:.0} s");
+    }
+
+    #[test]
+    fn epoch_accounting_matches_table_i() {
+        // 64 epochs * 5000 iters/epoch = Table I's 320k AlexNet iterations.
+        let profile = ModelProfile::of(ModelId::AlexNet);
+        assert_eq!(iterations_per_epoch(&profile, 4), 5_000);
+        assert_eq!(iterations_per_epoch(&profile, 4) * 64, profile.train_iterations);
+        let vgg = ModelProfile::of(ModelId::Vgg16);
+        assert_eq!(iterations_per_epoch(&vgg, 4) * 74, vgg.train_iterations);
+    }
+}

@@ -1,0 +1,198 @@
+//! Fig. 3, Table I, and Table II: model sizes, hyper-parameters, and
+//! the worker-aggregator time breakdown.
+
+use inceptionn_dnn::profile::{ModelId, ModelProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{iteration_breakdown, ClusterConfig, SystemKind};
+
+/// One row of the reproduced Table II (absolute seconds per 100
+/// iterations on the 5-node WA cluster).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Model name.
+    pub model: String,
+    /// Forward pass (from the paper's measurements).
+    pub forward: f64,
+    /// Backward pass.
+    pub backward: f64,
+    /// GPU↔host copies.
+    pub gpu_copy: f64,
+    /// Gradient summation.
+    pub grad_sum: f64,
+    /// Communication — **simulated** by the packet-level model.
+    pub communicate: f64,
+    /// Weight update.
+    pub update: f64,
+    /// The paper's measured communication time, for comparison.
+    pub paper_communicate: f64,
+}
+
+impl Table2Row {
+    /// Total of the six phases.
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward + self.gpu_copy + self.grad_sum + self.communicate + self.update
+    }
+
+    /// Fraction of time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        self.communicate / self.total()
+    }
+}
+
+/// Reproduces Table II: per-phase times for 100 training iterations.
+pub fn table2(cfg: &ClusterConfig) -> Vec<Table2Row> {
+    ModelId::EVALUATED
+        .iter()
+        .map(|&id| {
+            let p = ModelProfile::of(id);
+            let sim = iteration_breakdown(&p, SystemKind::Wa, cfg);
+            Table2Row {
+                model: p.name().to_string(),
+                forward: 100.0 * p.t_forward,
+                backward: 100.0 * p.t_backward,
+                gpu_copy: 100.0 * p.t_gpu_copy,
+                grad_sum: 100.0 * sim.reduce_s,
+                communicate: 100.0 * sim.comm_s,
+                update: 100.0 * p.t_update,
+                paper_communicate: 100.0 * p.paper_t_communicate,
+            }
+        })
+        .collect()
+}
+
+/// One bar pair of Fig. 3: model size and communication share.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Model name.
+    pub model: String,
+    /// Exchanged weight/gradient size, MB.
+    pub size_mb: f64,
+    /// Fraction of WA training time spent communicating.
+    pub comm_fraction: f64,
+}
+
+/// Reproduces Fig. 3 for the three models it plots.
+pub fn fig3(cfg: &ClusterConfig) -> Vec<Fig3Row> {
+    ModelId::FIG3
+        .iter()
+        .map(|&id| {
+            let p = ModelProfile::of(id);
+            let sim = iteration_breakdown(&p, SystemKind::Wa, cfg);
+            Fig3Row {
+                model: p.name().to_string(),
+                size_mb: p.weight_bytes as f64 / 1e6,
+                comm_fraction: sim.comm_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// One column of Table I (training hyper-parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Column {
+    /// Model name.
+    pub model: String,
+    /// Per-node minibatch size.
+    pub batch_per_node: usize,
+    /// Initial learning rate.
+    pub learning_rate: f32,
+    /// LR division factor of the step schedule.
+    pub lr_reduction: f32,
+    /// Schedule period (iterations).
+    pub lr_reduction_iters: u64,
+    /// Momentum.
+    pub momentum: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Total training iterations.
+    pub train_iterations: u64,
+}
+
+/// Reproduces Table I.
+pub fn table1() -> Vec<Table1Column> {
+    ModelId::EVALUATED
+        .iter()
+        .map(|&id| {
+            let p = ModelProfile::of(id);
+            Table1Column {
+                model: p.name().to_string(),
+                batch_per_node: p.batch_per_node,
+                learning_rate: p.sgd.learning_rate,
+                lr_reduction: p.sgd.lr_reduction,
+                lr_reduction_iters: p.sgd.lr_reduction_iters,
+                momentum: p.sgd.momentum,
+                weight_decay: p.sgd.weight_decay,
+                train_iterations: p.train_iterations,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ClusterConfig {
+        ClusterConfig {
+            ratio_samples: 2000,
+            ..ClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn table2_reproduces_comm_dominance() {
+        let rows = table2(&quick());
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            // VGG-16's simulated share is ~60% (the paper's own testbed ran
+            // VGG communication anomalously slow; see EXPERIMENTS.md).
+            assert!(
+                row.comm_fraction() > 0.55,
+                "{}: comm {:.2}",
+                row.model,
+                row.comm_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_simulated_comm_tracks_paper_for_most_models() {
+        // The paper's own VGG-16 measurement runs ~70% above raw-bandwidth
+        // expectations (see EXPERIMENTS.md); everything else should land
+        // within 25%.
+        let rows = table2(&quick());
+        let mut close = 0;
+        for row in &rows {
+            let rel = (row.communicate - row.paper_communicate).abs() / row.paper_communicate;
+            if rel < 0.25 {
+                close += 1;
+            }
+        }
+        assert!(close >= 3, "only {close} models near the paper's comm time");
+    }
+
+    #[test]
+    fn fig3_sizes_match_the_paper() {
+        let rows = fig3(&quick());
+        let sizes: Vec<(String, f64)> =
+            rows.iter().map(|r| (r.model.clone(), r.size_mb)).collect();
+        assert_eq!(sizes[0], ("AlexNet".to_string(), 233.0));
+        assert_eq!(sizes[2], ("VGG-16".to_string(), 525.0));
+        for r in &rows {
+            assert!(r.comm_fraction > 0.5 && r.comm_fraction < 0.95);
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_hyperparameters() {
+        let cols = table1();
+        let alex = &cols[0];
+        assert_eq!(alex.batch_per_node, 64);
+        assert_eq!(alex.train_iterations, 320_000);
+        let hdc = &cols[1];
+        assert_eq!(hdc.batch_per_node, 25);
+        assert!((hdc.learning_rate - 0.1).abs() < 1e-6);
+        assert_eq!(hdc.lr_reduction_iters, 2_000);
+    }
+}

@@ -1,0 +1,179 @@
+//! Extension: the Fig. 1 cluster organizations on an oversubscribed
+//! two-tier fabric (Sec. VII-C's datacenter assumptions).
+//!
+//! The paper's testbed is one rack behind one switch; its Fig. 1 sketches
+//! how INCEPTIONN scales beyond a rack — replace leaf worker groups
+//! (Fig. 1(b)) or every level (Fig. 1(c)) with the gradient-centric
+//! algorithm. This study quantifies those organizations on a modeled
+//! rack+core fabric with configurable core oversubscription.
+
+use inceptionn_compress::gradmodel::GradientPreset;
+use inceptionn_netsim::collective::RING_HOST_S_PER_BYTE;
+use inceptionn_netsim::twotier::{
+    flat_ring, flat_wa, hierarchical_ring, hierarchical_wa, TwoTierConfig,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::compression_spec;
+use crate::{ErrorBound};
+
+/// The four organizations of Fig. 1 (flat WA is Fig. 2's baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Organization {
+    /// One global aggregator (Fig. 2).
+    FlatWa,
+    /// Per-rack aggregators under a root (Fig. 1(a)).
+    HierarchicalWa,
+    /// One ring across all nodes (Fig. 1(b), the paper's testbed).
+    FlatRing,
+    /// Rings in racks + a leader ring across racks (Fig. 1(c)).
+    HierarchicalRing,
+}
+
+impl Organization {
+    /// All four, in presentation order.
+    pub const ALL: [Organization; 4] = [
+        Organization::FlatWa,
+        Organization::HierarchicalWa,
+        Organization::FlatRing,
+        Organization::HierarchicalRing,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Organization::FlatWa => "flat WA",
+            Organization::HierarchicalWa => "hierarchical WA",
+            Organization::FlatRing => "flat ring",
+            Organization::HierarchicalRing => "hierarchical ring",
+        }
+    }
+}
+
+/// One measured point of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyPoint {
+    /// Organization measured.
+    pub organization: Organization,
+    /// Core oversubscription factor.
+    pub oversubscription: u64,
+    /// Whether NIC compression was on (eb = 2^-10, AlexNet stream).
+    pub compressed: bool,
+    /// Gradient-exchange time (comm + reduce), seconds.
+    pub exchange_s: f64,
+}
+
+/// Runs the study: a 32-node fabric (4 racks × 8), AlexNet-sized
+/// gradients, sweeping core oversubscription, with and without
+/// compression.
+pub fn run(ratio_samples: usize) -> Vec<HierarchyPoint> {
+    let bytes = 233_000_000u64;
+    let gamma = 1e-10f64;
+    let spec = compression_spec(GradientPreset::AlexNet, ErrorBound::pow2(10), ratio_samples);
+    let mut out = Vec::new();
+    for oversub in [1u64, 4, 16, 80] {
+        let cfg = TwoTierConfig::ten_gbe(4, 8, oversub);
+        for compressed in [false, true] {
+            let s = compressed.then_some(spec);
+            for org in Organization::ALL {
+                let times = match org {
+                    Organization::FlatWa => flat_wa(&cfg, bytes, gamma, s),
+                    Organization::HierarchicalWa => hierarchical_wa(&cfg, bytes, gamma, s),
+                    Organization::FlatRing => {
+                        flat_ring(&cfg, bytes, gamma, s, RING_HOST_S_PER_BYTE)
+                    }
+                    Organization::HierarchicalRing => {
+                        hierarchical_ring(&cfg, bytes, gamma, s, RING_HOST_S_PER_BYTE)
+                    }
+                };
+                out.push(HierarchyPoint {
+                    organization: org,
+                    oversubscription: oversub,
+                    compressed,
+                    exchange_s: times.total_s(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<HierarchyPoint> {
+        run(2_000)
+    }
+
+    fn get(
+        pts: &[HierarchyPoint],
+        org: Organization,
+        oversub: u64,
+        compressed: bool,
+    ) -> f64 {
+        pts.iter()
+            .find(|p| {
+                p.organization == org && p.oversubscription == oversub && p.compressed == compressed
+            })
+            .unwrap()
+            .exchange_s
+    }
+
+    #[test]
+    fn rings_beat_aggregators_everywhere() {
+        let pts = points();
+        for oversub in [1u64, 4, 16, 80] {
+            let flat_wa = get(&pts, Organization::FlatWa, oversub, false);
+            let best_ring = get(&pts, Organization::FlatRing, oversub, false)
+                .min(get(&pts, Organization::HierarchicalRing, oversub, false));
+            assert!(
+                best_ring < flat_wa * 0.5,
+                "oversub {oversub}: ring {best_ring:.2} vs flat WA {flat_wa:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_pays_off_only_under_core_pressure() {
+        let pts = points();
+        // Non-blocking core: flat ring wins (the paper's testbed choice).
+        assert!(
+            get(&pts, Organization::FlatRing, 1, false)
+                < get(&pts, Organization::HierarchicalRing, 1, false)
+        );
+        // Heavily oversubscribed core: the hierarchy's smaller cross-core
+        // volume wins.
+        assert!(
+            get(&pts, Organization::HierarchicalRing, 80, false)
+                < get(&pts, Organization::FlatRing, 80, false)
+        );
+        // Same flip for the worker-aggregator organizations.
+        assert!(
+            get(&pts, Organization::HierarchicalWa, 80, false)
+                < get(&pts, Organization::FlatWa, 80, false)
+        );
+    }
+
+    #[test]
+    fn compression_helps_most_where_links_are_scarce() {
+        let pts = points();
+        let gain_at = |oversub| {
+            get(&pts, Organization::HierarchicalRing, oversub, false)
+                / get(&pts, Organization::HierarchicalRing, oversub, true)
+        };
+        assert!(gain_at(80) > 1.5, "gain at 80:1 {:.2}", gain_at(80));
+        // Compression gain should not *shrink* as the core gets slower.
+        assert!(gain_at(80) >= gain_at(1) * 0.8);
+    }
+
+    #[test]
+    fn exchange_time_grows_with_oversubscription() {
+        let pts = points();
+        for org in Organization::ALL {
+            let t1 = get(&pts, org, 1, false);
+            let t80 = get(&pts, org, 80, false);
+            assert!(t80 > t1, "{}: {t1:.3} -> {t80:.3}", org.label());
+        }
+    }
+}

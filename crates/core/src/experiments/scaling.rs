@@ -1,0 +1,134 @@
+//! Fig. 15: gradient-exchange time versus cluster size.
+
+use inceptionn_dnn::profile::{ModelId, ModelProfile};
+use inceptionn_netsim::analytic::{ring_time, wa_time, CostModel};
+use inceptionn_netsim::collective::{ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE};
+use inceptionn_netsim::sim::NetworkConfig;
+use serde::{Deserialize, Serialize};
+
+/// One point of Fig. 15: gradient-exchange time (communication plus
+/// summation) for one (model, algorithm, node-count) triple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Model name.
+    pub model: String,
+    /// `true` for the worker-aggregator baseline, `false` for the ring.
+    pub is_wa: bool,
+    /// Worker count.
+    pub nodes: usize,
+    /// Simulated exchange time, seconds.
+    pub exchange_s: f64,
+    /// Normalized to the model's 4-node WA point (the paper's axis).
+    pub normalized: f64,
+    /// The α-β-γ analytic prediction, seconds (paper Sec. VIII-D).
+    pub analytic_s: f64,
+}
+
+/// The node counts the paper sweeps.
+pub const NODE_COUNTS: [usize; 3] = [4, 6, 8];
+
+/// Reproduces Fig. 15 for all four models.
+pub fn fig15() -> Vec<ScalingPoint> {
+    let mut out = Vec::new();
+    for id in ModelId::EVALUATED {
+        let profile = ModelProfile::of(id);
+        let gamma = profile.gamma_per_byte();
+        let model = CostModel::ten_gbe(gamma);
+        let n = profile.weight_bytes;
+        // Baseline for normalization: 4-node WA.
+        let wa4 = worker_aggregator_exchange(&NetworkConfig::ten_gbe(5), 4, n, gamma, None)
+            .total_s();
+        for &nodes in &NODE_COUNTS {
+            let wa = worker_aggregator_exchange(
+                &NetworkConfig::ten_gbe(nodes + 1),
+                nodes,
+                n,
+                gamma,
+                None,
+            )
+            .total_s();
+            out.push(ScalingPoint {
+                model: profile.name().to_string(),
+                is_wa: true,
+                nodes,
+                exchange_s: wa,
+                normalized: wa / wa4,
+                analytic_s: wa_time(nodes, n, &model),
+            });
+            let ring =
+                ring_exchange(&NetworkConfig::ten_gbe(nodes), n, gamma, None, RING_HOST_S_PER_BYTE)
+                    .total_s();
+            // The analytic ring model sees the stack cost as extra beta.
+            let ring_model = CostModel {
+                beta: model.beta + RING_HOST_S_PER_BYTE,
+                ..model
+            };
+            out.push(ScalingPoint {
+                model: profile.name().to_string(),
+                is_wa: false,
+                nodes,
+                exchange_s: ring,
+                normalized: ring / wa4,
+                analytic_s: ring_time(nodes, n, &ring_model),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_grows_linearly_ring_stays_flat() {
+        let points = fig15();
+        for model in ["AlexNet", "ResNet-50", "VGG-16"] {
+            let get = |wa: bool, nodes: usize| {
+                points
+                    .iter()
+                    .find(|p| p.model == model && p.is_wa == wa && p.nodes == nodes)
+                    .unwrap()
+                    .exchange_s
+            };
+            // Paper: WA exchange time ~linear in node count.
+            let growth_wa = get(true, 8) / get(true, 4);
+            assert!((1.6..2.4).contains(&growth_wa), "{model}: WA growth {growth_wa:.2}");
+            // Ring stays almost constant.
+            let growth_ring = get(false, 8) / get(false, 4);
+            assert!(
+                (0.9..1.3).contains(&growth_ring),
+                "{model}: ring growth {growth_ring:.2}"
+            );
+            // Ring beats WA at every size.
+            for nodes in NODE_COUNTS {
+                assert!(get(false, nodes) < get(true, nodes), "{model} @{nodes}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_anchors_at_four_node_wa() {
+        let points = fig15();
+        for p in points.iter().filter(|p| p.is_wa && p.nodes == 4) {
+            assert!((p.normalized - 1.0).abs() < 1e-12, "{}", p.model);
+        }
+    }
+
+    #[test]
+    fn analytic_model_tracks_simulation_for_large_models() {
+        let points = fig15();
+        for p in points.iter().filter(|p| p.model != "HDC" && !p.is_wa) {
+            // The ring analytic model and packet simulation agree closely.
+            let rel = (p.exchange_s - p.analytic_s).abs() / p.analytic_s;
+            assert!(
+                rel < 0.15,
+                "{} ring @{}: sim {:.3} vs analytic {:.3}",
+                p.model,
+                p.nodes,
+                p.exchange_s,
+                p.analytic_s
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Fig. 4: how IEEE-754 LSB truncation of weights vs gradients affects
+//! trained accuracy.
+//!
+//! The paper's observation (Sec. III-A): gradients tolerate aggressive
+//! truncation because their error does not accumulate, while weight
+//! truncation compounds across iterations and collapses accuracy — the
+//! motivation for compressing *gradients* and never weights.
+
+use inceptionn_compress::truncate::Truncation;
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+use inceptionn_dnn::optim::{Sgd, SgdConfig};
+use inceptionn_dnn::Network;
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+
+/// Which tensors the lossy transform corrupts each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptTarget {
+    /// Truncate the gradient before the optimizer step ("g only").
+    GradientsOnly,
+    /// Truncate the weights after the optimizer step ("w only").
+    WeightsOnly,
+    /// Both ("w & g").
+    Both,
+}
+
+impl CorruptTarget {
+    /// The three paper conditions in Fig. 4's order.
+    pub const ALL: [CorruptTarget; 3] = [
+        CorruptTarget::GradientsOnly,
+        CorruptTarget::WeightsOnly,
+        CorruptTarget::Both,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptTarget::GradientsOnly => "g only",
+            CorruptTarget::WeightsOnly => "w only",
+            CorruptTarget::Both => "w & g",
+        }
+    }
+}
+
+/// Which trainable stand-in network runs the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProxyModel {
+    /// The paper's HDC MLP (full fidelity runs the 500-wide version).
+    Hdc,
+    /// The conv-net stand-in for AlexNet (see DESIGN.md).
+    MiniCnn,
+}
+
+impl ProxyModel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProxyModel::Hdc => "HDC",
+            ProxyModel::MiniCnn => "MiniCNN (AlexNet proxy)",
+        }
+    }
+}
+
+/// Result of one (scheme, target) training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruncationPoint {
+    /// Truncated LSB count (0 = lossless baseline).
+    pub truncated_bits: u8,
+    /// What was corrupted.
+    pub target: CorruptTarget,
+    /// Final test accuracy.
+    pub accuracy: f32,
+}
+
+/// Fig. 4 for one proxy model: final accuracy per truncation scheme per
+/// corruption target, plus the lossless baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruncationStudy {
+    /// Which network ran.
+    pub model: String,
+    /// Lossless baseline accuracy.
+    pub baseline_accuracy: f32,
+    /// All corrupted runs.
+    pub points: Vec<TruncationPoint>,
+}
+
+impl TruncationStudy {
+    /// Accuracy of a specific condition.
+    pub fn accuracy(&self, bits: u8, target: CorruptTarget) -> Option<f32> {
+        self.points
+            .iter()
+            .find(|p| p.truncated_bits == bits && p.target == target)
+            .map(|p| p.accuracy)
+    }
+}
+
+/// Trains once with a per-iteration corruption hook and returns the
+/// final test accuracy. Exposed for reuse by the Fig. 14 accuracy study.
+pub fn train_with_corruption(
+    model: ProxyModel,
+    fidelity: Fidelity,
+    seed: u64,
+    mut corrupt_grads: impl FnMut(&mut [f32]),
+    mut corrupt_weights: impl FnMut(&mut [f32]),
+) -> f32 {
+    let (mut net, conv_input): (Network, bool) = match (model, fidelity) {
+        (ProxyModel::Hdc, Fidelity::Quick) => (models::hdc_mlp_small(seed), false),
+        (ProxyModel::Hdc, Fidelity::Full) => (models::hdc_mlp(seed), false),
+        (ProxyModel::MiniCnn, _) => (models::mini_cnn(seed), true),
+    };
+    let iters = match (model, fidelity) {
+        (ProxyModel::MiniCnn, Fidelity::Quick) => 60,
+        (_, Fidelity::Quick) => 500,
+        (ProxyModel::MiniCnn, Fidelity::Full) => 400,
+        (_, Fidelity::Full) => 1200,
+    };
+    let batch = 16usize;
+    let train = DigitDataset::generate(fidelity.scale(4000, 600), seed.wrapping_add(1));
+    let test = DigitDataset::generate(fidelity.scale(1000, 200), seed.wrapping_add(2));
+    let mut sgd = Sgd::new(
+        SgdConfig {
+            learning_rate: 0.02,
+            ..SgdConfig::default()
+        },
+        net.param_count(),
+    );
+    for it in 0..iters {
+        let (x, y) = if conv_input {
+            train.minibatch_nchw(it * batch, batch)
+        } else {
+            train.minibatch(it * batch, batch)
+        };
+        net.forward_backward(&x, &y);
+        let mut grads = net.flat_grads();
+        corrupt_grads(&mut grads);
+        let mut params = net.flat_params();
+        sgd.step(&mut params, &mut grads);
+        corrupt_weights(&mut params);
+        net.set_flat_params(&params);
+    }
+    let inputs = if conv_input {
+        test.images_nchw()
+    } else {
+        test.images_flat()
+    };
+    net.evaluate(&inputs, test.labels(), 50)
+}
+
+/// Runs the full Fig. 4 grid for one proxy model.
+pub fn run(model: ProxyModel, fidelity: Fidelity, seed: u64) -> TruncationStudy {
+    let baseline = train_with_corruption(model, fidelity, seed, |_| {}, |_| {});
+    let mut points = Vec::new();
+    for &bits in &inceptionn_compress::truncate::PAPER_TRUNCATIONS {
+        let trunc = Truncation::new(bits);
+        for target in CorruptTarget::ALL {
+            let hit_g = matches!(target, CorruptTarget::GradientsOnly | CorruptTarget::Both);
+            let hit_w = matches!(target, CorruptTarget::WeightsOnly | CorruptTarget::Both);
+            let accuracy = train_with_corruption(
+                model,
+                fidelity,
+                seed,
+                |g| {
+                    if hit_g {
+                        trunc.apply_inplace(g);
+                    }
+                },
+                |w| {
+                    if hit_w {
+                        trunc.apply_inplace(w);
+                    }
+                },
+            );
+            points.push(TruncationPoint {
+                truncated_bits: bits,
+                target,
+                accuracy,
+            });
+        }
+    }
+    TruncationStudy {
+        model: model.name().to_string(),
+        baseline_accuracy: baseline,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_truncation_is_benign_weight_truncation_is_fatal() {
+        // The core Fig. 4 contrast, on the quick HDC proxy.
+        let study = run(ProxyModel::Hdc, Fidelity::Quick, 5);
+        let base = study.baseline_accuracy;
+        assert!(base > 0.6, "baseline failed to train: {base}");
+        let g24 = study.accuracy(24, CorruptTarget::GradientsOnly).unwrap();
+        let w24 = study.accuracy(24, CorruptTarget::WeightsOnly).unwrap();
+        // 24-bit truncation of gradients barely hurts…
+        assert!(g24 > base - 0.25, "g-only collapsed: {g24} vs base {base}");
+        // …but the same truncation of weights destroys training.
+        assert!(w24 < base - 0.3, "w-only unexpectedly fine: {w24} vs {base}");
+        assert!(w24 < g24, "w24 {w24} should be below g24 {g24}");
+    }
+
+    #[test]
+    fn mild_truncation_of_either_is_tolerable() {
+        let study = run(ProxyModel::Hdc, Fidelity::Quick, 7);
+        let base = study.baseline_accuracy;
+        let g16 = study.accuracy(16, CorruptTarget::GradientsOnly).unwrap();
+        let w16 = study.accuracy(16, CorruptTarget::WeightsOnly).unwrap();
+        assert!(g16 > base - 0.15, "{g16} vs {base}");
+        assert!(w16 > base - 0.25, "{w16} vs {base}");
+    }
+
+    #[test]
+    fn study_grid_is_complete() {
+        let study = run(ProxyModel::Hdc, Fidelity::Quick, 9);
+        assert_eq!(study.points.len(), 9);
+        for &bits in &[16u8, 22, 24] {
+            for t in CorruptTarget::ALL {
+                assert!(study.accuracy(bits, t).is_some(), "{bits} {t:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The conventional worker-aggregator exchange (Fig. 2).
+
+use inceptionn_compress::InceptionnCodec;
+
+/// In-place worker-aggregator all-reduce: every worker's gradient is
+/// shipped to a (logical) aggregator, summed there, and the sum is
+/// returned to every worker.
+///
+/// With `gradient_codec` set, the *upward* gradient leg passes through
+/// the lossy compression round trip. The downward leg is **never**
+/// compressed: in the real system it carries updated weights, which the
+/// paper shows do not tolerate lossy compression (Fig. 4) — this is the
+/// structural reason WA+C gains less than INC+C (Fig. 12).
+///
+/// # Panics
+///
+/// Panics if `workers` is empty or the vectors differ in length.
+pub fn worker_aggregator_allreduce(
+    workers: &mut [Vec<f32>],
+    gradient_codec: Option<&InceptionnCodec>,
+) {
+    let n = workers.len();
+    assert!(n > 0, "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    // Gather (compressible leg) + sum at the aggregator.
+    let mut sum = vec![0.0f32; len];
+    for w in workers.iter() {
+        let received = match gradient_codec {
+            None => w.clone(),
+            Some(c) => c.quantize(w),
+        };
+        for (s, v) in sum.iter_mut().zip(&received) {
+            *s += v;
+        }
+    }
+    // Broadcast (weights leg, uncompressed).
+    for w in workers.iter_mut() {
+        w.copy_from_slice(&sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_compress::ErrorBound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.2f32..0.2)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn equals_direct_sum_uncompressed() {
+        let mut grads = random_grads(4, 100, 1);
+        let mut want = vec![0.0f32; 100];
+        for w in &grads {
+            for (s, v) in want.iter_mut().zip(w) {
+                *s += v;
+            }
+        }
+        worker_aggregator_allreduce(&mut grads, None);
+        for w in &grads {
+            assert_eq!(w, &want);
+        }
+    }
+
+    #[test]
+    fn replicas_always_identical() {
+        // Unlike the ring, the aggregator broadcasts one buffer: replicas
+        // are identical even with compression in the loop.
+        let codec = InceptionnCodec::new(ErrorBound::pow2(8));
+        let mut grads = random_grads(5, 333, 2);
+        worker_aggregator_allreduce(&mut grads, Some(&codec));
+        for w in 1..5 {
+            assert_eq!(grads[0], grads[w]);
+        }
+    }
+
+    #[test]
+    fn compression_error_is_bounded_by_worker_count() {
+        let e = 10u8;
+        let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+        let mut grads = random_grads(4, 400, 3);
+        let mut want = vec![0.0f32; 400];
+        for w in &grads {
+            for (s, v) in want.iter_mut().zip(w) {
+                *s += v;
+            }
+        }
+        worker_aggregator_allreduce(&mut grads, Some(&codec));
+        let budget = 4.0 * ErrorBound::pow2(e).value() + 1e-5;
+        for (a, b) in grads[0].iter().zip(&want) {
+            assert!((a - b).abs() <= budget, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ring_and_aggregator_agree_uncompressed() {
+        let grads = random_grads(4, 257, 4);
+        let mut by_ring = grads.clone();
+        crate::ring::ring_allreduce(&mut by_ring, None);
+        let mut by_agg = grads;
+        worker_aggregator_allreduce(&mut by_agg, None);
+        for (r, a) in by_ring[0].iter().zip(&by_agg[0]) {
+            assert!((r - a).abs() < 1e-4, "{r} vs {a}");
+        }
+    }
+}

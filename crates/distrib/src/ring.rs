@@ -1,0 +1,406 @@
+//! Algorithm 1: the gradient-centric ring exchange.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use inceptionn_compress::InceptionnCodec;
+
+/// The element range of block `k` when a vector of `len` elements is
+/// partitioned into `n` near-equal blocks (Algorithm 1 line 8).
+///
+/// # Panics
+///
+/// Panics if `k >= n` or `n == 0`.
+pub fn block_range(len: usize, n: usize, k: usize) -> std::ops::Range<usize> {
+    assert!(n > 0, "at least one block required");
+    assert!(k < n, "block index {k} out of {n}");
+    (k * len / n)..((k + 1) * len / n)
+}
+
+/// Applies the NIC's lossy round trip to a block in flight, if
+/// compression is enabled.
+fn maybe_quantize(codec: Option<&InceptionnCodec>, block: &[f32]) -> Vec<f32> {
+    match codec {
+        None => block.to_vec(),
+        Some(c) => c.quantize(block),
+    }
+}
+
+/// In-place ring all-reduce over one gradient vector per worker
+/// (Algorithm 1, simultaneous-step semantics).
+///
+/// After the call, every `workers[i]` holds the elementwise sum of all
+/// inputs. With `codec` set, every block transfer goes through the lossy
+/// compression round trip on *both* legs, exactly as the INCEPTIONN NIC
+/// would apply it.
+///
+/// Without compression the result is **bit-exact and identical across
+/// workers**: each block is reduced along a fixed ring path, so every
+/// replica receives the same float-addition order.
+///
+/// # Panics
+///
+/// Panics if the worker vectors have differing lengths or `workers` is
+/// empty.
+pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>) {
+    let n = workers.len();
+    assert!(n > 0, "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    if n == 1 || len == 0 {
+        return;
+    }
+    // Phase 1 — aggregation (reduce-scatter): at step s node i sends
+    // blk[(i−s+1) mod n] and folds the incoming blk[(i−s) mod n].
+    for s in 1..n {
+        let mut messages: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (i, w) in workers.iter().enumerate() {
+            let k = (i + n - (s - 1)) % n; // (i - s + 1) mod n
+            messages.push(maybe_quantize(codec, &w[block_range(len, n, k)]));
+        }
+        for (i, worker) in workers.iter_mut().enumerate() {
+            let from = (i + n - 1) % n;
+            let k = (i + n - s) % n;
+            let range = block_range(len, n, k);
+            for (dst, src) in worker[range].iter_mut().zip(&messages[from]) {
+                *dst += *src;
+            }
+        }
+    }
+    // Phase 2 — propagation (all-gather): node i owns the fully reduced
+    // blk[(i+1) mod n]; at step t it sends blk[(i+2−t) mod n] and
+    // overwrites blk[(i+1−t) mod n] with the incoming copy.
+    for t in 1..n {
+        let mut messages: Vec<Vec<f32>> = Vec::with_capacity(n);
+        for (i, w) in workers.iter().enumerate() {
+            let k = (i + 2 + n - t) % n;
+            messages.push(maybe_quantize(codec, &w[block_range(len, n, k)]));
+        }
+        for (i, worker) in workers.iter_mut().enumerate() {
+            let from = (i + n - 1) % n;
+            let k = (i + 1 + n - t) % n;
+            let range = block_range(len, n, k);
+            worker[range].copy_from_slice(&messages[from]);
+        }
+    }
+}
+
+/// Two-level hierarchical composition of the ring exchange (Fig. 1(c)):
+/// rings within each group of `group_size` workers reduce locally, group
+/// leaders ring-exchange across groups, and leaders propagate the global
+/// sum back through their group ring.
+///
+/// # Panics
+///
+/// Panics if `group_size` is zero or does not divide the worker count.
+pub fn hierarchical_ring_allreduce(
+    workers: &mut [Vec<f32>],
+    group_size: usize,
+    codec: Option<&InceptionnCodec>,
+) {
+    let n = workers.len();
+    assert!(group_size > 0, "group size must be positive");
+    assert!(
+        n.is_multiple_of(group_size),
+        "group size {group_size} must divide worker count {n}"
+    );
+    let groups = n / group_size;
+    // Level 1: intra-group rings.
+    for g in 0..groups {
+        ring_allreduce(&mut workers[g * group_size..(g + 1) * group_size], codec);
+    }
+    if groups > 1 {
+        // Level 2: leaders (first member of each group) exchange.
+        let mut leader_grads: Vec<Vec<f32>> =
+            (0..groups).map(|g| workers[g * group_size].clone()).collect();
+        ring_allreduce(&mut leader_grads, codec);
+        // Broadcast the global sum back through each group (one more
+        // compressible gradient hop per member).
+        for (g, sum) in leader_grads.into_iter().enumerate() {
+            for m in 0..group_size {
+                workers[g * group_size + m] = maybe_quantize(codec, &sum);
+            }
+        }
+    }
+}
+
+/// Message-passing implementation of Algorithm 1: `n` worker threads
+/// connected by bounded channels, each executing the per-node loop and
+/// exchanging *actual compressed byte streams* when `codec` is set.
+///
+/// Returns the per-worker reduced gradients (same result as
+/// [`ring_allreduce`] when uncompressed).
+///
+/// # Panics
+///
+/// Panics if inputs are empty or differ in length, or if a worker thread
+/// panics.
+pub fn threaded_ring_allreduce(
+    inputs: Vec<Vec<f32>>,
+    codec: Option<InceptionnCodec>,
+) -> Vec<Vec<f32>> {
+    let n = inputs.len();
+    assert!(n > 0, "at least one worker required");
+    let len = inputs[0].len();
+    assert!(
+        inputs.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    if n == 1 {
+        return inputs;
+    }
+    // Ring of channels: worker i sends to (i+1) % n. Capacity 1 mirrors
+    // the step-by-step hardware exchange.
+    let mut senders: Vec<Option<Sender<Vec<u8>>>> = (0..n).map(|_| None).collect();
+    let mut rx_store: Vec<Option<Receiver<Vec<u8>>>> = (0..n).map(|_| None).collect();
+    for i in 0..n {
+        let (tx, rx) = bounded::<Vec<u8>>(1);
+        senders[i] = Some(tx);
+        rx_store[(i + 1) % n] = Some(rx);
+    }
+
+    let encode = |codec: &Option<InceptionnCodec>, block: &[f32]| -> Vec<u8> {
+        match codec {
+            None => block.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            Some(c) => {
+                let stream = c.compress(block);
+                // Length-prefix the value count for framing.
+                let mut bytes = (stream.len as u32).to_le_bytes().to_vec();
+                bytes.extend_from_slice(&stream.bytes);
+                bytes
+            }
+        }
+    };
+    let decode = |codec: &Option<InceptionnCodec>, bytes: &[u8]| -> Vec<f32> {
+        match codec {
+            None => bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+            Some(c) => {
+                let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+                let stream = inceptionn_compress::CompressedStream {
+                    len: count,
+                    bytes: bytes[4..].to_vec(),
+                    bit_len: (bytes.len() - 4) * 8,
+                };
+                c.decompress(&stream).expect("well-formed ring message")
+            }
+        }
+    };
+
+    let handles: Vec<std::thread::JoinHandle<Vec<f32>>> = inputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut grad)| {
+            let tx = senders[i].take().expect("sender wired");
+            let rx = rx_store[i].take().expect("receiver wired");
+            std::thread::spawn(move || {
+                // Phase 1: reduce-scatter.
+                for s in 1..n {
+                    let send_k = (i + n - (s - 1)) % n;
+                    let msg = encode(&codec, &grad[block_range(len, n, send_k)]);
+                    tx.send(msg).expect("ring neighbor alive");
+                    let rb = decode(&codec, &rx.recv().expect("ring neighbor alive"));
+                    let recv_k = (i + n - s) % n;
+                    for (dst, src) in grad[block_range(len, n, recv_k)].iter_mut().zip(&rb) {
+                        *dst += *src;
+                    }
+                }
+                // Phase 2: all-gather.
+                for t in 1..n {
+                    let send_k = (i + 2 + n - t) % n;
+                    let msg = encode(&codec, &grad[block_range(len, n, send_k)]);
+                    tx.send(msg).expect("ring neighbor alive");
+                    let rb = decode(&codec, &rx.recv().expect("ring neighbor alive"));
+                    let recv_k = (i + 1 + n - t) % n;
+                    grad[block_range(len, n, recv_k)].copy_from_slice(&rb);
+                }
+                grad
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_compress::ErrorBound;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn direct_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; inputs[0].len()];
+        for w in inputs {
+            for (s, v) in sum.iter_mut().zip(w) {
+                *s += v;
+            }
+        }
+        sum
+    }
+
+    fn random_grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.1f32..0.1)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_direct_sum_for_various_sizes() {
+        for n in [2usize, 3, 4, 5, 8] {
+            for len in [1usize, 7, 8, 64, 101] {
+                let mut grads = random_grads(n, len, (n * 1000 + len) as u64);
+                let want = direct_sum(&grads);
+                ring_allreduce(&mut grads, None);
+                for (i, g) in grads.iter().enumerate() {
+                    for (a, b) in g.iter().zip(&want) {
+                        assert!(
+                            (a - b).abs() < 1e-4,
+                            "n={n} len={len} worker {i}: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_are_bit_identical_without_compression() {
+        let mut grads = random_grads(4, 1000, 42);
+        ring_allreduce(&mut grads, None);
+        for w in 1..4 {
+            assert_eq!(grads[0], grads[w], "worker {w} diverged");
+        }
+    }
+
+    #[test]
+    fn four_worker_example_matches_figure_six() {
+        // Distinguishable values: worker i has value (i+1) everywhere, so
+        // the sum is 10 in every element — and intermediate blocks are
+        // easy to misroute, which would break the total.
+        let mut grads: Vec<Vec<f32>> = (0..4).map(|i| vec![(i + 1) as f32; 8]).collect();
+        ring_allreduce(&mut grads, None);
+        for g in &grads {
+            assert_eq!(g, &vec![10.0f32; 8]);
+        }
+    }
+
+    #[test]
+    fn compressed_exchange_respects_error_bound() {
+        let n = 4;
+        let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+        let mut grads = random_grads(n, 512, 7);
+        let want = direct_sum(&grads);
+        ring_allreduce(&mut grads, Some(&codec));
+        // Each element passes through at most 2(n-1) quantizations, each
+        // within eb, so the aggregate error is bounded by ~2n·eb.
+        let eb = ErrorBound::pow2(10).value();
+        let budget = 2.0 * (n as f32) * eb * (n as f32);
+        for g in &grads {
+            for (a, b) in g.iter().zip(&want) {
+                assert!((a - b).abs() <= budget, "{a} vs {b} (budget {budget})");
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_replica_divergence_is_bounded() {
+        let codec = InceptionnCodec::new(ErrorBound::pow2(8));
+        let mut grads = random_grads(4, 600, 13);
+        ring_allreduce(&mut grads, Some(&codec));
+        let eb = ErrorBound::pow2(8).value();
+        for w in 1..4 {
+            for (a, b) in grads[0].iter().zip(&grads[w]) {
+                assert!((a - b).abs() <= 2.0 * eb, "worker {w}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_without_compression() {
+        let inputs = random_grads(4, 321, 21);
+        let mut seq = inputs.clone();
+        ring_allreduce(&mut seq, None);
+        let thr = threaded_ring_allreduce(inputs, None);
+        assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn threaded_matches_sequential_with_compression() {
+        // The threaded path sends actual compressed byte streams; the
+        // sequential path quantizes in place. Identical schedules +
+        // deterministic codec => identical results.
+        let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+        let inputs = random_grads(5, 256, 22);
+        let mut seq = inputs.clone();
+        ring_allreduce(&mut seq, Some(&codec));
+        let thr = threaded_ring_allreduce(inputs, Some(codec));
+        assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn hierarchical_matches_direct_sum() {
+        for (n, g) in [(4usize, 2usize), (6, 3), (8, 4), (8, 2), (4, 4)] {
+            let mut grads = random_grads(n, 64, (n * 10 + g) as u64);
+            let want = direct_sum(&grads);
+            hierarchical_ring_allreduce(&mut grads, g, None);
+            for w in &grads {
+                for (a, b) in w.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-4, "n={n} g={g}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let mut grads = vec![vec![1.0f32, 2.0, 3.0]];
+        ring_allreduce(&mut grads, None);
+        assert_eq!(grads[0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for (len, n) in [(10usize, 3usize), (8, 4), (7, 8), (0, 2)] {
+            let mut covered = 0usize;
+            for k in 0..n {
+                let r = block_range(len, n, k);
+                assert_eq!(r.start, covered, "gap at block {k}");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn rejects_ragged_inputs() {
+        let mut grads = vec![vec![1.0f32], vec![1.0, 2.0]];
+        ring_allreduce(&mut grads, None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ring_equals_direct_sum(
+            n in 2usize..6,
+            len in 1usize..80,
+            seed in any::<u64>()
+        ) {
+            let mut grads = random_grads(n, len, seed);
+            let want = direct_sum(&grads);
+            ring_allreduce(&mut grads, None);
+            for g in &grads {
+                for (a, b) in g.iter().zip(&want) {
+                    prop_assert!((a - b).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! End-to-end data-parallel training over model replicas.
+
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::optim::{Sgd, SgdConfig};
+use inceptionn_dnn::Network;
+
+use crate::aggregator::worker_aggregator_allreduce;
+use crate::ring::{hierarchical_ring_allreduce, ring_allreduce};
+
+/// Which gradient-exchange algorithm the cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// Conventional centralized exchange (gradient leg compressible).
+    WorkerAggregator,
+    /// INCEPTIONN's aggregator-free ring (both legs compressible).
+    Ring,
+    /// Grouped rings (Fig. 1(c)) with the given group size.
+    HierarchicalRing {
+        /// Workers per leaf group (must divide the worker count).
+        group_size: usize,
+    },
+}
+
+/// Configuration of a distributed training run.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of worker replicas.
+    pub workers: usize,
+    /// Exchange algorithm.
+    pub strategy: ExchangeStrategy,
+    /// Lossy compression applied to exchanged gradients (`None` = the
+    /// lossless baseline).
+    pub compression: Option<ErrorBound>,
+    /// Optimizer hyper-parameters (shared by all replicas).
+    pub sgd: SgdConfig,
+    /// Per-worker minibatch size.
+    pub batch_per_worker: usize,
+    /// Seed for shared model initialization.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            workers: 4,
+            strategy: ExchangeStrategy::Ring,
+            compression: None,
+            sgd: SgdConfig::default(),
+            batch_per_worker: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-iteration record of a training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationLog {
+    /// Mean training loss across workers.
+    pub loss: f32,
+    /// Mean minibatch accuracy across workers.
+    pub accuracy: f32,
+}
+
+/// A data-parallel cluster of model replicas (Sec. II-A / Sec. IV).
+///
+/// Every worker holds a full model replica initialized from the same
+/// seed (`w_0` shared, Algorithm 1 line 1) and a shard `D_i` of the
+/// training data. Each iteration: every worker computes its local
+/// gradient on its own minibatch, the configured exchange sums the
+/// gradients (with optional lossy compression in flight), and every
+/// worker applies the same SGD update.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_distrib::{DistributedTrainer, TrainerConfig};
+/// use inceptionn_dnn::data::DigitDataset;
+/// use inceptionn_dnn::models;
+///
+/// let data = DigitDataset::generate(64, 9);
+/// let cfg = TrainerConfig { workers: 2, batch_per_worker: 4, ..TrainerConfig::default() };
+/// let mut trainer = DistributedTrainer::new(cfg, models::hdc_mlp_small, &data);
+/// let log = trainer.train_iterations(2);
+/// assert_eq!(log.len(), 2);
+/// ```
+pub struct DistributedTrainer {
+    config: TrainerConfig,
+    replicas: Vec<Network>,
+    optimizers: Vec<Sgd>,
+    shards: Vec<DigitDataset>,
+    cursor: usize,
+    codec: Option<InceptionnCodec>,
+}
+
+impl DistributedTrainer {
+    /// Builds a cluster of `config.workers` replicas of the model
+    /// produced by `model_fn(config.seed)` over shards of `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or the dataset has fewer samples
+    /// than workers.
+    pub fn new(
+        config: TrainerConfig,
+        model_fn: impl Fn(u64) -> Network,
+        dataset: &DigitDataset,
+    ) -> Self {
+        assert!(config.workers > 0, "at least one worker required");
+        assert!(
+            dataset.len() >= config.workers,
+            "dataset smaller than worker count"
+        );
+        let replicas: Vec<Network> = (0..config.workers).map(|_| model_fn(config.seed)).collect();
+        let optimizers = (0..config.workers)
+            .map(|_| Sgd::new(config.sgd, replicas[0].param_count()))
+            .collect();
+        let shards = dataset.shards(config.workers);
+        let codec = config.compression.map(InceptionnCodec::new);
+        DistributedTrainer {
+            config,
+            replicas,
+            optimizers,
+            shards,
+            cursor: 0,
+            codec,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Runs one synchronous training iteration; returns the mean loss
+    /// and accuracy across workers.
+    pub fn step(&mut self) -> IterationLog {
+        let p = self.config.workers;
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(p);
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        for w in 0..p {
+            let (x, y) = self.shards[w].minibatch(self.cursor, self.config.batch_per_worker);
+            let (loss, acc) = self.replicas[w].forward_backward(&x, &y);
+            loss_sum += loss;
+            acc_sum += acc;
+            grads.push(self.replicas[w].flat_grads());
+        }
+        self.cursor += self.config.batch_per_worker;
+        match self.config.strategy {
+            ExchangeStrategy::Ring => ring_allreduce(&mut grads, self.codec.as_ref()),
+            ExchangeStrategy::HierarchicalRing { group_size } => {
+                hierarchical_ring_allreduce(&mut grads, group_size, self.codec.as_ref())
+            }
+            ExchangeStrategy::WorkerAggregator => {
+                worker_aggregator_allreduce(&mut grads, self.codec.as_ref())
+            }
+        }
+        // Average the summed gradient so the effective step matches the
+        // single-node formulation regardless of worker count.
+        let scale = 1.0 / p as f32;
+        for (w, mut g) in grads.into_iter().enumerate() {
+            for v in &mut g {
+                *v *= scale;
+            }
+            let mut params = self.replicas[w].flat_params();
+            self.optimizers[w].step(&mut params, &mut g);
+            self.replicas[w].set_flat_params(&params);
+        }
+        IterationLog {
+            loss: loss_sum / p as f32,
+            accuracy: acc_sum / p as f32,
+        }
+    }
+
+    /// Runs `iters` iterations, returning the per-iteration log.
+    pub fn train_iterations(&mut self, iters: usize) -> Vec<IterationLog> {
+        (0..iters).map(|_| self.step()).collect()
+    }
+
+    /// Evaluates replica 0 on a held-out dataset.
+    pub fn evaluate(&mut self, test: &DigitDataset) -> f32 {
+        let x = test.images_flat();
+        self.replicas[0].evaluate(&x, test.labels(), 64)
+    }
+
+    /// The largest absolute parameter difference between any replica and
+    /// replica 0 — zero for lossless exchanges, bounded by the
+    /// accumulated quantization drift otherwise.
+    pub fn max_replica_divergence(&self) -> f32 {
+        let reference = self.replicas[0].flat_params();
+        let mut worst = 0.0f32;
+        for r in &self.replicas[1..] {
+            for (a, b) in reference.iter().zip(r.flat_params()) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        worst
+    }
+
+    /// Borrow a replica (for inspecting gradients/weights in tests and
+    /// experiments).
+    pub fn replica(&self, index: usize) -> &Network {
+        &self.replicas[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_dnn::models;
+
+    fn quick_config(strategy: ExchangeStrategy, compression: Option<ErrorBound>) -> TrainerConfig {
+        TrainerConfig {
+            workers: 4,
+            strategy,
+            compression,
+            sgd: SgdConfig {
+                learning_rate: 0.05,
+                ..SgdConfig::default()
+            },
+            batch_per_worker: 8,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn replicas_stay_identical_without_compression() {
+        let data = DigitDataset::generate(160, 8);
+        let mut t = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        t.train_iterations(3);
+        assert_eq!(t.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn ring_and_aggregator_train_equivalently_without_compression() {
+        let data = DigitDataset::generate(160, 9);
+        let mut ring = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let mut agg = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::WorkerAggregator, None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let lr = ring.train_iterations(3);
+        let la = agg.train_iterations(3);
+        for (a, b) in lr.iter().zip(&la) {
+            // Same math, different summation order: near-identical.
+            assert!((a.loss - b.loss).abs() < 1e-3, "{} vs {}", a.loss, b.loss);
+        }
+        let pr = ring.replica(0).flat_params();
+        let pa = agg.replica(0).flat_params();
+        let max_diff = pr
+            .iter()
+            .zip(&pa)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_diff < 1e-3, "params drifted {max_diff}");
+    }
+
+    #[test]
+    fn training_learns_the_digit_task() {
+        let train = DigitDataset::generate(400, 10);
+        let test = DigitDataset::generate(100, 11);
+        let mut t = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, None),
+            models::hdc_mlp_small,
+            &train,
+        );
+        let before = t.evaluate(&test);
+        t.train_iterations(200);
+        let after = t.evaluate(&test);
+        assert!(
+            after > before + 0.3 && after > 0.6,
+            "accuracy {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn compressed_training_matches_lossless_accuracy() {
+        // The paper's core claim: with eb = 2^-10 training quality is
+        // unaffected.
+        let train = DigitDataset::generate(400, 12);
+        let test = DigitDataset::generate(100, 13);
+        let mut lossless = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, None),
+            models::hdc_mlp_small,
+            &train,
+        );
+        let mut lossy = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            models::hdc_mlp_small,
+            &train,
+        );
+        lossless.train_iterations(60);
+        lossy.train_iterations(60);
+        let a0 = lossless.evaluate(&test);
+        let a1 = lossy.evaluate(&test);
+        assert!(a1 > a0 - 0.05, "lossless {a0} vs compressed {a1}");
+    }
+
+    #[test]
+    fn compressed_replica_drift_stays_small() {
+        let data = DigitDataset::generate(160, 14);
+        let mut t = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            models::hdc_mlp_small,
+            &data,
+        );
+        t.train_iterations(10);
+        let drift = t.max_replica_divergence();
+        // Quantization is deterministic; divergence only enters through
+        // rare re-quantization boundary cases, each bounded by eb.
+        assert!(drift < 0.01, "replica drift {drift}");
+    }
+
+    #[test]
+    fn hierarchical_strategy_trains_like_the_flat_ring() {
+        let data = DigitDataset::generate(160, 15);
+        let mut flat = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let mut hier = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::HierarchicalRing { group_size: 2 }, None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let lf = flat.train_iterations(5);
+        let lh = hier.train_iterations(5);
+        for (a, b) in lf.iter().zip(&lh) {
+            assert!((a.loss - b.loss).abs() < 1e-3, "{} vs {}", a.loss, b.loss);
+        }
+        assert_eq!(hier.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn rejects_zero_workers() {
+        let data = DigitDataset::generate(10, 1);
+        let cfg = TrainerConfig {
+            workers: 0,
+            ..TrainerConfig::default()
+        };
+        DistributedTrainer::new(cfg, models::hdc_mlp_small, &data);
+    }
+}

@@ -1,0 +1,268 @@
+//! Training-state checkpoints.
+//!
+//! The paper's workloads run for days (Fig. 13: up to 847 hours), which
+//! makes checkpoint/restore table stakes for any adoptable training
+//! substrate. A [`Checkpoint`] captures everything a worker needs to
+//! resume bit-exactly: the flat parameter vector, the optimizer's
+//! momentum buffer, and the iteration counter (which drives the LR
+//! schedule).
+//!
+//! The on-disk format is a small self-describing little-endian binary
+//! (magic, version, lengths, raw `f32` payloads) — dependency-free and
+//! byte-exact across platforms of the same endianness convention.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::network::Network;
+use crate::optim::Sgd;
+
+/// File magic: "INCP".
+const MAGIC: [u8; 4] = *b"INCP";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// A resumable snapshot of one worker's training state.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_dnn::checkpoint::Checkpoint;
+///
+/// let ckpt = Checkpoint {
+///     params: vec![1.0, 2.0],
+///     velocity: vec![0.0, 0.0],
+///     iteration: 42,
+/// };
+/// let bytes = ckpt.to_bytes();
+/// let back = Checkpoint::from_bytes(&bytes).unwrap();
+/// assert_eq!(back, ckpt);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Flat model parameters.
+    pub params: Vec<f32>,
+    /// Optimizer momentum buffer (same length as `params`).
+    pub velocity: Vec<f32>,
+    /// Iterations completed.
+    pub iteration: u64,
+}
+
+/// Error decoding a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Bad magic or truncated header.
+    NotACheckpoint,
+    /// Unknown format version.
+    UnsupportedVersion(u32),
+    /// Body shorter than the header promises.
+    Truncated,
+    /// Parameter/velocity length mismatch inside the file.
+    Inconsistent,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::NotACheckpoint => write!(f, "not an INCEPTIONN checkpoint"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::Inconsistent => write!(f, "checkpoint internally inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Captures the state of a network and its optimizer.
+    pub fn capture(net: &Network, sgd: &Sgd) -> Self {
+        Checkpoint {
+            params: net.flat_params(),
+            velocity: sgd.velocity().to_vec(),
+            iteration: sgd.iteration(),
+        }
+    }
+
+    /// Restores the state into a network and optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's lengths do not match the network's
+    /// parameter count.
+    pub fn restore(&self, net: &mut Network, sgd: &mut Sgd) {
+        net.set_flat_params(&self.params);
+        sgd.restore(self.velocity.clone(), self.iteration);
+    }
+
+    /// Serializes to the binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + 8 * self.params.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.iteration.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u64).to_le_bytes());
+        for v in &self.params {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.velocity {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 24 || bytes[..4] != MAGIC {
+            return Err(CheckpointError::NotACheckpoint);
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let iteration = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+        let n = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes")) as usize;
+        let need = 24usize
+            .checked_add(n.checked_mul(8).ok_or(CheckpointError::Inconsistent)?)
+            .ok_or(CheckpointError::Inconsistent)?;
+        if bytes.len() < need {
+            return Err(CheckpointError::Truncated);
+        }
+        let read_f32s = |off: usize| -> Vec<f32> {
+            bytes[off..off + 4 * n]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect()
+        };
+        Ok(Checkpoint {
+            params: read_f32s(24),
+            velocity: read_f32s(24 + 4 * n),
+            iteration,
+        })
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&self.to_bytes())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; decoding failures surface as
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Checkpoint::from_bytes(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DigitDataset;
+    use crate::models;
+    use crate::optim::SgdConfig;
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let ckpt = Checkpoint {
+            params: (0..1000).map(|i| (i as f32).sin()).collect(),
+            velocity: (0..1000).map(|i| (i as f32).cos() * 1e-3).collect(),
+            iteration: 123_456,
+        };
+        let back = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert_eq!(
+            Checkpoint::from_bytes(b"nope").unwrap_err(),
+            CheckpointError::NotACheckpoint
+        );
+        let mut bytes = Checkpoint {
+            params: vec![1.0; 10],
+            velocity: vec![0.0; 10],
+            iteration: 1,
+        }
+        .to_bytes();
+        bytes[5] = 9; // version
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes).unwrap_err(),
+            CheckpointError::UnsupportedVersion(_)
+        ));
+        let bytes = Checkpoint {
+            params: vec![1.0; 10],
+            velocity: vec![0.0; 10],
+            iteration: 1,
+        }
+        .to_bytes();
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes[..30]).unwrap_err(),
+            CheckpointError::Truncated
+        );
+    }
+
+    #[test]
+    fn resume_is_bit_exact_with_uninterrupted_training() {
+        // Train A for 20 iters. Train B for 10, checkpoint, restore into a
+        // fresh network, train 10 more: identical parameters.
+        let data = DigitDataset::generate(200, 50);
+        let run = |split: Option<usize>| -> Vec<f32> {
+            let mut net = models::tiny_mlp_for_digits();
+            let mut sgd = Sgd::new(SgdConfig::default(), net.param_count());
+            for it in 0..20 {
+                if let Some(at) = split {
+                    if it == at {
+                        // Simulate a crash/restore cycle.
+                        let ckpt = Checkpoint::capture(&net, &sgd);
+                        let bytes = ckpt.to_bytes();
+                        let ckpt = Checkpoint::from_bytes(&bytes).unwrap();
+                        net = models::tiny_mlp_for_digits();
+                        sgd = Sgd::new(SgdConfig::default(), net.param_count());
+                        ckpt.restore(&mut net, &mut sgd);
+                    }
+                }
+                let (x, y) = data.minibatch(it * 8, 8);
+                net.forward_backward(&x, &y);
+                let mut g = net.flat_grads();
+                let mut p = net.flat_params();
+                sgd.step(&mut p, &mut g);
+                net.set_flat_params(&p);
+            }
+            net.flat_params()
+        };
+        assert_eq!(run(None), run(Some(10)));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("inceptionn_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.incp");
+        let ckpt = Checkpoint {
+            params: vec![0.5; 64],
+            velocity: vec![-0.25; 64],
+            iteration: 7,
+        };
+        ckpt.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+}

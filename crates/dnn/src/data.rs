@@ -1,0 +1,274 @@
+//! Procedurally generated digit dataset — the MNIST substitute.
+//!
+//! No dataset files are available in this environment, so the HDC /
+//! MiniCNN accuracy experiments run on rendered digits: each sample is a
+//! 28×28 grayscale image of a 7×5 digit glyph, scaled ×3, placed at a
+//! random offset, with random stroke intensity and additive noise. The
+//! task is 10-class, clearly separable but not trivially so (offsets and
+//! noise force real feature learning), which is all the paper's
+//! *relative*-accuracy claims need.
+
+use inceptionn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::models::{DIGIT_FEATURES, DIGIT_SIDE};
+
+/// 7-row × 5-column glyph bitmaps for digits 0–9.
+const GLYPHS: [[u8; 7]; 10] = [
+    // Each u8 encodes 5 pixels (MSB-left) of one row.
+    [0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110], // 0
+    [0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110], // 1
+    [0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111], // 2
+    [0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110], // 3
+    [0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010], // 4
+    [0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110], // 5
+    [0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110], // 6
+    [0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000], // 7
+    [0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110], // 8
+    [0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100], // 9
+];
+
+/// Pixel scale factor of the rendered glyph.
+const SCALE: usize = 3;
+
+/// Renders one digit into a 28×28 buffer.
+fn render_digit<R: Rng + ?Sized>(rng: &mut R, digit: usize, out: &mut [f32]) {
+    debug_assert!(digit < 10);
+    debug_assert_eq!(out.len(), DIGIT_FEATURES);
+    let glyph_w = 5 * SCALE;
+    let glyph_h = 7 * SCALE;
+    let ox = rng.gen_range(0..=(DIGIT_SIDE - glyph_w));
+    let oy = rng.gen_range(0..=(DIGIT_SIDE - glyph_h));
+    let intensity: f32 = rng.gen_range(0.6..1.0);
+    let noise: f32 = 0.12;
+    for v in out.iter_mut() {
+        *v = rng.gen_range(0.0..noise);
+    }
+    for (row, bits) in GLYPHS[digit].iter().enumerate() {
+        for col in 0..5 {
+            if bits & (1 << (4 - col)) == 0 {
+                continue;
+            }
+            for dy in 0..SCALE {
+                for dx in 0..SCALE {
+                    let y = oy + row * SCALE + dy;
+                    let x = ox + col * SCALE + dx;
+                    let jitter: f32 = rng.gen_range(-0.1..0.1);
+                    out[y * DIGIT_SIDE + x] = (intensity + jitter).clamp(0.0, 1.0);
+                }
+            }
+        }
+    }
+}
+
+/// An in-memory labelled digit dataset.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_dnn::data::DigitDataset;
+///
+/// let data = DigitDataset::generate(100, 42);
+/// assert_eq!(data.len(), 100);
+/// let (x, y) = data.minibatch(0, 10);
+/// assert_eq!(x.dims(), &[10, 784]);
+/// assert_eq!(y.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DigitDataset {
+    /// Flattened images, one row per sample.
+    images: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+impl DigitDataset {
+    /// Generates `n` samples with balanced labels under a fixed seed.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut images = vec![0.0f32; n * DIGIT_FEATURES];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let digit = i % 10;
+            render_digit(
+                &mut rng,
+                digit,
+                &mut images[i * DIGIT_FEATURES..(i + 1) * DIGIT_FEATURES],
+            );
+            labels.push(digit);
+        }
+        // Shuffle samples so minibatches are label-mixed.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut shuffled = vec![0.0f32; images.len()];
+        let mut shuffled_labels = vec![0usize; n];
+        for (dst, &src) in order.iter().enumerate() {
+            shuffled[dst * DIGIT_FEATURES..(dst + 1) * DIGIT_FEATURES]
+                .copy_from_slice(&images[src * DIGIT_FEATURES..(src + 1) * DIGIT_FEATURES]);
+            shuffled_labels[dst] = labels[src];
+        }
+        DigitDataset {
+            images: shuffled,
+            labels: shuffled_labels,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// All images as one `[n, 784]` tensor (for evaluation).
+    pub fn images_flat(&self) -> Tensor {
+        Tensor::from_vec(self.images.clone(), &[self.len(), DIGIT_FEATURES])
+    }
+
+    /// All images as one `[n, 1, 28, 28]` tensor (for conv nets).
+    pub fn images_nchw(&self) -> Tensor {
+        Tensor::from_vec(self.images.clone(), &[self.len(), 1, DIGIT_SIDE, DIGIT_SIDE])
+    }
+
+    /// A contiguous minibatch `[rows, 784]` starting at sample
+    /// `start % len` (wraps around).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `rows == 0`.
+    pub fn minibatch(&self, start: usize, rows: usize) -> (Tensor, Vec<usize>) {
+        assert!(!self.is_empty(), "minibatch from an empty dataset");
+        assert!(rows > 0, "minibatch needs at least one row");
+        let n = self.len();
+        let mut xs = Vec::with_capacity(rows * DIGIT_FEATURES);
+        let mut ys = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let i = (start + r) % n;
+            xs.extend_from_slice(&self.images[i * DIGIT_FEATURES..(i + 1) * DIGIT_FEATURES]);
+            ys.push(self.labels[i]);
+        }
+        (Tensor::from_vec(xs, &[rows, DIGIT_FEATURES]), ys)
+    }
+
+    /// Like [`DigitDataset::minibatch`] but shaped `[rows, 1, 28, 28]`.
+    pub fn minibatch_nchw(&self, start: usize, rows: usize) -> (Tensor, Vec<usize>) {
+        let (x, y) = self.minibatch(start, rows);
+        (x.reshape(&[rows, 1, DIGIT_SIDE, DIGIT_SIDE]), y)
+    }
+
+    /// Splits the dataset into `parts` near-equal shards — the data-
+    /// parallel partition `D_i` of Sec. II-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts == 0`.
+    pub fn shards(&self, parts: usize) -> Vec<DigitDataset> {
+        assert!(parts > 0, "at least one shard required");
+        let n = self.len();
+        let mut out = Vec::with_capacity(parts);
+        for p in 0..parts {
+            let lo = p * n / parts;
+            let hi = (p + 1) * n / parts;
+            out.push(DigitDataset {
+                images: self.images[lo * DIGIT_FEATURES..hi * DIGIT_FEATURES].to_vec(),
+                labels: self.labels[lo..hi].to_vec(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_balanced() {
+        let a = DigitDataset::generate(200, 1);
+        let b = DigitDataset::generate(200, 1);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.images, b.images);
+        let mut counts = [0usize; 10];
+        for &l in a.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DigitDataset::generate(50, 1);
+        let b = DigitDataset::generate(50, 2);
+        assert_ne!(a.images, b.images);
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        let d = DigitDataset::generate(100, 3);
+        assert!(d.images.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        // Images must not be blank.
+        let (x, _) = d.minibatch(0, 10);
+        assert!(x.sum() > 10.0);
+    }
+
+    #[test]
+    fn minibatch_wraps_around() {
+        let d = DigitDataset::generate(10, 4);
+        let (_, y) = d.minibatch(8, 4);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[2], d.labels()[0]);
+        assert_eq!(y[3], d.labels()[1]);
+    }
+
+    #[test]
+    fn shards_partition_everything() {
+        let d = DigitDataset::generate(103, 5);
+        let shards = d.shards(4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 103);
+        // Shard sizes differ by at most one.
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn classes_are_visually_distinct() {
+        // Mean images of different digits must differ substantially;
+        // otherwise the task would be unlearnable.
+        let d = DigitDataset::generate(400, 6);
+        let mut means = vec![vec![0.0f32; DIGIT_FEATURES]; 10];
+        let mut counts = [0usize; 10];
+        for i in 0..d.len() {
+            let l = d.labels()[i];
+            counts[l] += 1;
+            for (m, &v) in means[l]
+                .iter_mut()
+                .zip(&d.images[i * DIGIT_FEATURES..(i + 1) * DIGIT_FEATURES])
+            {
+                *m += v;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f32>().sqrt()
+        };
+        assert!(dist(&means[0], &means[1]) > 0.5);
+        assert!(dist(&means[3], &means[8]) > 0.3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Softmax cross-entropy loss.
+
+use inceptionn_tensor::Tensor;
+
+/// Computes mean softmax cross-entropy over a batch and the gradient
+/// w.r.t. the logits.
+///
+/// `logits` is `[batch, classes]`; `labels[i]` is the ground-truth class
+/// of row `i`. Returns `(mean_loss, grad_logits)` where `grad_logits`
+/// already includes the `1/batch` factor.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is
+/// out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), batch, "one label per batch row required");
+    let x = logits.as_slice();
+    let mut grad = vec![0.0f32; batch * classes];
+    let mut loss = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range (classes {classes})");
+        let row = &x[r * classes..(r + 1) * classes];
+        // Numerically stable softmax.
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| f64::from(v - m).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        let log_z = z.ln();
+        loss += log_z - f64::from(row[label] - m);
+        for c in 0..classes {
+            let p = (exps[c] / z) as f32;
+            grad[r * classes + c] = (p - if c == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    (
+        (loss / batch as f64) as f32,
+        Tensor::from_vec(grad, &[batch, classes]),
+    )
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), batch, "one label per batch row required");
+    if batch == 0 {
+        return 0.0;
+    }
+    let x = logits.as_slice();
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &x[r * classes..(r + 1) * classes];
+        let mut best = 0usize;
+        for (c, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = c;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_classes_loss() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - 10f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero (softmax property).
+        for r in 0..4 {
+            let s: f32 = grad.as_slice()[r * 10..(r + 1) * 10].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_small_loss() {
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.set(&[0, 0], 20.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (wrong_loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(wrong_loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 1.3, 0.0, 0.7, -1.1], &[2, 3]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut p = logits.clone();
+            p.as_mut_slice()[i] += eps;
+            let (lp, _) = softmax_cross_entropy(&p, &labels);
+            let mut m = logits.clone();
+            m.as_mut_slice()[i] -= eps;
+            let (lm, _) = softmax_cross_entropy(&m, &labels);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad.as_slice()[i]).abs() < 1e-3,
+                "logit {i}: fd {fd} vs {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4, 0.0], &[1, 3]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 0.0, // argmax 1
+                5.0, 1.0, 0.0, // argmax 0
+                0.0, 0.0, 9.0, // argmax 2
+            ],
+            &[3, 3],
+        );
+        assert_eq!(accuracy(&logits, &[1, 0, 2]), 1.0);
+        assert!((accuracy(&logits, &[1, 1, 1]) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros(&[1, 3]), &[3]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Classification metrics: top-k accuracy and confusion matrices.
+//!
+//! The paper reports Top-1 and Top-5 accuracy (Fig. 4 plots both);
+//! [`top_k_accuracy`] provides the general form and
+//! [`ConfusionMatrix`] the per-class breakdown used when debugging why
+//! a lossy scheme hurts.
+
+use inceptionn_tensor::Tensor;
+
+/// Fraction of rows whose label is among the `k` highest logits.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `logits` is not `[batch, classes]`, or
+/// `labels.len()` differs from the batch size.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_dnn::metrics::top_k_accuracy;
+/// use inceptionn_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![0.1, 0.9, 0.5], &[1, 3]);
+/// assert_eq!(top_k_accuracy(&logits, &[2], 1), 0.0); // argmax is 1
+/// assert_eq!(top_k_accuracy(&logits, &[2], 2), 1.0); // class 2 is 2nd
+/// ```
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(logits.shape().rank(), 2, "logits must be [batch, classes]");
+    let (batch, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), batch, "one label per row required");
+    if batch == 0 {
+        return 0.0;
+    }
+    let k = k.min(classes);
+    let x = logits.as_slice();
+    let mut hits = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &x[r * classes..(r + 1) * classes];
+        let target = row[label];
+        // The label is in the top k iff fewer than k entries beat it
+        // (ties resolved in the label's favor, matching argmax-first).
+        let beaten_by = row.iter().filter(|&&v| v > target).count();
+        if beaten_by < k {
+            hits += 1;
+        }
+    }
+    hits as f32 / batch as f32
+}
+
+/// A `classes × classes` confusion matrix (rows = truth, columns =
+/// prediction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "at least one class required");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or out-of-range labels.
+    pub fn record(&mut self, logits: &Tensor, labels: &[usize]) {
+        assert_eq!(logits.dims()[1], self.classes, "class count mismatch");
+        assert_eq!(logits.dims()[0], labels.len(), "one label per row");
+        let x = logits.as_slice();
+        for (r, &label) in labels.iter().enumerate() {
+            assert!(label < self.classes, "label {label} out of range");
+            let row = &x[r * self.classes..(r + 1) * self.classes];
+            let mut best = 0usize;
+            for (c, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = c;
+                }
+            }
+            self.counts[label * self.classes + best] += 1;
+        }
+    }
+
+    /// The count at (truth, prediction).
+    pub fn count(&self, truth: usize, prediction: usize) -> u64 {
+        self.counts[truth * self.classes + prediction]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Recall of one class (diagonal / row sum), 0 when unseen.
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: u64 = (0..self.classes).map(|c| self.count(class, c)).sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / row as f64
+        }
+    }
+
+    /// The most confused (truth, prediction) off-diagonal pair, if any
+    /// misclassification was recorded.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for t in 0..self.classes {
+            for p in 0..self.classes {
+                if t == p {
+                    continue;
+                }
+                let n = self.count(t, p);
+                if n > 0 && best.is_none_or(|(_, _, m)| n > m) {
+                    best = Some((t, p, n));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits(rows: &[&[f32]]) -> Tensor {
+        let classes = rows[0].len();
+        let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        Tensor::from_vec(data, &[rows.len(), classes])
+    }
+
+    #[test]
+    fn top_k_boundaries() {
+        let l = logits(&[&[0.1, 0.5, 0.9, 0.3]]);
+        assert_eq!(top_k_accuracy(&l, &[2], 1), 1.0);
+        assert_eq!(top_k_accuracy(&l, &[1], 1), 0.0);
+        assert_eq!(top_k_accuracy(&l, &[1], 2), 1.0);
+        assert_eq!(top_k_accuracy(&l, &[0], 3), 0.0);
+        assert_eq!(top_k_accuracy(&l, &[0], 4), 1.0);
+        // k larger than the class count saturates.
+        assert_eq!(top_k_accuracy(&l, &[0], 99), 1.0);
+    }
+
+    #[test]
+    fn top_one_matches_argmax_accuracy() {
+        let l = logits(&[&[1.0, 2.0], &[3.0, 0.0], &[0.5, 0.6]]);
+        let labels = [1usize, 0, 0];
+        let top1 = top_k_accuracy(&l, &labels, 1);
+        let argmax = crate::loss::accuracy(&l, &labels);
+        assert_eq!(top1, argmax);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        let l = logits(&[
+            &[9.0, 0.0, 0.0], // pred 0
+            &[0.0, 9.0, 0.0], // pred 1
+            &[0.0, 9.0, 0.0], // pred 1
+        ]);
+        cm.record(&l, &[0, 1, 2]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(2, 1), 1);
+        assert_eq!(cm.total(), 3);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.worst_confusion(), Some((2, 1, 1)));
+    }
+
+    #[test]
+    fn empty_matrix_is_well_behaved() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.worst_confusion(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_label() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(&logits(&[&[1.0, 0.0]]), &[2]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Normalization layers: AlexNet's Local Response Normalization.
+//!
+//! LRN is part of AlexNet's published architecture (the paper's flagship
+//! benchmark), so the structural proxy [`crate::models::mini_alexnet`]
+//! carries it: `b[c] = a[c] / (k + α/n · Σ_{c'∈window} a[c']²)^β`,
+//! normalizing each activation by its neighbors across channels.
+
+use inceptionn_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Local Response Normalization across channels (NCHW).
+pub struct LocalResponseNorm {
+    /// Window size `n` (channels averaged, centered).
+    size: usize,
+    /// Offset `k`.
+    k: f32,
+    /// Scale `α`.
+    alpha: f32,
+    /// Exponent `β`.
+    beta: f32,
+    cached_input: Tensor,
+    cached_denom: Tensor,
+}
+
+impl LocalResponseNorm {
+    /// Creates an LRN layer with AlexNet's published constants
+    /// (`n = 5, k = 2, α = 1e-4, β = 0.75`).
+    pub fn alexnet() -> Self {
+        LocalResponseNorm::new(5, 2.0, 1e-4, 0.75)
+    }
+
+    /// Creates an LRN layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or even, or if `beta` is not positive.
+    pub fn new(size: usize, k: f32, alpha: f32, beta: f32) -> Self {
+        assert!(size > 0 && size % 2 == 1, "LRN window must be odd");
+        assert!(beta > 0.0, "beta must be positive");
+        LocalResponseNorm {
+            size,
+            k,
+            alpha,
+            beta,
+            cached_input: Tensor::default(),
+            cached_denom: Tensor::default(),
+        }
+    }
+
+    /// Denominator tensor `k + α/n · Σ a²` per element.
+    fn denominator(&self, input: &Tensor) -> Tensor {
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let half = self.size / 2;
+        let scale = self.alpha / self.size as f32;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; x.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let lo = ch.saturating_sub(half);
+                let hi = (ch + half).min(c - 1);
+                for p in 0..h * w {
+                    let mut acc = 0.0f32;
+                    for cc in lo..=hi {
+                        let v = x[(img * c + cc) * h * w + p];
+                        acc += v * v;
+                    }
+                    out[(img * c + ch) * h * w + p] = self.k + scale * acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, dims)
+    }
+}
+
+impl Layer for LocalResponseNorm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "LRN input must be NCHW");
+        self.cached_input = input.clone();
+        let denom = self.denominator(input);
+        let out = input.zip_map(&denom, |a, d| a * d.powf(-self.beta));
+        self.cached_denom = denom;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // d b[c] / d a[c'] = δ(c,c')·D^-β − 2β·α/n·a[c]·a[c']·D[c]^(-β-1)
+        // (for c' inside c's window). Accumulate both terms.
+        let input = &self.cached_input;
+        let denom = &self.cached_denom;
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let half = self.size / 2;
+        let scale = self.alpha / self.size as f32;
+        let x = input.as_slice();
+        let d = denom.as_slice();
+        let g = grad_out.as_slice();
+        let mut out = vec![0.0f32; x.len()];
+        for img in 0..n {
+            for ch in 0..c {
+                let lo = ch.saturating_sub(half);
+                let hi = (ch + half).min(c - 1);
+                for p in 0..h * w {
+                    let idx = (img * c + ch) * h * w + p;
+                    // Direct term.
+                    out[idx] += g[idx] * d[idx].powf(-self.beta);
+                    // Cross terms: ch participates in the window of every
+                    // cc in [lo, hi]; b[cc] depends on a[ch].
+                    for cc in lo..=hi {
+                        let j = (img * c + cc) * h * w + p;
+                        out[idx] += g[j]
+                            * (-2.0 * self.beta * scale * x[j] * x[idx]
+                                * d[j].powf(-self.beta - 1.0));
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "lrn"
+    }
+}
+
+/// 2-D average pooling (NCHW), the pooling flavor several classic CNNs
+/// mix with max pooling.
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    input_shape: Vec<usize>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "pool geometry must be positive");
+        AvgPool2d {
+            window,
+            stride,
+            input_shape: Vec::new(),
+        }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "input {h}x{w} smaller than window {}",
+            self.window
+        );
+        (
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        )
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 4, "avg pool input must be NCHW");
+        self.input_shape = input.dims().to_vec();
+        let (n, c, h, w) = (
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+            self.input_shape[3],
+        );
+        let (oh, ow) = self.output_hw(h, w);
+        let x = input.as_slice();
+        let inv = 1.0 / (self.window * self.window) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                acc += x[base
+                                    + (oy * self.stride + ky) * w
+                                    + ox * self.stride
+                                    + kx];
+                            }
+                        }
+                        out[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = (
+            self.input_shape[0],
+            self.input_shape[1],
+            self.input_shape[2],
+            self.input_shape[3],
+        );
+        let (oh, ow) = self.output_hw(h, w);
+        let g = grad_out.as_slice();
+        let inv = 1.0 / (self.window * self.window) as f32;
+        let mut out = vec![0.0f32; n * c * h * w];
+        for img in 0..n {
+            for ch in 0..c {
+                let base = (img * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = g[((img * c + ch) * oh + oy) * ow + ox] * inv;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                out[base
+                                    + (oy * self.stride + ky) * w
+                                    + ox * self.stride
+                                    + kx] += gv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, h, w])
+    }
+
+    fn name(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_tensor::Tensor;
+
+    fn finite_diff_input(layer: &mut dyn Layer, input: &Tensor, coords: &[usize]) {
+        let eps = 1e-3f32;
+        let out = layer.forward(input, true);
+        let gin = layer.backward(&Tensor::ones(out.dims()));
+        for &i in coords {
+            let mut p = input.clone();
+            p.as_mut_slice()[i] += eps;
+            let op = layer.forward(&p, true).sum();
+            let mut m = input.clone();
+            m.as_mut_slice()[i] -= eps;
+            let om = layer.forward(&m, true).sum();
+            let fd = (op - om) / (2.0 * eps);
+            let an = gin.as_slice()[i];
+            assert!((fd - an).abs() < 2e-2, "input[{i}]: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn lrn_normalizes_against_neighbors() {
+        let mut lrn = LocalResponseNorm::new(3, 1.0, 3.0, 1.0);
+        // 1 image, 3 channels, 1x1: a = [1, 2, 1].
+        let x = Tensor::from_vec(vec![1.0, 2.0, 1.0], &[1, 3, 1, 1]);
+        let y = lrn.forward(&x, true);
+        // denom[1] = 1 + (3/3)·(1+4+1) = 7 -> b[1] = 2/7.
+        assert!((y.at(&[0, 1, 0, 0]) - 2.0 / 7.0).abs() < 1e-6);
+        // denom[0] = 1 + (1+4) = 6 -> b[0] = 1/6.
+        assert!((y.at(&[0, 0, 0, 0]) - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lrn_backward_matches_finite_differences() {
+        let mut lrn = LocalResponseNorm::alexnet();
+        let x = Tensor::from_vec(
+            (0..2 * 7 * 2 * 2).map(|i| ((i as f32) * 0.37).sin()).collect(),
+            &[2, 7, 2, 2],
+        );
+        finite_diff_input(&mut lrn, &x, &[0, 5, 13, 27, 44, 55]);
+    }
+
+    #[test]
+    fn lrn_identity_when_alpha_zero() {
+        let mut lrn = LocalResponseNorm::new(5, 1.0, 0.0, 0.75);
+        let x = Tensor::from_vec(vec![0.5; 6 * 2 * 2], &[1, 6, 2, 2]);
+        let y = lrn.forward(&x, true);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn avg_pool_known_answer() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
+        let y = p.forward(&x, true);
+        assert_eq!(y.as_slice(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_spreads_gradient() {
+        let mut p = AvgPool2d::new(2, 2);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1, 1]));
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn avg_pool_backward_matches_finite_differences() {
+        let mut p = AvgPool2d::new(2, 1);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32 * 0.3).collect(), &[1, 1, 3, 3]);
+        finite_diff_input(&mut p, &x, &[0, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn lrn_rejects_even_window() {
+        LocalResponseNorm::new(4, 1.0, 1.0, 0.75);
+    }
+}

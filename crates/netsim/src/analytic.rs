@@ -1,0 +1,166 @@
+//! Closed-form collective cost models (Sec. VIII-D).
+//!
+//! The paper adapts the classic α-β-γ communication models of Thakur et
+//! al. to explain Fig. 15: for `p` workers, model size `n` bytes, link
+//! latency `α`, per-byte transfer time `β`, and per-byte reduction time
+//! `γ`,
+//!
+//! * worker-aggregator (reduction tree):
+//!   `T = (1 + log₂p)·α + (p + log₂p)·n·β + (p−1)·n·γ`
+//! * INCEPTIONN ring:
+//!   `T = 2(p−1)·α + 2·((p−1)/p)·n·β + ((p−1)/p)·n·γ`
+//!
+//! The `p`-proportional β term makes WA linear in cluster size while the
+//! ring's `(p−1)/p` factor saturates — the scalability argument of
+//! Fig. 15. [`flat_wa_time`] additionally models the paper's *actual*
+//! testbed (a single flat aggregator, no tree), which is what the
+//! packet-level simulator in [`crate::collective`] reproduces; the two
+//! flavors are cross-validated against the simulator in this crate's
+//! tests.
+
+use serde::{Deserialize, Serialize};
+
+/// The α-β-γ parameters (seconds, seconds/byte, seconds/byte).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-message network latency, seconds.
+    pub alpha: f64,
+    /// Per-byte transfer time, seconds (inverse effective bandwidth).
+    pub beta: f64,
+    /// Per-byte sum-reduction time, seconds.
+    pub gamma: f64,
+}
+
+impl CostModel {
+    /// A model matching the simulated 10 GbE fabric: effective β
+    /// includes the per-packet header overhead on a 1448-byte MSS.
+    pub fn ten_gbe(gamma: f64) -> Self {
+        let wire_per_payload = (1448.0 + 78.0) / 1448.0;
+        CostModel {
+            alpha: 3e-6,
+            beta: 8.0 * wire_per_payload / 10_000_000_000.0,
+            gamma,
+        }
+    }
+}
+
+/// Paper Eq. (Sec. VIII-D): gradient-exchange time of the hierarchical
+/// worker-aggregator approach for `p` workers and `n` bytes.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn wa_time(p: usize, n_bytes: u64, m: &CostModel) -> f64 {
+    assert!(p > 0, "at least one worker required");
+    let p_f = p as f64;
+    let n = n_bytes as f64;
+    let log_p = p_f.log2();
+    (1.0 + log_p) * m.alpha + (p_f + log_p) * n * m.beta + (p_f - 1.0) * n * m.gamma
+}
+
+/// Paper Eq. (Sec. VIII-D): gradient-exchange time of the INCEPTIONN
+/// ring for `p` workers and `n` bytes.
+///
+/// # Panics
+///
+/// Panics if `p < 2`.
+pub fn ring_time(p: usize, n_bytes: u64, m: &CostModel) -> f64 {
+    assert!(p >= 2, "a ring needs at least two workers");
+    let p_f = p as f64;
+    let n = n_bytes as f64;
+    let frac = (p_f - 1.0) / p_f;
+    2.0 * (p_f - 1.0) * m.alpha + 2.0 * frac * n * m.beta + frac * n * m.gamma
+}
+
+/// Exchange time of the *flat* single-aggregator layout the paper's
+/// testbed (and our packet simulator) actually uses: a serialized
+/// `p`-stream gather, a `p`-stream reduction at one node, and a
+/// serialized `p`-stream weight scatter.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+pub fn flat_wa_time(p: usize, n_bytes: u64, m: &CostModel) -> f64 {
+    assert!(p > 0, "at least one worker required");
+    let p_f = p as f64;
+    let n = n_bytes as f64;
+    2.0 * m.alpha + 2.0 * p_f * n * m.beta + p_f * n * m.gamma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::{ring_exchange, worker_aggregator_exchange};
+    use crate::sim::NetworkConfig;
+
+    const GAMMA: f64 = 1e-10;
+
+    #[test]
+    fn wa_is_linear_in_p_ring_saturates() {
+        let m = CostModel::ten_gbe(GAMMA);
+        let n = 100_000_000;
+        let wa4 = wa_time(4, n, &m);
+        let wa8 = wa_time(8, n, &m);
+        assert!(wa8 / wa4 > 1.6, "WA growth {:.2}", wa8 / wa4);
+        let r4 = ring_time(4, n, &m);
+        let r8 = ring_time(8, n, &m);
+        assert!(r8 / r4 < 1.2, "ring growth {:.2}", r8 / r4);
+        // And the ring wins outright.
+        assert!(r8 < wa8 / 4.0);
+    }
+
+    #[test]
+    fn latency_term_dominates_for_tiny_messages() {
+        let m = CostModel::ten_gbe(GAMMA);
+        // 1-byte exchange: the ring pays 2(p-1) hops of latency and loses.
+        assert!(ring_time(16, 1, &m) > wa_time(16, 1, &m));
+    }
+
+    #[test]
+    fn flat_wa_matches_simulator_within_ten_percent() {
+        let gamma = 5e-10;
+        let m = CostModel::ten_gbe(gamma);
+        for (workers, n) in [(4usize, 50_000_000u64), (8, 20_000_000), (2, 80_000_000)] {
+            let cfg = NetworkConfig::ten_gbe(workers + 1);
+            let sim = worker_aggregator_exchange(&cfg, workers, n, gamma, None);
+            let model = flat_wa_time(workers, n, &m);
+            let rel = (sim.total_s() - model).abs() / model;
+            assert!(
+                rel < 0.10,
+                "p={workers} n={n}: sim {:.4} vs model {model:.4} ({rel:.3})",
+                sim.total_s()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_model_matches_simulator_within_ten_percent() {
+        let gamma = 5e-10;
+        let m = CostModel::ten_gbe(gamma);
+        for (p, n) in [(4usize, 50_000_000u64), (8, 20_000_000), (6, 30_000_000)] {
+            let cfg = NetworkConfig::ten_gbe(p);
+            let sim = ring_exchange(&cfg, n, gamma, None, 0.0);
+            let model = ring_time(p, n, &m);
+            let rel = (sim.total_s() - model).abs() / model;
+            assert!(
+                rel < 0.10,
+                "p={p} n={n}: sim {:.4} vs model {model:.4} ({rel:.3})",
+                sim.total_s()
+            );
+        }
+    }
+
+    #[test]
+    fn tree_wa_is_cheaper_than_flat_wa() {
+        // The hierarchical tree's (p + log p) beats the flat 2p for p > 2.
+        let m = CostModel::ten_gbe(GAMMA);
+        let n = 100_000_000;
+        assert!(wa_time(8, n, &m) < flat_wa_time(8, n, &m));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn ring_rejects_singleton() {
+        ring_time(1, 10, &CostModel::ten_gbe(GAMMA));
+    }
+}

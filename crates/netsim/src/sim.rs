@@ -1,0 +1,515 @@
+//! The discrete-event core: a star of full-duplex links around one
+//! store-and-forward switch.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::transfer::Transfer;
+
+/// Simulated time in nanoseconds since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The time as nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Converts to a std [`Duration`].
+    pub fn to_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Physical parameters of the simulated cluster network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of nodes attached to the switch.
+    pub nodes: usize,
+    /// Link bandwidth in bits per second (each direction of each link).
+    pub link_bps: u64,
+    /// Propagation + PHY latency per hop, nanoseconds.
+    pub hop_latency_ns: u64,
+    /// Switch forwarding latency, nanoseconds.
+    pub switch_latency_ns: u64,
+    /// Maximum TCP payload per packet (MSS), bytes.
+    pub mtu_payload: u64,
+    /// Per-packet wire overhead: Ethernet framing (preamble, header,
+    /// FCS, IFG) plus IP and TCP headers, bytes.
+    pub header_bytes: u64,
+    /// Per-packet host (driver + stack) cost at the sender, nanoseconds.
+    /// A flow cannot inject packets faster than one per this interval —
+    /// the reason compressed flows stop gaining once packets are tiny.
+    pub host_ns_per_packet: u64,
+}
+
+impl NetworkConfig {
+    /// The paper's testbed fabric: 10 GbE links through one switch,
+    /// standard 1500-byte MTU.
+    pub fn ten_gbe(nodes: usize) -> Self {
+        NetworkConfig {
+            nodes,
+            link_bps: 10_000_000_000,
+            hop_latency_ns: 1_000,
+            switch_latency_ns: 1_000,
+            mtu_payload: 1448,
+            header_bytes: 78,
+            host_ns_per_packet: 150,
+        }
+    }
+
+    /// Serialization time of `bytes` on a link, nanoseconds (rounded up).
+    pub fn serialize_ns(&self, bytes: u64) -> u64 {
+        (bytes * 8 * 1_000_000_000).div_ceil(self.link_bps)
+    }
+}
+
+/// Completion report for one simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferResult {
+    /// Index of the transfer in submission order.
+    pub id: usize,
+    /// When the last packet fully arrived at the destination.
+    pub finish: SimTime,
+    /// Total bytes that crossed the wire (payloads + headers, both hops
+    /// counted once).
+    pub wire_bytes: u64,
+}
+
+/// The set of completion reports from one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    results: Vec<TransferResult>,
+}
+
+impl RunReport {
+    /// Per-transfer results in submission order.
+    pub fn results(&self) -> &[TransferResult] {
+        &self.results
+    }
+
+    /// Completion time of the slowest transfer ([`SimTime::ZERO`] when
+    /// no transfers ran).
+    pub fn makespan(&self) -> SimTime {
+        self.results
+            .iter()
+            .map(|r| r.finish)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total wire bytes across all transfers.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.results.iter().map(|r| r.wire_bytes).sum()
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    transfer: usize,
+    dst: usize,
+    wire_bytes: u64,
+    /// Extra latency added once (compression + decompression pipelines).
+    extra_latency_ns: u64,
+    /// Marks the final packet of its transfer.
+    last: bool,
+}
+
+/// A directed link modeled as a FIFO server.
+#[derive(Debug, Default)]
+struct LinkState {
+    queue: VecDeque<Packet>,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkId {
+    Up(usize),
+    Down(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    /// A flow injects its next packet onto its uplink queue.
+    Inject { transfer: usize },
+    /// A link finished serializing its head packet.
+    LinkFree { link: LinkId },
+    /// A packet fully arrived at the switch.
+    AtSwitch { packet: Packet },
+    /// A packet fully arrived at its destination node.
+    AtDst { packet: Packet },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Progress of one transfer during the run.
+#[derive(Debug, Clone, Copy)]
+struct FlowState {
+    transfer: Transfer,
+    next_packet: u64,
+    packets: u64,
+    finish: Option<SimTime>,
+    wire_bytes: u64,
+}
+
+/// A packet-level simulation of concurrent transfers through one switch.
+///
+/// Submission order is deterministic: ties in event time resolve by
+/// submission sequence, so repeated runs produce identical results.
+pub struct StarNetworkSim {
+    cfg: NetworkConfig,
+    flows: Vec<FlowState>,
+    uplinks: Vec<LinkState>,
+    downlinks: Vec<LinkState>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl StarNetworkSim {
+    /// Creates an empty simulation over `cfg.nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has no nodes or zero bandwidth.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        assert!(cfg.nodes > 0, "network needs at least one node");
+        assert!(cfg.link_bps > 0, "link bandwidth must be positive");
+        assert!(cfg.mtu_payload > 0, "mtu payload must be positive");
+        StarNetworkSim {
+            cfg,
+            flows: Vec::new(),
+            uplinks: (0..cfg.nodes).map(|_| LinkState::default()).collect(),
+            downlinks: (0..cfg.nodes).map(|_| LinkState::default()).collect(),
+            events: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Submits a transfer; returns its id (submission index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_transfer(&mut self, t: Transfer) -> usize {
+        assert!(
+            t.src < self.cfg.nodes && t.dst < self.cfg.nodes,
+            "endpoint out of range ({} -> {}, {} nodes)",
+            t.src,
+            t.dst,
+            self.cfg.nodes
+        );
+        let id = self.flows.len();
+        self.flows.push(FlowState {
+            transfer: t,
+            next_packet: 0,
+            packets: t.packet_count(self.cfg.mtu_payload),
+            finish: None,
+            wire_bytes: 0,
+        });
+        id
+    }
+
+    fn push_event(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn start_link(&mut self, link: LinkId, now: u64) {
+        let state = match link {
+            LinkId::Up(n) => &mut self.uplinks[n],
+            LinkId::Down(n) => &mut self.downlinks[n],
+        };
+        if state.busy {
+            return;
+        }
+        let Some(&pkt) = state.queue.front() else {
+            return;
+        };
+        state.busy = true;
+        let ser = self.cfg.serialize_ns(pkt.wire_bytes + self.cfg.header_bytes);
+        self.push_event(now + ser, EventKind::LinkFree { link });
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(&mut self) -> RunReport {
+        // Seed injection events.
+        for id in 0..self.flows.len() {
+            let flow = &self.flows[id];
+            if flow.packets == 0 {
+                self.flows[id].finish = Some(SimTime(flow.transfer.start_ns));
+            } else {
+                self.push_event(flow.transfer.start_ns, EventKind::Inject { transfer: id });
+            }
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            let now = ev.time;
+            match ev.kind {
+                EventKind::Inject { transfer } => {
+                    let cfg = self.cfg;
+                    let flow = &mut self.flows[transfer];
+                    let i = flow.next_packet;
+                    flow.next_packet += 1;
+                    let wire = flow.transfer.wire_payload(cfg.mtu_payload, i);
+                    flow.wire_bytes += wire + cfg.header_bytes;
+                    let pkt = Packet {
+                        transfer,
+                        dst: flow.transfer.dst,
+                        wire_bytes: wire,
+                        extra_latency_ns: flow
+                            .transfer
+                            .compression
+                            .map_or(0, |c| c.engine_latency_ns),
+                        last: i + 1 == flow.packets,
+                    };
+                    let src = flow.transfer.src;
+                    let more = flow.next_packet < flow.packets;
+                    self.uplinks[src].queue.push_back(pkt);
+                    self.start_link(LinkId::Up(src), now);
+                    if more {
+                        // The host can prepare the next packet one
+                        // host-interval later; the uplink FIFO provides
+                        // the back-pressure beyond that.
+                        self.push_event(
+                            now + cfg.host_ns_per_packet,
+                            EventKind::Inject { transfer },
+                        );
+                    }
+                }
+                EventKind::LinkFree { link } => {
+                    let pkt = {
+                        let state = match link {
+                            LinkId::Up(n) => &mut self.uplinks[n],
+                            LinkId::Down(n) => &mut self.downlinks[n],
+                        };
+                        state.busy = false;
+                        state.queue.pop_front().expect("busy link has a head packet")
+                    };
+                    match link {
+                        LinkId::Up(_) => {
+                            self.push_event(
+                                now + self.cfg.hop_latency_ns + self.cfg.switch_latency_ns,
+                                EventKind::AtSwitch { packet: pkt },
+                            );
+                        }
+                        LinkId::Down(_) => {
+                            self.push_event(
+                                now + self.cfg.hop_latency_ns + pkt.extra_latency_ns,
+                                EventKind::AtDst { packet: pkt },
+                            );
+                        }
+                    }
+                    self.start_link(link, now);
+                }
+                EventKind::AtSwitch { packet } => {
+                    let dst = packet.dst;
+                    self.downlinks[dst].queue.push_back(packet);
+                    self.start_link(LinkId::Down(dst), now);
+                }
+                EventKind::AtDst { packet } => {
+                    if packet.last {
+                        self.flows[packet.transfer].finish = Some(SimTime(now));
+                    }
+                }
+            }
+        }
+        RunReport {
+            results: self
+                .flows
+                .iter()
+                .enumerate()
+                .map(|(id, f)| TransferResult {
+                    id,
+                    finish: f.finish.expect("flow completed"),
+                    wire_bytes: f.wire_bytes,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::CompressionSpec;
+
+    fn cfg(nodes: usize) -> NetworkConfig {
+        NetworkConfig::ten_gbe(nodes)
+    }
+
+    /// Ideal line-rate time for `bytes` (payload-only accounting).
+    fn ideal_secs(c: &NetworkConfig, bytes: u64) -> f64 {
+        let packets = bytes.div_ceil(c.mtu_payload);
+        ((bytes + packets * c.header_bytes) * 8) as f64 / c.link_bps as f64
+    }
+
+    #[test]
+    fn single_transfer_close_to_line_rate() {
+        let c = cfg(2);
+        let mut sim = StarNetworkSim::new(c);
+        let bytes = 10_000_000u64;
+        sim.add_transfer(Transfer::new(0, 1, bytes));
+        let t = sim.run().makespan().as_secs_f64();
+        let ideal = ideal_secs(&c, bytes);
+        assert!(t >= ideal, "faster than the wire: {t} < {ideal}");
+        assert!(t < ideal * 1.05, "too slow: {t} vs {ideal}");
+    }
+
+    #[test]
+    fn empty_transfer_finishes_at_start() {
+        let mut sim = StarNetworkSim::new(cfg(2));
+        sim.add_transfer(Transfer::new(0, 1, 0).starting_at(42));
+        let rep = sim.run();
+        assert_eq!(rep.results()[0].finish, SimTime(42));
+    }
+
+    #[test]
+    fn incast_shares_the_downlink() {
+        // 4 senders to one receiver: the receiver downlink serializes
+        // everything, so the makespan is ~4x a single flow.
+        let c = cfg(5);
+        let bytes = 5_000_000u64;
+        let mut sim = StarNetworkSim::new(c);
+        for s in 1..5 {
+            sim.add_transfer(Transfer::new(s, 0, bytes));
+        }
+        let t = sim.run().makespan().as_secs_f64();
+        let ideal = 4.0 * ideal_secs(&c, bytes);
+        assert!(t >= ideal * 0.98 && t < ideal * 1.05, "{t} vs {ideal}");
+    }
+
+    #[test]
+    fn disjoint_pairs_run_fully_parallel() {
+        let c = cfg(4);
+        let bytes = 5_000_000u64;
+        // 0->1 and 2->3 share nothing.
+        let mut sim = StarNetworkSim::new(c);
+        sim.add_transfer(Transfer::new(0, 1, bytes));
+        sim.add_transfer(Transfer::new(2, 3, bytes));
+        let t = sim.run().makespan().as_secs_f64();
+        let solo = ideal_secs(&c, bytes);
+        assert!(t < solo * 1.05, "parallel flows slowed down: {t} vs {solo}");
+    }
+
+    #[test]
+    fn ring_neighbors_run_fully_parallel() {
+        // i -> (i+1)%p uses p distinct uplinks and p distinct downlinks.
+        let c = cfg(4);
+        let bytes = 2_000_000u64;
+        let mut sim = StarNetworkSim::new(c);
+        for i in 0..4 {
+            sim.add_transfer(Transfer::new(i, (i + 1) % 4, bytes));
+        }
+        let t = sim.run().makespan().as_secs_f64();
+        let solo = ideal_secs(&c, bytes);
+        assert!(t < solo * 1.05, "{t} vs {solo}");
+    }
+
+    #[test]
+    fn compression_cuts_time_but_not_proportionally() {
+        let c = cfg(2);
+        let bytes = 20_000_000u64;
+        let mut plain = StarNetworkSim::new(c);
+        plain.add_transfer(Transfer::new(0, 1, bytes));
+        let t_plain = plain.run().makespan().as_secs_f64();
+
+        let mut comp = StarNetworkSim::new(c);
+        comp.add_transfer(
+            Transfer::new(0, 1, bytes).compressed(CompressionSpec::new(14.9, 500)),
+        );
+        let t_comp = comp.run().makespan().as_secs_f64();
+        let gain = t_plain / t_comp;
+        // Sec. VIII-C: ratio 14.9 yields only ~5.5-11.6x time reduction
+        // because packet count and headers are unchanged.
+        assert!(gain > 5.0, "compression gained only {gain:.2}x");
+        assert!(gain < 12.0, "gain {gain:.2}x should trail the 14.9x ratio");
+    }
+
+    #[test]
+    fn staggered_start_delays_completion() {
+        let c = cfg(2);
+        let mut sim = StarNetworkSim::new(c);
+        sim.add_transfer(Transfer::new(0, 1, 1000).starting_at(1_000_000));
+        let rep = sim.run();
+        assert!(rep.makespan().as_nanos() > 1_000_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let build = || {
+            let mut sim = StarNetworkSim::new(cfg(5));
+            for s in 1..5 {
+                sim.add_transfer(Transfer::new(s, 0, 3_333_333));
+                sim.add_transfer(Transfer::new(0, s, 1_234_567));
+            }
+            sim.run()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn wire_bytes_account_headers() {
+        let c = cfg(2);
+        let mut sim = StarNetworkSim::new(c);
+        sim.add_transfer(Transfer::new(0, 1, 2 * c.mtu_payload));
+        let rep = sim.run();
+        assert_eq!(
+            rep.total_wire_bytes(),
+            2 * c.mtu_payload + 2 * c.header_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn add_transfer_validates_endpoints() {
+        let mut sim = StarNetworkSim::new(cfg(2));
+        sim.add_transfer(Transfer::new(0, 7, 10));
+    }
+}

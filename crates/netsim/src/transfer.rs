@@ -1,0 +1,145 @@
+//! Point-to-point transfer descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// How an in-NIC compression engine transforms a transfer's packets.
+///
+/// Compression shrinks each packet's *payload* by `ratio` but leaves the
+/// packet count and per-packet headers untouched (the NIC compresses
+/// payloads of already-formed TCP/IP packets, Sec. VI-A). The engine
+/// also adds a small fixed pipeline latency per packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionSpec {
+    /// Payload compression ratio (≥ 1.0).
+    pub ratio: f64,
+    /// Extra per-packet pipeline latency of the engine, nanoseconds
+    /// (compress on TX plus decompress on RX).
+    pub engine_latency_ns: u64,
+}
+
+impl CompressionSpec {
+    /// Creates a compression spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1.0` or is not finite.
+    pub fn new(ratio: f64, engine_latency_ns: u64) -> Self {
+        assert!(ratio.is_finite() && ratio >= 1.0, "ratio {ratio} must be >= 1");
+        CompressionSpec {
+            ratio,
+            engine_latency_ns,
+        }
+    }
+}
+
+/// One point-to-point transfer between nodes of the star.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Application bytes to move (pre-compression).
+    pub bytes: u64,
+    /// Injection start time, nanoseconds.
+    pub start_ns: u64,
+    /// Optional in-NIC compression applied to this flow (ToS-tagged).
+    pub compression: Option<CompressionSpec>,
+}
+
+impl Transfer {
+    /// Creates an uncompressed transfer starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`.
+    pub fn new(src: usize, dst: usize, bytes: u64) -> Self {
+        assert_ne!(src, dst, "transfer to self");
+        Transfer {
+            src,
+            dst,
+            bytes,
+            start_ns: 0,
+            compression: None,
+        }
+    }
+
+    /// Builder-style: sets the start time.
+    pub fn starting_at(mut self, start_ns: u64) -> Self {
+        self.start_ns = start_ns;
+        self
+    }
+
+    /// Builder-style: routes the flow through the NIC compression engine.
+    pub fn compressed(mut self, spec: CompressionSpec) -> Self {
+        self.compression = Some(spec);
+        self
+    }
+
+    /// Number of packets given an MTU payload size.
+    pub fn packet_count(&self, mtu_payload: u64) -> u64 {
+        if self.bytes == 0 {
+            0
+        } else {
+            self.bytes.div_ceil(mtu_payload)
+        }
+    }
+
+    /// On-wire payload bytes of packet `i` (0-based) — post-compression,
+    /// never below 1 byte for a non-empty packet.
+    pub fn wire_payload(&self, mtu_payload: u64, index: u64) -> u64 {
+        let n = self.packet_count(mtu_payload);
+        debug_assert!(index < n);
+        let raw = if index + 1 == n {
+            self.bytes - mtu_payload * (n - 1)
+        } else {
+            mtu_payload
+        };
+        match self.compression {
+            None => raw,
+            Some(c) => ((raw as f64 / c.ratio).ceil() as u64).max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packetization_counts() {
+        let t = Transfer::new(0, 1, 3000);
+        assert_eq!(t.packet_count(1448), 3);
+        assert_eq!(t.wire_payload(1448, 0), 1448);
+        assert_eq!(t.wire_payload(1448, 2), 3000 - 2 * 1448);
+        assert_eq!(Transfer::new(0, 1, 0).packet_count(1448), 0);
+        assert_eq!(Transfer::new(0, 1, 1448).packet_count(1448), 1);
+    }
+
+    #[test]
+    fn compression_shrinks_payload_not_count() {
+        let spec = CompressionSpec::new(8.0, 100);
+        let t = Transfer::new(0, 1, 14480).compressed(spec);
+        assert_eq!(t.packet_count(1448), 10);
+        assert_eq!(t.wire_payload(1448, 0), 181);
+    }
+
+    #[test]
+    fn compressed_payload_never_hits_zero() {
+        let spec = CompressionSpec::new(1000.0, 0);
+        let t = Transfer::new(0, 1, 10).compressed(spec);
+        assert_eq!(t.wire_payload(1448, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer to self")]
+    fn rejects_self_transfer() {
+        Transfer::new(3, 3, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn rejects_expanding_ratio() {
+        CompressionSpec::new(0.5, 0);
+    }
+}

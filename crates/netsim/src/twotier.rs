@@ -1,0 +1,605 @@
+//! Two-tier (rack + core) datacenter fabric and the hierarchical
+//! exchanges of Fig. 1.
+//!
+//! Sec. VII-C motivates the paper's topology assumptions: servers hang
+//! off top-of-rack switches at 1–10 Gb/s while ToR→core uplinks are
+//! *oversubscribed*. This module models that fabric as a packet-level
+//! DES (same machinery as [`crate::sim`], one more switch tier) and
+//! implements the four cluster organizations the paper sketches:
+//!
+//! * flat worker-aggregator (Fig. 2) — one aggregator behind one uplink;
+//! * hierarchical worker-aggregator (Fig. 1(a)) — per-rack aggregators
+//!   feeding a root;
+//! * flat ring (Fig. 1(b)) — Algorithm 1 across all nodes, rack-major;
+//! * hierarchical ring (Fig. 1(c)) — rings within racks, a leader ring
+//!   across racks, then in-rack propagation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::collective::ExchangeTimes;
+use crate::transfer::{CompressionSpec, Transfer};
+
+/// Parameters of the two-tier fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoTierConfig {
+    /// Number of racks.
+    pub racks: usize,
+    /// Servers per rack.
+    pub nodes_per_rack: usize,
+    /// Server↔ToR link bandwidth, bits/s.
+    pub edge_bps: u64,
+    /// ToR↔core uplink bandwidth, bits/s (oversubscription =
+    /// `nodes_per_rack · edge_bps / uplink_bps`).
+    pub uplink_bps: u64,
+    /// Propagation + PHY latency per hop, ns.
+    pub hop_latency_ns: u64,
+    /// Per-switch forwarding latency, ns.
+    pub switch_latency_ns: u64,
+    /// MSS payload bytes.
+    pub mtu_payload: u64,
+    /// Per-packet wire overhead bytes.
+    pub header_bytes: u64,
+    /// Per-packet host cost at the sender, ns.
+    pub host_ns_per_packet: u64,
+}
+
+impl TwoTierConfig {
+    /// A 10 GbE edge with the given number of racks/servers and an
+    /// `oversub`:1 oversubscribed core uplink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn ten_gbe(racks: usize, nodes_per_rack: usize, oversub: u64) -> Self {
+        assert!(racks > 0 && nodes_per_rack > 0, "fabric needs nodes");
+        assert!(oversub > 0, "oversubscription factor must be positive");
+        TwoTierConfig {
+            racks,
+            nodes_per_rack,
+            edge_bps: 10_000_000_000,
+            uplink_bps: 10_000_000_000 * nodes_per_rack as u64 / oversub,
+            hop_latency_ns: 1_000,
+            switch_latency_ns: 1_000,
+            mtu_payload: 1448,
+            header_bytes: 78,
+            host_ns_per_packet: 150,
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.racks * self.nodes_per_rack
+    }
+
+    /// Rack index of a node.
+    pub fn rack_of(&self, node: usize) -> usize {
+        node / self.nodes_per_rack
+    }
+}
+
+/// Directed links of the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Link {
+    /// Node → ToR.
+    NodeUp(usize),
+    /// ToR → node.
+    NodeDown(usize),
+    /// ToR → core.
+    CoreUp(usize),
+    /// Core → ToR.
+    CoreDown(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pkt {
+    transfer: usize,
+    wire_bytes: u64,
+    extra_latency_ns: u64,
+    last: bool,
+    /// Remaining path (index into the per-transfer route).
+    hop: usize,
+}
+
+#[derive(Debug, Default)]
+struct Server {
+    queue: VecDeque<Pkt>,
+    busy: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Inject { transfer: usize },
+    Free { link_idx: usize },
+    Arrive { pkt: Pkt },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: Ev,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, o: &Self) -> bool {
+        (self.time, self.seq) == (o.time, o.seq)
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(o.time, o.seq))
+    }
+}
+
+struct Flow {
+    transfer: Transfer,
+    route: Vec<usize>,
+    next_packet: u64,
+    packets: u64,
+    finish_ns: u64,
+}
+
+/// Packet-level simulation of concurrent transfers through the two-tier
+/// fabric.
+pub struct TwoTierSim {
+    cfg: TwoTierConfig,
+    links: Vec<Server>,
+    rates: Vec<u64>,
+    flows: Vec<Flow>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl TwoTierSim {
+    /// Creates an empty simulation.
+    pub fn new(cfg: TwoTierConfig) -> Self {
+        let n = cfg.nodes();
+        let r = cfg.racks;
+        // Layout: [NodeUp xN][NodeDown xN][CoreUp xR][CoreDown xR].
+        let mut rates = Vec::with_capacity(2 * n + 2 * r);
+        rates.extend(std::iter::repeat_n(cfg.edge_bps, 2 * n));
+        rates.extend(std::iter::repeat_n(cfg.uplink_bps, 2 * r));
+        TwoTierSim {
+            links: (0..2 * n + 2 * r).map(|_| Server::default()).collect(),
+            rates,
+            cfg,
+            flows: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn link_index(&self, link: Link) -> usize {
+        let n = self.cfg.nodes();
+        match link {
+            Link::NodeUp(i) => i,
+            Link::NodeDown(i) => n + i,
+            Link::CoreUp(r) => 2 * n + r,
+            Link::CoreDown(r) => 2 * n + self.cfg.racks + r,
+        }
+    }
+
+    /// Submits a transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_transfer(&mut self, t: Transfer) -> usize {
+        let n = self.cfg.nodes();
+        assert!(t.src < n && t.dst < n, "endpoint out of range");
+        let (sr, dr) = (self.cfg.rack_of(t.src), self.cfg.rack_of(t.dst));
+        let route = if sr == dr {
+            vec![
+                self.link_index(Link::NodeUp(t.src)),
+                self.link_index(Link::NodeDown(t.dst)),
+            ]
+        } else {
+            vec![
+                self.link_index(Link::NodeUp(t.src)),
+                self.link_index(Link::CoreUp(sr)),
+                self.link_index(Link::CoreDown(dr)),
+                self.link_index(Link::NodeDown(t.dst)),
+            ]
+        };
+        let id = self.flows.len();
+        self.flows.push(Flow {
+            packets: t.packet_count(self.cfg.mtu_payload),
+            transfer: t,
+            route,
+            next_packet: 0,
+            finish_ns: 0,
+        });
+        id
+    }
+
+    fn push(&mut self, time: u64, kind: Ev) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    fn kick(&mut self, link_idx: usize, now: u64) {
+        if self.links[link_idx].busy {
+            return;
+        }
+        let Some(&pkt) = self.links[link_idx].queue.front() else {
+            return;
+        };
+        self.links[link_idx].busy = true;
+        let wire = pkt.wire_bytes + self.cfg.header_bytes;
+        let ser = (wire * 8 * 1_000_000_000).div_ceil(self.rates[link_idx]);
+        self.push(now + ser, Ev::Free { link_idx });
+    }
+
+    /// Runs all transfers to completion; returns the makespan in seconds.
+    pub fn run(&mut self) -> f64 {
+        for id in 0..self.flows.len() {
+            if self.flows[id].packets == 0 {
+                self.flows[id].finish_ns = self.flows[id].transfer.start_ns;
+            } else {
+                self.push(self.flows[id].transfer.start_ns, Ev::Inject { transfer: id });
+            }
+        }
+        let mut makespan = 0u64;
+        while let Some(Reverse(ev)) = self.events.pop() {
+            let now = ev.time;
+            match ev.kind {
+                Ev::Inject { transfer } => {
+                    let cfg = self.cfg;
+                    let flow = &mut self.flows[transfer];
+                    let i = flow.next_packet;
+                    flow.next_packet += 1;
+                    let pkt = Pkt {
+                        transfer,
+                        wire_bytes: flow.transfer.wire_payload(cfg.mtu_payload, i),
+                        extra_latency_ns: flow
+                            .transfer
+                            .compression
+                            .map_or(0, |c| c.engine_latency_ns),
+                        last: i + 1 == flow.packets,
+                        hop: 0,
+                    };
+                    let first = flow.route[0];
+                    let more = flow.next_packet < flow.packets;
+                    self.links[first].queue.push_back(pkt);
+                    self.kick(first, now);
+                    if more {
+                        self.push(now + cfg.host_ns_per_packet, Ev::Inject { transfer });
+                    }
+                }
+                Ev::Free { link_idx } => {
+                    let mut pkt = {
+                        let s = &mut self.links[link_idx];
+                        s.busy = false;
+                        s.queue.pop_front().expect("busy link has head")
+                    };
+                    pkt.hop += 1;
+                    let route_len = self.flows[pkt.transfer].route.len();
+                    if pkt.hop < route_len {
+                        let latency = self.cfg.hop_latency_ns + self.cfg.switch_latency_ns;
+                        self.push(now + latency, Ev::Arrive { pkt });
+                    } else {
+                        let latency = self.cfg.hop_latency_ns + pkt.extra_latency_ns;
+                        self.push(now + latency, Ev::Arrive { pkt });
+                    }
+                    self.kick(link_idx, now);
+                }
+                Ev::Arrive { pkt } => {
+                    let route_len = self.flows[pkt.transfer].route.len();
+                    if pkt.hop < route_len {
+                        let next = self.flows[pkt.transfer].route[pkt.hop];
+                        self.links[next].queue.push_back(pkt);
+                        self.kick(next, now);
+                    } else if pkt.last {
+                        self.flows[pkt.transfer].finish_ns = now;
+                        makespan = makespan.max(now);
+                    }
+                }
+            }
+        }
+        for f in &self.flows {
+            makespan = makespan.max(f.finish_ns);
+        }
+        makespan as f64 * 1e-9
+    }
+}
+
+fn maybe_compress(t: Transfer, spec: Option<CompressionSpec>) -> Transfer {
+    match spec {
+        Some(s) => t.compressed(s),
+        None => t,
+    }
+}
+
+/// Runs a batch of concurrent transfers and returns the makespan.
+fn phase(cfg: &TwoTierConfig, transfers: impl IntoIterator<Item = Transfer>) -> f64 {
+    let mut sim = TwoTierSim::new(*cfg);
+    let mut any = false;
+    for t in transfers {
+        sim.add_transfer(t);
+        any = true;
+    }
+    if any {
+        sim.run()
+    } else {
+        0.0
+    }
+}
+
+/// Flat worker-aggregator on the fabric: every node ships `bytes` to
+/// node 0 (the aggregator, behind one edge link and one uplink), then
+/// receives the weights back.
+pub fn flat_wa(
+    cfg: &TwoTierConfig,
+    bytes: u64,
+    gamma: f64,
+    spec: Option<CompressionSpec>,
+) -> ExchangeTimes {
+    let n = cfg.nodes();
+    let gather = phase(
+        cfg,
+        (1..n).map(|s| maybe_compress(Transfer::new(s, 0, bytes), spec)),
+    );
+    let scatter = phase(cfg, (1..n).map(|d| Transfer::new(0, d, bytes)));
+    ExchangeTimes {
+        comm_s: gather + scatter,
+        reduce_s: (n - 1) as f64 * bytes as f64 * gamma,
+    }
+}
+
+/// Hierarchical worker-aggregator (Fig. 1(a)): rack members gather to a
+/// rack aggregator, rack aggregators gather to the root (node 0), then
+/// weights flow back down both levels.
+pub fn hierarchical_wa(
+    cfg: &TwoTierConfig,
+    bytes: u64,
+    gamma: f64,
+    spec: Option<CompressionSpec>,
+) -> ExchangeTimes {
+    let g = cfg.nodes_per_rack;
+    // Level 1 up: members -> rack leader (first node of each rack).
+    let l1_up = phase(
+        cfg,
+        (0..cfg.racks).flat_map(|r| {
+            (1..g).map(move |m| Transfer::new(r * g + m, r * g, bytes))
+        })
+        .map(|t| maybe_compress(t, spec)),
+    );
+    // Level 2 up: rack leaders -> root.
+    let l2_up = phase(
+        cfg,
+        (1..cfg.racks).map(|r| maybe_compress(Transfer::new(r * g, 0, bytes), spec)),
+    );
+    // Reductions: each rack leader folds g streams, the root folds R.
+    let reduce = (g as f64 + cfg.racks as f64) * bytes as f64 * gamma;
+    // Downward: root -> leaders, leaders -> members (weights,
+    // uncompressed).
+    let l2_down = phase(cfg, (1..cfg.racks).map(|r| Transfer::new(0, r * g, bytes)));
+    let l1_down = phase(
+        cfg,
+        (0..cfg.racks).flat_map(|r| (1..g).map(move |m| Transfer::new(r * g, r * g + m, bytes))),
+    );
+    ExchangeTimes {
+        comm_s: l1_up + l2_up + l2_down + l1_down,
+        reduce_s: reduce,
+    }
+}
+
+/// Flat ring (Fig. 1(b)) across all nodes in rack-major order; ring
+/// edges at rack boundaries cross the core.
+pub fn flat_ring(
+    cfg: &TwoTierConfig,
+    bytes: u64,
+    gamma: f64,
+    spec: Option<CompressionSpec>,
+    host_s_per_byte: f64,
+) -> ExchangeTimes {
+    let p = cfg.nodes();
+    assert!(p >= 2, "ring needs two nodes");
+    let block = bytes.div_ceil(p as u64);
+    let step = phase(
+        cfg,
+        (0..p).map(|i| maybe_compress(Transfer::new(i, (i + 1) % p, block), spec)),
+    ) + block as f64 * host_s_per_byte;
+    let steps = (p - 1) as f64;
+    ExchangeTimes {
+        comm_s: 2.0 * steps * step,
+        reduce_s: steps * block as f64 * gamma,
+    }
+}
+
+/// Hierarchical ring (Fig. 1(c)): a full ring all-reduce inside every
+/// rack, a leader ring across racks, then a leader→members broadcast.
+pub fn hierarchical_ring(
+    cfg: &TwoTierConfig,
+    bytes: u64,
+    gamma: f64,
+    spec: Option<CompressionSpec>,
+    host_s_per_byte: f64,
+) -> ExchangeTimes {
+    let g = cfg.nodes_per_rack;
+    let r = cfg.racks;
+    let mut comm = 0.0;
+    let mut reduce = 0.0;
+    // Phase 1: intra-rack ring all-reduce (all racks concurrently).
+    if g >= 2 {
+        let block = bytes.div_ceil(g as u64);
+        let step = phase(
+            cfg,
+            (0..r).flat_map(|rack| {
+                (0..g).map(move |m| {
+                    Transfer::new(rack * g + m, rack * g + (m + 1) % g, block)
+                })
+            })
+            .map(|t| maybe_compress(t, spec)),
+        ) + block as f64 * host_s_per_byte;
+        comm += 2.0 * (g - 1) as f64 * step;
+        reduce += (g - 1) as f64 * block as f64 * gamma;
+    }
+    // Phase 2: leader ring across racks (through the core).
+    if r >= 2 {
+        let block = bytes.div_ceil(r as u64);
+        let step = phase(
+            cfg,
+            (0..r).map(|rack| {
+                maybe_compress(
+                    Transfer::new(rack * g, ((rack + 1) % r) * g, block),
+                    spec,
+                )
+            }),
+        ) + block as f64 * host_s_per_byte;
+        comm += 2.0 * (r - 1) as f64 * step;
+        reduce += (r - 1) as f64 * block as f64 * gamma;
+    }
+    // Phase 3: leaders propagate the global sum inside their rack via a
+    // pipelined chain broadcast (leader → m1 → m2 → …): every edge link
+    // forwards chunks concurrently, so the makespan is one full-`bytes`
+    // edge traversal plus pipeline fill — modeled as a single transfer
+    // along the slowest (first) hop. A compressible gradient hop.
+    if g >= 2 {
+        comm += phase(
+            cfg,
+            (0..r).map(|rack| {
+                maybe_compress(Transfer::new(rack * g, rack * g + 1, bytes), spec)
+            }),
+        );
+    }
+    ExchangeTimes {
+        comm_s: comm,
+        reduce_s: reduce,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GAMMA: f64 = 1e-10;
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn intra_rack_transfer_ignores_uplink() {
+        // Same-rack transfer speed must not depend on oversubscription.
+        let fast = TwoTierConfig::ten_gbe(2, 4, 1);
+        let slow = TwoTierConfig::ten_gbe(2, 4, 8);
+        let t_fast = phase(&fast, [Transfer::new(0, 1, 10 * MB)]);
+        let t_slow = phase(&slow, [Transfer::new(0, 1, 10 * MB)]);
+        assert!((t_fast - t_slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_rack_transfer_is_uplink_bound() {
+        let cfg = TwoTierConfig::ten_gbe(2, 4, 8); // uplink 5 Gb/s
+        let within = phase(&cfg, [Transfer::new(0, 1, 10 * MB)]);
+        let across = phase(&cfg, [Transfer::new(0, 4, 10 * MB)]);
+        assert!(
+            across > within * 1.8,
+            "across {across:.4} vs within {within:.4}"
+        );
+    }
+
+    #[test]
+    fn nonblocking_core_behaves_like_one_switch() {
+        // With a full-bisection uplink, a cross-rack transfer runs at edge
+        // speed (plus one extra switch hop of latency).
+        let cfg = TwoTierConfig::ten_gbe(2, 2, 1);
+        let within = phase(&cfg, [Transfer::new(0, 1, 20 * MB)]);
+        let across = phase(&cfg, [Transfer::new(0, 2, 20 * MB)]);
+        assert!((across - within) / within < 0.02, "{across} vs {within}");
+    }
+
+    #[test]
+    fn flat_wa_suffers_most_from_oversubscription() {
+        let cfg = TwoTierConfig::ten_gbe(4, 4, 4);
+        let n = 50 * MB;
+        let wa = flat_wa(&cfg, n, GAMMA, None);
+        let hwa = hierarchical_wa(&cfg, n, GAMMA, None);
+        let ring = flat_ring(&cfg, n, GAMMA, None, 0.0);
+        // All gather traffic squeezes through one uplink for flat WA.
+        assert!(
+            wa.comm_s > hwa.comm_s * 1.5,
+            "flat {:.3} vs hierarchical {:.3}",
+            wa.comm_s,
+            hwa.comm_s
+        );
+        assert!(ring.comm_s < hwa.comm_s, "ring should beat both WAs");
+    }
+
+    #[test]
+    fn hierarchical_ring_beats_flat_ring_under_heavy_oversubscription() {
+        // The flat ring pushes 2(p-1)/p·n bytes across every uplink while
+        // the leader ring pushes only 2(R-1)/R·n; with the core the clear
+        // bottleneck (1 Gb/s uplinks) that volume difference dominates
+        // the hierarchy's extra intra-rack phases.
+        let cfg = TwoTierConfig::ten_gbe(2, 8, 80);
+        let n = 100 * MB;
+        let flat = flat_ring(&cfg, n, GAMMA, None, 0.0);
+        let hier = hierarchical_ring(&cfg, n, GAMMA, None, 0.0);
+        assert!(
+            hier.comm_s < flat.comm_s * 0.85,
+            "hier {:.3} vs flat {:.3}",
+            hier.comm_s,
+            flat.comm_s
+        );
+    }
+
+    #[test]
+    fn flat_ring_wins_on_nonblocking_fabric() {
+        // Without oversubscription the hierarchy's extra phases are pure
+        // overhead — the paper's flat testbed rightly used one ring.
+        let cfg = TwoTierConfig::ten_gbe(2, 4, 1);
+        let n = 50 * MB;
+        let flat = flat_ring(&cfg, n, GAMMA, None, 0.0);
+        let hier = hierarchical_ring(&cfg, n, GAMMA, None, 0.0);
+        assert!(
+            flat.comm_s < hier.comm_s,
+            "flat {:.3} vs hier {:.3}",
+            flat.comm_s,
+            hier.comm_s
+        );
+    }
+
+    #[test]
+    fn compression_relieves_the_oversubscribed_core() {
+        let cfg = TwoTierConfig::ten_gbe(4, 4, 8);
+        let n = 50 * MB;
+        let spec = CompressionSpec::new(8.0, 500);
+        let plain = hierarchical_ring(&cfg, n, GAMMA, None, 0.0);
+        let comp = hierarchical_ring(&cfg, n, GAMMA, Some(spec), 0.0);
+        assert!(
+            comp.comm_s < plain.comm_s * 0.35,
+            "comp {:.3} vs plain {:.3}",
+            comp.comm_s,
+            plain.comm_s
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = TwoTierConfig::ten_gbe(3, 3, 4);
+        let run = || {
+            let mut sim = TwoTierSim::new(cfg);
+            for i in 0..9 {
+                sim.add_transfer(Transfer::new(i, (i + 4) % 9, MB));
+            }
+            sim.run()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn validates_endpoints() {
+        let mut sim = TwoTierSim::new(TwoTierConfig::ten_gbe(2, 2, 1));
+        sim.add_transfer(Transfer::new(0, 9, 10));
+    }
+}

@@ -1,0 +1,289 @@
+//! The full TX datapath of Fig. 8: packet DMA → compression engine →
+//! virtual FIFO → 10 G Ethernet MAC.
+//!
+//! [`TxDatapath`] pushes a packet trace through a three-stage queueing
+//! model and reports per-packet latency, FIFO occupancy, and MAC
+//! utilization. Its purpose is the paper's Sec. VII-C claim: the
+//! accelerators are provisioned (256 bit/cycle at 100 MHz = 25.6 Gb/s)
+//! so they *never* throttle the 10 Gb/s port — which the tests verify
+//! under saturating traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::CompressionEngine;
+use crate::packet::{Packet, HEADER_BYTES};
+
+/// Stage bandwidths and costs of the TX path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatapathConfig {
+    /// Host→NIC DMA bandwidth, bits/s (PCIe Gen3 x8 class).
+    pub dma_bps: u64,
+    /// MAC line rate, bits/s.
+    pub mac_bps: u64,
+    /// Fixed per-packet DMA descriptor cost, ns.
+    pub dma_fixed_ns: u64,
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        DatapathConfig {
+            dma_bps: 64_000_000_000,
+            mac_bps: 10_000_000_000,
+            dma_fixed_ns: 300,
+        }
+    }
+}
+
+/// Per-packet record from a trace run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// When the packet entered the DMA stage, ns.
+    pub arrival_ns: u64,
+    /// When the last bit left the MAC, ns.
+    pub departure_ns: u64,
+    /// Payload bytes on the wire (post-compression).
+    pub wire_payload: u64,
+    /// Whether the packet went through the engine.
+    pub compressed: bool,
+}
+
+impl PacketRecord {
+    /// NIC traversal latency, ns.
+    pub fn latency_ns(&self) -> u64 {
+        self.departure_ns - self.arrival_ns
+    }
+}
+
+/// Aggregate report of one trace run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatapathReport {
+    /// Per-packet records in trace order.
+    pub packets: Vec<PacketRecord>,
+    /// Peak number of packets resident in the virtual FIFO.
+    pub peak_fifo_packets: usize,
+    /// Fraction of the run during which the MAC was transmitting.
+    pub mac_utilization: f64,
+    /// Total run time, ns.
+    pub makespan_ns: u64,
+}
+
+impl DatapathReport {
+    /// Mean per-packet latency, ns (0 for an empty trace).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.packets.is_empty() {
+            return 0.0;
+        }
+        self.packets.iter().map(|p| p.latency_ns() as f64).sum::<f64>()
+            / self.packets.len() as f64
+    }
+
+    /// Achieved payload goodput over the run, bits/s (pre-compression
+    /// application bytes delivered per wall-clock).
+    pub fn goodput_bps(&self, original_payload_bytes: u64) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        original_payload_bytes as f64 * 8.0 * 1e9 / self.makespan_ns as f64
+    }
+}
+
+/// The TX datapath model.
+#[derive(Debug, Clone)]
+pub struct TxDatapath {
+    cfg: DatapathConfig,
+    engine: CompressionEngine,
+}
+
+impl TxDatapath {
+    /// Creates the datapath with the given engine.
+    pub fn new(cfg: DatapathConfig, engine: CompressionEngine) -> Self {
+        TxDatapath { cfg, engine }
+    }
+
+    /// Pushes a trace of `(arrival_ns, packet)` pairs (sorted by
+    /// arrival) through the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arrivals are not non-decreasing.
+    pub fn process_trace(&self, trace: &[(u64, Packet)]) -> DatapathReport {
+        let mut dma_free = 0u64;
+        let mut engine_free = 0u64;
+        let mut mac_free = 0u64;
+        let mut mac_busy_ns = 0u64;
+        let mut records = Vec::with_capacity(trace.len());
+        // FIFO residency intervals (engine-out .. mac-start).
+        let mut fifo_intervals: Vec<(u64, u64)> = Vec::with_capacity(trace.len());
+        let mut last_arrival = 0u64;
+        for (arrival, pkt) in trace {
+            assert!(*arrival >= last_arrival, "trace must be sorted by arrival");
+            last_arrival = *arrival;
+            // Stage 1: DMA.
+            let in_bytes = (pkt.payload.len() + HEADER_BYTES) as u64;
+            let dma_time =
+                self.cfg.dma_fixed_ns + in_bytes * 8 * 1_000_000_000 / self.cfg.dma_bps;
+            let dma_done = (*arrival).max(dma_free) + dma_time;
+            dma_free = dma_done;
+            // Stage 2: compression engine (bypass for regular traffic).
+            let compressible =
+                pkt.is_compressible() && pkt.payload.len() % 4 == 0 && !pkt.payload.is_empty();
+            let (engine_done, wire_payload) = if compressible {
+                let out = self.engine.process_bytes(&pkt.payload);
+                let done = dma_done.max(engine_free) + out.latency_ns();
+                engine_free = done;
+                (done, out.bytes.len() as u64)
+            } else {
+                (dma_done, pkt.payload.len() as u64)
+            };
+            // Stage 3: virtual FIFO then MAC.
+            let mac_start = engine_done.max(mac_free);
+            let wire_bits = (wire_payload + HEADER_BYTES as u64) * 8;
+            let mac_time = wire_bits * 1_000_000_000 / self.cfg.mac_bps;
+            let departure = mac_start + mac_time;
+            mac_free = departure;
+            mac_busy_ns += mac_time;
+            fifo_intervals.push((engine_done, mac_start));
+            records.push(PacketRecord {
+                arrival_ns: *arrival,
+                departure_ns: departure,
+                wire_payload,
+                compressed: compressible,
+            });
+        }
+        let makespan = records.last().map(|r| r.departure_ns).unwrap_or(0);
+        // Peak FIFO occupancy by sweeping residency intervals.
+        let mut events: Vec<(u64, i32)> = Vec::with_capacity(fifo_intervals.len() * 2);
+        for &(enter, exit) in &fifo_intervals {
+            if exit > enter {
+                events.push((enter, 1));
+                events.push((exit, -1));
+            }
+        }
+        events.sort_unstable();
+        let mut occupancy = 0i32;
+        let mut peak = 0i32;
+        for (_, delta) in events {
+            occupancy += delta;
+            peak = peak.max(occupancy);
+        }
+        DatapathReport {
+            peak_fifo_packets: peak.max(0) as usize,
+            mac_utilization: if makespan == 0 {
+                0.0
+            } else {
+                mac_busy_ns as f64 / makespan as f64
+            },
+            makespan_ns: makespan,
+            packets: records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_compress::ErrorBound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gradient_packet(n_values: usize, seed: u64) -> Packet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload: Vec<u8> = (0..n_values)
+            .flat_map(|_| {
+                let u: f32 = rng.gen_range(-1.0f32..1.0);
+                (u * u * u * 0.05).to_le_bytes()
+            })
+            .collect();
+        Packet::gradient(payload.into())
+    }
+
+    fn datapath() -> TxDatapath {
+        TxDatapath::new(
+            DatapathConfig::default(),
+            CompressionEngine::new(ErrorBound::pow2(10)),
+        )
+    }
+
+    #[test]
+    fn saturating_gradient_trace_keeps_mac_fed() {
+        // Back-to-back MTU gradient packets: the engine (25.6 Gb/s) must
+        // not starve the 10 Gb/s MAC; with ~5x compression the MAC is
+        // *underfed by design* (less wire data), so check goodput instead:
+        // application bytes drain faster than line rate.
+        let dp = datapath();
+        let trace: Vec<(u64, Packet)> =
+            (0..200).map(|i| (i * 1_200, gradient_packet(362, i))).collect();
+        let original: u64 = trace.iter().map(|(_, p)| p.payload.len() as u64).sum();
+        let report = dp.process_trace(&trace);
+        let goodput = report.goodput_bps(original);
+        assert!(
+            goodput > 9_000_000_000.0,
+            "goodput {:.2} Gb/s under line rate",
+            goodput / 1e9
+        );
+    }
+
+    #[test]
+    fn uncompressed_trace_is_mac_bound() {
+        let dp = datapath();
+        // Regular (bypass) MTU packets arriving faster than line rate.
+        let trace: Vec<(u64, Packet)> = (0..100)
+            .map(|i| (i * 500, Packet::regular(0, vec![0u8; 1448].into())))
+            .collect();
+        let report = dp.process_trace(&trace);
+        assert!(report.mac_utilization > 0.95, "{}", report.mac_utilization);
+        // Queueing builds up in the FIFO since arrivals outpace the MAC.
+        assert!(report.peak_fifo_packets > 5, "{}", report.peak_fifo_packets);
+    }
+
+    #[test]
+    fn latency_is_microsecond_scale_when_unloaded() {
+        let dp = datapath();
+        let report = dp.process_trace(&[(0, gradient_packet(362, 9))]);
+        let lat = report.packets[0].latency_ns();
+        // DMA (~500ns) + engine (~500ns) + MAC serialization (<1.3us).
+        assert!((500..4_000).contains(&lat), "latency {lat} ns");
+    }
+
+    #[test]
+    fn compression_shrinks_wire_payload() {
+        let dp = datapath();
+        let report = dp.process_trace(&[(0, gradient_packet(362, 3))]);
+        let rec = &report.packets[0];
+        assert!(rec.compressed);
+        assert!(rec.wire_payload < 362 * 4 / 2, "wire {}", rec.wire_payload);
+    }
+
+    #[test]
+    fn mixed_traffic_orders_fifo_correctly() {
+        let dp = datapath();
+        let trace = vec![
+            (0u64, gradient_packet(362, 1)),
+            (100, Packet::regular(0x10, vec![7u8; 200].into())),
+            (200, gradient_packet(362, 2)),
+        ];
+        let report = dp.process_trace(&trace);
+        assert_eq!(report.packets.len(), 3);
+        assert!(!report.packets[1].compressed);
+        // Departures are strictly ordered (single MAC).
+        assert!(report.packets[0].departure_ns < report.packets[1].departure_ns);
+        assert!(report.packets[1].departure_ns < report.packets[2].departure_ns);
+    }
+
+    #[test]
+    fn empty_trace_is_trivial() {
+        let report = datapath().process_trace(&[]);
+        assert_eq!(report.makespan_ns, 0);
+        assert_eq!(report.mean_latency_ns(), 0.0);
+        assert_eq!(report.peak_fifo_packets, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by arrival")]
+    fn rejects_unsorted_trace() {
+        datapath().process_trace(&[
+            (100, gradient_packet(8, 1)),
+            (50, gradient_packet(8, 2)),
+        ]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Golden-vector verification of the compression engine — the
+//! hardware-bringup style test: hand-computed wire bytes for known
+//! inputs, pinning the exact on-wire format (tag packing order,
+//! LSB-first bit packing, payload forms) against regressions.
+
+use inceptionn_compress::inceptionn::Tag;
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_nicsim::engine::{CompressionEngine, DecompressionEngine};
+
+/// One full burst with every tag class exercised, eb = 2^-10.
+///
+/// | lane | value   | tag  | payload |
+/// |------|---------|------|---------|
+/// | 0    | 0.0     | 00   | —       |
+/// | 1    | 0.5     | 01   | 0x40    |
+/// | 2    | −0.5    | 01   | 0xC0    |
+/// | 3    | 1.0     | 11   | 0x3F800000 |
+/// | 4    | 0.25    | 01   | 0x20    |
+/// | 5    | 2^-11   | 00   | —       |
+/// | 6    | 0.75    | 01   | 0x60    |
+/// | 7    | −1.5    | 11   | 0xBFC00000 |
+///
+/// Tag vector (lane 0 in the 2 LSBs): 0xD1D4.
+const INPUT: [f32; 8] = [0.0, 0.5, -0.5, 1.0, 0.25, 0.00048828125, 0.75, -1.5];
+
+const GOLDEN: [u8; 14] = [
+    0xD4, 0xD1, // 16-bit tag vector, LSB-first
+    0x40, // lane 1: +0.5 in the 8-bit form
+    0xC0, // lane 2: −0.5
+    0x00, 0x00, 0x80, 0x3F, // lane 3: raw bits of 1.0f32
+    0x20, // lane 4: +0.25
+    0x60, // lane 6: +0.75
+    0x00, 0x00, 0xC0, 0xBF, // lane 7: raw bits of −1.5f32
+];
+
+#[test]
+fn engine_emits_the_golden_bytes() {
+    let engine = CompressionEngine::new(ErrorBound::pow2(10));
+    let out = engine.process(&INPUT);
+    assert_eq!(out.bytes, GOLDEN, "wire format drifted");
+    assert_eq!(out.input_bursts, 1);
+}
+
+#[test]
+fn software_codec_emits_the_golden_bytes() {
+    let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+    let stream = codec.compress(&INPUT);
+    assert_eq!(stream.bytes, GOLDEN);
+    assert_eq!(stream.bit_len, 112);
+}
+
+#[test]
+fn golden_bytes_decode_to_expected_values() {
+    let engine = DecompressionEngine::new(ErrorBound::pow2(10));
+    let (_, values) = engine.process(&GOLDEN, 8).unwrap();
+    let expect = [0.0f32, 0.5, -0.5, 1.0, 0.25, 0.0, 0.75, -1.5];
+    assert_eq!(values, expect);
+}
+
+#[test]
+fn per_value_tags_match_the_table() {
+    let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+    let want = [
+        Tag::Zero,
+        Tag::Bits8,
+        Tag::Bits8,
+        Tag::Full,
+        Tag::Bits8,
+        Tag::Zero,
+        Tag::Bits8,
+        Tag::Full,
+    ];
+    for (v, w) in INPUT.iter().zip(want) {
+        assert_eq!(codec.compress_value(*v).tag, w, "value {v}");
+    }
+}
+
+#[test]
+fn dense_mantissa_needs_sixteen_bits() {
+    // 0.3337 has set bits beyond the 7-bit fixed-point prefix; at 2^-10
+    // only the 16-bit form meets the bound. Fixed field:
+    // P = trunc(0.3337f32 * 2^32) = 0x556D5D00; top 15 bits = 0x2AB6;
+    // payload = sign 0 << 15 | 0x2AB6.
+    let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+    let cv = codec.compress_value(0.3337);
+    assert_eq!(cv.tag, Tag::Bits16);
+    assert_eq!(cv.payload, 0x2AB6);
+    let back = codec.decompress_value(cv);
+    assert!((back - 0.3337).abs() <= 2f32.powi(-10));
+    // And the sign bit lands at bit 15.
+    let cv_neg = codec.compress_value(-0.3337);
+    assert_eq!(cv_neg.payload, 0x8000 | 0x2AB6);
+}

@@ -1,0 +1,413 @@
+//! 2-D convolution via im2col lowering.
+
+use crate::ops::{matmul, matmul_nt, matmul_tn};
+use crate::Tensor;
+
+/// Geometry of a 2-D convolution.
+///
+/// Input layout is NCHW; kernels are `[out_ch, in_ch, kh, kw]`.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_tensor::ConvSpec;
+///
+/// let spec = ConvSpec::new(3, 16, 5, 1, 2);
+/// assert_eq!(spec.output_hw(32, 32), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding added on all four sides.
+    pub padding: usize,
+}
+
+impl ConvSpec {
+    /// Creates a convolution spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        assert!(stride > 0, "stride must be positive");
+        ConvSpec {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the padded input is smaller than the kernel.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let ph = h + 2 * self.padding;
+        let pw = w + 2 * self.padding;
+        assert!(
+            ph >= self.kernel && pw >= self.kernel,
+            "input {h}x{w} (pad {}) smaller than kernel {}",
+            self.padding,
+            self.kernel
+        );
+        (
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Number of weight parameters (`out·in·k·k`).
+    pub fn weight_len(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lowers an NCHW input batch into the im2col matrix.
+///
+/// The result has one row per kernel patch entry (`in_ch·k·k`) and one
+/// column per output pixel across the whole batch (`n·oh·ow`).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or its channel count disagrees with
+/// `spec`.
+pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
+    assert_eq!(input.shape().rank(), 4, "im2col input must be NCHW");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, spec.in_channels, "channel mismatch");
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let rows = c * k * k;
+    let cols = n * oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    for img in 0..n {
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            let col = (img * oh + oy) * ow + ox;
+                            let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                            {
+                                data[((img * c + ch) * h + iy as usize) * w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            out[row * cols + col] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Scatters an im2col matrix back into an NCHW tensor (the adjoint of
+/// [`im2col`]), accumulating overlapping patches.
+///
+/// # Panics
+///
+/// Panics if `cols`'s shape is inconsistent with `spec` and the target
+/// geometry.
+pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let c = spec.in_channels;
+    assert_eq!(cols.dims(), &[c * k * k, n * oh * ow], "col2im shape mismatch");
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = cols.as_slice();
+    let ncols = n * oh * ow;
+    for img in 0..n {
+        for ch in 0..c {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ch * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            let col = (img * oh + oy) * ow + ox;
+                            out[((img * c + ch) * h + iy as usize) * w + ix as usize] +=
+                                data[row * ncols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Forward 2-D convolution.
+///
+/// `input` is NCHW, `weight` is `[out_ch, in_ch·k·k]` (pre-flattened),
+/// `bias` is `[out_ch]`. Returns `[n, out_ch, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+    let dims = input.dims();
+    let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(
+        weight.dims(),
+        &[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel],
+        "weight shape mismatch"
+    );
+    assert_eq!(bias.dims(), &[spec.out_channels], "bias shape mismatch");
+    let cols = im2col(input, spec);
+    // [out_ch, rows] x [rows, n*oh*ow] = [out_ch, n*oh*ow]
+    let prod = matmul(weight, &cols);
+    // Rearrange to [n, out_ch, oh, ow] and add bias.
+    let ncols = n * oh * ow;
+    let pv = prod.as_slice();
+    let bv = bias.as_slice();
+    let mut out = vec![0.0f32; n * spec.out_channels * oh * ow];
+    for oc in 0..spec.out_channels {
+        for img in 0..n {
+            for p in 0..oh * ow {
+                out[((img * spec.out_channels + oc) * oh * ow) + p] =
+                    pv[oc * ncols + img * oh * ow + p] + bv[oc];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, spec.out_channels, oh, ow])
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient w.r.t. the input, NCHW.
+    pub input: Tensor,
+    /// Gradient w.r.t. the flattened weight matrix.
+    pub weight: Tensor,
+    /// Gradient w.r.t. the bias vector.
+    pub bias: Tensor,
+}
+
+/// Backward pass of [`conv2d`].
+///
+/// `grad_out` is `[n, out_ch, oh, ow]`; `input` and `weight` are the
+/// forward operands.
+///
+/// # Panics
+///
+/// Panics on any shape inconsistency.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: &ConvSpec,
+) -> Conv2dGrads {
+    let dims = input.dims();
+    let (n, _c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.output_hw(h, w);
+    assert_eq!(grad_out.dims(), &[n, spec.out_channels, oh, ow]);
+    // Rearrange grad_out from [n, oc, oh*ow] into [oc, n*oh*ow].
+    let gv = grad_out.as_slice();
+    let ncols = n * oh * ow;
+    let mut g = vec![0.0f32; spec.out_channels * ncols];
+    let mut gbias = vec![0.0f32; spec.out_channels];
+    for img in 0..n {
+        for oc in 0..spec.out_channels {
+            for p in 0..oh * ow {
+                let v = gv[((img * spec.out_channels + oc) * oh * ow) + p];
+                g[oc * ncols + img * oh * ow + p] = v;
+                gbias[oc] += v;
+            }
+        }
+    }
+    let gmat = Tensor::from_vec(g, &[spec.out_channels, ncols]);
+    let cols = im2col(input, spec);
+    // dW = gmat (oc×cols) × cols^T (cols×rows) -> (oc×rows)
+    let gw = matmul_nt(&gmat, &cols);
+    // dCols = W^T (rows×oc) × gmat (oc×cols)
+    let gcols = matmul_tn(weight, &gmat);
+    let ginput = col2im(&gcols, spec, n, h, w);
+    Conv2dGrads {
+        input: ginput,
+        weight: gw,
+        bias: Tensor::from_vec(gbias, &[spec.out_channels]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv_ref(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -> Tensor {
+        // Direct (naive) convolution used as the oracle.
+        let dims = input.dims();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = spec.output_hw(h, w);
+        let k = spec.kernel;
+        let mut out = Tensor::zeros(&[n, spec.out_channels, oh, ow]);
+        for img in 0..n {
+            for oc in 0..spec.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias.as_slice()[oc];
+                        for ch in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy =
+                                        (oy * spec.stride + ky) as isize - spec.padding as isize;
+                                    let ix =
+                                        (ox * spec.stride + kx) as isize - spec.padding as isize;
+                                    if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
+                                        continue;
+                                    }
+                                    let wv = weight.as_slice()
+                                        [oc * c * k * k + (ch * k + ky) * k + kx];
+                                    acc += wv
+                                        * input.at(&[img, ch, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                        out.set(&[img, oc, oy, ox], acc);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rngf(seed: u64, n: usize) -> Vec<f32> {
+        // Small deterministic LCG, avoids pulling rand into the oracle.
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conv2d_matches_naive_reference() {
+        for &(stride, padding) in &[(1usize, 0usize), (1, 1), (2, 1), (2, 2)] {
+            let spec = ConvSpec::new(2, 3, 3, stride, padding);
+            let input = Tensor::from_vec(rngf(1, 2 * 2 * 6 * 6), &[2, 2, 6, 6]);
+            let weight = Tensor::from_vec(rngf(2, spec.weight_len()), &[3, 2 * 3 * 3]);
+            let bias = Tensor::from_vec(rngf(3, 3), &[3]);
+            let fast = conv2d(&input, &weight, &bias, &spec);
+            let slow = conv_ref(&input, &weight, &bias, &spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (stride {stride} pad {padding})");
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of an adjoint pair, which is exactly what backprop needs.
+        let spec = ConvSpec::new(2, 1, 3, 2, 1);
+        let (n, h, w) = (1usize, 5usize, 5usize);
+        let x = Tensor::from_vec(rngf(7, n * 2 * h * w), &[n, 2, h, w]);
+        let cols = im2col(&x, &spec);
+        let y = Tensor::from_vec(rngf(8, cols.len()), cols.dims());
+        let lhs: f64 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let back = col2im(&y, &spec, n, h, w);
+        let rhs: f64 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv2d_backward_matches_finite_differences() {
+        let spec = ConvSpec::new(1, 2, 3, 1, 1);
+        let input = Tensor::from_vec(rngf(11, 4 * 4), &[1, 1, 4, 4]);
+        let weight = Tensor::from_vec(rngf(12, spec.weight_len()), &[2, 9]);
+        let bias = Tensor::from_vec(rngf(13, 2), &[2]);
+        // Loss = sum of outputs; grad_out = ones.
+        let out = conv2d(&input, &weight, &bias, &spec);
+        let gout = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &gout, &spec);
+        let eps = 1e-3f32;
+        // Check a scattering of weight coordinates.
+        for idx in [0usize, 3, 8, 12, 17] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let op = conv2d(&input, &wp, &bias, &spec);
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let om = conv2d(&input, &wm, &bias, &spec);
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = grads.weight.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "weight[{idx}]: fd {fd} vs an {an}");
+        }
+        // Check a scattering of input coordinates.
+        for idx in [0usize, 5, 10, 15] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let op = conv2d(&ip, &weight, &bias, &spec);
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let om = conv2d(&im, &weight, &bias, &spec);
+            let fd = (op.sum() - om.sum()) / (2.0 * eps);
+            let an = grads.input.as_slice()[idx];
+            assert!((fd - an).abs() < 2e-2, "input[{idx}]: fd {fd} vs an {an}");
+        }
+        // Bias gradient of a sum-loss is the output pixel count per channel.
+        let pixels = (out.len() / 2) as f32;
+        for &g in grads.bias.as_slice() {
+            assert!((g - pixels).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn output_geometry() {
+        let spec = ConvSpec::new(3, 8, 5, 1, 2);
+        assert_eq!(spec.output_hw(28, 28), (28, 28));
+        let spec = ConvSpec::new(3, 8, 3, 2, 1);
+        assert_eq!(spec.output_hw(28, 28), (14, 14));
+        assert_eq!(spec.weight_len(), 8 * 3 * 3 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn output_geometry_rejects_tiny_input() {
+        ConvSpec::new(1, 1, 7, 1, 0).output_hw(4, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Weight initialization schemes.
+
+use rand::distributions::Distribution;
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let dist = rand::distributions::Uniform::new_inclusive(-a, a);
+    let n: usize = shape.iter().product();
+    Tensor::from_vec((0..n).map(|_| dist.sample(rng)).collect(), shape)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`, the
+/// standard choice ahead of ReLU activations.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let std = (2.0 / fan_in as f64).sqrt() as f32;
+    let n: usize = shape.iter().product();
+    // Box-Muller from two uniforms keeps us off rand_distr.
+    let mut vals = Vec::with_capacity(n);
+    while vals.len() < n {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        vals.push((r * theta.cos()) as f32 * std);
+        if vals.len() < n {
+            vals.push((r * theta.sin()) as f32 * std);
+        }
+    }
+    Tensor::from_vec(vals, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&mut rng, &[100, 50], 100, 50);
+        let a = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|v| v.abs() <= a));
+        // Should not be degenerate.
+        assert!(t.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_normal(&mut rng, &[200, 100], 100);
+        let n = t.len() as f64;
+        let mean: f64 = t.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var: f64 = t
+            .as_slice()
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let want = 2.0 / 100.0;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - want).abs() < want * 0.2, "var {var} want {want}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = he_normal(&mut StdRng::seed_from_u64(42), &[10], 10);
+        let b = he_normal(&mut StdRng::seed_from_u64(42), &[10], 10);
+        assert_eq!(a, b);
+    }
+}

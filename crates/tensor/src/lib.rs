@@ -1,0 +1,40 @@
+//! Dense `f32` tensor substrate for the INCEPTIONN reproduction.
+//!
+//! This crate provides the minimal-but-complete numerical foundation that
+//! the [`inceptionn-dnn`] training substrate is built on: an owned,
+//! contiguous, row-major [`Tensor`] type plus the linear-algebra and
+//! convolution kernels DNN training needs (GEMM, im2col convolution,
+//! max-pooling, elementwise maps and reductions).
+//!
+//! The design goal is *fidelity and determinism*, not peak FLOPs: every
+//! experiment in the paper reproduction must be reproducible bit-for-bit
+//! under a fixed seed, so all kernels are straightforward, allocation-
+//! explicit, single-threaded loops (data-parallel training parallelism
+//! lives a level up, in `inceptionn-distrib`, exactly as in the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use inceptionn_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+//!
+//! [`inceptionn-dnn`]: https://example.com/inceptionn-rs
+
+mod conv;
+mod init;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_backward, im2col, Conv2dGrads, ConvSpec};
+pub use init::{he_normal, xavier_uniform};
+pub use ops::{matmul, matmul_nt, matmul_tn};
+pub use pool::{max_pool2d, max_pool2d_backward, PoolSpec};
+pub use shape::{broadcast_shapes, Shape, ShapeError};
+pub use tensor::Tensor;

@@ -1,0 +1,161 @@
+//! Linear-algebra kernels.
+
+use crate::Tensor;
+
+/// Matrix multiplication `a (m×k) × b (k×n) → (m×n)`.
+///
+/// A cache-friendly i-k-j loop with the inner j-loop over contiguous
+/// rows of `b`; deterministic accumulation order.
+///
+/// # Panics
+///
+/// Panics unless both operands are rank 2 and `a.cols == b.rows`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(
+        k, k2,
+        "matmul inner dimensions differ: {}x{} * {}x{}",
+        m, k, k2, n
+    );
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let brow = &bv[p * n..(p + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a^T × b` without materializing the transpose.
+///
+/// `a` is `k×m`, `b` is `k×n`, the result is `m×n`.
+///
+/// # Panics
+///
+/// Panics unless both operands are rank 2 with matching outer (`k`)
+/// dimensions.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_tn lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul_tn rhs must be a matrix");
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_tn outer dimensions differ");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aval) in arow.iter().enumerate() {
+            if aval == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bval) in orow.iter_mut().zip(brow.iter()) {
+                *o += aval * bval;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `a × b^T` without materializing the transpose.
+///
+/// `a` is `m×k`, `b` is `n×k`, the result is `m×n`.
+///
+/// # Panics
+///
+/// Panics unless both operands are rank 2 with matching inner (`k`)
+/// dimensions.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_nt lhs must be a matrix");
+    assert_eq!(b.shape().rank(), 2, "matmul_nt rhs must be a matrix");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (n, k2) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul_nt inner dimensions differ");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bv[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow.iter()) {
+                acc += x * y;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32 * 0.3).collect(), &[4, 3]);
+        let b = Tensor::from_vec((0..8).map(|v| v as f32 - 3.0).collect(), &[4, 2]);
+        approx_eq(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b));
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32 * 0.3).collect(), &[3, 4]);
+        let b = Tensor::from_vec((0..8).map(|v| v as f32 - 3.0).collect(), &[2, 4]);
+        approx_eq(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 3]));
+    }
+
+    #[test]
+    fn matmul_with_zero_dim() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[0, 4]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn matmul_is_associative_on_small_inputs() {
+        let a = Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[2, 2]);
+        let b = Tensor::from_vec((0..4).map(|v| (v as f32) * 0.5).collect(), &[2, 2]);
+        let c = Tensor::from_vec((0..4).map(|v| (v as f32) - 1.0).collect(), &[2, 2]);
+        approx_eq(&matmul(&matmul(&a, &b), &c), &matmul(&a, &matmul(&b, &c)));
+    }
+}

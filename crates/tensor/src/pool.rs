@@ -1,0 +1,165 @@
+//! 2-D max pooling.
+
+use crate::Tensor;
+
+/// Geometry of a max-pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Square window side length.
+    pub window: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        assert!(stride > 0, "pool stride must be positive");
+        PoolSpec { window, stride }
+    }
+
+    /// Output spatial size for an `h`×`w` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the window.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "input {h}x{w} smaller than pool window {}",
+            self.window
+        );
+        (
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        )
+    }
+}
+
+/// Forward max pooling over an NCHW batch.
+///
+/// Returns the pooled tensor together with the flat argmax index of each
+/// window (needed by the backward pass).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4 or smaller than the window.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> (Tensor, Vec<usize>) {
+    assert_eq!(input.shape().rank(), 4, "max_pool2d input must be NCHW");
+    let dims = input.dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.output_hw(h, w);
+    let data = input.as_slice();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    for img in 0..n {
+        for ch in 0..c {
+            let base = (img * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..spec.window {
+                        for kx in 0..spec.window {
+                            let iy = oy * spec.stride + ky;
+                            let ix = ox * spec.stride + kx;
+                            let idx = base + iy * w + ix;
+                            if data[idx] > best {
+                                best = data[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = ((img * c + ch) * oh + oy) * ow + ox;
+                    out[o] = best;
+                    arg[o] = best_idx;
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[n, c, oh, ow]), arg)
+}
+
+/// Backward max pooling: routes each output gradient to the input
+/// element that won the corresponding window.
+///
+/// `argmax` must come from the matching [`max_pool2d`] call;
+/// `input_shape` is the original NCHW shape.
+///
+/// # Panics
+///
+/// Panics if `grad_out.len() != argmax.len()`.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "gradient/argmax length mismatch"
+    );
+    let mut out = Tensor::zeros(input_shape);
+    let buf = out.as_mut_slice();
+    for (&g, &idx) in grad_out.as_slice().iter().zip(argmax.iter()) {
+        buf[idx] += g;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_known_answer() {
+        // 1x1x4x4 input, 2x2 window, stride 2.
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2));
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn pool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 2, 2],
+        );
+        let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2));
+        assert_eq!(out.as_slice(), &[4.0]);
+        let g = max_pool2d_backward(&Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]), &arg, &[1, 1, 2, 2]);
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 2.5]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        // 3x3 input with global max in the centre; 2x2 window stride 1 →
+        // all four windows pick the centre, so its gradient accumulates.
+        let input = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0],
+            &[1, 1, 3, 3],
+        );
+        let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 1));
+        assert_eq!(out.as_slice(), &[9.0; 4]);
+        let g = max_pool2d_backward(&Tensor::ones(&[1, 1, 2, 2]), &arg, &[1, 1, 3, 3]);
+        assert_eq!(g.at(&[0, 0, 1, 1]), 4.0);
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn pool_geometry() {
+        assert_eq!(PoolSpec::new(3, 2).output_hw(13, 13), (6, 6));
+        assert_eq!(PoolSpec::new(2, 2).output_hw(28, 28), (14, 14));
+    }
+}

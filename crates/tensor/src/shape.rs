@@ -1,0 +1,251 @@
+//! Shape bookkeeping for dense row-major tensors.
+
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], stored outermost-first.
+///
+/// A `Shape` is a thin validated wrapper around a `Vec<usize>`. A scalar
+/// is represented by the empty shape `[]` (one element); zero-sized
+/// dimensions are permitted and give a zero-element tensor.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.num_elements(), 24);
+/// assert_eq!(s.rank(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from its dimensions, outermost first.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimensions, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (0 for a scalar).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for a scalar).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// ```
+    /// use inceptionn_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.dims.len()];
+        let mut acc = 1usize;
+        for (stride, &dim) in strides.iter_mut().zip(self.dims.iter()).rev() {
+            *stride = acc;
+            acc *= dim;
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut flat = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} (size {d})");
+            flat = flat * d + i;
+        }
+        flat
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+/// Error returned when two shapes cannot be combined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    left: Shape,
+    right: Shape,
+    op: &'static str,
+}
+
+impl ShapeError {
+    pub(crate) fn new(left: &Shape, right: &Shape, op: &'static str) -> Self {
+        ShapeError {
+            left: left.clone(),
+            right: right.clone(),
+            op,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes {} and {} for {}",
+            self.left, self.right, self.op
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Computes the shape two operands broadcast to under NumPy-style rules.
+///
+/// Dimensions are aligned from the innermost axis; a size-1 dimension
+/// broadcasts against any size.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if any aligned pair of dimensions differs and
+/// neither is 1.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_tensor::{broadcast_shapes, Shape};
+///
+/// let out = broadcast_shapes(&Shape::new(&[4, 1]), &Shape::new(&[3])).unwrap();
+/// assert_eq!(out.dims(), &[4, 3]);
+/// ```
+pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Result<Shape, ShapeError> {
+    let rank = a.rank().max(b.rank());
+    let mut dims = vec![0usize; rank];
+    for i in 0..rank {
+        let da = if i < a.rank() { a.dim(a.rank() - 1 - i) } else { 1 };
+        let db = if i < b.rank() { b.dim(b.rank() - 1 - i) } else { 1 };
+        let out = if da == db || db == 1 {
+            da
+        } else if da == 1 {
+            db
+        } else {
+            return Err(ShapeError::new(a, b, "broadcast"));
+        };
+        dims[rank - 1 - i] = out;
+    }
+    Ok(Shape::from(dims))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[2, 3]).strides(), vec![3, 1]);
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.num_elements(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_elements() {
+        assert_eq!(Shape::new(&[3, 0, 2]).num_elements(), 0);
+    }
+
+    #[test]
+    fn flat_index_round_trips() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let flat = s.flat_index(&[i, j, k]);
+                    assert!(flat < 24);
+                    assert!(seen.insert(flat), "duplicate flat index");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn flat_index_checks_bounds() {
+        Shape::new(&[2, 2]).flat_index(&[0, 2]);
+    }
+
+    #[test]
+    fn broadcast_matches_numpy_rules() {
+        let cases = [
+            (vec![4, 1], vec![3], vec![4, 3]),
+            (vec![1], vec![5, 5], vec![5, 5]),
+            (vec![2, 3], vec![2, 3], vec![2, 3]),
+            (vec![], vec![7], vec![7]),
+        ];
+        for (a, b, want) in cases {
+            let got = broadcast_shapes(&Shape::from(a), &Shape::from(b)).unwrap();
+            assert_eq!(got.dims(), want.as_slice());
+        }
+    }
+
+    #[test]
+    fn broadcast_rejects_mismatch() {
+        let err = broadcast_shapes(&Shape::new(&[2, 3]), &Shape::new(&[4])).unwrap_err();
+        assert!(err.to_string().contains("incompatible"));
+    }
+}

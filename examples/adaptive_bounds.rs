@@ -1,0 +1,58 @@
+//! Adaptive per-block error bounds: why a single absolute bound can
+//! erase small-scale layers, and what the adaptive extension recovers.
+//!
+//! ```sh
+//! cargo run --release -p inceptionn --example adaptive_bounds
+//! ```
+
+use inceptionn::{ErrorBound, InceptionnCodec};
+use inceptionn_compress::adaptive::AdaptiveCodec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(3);
+    // A model with per-"layer" gradient scales spanning five orders of
+    // magnitude (deep nets really do this across layers).
+    let scales = [0.3f32, 1e-2, 1e-3, 1e-4, 1e-5];
+    let mut grads = Vec::new();
+    for &s in &scales {
+        for _ in 0..4096 {
+            grads.push(rng.gen_range(-1.0f32..1.0) * s);
+        }
+    }
+
+    println!("five layers, gradient scales {scales:?}\n");
+    let fixed = InceptionnCodec::new(ErrorBound::pow2(10));
+    let fixed_out = fixed.quantize(&grads);
+    let adaptive = AdaptiveCodec::new(8, 256);
+    let adaptive_out = adaptive.quantize(&grads);
+
+    println!("{:<10} {:>14} {:>16} {:>16}", "layer", "scale", "fixed 2^-10", "adaptive R=8");
+    for (i, &s) in scales.iter().enumerate() {
+        let range = i * 4096..(i + 1) * 4096;
+        let surv = |out: &[f32]| {
+            let nz = out[range.clone()].iter().filter(|v| **v != 0.0).count();
+            format!("{:.1}% kept", nz as f64 / 4096.0 * 100.0)
+        };
+        println!(
+            "{:<10} {:>14.0e} {:>16} {:>16}",
+            format!("layer {i}"),
+            s,
+            surv(&fixed_out),
+            surv(&adaptive_out)
+        );
+    }
+
+    let fixed_stream = fixed.compress(&grads);
+    let adaptive_stream = adaptive.compress(&grads);
+    println!(
+        "\ncompression ratio: fixed {:.1}x, adaptive {:.1}x",
+        fixed_stream.compression_ratio(),
+        adaptive_stream.compression_ratio()
+    );
+    println!("\nThe fixed absolute bound zeroes every layer whose gradients sit");
+    println!("below 2^-10 — 'compression' by destroying the signal. The adaptive");
+    println!("codec keeps ~8 bits of relative precision per block everywhere,");
+    println!("spending wire bits only where there is information to protect.");
+}

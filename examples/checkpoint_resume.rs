@@ -1,0 +1,63 @@
+//! Checkpoint/resume: interrupt a training run, restore from the saved
+//! state, and land bit-exactly where an uninterrupted run would.
+//!
+//! ```sh
+//! cargo run --release -p inceptionn --example checkpoint_resume
+//! ```
+
+use inceptionn_dnn::checkpoint::Checkpoint;
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+use inceptionn_dnn::optim::{Sgd, SgdConfig};
+use inceptionn_dnn::Network;
+
+fn train_steps(net: &mut Network, sgd: &mut Sgd, data: &DigitDataset, from: usize, to: usize) {
+    for it in from..to {
+        let (x, y) = data.minibatch(it * 16, 16);
+        net.forward_backward(&x, &y);
+        let mut g = net.flat_grads();
+        let mut p = net.flat_params();
+        sgd.step(&mut p, &mut g);
+        net.set_flat_params(&p);
+    }
+}
+
+fn main() {
+    let data = DigitDataset::generate(1000, 11);
+    let test = DigitDataset::generate(200, 12);
+    let total = 300usize;
+    let interrupt_at = 150usize;
+
+    // Reference: straight-through training.
+    let mut ref_net = models::hdc_mlp_small(0);
+    let mut ref_sgd = Sgd::new(SgdConfig::default(), ref_net.param_count());
+    train_steps(&mut ref_net, &mut ref_sgd, &data, 0, total);
+
+    // Interrupted run: train halfway, save, "crash", restore, finish.
+    let mut net = models::hdc_mlp_small(0);
+    let mut sgd = Sgd::new(SgdConfig::default(), net.param_count());
+    train_steps(&mut net, &mut sgd, &data, 0, interrupt_at);
+    let path = std::env::temp_dir().join("inceptionn_demo.incp");
+    Checkpoint::capture(&net, &sgd).save(&path).expect("save checkpoint");
+    println!(
+        "checkpoint written at iteration {interrupt_at}: {} ({} params)",
+        path.display(),
+        net.param_count()
+    );
+
+    drop((net, sgd)); // the "crash"
+
+    let ckpt = Checkpoint::load(&path).expect("load checkpoint");
+    let mut net = models::hdc_mlp_small(0);
+    let mut sgd = Sgd::new(SgdConfig::default(), net.param_count());
+    ckpt.restore(&mut net, &mut sgd);
+    println!("restored at iteration {}", sgd.iteration());
+    train_steps(&mut net, &mut sgd, &data, interrupt_at, total);
+
+    let identical = net.flat_params() == ref_net.flat_params();
+    let acc = net.evaluate(&test.images_flat(), test.labels(), 50);
+    println!("resumed run matches uninterrupted run bit-exactly: {identical}");
+    println!("final test accuracy: {:.1}%", acc * 100.0);
+    assert!(identical, "resume must be bit-exact");
+    std::fs::remove_file(&path).ok();
+}

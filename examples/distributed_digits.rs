@@ -1,0 +1,64 @@
+//! Distributed training demo: four workers train the HDC network on
+//! synthetic digits with INCEPTIONN's ring exchange, with and without
+//! in-network gradient compression.
+//!
+//! ```sh
+//! cargo run --release -p inceptionn --example distributed_digits
+//! ```
+
+use inceptionn::ErrorBound;
+use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+use inceptionn_dnn::optim::SgdConfig;
+
+fn run(label: &str, compression: Option<ErrorBound>, train: &DigitDataset, test: &DigitDataset) {
+    let cfg = TrainerConfig {
+        workers: 4,
+        strategy: ExchangeStrategy::Ring,
+        compression,
+        sgd: SgdConfig {
+            learning_rate: 0.05,
+            ..SgdConfig::default()
+        },
+        batch_per_worker: 16,
+        seed: 42,
+    };
+    let mut trainer = DistributedTrainer::new(cfg, models::hdc_mlp_small, train);
+    println!("== {label} ==");
+    for round in 1..=5 {
+        let logs = trainer.train_iterations(80);
+        let loss = logs.last().map(|l| l.loss).unwrap_or(f32::NAN);
+        let acc = trainer.evaluate(test);
+        println!(
+            "  round {round}: train loss {loss:.3}, test accuracy {:.1}%, replica drift {:.2e}",
+            acc * 100.0,
+            trainer.max_replica_divergence()
+        );
+    }
+}
+
+fn main() {
+    let train = DigitDataset::generate(2_000, 1);
+    let test = DigitDataset::generate(500, 2);
+    println!(
+        "4-worker ring training on {} synthetic digit samples ({} test)\n",
+        train.len(),
+        test.len()
+    );
+    run("lossless exchange (INC)", None, &train, &test);
+    run(
+        "compressed exchange, eb = 2^-10 (INC+C)",
+        Some(ErrorBound::pow2(10)),
+        &train,
+        &test,
+    );
+    run(
+        "compressed exchange, eb = 2^-6 (aggressive)",
+        Some(ErrorBound::pow2(6)),
+        &train,
+        &test,
+    );
+    println!("\nAll three runs should converge to comparable accuracy —");
+    println!("the paper's claim that gradients tolerate aggressive lossy compression.");
+}
