@@ -24,18 +24,22 @@ fn bench_inceptionn(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     for e in [10u8, 8, 6] {
         let codec = InceptionnCodec::new(ErrorBound::pow2(e));
-        group.bench_with_input(BenchmarkId::new("compress", format!("2^-{e}")), &codec, |b, codec| {
-            b.iter(|| codec.compress(&grads))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("2^-{e}")),
+            &codec,
+            |b, codec| b.iter(|| codec.compress(&grads)),
+        );
         let stream = codec.compress(&grads);
         group.bench_with_input(
             BenchmarkId::new("decompress", format!("2^-{e}")),
             &stream,
             |b, stream| b.iter(|| codec.decompress(stream).unwrap()),
         );
-        group.bench_with_input(BenchmarkId::new("quantize", format!("2^-{e}")), &codec, |b, codec| {
-            b.iter(|| codec.quantize(&grads))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quantize", format!("2^-{e}")),
+            &codec,
+            |b, codec| b.iter(|| codec.quantize(&grads)),
+        );
     }
     group.finish();
 }
@@ -47,7 +51,9 @@ fn bench_baselines(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(raw.len() as u64));
     group.bench_function("lz_compress", |b| b.iter(|| lz::compress(&raw)));
     let packed = lz::compress(&raw);
-    group.bench_function("lz_decompress", |b| b.iter(|| lz::decompress(&packed).unwrap()));
+    group.bench_function("lz_decompress", |b| {
+        b.iter(|| lz::decompress(&packed).unwrap())
+    });
     let sz = SzCodec::new(ErrorBound::pow2(10));
     group.bench_function("sz_compress", |b| b.iter(|| sz.compress(&grads)));
     let trunc = Truncation::new(16);

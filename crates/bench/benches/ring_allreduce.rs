@@ -1,11 +1,13 @@
 //! Criterion benchmarks of the gradient-exchange algorithms: sequential
 //! and threaded ring all-reduce vs the worker-aggregator baseline, with
-//! and without compression in the loop.
+//! and without compression in the loop, plus the in-process shortcut vs
+//! the modeled NIC datapath behind the `Fabric` seam.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use inceptionn_compress::{ErrorBound, InceptionnCodec};
 use inceptionn_distrib::aggregator::worker_aggregator_allreduce;
-use inceptionn_distrib::ring::{ring_allreduce, threaded_ring_allreduce};
+use inceptionn_distrib::fabric::{Fabric, InProcessFabric, NicFabric};
+use inceptionn_distrib::ring::{ring_allreduce, ring_allreduce_over, threaded_ring_allreduce};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -55,9 +57,58 @@ fn bench_exchanges(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cost of realism: the same ring exchange over the in-process
+/// quantize shortcut vs the full NIC datapath (per-packet engine
+/// encode/decode). The two produce bit-identical values; the benchmark
+/// shows what the extra fidelity costs, and reports the compression
+/// ratio the hardware path actually achieves on the wire.
+fn bench_fabrics(c: &mut Criterion) {
+    let workers = 4usize;
+    let len = 65_536usize; // 256 KiB per worker
+    let grads = make_grads(workers, len);
+    let bytes = (workers * len * 4) as u64;
+    let bound = Some(ErrorBound::pow2(10));
+    let endpoints: Vec<usize> = (0..workers).collect();
+
+    // One instrumented run up front: the wire ratio is a property of the
+    // data and codec, not of the timing loop.
+    let mut probe = NicFabric::new(workers, bound);
+    let mut g = grads.clone();
+    ring_allreduce_over(&mut probe, &mut g, &endpoints);
+    let stats = probe.stats();
+    println!(
+        "ring over NicFabric: {} payload B -> {} wire B per exchange \
+         (compressed-bytes-on-wire ratio {:.2}x, {} packets)",
+        stats.payload_bytes,
+        stats.wire_bytes,
+        stats.wire_ratio(),
+        stats.packets
+    );
+
+    let mut group = c.benchmark_group("ring_fabric");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function(BenchmarkId::new("in_process", "eb=2^-10"), |b| {
+        b.iter(|| {
+            let mut fabric = InProcessFabric::new(workers, bound);
+            let mut g = grads.clone();
+            ring_allreduce_over(&mut fabric, &mut g, &endpoints);
+            g
+        })
+    });
+    group.bench_function(BenchmarkId::new("nic_datapath", "eb=2^-10"), |b| {
+        b.iter(|| {
+            let mut fabric = NicFabric::new(workers, bound);
+            let mut g = grads.clone();
+            ring_allreduce_over(&mut fabric, &mut g, &endpoints);
+            g
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_exchanges
+    targets = bench_exchanges, bench_fabrics
 }
 criterion_main!(benches);

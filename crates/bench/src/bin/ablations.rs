@@ -23,7 +23,12 @@ fn main() {
     println!("{}", t.render());
 
     println!("2) ring schedule vs naive all-to-all broadcast (100 MB gradients)\n");
-    let mut t = TextTable::new(vec!["nodes", "ring (s)", "all-to-all (s)", "ring advantage"]);
+    let mut t = TextTable::new(vec![
+        "nodes",
+        "ring (s)",
+        "all-to-all (s)",
+        "ring advantage",
+    ]);
     for r in topology(&[4, 6, 8]) {
         t.row(vec![
             r.nodes.to_string(),
@@ -37,7 +42,10 @@ fn main() {
     println!("3) per-packet overhead vs achieved compression gain (ratio 14.9x)\n");
     let mut t = TextTable::new(vec!["header bytes", "time gain"]);
     for p in packet_overhead_sweep() {
-        t.row(vec![p.header_bytes.to_string(), format!("{:.1}x", p.time_gain)]);
+        t.row(vec![
+            p.header_bytes.to_string(),
+            format!("{:.1}x", p.time_gain),
+        ]);
     }
     println!("{}", t.render());
     println!("(why Sec. VIII-C sees 5.5-11.6x from a 14.9x ratio)\n");

@@ -14,7 +14,9 @@ fn main() {
             format!("2^-{}", p.exponent),
             format!("{:.1}x", p.ratio),
             pct(p.zero_fraction),
-            p.accuracy.map(|a| pct(a as f64)).unwrap_or_else(|| "-".into()),
+            p.accuracy
+                .map(|a| pct(a as f64))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     println!("{}", t.render());

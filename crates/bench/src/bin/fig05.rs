@@ -20,9 +20,16 @@ fn main() {
         let peak = s.histogram.bins.iter().cloned().fold(0.0f64, f64::max);
         for (i, &b) in s.histogram.bins.iter().enumerate() {
             let x = -1.0 + 2.0 * (i as f64 + 0.5) / s.histogram.bins.len() as f64;
-            let width = if peak > 0.0 { (b / peak * 60.0) as usize } else { 0 };
+            let width = if peak > 0.0 {
+                (b / peak * 60.0) as usize
+            } else {
+                0
+            };
             if b > 0.0005 || i % 8 == 0 {
-                println!("  {x:>5.2} | {}", "#".repeat(width.max(usize::from(b > 0.0))));
+                println!(
+                    "  {x:>5.2} | {}",
+                    "#".repeat(width.max(usize::from(b > 0.0)))
+                );
             }
         }
         println!();

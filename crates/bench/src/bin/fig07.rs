@@ -3,13 +3,14 @@
 //! truncation) on the worker-aggregator cluster.
 
 use inceptionn::cluster::ClusterConfig;
-use inceptionn::experiments::softcomp::{fig7, profile_codecs, SoftScheme};
+use inceptionn::experiments::softcomp::{fig7, fig7_nic_reference, profile_codecs, SoftScheme};
 use inceptionn::report::TextTable;
 use inceptionn_bench::{banner, fidelity_from_env};
 
 fn main() {
     banner("Fig. 7", "Sec. VI");
-    let codecs = profile_codecs(fidelity_from_env(), 11);
+    let fidelity = fidelity_from_env();
+    let codecs = profile_codecs(fidelity, 11);
     println!("measured software codec profiles (this machine, release build):");
     let mut t = TextTable::new(vec!["scheme", "ratio", "throughput"]);
     for c in &codecs {
@@ -18,11 +19,20 @@ fn main() {
         } else {
             "-".to_string()
         };
-        t.row(vec![c.scheme.label().to_string(), format!("{:.2}x", c.ratio), thr]);
+        t.row(vec![
+            c.scheme.label().to_string(),
+            format!("{:.2}x", c.ratio),
+            thr,
+        ]);
     }
     println!("{}", t.render());
 
-    let rows = fig7(&ClusterConfig::default(), &codecs);
+    // The counterpoint the figure argues for: the same codec in the NIC,
+    // measured on the modeled datapath (NicFabric transfer), zero host
+    // codec seconds.
+    let mut rows = fig7(&ClusterConfig::default(), &codecs);
+    rows.extend(fig7_nic_reference(&ClusterConfig::default(), fidelity, 11));
+    rows.sort_by(|a, b| a.model.cmp(&b.model));
     let mut t = TextTable::new(vec!["model", "scheme", "iteration", "normalized"]);
     for r in &rows {
         t.row(vec![

@@ -2,9 +2,10 @@
 //! INC+C with the computation/communication split.
 
 use inceptionn::cluster::ClusterConfig;
+use inceptionn::experiments::breakdown::hdc_fabric_comm;
 use inceptionn::experiments::speedup::fig12;
 use inceptionn::report::TextTable;
-use inceptionn_bench::banner;
+use inceptionn_bench::{banner, fidelity_from_env};
 
 fn main() {
     banner("Fig. 12", "Sec. VIII-A");
@@ -27,6 +28,29 @@ fn main() {
             format!("{:.3}", r.breakdown.total_s()),
             format!("{:.3}", r.normalized),
             format!("{:.2}x", 1.0 / r.normalized),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("fabric-measured transport per iteration (HDC proxy, TimedNic):\n");
+    let iters = fidelity_from_env().scale(10, 2);
+    let rows = hdc_fabric_comm(4, iters, 17);
+    let mut t = TextTable::new(vec![
+        "system",
+        "payload B/iter",
+        "wire B/iter",
+        "wire ratio",
+        "link s/iter",
+        "engine cyc/iter",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.system.clone(),
+            format!("{:.0}", r.payload_bytes_per_iter),
+            format!("{:.0}", r.wire_bytes_per_iter),
+            format!("{:.2}x", r.wire_ratio()),
+            format!("{:.6}", r.link_s_per_iter),
+            format!("{:.0}", r.engine_cycles_per_iter),
         ]);
     }
     println!("{}", t.render());

@@ -1,7 +1,7 @@
 //! Regenerates Fig. 14: compression ratio of every lossy scheme and its
 //! impact on trained accuracy (same epoch budget for all schemes).
 
-use inceptionn::experiments::ratios::{fig14_accuracy, fig14_ratios, Scheme};
+use inceptionn::experiments::ratios::{fig14_accuracy, fig14_ratios, fig14_wire_ratios, Scheme};
 use inceptionn::experiments::truncation::ProxyModel;
 use inceptionn::report::{pct, TextTable};
 use inceptionn_bench::{banner, fidelity_from_env};
@@ -12,13 +12,29 @@ fn main() {
 
     println!("(a) average compression ratio\n");
     let rows = fig14_ratios(fidelity, 5);
-    let mut t = TextTable::new(vec![
-        "scheme", "AlexNet", "HDC", "ResNet-50", "VGG-16",
-    ]);
+    let mut t = TextTable::new(vec!["scheme", "AlexNet", "HDC", "ResNet-50", "VGG-16"]);
     for scheme in Scheme::ALL {
         let mut row = vec![scheme.label()];
         for model in ["AlexNet", "HDC", "ResNet-50", "VGG-16"] {
             let r = rows
+                .iter()
+                .find(|r| r.model == model && r.scheme == scheme)
+                .map(|r| r.ratio)
+                .unwrap_or(f64::NAN);
+            row.push(format!("{r:.1}x"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+
+    println!("(a') INC ratios measured on the wire (NicFabric, per-MTU-packet)\n");
+    let wire = fig14_wire_ratios(fidelity, 5);
+    let mut t = TextTable::new(vec!["scheme", "AlexNet", "HDC", "ResNet-50", "VGG-16"]);
+    for e in [10u8, 8, 6] {
+        let scheme = Scheme::Inceptionn(e);
+        let mut row = vec![scheme.label()];
+        for model in ["AlexNet", "HDC", "ResNet-50", "VGG-16"] {
+            let r = wire
                 .iter()
                 .find(|r| r.model == model && r.scheme == scheme)
                 .map(|r| r.ratio)

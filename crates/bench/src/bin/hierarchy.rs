@@ -1,12 +1,15 @@
 //! Extension study: the Fig. 1 cluster organizations on a two-tier
 //! fabric with core oversubscription (Sec. VII-C's datacenter setting).
 
-use inceptionn::experiments::hierarchy::{run, Organization};
+use inceptionn::experiments::hierarchy::{measured_wire_volume, run, Organization};
 use inceptionn::report::TextTable;
-use inceptionn_bench::banner;
+use inceptionn_bench::{banner, fidelity_from_env};
 
 fn main() {
-    banner("Fig. 1 organizations on a two-tier fabric", "Sec. VII-C extension");
+    banner(
+        "Fig. 1 organizations on a two-tier fabric",
+        "Sec. VII-C extension",
+    );
     println!("32 nodes (4 racks x 8), AlexNet-sized gradients (233 MB), 10 GbE edge\n");
     let points = run(50_000);
     for compressed in [false, true] {
@@ -42,6 +45,20 @@ fn main() {
         }
         println!("{}", t.render());
     }
+    println!("fabric-measured wire volume (8 workers in 2 groups of 4, NicFabric):\n");
+    let len = fidelity_from_env().scale(40_000, 4_000);
+    let rows = measured_wire_volume(len, 9);
+    let mut t = TextTable::new(vec!["organization", "compressed", "payload B", "wire B"]);
+    for r in &rows {
+        t.row(vec![
+            r.organization.label().to_string(),
+            if r.compressed { "eb=2^-10" } else { "-" }.to_string(),
+            format!("{}", r.payload_bytes),
+            format!("{}", r.wire_bytes),
+        ]);
+    }
+    println!("{}", t.render());
+
     println!("Expected shape: rings dominate aggregators; the hierarchical ring");
     println!("only pays off once the core is heavily oversubscribed; compression");
     println!("recovers most of the oversubscription penalty.");

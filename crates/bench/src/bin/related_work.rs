@@ -21,7 +21,12 @@ fn main() {
             format!("{:.1}x", r.ratio),
             pct(r.accuracy as f64),
             format!("{:.3}", r.relative),
-            if r.approach.is_stateful() { "no" } else { "yes" }.to_string(),
+            if r.approach.is_stateful() {
+                "no"
+            } else {
+                "yes"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());

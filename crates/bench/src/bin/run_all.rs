@@ -11,8 +11,21 @@ use std::process::Command;
 
 /// Binaries regenerated, in paper order.
 const ARTIFACTS: [&str; 15] = [
-    "table1", "table2", "table3", "fig03", "fig04", "fig05", "fig07", "fig12", "fig13", "fig14",
-    "fig15", "ablations", "boundsweep", "hierarchy", "related_work",
+    "table1",
+    "table2",
+    "table3",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig07",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablations",
+    "boundsweep",
+    "hierarchy",
+    "related_work",
 ];
 
 fn main() {
@@ -49,7 +62,11 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} artifacts regenerated into {}", ARTIFACTS.len(), dir.display());
+        println!(
+            "\nall {} artifacts regenerated into {}",
+            ARTIFACTS.len(),
+            dir.display()
+        );
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

@@ -18,8 +18,14 @@ fn main() {
         cols.iter().map(f).collect::<Vec<_>>()
     };
     let rows: Vec<(&str, Vec<String>)> = vec![
-        ("Per-node batch size", cell(&|c| c.batch_per_node.to_string())),
-        ("Learning rate (LR)", cell(&|c| format!("{}", c.learning_rate))),
+        (
+            "Per-node batch size",
+            cell(&|c| c.batch_per_node.to_string()),
+        ),
+        (
+            "Learning rate (LR)",
+            cell(&|c| format!("{}", c.learning_rate)),
+        ),
         ("LR reduction", cell(&|c| format!("{}", c.lr_reduction))),
         (
             "LR reduction iters",

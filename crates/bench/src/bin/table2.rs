@@ -10,7 +10,15 @@ fn main() {
     banner("Table II", "Sec. VIII-A");
     let rows = table2(&ClusterConfig::default());
     let mut t = TextTable::new(vec![
-        "Steps", "AlexNet", "", "HDC", " ", "ResNet-50", "  ", "VGG-16", "   ",
+        "Steps",
+        "AlexNet",
+        "",
+        "HDC",
+        " ",
+        "ResNet-50",
+        "  ",
+        "VGG-16",
+        "   ",
     ]);
     type PhaseGetter = Box<dyn Fn(&inceptionn::experiments::breakdown::Table2Row) -> f64>;
     let phase_rows: Vec<(&str, PhaseGetter)> = vec![

@@ -159,9 +159,12 @@ impl AdaptiveCodec {
                         at_value: out.len(),
                     })?;
                     if lane < group {
-                        out.push(codec.decompress_value(
-                            crate::inceptionn::CompressedValue { tag, payload },
-                        ));
+                        out.push(
+                            codec.decompress_value(crate::inceptionn::CompressedValue {
+                                tag,
+                                payload,
+                            }),
+                        );
                     }
                 }
                 left -= group;
@@ -220,7 +223,10 @@ mod tests {
         let vals = vec![2e-5f32; 256];
         let fixed = InceptionnCodec::new(ErrorBound::pow2(10));
         let fixed_out = fixed.quantize(&vals);
-        assert!(fixed_out.iter().all(|&v| v == 0.0), "fixed bound keeps info?");
+        assert!(
+            fixed_out.iter().all(|&v| v == 0.0),
+            "fixed bound keeps info?"
+        );
         let adaptive = AdaptiveCodec::new(8, 64);
         let out = adaptive.quantize(&vals);
         let mean: f32 = out.iter().sum::<f32>() / out.len() as f32;
@@ -237,8 +243,7 @@ mod tests {
         // Compare against the fixed codec at the same effective bound
         // (envelope 2^-6 with R=8 -> 2^-14... compute what adaptive picked).
         let fixed_best = InceptionnCodec::new(ErrorBound::pow2(14)).compress(&vals);
-        let overhead =
-            adaptive.bit_len as f64 - fixed_best.bit_len as f64;
+        let overhead = adaptive.bit_len as f64 - fixed_best.bit_len as f64;
         let headers = (vals.len() as f64 / 256.0).ceil() * 5.0;
         assert!(
             overhead.abs() <= headers + 16.0,

@@ -64,7 +64,12 @@ impl BitWriter {
         if self.bytes.is_empty() {
             0
         } else {
-            (self.bytes.len() - 1) * 8 + if self.bit_pos == 0 { 8 } else { self.bit_pos as usize }
+            (self.bytes.len() - 1) * 8
+                + if self.bit_pos == 0 {
+                    8
+                } else {
+                    self.bit_pos as usize
+                }
         }
     }
 
@@ -147,7 +152,11 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = BitReader::new(&bytes);
         for &(v, width) in &fields {
-            assert_eq!(r.read_bits(width), Some(v & ((1u64 << width) - 1) as u32), "width {width}");
+            assert_eq!(
+                r.read_bits(width),
+                Some(v & ((1u64 << width) - 1) as u32),
+                "width {width}"
+            );
         }
     }
 

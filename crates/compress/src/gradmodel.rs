@@ -216,8 +216,8 @@ mod tests {
         let grads = model.sample(&mut rng, 100_000);
         for t in [0.001f64, 0.01, 0.05] {
             let analytic = model.cdf_abs(t);
-            let empirical =
-                grads.iter().filter(|g| f64::from(g.abs()) <= t).count() as f64 / grads.len() as f64;
+            let empirical = grads.iter().filter(|g| f64::from(g.abs()) <= t).count() as f64
+                / grads.len() as f64;
             assert!(
                 (analytic - empirical).abs() < 0.01,
                 "t={t}: {analytic} vs {empirical}"
@@ -232,6 +232,9 @@ mod tests {
         let grads = GradientModel::preset(GradientPreset::AlexNet).sample(&mut rng, 300_000);
         let codec = InceptionnCodec::new(ErrorBound::pow2(10));
         let full_frac = codec.histogram(&grads).fractions().3;
-        assert!(full_frac > 0.0 && full_frac < 0.01, "full fraction {full_frac}");
+        assert!(
+            full_frac > 0.0 && full_frac < 0.01,
+            "full fraction {full_frac}"
+        );
     }
 }

@@ -435,7 +435,14 @@ mod tests {
     #[test]
     fn tiny_values_drop_to_zero() {
         let c = codec(10);
-        for v in [0.0f32, -0.0, 1e-20, 2f32.powi(-11), -2f32.powi(-10), 2f32.powi(-10)] {
+        for v in [
+            0.0f32,
+            -0.0,
+            1e-20,
+            2f32.powi(-11),
+            -2f32.powi(-10),
+            2f32.powi(-10),
+        ] {
             let cv = c.compress_value(v);
             assert_eq!(cv.tag, Tag::Zero, "{v}");
             assert_eq!(c.decompress_value(cv), 0.0);
@@ -501,9 +508,7 @@ mod tests {
     #[test]
     fn stream_round_trip_exactly_matches_scalar_path() {
         let c = codec(10);
-        let vals: Vec<f32> = (0..1000)
-            .map(|i| ((i as f32) * 0.37).sin() * 1.2)
-            .collect();
+        let vals: Vec<f32> = (0..1000).map(|i| ((i as f32) * 0.37).sin() * 1.2).collect();
         let stream = c.compress(&vals);
         let out = c.decompress(&stream).unwrap();
         let scalar = c.quantize(&vals);

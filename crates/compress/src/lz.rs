@@ -184,7 +184,12 @@ mod tests {
     fn repetitive_data_compresses_well() {
         let data: Vec<u8> = b"the quick brown fox ".repeat(100).to_vec();
         let packed = compress(&data);
-        assert!(packed.len() * 5 < data.len(), "{} vs {}", packed.len(), data.len());
+        assert!(
+            packed.len() * 5 < data.len(),
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 

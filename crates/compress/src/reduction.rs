@@ -94,8 +94,16 @@ impl GradientReduction for OneBitSgd {
                 neg_n += 1;
             }
         }
-        let pos_scale = if pos_n > 0 { (pos_sum / pos_n as f64) as f32 } else { 0.0 };
-        let neg_scale = if neg_n > 0 { (neg_sum / neg_n as f64) as f32 } else { 0.0 };
+        let pos_scale = if pos_n > 0 {
+            (pos_sum / pos_n as f64) as f32
+        } else {
+            0.0
+        };
+        let neg_scale = if neg_n > 0 {
+            (neg_sum / neg_n as f64) as f32
+        } else {
+            0.0
+        };
         let dense: Vec<f32> = corrected
             .iter()
             .map(|&v| if v >= 0.0 { pos_scale } else { neg_scale })
@@ -211,8 +219,8 @@ impl GradientReduction for TopK {
             .zip(&self.residual)
             .map(|(g, r)| g + r)
             .collect();
-        let keep = ((grads.len() as f64 * self.keep_fraction).ceil() as usize)
-            .clamp(1, grads.len());
+        let keep =
+            ((grads.len() as f64 * self.keep_fraction).ceil() as usize).clamp(1, grads.len());
         // Threshold selection via a partial sort of magnitudes.
         let mut order: Vec<usize> = (0..corrected.len()).collect();
         order.select_nth_unstable_by(keep - 1, |&a, &b| {
@@ -273,7 +281,9 @@ impl<R: Rng> Qsgd<R> {
 
     /// Bits per transmitted value (sign + ceil(log2(levels + 1))).
     fn bits_per_value(&self) -> u64 {
-        1 + (u64::from(self.levels) + 1).next_power_of_two().trailing_zeros() as u64
+        1 + (u64::from(self.levels) + 1)
+            .next_power_of_two()
+            .trailing_zeros() as u64
     }
 }
 
@@ -332,7 +342,11 @@ mod tests {
         let mut r = OneBitSgd::new();
         let g = grads(1, 10_000);
         let out = r.reduce(&g);
-        assert!(out.compression_ratio() > 30.0, "{}", out.compression_ratio());
+        assert!(
+            out.compression_ratio() > 30.0,
+            "{}",
+            out.compression_ratio()
+        );
         // Error feedback: residual + transmitted == corrected gradient,
         // so over two steps the total transmitted approaches the total
         // gradient (the bias cancels).
@@ -451,9 +465,13 @@ mod tests {
         // 4 levels -> 1 sign + 3 level bits = 4 bits/value -> ratio 8x
         // (minus chunk-norm overhead).
         let g = grads(9, 10_000);
-        let ratio = Qsgd::new(StdRng::seed_from_u64(9), 4).reduce(&g).compression_ratio();
+        let ratio = Qsgd::new(StdRng::seed_from_u64(9), 4)
+            .reduce(&g)
+            .compression_ratio();
         assert!((7.0..8.1).contains(&ratio), "{ratio}");
-        let ratio1 = Qsgd::new(StdRng::seed_from_u64(9), 1).reduce(&g).compression_ratio();
+        let ratio1 = Qsgd::new(StdRng::seed_from_u64(9), 1)
+            .reduce(&g)
+            .compression_ratio();
         assert!(ratio1 > 15.0, "1-level QSGD ratio {ratio1}");
     }
 

@@ -72,9 +72,8 @@ impl SzCodec {
             let in_range = bin_f.is_finite() && bin_f.abs() <= HALF_BINS as f64;
             let bin = if in_range { bin_f as i64 } else { 0 };
             let recon = (pred + bin as f64 * 2.0 * eb) as f32;
-            let quantizable = in_range
-                && (f64::from(v) - f64::from(recon)).abs() <= eb
-                && recon.is_finite();
+            let quantizable =
+                in_range && (f64::from(v) - f64::from(recon)).abs() <= eb && recon.is_finite();
             if quantizable {
                 // Codes 1..=255 encode bins -127..=127 (bin + 128).
                 w.write_bits((bin + 128) as u32, CODE_BITS);
@@ -138,7 +137,9 @@ mod tests {
     #[test]
     fn smooth_data_compresses_about_4x() {
         let codec = SzCodec::new(ErrorBound::pow2(10));
-        let data: Vec<f32> = (0..10_000).map(|i| (i as f32 * 0.001).sin() * 0.4).collect();
+        let data: Vec<f32> = (0..10_000)
+            .map(|i| (i as f32 * 0.001).sin() * 0.4)
+            .collect();
         let r = codec.ratio(&data);
         assert!(r > 3.5, "ratio {r}");
     }

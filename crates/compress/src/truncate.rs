@@ -34,7 +34,10 @@ impl Truncation {
     ///
     /// Panics if `bits` is 0 or ≥ 32.
     pub fn new(bits: u8) -> Self {
-        assert!((1..32).contains(&bits), "truncation bits {bits} outside 1..32");
+        assert!(
+            (1..32).contains(&bits),
+            "truncation bits {bits} outside 1..32"
+        );
         Truncation { bits }
     }
 

@@ -5,11 +5,14 @@
 //! `_comp` variants (`collec_comm_comp`) set the reserved ToS value on
 //! the underlying sockets so the NIC engines compress every gradient
 //! packet. Here the two variants are one [`CollectiveContext`] with an
-//! optional [`ErrorBound`].
+//! optional [`ErrorBound`], and the transport underneath — in-process
+//! shortcut, modeled NIC datapath, or either with link timing — is
+//! selected with a [`TransportKind`].
 
-use inceptionn_compress::{ErrorBound, InceptionnCodec};
-use inceptionn_distrib::aggregator::worker_aggregator_allreduce;
-use inceptionn_distrib::ring::{hierarchical_ring_allreduce, ring_allreduce};
+use inceptionn_compress::ErrorBound;
+use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
+use inceptionn_distrib::fabric::{Fabric, FabricStats, TransportKind};
+use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
 
 /// A handle over a fixed-size worker group, configured once and used
 /// for many exchanges (like an MPI communicator).
@@ -28,10 +31,12 @@ use inceptionn_distrib::ring::{hierarchical_ring_allreduce, ring_allreduce};
 pub struct CollectiveContext {
     workers: usize,
     compression: Option<ErrorBound>,
+    transport: TransportKind,
 }
 
 impl CollectiveContext {
-    /// Creates a context over `workers` ring-connected workers.
+    /// Creates a context over `workers` ring-connected workers using the
+    /// in-process transport.
     ///
     /// # Panics
     ///
@@ -41,6 +46,7 @@ impl CollectiveContext {
         CollectiveContext {
             workers,
             compression: None,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -48,6 +54,13 @@ impl CollectiveContext {
     /// `collec_comm_comp` variant.
     pub fn with_compression(mut self, bound: ErrorBound) -> Self {
         self.compression = Some(bound);
+        self
+    }
+
+    /// Selects the transport the collectives run over (default:
+    /// [`TransportKind::InProcess`]).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -61,8 +74,16 @@ impl CollectiveContext {
         self.compression
     }
 
-    fn codec(&self) -> Option<InceptionnCodec> {
-        self.compression.map(InceptionnCodec::new)
+    /// The configured transport.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// A fresh fabric for one exchange. The extra endpoint serves as the
+    /// aggregator for [`allreduce_worker_aggregator`]
+    /// (`CollectiveContext::allreduce_worker_aggregator`).
+    fn fabric(&self) -> Box<dyn Fabric> {
+        self.transport.build(self.workers + 1, self.compression)
     }
 
     /// Sums one gradient vector per worker in place via the
@@ -74,8 +95,18 @@ impl CollectiveContext {
     /// Panics if `grads.len() != self.workers()` or the vectors differ
     /// in length.
     pub fn allreduce(&self, grads: &mut [Vec<f32>]) {
+        self.allreduce_measured(grads);
+    }
+
+    /// [`allreduce`](Self::allreduce), returning what crossed the
+    /// transport (wire volume, engine cycles, link latency — depending
+    /// on the transport kind).
+    pub fn allreduce_measured(&self, grads: &mut [Vec<f32>]) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
-        ring_allreduce(grads, self.codec().as_ref());
+        let mut fabric = self.fabric();
+        let endpoints: Vec<usize> = (0..self.workers).collect();
+        ring_allreduce_over(fabric.as_mut(), grads, &endpoints);
+        fabric.stats()
     }
 
     /// Sums gradients via the hierarchical grouping of Fig. 1(c).
@@ -85,8 +116,20 @@ impl CollectiveContext {
     /// Panics on a worker-count mismatch or when `group_size` does not
     /// divide the worker count.
     pub fn allreduce_hierarchical(&self, grads: &mut [Vec<f32>], group_size: usize) {
+        self.allreduce_hierarchical_measured(grads, group_size);
+    }
+
+    /// [`allreduce_hierarchical`](Self::allreduce_hierarchical) with
+    /// transport accounting.
+    pub fn allreduce_hierarchical_measured(
+        &self,
+        grads: &mut [Vec<f32>],
+        group_size: usize,
+    ) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
-        hierarchical_ring_allreduce(grads, group_size, self.codec().as_ref());
+        let mut fabric = self.fabric();
+        hierarchical_ring_allreduce_over(fabric.as_mut(), grads, group_size);
+        fabric.stats()
     }
 
     /// Sums gradients via the conventional worker-aggregator exchange
@@ -97,8 +140,16 @@ impl CollectiveContext {
     ///
     /// Panics if `grads.len() != self.workers()`.
     pub fn allreduce_worker_aggregator(&self, grads: &mut [Vec<f32>]) {
+        self.allreduce_worker_aggregator_measured(grads);
+    }
+
+    /// [`allreduce_worker_aggregator`](Self::allreduce_worker_aggregator)
+    /// with transport accounting.
+    pub fn allreduce_worker_aggregator_measured(&self, grads: &mut [Vec<f32>]) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
-        worker_aggregator_allreduce(grads, self.codec().as_ref());
+        let mut fabric = self.fabric();
+        worker_aggregator_allreduce_over(fabric.as_mut(), grads);
+        fabric.stats()
     }
 }
 
@@ -112,7 +163,11 @@ mod tests {
         let lossy = CollectiveContext::new(4).with_compression(ErrorBound::pow2(10));
         let make = || -> Vec<Vec<f32>> {
             (0..4)
-                .map(|w| (0..64).map(|i| ((w * 64 + i) as f32 * 0.001).sin() * 0.1).collect())
+                .map(|w| {
+                    (0..64)
+                        .map(|i| ((w * 64 + i) as f32 * 0.001).sin() * 0.1)
+                        .collect()
+                })
                 .collect()
         };
         let mut a = make();
@@ -128,9 +183,7 @@ mod tests {
     #[test]
     fn all_three_collectives_compute_the_same_sum() {
         let ctx = CollectiveContext::new(4);
-        let make = || -> Vec<Vec<f32>> {
-            (0..4).map(|w| vec![w as f32 + 1.0; 16]).collect()
-        };
+        let make = || -> Vec<Vec<f32>> { (0..4).map(|w| vec![w as f32 + 1.0; 16]).collect() };
         let mut ring = make();
         ctx.allreduce(&mut ring);
         let mut hier = make();
@@ -140,6 +193,31 @@ mod tests {
         assert_eq!(ring[0], vec![10.0f32; 16]);
         assert_eq!(hier[3], vec![10.0f32; 16]);
         assert_eq!(wa[1], vec![10.0f32; 16]);
+    }
+
+    #[test]
+    fn transport_choice_changes_accounting_not_values() {
+        let make = || -> Vec<Vec<f32>> {
+            (0..4)
+                .map(|w| {
+                    (0..500)
+                        .map(|i| ((w * 500 + i) as f32).sin() * 0.01)
+                        .collect()
+                })
+                .collect()
+        };
+        let shortcut = CollectiveContext::new(4).with_compression(ErrorBound::pow2(10));
+        let hardware = shortcut.with_transport(TransportKind::TimedNic);
+        let mut a = make();
+        let stats_a = shortcut.allreduce_measured(&mut a);
+        let mut b = make();
+        let stats_b = hardware.allreduce_measured(&mut b);
+        assert_eq!(a, b, "transport must not change the values");
+        assert_eq!(stats_a.link_latency_ns, 0);
+        assert_eq!(stats_a.engine_cycles, 0);
+        assert!(stats_b.link_latency_ns > 0);
+        assert!(stats_b.engine_cycles > 0);
+        assert!(stats_b.wire_ratio() > 1.5, "ratio {}", stats_b.wire_ratio());
     }
 
     #[test]

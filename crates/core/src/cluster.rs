@@ -15,7 +15,9 @@
 use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
 use inceptionn_compress::{ErrorBound, InceptionnCodec};
 use inceptionn_dnn::profile::ModelProfile;
-use inceptionn_netsim::collective::{ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE};
+use inceptionn_netsim::collective::{
+    ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE,
+};
 use inceptionn_netsim::sim::NetworkConfig;
 use inceptionn_netsim::transfer::CompressionSpec;
 use inceptionn_nicsim::engine::{NS_PER_CYCLE, PIPELINE_DEPTH};
@@ -159,7 +161,13 @@ pub fn iteration_breakdown(
         .then(|| compression_spec(profile.grad_preset, cfg.bound, cfg.ratio_samples));
     let exchange = if system.is_ring() {
         let net = NetworkConfig::ten_gbe(cfg.workers);
-        ring_exchange(&net, profile.weight_bytes, gamma, spec, cfg.ring_host_s_per_byte)
+        ring_exchange(
+            &net,
+            profile.weight_bytes,
+            gamma,
+            spec,
+            cfg.ring_host_s_per_byte,
+        )
     } else {
         let net = NetworkConfig::ten_gbe(cfg.workers + 1);
         worker_aggregator_exchange(&net, cfg.workers, profile.weight_bytes, gamma, spec)
@@ -220,7 +228,11 @@ mod tests {
             b.comm_s,
             profile.paper_t_communicate
         );
-        assert!(b.comm_fraction() > 0.70, "comm fraction {:.2}", b.comm_fraction());
+        assert!(
+            b.comm_fraction() > 0.70,
+            "comm fraction {:.2}",
+            b.comm_fraction()
+        );
     }
 
     #[test]
@@ -233,8 +245,18 @@ mod tests {
             .map(|&s| iteration_breakdown(&profile, s, &cfg).total_s())
             .collect();
         assert!(t[0] > t[1], "WA {:.3} should exceed WA+C {:.3}", t[0], t[1]);
-        assert!(t[1] > t[2], "WA+C {:.3} should exceed INC {:.3}", t[1], t[2]);
-        assert!(t[2] > t[3], "INC {:.3} should exceed INC+C {:.3}", t[2], t[3]);
+        assert!(
+            t[1] > t[2],
+            "WA+C {:.3} should exceed INC {:.3}",
+            t[1],
+            t[2]
+        );
+        assert!(
+            t[2] > t[3],
+            "INC {:.3} should exceed INC+C {:.3}",
+            t[2],
+            t[3]
+        );
     }
 
     #[test]
@@ -274,8 +296,10 @@ mod tests {
 
     #[test]
     fn measured_ratio_grows_with_looser_bounds() {
-        let r10 = measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(10), 20_000, 1);
-        let r6 = measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(6), 20_000, 1);
+        let r10 =
+            measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(10), 20_000, 1);
+        let r6 =
+            measured_compression_ratio(GradientPreset::AlexNet, ErrorBound::pow2(6), 20_000, 1);
         assert!(r6 > r10, "{r6} vs {r10}");
         assert!(r6 > 9.0, "loose-bound ratio {r6}");
     }
@@ -297,7 +321,10 @@ mod tests {
         // 64 epochs * 5000 iters/epoch = Table I's 320k AlexNet iterations.
         let profile = ModelProfile::of(ModelId::AlexNet);
         assert_eq!(iterations_per_epoch(&profile, 4), 5_000);
-        assert_eq!(iterations_per_epoch(&profile, 4) * 64, profile.train_iterations);
+        assert_eq!(
+            iterations_per_epoch(&profile, 4) * 64,
+            profile.train_iterations
+        );
         let vgg = ModelProfile::of(ModelId::Vgg16);
         assert_eq!(iterations_per_epoch(&vgg, 4) * 74, vgg.train_iterations);
     }

@@ -38,9 +38,7 @@ pub fn size_selection(fidelity: Fidelity, seed: u64) -> Vec<SizeSelAblation> {
             let adaptive_ratio = hist.compression_ratio();
             // Fixed-16 variant: Zero and Full keep their encodings; the
             // 8- and 16-bit classes all cost 16 payload bits.
-            let fixed_bits = 2 * hist.total()
-                + 16 * (hist.bits8 + hist.bits16)
-                + 32 * hist.full;
+            let fixed_bits = 2 * hist.total() + 16 * (hist.bits8 + hist.bits16) + 32 * hist.full;
             let fixed16_ratio = (hist.total() as f64 * 32.0) / fixed_bits as f64;
             SizeSelAblation {
                 bound_exp: e,

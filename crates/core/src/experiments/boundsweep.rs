@@ -85,8 +85,11 @@ mod tests {
         let loosest = pts.first().unwrap();
         let tightest = pts.last().unwrap();
         assert!(loosest.ratio > 10.0, "2^-4 ratio {:.1}", loosest.ratio);
-        assert!(tightest.ratio > 1.5 && tightest.ratio < 8.0,
-            "2^-14 ratio {:.1}", tightest.ratio);
+        assert!(
+            tightest.ratio > 1.5 && tightest.ratio < 8.0,
+            "2^-14 ratio {:.1}",
+            tightest.ratio
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use inceptionn_netsim::twotier::{
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::compression_spec;
-use crate::{ErrorBound};
+use crate::ErrorBound;
 
 /// The four organizations of Fig. 1 (flat WA is Fig. 2's baseline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,6 +98,81 @@ pub fn run(ratio_samples: usize) -> Vec<HierarchyPoint> {
     out
 }
 
+/// Fabric-measured wire volume of one organization (the gradient-level
+/// cross-check of the analytic `exchange_s` numbers above).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireVolumeRow {
+    /// Organization measured.
+    pub organization: Organization,
+    /// Whether NIC compression was on (eb = 2^-10).
+    pub compressed: bool,
+    /// Application gradient bytes entering the transport.
+    pub payload_bytes: u64,
+    /// Post-compression bytes on the wire.
+    pub wire_bytes: u64,
+}
+
+/// Runs the three gradient-level organizations (flat WA, flat ring,
+/// hierarchical ring — hierarchical WA has no gradient-level
+/// implementation) over a [`NicFabric`] and reports the bytes each one
+/// actually puts on the wire. `values_per_worker` gradients per worker,
+/// 8 workers in 2 groups of 4.
+///
+/// [`NicFabric`]: inceptionn_distrib::fabric::NicFabric
+pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolumeRow> {
+    use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
+    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let n = 8usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inputs: Vec<Vec<f32>> = (0..n)
+        .map(|_| {
+            (0..values_per_worker)
+                .map(|_| {
+                    // Heavy-tailed like real gradients: most values sit
+                    // near (or below) the error bound.
+                    let u: f32 = rng.gen_range(-1.0f32..1.0);
+                    u * u * u * 0.01
+                })
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::new();
+    for compressed in [false, true] {
+        let bound = compressed.then(|| ErrorBound::pow2(10));
+        for org in [
+            Organization::FlatWa,
+            Organization::FlatRing,
+            Organization::HierarchicalRing,
+        ] {
+            let mut grads = inputs.clone();
+            let mut fabric = NicFabric::new(n + 1, bound);
+            match org {
+                Organization::FlatWa => worker_aggregator_allreduce_over(&mut fabric, &mut grads),
+                Organization::FlatRing => {
+                    let endpoints: Vec<usize> = (0..n).collect();
+                    ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+                }
+                Organization::HierarchicalRing => {
+                    hierarchical_ring_allreduce_over(&mut fabric, &mut grads, 4)
+                }
+                Organization::HierarchicalWa => unreachable!(),
+            }
+            let stats = fabric.stats();
+            out.push(WireVolumeRow {
+                organization: org,
+                compressed,
+                payload_bytes: stats.payload_bytes,
+                wire_bytes: stats.wire_bytes,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,12 +181,7 @@ mod tests {
         run(2_000)
     }
 
-    fn get(
-        pts: &[HierarchyPoint],
-        org: Organization,
-        oversub: u64,
-        compressed: bool,
-    ) -> f64 {
+    fn get(pts: &[HierarchyPoint], org: Organization, oversub: u64, compressed: bool) -> f64 {
         pts.iter()
             .find(|p| {
                 p.organization == org && p.oversubscription == oversub && p.compressed == compressed
@@ -125,8 +195,12 @@ mod tests {
         let pts = points();
         for oversub in [1u64, 4, 16, 80] {
             let flat_wa = get(&pts, Organization::FlatWa, oversub, false);
-            let best_ring = get(&pts, Organization::FlatRing, oversub, false)
-                .min(get(&pts, Organization::HierarchicalRing, oversub, false));
+            let best_ring = get(&pts, Organization::FlatRing, oversub, false).min(get(
+                &pts,
+                Organization::HierarchicalRing,
+                oversub,
+                false,
+            ));
             assert!(
                 best_ring < flat_wa * 0.5,
                 "oversub {oversub}: ring {best_ring:.2} vs flat WA {flat_wa:.2}"
@@ -165,6 +239,40 @@ mod tests {
         assert!(gain_at(80) > 1.5, "gain at 80:1 {:.2}", gain_at(80));
         // Compression gain should not *shrink* as the core gets slower.
         assert!(gain_at(80) >= gain_at(1) * 0.8);
+    }
+
+    #[test]
+    fn measured_wire_volume_matches_the_block_accounting() {
+        let len = 4000usize;
+        let rows = measured_wire_volume(len, 9);
+        assert_eq!(rows.len(), 6);
+        let get = |org: Organization, compressed: bool| {
+            rows.iter()
+                .find(|r| r.organization == org && r.compressed == compressed)
+                .unwrap()
+        };
+        // Uncompressed payload totals are exact block arithmetic: the
+        // flat ring moves 2(n−1) blocks of len/n per worker, WA moves a
+        // full vector up and down per worker.
+        let n = 8u64;
+        let bytes = (len * 4) as u64;
+        let ring = get(Organization::FlatRing, false);
+        assert_eq!(ring.payload_bytes, 2 * (n - 1) * bytes);
+        assert_eq!(ring.payload_bytes, ring.wire_bytes, "lossless ships raw");
+        let wa = get(Organization::FlatWa, false);
+        assert_eq!(wa.payload_bytes, 2 * n * bytes);
+        // Compression shrinks both ring legs but only WA's gather leg,
+        // so the compressed ring puts less on the wire than compressed
+        // WA despite moving almost as much payload.
+        let ring_c = get(Organization::FlatRing, true);
+        let wa_c = get(Organization::FlatWa, true);
+        assert!(ring_c.wire_bytes < ring.wire_bytes / 2);
+        assert!(ring_c.wire_bytes < wa_c.wire_bytes);
+        // The hierarchy trades extra local hops for less cross-group
+        // traffic; globally it still moves more payload than one flat
+        // ring at this scale.
+        let hier = get(Organization::HierarchicalRing, false);
+        assert!(hier.payload_bytes > ring.payload_bytes);
     }
 
     #[test]

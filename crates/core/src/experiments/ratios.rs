@@ -132,6 +132,33 @@ pub fn fig14_accuracy(model: ProxyModel, fidelity: Fidelity, seed: u64) -> Vec<A
     rows
 }
 
+/// Reproduces Fig. 14(a) *on the wire*: instead of asking the software
+/// codec for its output size, every stream is pushed through the
+/// modeled NIC datapath ([`NicFabric`]) and the ratio is read off the
+/// transport counters — payload bytes in over post-compression packet
+/// payload bytes out. Slightly below [`fig14_ratios`] because each MTU
+/// packet is compressed independently (per-packet byte alignment), which
+/// is exactly what the hardware ships.
+pub fn fig14_wire_ratios(fidelity: Fidelity, seed: u64) -> Vec<RatioRow> {
+    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    let samples = fidelity.scale(400_000, 20_000);
+    let mut rows = Vec::new();
+    for preset in GradientPreset::ALL {
+        let mut rng = StdRng::seed_from_u64(seed ^ preset as u64);
+        let grads = GradientModel::preset(preset).sample(&mut rng, samples);
+        for e in [10u8, 8, 6] {
+            let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(e)));
+            fabric.transfer(0, 1, &grads);
+            rows.push(RatioRow {
+                model: preset.name().to_string(),
+                scheme: Scheme::Inceptionn(e),
+                ratio: fabric.stats().wire_ratio(),
+            });
+        }
+    }
+    rows
+}
+
 /// One row of Table III: the bitwidth distribution of one model at one
 /// error bound.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -202,7 +229,10 @@ mod tests {
     #[test]
     fn truncation_ratios_are_constant_and_capped_at_four() {
         let rows = fig14_ratios(Fidelity::Quick, 1);
-        for r in rows.iter().filter(|r| matches!(r.scheme, Scheme::Truncate(_))) {
+        for r in rows
+            .iter()
+            .filter(|r| matches!(r.scheme, Scheme::Truncate(_)))
+        {
             assert!(r.ratio <= 4.0, "{:?}: {}", r.scheme, r.ratio);
         }
         // INC at the loosest bound reaches near-15x on at least one model.
@@ -230,7 +260,10 @@ mod tests {
                 get(Scheme::Inceptionn(6)),
             );
             assert!(r10 < r8 && r8 < r6, "{model}: {r10:.1} {r8:.1} {r6:.1}");
-            assert!(r10 > 2.0, "{model}: even the tight bound beats 2x ({r10:.1})");
+            assert!(
+                r10 > 2.0,
+                "{model}: even the tight bound beats 2x ({r10:.1})"
+            );
         }
     }
 
@@ -259,6 +292,37 @@ mod tests {
     }
 
     #[test]
+    fn wire_ratios_track_the_codec_ratios() {
+        // The NIC ships per-packet compressed streams; the achieved wire
+        // ratio must sit within a few percent of the whole-stream codec
+        // ratio (per-packet alignment costs at most a byte per 1448).
+        let codec = fig14_ratios(Fidelity::Quick, 5);
+        let wire = fig14_wire_ratios(Fidelity::Quick, 5);
+        for w in &wire {
+            let c = codec
+                .iter()
+                .find(|r| r.model == w.model && r.scheme == w.scheme)
+                .unwrap();
+            assert!(
+                w.ratio > 1.5,
+                "{} {:?}: wire {:.2}",
+                w.model,
+                w.scheme,
+                w.ratio
+            );
+            let rel = (w.ratio - c.ratio).abs() / c.ratio;
+            assert!(
+                rel < 0.05,
+                "{} {:?}: wire {:.2} vs codec {:.2}",
+                w.model,
+                w.scheme,
+                w.ratio,
+                c.ratio
+            );
+        }
+    }
+
+    #[test]
     fn table3_matches_paper_trends() {
         let rows = table3(Fidelity::Quick, 3);
         assert_eq!(rows.len(), 12);
@@ -272,7 +336,10 @@ mod tests {
                     .0
             };
             // Looser bound -> more 2-bit values; >= 74% everywhere.
-            assert!(zero_at(10) < zero_at(8) && zero_at(8) < zero_at(6), "{model}");
+            assert!(
+                zero_at(10) < zero_at(8) && zero_at(8) < zero_at(6),
+                "{model}"
+            );
             assert!(zero_at(10) > 0.70, "{model}: {:.3}", zero_at(10));
             assert!(zero_at(6) > 0.90, "{model}: {:.3}", zero_at(6));
         }

@@ -2,7 +2,9 @@
 
 use inceptionn_dnn::profile::{ModelId, ModelProfile};
 use inceptionn_netsim::analytic::{ring_time, wa_time, CostModel};
-use inceptionn_netsim::collective::{ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE};
+use inceptionn_netsim::collective::{
+    ring_exchange, worker_aggregator_exchange, RING_HOST_S_PER_BYTE,
+};
 use inceptionn_netsim::sim::NetworkConfig;
 use serde::{Deserialize, Serialize};
 
@@ -36,8 +38,8 @@ pub fn fig15() -> Vec<ScalingPoint> {
         let model = CostModel::ten_gbe(gamma);
         let n = profile.weight_bytes;
         // Baseline for normalization: 4-node WA.
-        let wa4 = worker_aggregator_exchange(&NetworkConfig::ten_gbe(5), 4, n, gamma, None)
-            .total_s();
+        let wa4 =
+            worker_aggregator_exchange(&NetworkConfig::ten_gbe(5), 4, n, gamma, None).total_s();
         for &nodes in &NODE_COUNTS {
             let wa = worker_aggregator_exchange(
                 &NetworkConfig::ten_gbe(nodes + 1),
@@ -55,9 +57,14 @@ pub fn fig15() -> Vec<ScalingPoint> {
                 normalized: wa / wa4,
                 analytic_s: wa_time(nodes, n, &model),
             });
-            let ring =
-                ring_exchange(&NetworkConfig::ten_gbe(nodes), n, gamma, None, RING_HOST_S_PER_BYTE)
-                    .total_s();
+            let ring = ring_exchange(
+                &NetworkConfig::ten_gbe(nodes),
+                n,
+                gamma,
+                None,
+                RING_HOST_S_PER_BYTE,
+            )
+            .total_s();
             // The analytic ring model sees the stack cost as extra beta.
             let ring_model = CostModel {
                 beta: model.beta + RING_HOST_S_PER_BYTE,
@@ -93,7 +100,10 @@ mod tests {
             };
             // Paper: WA exchange time ~linear in node count.
             let growth_wa = get(true, 8) / get(true, 4);
-            assert!((1.6..2.4).contains(&growth_wa), "{model}: WA growth {growth_wa:.2}");
+            assert!(
+                (1.6..2.4).contains(&growth_wa),
+                "{model}: WA growth {growth_wa:.2}"
+            );
             // Ring stays almost constant.
             let growth_ring = get(false, 8) / get(false, 4);
             assert!(

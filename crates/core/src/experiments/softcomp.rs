@@ -37,12 +37,19 @@ pub enum SoftScheme {
     Sz,
     /// 16-LSB truncation with software bit packing.
     Trunc16,
+    /// The paper's answer: the same lossy codec in the NIC datapath
+    /// (measured via the fabric stack, not part of Fig. 7's four bars).
+    NicHardware,
 }
 
 impl SoftScheme {
     /// The schemes in Fig. 7's order.
-    pub const ALL: [SoftScheme; 4] =
-        [SoftScheme::Base, SoftScheme::Lz, SoftScheme::Sz, SoftScheme::Trunc16];
+    pub const ALL: [SoftScheme; 4] = [
+        SoftScheme::Base,
+        SoftScheme::Lz,
+        SoftScheme::Sz,
+        SoftScheme::Trunc16,
+    ];
 
     /// Paper-style label.
     pub fn label(self) -> &'static str {
@@ -51,6 +58,7 @@ impl SoftScheme {
             SoftScheme::Lz => "Snappy-class LZ",
             SoftScheme::Sz => "SZ-class lossy",
             SoftScheme::Trunc16 => "16b-T (software)",
+            SoftScheme::NicHardware => "INC in-NIC (hardware)",
         }
     }
 }
@@ -79,6 +87,9 @@ pub fn profile_codecs(fidelity: Fidelity, seed: u64) -> Vec<CodecProfile> {
     for scheme in SoftScheme::ALL {
         let (ratio, secs) = match scheme {
             SoftScheme::Base => (1.0, f64::INFINITY),
+            SoftScheme::NicHardware => {
+                unreachable!("hardware reference is measured by fig7_nic_reference, not profiled")
+            }
             SoftScheme::Lz => {
                 let raw: Vec<u8> = grads.iter().flat_map(|v| v.to_le_bytes()).collect();
                 let t = Instant::now();
@@ -176,6 +187,52 @@ pub fn fig7(cfg: &ClusterConfig, codecs: &[CodecProfile]) -> Vec<Fig7Row> {
     rows
 }
 
+/// The counterpoint row Fig. 7 argues *for*: the same error-bounded
+/// codec moved into the NIC. The compression ratio and per-packet engine
+/// time are measured on the real modeled datapath (a [`NicFabric`]
+/// transfer of the sampled stream), then projected onto the same WA
+/// exchange as [`fig7`] — with **zero** host codec seconds, because the
+/// engines sit in line with the MAC.
+///
+/// [`NicFabric`]: inceptionn_distrib::fabric::NicFabric
+pub fn fig7_nic_reference(cfg: &ClusterConfig, fidelity: Fidelity, seed: u64) -> Vec<Fig7Row> {
+    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    use inceptionn_nicsim::engine::NS_PER_CYCLE;
+
+    let n_values = fidelity.scale(2_000_000, 50_000);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let grads = GradientModel::preset(inceptionn_compress::gradmodel::GradientPreset::AlexNet)
+        .sample(&mut rng, n_values);
+    let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+    fabric.transfer(0, 1, &grads);
+    let stats = fabric.stats();
+    // Compress + decompress engine time, averaged per MTU packet.
+    let engine_ns_per_packet = stats.engine_cycles * NS_PER_CYCLE / stats.packets.max(1);
+    let spec = CompressionSpec::new(stats.wire_ratio().max(1.0), engine_ns_per_packet);
+
+    let mut rows = Vec::new();
+    for id in [ModelId::AlexNet, ModelId::Hdc] {
+        let profile = ModelProfile::of(id);
+        let base = iteration_breakdown(&profile, SystemKind::Wa, cfg);
+        let net = NetworkConfig::ten_gbe(cfg.workers + 1);
+        let exchange = worker_aggregator_exchange(
+            &net,
+            cfg.workers,
+            profile.weight_bytes,
+            profile.gamma_per_byte(),
+            Some(spec),
+        );
+        let total = base.local_compute_s + exchange.reduce_s + exchange.comm_s;
+        rows.push(Fig7Row {
+            model: profile.name().to_string(),
+            scheme: SoftScheme::NicHardware,
+            iteration_s: total,
+            normalized: total / base.total_s(),
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +280,35 @@ mod tests {
         let rows = fig7(&quick_cfg(), &codecs);
         assert_eq!(rows.len(), 8);
         assert!(rows.iter().any(|r| r.model == "HDC"));
+    }
+
+    #[test]
+    fn in_nic_compression_beats_every_software_scheme_and_base() {
+        // Fig. 7's conclusion, measured on the fabric stack: software
+        // compression makes iterations slower, hardware makes them
+        // faster.
+        let cfg = quick_cfg();
+        let hw = fig7_nic_reference(&cfg, Fidelity::Quick, 4);
+        assert_eq!(hw.len(), 2);
+        let codecs = profile_codecs(Fidelity::Quick, 4);
+        let soft = fig7(&cfg, &codecs);
+        for row in &hw {
+            assert!(
+                row.normalized < 1.0,
+                "{}: in-NIC normalized {:.3}",
+                row.model,
+                row.normalized
+            );
+            for s in soft.iter().filter(|s| s.model == row.model) {
+                assert!(
+                    row.normalized < s.normalized + 1e-9,
+                    "{}: hw {:.3} vs {:?} {:.3}",
+                    row.model,
+                    row.normalized,
+                    s.scheme,
+                    s.normalized
+                );
+            }
+        }
     }
 }

@@ -124,11 +124,7 @@ mod tests {
         let rows = fig12(&quick_cfg());
         for r in rows.iter().filter(|r| r.system == SystemKind::Inc) {
             let cut = 1.0 - r.normalized;
-            assert!(
-                (0.25..0.65).contains(&cut),
-                "{}: INC cut {cut:.2}",
-                r.model
-            );
+            assert!((0.25..0.65).contains(&cut), "{}: INC cut {cut:.2}", r.model);
         }
     }
 

@@ -201,7 +201,10 @@ mod tests {
         // 24-bit truncation of gradients barely hurts…
         assert!(g24 > base - 0.25, "g-only collapsed: {g24} vs base {base}");
         // …but the same truncation of weights destroys training.
-        assert!(w24 < base - 0.3, "w-only unexpectedly fine: {w24} vs {base}");
+        assert!(
+            w24 < base - 0.3,
+            "w-only unexpectedly fine: {w24} vs {base}"
+        );
         assert!(w24 < g24, "w24 {w24} should be below g24 {g24}");
     }
 

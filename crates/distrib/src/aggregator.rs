@@ -1,16 +1,61 @@
-//! The conventional worker-aggregator exchange (Fig. 2).
+//! The conventional worker-aggregator exchange (Fig. 2), over a
+//! [`Fabric`].
 
 use inceptionn_compress::InceptionnCodec;
 
-/// In-place worker-aggregator all-reduce: every worker's gradient is
-/// shipped to a (logical) aggregator, summed there, and the sum is
+use crate::fabric::{Fabric, InProcessFabric, PayloadKind};
+
+/// In-place worker-aggregator all-reduce over a fabric: every worker's
+/// gradient is shipped to the aggregator endpoint (the fabric's **last**
+/// endpoint, index `workers.len()`), summed there, and the sum is
 /// returned to every worker.
 ///
-/// With `gradient_codec` set, the *upward* gradient leg passes through
-/// the lossy compression round trip. The downward leg is **never**
-/// compressed: in the real system it carries updated weights, which the
-/// paper shows do not tolerate lossy compression (Fig. 4) — this is the
-/// structural reason WA+C gains less than INC+C (Fig. 12).
+/// The upward gradient leg is [`PayloadKind::Gradient`] — compressible
+/// if the fabric compresses. The downward leg is sent as
+/// [`PayloadKind::Plain`] and is **never** compressed: in the real
+/// system it carries updated weights, which the paper shows do not
+/// tolerate lossy compression (Fig. 4) — this is the structural reason
+/// WA+C gains less than INC+C (Fig. 12).
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, the vectors differ in length, or the
+/// fabric has fewer than `workers.len() + 1` endpoints.
+pub fn worker_aggregator_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>]) {
+    let n = workers.len();
+    assert!(n > 0, "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    let aggregator = n;
+    assert!(
+        fabric.endpoints() > aggregator,
+        "fabric needs {n} worker endpoints plus an aggregator endpoint"
+    );
+    // Gather (compressible leg) + sum at the aggregator. The sink sums
+    // straight from the delivered slice — no per-worker copy.
+    let mut sum = vec![0.0f32; len];
+    for (i, w) in workers.iter().enumerate() {
+        fabric.transfer_with(i, aggregator, w, PayloadKind::Gradient, &mut |received| {
+            for (s, v) in sum.iter_mut().zip(received) {
+                *s += *v;
+            }
+        });
+    }
+    // Broadcast (weights leg, uncompressed).
+    for (i, w) in workers.iter_mut().enumerate() {
+        fabric.transfer_with(aggregator, i, &sum, PayloadKind::Plain, &mut |received| {
+            w.copy_from_slice(received);
+        });
+    }
+}
+
+/// In-place worker-aggregator all-reduce with the compression round trip
+/// applied in process (the historical signature). Equivalent to
+/// [`worker_aggregator_allreduce_over`] on an [`InProcessFabric`] with
+/// `workers.len() + 1` endpoints.
 ///
 /// # Panics
 ///
@@ -19,33 +64,14 @@ pub fn worker_aggregator_allreduce(
     workers: &mut [Vec<f32>],
     gradient_codec: Option<&InceptionnCodec>,
 ) {
-    let n = workers.len();
-    assert!(n > 0, "at least one worker required");
-    let len = workers[0].len();
-    assert!(
-        workers.iter().all(|w| w.len() == len),
-        "all workers must hold equally sized gradients"
-    );
-    // Gather (compressible leg) + sum at the aggregator.
-    let mut sum = vec![0.0f32; len];
-    for w in workers.iter() {
-        let received = match gradient_codec {
-            None => w.clone(),
-            Some(c) => c.quantize(w),
-        };
-        for (s, v) in sum.iter_mut().zip(&received) {
-            *s += v;
-        }
-    }
-    // Broadcast (weights leg, uncompressed).
-    for w in workers.iter_mut() {
-        w.copy_from_slice(&sum);
-    }
+    let mut fabric = InProcessFabric::new(workers.len() + 1, gradient_codec.map(|c| c.bound()));
+    worker_aggregator_allreduce_over(&mut fabric, workers);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::NicFabric;
     use inceptionn_compress::ErrorBound;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -112,5 +138,37 @@ mod tests {
         for (r, a) in by_ring[0].iter().zip(&by_agg[0]) {
             assert!((r - a).abs() < 1e-4, "{r} vs {a}");
         }
+    }
+
+    #[test]
+    fn nic_fabric_matches_in_process_bit_exactly() {
+        for bound in [None, Some(ErrorBound::pow2(9))] {
+            let grads = random_grads(4, 500, 5);
+            let mut in_proc = grads.clone();
+            let mut fabric = InProcessFabric::new(5, bound);
+            worker_aggregator_allreduce_over(&mut fabric, &mut in_proc);
+            let mut over_nic = grads.clone();
+            let mut fabric = NicFabric::new(5, bound);
+            worker_aggregator_allreduce_over(&mut fabric, &mut over_nic);
+            assert_eq!(in_proc, over_nic, "bound {bound:?}");
+        }
+    }
+
+    #[test]
+    fn only_the_gather_leg_compresses() {
+        // The broadcast leg is plain traffic even on a compressing
+        // fabric, so exactly half the payload volume shrinks.
+        let n = 4;
+        let mut grads = random_grads(n, 3620, 6);
+        let mut fabric = NicFabric::new(n + 1, Some(ErrorBound::pow2(10)));
+        worker_aggregator_allreduce_over(&mut fabric, &mut grads);
+        let stats = fabric.stats();
+        assert_eq!(stats.transfers, 2 * n as u64);
+        let plain_bytes = (n * 3620 * 4) as u64; // broadcast leg, uncompressed
+        assert!(stats.wire_bytes > plain_bytes, "plain leg must ship raw");
+        assert!(
+            stats.wire_bytes < stats.payload_bytes,
+            "gather leg must compress"
+        );
     }
 }

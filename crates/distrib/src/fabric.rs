@@ -1,0 +1,548 @@
+//! The transport seam between the collectives and the modeled hardware.
+//!
+//! Every exchange strategy in this crate (`ring`, `aggregator`,
+//! `trainer`) moves gradient blocks between worker-indexed endpoints.
+//! [`Fabric`] abstracts that move: a payload of `f32` values is *encoded*
+//! at the source endpoint into a ToS-tagged [`WireFrame`], optionally
+//! *charged* network latency for the link it crosses, and *delivered* at
+//! the destination endpoint. Three implementations span the co-design
+//! stack:
+//!
+//! * [`InProcessFabric`] — the modeling shortcut: payloads stay as `f32`
+//!   vectors and compression is applied as a whole-stream `quantize()`
+//!   round trip. Fast, bit-exact baseline.
+//! * [`NicFabric`] — the real datapath: every payload is cut into MTU
+//!   packets and pushed through `inceptionn-nicsim`'s compression /
+//!   decompression engines, so the bytes "on the wire" are the actual
+//!   INCEPTIONN encoding and engine cycles are accounted. Per-packet
+//!   hardware compression composes to exactly the same values as the
+//!   whole-stream software quantization, so [`NicFabric`] and
+//!   [`InProcessFabric`] agree bit for bit — a property the cross-crate
+//!   tests pin.
+//! * [`TimedFabric`] — wraps either of the above and charges
+//!   `inceptionn-netsim` serialization + store-and-forward latency per
+//!   transfer, accumulated per source link.
+//!
+//! [`TransportKind`] is the user-facing selector consumed by
+//! `TrainerConfig` and the `inceptionn` experiment drivers.
+
+use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_netsim::NetworkConfig;
+use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
+
+/// `f32` values per MTU packet — one 1448-byte payload.
+use inceptionn_nicsim::VALUES_PER_PACKET;
+
+/// How a payload is classified on the wire (the ToS tag of Sec. VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Lossy-compressible gradient traffic (`ToS = 0x28`).
+    Gradient,
+    /// Plain traffic the engines must never touch (e.g. the
+    /// worker-aggregator weight broadcast, Fig. 4).
+    Plain,
+}
+
+/// An encoded payload in flight between two endpoints.
+///
+/// Frames are [`Send`] so threaded exchanges can pass them through
+/// channels exactly like byte streams on a real fabric.
+#[derive(Debug, Clone)]
+pub enum WireFrame {
+    /// In-process shortcut: the (possibly quantized) values themselves.
+    Loopback(Vec<f32>),
+    /// Real NIC datapath output: ToS-tagged MTU packets whose payloads
+    /// are the hardware-encoded bytes.
+    Packets(Vec<Packet>),
+}
+
+impl WireFrame {
+    /// Post-compression payload bytes of each packet this frame occupies
+    /// on the wire (loopback frames count raw `f32` MTU packets).
+    pub fn packet_wire_bytes(&self) -> Vec<u64> {
+        match self {
+            WireFrame::Loopback(values) => values
+                .chunks(VALUES_PER_PACKET)
+                .map(|c| (c.len() * 4) as u64)
+                .collect(),
+            WireFrame::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
+        }
+    }
+}
+
+/// Running totals of what crossed a fabric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Point-to-point transfers performed.
+    pub transfers: u64,
+    /// Application payload bytes entering the fabric (pre-compression).
+    pub payload_bytes: u64,
+    /// Payload bytes on the wire (post-compression).
+    pub wire_bytes: u64,
+    /// Packets sent.
+    pub packets: u64,
+    /// Compression + decompression engine cycles spent.
+    pub engine_cycles: u64,
+    /// Network link/serialization latency charged, nanoseconds
+    /// (nonzero only behind a [`TimedFabric`]).
+    pub link_latency_ns: u64,
+}
+
+impl FabricStats {
+    /// Achieved wire compression ratio (1.0 when nothing was sent).
+    pub fn wire_ratio(&self) -> f64 {
+        if self.wire_bytes == 0 {
+            1.0
+        } else {
+            self.payload_bytes as f64 / self.wire_bytes as f64
+        }
+    }
+}
+
+/// A worker-indexed transport: endpoints send and receive ToS-tagged
+/// payloads, and the fabric accounts wire volume, engine time, and link
+/// latency.
+///
+/// The split into [`encode`](Fabric::encode) /
+/// [`charge`](Fabric::charge) / [`deliver`](Fabric::deliver) exists so
+/// threaded exchanges can serialize at the sender, move the frame
+/// through a channel, and decode at the receiver — the same structure a
+/// real transport has. Single-threaded callers use the
+/// [`transfer`](Fabric::transfer) convenience wrappers.
+pub trait Fabric: Send {
+    /// Number of endpoints (workers plus any aggregator).
+    fn endpoints(&self) -> usize;
+
+    /// Encodes `values` for the wire at endpoint `src`.
+    fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame;
+
+    /// Charges transport latency for moving `frame` from `src` to `dst`.
+    /// Untimed fabrics charge nothing.
+    fn charge(&mut self, _src: usize, _dst: usize, _frame: &WireFrame) {}
+
+    /// Decodes `frame` at endpoint `dst` and hands the received values
+    /// to `sink` (borrowed, so lossless in-process delivery can avoid
+    /// copies).
+    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32]));
+
+    /// Totals accumulated so far.
+    fn stats(&self) -> FabricStats;
+
+    /// Full transfer with a borrowing sink: encode at `src`, charge the
+    /// link, deliver at `dst`.
+    fn transfer_with(
+        &mut self,
+        src: usize,
+        dst: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        sink: &mut dyn FnMut(&[f32]),
+    ) {
+        let frame = self.encode(src, values, kind);
+        self.charge(src, dst, &frame);
+        self.deliver(dst, &frame, sink);
+    }
+
+    /// Transfers a gradient payload and returns the received values.
+    fn transfer(&mut self, src: usize, dst: usize, values: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(values.len());
+        self.transfer_with(src, dst, values, PayloadKind::Gradient, &mut |b| {
+            out.extend_from_slice(b)
+        });
+        out
+    }
+
+    /// Transfers a plain (never-compressed) payload and returns the
+    /// received values.
+    fn transfer_plain(&mut self, src: usize, dst: usize, values: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(values.len());
+        self.transfer_with(src, dst, values, PayloadKind::Plain, &mut |b| {
+            out.extend_from_slice(b)
+        });
+        out
+    }
+}
+
+fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packets: u64) {
+    stats.transfers += 1;
+    stats.payload_bytes += (values.len() * 4) as u64;
+    stats.wire_bytes += wire_bytes;
+    stats.packets += packets;
+}
+
+/// The current lossless/quantize shortcut, preserved for bit-exact
+/// baselines: values never leave process memory, and compression is the
+/// whole-stream `quantize()` round trip of the software codec.
+#[derive(Debug, Clone)]
+pub struct InProcessFabric {
+    endpoints: usize,
+    codec: Option<InceptionnCodec>,
+    stats: FabricStats,
+}
+
+impl InProcessFabric {
+    /// A fabric over `endpoints` endpoints, quantizing gradient payloads
+    /// when `compression` is set.
+    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        InProcessFabric {
+            endpoints,
+            codec: compression.map(InceptionnCodec::new),
+            stats: FabricStats::default(),
+        }
+    }
+}
+
+impl Fabric for InProcessFabric {
+    fn endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    fn encode(&mut self, _src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+        let out = match (kind, &self.codec) {
+            (PayloadKind::Gradient, Some(c)) => c.quantize(values),
+            _ => values.to_vec(),
+        };
+        count_payload(
+            &mut self.stats,
+            values,
+            (values.len() * 4) as u64,
+            values.len().div_ceil(VALUES_PER_PACKET) as u64,
+        );
+        WireFrame::Loopback(out)
+    }
+
+    fn deliver(&mut self, _dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+        match frame {
+            WireFrame::Loopback(values) => sink(values),
+            WireFrame::Packets(_) => panic!("loopback fabric received a packet frame"),
+        }
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    fn transfer_with(
+        &mut self,
+        _src: usize,
+        _dst: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        sink: &mut dyn FnMut(&[f32]),
+    ) {
+        // Zero-copy fast path: plain and lossless payloads are handed to
+        // the sink as the borrowed slice, skipping the frame allocation.
+        count_payload(
+            &mut self.stats,
+            values,
+            (values.len() * 4) as u64,
+            values.len().div_ceil(VALUES_PER_PACKET) as u64,
+        );
+        match (kind, &self.codec) {
+            (PayloadKind::Gradient, Some(c)) => sink(&c.quantize(values)),
+            _ => sink(values),
+        }
+    }
+}
+
+/// The real datapath: every payload traverses the nicsim compression /
+/// decompression engines and packet chunker, so wire bytes are the
+/// actual INCEPTIONN encoding and engine cycles are accounted.
+///
+/// Each endpoint owns a [`NicPipeline`] (its NIC). Lossless mode tags
+/// packets as plain traffic, which bypasses the engines but still ships
+/// the real little-endian bytes.
+#[derive(Debug, Clone)]
+pub struct NicFabric {
+    nics: Vec<NicPipeline>,
+    compress_gradients: bool,
+    stats: FabricStats,
+}
+
+impl NicFabric {
+    /// A fabric of `endpoints` NICs, engines programmed to `compression`
+    /// (lossless bypass when `None`).
+    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        let cfg = NicConfig {
+            bound: compression.unwrap_or_default(),
+            ..NicConfig::default()
+        };
+        NicFabric {
+            nics: (0..endpoints).map(|_| NicPipeline::new(cfg)).collect(),
+            compress_gradients: compression.is_some(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Per-endpoint NIC statistics (packet and byte counters).
+    pub fn nic_stats(&self, endpoint: usize) -> &inceptionn_nicsim::nic::NicStats {
+        self.nics[endpoint].stats()
+    }
+}
+
+impl Fabric for NicFabric {
+    fn endpoints(&self) -> usize {
+        self.nics.len()
+    }
+
+    fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+        let compressible = self.compress_gradients && kind == PayloadKind::Gradient;
+        let (wire, trace) = encode_payload(&mut self.nics[src], values, compressible);
+        count_payload(
+            &mut self.stats,
+            values,
+            trace.wire_payload_bytes(),
+            trace.packets(),
+        );
+        self.stats.engine_cycles += trace.engine_cycles;
+        WireFrame::Packets(wire)
+    }
+
+    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+        match frame {
+            WireFrame::Loopback(_) => panic!("NIC fabric received a loopback frame"),
+            WireFrame::Packets(packets) => {
+                let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)
+                    .expect("peer NICs share an error bound");
+                self.stats.engine_cycles += cycles;
+                sink(&values);
+            }
+        }
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.stats
+    }
+}
+
+/// Wraps another fabric and charges `inceptionn-netsim` link latency for
+/// every transfer: per-packet serialization (post-compression sizes),
+/// host injection pacing, and store-and-forward hops, via the closed
+/// form of the star-network DES
+/// ([`NetworkConfig::message_latency_ns`]).
+pub struct TimedFabric {
+    inner: Box<dyn Fabric>,
+    net: NetworkConfig,
+    /// Latency charged per source endpoint's uplink, nanoseconds.
+    link_ns: Vec<u64>,
+    total_ns: u64,
+}
+
+impl TimedFabric {
+    /// Times `inner` over `net`.
+    pub fn new(inner: Box<dyn Fabric>, net: NetworkConfig) -> Self {
+        let endpoints = inner.endpoints();
+        TimedFabric {
+            inner,
+            net,
+            link_ns: vec![0; endpoints],
+            total_ns: 0,
+        }
+    }
+
+    /// Latency charged against each source endpoint's link so far.
+    pub fn per_link_latency_ns(&self) -> &[u64] {
+        &self.link_ns
+    }
+
+    /// The network being modeled.
+    pub fn network(&self) -> &NetworkConfig {
+        &self.net
+    }
+}
+
+impl Fabric for TimedFabric {
+    fn endpoints(&self) -> usize {
+        self.inner.endpoints()
+    }
+
+    fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+        self.inner.encode(src, values, kind)
+    }
+
+    fn charge(&mut self, src: usize, dst: usize, frame: &WireFrame) {
+        self.inner.charge(src, dst, frame);
+        if src == dst {
+            // Self-delivery (e.g. a leader rebroadcasting to itself)
+            // never touches the network.
+            return;
+        }
+        let ns = self.net.message_latency_ns(&frame.packet_wire_bytes());
+        self.link_ns[src] += ns;
+        self.total_ns += ns;
+    }
+
+    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+        self.inner.deliver(dst, frame, sink);
+    }
+
+    fn stats(&self) -> FabricStats {
+        let mut stats = self.inner.stats();
+        stats.link_latency_ns += self.total_ns;
+        stats
+    }
+}
+
+/// User-facing fabric selector, consumed by `TrainerConfig` and the
+/// experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// [`InProcessFabric`]: the fast bit-exact modeling shortcut.
+    #[default]
+    InProcess,
+    /// [`NicFabric`]: payloads traverse the modeled NIC engines.
+    Nic,
+    /// [`TimedFabric`] over [`InProcessFabric`]: shortcut values plus
+    /// 10 GbE latency accounting (uncompressed wire sizes).
+    TimedInProcess,
+    /// [`TimedFabric`] over [`NicFabric`]: the full co-design stack —
+    /// real encoded bytes, engine cycles, and link latency.
+    TimedNic,
+}
+
+impl TransportKind {
+    /// Builds the fabric for `endpoints` endpoints, compressing gradient
+    /// payloads per `compression`. Timed variants model the paper's
+    /// 10 GbE star.
+    pub fn build(self, endpoints: usize, compression: Option<ErrorBound>) -> Box<dyn Fabric> {
+        let net = NetworkConfig::ten_gbe(endpoints.max(2));
+        match self {
+            TransportKind::InProcess => Box::new(InProcessFabric::new(endpoints, compression)),
+            TransportKind::Nic => Box::new(NicFabric::new(endpoints, compression)),
+            TransportKind::TimedInProcess => Box::new(TimedFabric::new(
+                Box::new(InProcessFabric::new(endpoints, compression)),
+                net,
+            )),
+            TransportKind::TimedNic => Box::new(TimedFabric::new(
+                Box::new(NicFabric::new(endpoints, compression)),
+                net,
+            )),
+        }
+    }
+
+    /// All four kinds, for exhaustive property tests.
+    pub const ALL: [TransportKind; 4] = [
+        TransportKind::InProcess,
+        TransportKind::Nic,
+        TransportKind::TimedInProcess,
+        TransportKind::TimedNic,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inceptionn_compress::ErrorBound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gradients(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-0.1f32..0.1)).collect()
+    }
+
+    #[test]
+    fn lossless_transfer_is_identity_on_every_fabric() {
+        let vals = gradients(1000, 1);
+        for kind in TransportKind::ALL {
+            let mut fabric = kind.build(3, None);
+            let out = fabric.transfer(0, 2, &vals);
+            assert_eq!(out, vals, "{kind:?} corrupted a lossless transfer");
+            let out = fabric.transfer_plain(2, 1, &vals);
+            assert_eq!(out, vals, "{kind:?} corrupted a plain transfer");
+        }
+    }
+
+    #[test]
+    fn nic_fabric_matches_quantize_shortcut_bit_exactly() {
+        let bound = ErrorBound::pow2(10);
+        let vals = gradients(2000, 2);
+        let mut shortcut = InProcessFabric::new(2, Some(bound));
+        let mut nic = NicFabric::new(2, Some(bound));
+        assert_eq!(
+            nic.transfer(0, 1, &vals),
+            shortcut.transfer(0, 1, &vals),
+            "per-packet hardware compression must compose to whole-stream quantization"
+        );
+    }
+
+    #[test]
+    fn nic_fabric_accounts_wire_volume_and_cycles() {
+        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+        let vals = gradients(1448, 3);
+        fabric.transfer(0, 1, &vals);
+        let stats = fabric.stats();
+        assert_eq!(stats.transfers, 1);
+        assert_eq!(stats.payload_bytes, 1448 * 4);
+        assert_eq!(stats.packets, 4);
+        assert!(stats.wire_bytes < stats.payload_bytes);
+        assert!(stats.wire_ratio() > 1.5, "ratio {}", stats.wire_ratio());
+        assert!(stats.engine_cycles > 0);
+        assert_eq!(stats.link_latency_ns, 0, "untimed fabric charges nothing");
+    }
+
+    #[test]
+    fn plain_payloads_never_touch_the_engines() {
+        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(6)));
+        let vals = gradients(500, 4);
+        let out = fabric.transfer_plain(0, 1, &vals);
+        assert_eq!(out, vals, "plain leg must be lossless");
+        assert_eq!(fabric.stats().engine_cycles, 0);
+        assert_eq!(fabric.nic_stats(0).compressed_packets, 0);
+    }
+
+    #[test]
+    fn timed_fabric_charges_per_source_link() {
+        let mut fabric = TimedFabric::new(
+            Box::new(NicFabric::new(3, Some(ErrorBound::pow2(10)))),
+            NetworkConfig::ten_gbe(3),
+        );
+        let vals = gradients(3000, 5);
+        fabric.transfer(0, 1, &vals);
+        fabric.transfer(2, 0, &vals);
+        fabric.transfer(2, 1, &vals);
+        assert!(fabric.per_link_latency_ns()[0] > 0);
+        assert_eq!(fabric.per_link_latency_ns()[1], 0);
+        assert!(
+            fabric.per_link_latency_ns()[2] > fabric.per_link_latency_ns()[0],
+            "two sends should charge link 2 more than link 0's one"
+        );
+        let stats = fabric.stats();
+        assert_eq!(
+            stats.link_latency_ns,
+            fabric.per_link_latency_ns().iter().sum::<u64>()
+        );
+        assert!(stats.engine_cycles > 0, "inner NIC stats must pass through");
+    }
+
+    #[test]
+    fn compressed_transfers_charge_less_link_time_than_lossless() {
+        let vals: Vec<f32> = gradients(100_000, 6).iter().map(|v| v * 1e-3).collect();
+        let run = |compression| {
+            let mut fabric = TimedFabric::new(
+                Box::new(NicFabric::new(2, compression)),
+                NetworkConfig::ten_gbe(2),
+            );
+            fabric.transfer(0, 1, &vals);
+            fabric.stats().link_latency_ns
+        };
+        let lossless = run(None);
+        let compressed = run(Some(ErrorBound::pow2(12)));
+        assert!(
+            compressed * 2 < lossless,
+            "compression should cut serialization time: {compressed} vs {lossless}"
+        );
+    }
+
+    #[test]
+    fn zero_length_payloads_are_free() {
+        for kind in TransportKind::ALL {
+            let mut fabric = kind.build(2, Some(ErrorBound::pow2(8)));
+            let out = fabric.transfer(0, 1, &[]);
+            assert!(out.is_empty());
+            let stats = fabric.stats();
+            assert_eq!(stats.packets, 0, "{kind:?}");
+            assert_eq!(stats.link_latency_ns, 0, "{kind:?}");
+        }
+    }
+}

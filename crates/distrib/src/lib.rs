@@ -8,20 +8,27 @@
 //! gradient. Both legs carry *gradients*, so both legs compress; the
 //! aggregation work is spread evenly across workers.
 //!
-//! This crate implements that algorithm twice, plus the baseline:
+//! All exchanges run over a [`fabric::Fabric`] — the transport seam that
+//! decides *how* a block moves between workers: in-process quantization
+//! shortcut ([`fabric::InProcessFabric`]), the modeled NIC
+//! compression/decompression datapath ([`fabric::NicFabric`]), either of
+//! those with network link timing charged per transfer
+//! ([`fabric::TimedFabric`]). The exchange schedules themselves:
 //!
-//! * [`ring::ring_allreduce`] — deterministic sequential-semantics
+//! * [`ring::ring_allreduce_over`] — deterministic sequential-semantics
 //!   implementation of Algorithm 1 (used by experiments and tests);
-//! * [`ring::threaded_ring_allreduce`] — a real concurrent
-//!   implementation over crossbeam channels, exchanging the actual
-//!   compressed byte streams;
-//! * [`ring::hierarchical_ring_allreduce`] — the grouped composition of
-//!   Fig. 1(c);
-//! * [`aggregator::worker_aggregator_allreduce`] — the conventional
+//! * [`ring::threaded_ring_allreduce_over`] — a real concurrent
+//!   implementation: worker threads exchanging wire frames over bounded
+//!   channels (with a [`fabric::NicFabric`], the actual
+//!   hardware-compressed byte streams);
+//! * [`ring::hierarchical_ring_allreduce_over`] — the grouped
+//!   composition of Fig. 1(c);
+//! * [`aggregator::worker_aggregator_allreduce_over`] — the conventional
 //!   centralized exchange (Fig. 2), where only the gradient (up) leg is
 //!   compressible;
 //! * [`trainer::DistributedTrainer`] — end-to-end data-parallel training
-//!   of model replicas over dataset shards with either exchange.
+//!   of model replicas over dataset shards with any exchange × transport
+//!   combination ([`trainer::TrainerConfig::transport`]).
 //!
 //! A note on Algorithm 1 as printed: the paper's pseudo-code for the
 //! propagation phase (lines 14–18) uses block indices shifted by one
@@ -43,8 +50,13 @@
 //! ```
 
 pub mod aggregator;
+pub mod fabric;
 pub mod ring;
 pub mod trainer;
 
+pub use fabric::{
+    Fabric, FabricStats, InProcessFabric, NicFabric, PayloadKind, TimedFabric, TransportKind,
+    WireFrame,
+};
 pub use ring::{ring_allreduce, threaded_ring_allreduce};
 pub use trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};

@@ -1,7 +1,17 @@
-//! Algorithm 1: the gradient-centric ring exchange.
+//! Algorithm 1: the gradient-centric ring exchange, over a [`Fabric`].
+//!
+//! The exchange logic here is pure schedule — which block moves to which
+//! neighbor at which step. Everything about *how* a block moves (software
+//! quantization shortcut, real NIC engine bytes, link timing) lives
+//! behind the [`Fabric`] trait, so the same schedule drives bit-exact
+//! baselines and full hardware-modeled runs.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
+
 use inceptionn_compress::InceptionnCodec;
+
+use crate::fabric::{Fabric, InProcessFabric, NicFabric, PayloadKind, WireFrame};
 
 /// The element range of block `k` when a vector of `len` elements is
 /// partitioned into `n` near-equal blocks (Algorithm 1 line 8).
@@ -15,22 +25,24 @@ pub fn block_range(len: usize, n: usize, k: usize) -> std::ops::Range<usize> {
     (k * len / n)..((k + 1) * len / n)
 }
 
-/// Applies the NIC's lossy round trip to a block in flight, if
-/// compression is enabled.
-fn maybe_quantize(codec: Option<&InceptionnCodec>, block: &[f32]) -> Vec<f32> {
-    match codec {
-        None => block.to_vec(),
-        Some(c) => c.quantize(block),
-    }
+fn assert_uniform(workers: &[Vec<f32>]) -> usize {
+    assert!(!workers.is_empty(), "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    len
 }
 
 /// In-place ring all-reduce over one gradient vector per worker
-/// (Algorithm 1, simultaneous-step semantics).
+/// (Algorithm 1, simultaneous-step semantics), exchanging blocks over
+/// `fabric` between the given endpoints (`endpoints[i]` is worker `i`'s
+/// NIC; the ring runs `endpoints[i] → endpoints[(i+1) % n]`).
 ///
 /// After the call, every `workers[i]` holds the elementwise sum of all
-/// inputs. With `codec` set, every block transfer goes through the lossy
-/// compression round trip on *both* legs, exactly as the INCEPTIONN NIC
-/// would apply it.
+/// inputs. Lossy compression, wire encoding, and latency accounting are
+/// whatever the fabric applies per transfer.
 ///
 /// Without compression the result is **bit-exact and identical across
 /// workers**: each block is reduced along a fixed ring path, so every
@@ -38,58 +50,141 @@ fn maybe_quantize(codec: Option<&InceptionnCodec>, block: &[f32]) -> Vec<f32> {
 ///
 /// # Panics
 ///
-/// Panics if the worker vectors have differing lengths or `workers` is
-/// empty.
-pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>) {
+/// Panics if the worker vectors differ in length, `workers` is empty,
+/// `endpoints.len() != workers.len()`, or an endpoint is out of range.
+pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], endpoints: &[usize]) {
     let n = workers.len();
-    assert!(n > 0, "at least one worker required");
-    let len = workers[0].len();
+    let len = assert_uniform(workers);
+    assert_eq!(endpoints.len(), n, "one endpoint per worker");
     assert!(
-        workers.iter().all(|w| w.len() == len),
-        "all workers must hold equally sized gradients"
+        endpoints.iter().all(|&e| e < fabric.endpoints()),
+        "endpoint out of range for fabric with {} endpoints",
+        fabric.endpoints()
     );
     if n == 1 || len == 0 {
         return;
     }
     // Phase 1 — aggregation (reduce-scatter): at step s node i sends
-    // blk[(i−s+1) mod n] and folds the incoming blk[(i−s) mod n].
+    // blk[(i−s+1) mod n] and folds the incoming blk[(i−s) mod n]. All
+    // sends of a step are encoded before any delivery is applied,
+    // preserving the simultaneous-step semantics.
     for s in 1..n {
-        let mut messages: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut frames: Vec<WireFrame> = Vec::with_capacity(n);
         for (i, w) in workers.iter().enumerate() {
             let k = (i + n - (s - 1)) % n; // (i - s + 1) mod n
-            messages.push(maybe_quantize(codec, &w[block_range(len, n, k)]));
+            let frame = fabric.encode(
+                endpoints[i],
+                &w[block_range(len, n, k)],
+                PayloadKind::Gradient,
+            );
+            fabric.charge(endpoints[i], endpoints[(i + 1) % n], &frame);
+            frames.push(frame);
         }
         for (i, worker) in workers.iter_mut().enumerate() {
             let from = (i + n - 1) % n;
-            let k = (i + n - s) % n;
-            let range = block_range(len, n, k);
-            for (dst, src) in worker[range].iter_mut().zip(&messages[from]) {
-                *dst += *src;
-            }
+            let range = block_range(len, n, (i + n - s) % n);
+            fabric.deliver(endpoints[i], &frames[from], &mut |rb| {
+                for (dst, src) in worker[range.clone()].iter_mut().zip(rb) {
+                    *dst += *src;
+                }
+            });
         }
     }
     // Phase 2 — propagation (all-gather): node i owns the fully reduced
     // blk[(i+1) mod n]; at step t it sends blk[(i+2−t) mod n] and
     // overwrites blk[(i+1−t) mod n] with the incoming copy.
     for t in 1..n {
-        let mut messages: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut frames: Vec<WireFrame> = Vec::with_capacity(n);
         for (i, w) in workers.iter().enumerate() {
             let k = (i + 2 + n - t) % n;
-            messages.push(maybe_quantize(codec, &w[block_range(len, n, k)]));
+            let frame = fabric.encode(
+                endpoints[i],
+                &w[block_range(len, n, k)],
+                PayloadKind::Gradient,
+            );
+            fabric.charge(endpoints[i], endpoints[(i + 1) % n], &frame);
+            frames.push(frame);
         }
         for (i, worker) in workers.iter_mut().enumerate() {
             let from = (i + n - 1) % n;
-            let k = (i + 1 + n - t) % n;
-            let range = block_range(len, n, k);
-            worker[range].copy_from_slice(&messages[from]);
+            let range = block_range(len, n, (i + 1 + n - t) % n);
+            fabric.deliver(endpoints[i], &frames[from], &mut |rb| {
+                worker[range.clone()].copy_from_slice(rb);
+            });
         }
     }
 }
 
-/// Two-level hierarchical composition of the ring exchange (Fig. 1(c)):
-/// rings within each group of `group_size` workers reduce locally, group
-/// leaders ring-exchange across groups, and leaders propagate the global
-/// sum back through their group ring.
+/// In-place ring all-reduce with the compression round trip applied in
+/// process (the historical signature, preserved for bit-exact
+/// baselines). Equivalent to [`ring_allreduce_over`] on an
+/// [`InProcessFabric`].
+///
+/// # Panics
+///
+/// Panics if the worker vectors have differing lengths or `workers` is
+/// empty.
+pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>) {
+    let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
+    let endpoints: Vec<usize> = (0..workers.len()).collect();
+    ring_allreduce_over(&mut fabric, workers, &endpoints);
+}
+
+/// Two-level hierarchical composition of the ring exchange (Fig. 1(c))
+/// over a fabric: rings within each group of `group_size` workers reduce
+/// locally, group leaders (the first member of each group) ring-exchange
+/// across groups, and leaders propagate the global sum back through
+/// their group with one more compressible gradient hop per member.
+///
+/// Worker `i` uses fabric endpoint `i`.
+///
+/// # Panics
+///
+/// Panics if `group_size` is zero or does not divide the worker count,
+/// or if the fabric has fewer endpoints than workers.
+pub fn hierarchical_ring_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    group_size: usize,
+) {
+    let n = workers.len();
+    assert!(group_size > 0, "group size must be positive");
+    assert!(
+        n.is_multiple_of(group_size),
+        "group size {group_size} must divide worker count {n}"
+    );
+    assert!(fabric.endpoints() >= n, "fabric must cover every worker");
+    let groups = n / group_size;
+    // Level 1: intra-group rings.
+    for g in 0..groups {
+        let endpoints: Vec<usize> = (g * group_size..(g + 1) * group_size).collect();
+        ring_allreduce_over(
+            fabric,
+            &mut workers[g * group_size..(g + 1) * group_size],
+            &endpoints,
+        );
+    }
+    if groups > 1 {
+        // Level 2: leaders exchange across groups.
+        let leader_endpoints: Vec<usize> = (0..groups).map(|g| g * group_size).collect();
+        let mut leader_grads: Vec<Vec<f32>> = leader_endpoints
+            .iter()
+            .map(|&e| workers[e].clone())
+            .collect();
+        ring_allreduce_over(fabric, &mut leader_grads, &leader_endpoints);
+        // Broadcast the global sum back through each group.
+        for (g, sum) in leader_grads.into_iter().enumerate() {
+            let leader = g * group_size;
+            for m in 0..group_size {
+                workers[leader + m] = fabric.transfer(leader, leader + m, &sum);
+            }
+        }
+    }
+}
+
+/// Two-level hierarchical ring exchange with the in-process compression
+/// shortcut (the historical signature). Equivalent to
+/// [`hierarchical_ring_allreduce_over`] on an [`InProcessFabric`].
 ///
 /// # Panics
 ///
@@ -99,38 +194,113 @@ pub fn hierarchical_ring_allreduce(
     group_size: usize,
     codec: Option<&InceptionnCodec>,
 ) {
-    let n = workers.len();
-    assert!(group_size > 0, "group size must be positive");
-    assert!(
-        n.is_multiple_of(group_size),
-        "group size {group_size} must divide worker count {n}"
-    );
-    let groups = n / group_size;
-    // Level 1: intra-group rings.
-    for g in 0..groups {
-        ring_allreduce(&mut workers[g * group_size..(g + 1) * group_size], codec);
-    }
-    if groups > 1 {
-        // Level 2: leaders (first member of each group) exchange.
-        let mut leader_grads: Vec<Vec<f32>> =
-            (0..groups).map(|g| workers[g * group_size].clone()).collect();
-        ring_allreduce(&mut leader_grads, codec);
-        // Broadcast the global sum back through each group (one more
-        // compressible gradient hop per member).
-        for (g, sum) in leader_grads.into_iter().enumerate() {
-            for m in 0..group_size {
-                workers[g * group_size + m] = maybe_quantize(codec, &sum);
-            }
-        }
-    }
+    let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
+    hierarchical_ring_allreduce_over(&mut fabric, workers, group_size);
 }
 
 /// Message-passing implementation of Algorithm 1: `n` worker threads
 /// connected by bounded channels, each executing the per-node loop and
-/// exchanging *actual compressed byte streams* when `codec` is set.
+/// exchanging [`WireFrame`]s encoded by the shared fabric — with a
+/// [`NicFabric`] those are actual hardware-compressed byte streams.
 ///
 /// Returns the per-worker reduced gradients (same result as
-/// [`ring_allreduce`] when uncompressed).
+/// [`ring_allreduce_over`] for any deterministic fabric, because the
+/// schedule is identical). The fabric is shared behind a mutex; frames
+/// move between threads through capacity-1 channels, mirroring the
+/// step-by-step hardware exchange.
+///
+/// # Panics
+///
+/// Panics if inputs are empty or differ in length, the fabric has fewer
+/// endpoints than workers, or a worker thread panics.
+pub fn threaded_ring_allreduce_over(
+    fabric: &Mutex<Box<dyn Fabric>>,
+    inputs: Vec<Vec<f32>>,
+) -> Vec<Vec<f32>> {
+    let n = inputs.len();
+    let len = assert_uniform(&inputs);
+    assert!(
+        fabric.lock().expect("fabric lock").endpoints() >= n,
+        "fabric must cover every worker"
+    );
+    if n == 1 {
+        return inputs;
+    }
+    // Ring of channels: worker i sends to (i+1) % n.
+    let mut senders: Vec<Option<SyncSender<WireFrame>>> = (0..n).map(|_| None).collect();
+    let mut receivers: Vec<Option<Receiver<WireFrame>>> = (0..n).map(|_| None).collect();
+    for i in 0..n {
+        let (tx, rx) = sync_channel::<WireFrame>(1);
+        senders[i] = Some(tx);
+        receivers[(i + 1) % n] = Some(rx);
+    }
+    let mut results: Vec<Vec<f32>> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut grad)| {
+                let tx = senders[i].take().expect("sender wired");
+                let rx = receivers[i].take().expect("receiver wired");
+                scope.spawn(move || {
+                    // Phase 1: reduce-scatter.
+                    for s in 1..n {
+                        let send_k = (i + n - (s - 1)) % n;
+                        let frame = {
+                            let mut f = fabric.lock().expect("fabric lock");
+                            let frame = f.encode(
+                                i,
+                                &grad[block_range(len, n, send_k)],
+                                PayloadKind::Gradient,
+                            );
+                            f.charge(i, (i + 1) % n, &frame);
+                            frame
+                        };
+                        tx.send(frame).expect("ring neighbor alive");
+                        let incoming = rx.recv().expect("ring neighbor alive");
+                        let range = block_range(len, n, (i + n - s) % n);
+                        let mut f = fabric.lock().expect("fabric lock");
+                        f.deliver(i, &incoming, &mut |rb| {
+                            for (dst, src) in grad[range.clone()].iter_mut().zip(rb) {
+                                *dst += *src;
+                            }
+                        });
+                    }
+                    // Phase 2: all-gather.
+                    for t in 1..n {
+                        let send_k = (i + 2 + n - t) % n;
+                        let frame = {
+                            let mut f = fabric.lock().expect("fabric lock");
+                            let frame = f.encode(
+                                i,
+                                &grad[block_range(len, n, send_k)],
+                                PayloadKind::Gradient,
+                            );
+                            f.charge(i, (i + 1) % n, &frame);
+                            frame
+                        };
+                        tx.send(frame).expect("ring neighbor alive");
+                        let incoming = rx.recv().expect("ring neighbor alive");
+                        let range = block_range(len, n, (i + 1 + n - t) % n);
+                        let mut f = fabric.lock().expect("fabric lock");
+                        f.deliver(i, &incoming, &mut |rb| {
+                            grad[range.clone()].copy_from_slice(rb);
+                        });
+                    }
+                    grad
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("worker thread completed"));
+        }
+    });
+    results
+}
+
+/// Message-passing ring exchange over a [`NicFabric`] (the historical
+/// signature): worker threads exchange the actual hardware-encoded byte
+/// streams when `codec` is set, plain little-endian packets otherwise.
 ///
 /// # Panics
 ///
@@ -140,96 +310,17 @@ pub fn threaded_ring_allreduce(
     inputs: Vec<Vec<f32>>,
     codec: Option<InceptionnCodec>,
 ) -> Vec<Vec<f32>> {
-    let n = inputs.len();
-    assert!(n > 0, "at least one worker required");
-    let len = inputs[0].len();
-    assert!(
-        inputs.iter().all(|w| w.len() == len),
-        "all workers must hold equally sized gradients"
-    );
-    if n == 1 {
-        return inputs;
-    }
-    // Ring of channels: worker i sends to (i+1) % n. Capacity 1 mirrors
-    // the step-by-step hardware exchange.
-    let mut senders: Vec<Option<Sender<Vec<u8>>>> = (0..n).map(|_| None).collect();
-    let mut rx_store: Vec<Option<Receiver<Vec<u8>>>> = (0..n).map(|_| None).collect();
-    for i in 0..n {
-        let (tx, rx) = bounded::<Vec<u8>>(1);
-        senders[i] = Some(tx);
-        rx_store[(i + 1) % n] = Some(rx);
-    }
-
-    let encode = |codec: &Option<InceptionnCodec>, block: &[f32]| -> Vec<u8> {
-        match codec {
-            None => block.iter().flat_map(|v| v.to_le_bytes()).collect(),
-            Some(c) => {
-                let stream = c.compress(block);
-                // Length-prefix the value count for framing.
-                let mut bytes = (stream.len as u32).to_le_bytes().to_vec();
-                bytes.extend_from_slice(&stream.bytes);
-                bytes
-            }
-        }
-    };
-    let decode = |codec: &Option<InceptionnCodec>, bytes: &[u8]| -> Vec<f32> {
-        match codec {
-            None => bytes
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
-            Some(c) => {
-                let count = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
-                let stream = inceptionn_compress::CompressedStream {
-                    len: count,
-                    bytes: bytes[4..].to_vec(),
-                    bit_len: (bytes.len() - 4) * 8,
-                };
-                c.decompress(&stream).expect("well-formed ring message")
-            }
-        }
-    };
-
-    let handles: Vec<std::thread::JoinHandle<Vec<f32>>> = inputs
-        .into_iter()
-        .enumerate()
-        .map(|(i, mut grad)| {
-            let tx = senders[i].take().expect("sender wired");
-            let rx = rx_store[i].take().expect("receiver wired");
-            std::thread::spawn(move || {
-                // Phase 1: reduce-scatter.
-                for s in 1..n {
-                    let send_k = (i + n - (s - 1)) % n;
-                    let msg = encode(&codec, &grad[block_range(len, n, send_k)]);
-                    tx.send(msg).expect("ring neighbor alive");
-                    let rb = decode(&codec, &rx.recv().expect("ring neighbor alive"));
-                    let recv_k = (i + n - s) % n;
-                    for (dst, src) in grad[block_range(len, n, recv_k)].iter_mut().zip(&rb) {
-                        *dst += *src;
-                    }
-                }
-                // Phase 2: all-gather.
-                for t in 1..n {
-                    let send_k = (i + 2 + n - t) % n;
-                    let msg = encode(&codec, &grad[block_range(len, n, send_k)]);
-                    tx.send(msg).expect("ring neighbor alive");
-                    let rb = decode(&codec, &rx.recv().expect("ring neighbor alive"));
-                    let recv_k = (i + 1 + n - t) % n;
-                    grad[block_range(len, n, recv_k)].copy_from_slice(&rb);
-                }
-                grad
-            })
-        })
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("worker thread completed"))
-        .collect()
+    let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(Box::new(NicFabric::new(
+        inputs.len().max(1),
+        codec.map(|c| c.bound()),
+    )));
+    threaded_ring_allreduce_over(&fabric, inputs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fabric::TransportKind;
     use inceptionn_compress::ErrorBound;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
@@ -324,6 +415,40 @@ mod tests {
     }
 
     #[test]
+    fn nic_fabric_ring_matches_in_process_bit_exactly() {
+        // The acceptance property of the transport refactor: pushing
+        // every block through the modeled NIC engines yields the exact
+        // floats of the whole-stream quantization shortcut.
+        for bound in [None, Some(ErrorBound::pow2(10))] {
+            let grads = random_grads(4, 777, 31);
+            let endpoints: Vec<usize> = (0..4).collect();
+            let mut in_proc = grads.clone();
+            let mut fabric = InProcessFabric::new(4, bound);
+            ring_allreduce_over(&mut fabric, &mut in_proc, &endpoints);
+            let mut over_nic = grads.clone();
+            let mut fabric = NicFabric::new(4, bound);
+            ring_allreduce_over(&mut fabric, &mut over_nic, &endpoints);
+            assert_eq!(in_proc, over_nic, "bound {bound:?}");
+            assert!(
+                bound.is_none() || fabric.stats().engine_cycles > 0,
+                "compressed run must spend engine cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_counts_the_expected_transfers() {
+        let n = 5;
+        let mut grads = random_grads(n, 500, 77);
+        let mut fabric = NicFabric::new(n, Some(ErrorBound::pow2(10)));
+        let endpoints: Vec<usize> = (0..n).collect();
+        ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+        // 2(n-1) steps, n transfers each.
+        assert_eq!(fabric.stats().transfers, (2 * (n - 1) * n) as u64);
+        assert!(fabric.stats().wire_ratio() > 1.0);
+    }
+
+    #[test]
     fn threaded_matches_sequential_without_compression() {
         let inputs = random_grads(4, 321, 21);
         let mut seq = inputs.clone();
@@ -334,15 +459,28 @@ mod tests {
 
     #[test]
     fn threaded_matches_sequential_with_compression() {
-        // The threaded path sends actual compressed byte streams; the
+        // The threaded path sends actual hardware-compressed packets; the
         // sequential path quantizes in place. Identical schedules +
-        // deterministic codec => identical results.
+        // bit-exact engines => identical results.
         let codec = InceptionnCodec::new(ErrorBound::pow2(10));
         let inputs = random_grads(5, 256, 22);
         let mut seq = inputs.clone();
         ring_allreduce(&mut seq, Some(&codec));
         let thr = threaded_ring_allreduce(inputs, Some(codec));
         assert_eq!(seq, thr);
+    }
+
+    #[test]
+    fn threaded_over_timed_fabric_charges_link_latency() {
+        let inputs = random_grads(4, 2000, 23);
+        let mut seq = inputs.clone();
+        ring_allreduce(&mut seq, None);
+        let fabric = Mutex::new(TransportKind::TimedNic.build(4, None));
+        let thr = threaded_ring_allreduce_over(&fabric, inputs);
+        assert_eq!(seq, thr);
+        let stats = fabric.lock().unwrap().stats();
+        assert!(stats.link_latency_ns > 0, "timed fabric must charge links");
+        assert_eq!(stats.transfers, 2 * 3 * 4);
     }
 
     #[test]
@@ -357,6 +495,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hierarchical_over_nic_fabric_matches_in_process() {
+        let grads = random_grads(6, 300, 91);
+        let mut in_proc = grads.clone();
+        hierarchical_ring_allreduce(&mut in_proc, 3, None);
+        let mut over_nic = grads.clone();
+        let mut fabric = NicFabric::new(6, None);
+        hierarchical_ring_allreduce_over(&mut fabric, &mut over_nic, 3);
+        assert_eq!(in_proc, over_nic);
     }
 
     #[test]

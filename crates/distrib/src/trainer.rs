@@ -1,12 +1,13 @@
 //! End-to-end data-parallel training over model replicas.
 
-use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_compress::ErrorBound;
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::optim::{Sgd, SgdConfig};
 use inceptionn_dnn::Network;
 
-use crate::aggregator::worker_aggregator_allreduce;
-use crate::ring::{hierarchical_ring_allreduce, ring_allreduce};
+use crate::aggregator::worker_aggregator_allreduce_over;
+use crate::fabric::{Fabric, FabricStats, TransportKind};
+use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
 
 /// Which gradient-exchange algorithm the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,8 @@ pub struct TrainerConfig {
     pub workers: usize,
     /// Exchange algorithm.
     pub strategy: ExchangeStrategy,
+    /// Transport the exchange runs over (see [`TransportKind`]).
+    pub transport: TransportKind,
     /// Lossy compression applied to exchanged gradients (`None` = the
     /// lossless baseline).
     pub compression: Option<ErrorBound>,
@@ -45,6 +48,7 @@ impl Default for TrainerConfig {
         TrainerConfig {
             workers: 4,
             strategy: ExchangeStrategy::Ring,
+            transport: TransportKind::InProcess,
             compression: None,
             sgd: SgdConfig::default(),
             batch_per_worker: 16,
@@ -68,8 +72,9 @@ pub struct IterationLog {
 /// seed (`w_0` shared, Algorithm 1 line 1) and a shard `D_i` of the
 /// training data. Each iteration: every worker computes its local
 /// gradient on its own minibatch, the configured exchange sums the
-/// gradients (with optional lossy compression in flight), and every
-/// worker applies the same SGD update.
+/// gradients over the configured transport fabric (with optional lossy
+/// compression in flight), and every worker applies the same SGD
+/// update.
 ///
 /// # Examples
 ///
@@ -90,12 +95,16 @@ pub struct DistributedTrainer {
     optimizers: Vec<Sgd>,
     shards: Vec<DigitDataset>,
     cursor: usize,
-    codec: Option<InceptionnCodec>,
+    fabric: Box<dyn Fabric>,
 }
 
 impl DistributedTrainer {
     /// Builds a cluster of `config.workers` replicas of the model
     /// produced by `model_fn(config.seed)` over shards of `dataset`.
+    ///
+    /// The transport fabric gets one endpoint per worker plus one for
+    /// the aggregator (used only by
+    /// [`ExchangeStrategy::WorkerAggregator`]).
     ///
     /// # Panics
     ///
@@ -116,20 +125,28 @@ impl DistributedTrainer {
             .map(|_| Sgd::new(config.sgd, replicas[0].param_count()))
             .collect();
         let shards = dataset.shards(config.workers);
-        let codec = config.compression.map(InceptionnCodec::new);
+        let fabric = config
+            .transport
+            .build(config.workers + 1, config.compression);
         DistributedTrainer {
             config,
             replicas,
             optimizers,
             shards,
             cursor: 0,
-            codec,
+            fabric,
         }
     }
 
     /// The configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// What has crossed the transport fabric so far (wire volume, engine
+    /// cycles, link latency — depending on the transport kind).
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
     }
 
     /// Runs one synchronous training iteration; returns the mean loss
@@ -147,13 +164,17 @@ impl DistributedTrainer {
             grads.push(self.replicas[w].flat_grads());
         }
         self.cursor += self.config.batch_per_worker;
+        let fabric = self.fabric.as_mut();
         match self.config.strategy {
-            ExchangeStrategy::Ring => ring_allreduce(&mut grads, self.codec.as_ref()),
+            ExchangeStrategy::Ring => {
+                let endpoints: Vec<usize> = (0..p).collect();
+                ring_allreduce_over(fabric, &mut grads, &endpoints);
+            }
             ExchangeStrategy::HierarchicalRing { group_size } => {
-                hierarchical_ring_allreduce(&mut grads, group_size, self.codec.as_ref())
+                hierarchical_ring_allreduce_over(fabric, &mut grads, group_size)
             }
             ExchangeStrategy::WorkerAggregator => {
-                worker_aggregator_allreduce(&mut grads, self.codec.as_ref())
+                worker_aggregator_allreduce_over(fabric, &mut grads)
             }
         }
         // Average the summed gradient so the effective step matches the
@@ -221,6 +242,7 @@ mod tests {
             },
             batch_per_worker: 8,
             seed: 3,
+            ..TrainerConfig::default()
         }
     }
 
@@ -340,6 +362,37 @@ mod tests {
             assert!((a.loss - b.loss).abs() < 1e-3, "{} vs {}", a.loss, b.loss);
         }
         assert_eq!(hier.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn nic_transport_trains_bit_identically_to_in_process() {
+        // Transport choice changes accounting, never values: the NIC
+        // datapath round trip is bit-exact against the shortcut.
+        let data = DigitDataset::generate(160, 16);
+        let mut shortcut = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let mut nic = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::TimedNic,
+                ..quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)))
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        shortcut.train_iterations(3);
+        nic.train_iterations(3);
+        assert_eq!(
+            shortcut.replica(0).flat_params(),
+            nic.replica(0).flat_params()
+        );
+        let stats = nic.fabric_stats();
+        assert!(stats.wire_ratio() > 1.5, "ratio {}", stats.wire_ratio());
+        assert!(stats.engine_cycles > 0);
+        assert!(stats.link_latency_ns > 0);
+        assert_eq!(shortcut.fabric_stats().link_latency_ns, 0);
     }
 
     #[test]

@@ -54,8 +54,12 @@ pub struct Linear {
 impl Linear {
     /// Creates a Xavier-initialized fully connected layer.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
-        let weight =
-            inceptionn_tensor::xavier_uniform(rng, &[in_features, out_features], in_features, out_features);
+        let weight = inceptionn_tensor::xavier_uniform(
+            rng,
+            &[in_features, out_features],
+            in_features,
+            out_features,
+        );
         Linear {
             weight,
             bias: Tensor::zeros(&[out_features]),
@@ -141,7 +145,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "relu backward shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "relu backward shape mismatch"
+        );
         let mut g = grad_out.clone();
         for (v, &keep) in g.as_mut_slice().iter_mut().zip(self.mask.iter()) {
             if !keep {
@@ -171,7 +179,10 @@ impl Dropout {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} outside [0, 1)"
+        );
         Dropout {
             p,
             rng: StdRng::seed_from_u64(seed),
@@ -204,7 +215,11 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "dropout backward shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "dropout backward shape mismatch"
+        );
         let mut g = grad_out.clone();
         for (v, &m) in g.as_mut_slice().iter_mut().zip(self.mask.iter()) {
             *v *= m;
@@ -349,12 +364,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn finite_diff_check(
-        layer: &mut dyn Layer,
-        input: &Tensor,
-        param_idx: usize,
-        coord: usize,
-    ) {
+    fn finite_diff_check(layer: &mut dyn Layer, input: &Tensor, param_idx: usize, coord: usize) {
         // d(sum(output))/d(param[coord]) via central differences vs backward.
         let eps = 1e-3f32;
         let out = layer.forward(input, true);

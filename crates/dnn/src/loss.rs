@@ -21,7 +21,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     let mut grad = vec![0.0f32; batch * classes];
     let mut loss = 0.0f64;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range (classes {classes})");
+        assert!(
+            label < classes,
+            "label {label} out of range (classes {classes})"
+        );
         let row = &x[r * classes..(r + 1) * classes];
         // Numerically stable softmax.
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);

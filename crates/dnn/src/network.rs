@@ -169,7 +169,7 @@ impl std::fmt::Debug for Network {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::models;
     use crate::optim::{Sgd, SgdConfig};
     use inceptionn_tensor::Tensor;

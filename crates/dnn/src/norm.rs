@@ -110,7 +110,11 @@ impl Layer for LocalResponseNorm {
                     for cc in lo..=hi {
                         let j = (img * c + cc) * h * w + p;
                         out[idx] += g[j]
-                            * (-2.0 * self.beta * scale * x[j] * x[idx]
+                            * (-2.0
+                                * self.beta
+                                * scale
+                                * x[j]
+                                * x[idx]
                                 * d[j].powf(-self.beta - 1.0));
                     }
                 }
@@ -182,10 +186,8 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0f32;
                         for ky in 0..self.window {
                             for kx in 0..self.window {
-                                acc += x[base
-                                    + (oy * self.stride + ky) * w
-                                    + ox * self.stride
-                                    + kx];
+                                acc +=
+                                    x[base + (oy * self.stride + ky) * w + ox * self.stride + kx];
                             }
                         }
                         out[((img * c + ch) * oh + oy) * ow + ox] = acc * inv;
@@ -215,10 +217,8 @@ impl Layer for AvgPool2d {
                         let gv = g[((img * c + ch) * oh + oy) * ow + ox] * inv;
                         for ky in 0..self.window {
                             for kx in 0..self.window {
-                                out[base
-                                    + (oy * self.stride + ky) * w
-                                    + ox * self.stride
-                                    + kx] += gv;
+                                out[base + (oy * self.stride + ky) * w + ox * self.stride + kx] +=
+                                    gv;
                             }
                         }
                     }
@@ -271,7 +271,9 @@ mod tests {
     fn lrn_backward_matches_finite_differences() {
         let mut lrn = LocalResponseNorm::alexnet();
         let x = Tensor::from_vec(
-            (0..2 * 7 * 2 * 2).map(|i| ((i as f32) * 0.37).sin()).collect(),
+            (0..2 * 7 * 2 * 2)
+                .map(|i| ((i as f32) * 0.37).sin())
+                .collect(),
             &[2, 7, 2, 2],
         );
         finite_diff_input(&mut lrn, &x, &[0, 5, 13, 27, 44, 55]);
@@ -289,7 +291,10 @@ mod tests {
     fn avg_pool_known_answer() {
         let mut p = AvgPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         );
         let y = p.forward(&x, true);

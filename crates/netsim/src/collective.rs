@@ -52,7 +52,10 @@ pub fn worker_aggregator_exchange(
     gradient_compression: Option<CompressionSpec>,
 ) -> ExchangeTimes {
     assert!(workers > 0, "need at least one worker");
-    assert!(cfg.nodes > workers, "config must include the aggregator node");
+    assert!(
+        cfg.nodes > workers,
+        "config must include the aggregator node"
+    );
     let agg = workers;
     // Phase 1: gradient gather (incast onto the aggregator's downlink).
     let mut gather = StarNetworkSim::new(*cfg);
@@ -189,7 +192,12 @@ mod tests {
         let ring = ring_exchange(&cfg, n, 0.0, None, 0.0);
         let ideal = 2.0 * 0.75 * (n as f64 * 8.0) / cfg.link_bps as f64;
         assert!(ring.comm_s >= ideal, "{} < ideal {}", ring.comm_s, ideal);
-        assert!(ring.comm_s < ideal * 1.15, "{} vs ideal {}", ring.comm_s, ideal);
+        assert!(
+            ring.comm_s < ideal * 1.15,
+            "{} vs ideal {}",
+            ring.comm_s,
+            ideal
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 use crate::transfer::Transfer;
 
 /// Simulated time in nanoseconds since the start of the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -80,6 +82,35 @@ impl NetworkConfig {
     /// Serialization time of `bytes` on a link, nanoseconds (rounded up).
     pub fn serialize_ns(&self, bytes: u64) -> u64 {
         (bytes * 8 * 1_000_000_000).div_ceil(self.link_bps)
+    }
+
+    /// End-to-end latency of one uncontended message through the star,
+    /// nanoseconds, given the *wire* payload of each of its packets
+    /// (post-compression, headers excluded — they are added here).
+    ///
+    /// This is the closed-form solution of the discrete-event model in
+    /// [`StarNetworkSim`] for a single flow: packets are injected one
+    /// host interval apart, serialized FIFO onto the uplink, forwarded
+    /// across the switch, then serialized FIFO onto the downlink. It is
+    /// exact (not an approximation) when no other flow shares the links,
+    /// which makes it suitable as a per-transfer latency charge for
+    /// transport layers that sequence their sends (see
+    /// `inceptionn-distrib`'s `TimedFabric`).
+    pub fn message_latency_ns(&self, packet_payloads: &[u64]) -> u64 {
+        let mut uplink_free = 0u64;
+        let mut downlink_free = 0u64;
+        for (i, &payload) in packet_payloads.iter().enumerate() {
+            let inject = i as u64 * self.host_ns_per_packet;
+            let ser = self.serialize_ns(payload + self.header_bytes);
+            uplink_free = inject.max(uplink_free) + ser;
+            let at_switch = uplink_free + self.hop_latency_ns + self.switch_latency_ns;
+            downlink_free = at_switch.max(downlink_free) + ser;
+        }
+        if packet_payloads.is_empty() {
+            0
+        } else {
+            downlink_free + self.hop_latency_ns
+        }
     }
 }
 
@@ -274,7 +305,9 @@ impl StarNetworkSim {
             return;
         };
         state.busy = true;
-        let ser = self.cfg.serialize_ns(pkt.wire_bytes + self.cfg.header_bytes);
+        let ser = self
+            .cfg
+            .serialize_ns(pkt.wire_bytes + self.cfg.header_bytes);
         self.push_event(now + ser, EventKind::LinkFree { link });
     }
 
@@ -330,7 +363,10 @@ impl StarNetworkSim {
                             LinkId::Down(n) => &mut self.downlinks[n],
                         };
                         state.busy = false;
-                        state.queue.pop_front().expect("busy link has a head packet")
+                        state
+                            .queue
+                            .pop_front()
+                            .expect("busy link has a head packet")
                     };
                     match link {
                         LinkId::Up(_) => {
@@ -461,9 +497,7 @@ mod tests {
         let t_plain = plain.run().makespan().as_secs_f64();
 
         let mut comp = StarNetworkSim::new(c);
-        comp.add_transfer(
-            Transfer::new(0, 1, bytes).compressed(CompressionSpec::new(14.9, 500)),
-        );
+        comp.add_transfer(Transfer::new(0, 1, bytes).compressed(CompressionSpec::new(14.9, 500)));
         let t_comp = comp.run().makespan().as_secs_f64();
         let gain = t_plain / t_comp;
         // Sec. VIII-C: ratio 14.9 yields only ~5.5-11.6x time reduction
@@ -511,5 +545,45 @@ mod tests {
     fn add_transfer_validates_endpoints() {
         let mut sim = StarNetworkSim::new(cfg(2));
         sim.add_transfer(Transfer::new(0, 7, 10));
+    }
+
+    #[test]
+    fn message_latency_matches_des_exactly() {
+        // The closed form solves the single-flow DES, so for a lone
+        // transfer the two must agree to the nanosecond.
+        let c = cfg(2);
+        for &bytes in &[1u64, 100, 1448, 1449, 50_000, 3_000_000] {
+            let t = Transfer::new(0, 1, bytes);
+            let payloads: Vec<u64> = (0..t.packet_count(c.mtu_payload))
+                .map(|i| t.wire_payload(c.mtu_payload, i))
+                .collect();
+            let mut sim = StarNetworkSim::new(c);
+            sim.add_transfer(t);
+            let des = sim.run().makespan().as_nanos();
+            assert_eq!(
+                c.message_latency_ns(&payloads),
+                des,
+                "closed form diverged from DES at {bytes} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn message_latency_handles_shrunk_payloads() {
+        // Compressed flows keep the packet count but shrink payloads; the
+        // closed form takes the per-packet wire sizes directly. Engine
+        // latency is charged by the NIC model, not here, so compare
+        // against a DES spec with zero engine latency.
+        let c = cfg(2);
+        let spec = CompressionSpec::new(5.2, 0);
+        let t = Transfer::new(0, 1, 500_000).compressed(spec);
+        let payloads: Vec<u64> = (0..t.packet_count(c.mtu_payload))
+            .map(|i| t.wire_payload(c.mtu_payload, i))
+            .collect();
+        let mut sim = StarNetworkSim::new(c);
+        sim.add_transfer(t);
+        let des = sim.run().makespan().as_nanos();
+        assert_eq!(c.message_latency_ns(&payloads), des);
+        assert!(c.message_latency_ns(&[]) == 0);
     }
 }

@@ -24,7 +24,10 @@ impl CompressionSpec {
     ///
     /// Panics if `ratio < 1.0` or is not finite.
     pub fn new(ratio: f64, engine_latency_ns: u64) -> Self {
-        assert!(ratio.is_finite() && ratio >= 1.0, "ratio {ratio} must be >= 1");
+        assert!(
+            ratio.is_finite() && ratio >= 1.0,
+            "ratio {ratio} must be >= 1"
+        );
         CompressionSpec {
             ratio,
             engine_latency_ns,

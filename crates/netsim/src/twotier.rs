@@ -246,7 +246,10 @@ impl TwoTierSim {
             if self.flows[id].packets == 0 {
                 self.flows[id].finish_ns = self.flows[id].transfer.start_ns;
             } else {
-                self.push(self.flows[id].transfer.start_ns, Ev::Inject { transfer: id });
+                self.push(
+                    self.flows[id].transfer.start_ns,
+                    Ev::Inject { transfer: id },
+                );
             }
         }
         let mut makespan = 0u64;
@@ -369,10 +372,9 @@ pub fn hierarchical_wa(
     // Level 1 up: members -> rack leader (first node of each rack).
     let l1_up = phase(
         cfg,
-        (0..cfg.racks).flat_map(|r| {
-            (1..g).map(move |m| Transfer::new(r * g + m, r * g, bytes))
-        })
-        .map(|t| maybe_compress(t, spec)),
+        (0..cfg.racks)
+            .flat_map(|r| (1..g).map(move |m| Transfer::new(r * g + m, r * g, bytes)))
+            .map(|t| maybe_compress(t, spec)),
     );
     // Level 2 up: rack leaders -> root.
     let l2_up = phase(
@@ -435,12 +437,11 @@ pub fn hierarchical_ring(
         let block = bytes.div_ceil(g as u64);
         let step = phase(
             cfg,
-            (0..r).flat_map(|rack| {
-                (0..g).map(move |m| {
-                    Transfer::new(rack * g + m, rack * g + (m + 1) % g, block)
+            (0..r)
+                .flat_map(|rack| {
+                    (0..g).map(move |m| Transfer::new(rack * g + m, rack * g + (m + 1) % g, block))
                 })
-            })
-            .map(|t| maybe_compress(t, spec)),
+                .map(|t| maybe_compress(t, spec)),
         ) + block as f64 * host_s_per_byte;
         comm += 2.0 * (g - 1) as f64 * step;
         reduce += (g - 1) as f64 * block as f64 * gamma;
@@ -451,10 +452,7 @@ pub fn hierarchical_ring(
         let step = phase(
             cfg,
             (0..r).map(|rack| {
-                maybe_compress(
-                    Transfer::new(rack * g, ((rack + 1) % r) * g, block),
-                    spec,
-                )
+                maybe_compress(Transfer::new(rack * g, ((rack + 1) % r) * g, block), spec)
             }),
         ) + block as f64 * host_s_per_byte;
         comm += 2.0 * (r - 1) as f64 * step;
@@ -468,9 +466,7 @@ pub fn hierarchical_ring(
     if g >= 2 {
         comm += phase(
             cfg,
-            (0..r).map(|rack| {
-                maybe_compress(Transfer::new(rack * g, rack * g + 1, bytes), spec)
-            }),
+            (0..r).map(|rack| maybe_compress(Transfer::new(rack * g, rack * g + 1, bytes), spec)),
         );
     }
     ExchangeTimes {

@@ -13,11 +13,120 @@
 use bytes::Bytes;
 use inceptionn_compress::DecodeError;
 
+use crate::engine::NS_PER_CYCLE;
 use crate::nic::NicPipeline;
 use crate::packet::Packet;
 
 /// `f32` lanes per MTU payload (1448 B / 4).
 pub const VALUES_PER_PACKET: usize = 362;
+
+/// ToS value for plain (never-compressed) traffic emitted by
+/// [`encode_payload`] when the sender asks for a lossless transfer.
+pub const TOS_PLAIN: u8 = 0;
+
+/// What the TX NIC did to one application payload: the sizes that hit
+/// the wire and the cycles/latency the datapath spent producing them.
+///
+/// Transport layers (see `inceptionn-distrib`'s `NicFabric`) use this to
+/// account wire volume and engine time per transfer, and feed
+/// `packet_wire_bytes` to `inceptionn-netsim`'s per-message latency
+/// charge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PayloadTrace {
+    /// Application payload bytes entering the TX NIC.
+    pub payload_bytes_in: u64,
+    /// Post-compression payload bytes of each packet, in order.
+    pub packet_wire_bytes: Vec<u64>,
+    /// TX NIC traversal latency, nanoseconds (base cost + engine).
+    pub nic_latency_ns: u64,
+    /// Compression-engine cycles spent on this payload.
+    pub engine_cycles: u64,
+}
+
+impl PayloadTrace {
+    /// Number of packets the payload was cut into.
+    pub fn packets(&self) -> u64 {
+        self.packet_wire_bytes.len() as u64
+    }
+
+    /// Total post-compression payload bytes on the wire.
+    pub fn wire_payload_bytes(&self) -> u64 {
+        self.packet_wire_bytes.iter().sum()
+    }
+
+    /// Achieved payload compression ratio (1.0 for an empty payload).
+    pub fn wire_ratio(&self) -> f64 {
+        let out = self.wire_payload_bytes();
+        if out == 0 {
+            1.0
+        } else {
+            self.payload_bytes_in as f64 / out as f64
+        }
+    }
+}
+
+/// Pushes one application payload through the TX NIC packet by packet:
+/// the reusable per-payload datapath entry point.
+///
+/// `compressible` selects the ToS tag: gradient packets
+/// ([`TOS_COMPRESSED`](crate::TOS_COMPRESSED)) traverse the compression
+/// engine; plain packets ([`TOS_PLAIN`]) bypass it and carry the raw
+/// little-endian `f32` bytes. Returns the on-wire packets plus a
+/// [`PayloadTrace`] of what the datapath did.
+pub fn encode_payload(
+    tx: &mut NicPipeline,
+    values: &[f32],
+    compressible: bool,
+) -> (Vec<Packet>, PayloadTrace) {
+    let base = tx.config().base_latency_ns;
+    let mut trace = PayloadTrace {
+        payload_bytes_in: (values.len() * 4) as u64,
+        packet_wire_bytes: Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET)),
+        ..PayloadTrace::default()
+    };
+    let mut wire = Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET));
+    for chunk in values.chunks(VALUES_PER_PACKET) {
+        let payload: Vec<u8> = chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let pkt = if compressible {
+            Packet::gradient(Bytes::from(payload))
+        } else {
+            Packet::regular(TOS_PLAIN, Bytes::from(payload))
+        };
+        let (out, ns) = tx.transmit(pkt);
+        trace.packet_wire_bytes.push(out.payload.len() as u64);
+        trace.nic_latency_ns += ns;
+        // `transmit` reports base cost plus engine time; recover cycles.
+        trace.engine_cycles += ns.saturating_sub(base) / NS_PER_CYCLE;
+        wire.push(out);
+    }
+    (wire, trace)
+}
+
+/// Receives on-wire packets produced by [`encode_payload`] through the
+/// RX NIC and reassembles the value stream. Returns the values, the RX
+/// NIC traversal latency in nanoseconds, and the decompression-engine
+/// cycles spent.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if a compressed payload is truncated or
+/// corrupt (cannot happen when both NICs share a bound).
+pub fn decode_payload(
+    rx: &mut NicPipeline,
+    wire: &[Packet],
+) -> Result<(Vec<f32>, u64, u64), DecodeError> {
+    let base = rx.config().base_latency_ns;
+    let mut restored = Vec::with_capacity(wire.len());
+    let mut total_ns = 0u64;
+    let mut cycles = 0u64;
+    for pkt in wire {
+        let (out, ns) = rx.receive(pkt.clone())?;
+        total_ns += ns;
+        cycles += ns.saturating_sub(base) / NS_PER_CYCLE;
+        restored.push(out);
+    }
+    Ok((reassemble(&restored), total_ns, cycles))
+}
 
 /// Cuts a gradient slice into ToS-tagged MTU packets (the last packet
 /// may be short).
@@ -66,15 +175,9 @@ pub fn transfer_gradients(
     rx: &mut NicPipeline,
     values: &[f32],
 ) -> Result<(Vec<f32>, u64), DecodeError> {
-    let mut received = Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET));
-    let mut total_ns = 0u64;
-    for pkt in packetize(values) {
-        let (wire, tx_ns) = tx.transmit(pkt);
-        let (restored, rx_ns) = rx.receive(wire)?;
-        total_ns += tx_ns + rx_ns;
-        received.push(restored);
-    }
-    Ok((reassemble(&received), total_ns))
+    let (wire, trace) = encode_payload(tx, values, true);
+    let (restored, rx_ns, _) = decode_payload(rx, &wire)?;
+    Ok((restored, trace.nic_latency_ns + rx_ns))
 }
 
 #[cfg(test)]
@@ -143,5 +246,44 @@ mod tests {
         let (out, ns) = transfer_gradients(&mut tx, &mut rx, &[]).unwrap();
         assert!(out.is_empty());
         assert_eq!(ns, 0);
+    }
+
+    #[test]
+    fn encode_payload_traces_wire_sizes_and_cycles() {
+        let mut tx = NicPipeline::new(NicConfig::default());
+        let mut rx = NicPipeline::new(NicConfig::default());
+        let vals = gradients(1000, 11);
+        let (wire, trace) = encode_payload(&mut tx, &vals, true);
+        assert_eq!(trace.packets(), 3);
+        assert_eq!(trace.payload_bytes_in, 4000);
+        assert_eq!(
+            trace.wire_payload_bytes(),
+            wire.iter().map(|p| p.payload.len() as u64).sum::<u64>()
+        );
+        assert!(trace.wire_ratio() > 1.0, "ratio {}", trace.wire_ratio());
+        assert!(trace.engine_cycles > 0);
+        assert!(trace.nic_latency_ns > 3 * tx.config().base_latency_ns);
+
+        let (restored, rx_ns, rx_cycles) = decode_payload(&mut rx, &wire).unwrap();
+        assert_eq!(
+            restored,
+            InceptionnCodec::new(tx.config().bound).quantize(&vals)
+        );
+        assert!(rx_ns > 0 && rx_cycles > 0);
+    }
+
+    #[test]
+    fn plain_payload_bypasses_engines_bit_exactly() {
+        let mut tx = NicPipeline::new(NicConfig::default());
+        let mut rx = NicPipeline::new(NicConfig::default());
+        let vals = gradients(725, 13);
+        let (wire, trace) = encode_payload(&mut tx, &vals, false);
+        assert!(wire.iter().all(|p| !p.is_compressible()));
+        assert_eq!(trace.wire_payload_bytes(), trace.payload_bytes_in);
+        assert_eq!(trace.engine_cycles, 0);
+        let (restored, _, rx_cycles) = decode_payload(&mut rx, &wire).unwrap();
+        assert_eq!(restored, vals, "bypass path must be lossless");
+        assert_eq!(rx_cycles, 0);
+        assert_eq!(tx.stats().compressed_packets, 0);
     }
 }

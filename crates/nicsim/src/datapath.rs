@@ -73,7 +73,10 @@ impl DatapathReport {
         if self.packets.is_empty() {
             return 0.0;
         }
-        self.packets.iter().map(|p| p.latency_ns() as f64).sum::<f64>()
+        self.packets
+            .iter()
+            .map(|p| p.latency_ns() as f64)
+            .sum::<f64>()
             / self.packets.len() as f64
     }
 
@@ -120,8 +123,7 @@ impl TxDatapath {
             last_arrival = *arrival;
             // Stage 1: DMA.
             let in_bytes = (pkt.payload.len() + HEADER_BYTES) as u64;
-            let dma_time =
-                self.cfg.dma_fixed_ns + in_bytes * 8 * 1_000_000_000 / self.cfg.dma_bps;
+            let dma_time = self.cfg.dma_fixed_ns + in_bytes * 8 * 1_000_000_000 / self.cfg.dma_bps;
             let dma_done = (*arrival).max(dma_free) + dma_time;
             dma_free = dma_done;
             // Stage 2: compression engine (bypass for regular traffic).
@@ -211,8 +213,9 @@ mod tests {
         // *underfed by design* (less wire data), so check goodput instead:
         // application bytes drain faster than line rate.
         let dp = datapath();
-        let trace: Vec<(u64, Packet)> =
-            (0..200).map(|i| (i * 1_200, gradient_packet(362, i))).collect();
+        let trace: Vec<(u64, Packet)> = (0..200)
+            .map(|i| (i * 1_200, gradient_packet(362, i)))
+            .collect();
         let original: u64 = trace.iter().map(|(_, p)| p.payload.len() as u64).sum();
         let report = dp.process_trace(&trace);
         let goodput = report.goodput_bps(original);
@@ -281,9 +284,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted by arrival")]
     fn rejects_unsorted_trace() {
-        datapath().process_trace(&[
-            (100, gradient_packet(8, 1)),
-            (50, gradient_packet(8, 2)),
-        ]);
+        datapath().process_trace(&[(100, gradient_packet(8, 1)), (50, gradient_packet(8, 2))]);
     }
 }

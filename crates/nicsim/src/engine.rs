@@ -155,7 +155,11 @@ impl DecompressionEngine {
     ///
     /// Returns [`DecodeError`] if the payload is too short for `count`
     /// values.
-    pub fn process(&self, payload: &[u8], count: usize) -> Result<(EngineOutput, Vec<f32>), DecodeError> {
+    pub fn process(
+        &self,
+        payload: &[u8],
+        count: usize,
+    ) -> Result<(EngineOutput, Vec<f32>), DecodeError> {
         let mut reader = BitReader::new(payload);
         let mut out = Vec::with_capacity(count);
         let mut output_bursts = 0u64;

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod nic;
 pub mod packet;
 
+pub use chunker::{decode_payload, encode_payload, PayloadTrace, TOS_PLAIN, VALUES_PER_PACKET};
 pub use engine::{CompressionEngine, DecompressionEngine, EngineOutput};
 pub use nic::{NicConfig, NicPipeline};
 pub use packet::{Packet, TOS_COMPRESSED};

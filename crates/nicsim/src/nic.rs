@@ -99,7 +99,9 @@ impl NicPipeline {
     /// A gradient packet whose payload is not whole `f32`s is treated as
     /// regular traffic (the software API never produces one).
     pub fn transmit(&mut self, packet: Packet) -> (Packet, u64) {
-        if !packet.is_compressible() || !packet.payload.len().is_multiple_of(4) || packet.payload.is_empty()
+        if !packet.is_compressible()
+            || !packet.payload.len().is_multiple_of(4)
+            || packet.payload.is_empty()
         {
             self.stats.bypassed_packets += 1;
             return (packet, self.cfg.base_latency_ns);

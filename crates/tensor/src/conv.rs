@@ -136,7 +136,11 @@ pub fn col2im(cols: &Tensor, spec: &ConvSpec, n: usize, h: usize, w: usize) -> T
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
     let c = spec.in_channels;
-    assert_eq!(cols.dims(), &[c * k * k, n * oh * ow], "col2im shape mismatch");
+    assert_eq!(
+        cols.dims(),
+        &[c * k * k, n * oh * ow],
+        "col2im shape mismatch"
+    );
     let mut out = vec![0.0f32; n * c * h * w];
     let data = cols.as_slice();
     let ncols = n * oh * ow;
@@ -181,7 +185,10 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &ConvSpec) -
     let (oh, ow) = spec.output_hw(h, w);
     assert_eq!(
         weight.dims(),
-        &[spec.out_channels, spec.in_channels * spec.kernel * spec.kernel],
+        &[
+            spec.out_channels,
+            spec.in_channels * spec.kernel * spec.kernel
+        ],
         "weight shape mismatch"
     );
     assert_eq!(bias.dims(), &[spec.out_channels], "bias shape mismatch");
@@ -287,10 +294,9 @@ mod tests {
                                     if iy < 0 || ix < 0 || iy as usize >= h || ix as usize >= w {
                                         continue;
                                     }
-                                    let wv = weight.as_slice()
-                                        [oc * c * k * k + (ch * k + ky) * k + kx];
-                                    acc += wv
-                                        * input.at(&[img, ch, iy as usize, ix as usize]);
+                                    let wv =
+                                        weight.as_slice()[oc * c * k * k + (ch * k + ky) * k + kx];
+                                    acc += wv * input.at(&[img, ch, iy as usize, ix as usize]);
                                 }
                             }
                         }
@@ -307,7 +313,9 @@ mod tests {
         let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 40) as f32 / (1u64 << 24) as f32) - 0.5
             })
             .collect()
@@ -324,7 +332,10 @@ mod tests {
             let slow = conv_ref(&input, &weight, &bias, &spec);
             assert_eq!(fast.dims(), slow.dims());
             for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!((a - b).abs() < 1e-4, "{a} vs {b} (stride {stride} pad {padding})");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{a} vs {b} (stride {stride} pad {padding})"
+                );
             }
         }
     }

@@ -132,13 +132,14 @@ mod tests {
 
     #[test]
     fn pool_backward_routes_to_argmax() {
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[1, 1, 2, 2],
-        );
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
         let (out, arg) = max_pool2d(&input, &PoolSpec::new(2, 2));
         assert_eq!(out.as_slice(), &[4.0]);
-        let g = max_pool2d_backward(&Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]), &arg, &[1, 1, 2, 2]);
+        let g = max_pool2d_backward(
+            &Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]),
+            &arg,
+            &[1, 1, 2, 2],
+        );
         assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 2.5]);
     }
 

@@ -169,8 +169,16 @@ pub fn broadcast_shapes(a: &Shape, b: &Shape) -> Result<Shape, ShapeError> {
     let rank = a.rank().max(b.rank());
     let mut dims = vec![0usize; rank];
     for i in 0..rank {
-        let da = if i < a.rank() { a.dim(a.rank() - 1 - i) } else { 1 };
-        let db = if i < b.rank() { b.dim(b.rank() - 1 - i) } else { 1 };
+        let da = if i < a.rank() {
+            a.dim(a.rank() - 1 - i)
+        } else {
+            1
+        };
+        let db = if i < b.rank() {
+            b.dim(b.rank() - 1 - i)
+        } else {
+            1
+        };
         let out = if da == db || db == 1 {
             da
         } else if da == 1 {

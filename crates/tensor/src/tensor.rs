@@ -280,8 +280,8 @@ impl Tensor {
         if self.shape == other.shape {
             return self.zip_map(other, f);
         }
-        let out_shape = broadcast_shapes(&self.shape, &other.shape)
-            .unwrap_or_else(|e| panic!("{e}"));
+        let out_shape =
+            broadcast_shapes(&self.shape, &other.shape).unwrap_or_else(|e| panic!("{e}"));
         let rank = out_shape.rank();
         let out_dims = out_shape.dims().to_vec();
         let n = out_shape.num_elements();

@@ -28,7 +28,10 @@ fn main() {
     let adaptive = AdaptiveCodec::new(8, 256);
     let adaptive_out = adaptive.quantize(&grads);
 
-    println!("{:<10} {:>14} {:>16} {:>16}", "layer", "scale", "fixed 2^-10", "adaptive R=8");
+    println!(
+        "{:<10} {:>14} {:>16} {:>16}",
+        "layer", "scale", "fixed 2^-10", "adaptive R=8"
+    );
     for (i, &s) in scales.iter().enumerate() {
         let range = i * 4096..(i + 1) * 4096;
         let surv = |out: &[f32]| {

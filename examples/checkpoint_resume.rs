@@ -38,7 +38,9 @@ fn main() {
     let mut sgd = Sgd::new(SgdConfig::default(), net.param_count());
     train_steps(&mut net, &mut sgd, &data, 0, interrupt_at);
     let path = std::env::temp_dir().join("inceptionn_demo.incp");
-    Checkpoint::capture(&net, &sgd).save(&path).expect("save checkpoint");
+    Checkpoint::capture(&net, &sgd)
+        .save(&path)
+        .expect("save checkpoint");
     println!(
         "checkpoint written at iteration {interrupt_at}: {} ({} params)",
         path.display(),

@@ -23,6 +23,7 @@ fn run(label: &str, compression: Option<ErrorBound>, train: &DigitDataset, test:
         },
         batch_per_worker: 16,
         seed: 42,
+        ..TrainerConfig::default()
     };
     let mut trainer = DistributedTrainer::new(cfg, models::hdc_mlp_small, train);
     println!("== {label} ==");

@@ -27,7 +27,10 @@ fn main() {
     });
     let mut rx_nic = NicPipeline::new(*tx_nic.config());
 
-    println!("TX NIC: engines programmed at eb = {}\n", tx_nic.config().bound);
+    println!(
+        "TX NIC: engines programmed at eb = {}\n",
+        tx_nic.config().bound
+    );
 
     // A stream of MTU-sized gradient packets (362 f32 values each)…
     let values_per_packet = 362usize;

@@ -40,7 +40,10 @@ fn main() {
         .zip(&restored)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!("  max reconstruction error: {max_err:.3e} (bound {:.3e})", bound.value());
+    println!(
+        "  max reconstruction error: {max_err:.3e} (bound {:.3e})",
+        bound.value()
+    );
     assert!(max_err <= bound.value());
 
     // 5. Gradient-centric all-reduce over four workers, compressed in

@@ -1,0 +1,29 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to a crates.io mirror, so the
+//! workspace vendors minimal implementations of its external dependencies
+//! (see `crates/shims/`). This workspace uses serde purely as
+//! `#[derive(Serialize, Deserialize)]` annotations on config/report
+//! structs — the traits are never invoked — so the derives re-exported
+//! here expand to nothing. Swap back to real `serde` if a format
+//! (JSON/bincode/...) is ever wired up.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+    #[serde(rename_all = "snake_case")]
+    struct Annotated {
+        #[serde(default)]
+        field: u32,
+    }
+
+    #[test]
+    fn derives_compile_and_expand_to_nothing() {
+        let a = Annotated { field: 3 };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derives backing the offline `serde`
+//! shim (see `crates/shims/serde`).
+//!
+//! The workspace only ever *derives* these traits to document that config
+//! structs are serialization-friendly; nothing serializes at runtime, so
+//! the derives expand to nothing. If a future change actually needs
+//! serialization, vendor or enable the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the same `#[serde(...)]` helper attribute
+/// as the real derive so annotated types keep compiling.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the same `#[serde(...)]` helper attribute
+/// as the real derive so annotated types keep compiling.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

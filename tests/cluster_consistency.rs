@@ -92,7 +92,10 @@ fn headline_numbers_hold_end_to_end() {
     assert!(comm_cuts.iter().all(|&c| c > 0.6), "{comm_cuts:?}");
     // …and the average sits inside the paper's band.
     let mean_cut = comm_cuts.iter().sum::<f64>() / comm_cuts.len() as f64;
-    assert!((0.65..0.88).contains(&mean_cut), "mean comm cut {mean_cut:.3}");
+    assert!(
+        (0.65..0.88).contains(&mean_cut),
+        "mean comm cut {mean_cut:.3}"
+    );
     assert!(
         speedups.iter().all(|&s| (1.8..4.5).contains(&s)),
         "{speedups:?}"
@@ -110,7 +113,12 @@ fn epoch_iteration_accounting_is_self_consistent() {
         // the paper itself; skip it).
         if id != ModelId::ResNet50 {
             let rel = (iters as f64 - p.train_iterations as f64).abs() / p.train_iterations as f64;
-            assert!(rel < 0.05, "{}: {iters} vs {}", p.name(), p.train_iterations);
+            assert!(
+                rel < 0.05,
+                "{}: {iters} vs {}",
+                p.name(),
+                p.train_iterations
+            );
         }
     }
 }
@@ -122,12 +130,23 @@ fn fig13_training_hours_match_paper_scale() {
     let cfg = quick_cfg();
     let within = |got: f64, paper: f64, tol: f64| (got - paper).abs() / paper < tol;
     let p = ModelProfile::of(ModelId::AlexNet);
-    assert!(within(training_hours(&p, SystemKind::Wa, &cfg, 64), 175.0, 0.2));
+    assert!(within(
+        training_hours(&p, SystemKind::Wa, &cfg, 64),
+        175.0,
+        0.2
+    ));
     let p = ModelProfile::of(ModelId::ResNet50);
-    assert!(within(training_hours(&p, SystemKind::Wa, &cfg, 90), 378.0, 0.2));
+    assert!(within(
+        training_hours(&p, SystemKind::Wa, &cfg, 90),
+        378.0,
+        0.2
+    ));
     // INC+C should land in the right order of magnitude (the exact value
     // depends on the achieved ratio).
     let p = ModelProfile::of(ModelId::AlexNet);
     let h = training_hours(&p, SystemKind::IncC, &cfg, 65);
-    assert!((35.0..90.0).contains(&h), "AlexNet INC+C {h:.0}h (paper 56h)");
+    assert!(
+        (35.0..90.0).contains(&h),
+        "AlexNet INC+C {h:.0}h (paper 56h)"
+    );
 }

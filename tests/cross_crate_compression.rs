@@ -33,7 +33,11 @@ fn software_hardware_and_nic_paths_are_bit_identical() {
         });
         let payload: Vec<u8> = grads.iter().flat_map(|v| v.to_le_bytes()).collect();
         let (wire, _) = nic.transmit(Packet::gradient(payload.into()));
-        assert_eq!(wire.payload.as_ref(), sw.bytes.as_slice(), "NIC disagrees at 2^-{e}");
+        assert_eq!(
+            wire.payload.as_ref(),
+            sw.bytes.as_slice(),
+            "NIC disagrees at 2^-{e}"
+        );
     }
 }
 

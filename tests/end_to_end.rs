@@ -19,6 +19,7 @@ fn trainer_config(strategy: ExchangeStrategy, compression: Option<ErrorBound>) -
         },
         batch_per_worker: 8,
         seed: 1234,
+        ..TrainerConfig::default()
     }
 }
 
@@ -41,7 +42,7 @@ fn full_system_trains_to_baseline_accuracy() {
             models::hdc_mlp_small,
             &train,
         );
-        t.train_iterations(250);
+        t.train_iterations(400);
         accs.push(t.evaluate(&test));
     }
     let baseline = accs[0];
