@@ -140,9 +140,10 @@ impl AdaptiveCodec {
         let mut remaining = stream.len;
         while remaining > 0 {
             let n = remaining.min(self.block);
-            let e = r.read_bits(EXP_BITS).ok_or(DecodeError {
-                at_value: out.len(),
-            })? as u8;
+            let e = r
+                .read_bits(EXP_BITS)
+                .ok_or_else(|| DecodeError::at_tags(out.len(), r.bit_pos()))?
+                as u8;
             let e = e.clamp(1, 30);
             let codec = InceptionnCodec::new(ErrorBound::pow2(e));
             // Decode n values directly from the shared reader using the
@@ -150,14 +151,14 @@ impl AdaptiveCodec {
             let mut left = n;
             while left > 0 {
                 let group = left.min(crate::inceptionn::LANES_PER_BURST);
-                let tags = r.read_bits(16).ok_or(DecodeError {
-                    at_value: out.len(),
-                })?;
+                let tags = r
+                    .read_bits(16)
+                    .ok_or_else(|| DecodeError::at_tags(out.len(), r.bit_pos()))?;
                 for lane in 0..crate::inceptionn::LANES_PER_BURST {
                     let tag = crate::inceptionn::Tag::from_bits((tags >> (2 * lane)) as u8);
-                    let payload = r.read_bits(tag.payload_bits()).ok_or(DecodeError {
-                        at_value: out.len(),
-                    })?;
+                    let payload = r
+                        .read_bits(tag.payload_bits())
+                        .ok_or_else(|| DecodeError::at_payload(out.len(), r.bit_pos(), tag))?;
                     if lane < group {
                         out.push(
                             codec.decompress_value(crate::inceptionn::CompressedValue {

@@ -33,6 +33,19 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer whose backing buffer can hold `bits` bits
+    /// without reallocating.
+    ///
+    /// Encoders that can estimate their output size (e.g. from a tag
+    /// histogram) use this to avoid the repeated `Vec` growth that
+    /// otherwise dominates small-field packing.
+    pub fn with_capacity_bits(bits: usize) -> Self {
+        BitWriter {
+            bytes: Vec::with_capacity(bits.div_ceil(8)),
+            bit_pos: 0,
+        }
+    }
+
     /// Appends the low `width` bits of `value` (`width ≤ 32`).
     ///
     /// # Panics
@@ -125,6 +138,11 @@ impl<'a> BitReader<'a> {
     /// Bits remaining in the stream.
     pub fn remaining_bits(&self) -> usize {
         self.bytes.len() * 8 - self.pos
+    }
+
+    /// Absolute bit position of the read cursor (bits consumed so far).
+    pub fn bit_pos(&self) -> usize {
+        self.pos
     }
 }
 

@@ -183,11 +183,48 @@ impl CompressedStream {
 pub struct DecodeError {
     /// Index of the value whose payload could not be read.
     pub at_value: usize,
+    /// Absolute bit offset into the stream where the failed read began.
+    pub bit_offset: usize,
+    /// Tag whose payload could not be read, or `None` when the 16-bit
+    /// tag vector itself was truncated.
+    pub tag: Option<Tag>,
+}
+
+impl DecodeError {
+    /// Truncation detected while reading a group's 16-bit tag vector.
+    pub(crate) fn at_tags(at_value: usize, bit_offset: usize) -> Self {
+        DecodeError {
+            at_value,
+            bit_offset,
+            tag: None,
+        }
+    }
+
+    /// Truncation detected while reading the payload for `tag`.
+    pub(crate) fn at_payload(at_value: usize, bit_offset: usize, tag: Tag) -> Self {
+        DecodeError {
+            at_value,
+            bit_offset,
+            tag: Some(tag),
+        }
+    }
 }
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compressed stream truncated at value {}", self.at_value)
+        write!(
+            f,
+            "compressed stream truncated at value {} (bit offset {}, ",
+            self.at_value, self.bit_offset
+        )?;
+        match self.tag {
+            Some(tag) => write!(
+                f,
+                "reading the {}-bit payload of {tag:?})",
+                tag.payload_bits()
+            ),
+            None => write!(f, "reading the tag vector)"),
+        }
     }
 }
 
@@ -307,6 +344,33 @@ impl InceptionnCodec {
         }
     }
 
+    /// Estimates the wire size of `values` in bits from a tag histogram
+    /// of an evenly strided sample (exact for streams of ≤ 256 values).
+    ///
+    /// Used to pre-size encoder buffers so packing does not pay repeated
+    /// `Vec` reallocation; it is an estimate, not a bound — callers must
+    /// still tolerate growth.
+    pub fn estimate_wire_bits(&self, values: &[f32]) -> usize {
+        if values.is_empty() {
+            return 0;
+        }
+        const SAMPLE: usize = 256;
+        let stride = values.len().div_ceil(SAMPLE).max(1);
+        let mut h = BitwidthHistogram::default();
+        let mut i = 0;
+        while i < values.len() {
+            h.record(self.compress_value(values[i]).tag);
+            i += stride;
+        }
+        let sampled = h.total().max(1) as usize;
+        let groups = values.len().div_ceil(LANES_PER_BURST);
+        // Scale sampled payload bits to the full stream and add the
+        // fixed 16 tag bits per 8-lane group (plus slack for sampling
+        // error on skewed streams).
+        let payload = h.payload_bits() * values.len() / sampled;
+        groups * 16 + payload + payload / 8 + 64
+    }
+
     /// Compresses a gradient slice into the packed wire format.
     ///
     /// Values are processed in groups of [`LANES_PER_BURST`]; each group
@@ -314,8 +378,12 @@ impl InceptionnCodec {
     /// concatenated variable-width payloads, exactly as the hardware
     /// Compression Unit emits them (Fig. 9). A final partial group is
     /// padded with `Zero` lanes (free: 2 bits each).
+    ///
+    /// This is the scalar *reference* implementation; the burst fast
+    /// path in [`crate::burst`] produces byte-identical streams several
+    /// times faster and is what the transport stack uses.
     pub fn compress(&self, values: &[f32]) -> CompressedStream {
-        let mut w = BitWriter::new();
+        let mut w = BitWriter::with_capacity_bits(self.estimate_wire_bits(values));
         for group in values.chunks(LANES_PER_BURST) {
             let mut cvs = [CompressedValue {
                 tag: Tag::Zero,
@@ -355,23 +423,26 @@ impl InceptionnCodec {
         let mut remaining = stream.len;
         while remaining > 0 {
             let group = remaining.min(LANES_PER_BURST);
-            let tags = r.read_bits(16).ok_or(DecodeError {
-                at_value: out.len(),
-            })?;
+            let tags = r
+                .read_bits(16)
+                .ok_or_else(|| DecodeError::at_tags(out.len(), r.bit_pos()))?;
             let mut lane_tags = [Tag::Zero; LANES_PER_BURST];
             for (lane, t) in lane_tags.iter_mut().enumerate() {
                 *t = Tag::from_bits((tags >> (2 * lane)) as u8);
             }
             for &tag in lane_tags.iter().take(group) {
-                let payload = r.read_bits(tag.payload_bits()).ok_or(DecodeError {
-                    at_value: out.len(),
-                })?;
+                let payload = r
+                    .read_bits(tag.payload_bits())
+                    .ok_or_else(|| DecodeError::at_payload(out.len(), r.bit_pos(), tag))?;
                 out.push(self.decompress_value(CompressedValue { tag, payload }));
             }
-            // Skip padded lanes of a final partial group (their tags are
-            // Zero so they carry no payload, but stay robust anyway).
+            // Padded lanes of a final partial group carry Zero tags and
+            // no payload in well-formed streams; a corrupt stream that
+            // claims payload bits here is a decode error, not something
+            // to skip silently.
             for &tag in lane_tags.iter().skip(group) {
-                let _ = r.read_bits(tag.payload_bits());
+                r.read_bits(tag.payload_bits())
+                    .ok_or_else(|| DecodeError::at_payload(out.len(), r.bit_pos(), tag))?;
             }
             remaining -= group;
         }

@@ -46,13 +46,17 @@
 
 pub mod adaptive;
 pub mod bitio;
+pub mod burst;
 pub mod gradmodel;
 pub mod inceptionn;
 pub mod lz;
+pub mod parallel;
 pub mod reduction;
 pub mod stats;
 pub mod szlike;
 pub mod truncate;
 
+pub use burst::BurstCodec;
 pub use inceptionn::{CompressedStream, DecodeError, ErrorBound, InceptionnCodec, Tag};
+pub use parallel::{ParallelCodec, ShardFrame};
 pub use stats::{BitwidthHistogram, CodecStats};

@@ -1,0 +1,471 @@
+//! Sharded multi-threaded INCEPTIONN codec.
+//!
+//! A single compressed stream is inherently sequential to decode (every
+//! group's bit offset depends on all previous groups), so the burst
+//! fast path alone cannot use more than one core. [`ParallelCodec`]
+//! restores scaling the way a multi-queue NIC would: the gradient block
+//! is split into **deterministic shards** — near-equal slices rounded
+//! up to whole 8-lane bursts — and each shard is encoded into its own
+//! self-contained [`burst`](crate::burst) stream. A small header
+//! (shard count plus per-shard value/byte lengths) makes the frame
+//! self-describing, so decode fans the shards back out across cores and
+//! writes results straight into disjoint segments of the output block.
+//!
+//! Determinism: shard boundaries are a pure function of `(len, shards)`
+//! and every shard's bytes equal the scalar reference
+//! [`InceptionnCodec`](crate::InceptionnCodec) compressing that slice,
+//! so the concatenated payload is reproducible across runs, machines,
+//! and thread schedules — pinned by `tests/differential.rs`.
+
+use std::fmt;
+
+use crate::burst::BurstCodec;
+use crate::inceptionn::{DecodeError, ErrorBound, LANES_PER_BURST};
+
+/// Below this many values, shard work runs inline on the calling
+/// thread: spawn overhead would exceed the codec work itself. The frame
+/// *format* is unaffected — only where the work executes.
+const SPAWN_THRESHOLD: usize = 64 * 1024;
+
+/// One shard's decode work unit: header entry, payload slice, disjoint
+/// output segment, and the shard's absolute value/byte offsets for
+/// error reporting.
+type DecodeJob<'a> = (&'a ShardInfo, &'a [u8], &'a mut [f32], usize, usize);
+
+/// Per-shard entry of a [`ShardFrame`] header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Number of `f32` values encoded in this shard.
+    pub values: usize,
+    /// Byte length of this shard's stream within the payload.
+    pub bytes: usize,
+    /// Exact bit count of this shard's stream before byte padding.
+    pub bit_len: usize,
+}
+
+/// A sharded compressed gradient block: header plus the concatenation
+/// of the per-shard burst streams (each byte-padded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFrame {
+    /// Total number of encoded values across all shards.
+    pub len: usize,
+    /// Per-shard lengths, in payload order.
+    pub shards: Vec<ShardInfo>,
+    /// Concatenated shard streams.
+    pub payload: Vec<u8>,
+}
+
+impl ShardFrame {
+    /// Uncompressed size in bytes (`4·len`).
+    pub fn original_bytes(&self) -> usize {
+        self.len * 4
+    }
+
+    /// Wire size in bytes: header plus payload.
+    pub fn wire_bytes(&self) -> usize {
+        self.header_bytes() + self.payload.len()
+    }
+
+    /// Serialized header size in bytes.
+    pub fn header_bytes(&self) -> usize {
+        4 + 8 + self.shards.len() * 8
+    }
+
+    /// Achieved compression ratio including the header (1.0 when empty).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.len == 0 {
+            1.0
+        } else {
+            self.original_bytes() as f64 / self.wire_bytes().max(1) as f64
+        }
+    }
+
+    /// Serializes the frame into one wire buffer:
+    /// `[shard count: u32][total values: u64]` then per shard
+    /// `[values: u32][bytes: u32]`, then the payload. All little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        for s in &self.shards {
+            out.extend_from_slice(&(s.values as u32).to_le_bytes());
+            out.extend_from_slice(&(s.bytes as u32).to_le_bytes());
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a frame serialized by [`ShardFrame::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] if the buffer is truncated or the header
+    /// is inconsistent with the payload length.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ShardFrame, FrameError> {
+        let take = |at: usize, n: usize| -> Result<&[u8], FrameError> {
+            bytes.get(at..at + n).ok_or(FrameError {
+                detail: "frame header truncated",
+            })
+        };
+        let shard_count = u32::from_le_bytes(take(0, 4)?.try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(take(4, 8)?.try_into().unwrap()) as usize;
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut offset = 12;
+        let mut total_values = 0usize;
+        let mut total_bytes = 0usize;
+        for _ in 0..shard_count {
+            let values = u32::from_le_bytes(take(offset, 4)?.try_into().unwrap()) as usize;
+            let nbytes = u32::from_le_bytes(take(offset + 4, 4)?.try_into().unwrap()) as usize;
+            shards.push(ShardInfo {
+                values,
+                bytes: nbytes,
+                // Recovered lower bound; exact bit_len is not on the wire.
+                bit_len: nbytes * 8,
+            });
+            total_values += values;
+            total_bytes += nbytes;
+            offset += 8;
+        }
+        let payload = take(offset, total_bytes)?.to_vec();
+        if total_values != len {
+            return Err(FrameError {
+                detail: "shard value counts do not sum to the frame length",
+            });
+        }
+        Ok(ShardFrame {
+            len,
+            shards,
+            payload,
+        })
+    }
+}
+
+/// Error parsing a serialized [`ShardFrame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// What was wrong with the buffer.
+    pub detail: &'static str,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed shard frame: {}", self.detail)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// The sharded parallel codec: burst-encodes/decodes shards across
+/// worker threads via `std::thread::scope`.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_compress::parallel::ParallelCodec;
+/// use inceptionn_compress::{ErrorBound, InceptionnCodec};
+///
+/// let codec = ParallelCodec::new(ErrorBound::pow2(10), 4);
+/// let vals: Vec<f32> = (0..100).map(|i| (i as f32) * 1e-3).collect();
+/// let frame = codec.encode(&vals);
+/// assert_eq!(frame.shards.len(), 4);
+/// let out = codec.decode(&frame).unwrap();
+/// assert_eq!(out, InceptionnCodec::new(ErrorBound::pow2(10)).quantize(&vals));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelCodec {
+    burst: BurstCodec,
+    shards: usize,
+}
+
+impl ParallelCodec {
+    /// Creates a codec splitting blocks into up to `shards` shards
+    /// (`shards >= 1`; clamped to 1 if 0 is passed).
+    pub fn new(bound: ErrorBound, shards: usize) -> Self {
+        ParallelCodec {
+            burst: BurstCodec::new(bound),
+            shards: shards.max(1),
+        }
+    }
+
+    /// Creates a codec sharded to the host's available parallelism.
+    pub fn with_host_parallelism(bound: ErrorBound) -> Self {
+        let shards = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(bound, shards)
+    }
+
+    /// The configured error bound.
+    pub fn bound(&self) -> ErrorBound {
+        self.burst.bound()
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Deterministic shard ranges for a block of `len` values:
+    /// near-equal slices rounded up to whole 8-lane bursts. Every range
+    /// is non-empty except that a short block yields fewer shards.
+    pub fn shard_ranges(&self, len: usize) -> Vec<std::ops::Range<usize>> {
+        if len == 0 {
+            return std::iter::once(0..0).collect();
+        }
+        let per_shard = len
+            .div_ceil(self.shards)
+            .next_multiple_of(LANES_PER_BURST)
+            .max(LANES_PER_BURST);
+        let mut ranges = Vec::with_capacity(self.shards);
+        let mut start = 0;
+        while start < len {
+            let end = (start + per_shard).min(len);
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    }
+
+    /// Encodes a gradient block into a sharded frame. Shards encode in
+    /// parallel for large blocks; the resulting bytes depend only on
+    /// `(values, shards)`, never on thread scheduling.
+    pub fn encode(&self, values: &[f32]) -> ShardFrame {
+        let ranges = self.shard_ranges(values.len());
+        let streams: Vec<crate::CompressedStream> =
+            if ranges.len() <= 1 || values.len() < SPAWN_THRESHOLD {
+                ranges
+                    .iter()
+                    .map(|r| self.burst.compress(&values[r.clone()]))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = ranges
+                        .iter()
+                        .map(|r| {
+                            let slice = &values[r.clone()];
+                            let burst = self.burst;
+                            scope.spawn(move || burst.compress(slice))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard encoder panicked"))
+                        .collect()
+                })
+            };
+        let mut shards = Vec::with_capacity(streams.len());
+        let mut payload = Vec::with_capacity(streams.iter().map(|s| s.bytes.len()).sum());
+        for s in streams {
+            shards.push(ShardInfo {
+                values: s.len,
+                bytes: s.bytes.len(),
+                bit_len: s.bit_len,
+            });
+            payload.extend_from_slice(&s.bytes);
+        }
+        ShardFrame {
+            len: values.len(),
+            shards,
+            payload,
+        }
+    }
+
+    /// Decodes a sharded frame back into the gradient block, fanning
+    /// shards across threads for large frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] (with value index and bit offset made
+    /// absolute within the block/payload) if any shard stream is
+    /// truncated, or if the header is inconsistent with the payload.
+    pub fn decode(&self, frame: &ShardFrame) -> Result<Vec<f32>, DecodeError> {
+        let declared: usize = frame.shards.iter().map(|s| s.values).sum();
+        let payload_bytes: usize = frame.shards.iter().map(|s| s.bytes).sum();
+        if declared != frame.len || payload_bytes > frame.payload.len() {
+            // Header/payload mismatch: report at the first inconsistent
+            // position rather than touching out-of-bounds memory.
+            return Err(DecodeError {
+                at_value: declared.min(frame.len),
+                bit_offset: frame.payload.len() * 8,
+                tag: None,
+            });
+        }
+        let mut out = vec![0f32; frame.len];
+        // Carve the output block and payload into per-shard segments.
+        let mut jobs: Vec<DecodeJob> = Vec::with_capacity(frame.shards.len());
+        {
+            let mut rest: &mut [f32] = &mut out;
+            let mut byte_at = 0usize;
+            let mut value_at = 0usize;
+            for info in &frame.shards {
+                let (seg, tail) = rest.split_at_mut(info.values);
+                rest = tail;
+                let bytes = &frame.payload[byte_at..byte_at + info.bytes];
+                jobs.push((info, bytes, seg, value_at, byte_at));
+                value_at += info.values;
+                byte_at += info.bytes;
+            }
+        }
+        let run = |(info, bytes, seg, value_at, byte_at): DecodeJob| {
+            self.burst
+                .decompress_into(bytes, info.values, seg)
+                .map_err(|e| DecodeError {
+                    at_value: value_at + e.at_value,
+                    bit_offset: byte_at * 8 + e.bit_offset,
+                    tag: e.tag,
+                })
+        };
+        if jobs.len() <= 1 || frame.len < SPAWN_THRESHOLD {
+            for job in jobs {
+                run(job)?;
+            }
+        } else {
+            let results: Vec<Result<(), DecodeError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|job| scope.spawn(move || run(job)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard decoder panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The lossy round trip, fanned across threads for large blocks.
+    /// Identical values to the scalar `quantize` (elementwise codec, so
+    /// threading cannot change results).
+    pub fn quantize(&self, values: &[f32]) -> Vec<f32> {
+        let mut out = values.to_vec();
+        self.quantize_inplace(&mut out);
+        out
+    }
+
+    /// Applies the lossy round trip in place, in parallel.
+    pub fn quantize_inplace(&self, values: &mut [f32]) {
+        if self.shards <= 1 || values.len() < SPAWN_THRESHOLD {
+            self.burst.quantize_inplace(values);
+            return;
+        }
+        let chunk = values.len().div_ceil(self.shards).max(LANES_PER_BURST);
+        std::thread::scope(|scope| {
+            for seg in values.chunks_mut(chunk) {
+                let burst = self.burst;
+                scope.spawn(move || burst.quantize_inplace(seg));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InceptionnCodec;
+
+    fn vals(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.61).sin() * 0.7).collect()
+    }
+
+    #[test]
+    fn shard_ranges_cover_exactly_and_are_burst_aligned() {
+        let c = ParallelCodec::new(ErrorBound::pow2(10), 4);
+        for len in [0usize, 1, 7, 8, 9, 31, 32, 33, 100, 1000] {
+            let ranges = c.shard_ranges(len);
+            let mut at = 0;
+            for (i, r) in ranges.iter().enumerate() {
+                assert_eq!(r.start, at, "gap before shard {i} at len {len}");
+                assert!(
+                    r.start % LANES_PER_BURST == 0,
+                    "shard {i} start unaligned at len {len}"
+                );
+                at = r.end;
+            }
+            assert_eq!(at, len, "ranges must cover the block");
+        }
+    }
+
+    #[test]
+    fn shards_equal_scalar_streams_of_their_slices() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 3);
+        let scalar = InceptionnCodec::new(ErrorBound::pow2(10));
+        let v = vals(100);
+        let frame = codec.encode(&v);
+        let mut at = 0usize;
+        for (info, r) in frame.shards.iter().zip(codec.shard_ranges(v.len())) {
+            let reference = scalar.compress(&v[r]);
+            assert_eq!(
+                &frame.payload[at..at + info.bytes],
+                &reference.bytes[..],
+                "shard bytes must equal the scalar stream of the slice"
+            );
+            assert_eq!(info.bit_len, reference.bit_len);
+            at += info.bytes;
+        }
+        assert_eq!(at, frame.payload.len());
+    }
+
+    #[test]
+    fn decode_matches_scalar_quantize() {
+        for shards in [1usize, 2, 3, 8] {
+            let codec = ParallelCodec::new(ErrorBound::pow2(8), shards);
+            let scalar = InceptionnCodec::new(ErrorBound::pow2(8));
+            for n in [0usize, 1, 8, 17, 100, 999] {
+                let v = vals(n);
+                let out = codec.decode(&codec.encode(&v)).unwrap();
+                assert_eq!(out, scalar.quantize(&v), "shards={shards} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_serialization_round_trips() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 4);
+        let v = vals(500);
+        let frame = codec.encode(&v);
+        let parsed = ShardFrame::from_bytes(&frame.to_bytes()).unwrap();
+        assert_eq!(parsed.len, frame.len);
+        assert_eq!(parsed.payload, frame.payload);
+        assert_eq!(
+            codec.decode(&parsed).unwrap(),
+            codec.decode(&frame).unwrap()
+        );
+    }
+
+    #[test]
+    fn truncated_frame_bytes_error() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 2);
+        let frame = codec.encode(&vals(64));
+        let wire = frame.to_bytes();
+        assert!(ShardFrame::from_bytes(&wire[..wire.len() - 1]).is_err());
+        assert!(ShardFrame::from_bytes(&wire[..5]).is_err());
+    }
+
+    #[test]
+    fn corrupt_shard_reports_absolute_positions() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 2);
+        let v = vals(64);
+        let mut frame = codec.encode(&v);
+        // Chop the tail: the second shard becomes undecodable.
+        let cut = frame.shards[0].bytes + 1;
+        frame.payload.truncate(cut);
+        frame.shards[1].bytes = 1;
+        let err = codec.decode(&frame).unwrap_err();
+        assert!(
+            err.at_value >= frame.shards[0].values,
+            "error must be attributed past the first shard: {err:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_quantize_equals_scalar() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 4);
+        let scalar = InceptionnCodec::new(ErrorBound::pow2(10));
+        let v = vals(10_000);
+        assert_eq!(codec.quantize(&v), scalar.quantize(&v));
+    }
+}

@@ -10,7 +10,9 @@
 //!
 //! * [`InProcessFabric`] — the modeling shortcut: payloads stay as `f32`
 //!   vectors and compression is applied as a whole-stream `quantize()`
-//!   round trip. Fast, bit-exact baseline.
+//!   round trip on the burst-vectorized, sharded
+//!   [`ParallelCodec`] fast path (elementwise codec, so the values are
+//!   identical to the scalar reference). Fast, bit-exact baseline.
 //! * [`NicFabric`] — the real datapath: every payload is cut into MTU
 //!   packets and pushed through `inceptionn-nicsim`'s compression /
 //!   decompression engines, so the bytes "on the wire" are the actual
@@ -26,7 +28,7 @@
 //! [`TransportKind`] is the user-facing selector consumed by
 //! `TrainerConfig` and the `inceptionn` experiment drivers.
 
-use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_compress::{ErrorBound, ParallelCodec};
 use inceptionn_netsim::NetworkConfig;
 use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
 
@@ -176,17 +178,22 @@ fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packe
 #[derive(Debug, Clone)]
 pub struct InProcessFabric {
     endpoints: usize,
-    codec: Option<InceptionnCodec>,
+    codec: Option<ParallelCodec>,
     stats: FabricStats,
 }
 
 impl InProcessFabric {
     /// A fabric over `endpoints` endpoints, quantizing gradient payloads
     /// when `compression` is set.
+    ///
+    /// Quantization runs on the burst fast path, sharded to the host's
+    /// available parallelism for multi-megabyte blocks — the elementwise
+    /// results are bit-identical to the scalar codec, so every pinned
+    /// cross-fabric equality still holds.
     pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
         InProcessFabric {
             endpoints,
-            codec: compression.map(InceptionnCodec::new),
+            codec: compression.map(ParallelCodec::with_host_parallelism),
             stats: FabricStats::default(),
         }
     }

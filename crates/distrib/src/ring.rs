@@ -4,7 +4,10 @@
 //! neighbor at which step. Everything about *how* a block moves (software
 //! quantization shortcut, real NIC engine bytes, link timing) lives
 //! behind the [`Fabric`] trait, so the same schedule drives bit-exact
-//! baselines and full hardware-modeled runs.
+//! baselines and full hardware-modeled runs. Since the transports run on
+//! the burst-vectorized codec fast path (`inceptionn_compress::burst`,
+//! sharded by `ParallelCodec` for large blocks), every exchange strategy
+//! here inherits it without touching the schedule.
 
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Mutex;
@@ -411,6 +414,49 @@ mod tests {
             for (a, b) in grads[0].iter().zip(&grads[w]) {
                 assert!((a - b).abs() <= 2.0 * eb, "worker {w}: {a} vs {b}");
             }
+        }
+    }
+
+    #[test]
+    fn fast_path_ring_matches_scalar_quantize_fabric_bit_exactly() {
+        // Regression pin for the burst/parallel codec wiring: a fabric
+        // that quantizes blocks with the scalar reference codec must
+        // produce the exact floats of the production fast-path fabrics.
+        struct ScalarFabric {
+            codec: InceptionnCodec,
+            stats: crate::fabric::FabricStats,
+        }
+        impl Fabric for ScalarFabric {
+            fn endpoints(&self) -> usize {
+                8
+            }
+            fn encode(&mut self, _src: usize, values: &[f32], _kind: PayloadKind) -> WireFrame {
+                WireFrame::Loopback(self.codec.quantize(values))
+            }
+            fn deliver(&mut self, _dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+                match frame {
+                    WireFrame::Loopback(values) => sink(values),
+                    WireFrame::Packets(_) => unreachable!(),
+                }
+            }
+            fn stats(&self) -> crate::fabric::FabricStats {
+                self.stats
+            }
+        }
+        let bound = ErrorBound::pow2(10);
+        let grads = random_grads(4, 1000, 57);
+        let endpoints: Vec<usize> = (0..4).collect();
+        let mut reference = grads.clone();
+        let mut scalar = ScalarFabric {
+            codec: InceptionnCodec::new(bound),
+            stats: crate::fabric::FabricStats::default(),
+        };
+        ring_allreduce_over(&mut scalar, &mut reference, &endpoints);
+        for kind in TransportKind::ALL {
+            let mut fast = grads.clone();
+            let mut fabric = kind.build(4, Some(bound));
+            ring_allreduce_over(fabric.as_mut(), &mut fast, &endpoints);
+            assert_eq!(reference, fast, "{kind:?} diverged from the scalar codec");
         }
     }
 

@@ -76,6 +76,12 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// `a` is `m×k`, `b` is `n×k`, the result is `m×n`.
 ///
+/// Blocked four output columns wide: one pass over a row of `a` feeds
+/// four independent dot products against consecutive rows of `b`,
+/// quartering the re-reads of the `a` row and breaking the single
+/// accumulator dependency chain. Each output still sums in ascending
+/// `k` order, so results are bit-identical to the naive loop.
+///
 /// # Panics
 ///
 /// Panics unless both operands are rank 2 with matching inner (`k`)
@@ -91,13 +97,33 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         let arow = &av[i * k..(i + 1) * k];
-        for j in 0..n {
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &bv[j * k..(j + 1) * k];
+            let b1 = &bv[(j + 1) * k..(j + 2) * k];
+            let b2 = &bv[(j + 2) * k..(j + 3) * k];
+            let b3 = &bv[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&x, &y0), &y1), &y2), &y3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += x * y0;
+                s1 += x * y1;
+                s2 += x * y2;
+                s3 += x * y3;
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += 4;
+        }
+        for (j, o) in orow.iter_mut().enumerate().skip(j) {
             let brow = &bv[j * k..(j + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &y) in arow.iter().zip(brow.iter()) {
                 acc += x * y;
             }
-            out[i * n + j] = acc;
+            *o = acc;
         }
     }
     Tensor::from_vec(out, &[m, n])
@@ -133,6 +159,14 @@ mod tests {
     fn matmul_nt_equals_explicit_transpose() {
         let a = Tensor::from_vec((0..12).map(|v| v as f32 * 0.3).collect(), &[3, 4]);
         let b = Tensor::from_vec((0..8).map(|v| v as f32 - 3.0).collect(), &[2, 4]);
+        approx_eq(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()));
+    }
+
+    #[test]
+    fn matmul_nt_blocked_and_remainder_columns_match_transpose() {
+        // n = 6 exercises one full 4-wide block plus a 2-column tail.
+        let a = Tensor::from_vec((0..35).map(|v| (v as f32) * 0.17 - 2.0).collect(), &[5, 7]);
+        let b = Tensor::from_vec((0..42).map(|v| (v as f32) * 0.11 - 1.5).collect(), &[6, 7]);
         approx_eq(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()));
     }
 
