@@ -1,0 +1,503 @@
+//! A lightweight, dependency-free Rust tokenizer for the invariant
+//! linter.
+//!
+//! The rules in [`crate::rules`] are lexical: they must never fire on
+//! text inside string literals or comments ("`unwrap()` mentioned in a
+//! doc sentence"), and they must be able to *read* comments (the
+//! `SAFETY:` rule). So the tokenizer's contract is not full Rust
+//! grammar — it is exact recognition of the token classes whose
+//! misclassification would produce false positives:
+//!
+//! * line (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, raw strings `r#"…"#` with any
+//!   number of `#`s, byte strings, C strings,
+//! * char literals vs. lifetimes (`'a'` vs. `'a`),
+//! * raw identifiers (`r#match`) vs. raw strings (`r#"…"`),
+//! * identifiers, numbers, and one-byte punctuation (everything the
+//!   rules match structure against: `#[…]`, `.unwrap()`, `unsafe {`).
+//!
+//! Every token carries its 1-based line number and byte span so
+//! diagnostics point at real locations. The unit tests pin the
+//! traps — raw strings containing quotes, nested comments containing
+//! `unsafe`, macro bodies, lifetimes next to char literals.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `// …` including doc (`///`) and inner-doc (`//!`) comments.
+    LineComment,
+    /// `/* … */`, nested arbitrarily, including doc block comments.
+    BlockComment,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// A char literal `'x'` (escapes included).
+    Char,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// An identifier or keyword (`unsafe`, `fn`, `unwrap`, …); raw
+    /// identifiers are reported without the `r#` prefix.
+    Ident,
+    /// A numeric literal (lexed loosely; rules never inspect digits).
+    Number,
+    /// One byte of punctuation (`{`, `}`, `#`, `.`, `!`, …).
+    Punct(u8),
+}
+
+/// One token: kind, byte span in the source, and 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Unknown bytes are consumed as punctuation so the
+/// lexer never stalls; multi-byte UTF-8 sequences outside
+/// comments/strings are skipped byte-wise (the rules only ever match
+/// ASCII structure).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+/// UTF-8 sequence length implied by a leading byte.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.src[self.pos];
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.string_prefix() => self.prefixed_string(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct(b)
+                }
+            };
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Does the cursor sit on a string-literal prefix (`r"`, `r#"`,
+    /// `b"`, `br#"`, `b'`, `c"`)? Raw *identifiers* (`r#match`) return
+    /// false.
+    fn string_prefix(&self) -> bool {
+        let mut at = self.pos;
+        // Consume up to two prefix letters (e.g. `br`).
+        for _ in 0..2 {
+            match self.src.get(at) {
+                Some(b'r' | b'b' | b'c') => at += 1,
+                _ => break,
+            }
+        }
+        // Then any number of `#`s followed by a quote = raw string; a
+        // bare quote = plain prefixed string; `b'` = byte char.
+        let hashes_start = at;
+        while self.src.get(at) == Some(&b'#') {
+            at += 1;
+        }
+        match self.src.get(at) {
+            Some(b'"') => {
+                // `r#ident` has hashes but no quote; quote means string.
+                // (With zero hashes this is `r"` / `b"` / `br"`.)
+                at > self.pos && (hashes_start == at || self.src.get(at) == Some(&b'"'))
+            }
+            Some(b'\'') if hashes_start == at => {
+                // `b'x'` byte char (only valid directly after `b`).
+                self.src[self.pos] == b'b' && at == self.pos + 1
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.pos += 2; // consume `/*`
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A plain `"…"` string starting at the cursor.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##`, `b'x'`, `c"…"` — the
+    /// cursor sits on the first prefix letter.
+    fn prefixed_string(&mut self) -> TokenKind {
+        while matches!(self.src.get(self.pos), Some(b'r' | b'b' | b'c')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.src.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.src.get(self.pos) == Some(&b'\'') {
+            // Byte char `b'x'`: same shape as a char literal.
+            return self.char_or_lifetime();
+        }
+        self.pos += 1; // opening quote
+        if hashes == 0 && !self.raw_marker() {
+            // `b"…"` / `c"…"` respect escapes like plain strings.
+            self.pos -= 1;
+            return self.string();
+        }
+        // Raw string: ends at `"` followed by `hashes` `#`s, no escapes.
+        while self.pos < self.src.len() {
+            if self.src[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if self.src[self.pos] == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.src.get(self.pos + 1 + i) != Some(&b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return TokenKind::Str;
+                }
+            }
+            self.pos += 1;
+        }
+        TokenKind::Str
+    }
+
+    /// True when the token being lexed began with an `r` (raw string —
+    /// no escapes) as opposed to `b`/`c` (escapes apply).
+    fn raw_marker(&self) -> bool {
+        // `pos` is just past the opening quote; walk back over it and
+        // any `#`s to the prefix letters.
+        let mut at = self.pos.saturating_sub(2);
+        while at > 0 && self.src[at] == b'#' {
+            at -= 1;
+        }
+        matches!(self.src.get(at), Some(b'r'))
+    }
+
+    /// Distinguishes `'a'` (char) from `'a` (lifetime). A quote starts
+    /// a char literal iff it closes after one (possibly escaped)
+    /// character; otherwise it is a lifetime marker.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        let q = self.pos;
+        self.pos += 1;
+        match self.src.get(self.pos) {
+            Some(b'\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.pos += 2;
+                while self.pos < self.src.len() && self.src[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 1).min(self.src.len());
+                TokenKind::Char
+            }
+            Some(c) if *c != b'\'' => {
+                // `'x'` = char (x is ANY single character — `'"'`, `'{'`,
+                // `'—'` included, so advance by its UTF-8 width); `'ident`
+                // with no closing quote = lifetime.
+                let ch_len = utf8_len(*c);
+                if self.src.get(self.pos + ch_len) == Some(&b'\'') {
+                    self.pos += ch_len + 1;
+                    return TokenKind::Char;
+                }
+                let mut at = self.pos;
+                while at < self.src.len()
+                    && (self.src[at] == b'_' || self.src[at].is_ascii_alphanumeric())
+                {
+                    at += 1;
+                }
+                if self.src.get(at) == Some(&b'\'') && at > self.pos {
+                    // A quoted multi-char run (malformed char literal):
+                    // consume it whole so the quote does not leak.
+                    self.pos = at + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos = at.max(q + 1);
+                    TokenKind::Lifetime
+                }
+            }
+            _ => {
+                // `''` or EOF: consume the quote alone.
+                TokenKind::Lifetime
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // (Identifiers in this workspace are ASCII; multi-byte chars only
+        // occur in comments/strings, which are consumed atomically.)
+        while self.pos < self.src.len()
+            && (self.src[self.pos] == b'_' || self.src[self.pos].is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Loose: digits plus anything that can continue a numeric
+        // literal (hex, underscores, type suffixes, exponents, a `.`
+        // followed by a digit). Rules never look inside numbers; the
+        // only requirement is not swallowing structure like `1..n`.
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            let continues = b == b'_'
+                || b.is_ascii_alphanumeric()
+                || (b == b'.'
+                    && self.peek(1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+                    && self.src.get(self.pos.wrapping_sub(1)) != Some(&b'.'));
+            if !continues {
+                break;
+            }
+            self.pos += 1;
+        }
+        TokenKind::Number
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_code_words() {
+        // `unwrap` and `unsafe` inside literals must not surface as
+        // identifiers.
+        let src = r#"let s = "call unwrap() or unsafe {"; s.len();"#;
+        let ids = idents(src);
+        assert!(ids.contains(&"len".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_quotes_and_hashes() {
+        let src = "let s = r#\"she said \"unsafe\" loudly\"#; x.unwrap();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"unwrap".to_string()));
+        // Deeper hash nesting.
+        let src2 = "let s = r##\"quote\"# inside\"##; done();";
+        assert!(idents(src2).contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let src = "let r#match = 1; r#match.unwrap();";
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "match").count(), 2);
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment unwrap() */ real();";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        let ids = idents(src);
+        assert_eq!(ids, vec!["real".to_string()]);
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_lines() {
+        let src = "// SAFETY: fine\nlet x = 1; // trailing\n";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text(src).contains("SAFETY:"));
+        assert_eq!(toks[0].line, 1);
+        let trailing = toks.iter().rfind(|t| t.is_comment()).unwrap();
+        assert_eq!(trailing.line, 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }";
+        let toks = tokenize(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let a = b\"unsafe\"; let b = b'x'; let c = br#\"unwrap\"#; go();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"go".to_string()));
+    }
+
+    #[test]
+    fn macro_bodies_tokenize_structurally() {
+        let src = "assert!(x == 1, \"panic! in message\"); panic!(\"boom {}\", y);";
+        let ids = idents(src);
+        // The real `panic` ident surfaces once (the macro call), not the
+        // one inside the assert message.
+        assert_eq!(ids.iter().filter(|s| *s == "panic").count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_all_multiline_tokens() {
+        let src = "/* 1\n2\n3 */\nlet s = \"a\nb\";\nr#\"x\ny\"#;\nfinal_token();";
+        let toks = tokenize(src);
+        let last = toks.iter().rfind(|t| t.kind == TokenKind::Ident).unwrap();
+        assert_eq!(last.text(src), "final_token");
+        assert_eq!(last.line, 8);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let src = r#"let s = "she \"said\" unsafe"; tail();"#;
+        assert!(idents(src).contains(&"tail".to_string()));
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn punctuation_and_unicode_char_literals_do_not_desync() {
+        // `b'"'` and friends must not leak their quotes into phantom
+        // strings (this desynced the lexer on its own source once).
+        let src = "let q = b'\"'; let d = '—'; let brace = '{'; after();";
+        assert!(idents(src).contains(&"after".to_string()));
+        let chars = tokenize(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn ranges_do_not_merge_into_numbers() {
+        let src = "for i in 1..n { a[i] = 0.5; }";
+        let texts: Vec<_> = kinds(src);
+        assert!(texts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "1"));
+        assert!(texts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Number && s == "0.5"));
+        assert!(idents(src).contains(&"n".to_string()));
+    }
+}

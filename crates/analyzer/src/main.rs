@@ -1,0 +1,89 @@
+//! CLI for the analyzer: `cargo run -p analyzer -- --check`.
+//!
+//! Modes:
+//! - `--check` (default): invariant linter + concurrency checker
+//!   (smoke-sized models); exit 1 on any violation.
+//! - `--lint`: linter only.
+//! - `--conc`: concurrency checker only, full-sized models.
+//! - `--smoke`: concurrency checker only, smoke-sized models.
+//!
+//! `--root <dir>` overrides the workspace root (default: walk up from
+//! the current directory until a `crates/` directory is found).
+
+#![deny(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::{run_conc, run_lint, CheckOutcome};
+
+fn find_repo_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(root) = explicit {
+        return Some(root);
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn report(label: &str, outcome: &CheckOutcome) -> bool {
+    for line in &outcome.summary {
+        println!("{line}");
+    }
+    for line in &outcome.failures {
+        eprintln!("{line}");
+    }
+    if outcome.passed() {
+        true
+    } else {
+        eprintln!("{label}: {} failure(s)", outcome.failures.len());
+        false
+    }
+}
+
+fn main() -> ExitCode {
+    let mut mode = "--check".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" | "--lint" | "--conc" | "--smoke" => mode = arg,
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: analyzer [--check|--lint|--conc|--smoke] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut ok = true;
+    if matches!(mode.as_str(), "--check" | "--lint") {
+        match find_repo_root(root.clone()) {
+            Some(repo_root) => {
+                ok &= report("lint", &run_lint(&repo_root));
+            }
+            None => {
+                eprintln!("lint: could not locate workspace root (pass --root <dir>)");
+                ok = false;
+            }
+        }
+    }
+    if matches!(mode.as_str(), "--check" | "--conc" | "--smoke") {
+        let smoke = mode != "--conc";
+        ok &= report("conc", &run_conc(smoke));
+    }
+
+    if ok {
+        println!("analyzer: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,336 @@
+//! Concurrency models of the repo's two hand-rolled threading
+//! protocols, plus the intentionally-broken fixtures the checker must
+//! catch.
+//!
+//! The models run the *real* production kernels — `BurstCodec`
+//! encode/decode from `inceptionn-compress`, `block_range` from
+//! `inceptionn-distrib` — under the mini-loom's instrumented
+//! primitives, so what gets explored is the actual sharding/handshake
+//! protocol logic with the actual codec math inside it. What the
+//! checker proves within its preemption bound:
+//!
+//! - [`parallel_encode_model`] / [`parallel_decode_model`]: the
+//!   ParallelCodec shard protocol (fan out disjoint shards, collect
+//!   results through a shared table, assemble in shard order) never
+//!   deadlocks and yields byte-identical frames on every schedule;
+//! - [`ring_reduce_model`]: the threaded ring's reduce-scatter +
+//!   all-gather over capacity-1 channels with a shared locked codec
+//!   never deadlocks and every worker converges to the same vector on
+//!   every schedule;
+//! - [`racy_counter_model`] and [`lock_inversion_model`]: seeded-bug
+//!   fixtures — a lost-update race and an AB-BA deadlock — that the
+//!   checker MUST flag; the gate test fails if it ever stops catching
+//!   them.
+
+use std::sync::Arc;
+
+use inceptionn_compress::{BurstCodec, ErrorBound};
+use inceptionn_distrib::ring::block_range;
+
+use crate::conc::{sim_channel, Explorer, JoinHandle, RaceCell, Report, SimMutex, Violation};
+
+/// Deterministic pseudo-gradient: a fixed mix of zeros, small and large
+/// magnitudes, with no RNG (the checker forbids wall-clock/RNG in
+/// models just as the linter forbids it in wire code).
+pub fn synthetic_values(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761);
+            match h % 4 {
+                0 => 0.0,
+                1 => ((h >> 8) % 1000) as f32 * 1e-4,
+                2 => -(((h >> 8) % 1000) as f32) * 1e-2,
+                _ => ((h >> 8) % 1000) as f32,
+            }
+        })
+        .collect()
+}
+
+/// Splits `len` values into `shards` contiguous ranges the same way for
+/// every schedule (mirrors `ParallelCodec::shard_ranges`' burst-aligned
+/// split in miniature).
+fn shard_ranges(len: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    (0..shards).map(|k| block_range(len, shards, k)).collect()
+}
+
+/// ParallelCodec encode protocol: each worker compresses a disjoint
+/// shard with the real [`BurstCodec`] and publishes into a shared slot
+/// table; the root assembles the self-describing frame in shard order.
+/// Output bytes must not depend on worker completion order.
+pub fn parallel_encode_model(shards: usize, values_per_shard: usize) -> Result<Report, Violation> {
+    let values = Arc::new(synthetic_values(shards * values_per_shard));
+    Explorer::default().explore(move |sim| {
+        let codec = Arc::new(BurstCodec::new(ErrorBound::pow2(8)));
+        let slots: Arc<SimMutex<Vec<Option<Vec<u8>>>>> =
+            Arc::new(SimMutex::new(sim, vec![None; shards]));
+        let ranges = shard_ranges(values.len(), shards);
+        let handles: Vec<JoinHandle> = ranges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(k, range)| {
+                let (codec, slots, values) =
+                    (Arc::clone(&codec), Arc::clone(&slots), Arc::clone(&values));
+                sim.spawn(move || {
+                    let stream = codec.compress(&values[range]);
+                    slots.lock()[k] = Some(stream.bytes);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        // Frame assembly: shard order, length-prefixed — like ShardFrame.
+        let table = slots.lock();
+        let mut frame = Vec::new();
+        for slot in table.iter() {
+            let bytes = slot.as_ref().expect("every shard published");
+            frame.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            frame.extend_from_slice(bytes);
+        }
+        frame
+    })
+}
+
+/// ParallelCodec decode protocol: shards (pre-encoded outside the
+/// exploration, so they are schedule-independent inputs) are decoded
+/// concurrently and stitched in shard order.
+pub fn parallel_decode_model(shards: usize, values_per_shard: usize) -> Result<Report, Violation> {
+    let codec = BurstCodec::new(ErrorBound::pow2(8));
+    let values = synthetic_values(shards * values_per_shard);
+    let encoded: Arc<Vec<(Vec<u8>, usize)>> = Arc::new(
+        shard_ranges(values.len(), shards)
+            .into_iter()
+            .map(|r| {
+                let stream = codec.compress(&values[r.clone()]);
+                (stream.bytes, r.len())
+            })
+            .collect(),
+    );
+    Explorer::default().explore(move |sim| {
+        let codec = Arc::new(BurstCodec::new(ErrorBound::pow2(8)));
+        let slots: Arc<SimMutex<Vec<Option<Vec<f32>>>>> =
+            Arc::new(SimMutex::new(sim, vec![None; shards]));
+        let handles: Vec<JoinHandle> = (0..shards)
+            .map(|k| {
+                let (codec, slots, encoded) =
+                    (Arc::clone(&codec), Arc::clone(&slots), Arc::clone(&encoded));
+                sim.spawn(move || {
+                    let (bytes, count) = &encoded[k];
+                    let mut out = vec![0f32; *count];
+                    codec
+                        .decompress_into(bytes, *count, &mut out)
+                        .expect("shard decodes");
+                    slots.lock()[k] = Some(out);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let table = slots.lock();
+        table
+            .iter()
+            .flat_map(|s| s.as_ref().expect("every shard decoded"))
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    })
+}
+
+/// The threaded ring's reduce-scatter + all-gather handshake: `n`
+/// workers, capacity-1 channels to the right neighbor (the real code's
+/// `sync_channel(1)`), and a single shared, locked codec standing in
+/// for the ring's `Mutex<Box<dyn Fabric>>`. Reduce-scatter re-encodes
+/// the accumulated block each hop; all-gather forwards reduced bytes
+/// verbatim, so every worker must end with the identical vector.
+pub fn ring_reduce_model(n: usize, values_per_block: usize) -> Result<Report, Violation> {
+    let len = n * values_per_block;
+    let explorer = Explorer {
+        // The ring model has ~an order of magnitude more scheduling
+        // points than the shard models; one preemption already explores
+        // every single-interference schedule of the handshake.
+        max_preemptions: 1,
+        ..Explorer::default()
+    };
+    explorer.explore(move |sim| {
+        let fabric = Arc::new(SimMutex::new(sim, BurstCodec::new(ErrorBound::pow2(8))));
+        // links[i] feeds worker (i + 1) % n.
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = sim_channel::<Vec<u8>>(sim, 1);
+            senders.push(Some(tx));
+            receivers.push(Some(rx));
+        }
+        let finals: Arc<SimMutex<Vec<Option<Vec<f32>>>>> =
+            Arc::new(SimMutex::new(sim, vec![None; n]));
+        let handles: Vec<JoinHandle> = (0..n)
+            .map(|w| {
+                let tx = senders[w].take().expect("one sender per link");
+                let rx = receivers[(w + n - 1) % n]
+                    .take()
+                    .expect("one receiver per link");
+                let (fabric, finals) = (Arc::clone(&fabric), Arc::clone(&finals));
+                sim.spawn(move || {
+                    // Each worker contributes a distinct deterministic vector.
+                    let mut data: Vec<f32> = (0..len)
+                        .map(|i| ((i + 1) * (w + 1)) as f32 * 0.25)
+                        .collect();
+                    // Reduce-scatter: after n-1 rounds, worker w owns the
+                    // fully reduced block (w + 1) % n.
+                    for round in 0..n - 1 {
+                        let send_block = (w + n - round) % n;
+                        let recv_block = (w + n - round - 1) % n;
+                        let bytes = {
+                            let codec = fabric.lock();
+                            codec.compress(&data[block_range(len, n, send_block)]).bytes
+                        };
+                        tx.send(bytes);
+                        let incoming = rx.recv();
+                        let r = block_range(len, n, recv_block);
+                        let decoded = {
+                            let codec = fabric.lock();
+                            let mut out = vec![0f32; r.len()];
+                            codec
+                                .decompress_into(&incoming, r.len(), &mut out)
+                                .expect("ring payload decodes");
+                            out
+                        };
+                        for (slot, v) in data[r].iter_mut().zip(decoded) {
+                            *slot += v;
+                        }
+                    }
+                    // All-gather: forward the owned block's reduced bytes
+                    // verbatim around the ring. The codec is lossy, so the
+                    // owner adopts the decoded view of its own block — the
+                    // same bytes everyone else will decode.
+                    let owned = (w + 1) % n;
+                    let mut outgoing = {
+                        let codec = fabric.lock();
+                        let r = block_range(len, n, owned);
+                        let bytes = codec.compress(&data[r.clone()]).bytes;
+                        let mut out = vec![0f32; r.len()];
+                        codec
+                            .decompress_into(&bytes, r.len(), &mut out)
+                            .expect("own block decodes");
+                        data[r].copy_from_slice(&out);
+                        bytes
+                    };
+                    for round in 0..n - 1 {
+                        tx.send(outgoing);
+                        let incoming = rx.recv();
+                        let recv_block = (w + n - round) % n;
+                        let r = block_range(len, n, recv_block);
+                        let codec = fabric.lock();
+                        let mut out = vec![0f32; r.len()];
+                        codec
+                            .decompress_into(&incoming, r.len(), &mut out)
+                            .expect("gathered payload decodes");
+                        data[r].copy_from_slice(&out);
+                        outgoing = incoming;
+                    }
+                    finals.lock()[w] = Some(data);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        let table = finals.lock();
+        let first = table[0].as_ref().expect("worker 0 finished");
+        for (w, other) in table.iter().enumerate().skip(1) {
+            let other = other.as_ref().expect("worker finished");
+            assert_eq!(first, other, "worker {w} diverged from worker 0");
+        }
+        first.iter().flat_map(|v| v.to_le_bytes()).collect()
+    })
+}
+
+/// Seeded-bug fixture: two workers perform a non-atomic
+/// read-modify-write on a shared [`RaceCell`]. Some schedule loses an
+/// update; the checker must report the failed assertion.
+pub fn racy_counter_model() -> Result<Report, Violation> {
+    Explorer::default().explore(|sim| {
+        let counter = Arc::new(RaceCell::new(sim, 0u32));
+        let handles: Vec<JoinHandle> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                sim.spawn(move || {
+                    let v = counter.get();
+                    counter.set(v + 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(counter.get(), 2, "racy counter lost an update");
+        Vec::new()
+    })
+}
+
+/// Seeded-bug fixture: classic AB-BA lock inversion. Some schedule
+/// deadlocks; the checker must report it.
+pub fn lock_inversion_model() -> Result<Report, Violation> {
+    Explorer::default().explore(|sim| {
+        let a = Arc::new(SimMutex::new(sim, ()));
+        let b = Arc::new(SimMutex::new(sim, ()));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = sim.spawn(move || {
+            let _ga = a1.lock();
+            let _gb = b1.lock();
+        });
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t2 = sim.spawn(move || {
+            let _gb = b2.lock();
+            let _ga = a2.lock();
+        });
+        t1.join();
+        t2.join();
+        Vec::new()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_encode_is_deadlock_free_and_deterministic() {
+        let report = parallel_encode_model(2, 24).expect("encode protocol is clean");
+        assert!(report.schedules > 1, "exploration actually branched");
+        assert!(!report.output.is_empty());
+    }
+
+    #[test]
+    fn parallel_decode_is_deadlock_free_and_deterministic() {
+        let report = parallel_decode_model(2, 24).expect("decode protocol is clean");
+        assert!(report.schedules > 1);
+        // Output is the stitched f32 bytes: 2 shards × 24 values × 4 bytes.
+        assert_eq!(report.output.len(), 2 * 24 * 4);
+    }
+
+    #[test]
+    fn ring_handshake_is_deadlock_free_and_converges() {
+        let report = ring_reduce_model(3, 1).expect("ring handshake is clean");
+        assert!(report.schedules > 1);
+        assert_eq!(report.output.len(), 3 * 4);
+    }
+
+    #[test]
+    fn racy_fixture_is_caught() {
+        let err = racy_counter_model().expect_err("the race must be found");
+        match err {
+            Violation::ModelPanic { message, .. } => {
+                assert!(message.contains("lost an update"), "message: {message}")
+            }
+            other => panic!("expected ModelPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_fixture_is_caught() {
+        let err = lock_inversion_model().expect_err("the inversion must deadlock");
+        assert!(matches!(err, Violation::Deadlock { .. }), "got {err}");
+    }
+}

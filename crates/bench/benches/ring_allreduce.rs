@@ -74,7 +74,7 @@ fn bench_fabrics(c: &mut Criterion) {
     // data and codec, not of the timing loop.
     let mut probe = NicFabric::new(workers, bound);
     let mut g = grads.clone();
-    ring_allreduce_over(&mut probe, &mut g, &endpoints);
+    ring_allreduce_over(&mut probe, &mut g, &endpoints).unwrap();
     let stats = probe.stats();
     println!(
         "ring over NicFabric: {} payload B -> {} wire B per exchange \
@@ -91,7 +91,7 @@ fn bench_fabrics(c: &mut Criterion) {
         b.iter(|| {
             let mut fabric = InProcessFabric::new(workers, bound);
             let mut g = grads.clone();
-            ring_allreduce_over(&mut fabric, &mut g, &endpoints);
+            ring_allreduce_over(&mut fabric, &mut g, &endpoints).unwrap();
             g
         })
     });
@@ -99,7 +99,7 @@ fn bench_fabrics(c: &mut Criterion) {
         b.iter(|| {
             let mut fabric = NicFabric::new(workers, bound);
             let mut g = grads.clone();
-            ring_allreduce_over(&mut fabric, &mut g, &endpoints);
+            ring_allreduce_over(&mut fabric, &mut g, &endpoints).unwrap();
             g
         })
     });

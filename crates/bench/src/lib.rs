@@ -3,6 +3,9 @@
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper; this library holds the bits they share.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 use inceptionn::experiments::Fidelity;
 
 /// Picks run fidelity from the `INCEPTIONN_QUICK` environment variable

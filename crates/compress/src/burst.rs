@@ -227,6 +227,8 @@ mod x86 {
     /// # Safety
     ///
     /// The caller must have verified AVX2 support on the running CPU.
+    // SAFETY: contract above — sound iff the CPU supports AVX2; all
+    // memory accesses go through the `&[f32; 8]` reference.
     #[target_feature(enable = "avx2")]
     pub unsafe fn classify8_avx2(eb_exp: u32, group: &[f32; 8]) -> (u32, [u32; 8]) {
         let e = eb_exp as i32;
@@ -303,6 +305,8 @@ mod x86 {
     ///
     /// The caller must have verified AVX-512F support on the running
     /// CPU.
+    // SAFETY: contract above — sound iff the CPU supports AVX-512F;
+    // all memory accesses go through the two array references.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn classify16_avx512(eb_exp: u32, group: &[f32; 16], pays: &mut [u32; 16]) -> u32 {
         let e = eb_exp as i32;
@@ -360,6 +364,8 @@ mod x86 {
     ///
     /// The caller must have verified AVX2 support; `src..src+32` must
     /// be readable and `dst` must have room for eight `f32`s.
+    // SAFETY: contract above — AVX2 present, `src..src+32` readable,
+    // `dst..dst+8` writable.
     #[target_feature(enable = "avx2")]
     pub unsafe fn decode_group_avx2(src: *const u8, tags16: u32, dst: *mut f32) {
         let (offs, _) = super::lane_offsets(tags16);
@@ -386,6 +392,8 @@ mod x86 {
     /// The caller must have verified `avx512vbmi` + `avx512vl` support;
     /// `src..src+32` must be readable and `dst` must have room for
     /// eight `f32`s.
+    // SAFETY: contract above — the listed AVX-512 extensions present,
+    // `src..src+32` readable, `dst..dst+8` writable.
     #[target_feature(enable = "avx512vbmi,avx512vl,avx512bw,avx2")]
     pub unsafe fn decode_group_vbmi(src: *const u8, tags16: u32, dst: *mut f32) {
         let (offs, _) = super::lane_offsets(tags16);
@@ -418,8 +426,11 @@ mod x86 {
     ///
     /// The caller must have verified AVX2 support and `dst` must have
     /// room for eight `f32`s.
+    // SAFETY: contract above — AVX2 present, `dst..dst+8` writable.
     #[target_feature(enable = "avx2")]
     unsafe fn recon8_avx2(pay: __m256i, tags16: u32, dst: *mut f32) {
+        // SAFETY: everything here is register arithmetic except the
+        // final 32-byte store, covered by the caller's `dst` contract.
         unsafe {
             let tags = _mm256_and_si256(
                 _mm256_srlv_epi32(

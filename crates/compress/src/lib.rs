@@ -44,6 +44,9 @@
 //! assert!(stream.compression_ratio() > 1.0);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod adaptive;
 pub mod bitio;
 pub mod burst;

@@ -107,15 +107,27 @@ impl ShardFrame {
                 detail: "frame header truncated",
             })
         };
-        let shard_count = u32::from_le_bytes(take(0, 4)?.try_into().unwrap()) as usize;
-        let len = u64::from_le_bytes(take(4, 8)?.try_into().unwrap()) as usize;
+        let take_u32 = |at: usize| -> Result<usize, FrameError> {
+            let arr: [u8; 4] = take(at, 4)?.try_into().map_err(|_| FrameError {
+                detail: "frame header truncated",
+            })?;
+            Ok(u32::from_le_bytes(arr) as usize)
+        };
+        let take_u64 = |at: usize| -> Result<usize, FrameError> {
+            let arr: [u8; 8] = take(at, 8)?.try_into().map_err(|_| FrameError {
+                detail: "frame header truncated",
+            })?;
+            Ok(u64::from_le_bytes(arr) as usize)
+        };
+        let shard_count = take_u32(0)?;
+        let len = take_u64(4)?;
         let mut shards = Vec::with_capacity(shard_count);
         let mut offset = 12;
         let mut total_values = 0usize;
         let mut total_bytes = 0usize;
         for _ in 0..shard_count {
-            let values = u32::from_le_bytes(take(offset, 4)?.try_into().unwrap()) as usize;
-            let nbytes = u32::from_le_bytes(take(offset + 4, 4)?.try_into().unwrap()) as usize;
+            let values = take_u32(offset)?;
+            let nbytes = take_u32(offset + 4)?;
             shards.push(ShardInfo {
                 values,
                 bytes: nbytes,

@@ -105,7 +105,8 @@ impl CollectiveContext {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
         let mut fabric = self.fabric();
         let endpoints: Vec<usize> = (0..self.workers).collect();
-        ring_allreduce_over(fabric.as_mut(), grads, &endpoints);
+        ring_allreduce_over(fabric.as_mut(), grads, &endpoints)
+            .expect("built-in transports deliver their own frames");
         fabric.stats()
     }
 
@@ -128,7 +129,8 @@ impl CollectiveContext {
     ) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
         let mut fabric = self.fabric();
-        hierarchical_ring_allreduce_over(fabric.as_mut(), grads, group_size);
+        hierarchical_ring_allreduce_over(fabric.as_mut(), grads, group_size)
+            .expect("built-in transports deliver their own frames");
         fabric.stats()
     }
 
@@ -148,7 +150,8 @@ impl CollectiveContext {
     pub fn allreduce_worker_aggregator_measured(&self, grads: &mut [Vec<f32>]) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
         let mut fabric = self.fabric();
-        worker_aggregator_allreduce_over(fabric.as_mut(), grads);
+        worker_aggregator_allreduce_over(fabric.as_mut(), grads)
+            .expect("built-in transports deliver their own frames");
         fabric.stats()
     }
 }

@@ -154,13 +154,14 @@ pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolu
                 Organization::FlatWa => worker_aggregator_allreduce_over(&mut fabric, &mut grads),
                 Organization::FlatRing => {
                     let endpoints: Vec<usize> = (0..n).collect();
-                    ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+                    ring_allreduce_over(&mut fabric, &mut grads, &endpoints)
                 }
                 Organization::HierarchicalRing => {
                     hierarchical_ring_allreduce_over(&mut fabric, &mut grads, 4)
                 }
                 Organization::HierarchicalWa => unreachable!(),
             }
+            .expect("matched NIC endpoints always decode each other's frames");
             let stats = fabric.stats();
             out.push(WireVolumeRow {
                 organization: org,

@@ -204,7 +204,9 @@ pub fn fig7_nic_reference(cfg: &ClusterConfig, fidelity: Fidelity, seed: u64) ->
     let grads = GradientModel::preset(inceptionn_compress::gradmodel::GradientPreset::AlexNet)
         .sample(&mut rng, n_values);
     let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
-    fabric.transfer(0, 1, &grads);
+    fabric
+        .transfer(0, 1, &grads)
+        .expect("matched NIC endpoints always decode each other's frames");
     let stats = fabric.stats();
     // Compress + decompress engine time, averaged per MTU packet.
     let engine_ns_per_packet = stats.engine_cycles * NS_PER_CYCLE / stats.packets.max(1);

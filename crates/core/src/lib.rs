@@ -47,6 +47,9 @@
 //! `EXPERIMENTS.md` at the repository root for the recorded
 //! paper-vs-measured comparison.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod api;
 pub mod cluster;
 pub mod experiments;

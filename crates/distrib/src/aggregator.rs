@@ -3,7 +3,7 @@
 
 use inceptionn_compress::InceptionnCodec;
 
-use crate::fabric::{Fabric, InProcessFabric, PayloadKind};
+use crate::fabric::{Fabric, FabricError, InProcessFabric, PayloadKind};
 
 /// In-place worker-aggregator all-reduce over a fabric: every worker's
 /// gradient is shipped to the aggregator endpoint (the fabric's **last**
@@ -17,11 +17,18 @@ use crate::fabric::{Fabric, InProcessFabric, PayloadKind};
 /// tolerate lossy compression (Fig. 4) — this is the structural reason
 /// WA+C gains less than INC+C (Fig. 12).
 ///
+/// # Errors
+///
+/// Returns [`FabricError`] if either leg's delivery fails.
+///
 /// # Panics
 ///
 /// Panics if `workers` is empty, the vectors differ in length, or the
 /// fabric has fewer than `workers.len() + 1` endpoints.
-pub fn worker_aggregator_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>]) {
+pub fn worker_aggregator_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+) -> Result<(), FabricError> {
     let n = workers.len();
     assert!(n > 0, "at least one worker required");
     let len = workers[0].len();
@@ -42,14 +49,15 @@ pub fn worker_aggregator_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [
             for (s, v) in sum.iter_mut().zip(received) {
                 *s += *v;
             }
-        });
+        })?;
     }
     // Broadcast (weights leg, uncompressed).
     for (i, w) in workers.iter_mut().enumerate() {
         fabric.transfer_with(aggregator, i, &sum, PayloadKind::Plain, &mut |received| {
             w.copy_from_slice(received);
-        });
+        })?;
     }
+    Ok(())
 }
 
 /// In-place worker-aggregator all-reduce with the compression round trip
@@ -65,7 +73,8 @@ pub fn worker_aggregator_allreduce(
     gradient_codec: Option<&InceptionnCodec>,
 ) {
     let mut fabric = InProcessFabric::new(workers.len() + 1, gradient_codec.map(|c| c.bound()));
-    worker_aggregator_allreduce_over(&mut fabric, workers);
+    worker_aggregator_allreduce_over(&mut fabric, workers)
+        .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
 #[cfg(test)]
@@ -146,10 +155,10 @@ mod tests {
             let grads = random_grads(4, 500, 5);
             let mut in_proc = grads.clone();
             let mut fabric = InProcessFabric::new(5, bound);
-            worker_aggregator_allreduce_over(&mut fabric, &mut in_proc);
+            worker_aggregator_allreduce_over(&mut fabric, &mut in_proc).unwrap();
             let mut over_nic = grads.clone();
             let mut fabric = NicFabric::new(5, bound);
-            worker_aggregator_allreduce_over(&mut fabric, &mut over_nic);
+            worker_aggregator_allreduce_over(&mut fabric, &mut over_nic).unwrap();
             assert_eq!(in_proc, over_nic, "bound {bound:?}");
         }
     }
@@ -161,7 +170,7 @@ mod tests {
         let n = 4;
         let mut grads = random_grads(n, 3620, 6);
         let mut fabric = NicFabric::new(n + 1, Some(ErrorBound::pow2(10)));
-        worker_aggregator_allreduce_over(&mut fabric, &mut grads);
+        worker_aggregator_allreduce_over(&mut fabric, &mut grads).unwrap();
         let stats = fabric.stats();
         assert_eq!(stats.transfers, 2 * n as u64);
         let plain_bytes = (n * 3620 * 4) as u64; // broadcast leg, uncompressed

@@ -28,7 +28,9 @@
 //! [`TransportKind`] is the user-facing selector consumed by
 //! `TrainerConfig` and the `inceptionn` experiment drivers.
 
-use inceptionn_compress::{ErrorBound, ParallelCodec};
+use std::fmt;
+
+use inceptionn_compress::{DecodeError, ErrorBound, ParallelCodec};
 use inceptionn_netsim::NetworkConfig;
 use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
 
@@ -69,6 +71,56 @@ impl WireFrame {
                 .collect(),
             WireFrame::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
         }
+    }
+}
+
+/// A delivery failure at a fabric endpoint.
+///
+/// Transports are typed about what they carry: the loopback shortcut
+/// moves `f32` vectors, the NIC datapath moves encoded packets. Handing
+/// a frame to the wrong transport — or bytes the receive engines cannot
+/// decode — is reported here instead of tearing down the process, so
+/// threaded exchanges can surface the fault through their result
+/// channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A frame of the wrong wire format reached this fabric (e.g. a
+    /// packet frame delivered to the loopback transport).
+    FrameMismatch {
+        /// The transport that rejected the frame.
+        fabric: &'static str,
+        /// The frame variant it was handed.
+        got: &'static str,
+    },
+    /// The receive-side NIC could not decode a compressed payload
+    /// (truncated stream, or peer engines programmed to a different
+    /// error bound).
+    Decode(DecodeError),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::FrameMismatch { fabric, got } => {
+                write!(f, "{fabric} fabric received a {got} frame")
+            }
+            FabricError::Decode(e) => write!(f, "receive-side decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FabricError::FrameMismatch { .. } => None,
+            FabricError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for FabricError {
+    fn from(e: DecodeError) -> Self {
+        FabricError::Decode(e)
     }
 }
 
@@ -125,13 +177,28 @@ pub trait Fabric: Send {
     /// Decodes `frame` at endpoint `dst` and hands the received values
     /// to `sink` (borrowed, so lossless in-process delivery can avoid
     /// copies).
-    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32]));
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if the frame's wire format does not match
+    /// this transport, or the receive-side decode fails.
+    fn deliver(
+        &mut self,
+        dst: usize,
+        frame: &WireFrame,
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> Result<(), FabricError>;
 
     /// Totals accumulated so far.
     fn stats(&self) -> FabricStats;
 
     /// Full transfer with a borrowing sink: encode at `src`, charge the
     /// link, deliver at `dst`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if delivery fails (see
+    /// [`deliver`](Fabric::deliver)).
     fn transfer_with(
         &mut self,
         src: usize,
@@ -139,29 +206,49 @@ pub trait Fabric: Send {
         values: &[f32],
         kind: PayloadKind,
         sink: &mut dyn FnMut(&[f32]),
-    ) {
+    ) -> Result<(), FabricError> {
         let frame = self.encode(src, values, kind);
         self.charge(src, dst, &frame);
-        self.deliver(dst, &frame, sink);
+        self.deliver(dst, &frame, sink)
     }
 
     /// Transfers a gradient payload and returns the received values.
-    fn transfer(&mut self, src: usize, dst: usize, values: &[f32]) -> Vec<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if delivery fails (see
+    /// [`deliver`](Fabric::deliver)).
+    fn transfer(
+        &mut self,
+        src: usize,
+        dst: usize,
+        values: &[f32],
+    ) -> Result<Vec<f32>, FabricError> {
         let mut out = Vec::with_capacity(values.len());
         self.transfer_with(src, dst, values, PayloadKind::Gradient, &mut |b| {
             out.extend_from_slice(b)
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Transfers a plain (never-compressed) payload and returns the
     /// received values.
-    fn transfer_plain(&mut self, src: usize, dst: usize, values: &[f32]) -> Vec<f32> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if delivery fails (see
+    /// [`deliver`](Fabric::deliver)).
+    fn transfer_plain(
+        &mut self,
+        src: usize,
+        dst: usize,
+        values: &[f32],
+    ) -> Result<Vec<f32>, FabricError> {
         let mut out = Vec::with_capacity(values.len());
         self.transfer_with(src, dst, values, PayloadKind::Plain, &mut |b| {
             out.extend_from_slice(b)
-        });
-        out
+        })?;
+        Ok(out)
     }
 }
 
@@ -218,10 +305,21 @@ impl Fabric for InProcessFabric {
         WireFrame::Loopback(out)
     }
 
-    fn deliver(&mut self, _dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+    fn deliver(
+        &mut self,
+        _dst: usize,
+        frame: &WireFrame,
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> Result<(), FabricError> {
         match frame {
-            WireFrame::Loopback(values) => sink(values),
-            WireFrame::Packets(_) => panic!("loopback fabric received a packet frame"),
+            WireFrame::Loopback(values) => {
+                sink(values);
+                Ok(())
+            }
+            WireFrame::Packets(_) => Err(FabricError::FrameMismatch {
+                fabric: "loopback",
+                got: "packet",
+            }),
         }
     }
 
@@ -236,7 +334,7 @@ impl Fabric for InProcessFabric {
         values: &[f32],
         kind: PayloadKind,
         sink: &mut dyn FnMut(&[f32]),
-    ) {
+    ) -> Result<(), FabricError> {
         // Zero-copy fast path: plain and lossless payloads are handed to
         // the sink as the borrowed slice, skipping the frame allocation.
         count_payload(
@@ -249,6 +347,7 @@ impl Fabric for InProcessFabric {
             (PayloadKind::Gradient, Some(c)) => sink(&c.quantize(values)),
             _ => sink(values),
         }
+        Ok(())
     }
 }
 
@@ -305,14 +404,22 @@ impl Fabric for NicFabric {
         WireFrame::Packets(wire)
     }
 
-    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+    fn deliver(
+        &mut self,
+        dst: usize,
+        frame: &WireFrame,
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> Result<(), FabricError> {
         match frame {
-            WireFrame::Loopback(_) => panic!("NIC fabric received a loopback frame"),
+            WireFrame::Loopback(_) => Err(FabricError::FrameMismatch {
+                fabric: "NIC",
+                got: "loopback",
+            }),
             WireFrame::Packets(packets) => {
-                let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)
-                    .expect("peer NICs share an error bound");
+                let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)?;
                 self.stats.engine_cycles += cycles;
                 sink(&values);
+                Ok(())
             }
         }
     }
@@ -333,6 +440,18 @@ pub struct TimedFabric {
     /// Latency charged per source endpoint's uplink, nanoseconds.
     link_ns: Vec<u64>,
     total_ns: u64,
+}
+
+impl fmt::Debug for TimedFabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The wrapped fabric is a trait object, so only the timing state
+        // is printable.
+        f.debug_struct("TimedFabric")
+            .field("net", &self.net)
+            .field("link_ns", &self.link_ns)
+            .field("total_ns", &self.total_ns)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TimedFabric {
@@ -379,8 +498,13 @@ impl Fabric for TimedFabric {
         self.total_ns += ns;
     }
 
-    fn deliver(&mut self, dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
-        self.inner.deliver(dst, frame, sink);
+    fn deliver(
+        &mut self,
+        dst: usize,
+        frame: &WireFrame,
+        sink: &mut dyn FnMut(&[f32]),
+    ) -> Result<(), FabricError> {
+        self.inner.deliver(dst, frame, sink)
     }
 
     fn stats(&self) -> FabricStats {
@@ -453,9 +577,9 @@ mod tests {
         let vals = gradients(1000, 1);
         for kind in TransportKind::ALL {
             let mut fabric = kind.build(3, None);
-            let out = fabric.transfer(0, 2, &vals);
+            let out = fabric.transfer(0, 2, &vals).unwrap();
             assert_eq!(out, vals, "{kind:?} corrupted a lossless transfer");
-            let out = fabric.transfer_plain(2, 1, &vals);
+            let out = fabric.transfer_plain(2, 1, &vals).unwrap();
             assert_eq!(out, vals, "{kind:?} corrupted a plain transfer");
         }
     }
@@ -467,8 +591,8 @@ mod tests {
         let mut shortcut = InProcessFabric::new(2, Some(bound));
         let mut nic = NicFabric::new(2, Some(bound));
         assert_eq!(
-            nic.transfer(0, 1, &vals),
-            shortcut.transfer(0, 1, &vals),
+            nic.transfer(0, 1, &vals).unwrap(),
+            shortcut.transfer(0, 1, &vals).unwrap(),
             "per-packet hardware compression must compose to whole-stream quantization"
         );
     }
@@ -477,7 +601,7 @@ mod tests {
     fn nic_fabric_accounts_wire_volume_and_cycles() {
         let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
         let vals = gradients(1448, 3);
-        fabric.transfer(0, 1, &vals);
+        fabric.transfer(0, 1, &vals).unwrap();
         let stats = fabric.stats();
         assert_eq!(stats.transfers, 1);
         assert_eq!(stats.payload_bytes, 1448 * 4);
@@ -492,7 +616,7 @@ mod tests {
     fn plain_payloads_never_touch_the_engines() {
         let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(6)));
         let vals = gradients(500, 4);
-        let out = fabric.transfer_plain(0, 1, &vals);
+        let out = fabric.transfer_plain(0, 1, &vals).unwrap();
         assert_eq!(out, vals, "plain leg must be lossless");
         assert_eq!(fabric.stats().engine_cycles, 0);
         assert_eq!(fabric.nic_stats(0).compressed_packets, 0);
@@ -505,9 +629,9 @@ mod tests {
             NetworkConfig::ten_gbe(3),
         );
         let vals = gradients(3000, 5);
-        fabric.transfer(0, 1, &vals);
-        fabric.transfer(2, 0, &vals);
-        fabric.transfer(2, 1, &vals);
+        fabric.transfer(0, 1, &vals).unwrap();
+        fabric.transfer(2, 0, &vals).unwrap();
+        fabric.transfer(2, 1, &vals).unwrap();
         assert!(fabric.per_link_latency_ns()[0] > 0);
         assert_eq!(fabric.per_link_latency_ns()[1], 0);
         assert!(
@@ -530,7 +654,7 @@ mod tests {
                 Box::new(NicFabric::new(2, compression)),
                 NetworkConfig::ten_gbe(2),
             );
-            fabric.transfer(0, 1, &vals);
+            fabric.transfer(0, 1, &vals).unwrap();
             fabric.stats().link_latency_ns
         };
         let lossless = run(None);
@@ -542,10 +666,47 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_frames_surface_typed_errors() {
+        // A frame handed to the wrong transport is a protocol bug the
+        // caller must see, not a process abort.
+        let vals = gradients(16, 7);
+        let mut in_proc = InProcessFabric::new(2, None);
+        let mut nic = NicFabric::new(2, None);
+        let loopback = in_proc.encode(0, &vals, PayloadKind::Gradient);
+        let packets = nic.encode(0, &vals, PayloadKind::Gradient);
+        let err = in_proc
+            .deliver(1, &packets, &mut |_| {})
+            .expect_err("loopback fabric must reject packet frames");
+        assert!(matches!(err, FabricError::FrameMismatch { .. }), "{err}");
+        let err = nic
+            .deliver(1, &loopback, &mut |_| {})
+            .expect_err("NIC fabric must reject loopback frames");
+        assert!(matches!(err, FabricError::FrameMismatch { .. }), "{err}");
+        assert_eq!(err.to_string(), "NIC fabric received a loopback frame");
+    }
+
+    #[test]
+    fn undecodable_packets_surface_decode_errors() {
+        // Truncate a compressed packet in flight: the RX engines must
+        // report a typed decode failure with the failure position.
+        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+        let frame = fabric.encode(0, &gradients(64, 8), PayloadKind::Gradient);
+        let WireFrame::Packets(mut packets) = frame else {
+            panic!("NIC fabric must emit packets");
+        };
+        let cut = packets[0].payload.len() / 2;
+        packets[0].payload = packets[0].payload.slice(..cut);
+        let err = fabric
+            .deliver(1, &WireFrame::Packets(packets), &mut |_| {})
+            .expect_err("truncated payload must fail decode");
+        assert!(matches!(err, FabricError::Decode(_)), "{err}");
+    }
+
+    #[test]
     fn zero_length_payloads_are_free() {
         for kind in TransportKind::ALL {
             let mut fabric = kind.build(2, Some(ErrorBound::pow2(8)));
-            let out = fabric.transfer(0, 1, &[]);
+            let out = fabric.transfer(0, 1, &[]).unwrap();
             assert!(out.is_empty());
             let stats = fabric.stats();
             assert_eq!(stats.packets, 0, "{kind:?}");

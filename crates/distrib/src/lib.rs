@@ -49,14 +49,17 @@
 //! }
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod aggregator;
 pub mod fabric;
 pub mod ring;
 pub mod trainer;
 
 pub use fabric::{
-    Fabric, FabricStats, InProcessFabric, NicFabric, PayloadKind, TimedFabric, TransportKind,
-    WireFrame,
+    Fabric, FabricError, FabricStats, InProcessFabric, NicFabric, PayloadKind, TimedFabric,
+    TransportKind, WireFrame,
 };
 pub use ring::{ring_allreduce, threaded_ring_allreduce};
 pub use trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};

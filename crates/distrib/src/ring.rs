@@ -14,7 +14,7 @@ use std::sync::Mutex;
 
 use inceptionn_compress::InceptionnCodec;
 
-use crate::fabric::{Fabric, InProcessFabric, NicFabric, PayloadKind, WireFrame};
+use crate::fabric::{Fabric, FabricError, InProcessFabric, NicFabric, PayloadKind, WireFrame};
 
 /// The element range of block `k` when a vector of `len` elements is
 /// partitioned into `n` near-equal blocks (Algorithm 1 line 8).
@@ -51,11 +51,20 @@ fn assert_uniform(workers: &[Vec<f32>]) -> usize {
 /// workers**: each block is reduced along a fixed ring path, so every
 /// replica receives the same float-addition order.
 ///
+/// # Errors
+///
+/// Returns [`FabricError`] if the fabric rejects a frame (wrong wire
+/// format for the transport, or a receive-side decode failure).
+///
 /// # Panics
 ///
 /// Panics if the worker vectors differ in length, `workers` is empty,
 /// `endpoints.len() != workers.len()`, or an endpoint is out of range.
-pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], endpoints: &[usize]) {
+pub fn ring_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+) -> Result<(), FabricError> {
     let n = workers.len();
     let len = assert_uniform(workers);
     assert_eq!(endpoints.len(), n, "one endpoint per worker");
@@ -65,7 +74,7 @@ pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], en
         fabric.endpoints()
     );
     if n == 1 || len == 0 {
-        return;
+        return Ok(());
     }
     // Phase 1 — aggregation (reduce-scatter): at step s node i sends
     // blk[(i−s+1) mod n] and folds the incoming blk[(i−s) mod n]. All
@@ -90,7 +99,7 @@ pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], en
                 for (dst, src) in worker[range.clone()].iter_mut().zip(rb) {
                     *dst += *src;
                 }
-            });
+            })?;
         }
     }
     // Phase 2 — propagation (all-gather): node i owns the fully reduced
@@ -113,9 +122,10 @@ pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], en
             let range = block_range(len, n, (i + 1 + n - t) % n);
             fabric.deliver(endpoints[i], &frames[from], &mut |rb| {
                 worker[range.clone()].copy_from_slice(rb);
-            });
+            })?;
         }
     }
+    Ok(())
 }
 
 /// In-place ring all-reduce with the compression round trip applied in
@@ -130,7 +140,8 @@ pub fn ring_allreduce_over(fabric: &mut dyn Fabric, workers: &mut [Vec<f32>], en
 pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>) {
     let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
     let endpoints: Vec<usize> = (0..workers.len()).collect();
-    ring_allreduce_over(&mut fabric, workers, &endpoints);
+    ring_allreduce_over(&mut fabric, workers, &endpoints)
+        .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
 /// Two-level hierarchical composition of the ring exchange (Fig. 1(c))
@@ -141,6 +152,11 @@ pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>)
 ///
 /// Worker `i` uses fabric endpoint `i`.
 ///
+/// # Errors
+///
+/// Returns [`FabricError`] if any hop's delivery fails (see
+/// [`ring_allreduce_over`]).
+///
 /// # Panics
 ///
 /// Panics if `group_size` is zero or does not divide the worker count,
@@ -149,7 +165,7 @@ pub fn hierarchical_ring_allreduce_over(
     fabric: &mut dyn Fabric,
     workers: &mut [Vec<f32>],
     group_size: usize,
-) {
+) -> Result<(), FabricError> {
     let n = workers.len();
     assert!(group_size > 0, "group size must be positive");
     assert!(
@@ -165,7 +181,7 @@ pub fn hierarchical_ring_allreduce_over(
             fabric,
             &mut workers[g * group_size..(g + 1) * group_size],
             &endpoints,
-        );
+        )?;
     }
     if groups > 1 {
         // Level 2: leaders exchange across groups.
@@ -174,15 +190,16 @@ pub fn hierarchical_ring_allreduce_over(
             .iter()
             .map(|&e| workers[e].clone())
             .collect();
-        ring_allreduce_over(fabric, &mut leader_grads, &leader_endpoints);
+        ring_allreduce_over(fabric, &mut leader_grads, &leader_endpoints)?;
         // Broadcast the global sum back through each group.
         for (g, sum) in leader_grads.into_iter().enumerate() {
             let leader = g * group_size;
             for m in 0..group_size {
-                workers[leader + m] = fabric.transfer(leader, leader + m, &sum);
+                workers[leader + m] = fabric.transfer(leader, leader + m, &sum)?;
             }
         }
     }
+    Ok(())
 }
 
 /// Two-level hierarchical ring exchange with the in-process compression
@@ -198,7 +215,8 @@ pub fn hierarchical_ring_allreduce(
     codec: Option<&InceptionnCodec>,
 ) {
     let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
-    hierarchical_ring_allreduce_over(&mut fabric, workers, group_size);
+    hierarchical_ring_allreduce_over(&mut fabric, workers, group_size)
+        .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
 /// Message-passing implementation of Algorithm 1: `n` worker threads
@@ -212,6 +230,12 @@ pub fn hierarchical_ring_allreduce(
 /// move between threads through capacity-1 channels, mirroring the
 /// step-by-step hardware exchange.
 ///
+/// # Errors
+///
+/// Returns the first [`FabricError`] any worker thread hits while
+/// delivering a frame (remaining workers unwind through their closed
+/// channels).
+///
 /// # Panics
 ///
 /// Panics if inputs are empty or differ in length, the fabric has fewer
@@ -219,7 +243,7 @@ pub fn hierarchical_ring_allreduce(
 pub fn threaded_ring_allreduce_over(
     fabric: &Mutex<Box<dyn Fabric>>,
     inputs: Vec<Vec<f32>>,
-) -> Vec<Vec<f32>> {
+) -> Result<Vec<Vec<f32>>, FabricError> {
     let n = inputs.len();
     let len = assert_uniform(&inputs);
     assert!(
@@ -227,7 +251,7 @@ pub fn threaded_ring_allreduce_over(
         "fabric must cover every worker"
     );
     if n == 1 {
-        return inputs;
+        return Ok(inputs);
     }
     // Ring of channels: worker i sends to (i+1) % n.
     let mut senders: Vec<Option<SyncSender<WireFrame>>> = (0..n).map(|_| None).collect();
@@ -237,7 +261,9 @@ pub fn threaded_ring_allreduce_over(
         senders[i] = Some(tx);
         receivers[(i + 1) % n] = Some(rx);
     }
-    let mut results: Vec<Vec<f32>> = Vec::with_capacity(n);
+    // A worker that hits a delivery error exits early, dropping its
+    // channel ends; neighbors then see a disconnect (`Err(None)`) and
+    // unwind too. The root-cause error is the one reported.
     std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .into_iter()
@@ -245,7 +271,7 @@ pub fn threaded_ring_allreduce_over(
             .map(|(i, mut grad)| {
                 let tx = senders[i].take().expect("sender wired");
                 let rx = receivers[i].take().expect("receiver wired");
-                scope.spawn(move || {
+                scope.spawn(move || -> Result<Vec<f32>, Option<FabricError>> {
                     // Phase 1: reduce-scatter.
                     for s in 1..n {
                         let send_k = (i + n - (s - 1)) % n;
@@ -259,15 +285,16 @@ pub fn threaded_ring_allreduce_over(
                             f.charge(i, (i + 1) % n, &frame);
                             frame
                         };
-                        tx.send(frame).expect("ring neighbor alive");
-                        let incoming = rx.recv().expect("ring neighbor alive");
+                        tx.send(frame).map_err(|_| None)?;
+                        let incoming = rx.recv().map_err(|_| None)?;
                         let range = block_range(len, n, (i + n - s) % n);
                         let mut f = fabric.lock().expect("fabric lock");
                         f.deliver(i, &incoming, &mut |rb| {
                             for (dst, src) in grad[range.clone()].iter_mut().zip(rb) {
                                 *dst += *src;
                             }
-                        });
+                        })
+                        .map_err(Some)?;
                     }
                     // Phase 2: all-gather.
                     for t in 1..n {
@@ -282,23 +309,35 @@ pub fn threaded_ring_allreduce_over(
                             f.charge(i, (i + 1) % n, &frame);
                             frame
                         };
-                        tx.send(frame).expect("ring neighbor alive");
-                        let incoming = rx.recv().expect("ring neighbor alive");
+                        tx.send(frame).map_err(|_| None)?;
+                        let incoming = rx.recv().map_err(|_| None)?;
                         let range = block_range(len, n, (i + 1 + n - t) % n);
                         let mut f = fabric.lock().expect("fabric lock");
                         f.deliver(i, &incoming, &mut |rb| {
                             grad[range.clone()].copy_from_slice(rb);
-                        });
+                        })
+                        .map_err(Some)?;
                     }
-                    grad
+                    Ok(grad)
                 })
             })
             .collect();
+        let mut results: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut first_error: Option<FabricError> = None;
         for h in handles {
-            results.push(h.join().expect("worker thread completed"));
+            match h.join().expect("worker thread completed") {
+                Ok(grad) => results.push(grad),
+                Err(Some(e)) if first_error.is_none() => first_error = Some(e),
+                // A disconnect, or an error after the first: the root
+                // cause is already captured.
+                Err(_) => {}
+            }
         }
-    });
-    results
+        match first_error {
+            None => Ok(results),
+            Some(e) => Err(e),
+        }
+    })
 }
 
 /// Message-passing ring exchange over a [`NicFabric`] (the historical
@@ -318,6 +357,7 @@ pub fn threaded_ring_allreduce(
         codec.map(|c| c.bound()),
     )));
     threaded_ring_allreduce_over(&fabric, inputs)
+        .expect("matched NIC endpoints always decode each other's frames")
 }
 
 #[cfg(test)]
@@ -433,9 +473,17 @@ mod tests {
             fn encode(&mut self, _src: usize, values: &[f32], _kind: PayloadKind) -> WireFrame {
                 WireFrame::Loopback(self.codec.quantize(values))
             }
-            fn deliver(&mut self, _dst: usize, frame: &WireFrame, sink: &mut dyn FnMut(&[f32])) {
+            fn deliver(
+                &mut self,
+                _dst: usize,
+                frame: &WireFrame,
+                sink: &mut dyn FnMut(&[f32]),
+            ) -> Result<(), FabricError> {
                 match frame {
-                    WireFrame::Loopback(values) => sink(values),
+                    WireFrame::Loopback(values) => {
+                        sink(values);
+                        Ok(())
+                    }
                     WireFrame::Packets(_) => unreachable!(),
                 }
             }
@@ -451,11 +499,11 @@ mod tests {
             codec: InceptionnCodec::new(bound),
             stats: crate::fabric::FabricStats::default(),
         };
-        ring_allreduce_over(&mut scalar, &mut reference, &endpoints);
+        ring_allreduce_over(&mut scalar, &mut reference, &endpoints).unwrap();
         for kind in TransportKind::ALL {
             let mut fast = grads.clone();
             let mut fabric = kind.build(4, Some(bound));
-            ring_allreduce_over(fabric.as_mut(), &mut fast, &endpoints);
+            ring_allreduce_over(fabric.as_mut(), &mut fast, &endpoints).unwrap();
             assert_eq!(reference, fast, "{kind:?} diverged from the scalar codec");
         }
     }
@@ -470,10 +518,10 @@ mod tests {
             let endpoints: Vec<usize> = (0..4).collect();
             let mut in_proc = grads.clone();
             let mut fabric = InProcessFabric::new(4, bound);
-            ring_allreduce_over(&mut fabric, &mut in_proc, &endpoints);
+            ring_allreduce_over(&mut fabric, &mut in_proc, &endpoints).unwrap();
             let mut over_nic = grads.clone();
             let mut fabric = NicFabric::new(4, bound);
-            ring_allreduce_over(&mut fabric, &mut over_nic, &endpoints);
+            ring_allreduce_over(&mut fabric, &mut over_nic, &endpoints).unwrap();
             assert_eq!(in_proc, over_nic, "bound {bound:?}");
             assert!(
                 bound.is_none() || fabric.stats().engine_cycles > 0,
@@ -488,7 +536,7 @@ mod tests {
         let mut grads = random_grads(n, 500, 77);
         let mut fabric = NicFabric::new(n, Some(ErrorBound::pow2(10)));
         let endpoints: Vec<usize> = (0..n).collect();
-        ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+        ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
         // 2(n-1) steps, n transfers each.
         assert_eq!(fabric.stats().transfers, (2 * (n - 1) * n) as u64);
         assert!(fabric.stats().wire_ratio() > 1.0);
@@ -522,11 +570,55 @@ mod tests {
         let mut seq = inputs.clone();
         ring_allreduce(&mut seq, None);
         let fabric = Mutex::new(TransportKind::TimedNic.build(4, None));
-        let thr = threaded_ring_allreduce_over(&fabric, inputs);
+        let thr = threaded_ring_allreduce_over(&fabric, inputs).unwrap();
         assert_eq!(seq, thr);
         let stats = fabric.lock().unwrap().stats();
         assert!(stats.link_latency_ns > 0, "timed fabric must charge links");
         assert_eq!(stats.transfers, 2 * 3 * 4);
+    }
+
+    #[test]
+    fn threaded_ring_surfaces_delivery_errors_without_deadlock() {
+        // One failing delivery must come back as an `Err` from the
+        // orchestrator — the other workers unwind through their closed
+        // channels rather than blocking forever or panicking.
+        struct FailingFabric {
+            inner: InProcessFabric,
+            deliveries: usize,
+        }
+        impl Fabric for FailingFabric {
+            fn endpoints(&self) -> usize {
+                self.inner.endpoints()
+            }
+            fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+                self.inner.encode(src, values, kind)
+            }
+            fn deliver(
+                &mut self,
+                dst: usize,
+                frame: &WireFrame,
+                sink: &mut dyn FnMut(&[f32]),
+            ) -> Result<(), FabricError> {
+                self.deliveries += 1;
+                if self.deliveries > 3 {
+                    return Err(FabricError::FrameMismatch {
+                        fabric: "failing",
+                        got: "loopback",
+                    });
+                }
+                self.inner.deliver(dst, frame, sink)
+            }
+            fn stats(&self) -> crate::fabric::FabricStats {
+                self.inner.stats()
+            }
+        }
+        let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(Box::new(FailingFabric {
+            inner: InProcessFabric::new(4, None),
+            deliveries: 0,
+        }));
+        let err = threaded_ring_allreduce_over(&fabric, random_grads(4, 64, 99))
+            .expect_err("failing fabric must surface its error");
+        assert!(matches!(err, FabricError::FrameMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -550,7 +642,7 @@ mod tests {
         hierarchical_ring_allreduce(&mut in_proc, 3, None);
         let mut over_nic = grads.clone();
         let mut fabric = NicFabric::new(6, None);
-        hierarchical_ring_allreduce_over(&mut fabric, &mut over_nic, 3);
+        hierarchical_ring_allreduce_over(&mut fabric, &mut over_nic, 3).unwrap();
         assert_eq!(in_proc, over_nic);
     }
 

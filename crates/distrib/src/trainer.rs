@@ -98,6 +98,19 @@ pub struct DistributedTrainer {
     fabric: Box<dyn Fabric>,
 }
 
+impl std::fmt::Debug for DistributedTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Replicas, optimizer state, and the fabric trait object are too
+        // bulky (or unprintable) to dump; the configuration and progress
+        // identify the trainer.
+        f.debug_struct("DistributedTrainer")
+            .field("config", &self.config)
+            .field("cursor", &self.cursor)
+            .field("fabric_stats", &self.fabric.stats())
+            .finish_non_exhaustive()
+    }
+}
+
 impl DistributedTrainer {
     /// Builds a cluster of `config.workers` replicas of the model
     /// produced by `model_fn(config.seed)` over shards of `dataset`.
@@ -168,7 +181,7 @@ impl DistributedTrainer {
         match self.config.strategy {
             ExchangeStrategy::Ring => {
                 let endpoints: Vec<usize> = (0..p).collect();
-                ring_allreduce_over(fabric, &mut grads, &endpoints);
+                ring_allreduce_over(fabric, &mut grads, &endpoints)
             }
             ExchangeStrategy::HierarchicalRing { group_size } => {
                 hierarchical_ring_allreduce_over(fabric, &mut grads, group_size)
@@ -177,6 +190,7 @@ impl DistributedTrainer {
                 worker_aggregator_allreduce_over(fabric, &mut grads)
             }
         }
+        .expect("gradient exchange failed on the configured transport");
         // Average the summed gradient so the effective step matches the
         // single-node formulation regardless of worker count.
         let scale = 1.0 / p as f32;

@@ -74,7 +74,7 @@ proptest! {
                 kind.build(n, None).as_mut(),
                 &mut by_ring,
                 &endpoints,
-            );
+            ).unwrap();
             if len > 0 {
                 assert_lossless_allreduce(&by_ring, &inputs, &format!("ring/{kind:?}"));
             }
@@ -89,7 +89,7 @@ proptest! {
                 kind.build(n, None).as_mut(),
                 &mut by_hier,
                 group_size,
-            );
+            ).unwrap();
             if len > 0 {
                 assert_lossless_allreduce(
                     &by_hier,
@@ -102,7 +102,7 @@ proptest! {
             worker_aggregator_allreduce_over(
                 kind.build(n + 1, None).as_mut(),
                 &mut by_agg,
-            );
+            ).unwrap();
             if len > 0 {
                 assert_lossless_allreduce(&by_agg, &inputs, &format!("agg/{kind:?}"));
             }
@@ -119,9 +119,9 @@ proptest! {
         let endpoints: Vec<usize> = (0..n).collect();
         for kind in TransportKind::ALL {
             let mut seq = inputs.clone();
-            ring_allreduce_over(kind.build(n, None).as_mut(), &mut seq, &endpoints);
+            ring_allreduce_over(kind.build(n, None).as_mut(), &mut seq, &endpoints).unwrap();
             let fabric = Mutex::new(kind.build(n, None));
-            let thr = threaded_ring_allreduce_over(&fabric, inputs.clone());
+            let thr = threaded_ring_allreduce_over(&fabric, inputs.clone()).unwrap();
             prop_assert_eq!(&seq, &thr);
         }
     }

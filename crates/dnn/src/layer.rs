@@ -43,6 +43,7 @@ pub trait Layer: Send {
 
 /// Fully connected layer: `y = x·W + b` with `x: [batch, in]`,
 /// `W: [in, out]`, `b: [out]`.
+#[derive(Debug)]
 pub struct Linear {
     weight: Tensor,
     bias: Tensor,
@@ -126,7 +127,7 @@ impl Layer for Linear {
 }
 
 /// Rectified linear unit.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Relu {
     mask: Vec<bool>,
 }
@@ -166,6 +167,7 @@ impl Layer for Relu {
 
 /// Inverted dropout: keeps units with probability `1 - p` at train time
 /// and rescales them by `1/(1-p)`, is the identity at eval time.
+#[derive(Debug)]
 pub struct Dropout {
     p: f32,
     rng: StdRng,
@@ -233,6 +235,7 @@ impl Layer for Dropout {
 }
 
 /// 2-D convolution layer (NCHW).
+#[derive(Debug)]
 pub struct Conv2d {
     spec: ConvSpec,
     weight: Tensor,
@@ -294,6 +297,7 @@ impl Layer for Conv2d {
 }
 
 /// 2-D max-pooling layer (NCHW).
+#[derive(Debug)]
 pub struct MaxPool2d {
     spec: PoolSpec,
     argmax: Vec<usize>,
@@ -329,7 +333,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Flattens `[n, …]` to `[n, prod(rest)]`.
-#[derive(Default)]
+#[derive(Default, Debug)]
 pub struct Flatten {
     input_shape: Vec<usize>,
 }

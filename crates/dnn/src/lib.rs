@@ -38,6 +38,9 @@
 //! assert!(loss.is_finite());
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod checkpoint;
 pub mod data;
 pub mod layer;

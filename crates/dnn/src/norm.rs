@@ -10,6 +10,7 @@ use inceptionn_tensor::Tensor;
 use crate::layer::Layer;
 
 /// Local Response Normalization across channels (NCHW).
+#[derive(Debug)]
 pub struct LocalResponseNorm {
     /// Window size `n` (channels averaged, centered).
     size: usize,
@@ -130,6 +131,7 @@ impl Layer for LocalResponseNorm {
 
 /// 2-D average pooling (NCHW), the pooling flavor several classic CNNs
 /// mix with max pooling.
+#[derive(Debug)]
 pub struct AvgPool2d {
     window: usize,
     stride: usize,

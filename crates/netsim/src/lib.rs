@@ -32,6 +32,9 @@
 //! assert!(done.makespan().as_secs_f64() < 0.002);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod analytic;
 pub mod collective;
 pub mod sim;

@@ -229,6 +229,7 @@ struct FlowState {
 ///
 /// Submission order is deterministic: ties in event time resolve by
 /// submission sequence, so repeated runs produce identical results.
+#[derive(Debug)]
 pub struct StarNetworkSim {
     cfg: NetworkConfig,
     flows: Vec<FlowState>,

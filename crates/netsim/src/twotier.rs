@@ -140,6 +140,7 @@ impl Ord for Event {
     }
 }
 
+#[derive(Debug)]
 struct Flow {
     transfer: Transfer,
     route: Vec<usize>,
@@ -150,6 +151,7 @@ struct Flow {
 
 /// Packet-level simulation of concurrent transfers through the two-tier
 /// fabric.
+#[derive(Debug)]
 pub struct TwoTierSim {
     cfg: TwoTierConfig,
     links: Vec<Server>,

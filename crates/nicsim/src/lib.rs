@@ -40,6 +40,9 @@
 //! assert!(out.cycles >= 8);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 pub mod chunker;
 pub mod datapath;
 pub mod engine;

@@ -25,6 +25,9 @@
 //!
 //! [`inceptionn-dnn`]: https://example.com/inceptionn-rs
 
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_debug_implementations)]
+
 mod conv;
 mod init;
 mod ops;

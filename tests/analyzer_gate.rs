@@ -1,0 +1,105 @@
+//! Tier-1 gate for the static analyzer: the invariant linter must pass
+//! on the tree as committed, must still *catch* seeded violations with
+//! a `file:line` diagnostic, and the concurrency checker's smoke-sized
+//! exploration must hold (production models clean, seeded-bug fixtures
+//! caught). Wires the same entry points as
+//! `cargo run -p analyzer -- --check` into `cargo test`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use analyzer::{conc, models, rules, run_conc, run_lint};
+
+/// The workspace root, two levels above this test's owning crate.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/core sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn lint_passes_on_the_committed_tree() {
+    let outcome = run_lint(&repo_root());
+    assert!(
+        outcome.passed(),
+        "the tree violates its own invariants:\n{}",
+        outcome.failures.join("\n")
+    );
+}
+
+/// A violation seeded into a scratch tree is reported with the rule id
+/// and a `file:line` location — the contract CI greps for.
+#[test]
+fn seeded_violations_fail_with_file_and_line() {
+    let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("analyzer_gate_seeded");
+    let src_dir = scratch.join("crates/compress/src");
+    fs::create_dir_all(&src_dir).expect("scratch tree");
+    // Three violations: a panic on a hot path, an uncommented unsafe
+    // block, and wall-clock time inside wire-layout code.
+    fs::write(
+        src_dir.join("bitio.rs"),
+        "pub fn f(x: Option<u8>) -> u8 {\n\
+         \x20   let t = std::time::Instant::now();\n\
+         \x20   unsafe { core::hint::unreachable_unchecked() };\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    )
+    .expect("seed file");
+
+    let diags = rules::lint_tree(&scratch).expect("lint runs on the scratch tree");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    for (rule, line) in [
+        ("no-time-rng-in-wire", 2),
+        ("safety-comment", 3),
+        ("no-panic-hot-path", 4),
+    ] {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == rule && d.line == line && d.file.ends_with("bitio.rs")),
+            "seeded `{rule}` violation at line {line} not reported; got:\n{}",
+            rendered.join("\n")
+        );
+    }
+    // Every diagnostic renders as `file:line: [rule] …` for CI/editors.
+    for (d, text) in diags.iter().zip(&rendered) {
+        assert!(text.starts_with(&format!("{}:{}: [{}]", d.file, d.line, d.rule)));
+    }
+}
+
+/// The allowlist is a shrink-only ratchet: raising a budget above what
+/// the tree contains is itself a failure.
+#[test]
+fn allowlist_cannot_grow_past_the_tree() {
+    let allow =
+        rules::parse_allowlist("no-panic-hot-path crates/x.rs 5 pretend these are fine").unwrap();
+    let out = rules::apply_allowlist(Vec::new(), &allow);
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].rule, "allowlist-ratchet");
+}
+
+#[test]
+fn concurrency_smoke_bound_holds() {
+    let outcome = run_conc(true);
+    assert!(
+        outcome.passed(),
+        "concurrency models regressed:\n{}",
+        outcome.failures.join("\n")
+    );
+}
+
+/// The checker itself must stay able to see bugs: a lost-update race
+/// and an AB-BA lock inversion seeded on purpose.
+#[test]
+fn seeded_race_and_deadlock_are_still_caught() {
+    assert!(matches!(
+        models::racy_counter_model(),
+        Err(conc::Violation::ModelPanic { .. })
+    ));
+    assert!(matches!(
+        models::lock_inversion_model(),
+        Err(conc::Violation::Deadlock { .. })
+    ));
+}

@@ -129,7 +129,9 @@ fn nic_wire_bytes_are_engine_output_not_a_quantize_shortcut() {
     // Delivering the frame through the fabric's RX NIC composes to the
     // whole-stream quantization the in-process shortcut computes.
     let mut received = Vec::new();
-    fabric.deliver(1, &frame, &mut |b| received.extend_from_slice(b));
+    fabric
+        .deliver(1, &frame, &mut |b| received.extend_from_slice(b))
+        .unwrap();
     assert_eq!(received, codec.quantize(&vals));
 }
 
@@ -179,7 +181,7 @@ fn timed_nic_ring_matches_the_analytic_engine_and_network_models() {
     // is predictable to the nanosecond and the engines never spin.
     let mut fabric = TimedFabric::new(Box::new(NicFabric::new(n, None)), net);
     let mut grads = worker_grads(n, len, 7);
-    ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+    ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
     let stats = fabric.stats();
     assert_eq!(
         stats.engine_cycles, 0,
@@ -200,7 +202,7 @@ fn timed_nic_ring_matches_the_analytic_engine_and_network_models() {
     // applied to ratio-shrunk payloads within 5%.
     let mut fabric = TimedFabric::new(Box::new(NicFabric::new(n, Some(bound))), net);
     let mut grads = worker_grads(n, len, 7);
-    ring_allreduce_over(&mut fabric, &mut grads, &endpoints);
+    ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
     let stats = fabric.stats();
     let want_cycles: u64 = rounds
         * block_values
