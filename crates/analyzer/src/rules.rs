@@ -1,6 +1,6 @@
 //! The project-invariant rule engine.
 //!
-//! Five lexical rules over every `crates/*/src/**/*.rs` file, each
+//! Six lexical rules over every `crates/*/src/**/*.rs` file, each
 //! encoding an invariant the INCEPTIONN reproduction's correctness
 //! story depends on (see DESIGN.md §"Static analysis & concurrency
 //! audit" for the catalog and how to add a rule):
@@ -12,6 +12,7 @@
 //! | `no-panic-hot-path` | no `unwrap()`/`expect()`/`panic!` in non-test code on codec/fabric hot paths, modulo a shrink-only allowlist |
 //! | `no-time-rng-in-wire` | code that determines wire byte layout never consults wall clocks or RNGs |
 //! | `shim-facade` | vendored shims are only imported by the crates the facade declares |
+//! | `no-eager-format-hot-path` | obs-instrumented hot paths never format strings (`format!`, `.to_string()`) or read `Instant` — events are static labels + integers, rendering deferred to export |
 //!
 //! Rules run on the token stream of [`crate::lexer`], so text inside
 //! strings and comments never fires them, and `#[cfg(test)]` regions
@@ -647,6 +648,51 @@ pub fn rule_no_time_rng_in_wire(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: no-eager-format-hot-path
+// ---------------------------------------------------------------------
+
+/// Flags eager string work (`format!`, `.to_string()`) and direct
+/// `Instant` reads in non-test code of obs-instrumented hot-path files.
+/// The observability contract is that recording an event costs a static
+/// label pointer plus integers: any formatting belongs in the exporters,
+/// and wall time enters the stack only through `Recorder::wall_ns` in
+/// code that owns a recorder (never in codec/fabric/NIC internals).
+pub fn rule_no_eager_format_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !HOT_PATH_FILES.contains(&ctx.path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.ct(i).kind != TokenKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let name = ctx.text(i);
+        let flagged = match name {
+            "format" => i + 1 < ctx.code.len() && ctx.is_punct(i + 1, b'!'),
+            "to_string" => {
+                i > 0
+                    && ctx.is_punct(i - 1, b'.')
+                    && i + 1 < ctx.code.len()
+                    && ctx.is_punct(i + 1, b'(')
+            }
+            "Instant" => true,
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                rule: "no-eager-format-hot-path",
+                file: ctx.path.to_string(),
+                line: ctx.ct(i).line,
+                message: format!("eager `{name}` on an obs-instrumented hot path"),
+                hint: "record a static label id plus integers into an obs::EventBuf and \
+                       defer formatting to the exporters; take wall time from \
+                       Recorder::wall_ns at the recorder-owning call site"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: shim-facade
 // ---------------------------------------------------------------------
 
@@ -817,6 +863,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_target_feature_dispatch(&ctx, &kernels, &mut out);
     rule_no_panic_hot_path(&ctx, &mut out);
     rule_no_time_rng_in_wire(&ctx, &mut out);
+    rule_no_eager_format_hot_path(&ctx, &mut out);
     rule_shim_facade(&ctx, &mut out);
     out
 }
@@ -876,6 +923,7 @@ pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
         rule_target_feature_dispatch(ctx, &kernels, &mut raw);
         rule_no_panic_hot_path(ctx, &mut raw);
         rule_no_time_rng_in_wire(ctx, &mut raw);
+        rule_no_eager_format_hot_path(ctx, &mut raw);
         rule_shim_facade(ctx, &mut raw);
     }
     let allow_path = repo_root.join("crates/analyzer/allowlist.txt");
@@ -1020,10 +1068,11 @@ mod tests {
     #[test]
     fn clocks_and_rng_are_flagged_in_wire_layout_files() {
         let src = "fn f() -> u64 {\n    let t = std::time::Instant::now();\n    0\n}\n";
-        assert_eq!(
-            fired(&lint_source("crates/nicsim/src/packet.rs", src)),
-            ["no-time-rng-in-wire"]
-        );
+        // packet.rs is both a wire-layout and a hot-path file, so an
+        // `Instant` read trips the eager-format rule too.
+        let mut rules = fired(&lint_source("crates/nicsim/src/packet.rs", src));
+        rules.sort();
+        assert_eq!(rules, ["no-eager-format-hot-path", "no-time-rng-in-wire"]);
         let src = "fn f() -> u64 { rand::random() }\n";
         assert_eq!(
             fired(&lint_source("crates/compress/src/inceptionn.rs", src)),
@@ -1032,6 +1081,50 @@ mod tests {
         // Same code in a non-wire file is fine.
         let src = "fn f() -> u64 {\n    let t = std::time::Instant::now();\n    0\n}\n";
         assert!(lint_source("crates/netsim/src/sim.rs", src).is_empty());
+    }
+
+    // -- no-eager-format-hot-path --------------------------------------
+
+    #[test]
+    fn eager_formatting_is_flagged_only_on_hot_path_files() {
+        let src = "fn f(x: u8) -> String { format!(\"{x}\") }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/fabric.rs", src)),
+            ["no-eager-format-hot-path"]
+        );
+        assert!(lint_source("crates/distrib/src/trainer.rs", src).is_empty());
+        let src = "fn f(x: u8) -> String { x.to_string() }\n";
+        assert_eq!(
+            fired(&lint_source("crates/nicsim/src/engine.rs", src)),
+            ["no-eager-format-hot-path"]
+        );
+    }
+
+    #[test]
+    fn instant_fires_on_hot_paths_even_outside_wire_layout_files() {
+        // fabric.rs is a hot path but not a wire-layout file: only the
+        // new rule covers it.
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/fabric.rs", src)),
+            ["no-eager-format-hot-path"]
+        );
+        // bitio.rs is in both lists: both clock rules fire.
+        let mut rules = fired(&lint_source("crates/compress/src/bitio.rs", src));
+        rules.sort();
+        assert_eq!(rules, ["no-eager-format-hot-path", "no-time-rng-in-wire"]);
+    }
+
+    #[test]
+    fn formatting_in_test_modules_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = format!(\"{}\", 1.to_string()); }\n}\n";
+        assert!(lint_source("crates/distrib/src/fabric.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ident_named_format_without_bang_is_not_flagged() {
+        let src = "fn f(format: u8) -> u8 { format }\n";
+        assert!(lint_source("crates/distrib/src/fabric.rs", src).is_empty());
     }
 
     // -- shim-facade ---------------------------------------------------

@@ -7,7 +7,10 @@
 //! path given as the first argument). Future PRs regress against that
 //! artifact; the binary itself exits nonzero if the parallel codec's
 //! combined encode+decode throughput drops below the scalar baseline,
-//! so CI catches a fast-path regression without comparing files.
+//! so CI catches a fast-path regression without comparing files. It
+//! also exits nonzero if the obs-instrumented entry points cost more
+//! than 2% over the plain ones when tracing is disabled, keeping the
+//! no-op recorder effectively free.
 //!
 //! `INCEPTIONN_QUICK=1` shrinks the block for smoke runs; the full run
 //! uses the 16M-value block the acceptance numbers are quoted for.
@@ -149,6 +152,73 @@ fn main() {
         "\nwire ratio {wire_ratio:.2}x (framed {frame_ratio:.2}x), parallel/scalar speedup {speedup:.2}x"
     );
 
+    // --- tracing-off overhead gate ---
+    // The instrumented entry points with a disabled buffer must cost the
+    // same as the plain ones. The pair is timed *interleaved* (plain
+    // roundtrip, then traced roundtrip, per rep) with more reps than the
+    // throughput numbers above, so scheduler jitter and cache state hit
+    // both sides equally and best-of stays meaningful at smoke sizes.
+    const OVERHEAD_REPS: usize = 9;
+    // Each timed sample loops the roundtrip enough times to cover at
+    // least ~10 ms of work, so sub-millisecond smoke blocks don't turn
+    // the gate into a timer-jitter lottery.
+    let roundtrip_est = parallel_t.encode_s + parallel_t.decode_s;
+    let inner = ((0.010 / roundtrip_est.max(1e-6)).ceil() as usize).clamp(1, 32);
+    let mut disabled = obs::EventBuf::disabled();
+    // The gate is the *median of per-rep ratios*: the two sides of one
+    // rep run back to back, so a frequency or scheduler excursion hits
+    // both and cancels in the ratio, and the median discards the reps
+    // it did not. Measured on a single-shard codec — the per-shard
+    // instrumentation cost is what's gated, and skipping the spawn of
+    // worker threads removes their (dominant, unrelated) jitter.
+    let single = ParallelCodec::new(bound, 1);
+    // One untimed warm-up pair so neither side pays first-touch costs.
+    let _ = single.decode(&single.encode(&grads)).expect("warm-up");
+    let _ = single
+        .decode_traced(&single.encode_traced(&grads, &mut disabled), &mut disabled)
+        .expect("warm-up (traced)");
+    let mut ratios = Vec::with_capacity(OVERHEAD_REPS);
+    for _ in 0..OVERHEAD_REPS {
+        let mut plain_s = 0.0;
+        let mut traced_s = 0.0;
+        let time_plain = |acc: &mut f64| {
+            let t = Instant::now();
+            let f = single.encode(&grads);
+            let out = single.decode(&f).expect("parallel decode");
+            *acc += t.elapsed().as_secs_f64();
+            assert_eq!(out.len(), n);
+        };
+        let mut time_traced = |acc: &mut f64| {
+            let t = Instant::now();
+            let f = single.encode_traced(&grads, &mut disabled);
+            let out = single
+                .decode_traced(&f, &mut disabled)
+                .expect("parallel decode (traced)");
+            *acc += t.elapsed().as_secs_f64();
+            assert_eq!(out.len(), n);
+        };
+        // Palindrome (plain, traced, traced, plain) interleave: each
+        // side takes every position equally, so both linear drift *and*
+        // whatever state the previous call leaves behind (allocator,
+        // caches) cancel in the ratio of the sums.
+        for _ in 0..inner.div_ceil(2) {
+            time_plain(&mut plain_s);
+            time_traced(&mut traced_s);
+            time_traced(&mut traced_s);
+            time_plain(&mut plain_s);
+        }
+        ratios.push(traced_s / plain_s.max(1e-12));
+    }
+    assert!(disabled.events().is_empty(), "disabled buffer recorded");
+    ratios.sort_by(f64::total_cmp);
+    let tracing_off_overhead = ratios[OVERHEAD_REPS / 2] - 1.0;
+    println!(
+        "tracing-off overhead {:+.2}% (median of {OVERHEAD_REPS} traced/plain ratios, \
+         {} roundtrips per side, no-op recorder)",
+        tracing_off_overhead * 100.0,
+        inner.div_ceil(2) * 2,
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"values\": {n},\n"));
@@ -178,7 +248,10 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"parallel_over_scalar_speedup\": {speedup:.4}\n"
+        "  \"parallel_over_scalar_speedup\": {speedup:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"tracing_off_overhead\": {tracing_off_overhead:.4}\n"
     ));
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("write BENCH_codec.json");
@@ -186,6 +259,13 @@ fn main() {
 
     if speedup < 1.0 {
         eprintln!("FAIL: parallel codec ({speedup:.2}x) regressed below the scalar baseline");
+        std::process::exit(1);
+    }
+    if tracing_off_overhead > 0.02 {
+        eprintln!(
+            "FAIL: disabled tracing costs {:.2}% (> 2%) on the codec hot path",
+            tracing_off_overhead * 100.0
+        );
         std::process::exit(1);
     }
 }

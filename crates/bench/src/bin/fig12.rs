@@ -1,14 +1,39 @@
 //! Regenerates Fig. 12: normalized training time of WA / WA+C / INC /
 //! INC+C with the computation/communication split.
+//!
+//! `--trace <path>` additionally records the fabric-measured runs with
+//! the obs flight recorder and writes a chrome://tracing JSON there
+//! (inspect with `cargo run -p obs --bin trace-report -- <path>` or by
+//! loading it into chrome://tracing).
 
 use inceptionn::cluster::ClusterConfig;
-use inceptionn::experiments::breakdown::hdc_fabric_comm;
+use inceptionn::experiments::breakdown::hdc_fabric_comm_with;
 use inceptionn::experiments::speedup::fig12;
 use inceptionn::report::TextTable;
 use inceptionn_bench::{banner, fidelity_from_env};
 
+/// Extracts `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
+
 fn main() {
     banner("Fig. 12", "Sec. VIII-A");
+    let trace = trace_path();
+    let recorder = if trace.is_some() {
+        obs::Recorder::on()
+    } else {
+        obs::Recorder::off()
+    };
     let rows = fig12(&ClusterConfig::default());
     let mut t = TextTable::new(vec![
         "model",
@@ -34,7 +59,7 @@ fn main() {
 
     println!("fabric-measured transport per iteration (HDC proxy, TimedNic):\n");
     let iters = fidelity_from_env().scale(10, 2);
-    let rows = hdc_fabric_comm(4, iters, 17);
+    let rows = hdc_fabric_comm_with(4, iters, 17, &recorder);
     let mut t = TextTable::new(vec![
         "system",
         "payload B/iter",
@@ -56,4 +81,22 @@ fn main() {
     println!("{}", t.render());
     println!("Paper shape: INC alone trains 31-52% faster than WA;");
     println!("INC+C reaches 2.2x (VGG-16) to 3.1x (AlexNet) over WA.");
+
+    if let Some(path) = trace {
+        let recording = recorder.finish();
+        recording
+            .write_chrome_trace(std::path::Path::new(&path))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(2);
+            });
+        println!(
+            "\nwrote {} ({} events) — load in chrome://tracing or run \
+             `cargo run -p obs --bin trace-report -- {}`",
+            path,
+            recording.len(),
+            path
+        );
+        println!("{}", recording.summary());
+    }
 }

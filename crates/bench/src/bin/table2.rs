@@ -1,10 +1,29 @@
 //! Regenerates Table II: time breakdown of 100 training iterations on
 //! the 5-node worker-aggregator cluster (communication simulated).
+//!
+//! `--trace <path>` writes the modeled phase timeline (one iteration per
+//! evaluated model, Table II timings as virtual-time spans) as a
+//! chrome://tracing JSON.
 
 use inceptionn::cluster::ClusterConfig;
 use inceptionn::experiments::breakdown::table2;
 use inceptionn::report::{pct, TextTable};
 use inceptionn_bench::banner;
+use inceptionn_dnn::profile::{ModelId, ModelProfile};
+
+/// Extracts `--trace <path>` from the command line, if present.
+fn trace_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--trace requires a path argument");
+                std::process::exit(2);
+            }));
+        }
+    }
+    None
+}
 
 fn main() {
     banner("Table II", "Sec. VIII-A");
@@ -52,6 +71,28 @@ fn main() {
             r.paper_communicate,
             r.communicate,
             (r.communicate / r.paper_communicate - 1.0) * 100.0
+        );
+    }
+
+    if let Some(path) = trace_path() {
+        // One modeled iteration per evaluated model, each on its own
+        // track of the virtual-time domain.
+        let mut buf = obs::EventBuf::local();
+        for (track, id) in ModelId::EVALUATED.into_iter().enumerate() {
+            ModelProfile::of(id).record_iteration(&mut buf, track as u32, 0, 0);
+        }
+        let recording = obs::Recording::from_events(buf.take());
+        recording
+            .write_chrome_trace(std::path::Path::new(&path))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write trace {path}: {e}");
+                std::process::exit(2);
+            });
+        println!(
+            "\nwrote {} ({} events) — tracks follow Table I order: {}",
+            path,
+            recording.len(),
+            ModelId::EVALUATED.map(|m| m.name()).join(", ")
         );
     }
 }

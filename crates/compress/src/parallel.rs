@@ -372,6 +372,78 @@ impl ParallelCodec {
             }
         });
     }
+
+    /// Records one counter pair per shard after the fact: shard workers
+    /// stay untouched (and lock-free), and the events are a pure
+    /// function of the frame, so tracing cannot perturb what it
+    /// measures. Direction keys: 0 encode, 1 decode, 2 quantize.
+    fn record_shards(buf: &mut obs::EventBuf, direction: u32, shards: &[ShardInfo]) {
+        for (i, info) in shards.iter().enumerate() {
+            let track = i as u32;
+            buf.push(obs::Event::count(
+                obs::labels::CODEC_SHARD_VALUES,
+                obs::Domain::Seq,
+                track,
+                direction,
+                i as u64,
+                info.values as u64,
+            ));
+            buf.push(obs::Event::count(
+                obs::labels::CODEC_SHARD_BYTES,
+                obs::Domain::Seq,
+                track,
+                direction,
+                i as u64,
+                info.bytes as u64,
+            ));
+        }
+    }
+
+    /// [`ParallelCodec::encode`], recording per-shard volume counters
+    /// into `buf`. Bytes produced are identical to the untraced path.
+    pub fn encode_traced(&self, values: &[f32], buf: &mut obs::EventBuf) -> ShardFrame {
+        let frame = self.encode(values);
+        if buf.is_on() {
+            Self::record_shards(buf, 0, &frame.shards);
+        }
+        frame
+    }
+
+    /// [`ParallelCodec::decode`], recording per-shard volume counters.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ParallelCodec::decode`].
+    pub fn decode_traced(
+        &self,
+        frame: &ShardFrame,
+        buf: &mut obs::EventBuf,
+    ) -> Result<Vec<f32>, DecodeError> {
+        let out = self.decode(frame)?;
+        if buf.is_on() {
+            Self::record_shards(buf, 1, &frame.shards);
+        }
+        Ok(out)
+    }
+
+    /// [`ParallelCodec::quantize`], recording one counter per shard
+    /// chunk. Values are identical to the untraced path.
+    pub fn quantize_traced(&self, values: &[f32], buf: &mut obs::EventBuf) -> Vec<f32> {
+        let out = self.quantize(values);
+        if buf.is_on() {
+            for (i, r) in self.shard_ranges(values.len()).into_iter().enumerate() {
+                buf.push(obs::Event::count(
+                    obs::labels::CODEC_SHARD_VALUES,
+                    obs::Domain::Seq,
+                    i as u32,
+                    2,
+                    i as u64,
+                    r.len() as u64,
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -479,5 +551,35 @@ mod tests {
         let scalar = InceptionnCodec::new(ErrorBound::pow2(10));
         let v = vals(10_000);
         assert_eq!(codec.quantize(&v), scalar.quantize(&v));
+    }
+
+    #[test]
+    fn traced_paths_match_untraced_and_record_shard_volume() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 3);
+        let v = vals(500);
+        let mut buf = obs::EventBuf::local();
+        let frame = codec.encode_traced(&v, &mut buf);
+        assert_eq!(frame, codec.encode(&v));
+        let out = codec.decode_traced(&frame, &mut buf).unwrap();
+        assert_eq!(out, codec.decode(&frame).unwrap());
+        assert_eq!(codec.quantize_traced(&v, &mut buf), codec.quantize(&v));
+        let values_total: u64 = buf
+            .events()
+            .iter()
+            .filter(|e| e.label == obs::labels::CODEC_SHARD_VALUES && e.key == 0)
+            .map(|e| e.value)
+            .sum();
+        assert_eq!(values_total, v.len() as u64);
+        let bytes_total: u64 = buf
+            .events()
+            .iter()
+            .filter(|e| e.label == obs::labels::CODEC_SHARD_BYTES && e.key == 1)
+            .map(|e| e.value)
+            .sum();
+        assert_eq!(bytes_total, frame.payload.len() as u64);
+        // A disabled buffer records nothing and changes nothing.
+        let mut off = obs::EventBuf::disabled();
+        assert_eq!(codec.encode_traced(&v, &mut off), frame);
+        assert!(off.events().is_empty());
     }
 }

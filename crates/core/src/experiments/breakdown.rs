@@ -128,6 +128,19 @@ impl FabricCommRow {
 /// modeled NIC engines and is charged 10 GbE link latency), and the
 /// per-iteration transport totals are read off the fabric counters.
 pub fn hdc_fabric_comm(workers: usize, iters: usize, seed: u64) -> Vec<FabricCommRow> {
+    hdc_fabric_comm_with(workers, iters, seed, &obs::Recorder::off())
+}
+
+/// [`hdc_fabric_comm`] with observability: every system's run records
+/// its iteration spans, fabric counters, NIC engine spans, and link
+/// occupancy into `recorder` (the four systems share one wall-clock
+/// epoch, so they appear back to back in the exported trace).
+pub fn hdc_fabric_comm_with(
+    workers: usize,
+    iters: usize,
+    seed: u64,
+    recorder: &obs::Recorder,
+) -> Vec<FabricCommRow> {
     let data = DigitDataset::generate(workers * 40, seed);
     SystemKind::ALL
         .iter()
@@ -143,10 +156,12 @@ pub fn hdc_fabric_comm(workers: usize, iters: usize, seed: u64) -> Vec<FabricCom
                 compression: system.is_compressed().then(|| ErrorBound::pow2(10)),
                 batch_per_worker: 8,
                 seed,
+                recorder: recorder.clone(),
                 ..TrainerConfig::default()
             };
             let mut trainer = DistributedTrainer::new(cfg, models::hdc_mlp_small, &data);
             trainer.train_iterations(iters);
+            trainer.flush_trace();
             let stats = trainer.fabric_stats();
             let per_iter = |v: u64| v as f64 / iters as f64;
             FabricCommRow {
@@ -283,6 +298,21 @@ mod tests {
         assert!(incc.link_s_per_iter < inc.link_s_per_iter);
         assert!(wac.link_s_per_iter < wa.link_s_per_iter);
         assert!(inc.link_s_per_iter > 0.0);
+    }
+
+    #[test]
+    fn traced_fabric_comm_totals_match_the_counters() {
+        let recorder = obs::Recorder::on();
+        let rows = hdc_fabric_comm_with(2, 1, 18, &recorder);
+        let summary = recorder.finish().summary();
+        // One iteration per system, so the per-iteration columns are the
+        // run totals; the trace must account for every wire byte.
+        let want_wire: f64 = rows.iter().map(|r| r.wire_bytes_per_iter).sum();
+        assert_eq!(summary.total_wire_bytes() as f64, want_wire);
+        assert!(summary.total_engine_cycles() > 0);
+        assert!(summary.comm_fraction() > 0.0);
+        // Four systems × one iteration each, sharing iteration keys.
+        assert_eq!(summary.exchange_ns_by_label.len(), 2, "ring + aggregator");
     }
 
     #[test]

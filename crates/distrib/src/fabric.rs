@@ -33,6 +33,7 @@ use std::fmt;
 use inceptionn_compress::{DecodeError, ErrorBound, ParallelCodec};
 use inceptionn_netsim::NetworkConfig;
 use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
+use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 /// `f32` values per MTU packet — one 1448-byte payload.
 use inceptionn_nicsim::VALUES_PER_PACKET;
@@ -250,6 +251,28 @@ pub trait Fabric: Send {
         })?;
         Ok(out)
     }
+
+    /// Applies this fabric's gradient wire round trip locally at
+    /// `endpoint` — the values an endpoint would receive from itself —
+    /// without putting anything on the wire. Collectives use this where
+    /// a node keeps its own block (e.g. a group leader rebroadcasting),
+    /// so the phantom self-transfer neither inflates the wire counters
+    /// nor breaks bit-identity with peers that received the same block
+    /// through the fabric.
+    ///
+    /// The default goes through a full `transfer` (and therefore *does*
+    /// count a transfer); the production fabrics override it stat-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] if the underlying round trip fails.
+    fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
+        self.transfer(endpoint, endpoint, values)
+    }
+
+    /// Drains any buffered telemetry into the recorder this fabric was
+    /// built with. A no-op for fabrics without instrumentation.
+    fn flush_obs(&mut self) {}
 }
 
 fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packets: u64) {
@@ -257,6 +280,59 @@ fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packe
     stats.payload_bytes += (values.len() * 4) as u64;
     stats.wire_bytes += wire_bytes;
     stats.packets += packets;
+}
+
+/// The `key` dimension fabric counters carry: 0 gradient, 1 plain.
+fn payload_kind_key(kind: PayloadKind) -> u32 {
+    match kind {
+        PayloadKind::Gradient => 0,
+        PayloadKind::Plain => 1,
+    }
+}
+
+/// Mirrors one `count_payload` call into the event buffer, so the obs
+/// totals are the same numbers as [`FabricStats`] by construction —
+/// cross-checked (not merely trusted) in `tests/obs_stack.rs`.
+fn record_transfer(
+    buf: &mut EventBuf,
+    seq: &mut u64,
+    src: usize,
+    kind: PayloadKind,
+    payload_bytes: u64,
+    wire_bytes: u64,
+    packets: u64,
+) {
+    if !buf.is_on() {
+        return;
+    }
+    *seq += 1;
+    let track = src as u32;
+    let key = payload_kind_key(kind);
+    let ts = *seq;
+    buf.push(Event::count(
+        labels::FABRIC_PAYLOAD_BYTES,
+        Domain::Seq,
+        track,
+        key,
+        ts,
+        payload_bytes,
+    ));
+    buf.push(Event::count(
+        labels::FABRIC_WIRE_BYTES,
+        Domain::Seq,
+        track,
+        key,
+        ts,
+        wire_bytes,
+    ));
+    buf.push(Event::count(
+        labels::FABRIC_PACKETS,
+        Domain::Seq,
+        track,
+        key,
+        ts,
+        packets,
+    ));
 }
 
 /// The current lossless/quantize shortcut, preserved for bit-exact
@@ -267,6 +343,8 @@ pub struct InProcessFabric {
     endpoints: usize,
     codec: Option<ParallelCodec>,
     stats: FabricStats,
+    buf: EventBuf,
+    seq: u64,
 }
 
 impl InProcessFabric {
@@ -278,10 +356,22 @@ impl InProcessFabric {
     /// results are bit-identical to the scalar codec, so every pinned
     /// cross-fabric equality still holds.
     pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        Self::with_recorder(endpoints, compression, &Recorder::off())
+    }
+
+    /// Like [`InProcessFabric::new`], recording transfer telemetry into
+    /// `recorder` when it is on.
+    pub fn with_recorder(
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+        recorder: &Recorder,
+    ) -> Self {
         InProcessFabric {
             endpoints,
             codec: compression.map(ParallelCodec::with_host_parallelism),
             stats: FabricStats::default(),
+            buf: recorder.buffer(),
+            seq: 0,
         }
     }
 }
@@ -291,14 +381,23 @@ impl Fabric for InProcessFabric {
         self.endpoints
     }
 
-    fn encode(&mut self, _src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+    fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
         let out = match (kind, &self.codec) {
-            (PayloadKind::Gradient, Some(c)) => c.quantize(values),
+            (PayloadKind::Gradient, Some(c)) => c.quantize_traced(values, &mut self.buf),
             _ => values.to_vec(),
         };
         count_payload(
             &mut self.stats,
             values,
+            (values.len() * 4) as u64,
+            values.len().div_ceil(VALUES_PER_PACKET) as u64,
+        );
+        record_transfer(
+            &mut self.buf,
+            &mut self.seq,
+            src,
+            kind,
+            (values.len() * 4) as u64,
             (values.len() * 4) as u64,
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
@@ -329,7 +428,7 @@ impl Fabric for InProcessFabric {
 
     fn transfer_with(
         &mut self,
-        _src: usize,
+        src: usize,
         _dst: usize,
         values: &[f32],
         kind: PayloadKind,
@@ -343,11 +442,35 @@ impl Fabric for InProcessFabric {
             (values.len() * 4) as u64,
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
+        record_transfer(
+            &mut self.buf,
+            &mut self.seq,
+            src,
+            kind,
+            (values.len() * 4) as u64,
+            (values.len() * 4) as u64,
+            values.len().div_ceil(VALUES_PER_PACKET) as u64,
+        );
         match (kind, &self.codec) {
-            (PayloadKind::Gradient, Some(c)) => sink(&c.quantize(values)),
+            (PayloadKind::Gradient, Some(c)) => sink(&c.quantize_traced(values, &mut self.buf)),
             _ => sink(values),
         }
         Ok(())
+    }
+
+    fn self_roundtrip(
+        &mut self,
+        _endpoint: usize,
+        values: &[f32],
+    ) -> Result<Vec<f32>, FabricError> {
+        Ok(match &self.codec {
+            Some(c) => c.quantize(values),
+            None => values.to_vec(),
+        })
+    }
+
+    fn flush_obs(&mut self) {
+        self.buf.flush();
     }
 }
 
@@ -361,22 +484,40 @@ impl Fabric for InProcessFabric {
 #[derive(Debug, Clone)]
 pub struct NicFabric {
     nics: Vec<NicPipeline>,
-    compress_gradients: bool,
+    compression: Option<ErrorBound>,
     stats: FabricStats,
+    buf: EventBuf,
+    /// Per-endpoint cumulative engine time, the cycle-domain clock the
+    /// compress/decompress spans are stamped in.
+    clock: Vec<u64>,
+    seq: u64,
 }
 
 impl NicFabric {
     /// A fabric of `endpoints` NICs, engines programmed to `compression`
     /// (lossless bypass when `None`).
     pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        Self::with_recorder(endpoints, compression, &Recorder::off())
+    }
+
+    /// Like [`NicFabric::new`], recording transfer counters and engine
+    /// busy spans into `recorder` when it is on.
+    pub fn with_recorder(
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+        recorder: &Recorder,
+    ) -> Self {
         let cfg = NicConfig {
             bound: compression.unwrap_or_default(),
             ..NicConfig::default()
         };
         NicFabric {
             nics: (0..endpoints).map(|_| NicPipeline::new(cfg)).collect(),
-            compress_gradients: compression.is_some(),
+            compression,
             stats: FabricStats::default(),
+            buf: recorder.buffer(),
+            clock: vec![0; endpoints],
+            seq: 0,
         }
     }
 
@@ -392,7 +533,8 @@ impl Fabric for NicFabric {
     }
 
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
-        let compressible = self.compress_gradients && kind == PayloadKind::Gradient;
+        let compressible = self.compression.is_some() && kind == PayloadKind::Gradient;
+        let bursts_before = self.nics[src].stats().tx_bursts;
         let (wire, trace) = encode_payload(&mut self.nics[src], values, compressible);
         count_payload(
             &mut self.stats,
@@ -401,6 +543,40 @@ impl Fabric for NicFabric {
             trace.packets(),
         );
         self.stats.engine_cycles += trace.engine_cycles;
+        record_transfer(
+            &mut self.buf,
+            &mut self.seq,
+            src,
+            kind,
+            (values.len() * 4) as u64,
+            trace.wire_payload_bytes(),
+            trace.packets(),
+        );
+        if self.buf.is_on() {
+            let track = src as u32;
+            if trace.engine_cycles > 0 {
+                self.buf.push(Event::complete(
+                    labels::NIC_COMPRESS,
+                    Domain::Cycles,
+                    track,
+                    trace.packets() as u32,
+                    self.clock[src],
+                    trace.engine_cycles,
+                ));
+            }
+            let bursts = self.nics[src].stats().tx_bursts - bursts_before;
+            if bursts > 0 {
+                self.buf.push(Event::count(
+                    labels::NIC_TX_BURSTS,
+                    Domain::Cycles,
+                    track,
+                    0,
+                    self.clock[src],
+                    bursts,
+                ));
+            }
+            self.clock[src] += trace.engine_cycles;
+        }
         WireFrame::Packets(wire)
     }
 
@@ -416,8 +592,34 @@ impl Fabric for NicFabric {
                 got: "loopback",
             }),
             WireFrame::Packets(packets) => {
+                let bursts_before = self.nics[dst].stats().rx_bursts;
                 let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)?;
                 self.stats.engine_cycles += cycles;
+                if self.buf.is_on() {
+                    let track = dst as u32;
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::NIC_DECOMPRESS,
+                            Domain::Cycles,
+                            track,
+                            packets.len() as u32,
+                            self.clock[dst],
+                            cycles,
+                        ));
+                    }
+                    let bursts = self.nics[dst].stats().rx_bursts - bursts_before;
+                    if bursts > 0 {
+                        self.buf.push(Event::count(
+                            labels::NIC_RX_BURSTS,
+                            Domain::Cycles,
+                            track,
+                            0,
+                            self.clock[dst],
+                            bursts,
+                        ));
+                    }
+                    self.clock[dst] += cycles;
+                }
                 sink(&values);
                 Ok(())
             }
@@ -426,6 +628,25 @@ impl Fabric for NicFabric {
 
     fn stats(&self) -> FabricStats {
         self.stats
+    }
+
+    fn self_roundtrip(
+        &mut self,
+        _endpoint: usize,
+        values: &[f32],
+    ) -> Result<Vec<f32>, FabricError> {
+        // Per-packet hardware compression composes to exactly the
+        // whole-stream software quantization (pinned by the cross-fabric
+        // tests), so a local round trip needs no engine time, packets,
+        // or wire accounting.
+        Ok(match self.compression {
+            Some(bound) => ParallelCodec::with_host_parallelism(bound).quantize(values),
+            None => values.to_vec(),
+        })
+    }
+
+    fn flush_obs(&mut self) {
+        self.buf.flush();
     }
 }
 
@@ -440,6 +661,7 @@ pub struct TimedFabric {
     /// Latency charged per source endpoint's uplink, nanoseconds.
     link_ns: Vec<u64>,
     total_ns: u64,
+    buf: EventBuf,
 }
 
 impl fmt::Debug for TimedFabric {
@@ -457,12 +679,20 @@ impl fmt::Debug for TimedFabric {
 impl TimedFabric {
     /// Times `inner` over `net`.
     pub fn new(inner: Box<dyn Fabric>, net: NetworkConfig) -> Self {
+        Self::with_recorder(inner, net, &Recorder::off())
+    }
+
+    /// Like [`TimedFabric::new`], recording per-leg link occupancy spans
+    /// into `recorder` when it is on. The wrapped fabric keeps its own
+    /// buffer; build it with the same recorder to capture both layers.
+    pub fn with_recorder(inner: Box<dyn Fabric>, net: NetworkConfig, recorder: &Recorder) -> Self {
         let endpoints = inner.endpoints();
         TimedFabric {
             inner,
             net,
             link_ns: vec![0; endpoints],
             total_ns: 0,
+            buf: recorder.buffer(),
         }
     }
 
@@ -493,7 +723,33 @@ impl Fabric for TimedFabric {
             // never touches the network.
             return;
         }
-        let ns = self.net.message_latency_ns(&frame.packet_wire_bytes());
+        let packet_bytes = frame.packet_wire_bytes();
+        let ns = self.net.message_latency_ns(&packet_bytes);
+        if self.buf.is_on() {
+            // Stamped in the source link's virtual time: spans on one
+            // track abut exactly because each leg occupies its uplink
+            // for the charged duration.
+            let track = src as u32;
+            let key = dst as u32;
+            let at = self.link_ns[src];
+            self.buf.push(Event::complete(
+                labels::NET_LINK,
+                Domain::Net,
+                track,
+                key,
+                at,
+                ns,
+            ));
+            let wire: u64 = packet_bytes.iter().sum();
+            self.buf.push(Event::count(
+                labels::NET_LEG_BYTES,
+                Domain::Net,
+                track,
+                key,
+                at,
+                wire,
+            ));
+        }
         self.link_ns[src] += ns;
         self.total_ns += ns;
     }
@@ -511,6 +767,15 @@ impl Fabric for TimedFabric {
         let mut stats = self.inner.stats();
         stats.link_latency_ns += self.total_ns;
         stats
+    }
+
+    fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
+        self.inner.self_roundtrip(endpoint, values)
+    }
+
+    fn flush_obs(&mut self) {
+        self.buf.flush();
+        self.inner.flush_obs();
     }
 }
 
@@ -536,17 +801,41 @@ impl TransportKind {
     /// payloads per `compression`. Timed variants model the paper's
     /// 10 GbE star.
     pub fn build(self, endpoints: usize, compression: Option<ErrorBound>) -> Box<dyn Fabric> {
+        self.build_with(endpoints, compression, &Recorder::off())
+    }
+
+    /// Like [`TransportKind::build`], wiring every layer of the fabric
+    /// to `recorder` so transfers, engine spans, and link occupancy are
+    /// all captured when it is on.
+    pub fn build_with(
+        self,
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+        recorder: &Recorder,
+    ) -> Box<dyn Fabric> {
         let net = NetworkConfig::ten_gbe(endpoints.max(2));
         match self {
-            TransportKind::InProcess => Box::new(InProcessFabric::new(endpoints, compression)),
-            TransportKind::Nic => Box::new(NicFabric::new(endpoints, compression)),
-            TransportKind::TimedInProcess => Box::new(TimedFabric::new(
-                Box::new(InProcessFabric::new(endpoints, compression)),
-                net,
+            TransportKind::InProcess => Box::new(InProcessFabric::with_recorder(
+                endpoints,
+                compression,
+                recorder,
             )),
-            TransportKind::TimedNic => Box::new(TimedFabric::new(
-                Box::new(NicFabric::new(endpoints, compression)),
+            TransportKind::Nic => {
+                Box::new(NicFabric::with_recorder(endpoints, compression, recorder))
+            }
+            TransportKind::TimedInProcess => Box::new(TimedFabric::with_recorder(
+                Box::new(InProcessFabric::with_recorder(
+                    endpoints,
+                    compression,
+                    recorder,
+                )),
                 net,
+                recorder,
+            )),
+            TransportKind::TimedNic => Box::new(TimedFabric::with_recorder(
+                Box::new(NicFabric::with_recorder(endpoints, compression, recorder)),
+                net,
+                recorder,
             )),
         }
     }
@@ -712,5 +1001,65 @@ mod tests {
             assert_eq!(stats.packets, 0, "{kind:?}");
             assert_eq!(stats.link_latency_ns, 0, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn self_roundtrip_matches_a_self_transfer_without_counting_one() {
+        let vals = gradients(3000, 9);
+        for compression in [None, Some(ErrorBound::pow2(10))] {
+            for kind in TransportKind::ALL {
+                let mut through = kind.build(2, compression);
+                let received = through.transfer(0, 0, &vals).unwrap();
+                let mut local = kind.build(2, compression);
+                let out = local.self_roundtrip(0, &vals).unwrap();
+                assert_eq!(
+                    out, received,
+                    "{kind:?} self round trip diverged from the wire"
+                );
+                assert_eq!(
+                    local.stats(),
+                    FabricStats::default(),
+                    "{kind:?} self round trip must not count wire traffic"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_counters_bit_match_fabric_stats() {
+        let vals = gradients(3000, 10);
+        for kind in TransportKind::ALL {
+            let rec = Recorder::on();
+            let mut fabric = kind.build_with(3, Some(ErrorBound::pow2(10)), &rec);
+            fabric.transfer(0, 1, &vals).unwrap();
+            fabric.transfer(1, 2, &vals).unwrap();
+            fabric.transfer_plain(2, 0, &vals).unwrap();
+            fabric.flush_obs();
+            let stats = fabric.stats();
+            let summary = rec.finish().summary();
+            assert_eq!(summary.total_transfers(), stats.transfers, "{kind:?}");
+            assert_eq!(
+                summary.total_payload_bytes(),
+                stats.payload_bytes,
+                "{kind:?}"
+            );
+            assert_eq!(summary.total_wire_bytes(), stats.wire_bytes, "{kind:?}");
+            assert_eq!(summary.total_packets(), stats.packets, "{kind:?}");
+            assert_eq!(
+                summary.total_engine_cycles(),
+                stats.engine_cycles,
+                "{kind:?}"
+            );
+            assert_eq!(summary.total_link_ns(), stats.link_latency_ns, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn untraced_fabrics_record_nothing() {
+        let rec = Recorder::off();
+        let mut fabric = TransportKind::TimedNic.build_with(2, Some(ErrorBound::pow2(10)), &rec);
+        fabric.transfer(0, 1, &gradients(500, 11)).unwrap();
+        fabric.flush_obs();
+        assert!(rec.finish().is_empty());
     }
 }

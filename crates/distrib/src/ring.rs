@@ -191,12 +191,17 @@ pub fn hierarchical_ring_allreduce_over(
             .map(|&e| workers[e].clone())
             .collect();
         ring_allreduce_over(fabric, &mut leader_grads, &leader_endpoints)?;
-        // Broadcast the global sum back through each group.
+        // Broadcast the global sum back through each group. Members
+        // receive it over the fabric; the leader applies the same wire
+        // round trip locally (bit-identical to receiving its own frame)
+        // instead of a phantom self-transfer that would inflate the
+        // wire/packet counters with traffic that never crosses a link.
         for (g, sum) in leader_grads.into_iter().enumerate() {
             let leader = g * group_size;
-            for m in 0..group_size {
+            for m in 1..group_size {
                 workers[leader + m] = fabric.transfer(leader, leader + m, &sum)?;
             }
+            workers[leader] = fabric.self_roundtrip(leader, &sum)?;
         }
     }
     Ok(())
@@ -338,6 +343,42 @@ pub fn threaded_ring_allreduce_over(
             Some(e) => Err(e),
         }
     })
+}
+
+/// [`threaded_ring_allreduce_over`] wrapped in an obs wall-time span, so
+/// the threaded exchange shows up in traces alongside the trainer-driven
+/// strategies. The fabric's own counters flush through its recorder as
+/// usual; this only adds the `exchange/threaded-ring` span.
+///
+/// # Errors
+///
+/// Propagates the first [`FabricError`] any worker thread hits.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`threaded_ring_allreduce_over`].
+pub fn threaded_ring_allreduce_traced(
+    fabric: &Mutex<Box<dyn Fabric>>,
+    inputs: Vec<Vec<f32>>,
+    recorder: &obs::Recorder,
+) -> Result<Vec<Vec<f32>>, FabricError> {
+    let t0 = recorder.wall_ns();
+    let out = threaded_ring_allreduce_over(fabric, inputs)?;
+    let mut buf = recorder.buffer();
+    if buf.is_on() {
+        buf.push(obs::Event::complete(
+            obs::labels::EXCHANGE_THREADED_RING,
+            obs::Domain::Wall,
+            0,
+            0,
+            t0,
+            recorder.wall_ns() - t0,
+        ));
+    }
+    if let Ok(mut f) = fabric.lock() {
+        f.flush_obs();
+    }
+    Ok(out)
 }
 
 /// Message-passing ring exchange over a [`NicFabric`] (the historical
@@ -578,6 +619,25 @@ mod tests {
     }
 
     #[test]
+    fn threaded_traced_records_span_and_fabric_counters() {
+        let inputs = random_grads(4, 512, 24);
+        let mut seq = inputs.clone();
+        ring_allreduce(&mut seq, None);
+        let recorder = obs::Recorder::on();
+        let fabric = Mutex::new(TransportKind::TimedNic.build_with(4, None, &recorder));
+        let thr = threaded_ring_allreduce_traced(&fabric, inputs, &recorder).unwrap();
+        assert_eq!(seq, thr);
+        let summary = recorder.finish().summary();
+        assert_eq!(
+            summary.exchange_ns_by_label.keys().collect::<Vec<_>>(),
+            vec![obs::labels::EXCHANGE_THREADED_RING]
+        );
+        let stats = fabric.lock().unwrap().stats();
+        assert_eq!(summary.total_transfers(), stats.transfers);
+        assert_eq!(summary.total_wire_bytes(), stats.wire_bytes);
+    }
+
+    #[test]
     fn threaded_ring_surfaces_delivery_errors_without_deadlock() {
         // One failing delivery must come back as an `Err` from the
         // orchestrator — the other workers unwind through their closed
@@ -644,6 +704,46 @@ mod tests {
         let mut fabric = NicFabric::new(6, None);
         hierarchical_ring_allreduce_over(&mut fabric, &mut over_nic, 3).unwrap();
         assert_eq!(in_proc, over_nic);
+    }
+
+    #[test]
+    fn hierarchical_broadcast_counts_no_self_transfers() {
+        // Regression: the leader used to `transfer` the global sum to
+        // itself, counting wire bytes and packets for a hop that never
+        // crosses a link. Intra rings: 2 groups × 2(3−1)·3; leader ring
+        // over 2 groups: 2(2−1)·2; broadcast: one hop per non-leader.
+        let mut grads = random_grads(6, 300, 92);
+        let mut fabric = NicFabric::new(6, Some(ErrorBound::pow2(10)));
+        hierarchical_ring_allreduce_over(&mut fabric, &mut grads, 3).unwrap();
+        let expected = (2 * 12 + 4 + 2 * 2) as u64;
+        assert_eq!(fabric.stats().transfers, expected);
+    }
+
+    #[test]
+    fn hierarchical_compressed_leader_stays_bit_identical_to_its_group() {
+        // The leader's local round trip must equal what its members
+        // receive over the wire, on every transport.
+        let bound = Some(ErrorBound::pow2(10));
+        let grads = random_grads(6, 300, 93);
+        let mut reference: Option<Vec<Vec<f32>>> = None;
+        for kind in TransportKind::ALL {
+            let mut workers = grads.clone();
+            let mut fabric = kind.build(6, bound);
+            hierarchical_ring_allreduce_over(fabric.as_mut(), &mut workers, 3).unwrap();
+            for g in 0..2 {
+                for m in 1..3 {
+                    assert_eq!(
+                        workers[g * 3],
+                        workers[g * 3 + m],
+                        "{kind:?}: group {g} member {m} diverged from its leader"
+                    );
+                }
+            }
+            match &reference {
+                None => reference = Some(workers),
+                Some(r) => assert_eq!(r, &workers, "{kind:?} diverged across transports"),
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use inceptionn_compress::ErrorBound;
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::optim::{Sgd, SgdConfig};
 use inceptionn_dnn::Network;
+use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 use crate::aggregator::worker_aggregator_allreduce_over;
 use crate::fabric::{Fabric, FabricStats, TransportKind};
@@ -21,6 +22,17 @@ pub enum ExchangeStrategy {
         /// Workers per leaf group (must divide the worker count).
         group_size: usize,
     },
+}
+
+impl ExchangeStrategy {
+    /// The obs span label this strategy's exchange is recorded under.
+    pub fn trace_label(self) -> &'static str {
+        match self {
+            ExchangeStrategy::Ring => labels::EXCHANGE_RING,
+            ExchangeStrategy::HierarchicalRing { .. } => labels::EXCHANGE_HIERARCHICAL,
+            ExchangeStrategy::WorkerAggregator => labels::EXCHANGE_WORKER_AGGREGATOR,
+        }
+    }
 }
 
 /// Configuration of a distributed training run.
@@ -41,6 +53,9 @@ pub struct TrainerConfig {
     pub batch_per_worker: usize,
     /// Seed for shared model initialization.
     pub seed: u64,
+    /// Observability handle. The default ([`Recorder::off`]) records
+    /// nothing and costs one branch per potential event.
+    pub recorder: Recorder,
 }
 
 impl Default for TrainerConfig {
@@ -53,6 +68,7 @@ impl Default for TrainerConfig {
             sgd: SgdConfig::default(),
             batch_per_worker: 16,
             seed: 0,
+            recorder: Recorder::off(),
         }
     }
 }
@@ -96,6 +112,8 @@ pub struct DistributedTrainer {
     shards: Vec<DigitDataset>,
     cursor: usize,
     fabric: Box<dyn Fabric>,
+    buf: EventBuf,
+    iteration: u64,
 }
 
 impl std::fmt::Debug for DistributedTrainer {
@@ -138,9 +156,11 @@ impl DistributedTrainer {
             .map(|_| Sgd::new(config.sgd, replicas[0].param_count()))
             .collect();
         let shards = dataset.shards(config.workers);
-        let fabric = config
-            .transport
-            .build(config.workers + 1, config.compression);
+        let fabric =
+            config
+                .transport
+                .build_with(config.workers + 1, config.compression, &config.recorder);
+        let buf = config.recorder.buffer();
         DistributedTrainer {
             config,
             replicas,
@@ -148,6 +168,8 @@ impl DistributedTrainer {
             shards,
             cursor: 0,
             fabric,
+            buf,
+            iteration: 0,
         }
     }
 
@@ -166,6 +188,7 @@ impl DistributedTrainer {
     /// and accuracy across workers.
     pub fn step(&mut self) -> IterationLog {
         let p = self.config.workers;
+        let t_compute = self.config.recorder.wall_ns();
         let mut grads: Vec<Vec<f32>> = Vec::with_capacity(p);
         let mut loss_sum = 0.0f32;
         let mut acc_sum = 0.0f32;
@@ -177,6 +200,7 @@ impl DistributedTrainer {
             grads.push(self.replicas[w].flat_grads());
         }
         self.cursor += self.config.batch_per_worker;
+        let t_exchange = self.config.recorder.wall_ns();
         let fabric = self.fabric.as_mut();
         match self.config.strategy {
             ExchangeStrategy::Ring => {
@@ -191,6 +215,7 @@ impl DistributedTrainer {
             }
         }
         .expect("gradient exchange failed on the configured transport");
+        let t_update = self.config.recorder.wall_ns();
         // Average the summed gradient so the effective step matches the
         // single-node formulation regardless of worker count.
         let scale = 1.0 / p as f32;
@@ -202,10 +227,65 @@ impl DistributedTrainer {
             self.optimizers[w].step(&mut params, &mut g);
             self.replicas[w].set_flat_params(&params);
         }
-        IterationLog {
+        let log = IterationLog {
             loss: loss_sum / p as f32,
             accuracy: acc_sum / p as f32,
+        };
+        if self.buf.is_on() {
+            let t_end = self.config.recorder.wall_ns();
+            let key = self.iteration as u32;
+            let label = self.config.strategy.trace_label();
+            self.buf.push(Event::complete(
+                labels::ITER_COMPUTE,
+                Domain::Wall,
+                0,
+                key,
+                t_compute,
+                t_exchange - t_compute,
+            ));
+            self.buf.push(Event::complete(
+                label,
+                Domain::Wall,
+                0,
+                key,
+                t_exchange,
+                t_update - t_exchange,
+            ));
+            self.buf.push(Event::complete(
+                labels::ITER_UPDATE,
+                Domain::Wall,
+                0,
+                key,
+                t_update,
+                t_end - t_update,
+            ));
+            self.buf.push(Event::metric(
+                labels::ITER_LOSS,
+                Domain::Wall,
+                0,
+                key,
+                t_end,
+                log.loss as f64,
+            ));
+            self.buf.push(Event::metric(
+                labels::ITER_ACCURACY,
+                Domain::Wall,
+                0,
+                key,
+                t_end,
+                log.accuracy as f64,
+            ));
         }
+        self.iteration += 1;
+        log
+    }
+
+    /// Drains buffered trace events (the trainer's iteration spans and
+    /// the fabric's transfer counters) into the configured recorder, so
+    /// a following [`Recorder::finish`] sees everything recorded so far.
+    pub fn flush_trace(&mut self) {
+        self.fabric.flush_obs();
+        self.buf.flush();
     }
 
     /// Runs `iters` iterations, returning the per-iteration log.
@@ -407,6 +487,60 @@ mod tests {
         assert!(stats.engine_cycles > 0);
         assert!(stats.link_latency_ns > 0);
         assert_eq!(shortcut.fabric_stats().link_latency_ns, 0);
+    }
+
+    #[test]
+    fn traced_run_records_iteration_spans_and_metrics() {
+        let data = DigitDataset::generate(160, 17);
+        let recorder = Recorder::on();
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                recorder: recorder.clone(),
+                ..quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)))
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(2);
+        t.flush_trace();
+        let rec = recorder.finish();
+        let summary = rec.summary();
+        assert_eq!(summary.iters.len(), 2, "one entry per iteration");
+        for stats in summary.iters.values() {
+            assert!(stats.compute_ns > 0);
+            assert!(stats.exchange_ns > 0);
+        }
+        assert_eq!(
+            summary.exchange_ns_by_label.keys().collect::<Vec<_>>(),
+            vec![labels::EXCHANGE_RING]
+        );
+        let loss0 = rec
+            .events()
+            .iter()
+            .find(|e| e.label == labels::ITER_LOSS && e.key == 0)
+            .expect("loss metric for iteration 0");
+        assert_eq!(loss0.metric_value(), logs[0].loss as f64);
+    }
+
+    #[test]
+    fn tracing_does_not_change_training() {
+        let data = DigitDataset::generate(160, 18);
+        let cfg = quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)));
+        let mut plain = DistributedTrainer::new(cfg.clone(), models::hdc_mlp_small, &data);
+        let mut traced = DistributedTrainer::new(
+            TrainerConfig {
+                recorder: Recorder::on(),
+                ..cfg
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        plain.train_iterations(3);
+        traced.train_iterations(3);
+        assert_eq!(
+            plain.replica(0).flat_params(),
+            traced.replica(0).flat_params()
+        );
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! [`top_k_accuracy`] provides the general form and
 //! [`ConfusionMatrix`] the per-class breakdown used when debugging why
 //! a lossy scheme hurts.
+//!
+//! Export goes through the `obs` crate: rather than each experiment
+//! printing its own metric tables, [`ConfusionMatrix::record_into`]
+//! replays the matrix into an obs buffer so the counts land in the same
+//! trace (and per-run summary) as the wire and timing data.
 
 use inceptionn_tensor::Tensor;
 
@@ -127,6 +132,40 @@ impl ConfusionMatrix {
         }
     }
 
+    /// Replays the matrix into an obs buffer: one counter per non-zero
+    /// cell (track = truth, key = prediction) plus the overall accuracy
+    /// as a metric sample. This is the single export path for
+    /// classification metrics — experiments hand the buffer to their
+    /// recorder instead of formatting tables themselves.
+    pub fn record_into(&self, buf: &mut obs::EventBuf) {
+        if !buf.is_on() {
+            return;
+        }
+        for truth in 0..self.classes {
+            for pred in 0..self.classes {
+                let n = self.count(truth, pred);
+                if n > 0 {
+                    buf.push(obs::Event::count(
+                        obs::labels::METRIC_CONFUSION,
+                        obs::Domain::Seq,
+                        truth as u32,
+                        pred as u32,
+                        0,
+                        n,
+                    ));
+                }
+            }
+        }
+        buf.push(obs::Event::metric(
+            obs::labels::METRIC_ACCURACY,
+            obs::Domain::Seq,
+            0,
+            0,
+            0,
+            self.accuracy(),
+        ));
+    }
+
     /// The most confused (truth, prediction) off-diagonal pair, if any
     /// misclassification was recorded.
     pub fn worst_confusion(&self) -> Option<(usize, usize, u64)> {
@@ -201,6 +240,29 @@ mod tests {
         let cm = ConfusionMatrix::new(4);
         assert_eq!(cm.accuracy(), 0.0);
         assert_eq!(cm.worst_confusion(), None);
+    }
+
+    #[test]
+    fn confusion_matrix_replays_into_obs() {
+        let mut cm = ConfusionMatrix::new(3);
+        let l = logits(&[&[9.0, 0.0, 0.0], &[0.0, 9.0, 0.0], &[0.0, 9.0, 0.0]]);
+        cm.record(&l, &[0, 1, 2]);
+        let mut buf = obs::EventBuf::local();
+        cm.record_into(&mut buf);
+        // Three non-zero cells + one accuracy sample.
+        assert_eq!(buf.events().len(), 4);
+        let total: u64 = buf
+            .events()
+            .iter()
+            .filter(|e| e.label == obs::labels::METRIC_CONFUSION)
+            .map(|e| e.value)
+            .sum();
+        assert_eq!(total, cm.total());
+        let summary = obs::export::Summary::of(buf.events());
+        assert_eq!(
+            summary.metrics[obs::labels::METRIC_ACCURACY].0,
+            cm.accuracy()
+        );
     }
 
     #[test]

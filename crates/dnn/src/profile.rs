@@ -251,6 +251,47 @@ impl ModelProfile {
     pub fn gamma_per_byte(&self) -> f64 {
         self.t_grad_sum / (4.0 * self.weight_bytes as f64)
     }
+
+    /// Replays one modeled iteration into an obs buffer as back-to-back
+    /// virtual-time phase spans (Table II timings converted to
+    /// nanoseconds) on `track`, starting at `start_ns` with the
+    /// iteration index as the span key. Returns the end timestamp so
+    /// successive iterations chain. This makes the paper's measured
+    /// breakdown visible in the same chrome trace as the simulated wire
+    /// activity, replacing ad-hoc per-experiment printing.
+    pub fn record_iteration(
+        &self,
+        buf: &mut obs::EventBuf,
+        track: u32,
+        iteration: u32,
+        start_ns: u64,
+    ) -> u64 {
+        let phases = [
+            (obs::labels::PHASE_FORWARD, self.t_forward),
+            (obs::labels::PHASE_BACKWARD, self.t_backward),
+            (obs::labels::PHASE_GPU_COPY, self.t_gpu_copy),
+            (obs::labels::PHASE_GRAD_SUM, self.t_grad_sum),
+            (obs::labels::PHASE_COMMUNICATE, self.paper_t_communicate),
+            (obs::labels::PHASE_UPDATE, self.t_update),
+        ];
+        let mut t = start_ns;
+        let record = buf.is_on();
+        for (label, seconds) in phases {
+            let dur = (seconds * 1e9) as u64;
+            if record && dur > 0 {
+                buf.push(obs::Event::complete(
+                    label,
+                    obs::Domain::Net,
+                    track,
+                    iteration,
+                    t,
+                    dur,
+                ));
+            }
+            t += dur;
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +351,28 @@ mod tests {
             let extra = c.epochs_compressed - c.epochs_baseline;
             assert!((1..=2).contains(&extra), "{id:?}: {extra} extra epochs");
         }
+    }
+
+    #[test]
+    fn recorded_iteration_spans_cover_the_modeled_time() {
+        let p = ModelProfile::of(ModelId::AlexNet);
+        let mut buf = obs::EventBuf::local();
+        let end0 = p.record_iteration(&mut buf, 0, 0, 0);
+        let end1 = p.record_iteration(&mut buf, 0, 1, end0);
+        // Six phases per iteration, contiguous spans, no gaps.
+        assert_eq!(buf.events().len(), 12);
+        let total: u64 = buf.events().iter().take(6).map(|e| e.value).sum();
+        assert_eq!(total, end0);
+        assert_eq!(end1, 2 * end0);
+        let mut cursor = 0u64;
+        for e in buf.events().iter().take(6) {
+            assert_eq!(e.ts, cursor, "{} out of sequence", e.label);
+            cursor += e.value;
+        }
+        // The clock advances identically with recording off.
+        let mut off = obs::EventBuf::disabled();
+        assert_eq!(p.record_iteration(&mut off, 0, 0, 0), end0);
+        assert!(off.events().is_empty());
     }
 
     #[test]

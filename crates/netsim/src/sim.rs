@@ -410,6 +410,40 @@ impl StarNetworkSim {
                 .collect(),
         }
     }
+
+    /// Replays the completed run into an obs buffer: one virtual-time
+    /// span per flow (track = source, key = destination, start → finish
+    /// in simulated nanoseconds) plus its wire-byte counter. Call after
+    /// [`StarNetworkSim::run`]; flows that have not finished are skipped.
+    pub fn record_into(&self, buf: &mut obs::EventBuf) {
+        if !buf.is_on() {
+            return;
+        }
+        for flow in &self.flows {
+            let Some(finish) = flow.finish else {
+                continue;
+            };
+            let start = flow.transfer.start_ns;
+            let src = flow.transfer.src as u32;
+            let dst = flow.transfer.dst as u32;
+            buf.push(obs::Event::complete(
+                obs::labels::NET_TRANSFER,
+                obs::Domain::Net,
+                src,
+                dst,
+                start,
+                finish.as_nanos() - start,
+            ));
+            buf.push(obs::Event::count(
+                obs::labels::NET_TRANSFER_BYTES,
+                obs::Domain::Net,
+                src,
+                dst,
+                start,
+                flow.wire_bytes,
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -539,6 +573,30 @@ mod tests {
             rep.total_wire_bytes(),
             2 * c.mtu_payload + 2 * c.header_bytes
         );
+    }
+
+    #[test]
+    fn run_replays_flows_into_obs() {
+        let c = cfg(3);
+        let mut sim = StarNetworkSim::new(c);
+        sim.add_transfer(Transfer::new(0, 1, 100_000));
+        sim.add_transfer(Transfer::new(2, 1, 50_000).starting_at(5_000));
+        let rep = sim.run();
+        let mut buf = obs::EventBuf::local();
+        sim.record_into(&mut buf);
+        let summary = obs::export::Summary::of(buf.events());
+        assert_eq!(summary.net_transfers, 2);
+        assert_eq!(summary.net_transfer_bytes, rep.total_wire_bytes());
+        let total_ns: u64 = rep
+            .results()
+            .iter()
+            .zip([0u64, 5_000])
+            .map(|(r, start)| r.finish.as_nanos() - start)
+            .sum();
+        assert_eq!(summary.net_transfer_ns, total_ns);
+        let mut off = obs::EventBuf::disabled();
+        sim.record_into(&mut off);
+        assert!(off.events().is_empty());
     }
 
     #[test]

@@ -39,6 +39,10 @@ impl Default for DatapathConfig {
 pub struct PacketRecord {
     /// When the packet entered the DMA stage, ns.
     pub arrival_ns: u64,
+    /// When the packet left the engine stage (or DMA, when bypassed), ns.
+    pub engine_done_ns: u64,
+    /// When the MAC started serializing the packet, ns.
+    pub mac_start_ns: u64,
     /// When the last bit left the MAC, ns.
     pub departure_ns: u64,
     /// Payload bytes on the wire (post-compression).
@@ -51,6 +55,11 @@ impl PacketRecord {
     /// NIC traversal latency, ns.
     pub fn latency_ns(&self) -> u64 {
         self.departure_ns - self.arrival_ns
+    }
+
+    /// Time spent waiting in the engine→MAC FIFO, ns.
+    pub fn fifo_stall_ns(&self) -> u64 {
+        self.mac_start_ns - self.engine_done_ns
     }
 }
 
@@ -87,6 +96,45 @@ impl DatapathReport {
             return 0.0;
         }
         original_payload_bytes as f64 * 8.0 * 1e9 / self.makespan_ns as f64
+    }
+
+    /// Replays the report into an obs buffer: one virtual-time span per
+    /// packet, a FIFO-stall counter per queued packet, and the peak FIFO
+    /// occupancy. Timestamps are the trace's own virtual nanoseconds.
+    pub fn record_into(&self, buf: &mut obs::EventBuf) {
+        if !buf.is_on() {
+            return;
+        }
+        for (i, p) in self.packets.iter().enumerate() {
+            let key = i as u32;
+            buf.push(obs::Event::complete(
+                obs::labels::DP_PACKET,
+                obs::Domain::Net,
+                0,
+                key,
+                p.arrival_ns,
+                p.latency_ns(),
+            ));
+            let stall = p.fifo_stall_ns();
+            if stall > 0 {
+                buf.push(obs::Event::count(
+                    obs::labels::DP_STALL_NS,
+                    obs::Domain::Net,
+                    0,
+                    key,
+                    p.engine_done_ns,
+                    stall,
+                ));
+            }
+        }
+        buf.push(obs::Event::count(
+            obs::labels::DP_FIFO_PEAK,
+            obs::Domain::Net,
+            0,
+            0,
+            self.makespan_ns,
+            self.peak_fifo_packets as u64,
+        ));
     }
 }
 
@@ -147,6 +195,8 @@ impl TxDatapath {
             fifo_intervals.push((engine_done, mac_start));
             records.push(PacketRecord {
                 arrival_ns: *arrival,
+                engine_done_ns: engine_done,
+                mac_start_ns: mac_start,
                 departure_ns: departure,
                 wire_payload,
                 compressed: compressible,
@@ -271,6 +321,27 @@ mod tests {
         // Departures are strictly ordered (single MAC).
         assert!(report.packets[0].departure_ns < report.packets[1].departure_ns);
         assert!(report.packets[1].departure_ns < report.packets[2].departure_ns);
+    }
+
+    #[test]
+    fn report_replays_into_obs_with_consistent_stalls() {
+        let dp = datapath();
+        let trace: Vec<(u64, Packet)> = (0..50)
+            .map(|i| (i * 500, Packet::regular(0, vec![0u8; 1448].into())))
+            .collect();
+        let report = dp.process_trace(&trace);
+        let mut buf = obs::EventBuf::local();
+        report.record_into(&mut buf);
+        let summary = obs::export::Summary::of(buf.events());
+        assert_eq!(summary.dp_packets, 50);
+        assert_eq!(summary.dp_fifo_peak, report.peak_fifo_packets as u64);
+        let want_stall: u64 = report.packets.iter().map(|p| p.fifo_stall_ns()).sum();
+        assert!(want_stall > 0, "saturating trace must queue");
+        assert_eq!(summary.dp_stall_ns, want_stall);
+        // A disabled buffer records nothing.
+        let mut off = obs::EventBuf::disabled();
+        report.record_into(&mut off);
+        assert!(off.events().is_empty());
     }
 
     #[test]

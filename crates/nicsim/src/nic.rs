@@ -37,6 +37,10 @@ pub struct NicStats {
     pub tx_payload_in: u64,
     /// Payload bytes out (TX side, post-compression).
     pub tx_payload_out: u64,
+    /// 256-bit bursts consumed by the compression engine (TX side).
+    pub tx_bursts: u64,
+    /// 256-bit bursts produced by the decompression engine (RX side).
+    pub rx_bursts: u64,
 }
 
 impl NicStats {
@@ -110,6 +114,7 @@ impl NicPipeline {
         self.stats.compressed_packets += 1;
         self.stats.tx_payload_in += packet.payload.len() as u64;
         self.stats.tx_payload_out += out.bytes.len() as u64;
+        self.stats.tx_bursts += out.input_bursts;
         let latency = self.cfg.base_latency_ns + out.latency_ns();
         (
             Packet {
@@ -138,6 +143,7 @@ impl NicPipeline {
             return Ok((packet, self.cfg.base_latency_ns));
         }
         let (out, _values) = self.decompressor.process(&packet.payload, count)?;
+        self.stats.rx_bursts += out.output_bursts;
         let latency = self.cfg.base_latency_ns + out.cycles * NS_PER_CYCLE;
         Ok((
             Packet {
@@ -204,6 +210,19 @@ mod tests {
         let (_, _) = nic.transmit(Packet::gradient(f32_payload(&vals)));
         assert_eq!(nic.stats().compressed_packets, 1);
         assert!(nic.stats().tx_ratio() > 10.0);
+        // 400 values = 50 full 8-lane input bursts.
+        assert_eq!(nic.stats().tx_bursts, 50);
+    }
+
+    #[test]
+    fn stats_track_bursts_both_directions() {
+        let mut nic = NicPipeline::new(NicConfig::default());
+        let vals: Vec<f32> = (0..320).map(|i| ((i as f32) * 0.03).cos() * 0.1).collect();
+        let (wire, _) = nic.transmit(Packet::gradient(f32_payload(&vals)));
+        assert_eq!(nic.stats().tx_bursts, 320 / 8);
+        nic.receive(wire).unwrap();
+        // RX reproduces the full f32 stream: same burst count out.
+        assert_eq!(nic.stats().rx_bursts, 320 / 8);
     }
 
     #[test]

@@ -1,0 +1,55 @@
+//! Observability demo: a 4-worker compressed ring exchange over the
+//! full NIC/link transport, recorded by the obs flight recorder and
+//! exported as a chrome://tracing JSON.
+//!
+//! ```sh
+//! cargo run --release -p inceptionn --example traced_ring
+//! cargo run -p obs --bin trace-report -- RESULTS_trace.json
+//! ```
+//!
+//! Open `RESULTS_trace.json` in chrome://tracing (or Perfetto) to see
+//! the wall-clock iteration spans next to the virtual-time NIC and
+//! link timelines.
+
+use std::path::Path;
+
+use inceptionn::ErrorBound;
+use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+
+fn main() {
+    let recorder = obs::Recorder::on();
+    let data = DigitDataset::generate(320, 21);
+    let cfg = TrainerConfig {
+        workers: 4,
+        strategy: ExchangeStrategy::Ring,
+        transport: TransportKind::TimedNic,
+        compression: Some(ErrorBound::pow2(10)),
+        batch_per_worker: 16,
+        seed: 21,
+        recorder: recorder.clone(),
+        ..TrainerConfig::default()
+    };
+    let mut trainer = DistributedTrainer::new(cfg, models::hdc_mlp_small, &data);
+    println!("training 10 iterations: 4-worker ring, TimedNic transport, eb = 2^-10 ...");
+    let logs = trainer.train_iterations(10);
+    trainer.flush_trace();
+    let last = logs.last().expect("ten iterations ran");
+    println!(
+        "final iteration: loss {:.3}, minibatch accuracy {:.1}%",
+        last.loss,
+        last.accuracy * 100.0
+    );
+
+    let recording = recorder.finish();
+    let path = Path::new("RESULTS_trace.json");
+    recording
+        .write_chrome_trace(path)
+        .expect("write RESULTS_trace.json");
+    println!("\nwrote {} ({} events)", path.display(), recording.len());
+    println!("{}", recording.summary());
+    println!("open the file in chrome://tracing, or run:");
+    println!("  cargo run -p obs --bin trace-report -- RESULTS_trace.json");
+}

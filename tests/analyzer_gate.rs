@@ -36,14 +36,18 @@ fn seeded_violations_fail_with_file_and_line() {
     let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("analyzer_gate_seeded");
     let src_dir = scratch.join("crates/compress/src");
     fs::create_dir_all(&src_dir).expect("scratch tree");
-    // Three violations: a panic on a hot path, an uncommented unsafe
-    // block, and wall-clock time inside wire-layout code.
+    // Five violation kinds: wall-clock time inside wire-layout code
+    // (which is also an obs hot path, so the eager-format rule fires on
+    // the same line), an uncommented unsafe block, eager string
+    // formatting on an instrumented hot path, and a panic on a hot path.
     fs::write(
         src_dir.join("bitio.rs"),
-        "pub fn f(x: Option<u8>) -> u8 {\n\
+        "pub fn f(x: Option<u8>) -> String {\n\
          \x20   let t = std::time::Instant::now();\n\
          \x20   unsafe { core::hint::unreachable_unchecked() };\n\
-         \x20   x.unwrap()\n\
+         \x20   let label = format!(\"t={t:?}\").to_string();\n\
+         \x20   let _ = (label, x.unwrap());\n\
+         \x20   String::new()\n\
          }\n",
     )
     .expect("seed file");
@@ -52,8 +56,10 @@ fn seeded_violations_fail_with_file_and_line() {
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
     for (rule, line) in [
         ("no-time-rng-in-wire", 2),
+        ("no-eager-format-hot-path", 2),
         ("safety-comment", 3),
-        ("no-panic-hot-path", 4),
+        ("no-eager-format-hot-path", 4),
+        ("no-panic-hot-path", 5),
     ] {
         assert!(
             diags

@@ -1,0 +1,162 @@
+//! Tier-1 gate for the observability stack: a traced 4-worker ring run
+//! over the full NIC/link transport must export valid trace-event JSON,
+//! its obs totals must bit-match the fabric's own counters, and turning
+//! the recorder on must not change training at all.
+
+use inceptionn::ErrorBound;
+use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+use obs::export::{events_from_json, Summary};
+use obs::json::{self, Value};
+use obs::{labels, Recorder};
+
+const ITERS: usize = 3;
+
+fn config(recorder: Recorder) -> TrainerConfig {
+    TrainerConfig {
+        workers: 4,
+        strategy: ExchangeStrategy::Ring,
+        transport: TransportKind::TimedNic,
+        compression: Some(ErrorBound::pow2(10)),
+        batch_per_worker: 8,
+        seed: 33,
+        recorder,
+        ..TrainerConfig::default()
+    }
+}
+
+/// Trains for [`ITERS`] iterations and flushes the trace.
+fn traced_run(recorder: &Recorder) -> DistributedTrainer {
+    let data = DigitDataset::generate(160, 33);
+    let mut t = DistributedTrainer::new(config(recorder.clone()), models::hdc_mlp_small, &data);
+    t.train_iterations(ITERS);
+    t.flush_trace();
+    t
+}
+
+#[test]
+fn exported_trace_is_valid_trace_event_json() {
+    let recorder = Recorder::on();
+    traced_run(&recorder);
+    let recording = recorder.finish();
+    let src = recording.to_chrome_json();
+
+    // Structurally valid trace-event JSON: a `traceEvents` array whose
+    // entries all carry `ph`/`pid`, with `name`/`tid`/`ts`/`args` on
+    // every non-metadata record.
+    let doc = json::parse(&src).expect("exported trace parses as JSON");
+    let trace = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("top-level traceEvents array");
+    assert!(!trace.is_empty(), "trace has events");
+    let mut named_processes = Vec::new();
+    for (i, item) in trace.iter().enumerate() {
+        let ph = item
+            .get("ph")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("event {i} missing string `ph`"));
+        assert!(
+            item.get("pid").and_then(Value::as_f64).is_some(),
+            "{i}: pid"
+        );
+        assert!(
+            item.get("tid").and_then(Value::as_f64).is_some(),
+            "{i}: tid"
+        );
+        if ph == "M" {
+            let name = item
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Value::as_str)
+                .expect("metadata names its process");
+            named_processes.push(name.to_string());
+        } else {
+            assert!(
+                item.get("name").and_then(Value::as_str).is_some(),
+                "{i}: name"
+            );
+            assert!(item.get("ts").and_then(Value::as_f64).is_some(), "{i}: ts");
+            assert!(item.get("args").is_some(), "{i}: args");
+        }
+    }
+    // Wall-clock trainer spans and virtual-time NIC/link records both
+    // appear, each on a named process (clock domain).
+    assert!(
+        named_processes.iter().any(|n| n.contains("wall")),
+        "wall domain named: {named_processes:?}"
+    );
+    assert!(
+        named_processes.len() >= 2,
+        "at least two clock domains traced: {named_processes:?}"
+    );
+
+    // The roundtrip is lossless: re-importing the JSON reproduces the
+    // summary totals bit-exactly.
+    let reread = events_from_json(&src).expect("exported trace re-imports");
+    let direct = recording.summary();
+    let via_json = Summary::of_owned(&reread);
+    assert_eq!(via_json.total_wire_bytes(), direct.total_wire_bytes());
+    assert_eq!(via_json.total_payload_bytes(), direct.total_payload_bytes());
+    assert_eq!(via_json.total_engine_cycles(), direct.total_engine_cycles());
+    assert_eq!(via_json.total_link_ns(), direct.total_link_ns());
+    assert_eq!(via_json.iters, direct.iters);
+}
+
+#[test]
+fn obs_totals_match_the_fabric_ground_truth() {
+    let recorder = Recorder::on();
+    let trainer = traced_run(&recorder);
+    let stats = trainer.fabric_stats();
+    let summary = recorder.finish().summary();
+    // The trace is the single source of truth precisely because it
+    // agrees with the fabric counters to the byte.
+    assert_eq!(summary.total_transfers(), stats.transfers);
+    assert_eq!(summary.total_payload_bytes(), stats.payload_bytes);
+    assert_eq!(summary.total_wire_bytes(), stats.wire_bytes);
+    assert_eq!(summary.total_packets(), stats.packets);
+    assert_eq!(summary.total_engine_cycles(), stats.engine_cycles);
+    assert_eq!(summary.total_link_ns(), stats.link_latency_ns);
+    assert!(stats.wire_bytes > 0, "the run actually moved bytes");
+    assert!(stats.engine_cycles > 0, "compression engines ran");
+}
+
+#[test]
+fn comm_vs_compute_split_is_reported() {
+    let recorder = Recorder::on();
+    traced_run(&recorder);
+    let summary = recorder.finish().summary();
+    assert_eq!(summary.iters.len(), ITERS, "one entry per iteration");
+    for (iter, stats) in &summary.iters {
+        assert!(stats.compute_ns > 0, "iteration {iter} compute span");
+        assert!(stats.exchange_ns > 0, "iteration {iter} exchange span");
+        assert!(stats.comm_fraction() > 0.0 && stats.comm_fraction() < 1.0);
+    }
+    assert_eq!(
+        summary.exchange_ns_by_label.keys().collect::<Vec<_>>(),
+        vec![labels::EXCHANGE_RING]
+    );
+    assert!(summary.comm_fraction() > 0.0);
+}
+
+#[test]
+fn tracing_does_not_change_the_trained_weights() {
+    let data = DigitDataset::generate(160, 33);
+    let mut plain = DistributedTrainer::new(config(Recorder::off()), models::hdc_mlp_small, &data);
+    let recorder = Recorder::on();
+    let mut traced =
+        DistributedTrainer::new(config(recorder.clone()), models::hdc_mlp_small, &data);
+    plain.train_iterations(ITERS);
+    traced.train_iterations(ITERS);
+    traced.flush_trace();
+    for w in 0..4 {
+        assert_eq!(
+            plain.replica(w).flat_params(),
+            traced.replica(w).flat_params(),
+            "worker {w} diverged under tracing"
+        );
+    }
+    assert!(!recorder.finish().is_empty(), "the traced run recorded");
+}
