@@ -1,6 +1,6 @@
 //! The project-invariant rule engine.
 //!
-//! Six lexical rules over every `crates/*/src/**/*.rs` file, each
+//! Seven lexical rules over every `crates/*/src/**/*.rs` file, each
 //! encoding an invariant the INCEPTIONN reproduction's correctness
 //! story depends on (see DESIGN.md §"Static analysis & concurrency
 //! audit" for the catalog and how to add a rule):
@@ -10,6 +10,7 @@
 //! | `safety-comment` | every `unsafe` block/fn/impl carries a `SAFETY:` comment immediately above it |
 //! | `target-feature-dispatch` | `#[target_feature]` kernels are only referenced under a matching `is_x86_feature_detected!` guard (or from a kernel enabling a superset) |
 //! | `no-panic-hot-path` | no `unwrap()`/`expect()`/`panic!` in non-test code on codec/fabric hot paths, modulo a shrink-only allowlist |
+//! | `no-panic-recovery-path` | fault-injection and recovery code never panics at all — no allowlist: a recovery path that can itself unwind defeats its purpose |
 //! | `no-time-rng-in-wire` | code that determines wire byte layout never consults wall clocks or RNGs |
 //! | `shim-facade` | vendored shims are only imported by the crates the facade declares |
 //! | `no-eager-format-hot-path` | obs-instrumented hot paths never format strings (`format!`, `.to_string()`) or read `Instant` — events are static labels + integers, rendering deferred to export |
@@ -66,6 +67,13 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/nicsim/src/nic.rs",
     "crates/nicsim/src/packet.rs",
 ];
+
+/// Fault-injection and recovery files covered by
+/// `no-panic-recovery-path`. Stricter than the hot-path rule: there is
+/// no allowlist. These paths exist to absorb failures; an `unwrap` here
+/// turns an injected fault into a process abort, which is exactly the
+/// failure mode the subsystem promises cannot happen.
+pub const RECOVERY_PATH_FILES: &[&str] = &["crates/distrib/src/faults.rs"];
 
 /// Files whose code determines wire byte layout: covered by
 /// `no-time-rng-in-wire`. A wall-clock or RNG read here could make two
@@ -615,6 +623,49 @@ pub fn rule_no_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: no-panic-recovery-path
+// ---------------------------------------------------------------------
+
+/// Finds `unwrap()` / `expect(` / `panic!` in non-test code of a
+/// fault-recovery file. Unlike the hot-path rule there is no allowlist
+/// escape hatch: every failure a recovery path can see must flow into a
+/// typed [`FabricError`]-style result.
+pub fn rule_no_panic_recovery_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !RECOVERY_PATH_FILES.contains(&ctx.path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if ctx.ct(i).kind != TokenKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let name = ctx.text(i);
+        let flagged = match name {
+            "unwrap" | "expect" => {
+                i > 0
+                    && ctx.is_punct(i - 1, b'.')
+                    && i + 1 < ctx.code.len()
+                    && ctx.is_punct(i + 1, b'(')
+            }
+            "panic" => i + 1 < ctx.code.len() && ctx.is_punct(i + 1, b'!'),
+            _ => false,
+        };
+        if flagged {
+            out.push(Diagnostic {
+                rule: "no-panic-recovery-path",
+                file: ctx.path.to_string(),
+                line: ctx.ct(i).line,
+                message: format!(
+                    "`{name}` on a fault-recovery path — recovery code must never unwind"
+                ),
+                hint: "return the typed error (FabricError) so the retry/degradation \
+                       ladder can handle it; there is no allowlist for recovery paths"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: no-time-rng-in-wire
 // ---------------------------------------------------------------------
 
@@ -862,6 +913,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_safety_comment(&ctx, &mut out);
     rule_target_feature_dispatch(&ctx, &kernels, &mut out);
     rule_no_panic_hot_path(&ctx, &mut out);
+    rule_no_panic_recovery_path(&ctx, &mut out);
     rule_no_time_rng_in_wire(&ctx, &mut out);
     rule_no_eager_format_hot_path(&ctx, &mut out);
     rule_shim_facade(&ctx, &mut out);
@@ -922,6 +974,7 @@ pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
         rule_safety_comment(ctx, &mut raw);
         rule_target_feature_dispatch(ctx, &kernels, &mut raw);
         rule_no_panic_hot_path(ctx, &mut raw);
+        rule_no_panic_recovery_path(ctx, &mut raw);
         rule_no_time_rng_in_wire(ctx, &mut raw);
         rule_no_eager_format_hot_path(ctx, &mut raw);
         rule_shim_facade(ctx, &mut raw);
@@ -1061,6 +1114,26 @@ mod tests {
         // Only `.unwrap(` call syntax counts, not arbitrary identifiers.
         let src = "fn f(unwrap: u8) -> u8 { unwrap }\n";
         assert!(lint_source("crates/compress/src/bitio.rs", src).is_empty());
+    }
+
+    // -- no-panic-recovery-path ----------------------------------------
+
+    #[test]
+    fn panics_in_recovery_files_are_flagged_without_allowlist() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/faults.rs", src)),
+            ["no-panic-recovery-path"]
+        );
+        // Same code outside the recovery set only trips the hot-path rule
+        // (or nothing at all).
+        assert!(lint_source("crates/distrib/src/trainer.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recovery_rule_exempts_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
+        assert!(lint_source("crates/distrib/src/faults.rs", src).is_empty());
     }
 
     // -- no-time-rng-in-wire -------------------------------------------

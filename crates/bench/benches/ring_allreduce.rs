@@ -4,9 +4,9 @@
 //! the modeled NIC datapath behind the `Fabric` seam.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use inceptionn_compress::{ErrorBound, InceptionnCodec};
+use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::aggregator::worker_aggregator_allreduce;
-use inceptionn_distrib::fabric::{Fabric, InProcessFabric, NicFabric};
+use inceptionn_distrib::fabric::{CodecSelection, FabricBuilder, TransportKind};
 use inceptionn_distrib::ring::{ring_allreduce, ring_allreduce_over, threaded_ring_allreduce};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,36 +23,36 @@ fn bench_exchanges(c: &mut Criterion) {
     let len = 262_144usize; // 1 MiB per worker
     let grads = make_grads(workers, len);
     let bytes = (workers * len * 4) as u64;
-    let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+    let codec = CodecSelection::Scalar(ErrorBound::pow2(10));
 
     let mut group = c.benchmark_group("gradient_exchange");
     group.throughput(Throughput::Bytes(bytes));
     group.bench_function(BenchmarkId::new("ring", "lossless"), |b| {
         b.iter(|| {
             let mut g = grads.clone();
-            ring_allreduce(&mut g, None);
+            ring_allreduce(&mut g, CodecSelection::None);
             g
         })
     });
     group.bench_function(BenchmarkId::new("ring", "eb=2^-10"), |b| {
         b.iter(|| {
             let mut g = grads.clone();
-            ring_allreduce(&mut g, Some(&codec));
+            ring_allreduce(&mut g, codec);
             g
         })
     });
     group.bench_function(BenchmarkId::new("worker_aggregator", "lossless"), |b| {
         b.iter(|| {
             let mut g = grads.clone();
-            worker_aggregator_allreduce(&mut g, None);
+            worker_aggregator_allreduce(&mut g, CodecSelection::None);
             g
         })
     });
     group.bench_function(BenchmarkId::new("ring_threaded", "lossless"), |b| {
-        b.iter(|| threaded_ring_allreduce(grads.clone(), None))
+        b.iter(|| threaded_ring_allreduce(grads.clone(), CodecSelection::None))
     });
     group.bench_function(BenchmarkId::new("ring_threaded", "eb=2^-10"), |b| {
-        b.iter(|| threaded_ring_allreduce(grads.clone(), Some(codec)))
+        b.iter(|| threaded_ring_allreduce(grads.clone(), codec))
     });
     group.finish();
 }
@@ -72,9 +72,12 @@ fn bench_fabrics(c: &mut Criterion) {
 
     // One instrumented run up front: the wire ratio is a property of the
     // data and codec, not of the timing loop.
-    let mut probe = NicFabric::new(workers, bound);
+    let mut probe = FabricBuilder::new(workers)
+        .transport(TransportKind::Nic)
+        .compression(bound)
+        .build();
     let mut g = grads.clone();
-    ring_allreduce_over(&mut probe, &mut g, &endpoints).unwrap();
+    ring_allreduce_over(probe.as_mut(), &mut g, &endpoints).unwrap();
     let stats = probe.stats();
     println!(
         "ring over NicFabric: {} payload B -> {} wire B per exchange \
@@ -89,17 +92,20 @@ fn bench_fabrics(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(bytes));
     group.bench_function(BenchmarkId::new("in_process", "eb=2^-10"), |b| {
         b.iter(|| {
-            let mut fabric = InProcessFabric::new(workers, bound);
+            let mut fabric = FabricBuilder::new(workers).compression(bound).build();
             let mut g = grads.clone();
-            ring_allreduce_over(&mut fabric, &mut g, &endpoints).unwrap();
+            ring_allreduce_over(fabric.as_mut(), &mut g, &endpoints).unwrap();
             g
         })
     });
     group.bench_function(BenchmarkId::new("nic_datapath", "eb=2^-10"), |b| {
         b.iter(|| {
-            let mut fabric = NicFabric::new(workers, bound);
+            let mut fabric = FabricBuilder::new(workers)
+                .transport(TransportKind::Nic)
+                .compression(bound)
+                .build();
             let mut g = grads.clone();
-            ring_allreduce_over(&mut fabric, &mut g, &endpoints).unwrap();
+            ring_allreduce_over(fabric.as_mut(), &mut g, &endpoints).unwrap();
             g
         })
     });

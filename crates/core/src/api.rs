@@ -11,7 +11,7 @@
 
 use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
-use inceptionn_distrib::fabric::{Fabric, FabricStats, TransportKind};
+use inceptionn_distrib::fabric::{Fabric, FabricBuilder, FabricStats, TransportKind};
 use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
 
 /// A handle over a fixed-size worker group, configured once and used
@@ -83,7 +83,10 @@ impl CollectiveContext {
     /// aggregator for [`allreduce_worker_aggregator`]
     /// (`CollectiveContext::allreduce_worker_aggregator`).
     fn fabric(&self) -> Box<dyn Fabric> {
-        self.transport.build(self.workers + 1, self.compression)
+        FabricBuilder::new(self.workers + 1)
+            .transport(self.transport)
+            .compression(self.compression)
+            .build()
     }
 
     /// Sums one gradient vector per worker in place via the

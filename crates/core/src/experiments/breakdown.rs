@@ -2,7 +2,7 @@
 //! the worker-aggregator time breakdown.
 
 use inceptionn_compress::ErrorBound;
-use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
 use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
@@ -153,7 +153,9 @@ pub fn hdc_fabric_comm_with(
                     ExchangeStrategy::WorkerAggregator
                 },
                 transport: TransportKind::TimedNic,
-                compression: system.is_compressed().then(|| ErrorBound::pow2(10)),
+                codec: CodecSelection::from_bound(
+                    system.is_compressed().then(|| ErrorBound::pow2(10)),
+                ),
                 batch_per_worker: 8,
                 seed,
                 recorder: recorder.clone(),

@@ -121,7 +121,7 @@ pub struct WireVolumeRow {
 /// [`NicFabric`]: inceptionn_distrib::fabric::NicFabric
 pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolumeRow> {
     use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
-    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    use inceptionn_distrib::fabric::{FabricBuilder, TransportKind};
     use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -149,15 +149,20 @@ pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolu
             Organization::HierarchicalRing,
         ] {
             let mut grads = inputs.clone();
-            let mut fabric = NicFabric::new(n + 1, bound);
+            let mut fabric = FabricBuilder::new(n + 1)
+                .transport(TransportKind::Nic)
+                .compression(bound)
+                .build();
             match org {
-                Organization::FlatWa => worker_aggregator_allreduce_over(&mut fabric, &mut grads),
+                Organization::FlatWa => {
+                    worker_aggregator_allreduce_over(fabric.as_mut(), &mut grads)
+                }
                 Organization::FlatRing => {
                     let endpoints: Vec<usize> = (0..n).collect();
-                    ring_allreduce_over(&mut fabric, &mut grads, &endpoints)
+                    ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints)
                 }
                 Organization::HierarchicalRing => {
-                    hierarchical_ring_allreduce_over(&mut fabric, &mut grads, 4)
+                    hierarchical_ring_allreduce_over(fabric.as_mut(), &mut grads, 4)
                 }
                 Organization::HierarchicalWa => unreachable!(),
             }

@@ -140,14 +140,17 @@ pub fn fig14_accuracy(model: ProxyModel, fidelity: Fidelity, seed: u64) -> Vec<A
 /// packet is compressed independently (per-packet byte alignment), which
 /// is exactly what the hardware ships.
 pub fn fig14_wire_ratios(fidelity: Fidelity, seed: u64) -> Vec<RatioRow> {
-    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    use inceptionn_distrib::fabric::{FabricBuilder, TransportKind};
     let samples = fidelity.scale(400_000, 20_000);
     let mut rows = Vec::new();
     for preset in GradientPreset::ALL {
         let mut rng = StdRng::seed_from_u64(seed ^ preset as u64);
         let grads = GradientModel::preset(preset).sample(&mut rng, samples);
         for e in [10u8, 8, 6] {
-            let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(e)));
+            let mut fabric = FabricBuilder::new(2)
+                .transport(TransportKind::Nic)
+                .compression(Some(ErrorBound::pow2(e)))
+                .build();
             fabric
                 .transfer(0, 1, &grads)
                 .expect("matched NIC endpoints always decode each other's frames");

@@ -196,14 +196,17 @@ pub fn fig7(cfg: &ClusterConfig, codecs: &[CodecProfile]) -> Vec<Fig7Row> {
 ///
 /// [`NicFabric`]: inceptionn_distrib::fabric::NicFabric
 pub fn fig7_nic_reference(cfg: &ClusterConfig, fidelity: Fidelity, seed: u64) -> Vec<Fig7Row> {
-    use inceptionn_distrib::fabric::{Fabric, NicFabric};
+    use inceptionn_distrib::fabric::{FabricBuilder, TransportKind};
     use inceptionn_nicsim::engine::NS_PER_CYCLE;
 
     let n_values = fidelity.scale(2_000_000, 50_000);
     let mut rng = StdRng::seed_from_u64(seed);
     let grads = GradientModel::preset(inceptionn_compress::gradmodel::GradientPreset::AlexNet)
         .sample(&mut rng, n_values);
-    let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+    let mut fabric = FabricBuilder::new(2)
+        .transport(TransportKind::Nic)
+        .compression(Some(ErrorBound::pow2(10)))
+        .build();
     fabric
         .transfer(0, 1, &grads)
         .expect("matched NIC endpoints always decode each other's frames");

@@ -1,9 +1,7 @@
 //! The conventional worker-aggregator exchange (Fig. 2), over a
 //! [`Fabric`].
 
-use inceptionn_compress::InceptionnCodec;
-
-use crate::fabric::{Fabric, FabricError, InProcessFabric, PayloadKind};
+use crate::fabric::{CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind};
 
 /// In-place worker-aggregator all-reduce over a fabric: every worker's
 /// gradient is shipped to the aggregator endpoint (the fabric's **last**
@@ -17,9 +15,15 @@ use crate::fabric::{Fabric, FabricError, InProcessFabric, PayloadKind};
 /// tolerate lossy compression (Fig. 4) — this is the structural reason
 /// WA+C gains less than INC+C (Fig. 12).
 ///
+/// A hop that fails *recoverably* (CRC miss, decode failure, exhausted
+/// link retransmit budget) is degraded through
+/// [`Fabric::note_degraded`] and redelivered uncompressed before the
+/// error is allowed to surface.
+///
 /// # Errors
 ///
-/// Returns [`FabricError`] if either leg's delivery fails.
+/// Returns [`FabricError`] if either leg's delivery fails past
+/// recovery.
 ///
 /// # Panics
 ///
@@ -42,45 +46,64 @@ pub fn worker_aggregator_allreduce_over(
         "fabric needs {n} worker endpoints plus an aggregator endpoint"
     );
     // Gather (compressible leg) + sum at the aggregator. The sink sums
-    // straight from the delivered slice — no per-worker copy.
+    // straight from the delivered slice — no per-worker copy. Delivery
+    // is all-or-nothing (integrity and decode are checked before the
+    // sink runs), so a failed hop can simply be retried plain.
     let mut sum = vec![0.0f32; len];
     for (i, w) in workers.iter().enumerate() {
-        fabric.transfer_with(i, aggregator, w, PayloadKind::Gradient, &mut |received| {
+        let mut fold = |received: &[f32]| {
             for (s, v) in sum.iter_mut().zip(received) {
                 *s += *v;
             }
-        })?;
+        };
+        match fabric.transfer_with(i, aggregator, w, PayloadKind::Gradient, &mut fold) {
+            Ok(()) => {}
+            Err(e) if e.is_recoverable() => {
+                fabric.note_degraded(i, aggregator);
+                fabric.transfer_with(i, aggregator, w, PayloadKind::Plain, &mut fold)?;
+            }
+            Err(e) => return Err(e),
+        }
     }
-    // Broadcast (weights leg, uncompressed).
+    // Broadcast (weights leg, uncompressed). Already plain, so recovery
+    // is a single straight redelivery.
     for (i, w) in workers.iter_mut().enumerate() {
-        fabric.transfer_with(aggregator, i, &sum, PayloadKind::Plain, &mut |received| {
+        let mut write = |received: &[f32]| {
             w.copy_from_slice(received);
-        })?;
+        };
+        match fabric.transfer_with(aggregator, i, &sum, PayloadKind::Plain, &mut write) {
+            Ok(()) => {}
+            Err(e) if e.is_recoverable() => {
+                fabric.note_degraded(aggregator, i);
+                fabric.transfer_with(aggregator, i, &sum, PayloadKind::Plain, &mut write)?;
+            }
+            Err(e) => return Err(e),
+        }
     }
     Ok(())
 }
 
 /// In-place worker-aggregator all-reduce with the compression round trip
-/// applied in process (the historical signature). Equivalent to
-/// [`worker_aggregator_allreduce_over`] on an [`InProcessFabric`] with
+/// applied in process (the historical convenience). Equivalent to
+/// [`worker_aggregator_allreduce_over`] on the in-process transport with
 /// `workers.len() + 1` endpoints.
 ///
 /// # Panics
 ///
 /// Panics if `workers` is empty or the vectors differ in length.
-pub fn worker_aggregator_allreduce(
-    workers: &mut [Vec<f32>],
-    gradient_codec: Option<&InceptionnCodec>,
-) {
-    let mut fabric = InProcessFabric::new(workers.len() + 1, gradient_codec.map(|c| c.bound()));
-    worker_aggregator_allreduce_over(&mut fabric, workers)
+pub fn worker_aggregator_allreduce(workers: &mut [Vec<f32>], gradient_codec: CodecSelection) {
+    let mut fabric = FabricBuilder::new(workers.len() + 1)
+        .codec(gradient_codec)
+        .build();
+    worker_aggregator_allreduce_over(fabric.as_mut(), workers)
         .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::NicFabric;
+    use crate::fabric::TransportKind;
+    use crate::faults::FaultPlan;
     use inceptionn_compress::ErrorBound;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -92,6 +115,17 @@ mod tests {
             .collect()
     }
 
+    fn build(
+        kind: TransportKind,
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+    ) -> Box<dyn Fabric> {
+        FabricBuilder::new(endpoints)
+            .transport(kind)
+            .compression(compression)
+            .build()
+    }
+
     #[test]
     fn equals_direct_sum_uncompressed() {
         let mut grads = random_grads(4, 100, 1);
@@ -101,7 +135,7 @@ mod tests {
                 *s += v;
             }
         }
-        worker_aggregator_allreduce(&mut grads, None);
+        worker_aggregator_allreduce(&mut grads, CodecSelection::None);
         for w in &grads {
             assert_eq!(w, &want);
         }
@@ -111,9 +145,8 @@ mod tests {
     fn replicas_always_identical() {
         // Unlike the ring, the aggregator broadcasts one buffer: replicas
         // are identical even with compression in the loop.
-        let codec = InceptionnCodec::new(ErrorBound::pow2(8));
         let mut grads = random_grads(5, 333, 2);
-        worker_aggregator_allreduce(&mut grads, Some(&codec));
+        worker_aggregator_allreduce(&mut grads, CodecSelection::Scalar(ErrorBound::pow2(8)));
         for w in 1..5 {
             assert_eq!(grads[0], grads[w]);
         }
@@ -122,7 +155,6 @@ mod tests {
     #[test]
     fn compression_error_is_bounded_by_worker_count() {
         let e = 10u8;
-        let codec = InceptionnCodec::new(ErrorBound::pow2(e));
         let mut grads = random_grads(4, 400, 3);
         let mut want = vec![0.0f32; 400];
         for w in &grads {
@@ -130,7 +162,7 @@ mod tests {
                 *s += v;
             }
         }
-        worker_aggregator_allreduce(&mut grads, Some(&codec));
+        worker_aggregator_allreduce(&mut grads, CodecSelection::Scalar(ErrorBound::pow2(e)));
         let budget = 4.0 * ErrorBound::pow2(e).value() + 1e-5;
         for (a, b) in grads[0].iter().zip(&want) {
             assert!((a - b).abs() <= budget, "{a} vs {b}");
@@ -141,9 +173,9 @@ mod tests {
     fn ring_and_aggregator_agree_uncompressed() {
         let grads = random_grads(4, 257, 4);
         let mut by_ring = grads.clone();
-        crate::ring::ring_allreduce(&mut by_ring, None);
+        crate::ring::ring_allreduce(&mut by_ring, CodecSelection::None);
         let mut by_agg = grads;
-        worker_aggregator_allreduce(&mut by_agg, None);
+        worker_aggregator_allreduce(&mut by_agg, CodecSelection::None);
         for (r, a) in by_ring[0].iter().zip(&by_agg[0]) {
             assert!((r - a).abs() < 1e-4, "{r} vs {a}");
         }
@@ -154,11 +186,11 @@ mod tests {
         for bound in [None, Some(ErrorBound::pow2(9))] {
             let grads = random_grads(4, 500, 5);
             let mut in_proc = grads.clone();
-            let mut fabric = InProcessFabric::new(5, bound);
-            worker_aggregator_allreduce_over(&mut fabric, &mut in_proc).unwrap();
+            let mut fabric = build(TransportKind::InProcess, 5, bound);
+            worker_aggregator_allreduce_over(fabric.as_mut(), &mut in_proc).unwrap();
             let mut over_nic = grads.clone();
-            let mut fabric = NicFabric::new(5, bound);
-            worker_aggregator_allreduce_over(&mut fabric, &mut over_nic).unwrap();
+            let mut fabric = build(TransportKind::Nic, 5, bound);
+            worker_aggregator_allreduce_over(fabric.as_mut(), &mut over_nic).unwrap();
             assert_eq!(in_proc, over_nic, "bound {bound:?}");
         }
     }
@@ -169,8 +201,8 @@ mod tests {
         // fabric, so exactly half the payload volume shrinks.
         let n = 4;
         let mut grads = random_grads(n, 3620, 6);
-        let mut fabric = NicFabric::new(n + 1, Some(ErrorBound::pow2(10)));
-        worker_aggregator_allreduce_over(&mut fabric, &mut grads).unwrap();
+        let mut fabric = build(TransportKind::Nic, n + 1, Some(ErrorBound::pow2(10)));
+        worker_aggregator_allreduce_over(fabric.as_mut(), &mut grads).unwrap();
         let stats = fabric.stats();
         assert_eq!(stats.transfers, 2 * n as u64);
         let plain_bytes = (n * 3620 * 4) as u64; // broadcast leg, uncompressed
@@ -179,5 +211,45 @@ mod tests {
             stats.wire_bytes < stats.payload_bytes,
             "gather leg must compress"
         );
+    }
+
+    #[test]
+    fn recovers_bit_exactly_under_injected_faults() {
+        let mut clean = random_grads(4, 600, 7);
+        let mut faulty = clean.clone();
+        worker_aggregator_allreduce(&mut clean, CodecSelection::None);
+        let mut fabric = FabricBuilder::new(5)
+            .transport(TransportKind::Nic)
+            .faults(FaultPlan::new(21).drop_prob(0.05).corrupt_prob(0.02))
+            .build();
+        worker_aggregator_allreduce_over(fabric.as_mut(), &mut faulty).unwrap();
+        assert_eq!(clean, faulty, "recovered exchange must be bit-exact");
+        assert!(fabric.fault_stats().retransmits > 0);
+    }
+
+    #[test]
+    fn poisoned_gather_leg_degrades_to_plain() {
+        let mut grads = random_grads(4, 300, 8);
+        let mut want = vec![0.0f32; 300];
+        for w in &grads {
+            for (s, v) in want.iter_mut().zip(w) {
+                *s += v;
+            }
+        }
+        let mut fabric = FabricBuilder::new(5)
+            .transport(TransportKind::Nic)
+            .compression(Some(ErrorBound::pow2(10)))
+            .faults(FaultPlan::new(9).poison_prob(1.0))
+            .build();
+        worker_aggregator_allreduce_over(fabric.as_mut(), &mut grads).unwrap();
+        // Every gather hop fell back to plain, so the sum is exact.
+        for w in &grads {
+            for (a, b) in w.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+        let fs = fabric.fault_stats();
+        assert!(fs.poisons > 0);
+        assert_eq!(fs.degraded_legs, 4, "one degraded leg per worker");
     }
 }

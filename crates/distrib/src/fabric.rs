@@ -30,10 +30,12 @@
 
 use std::fmt;
 
-use inceptionn_compress::{DecodeError, ErrorBound, ParallelCodec};
-use inceptionn_netsim::NetworkConfig;
+use inceptionn_compress::{BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec};
+use inceptionn_netsim::{LinkRateSchedule, NetworkConfig};
 use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
 use obs::{labels, Domain, Event, EventBuf, Recorder};
+
+use crate::faults::{FaultPlan, FaultStats, FaultyFabric};
 
 /// `f32` values per MTU packet — one 1448-byte payload.
 use inceptionn_nicsim::VALUES_PER_PACKET;
@@ -48,12 +50,54 @@ pub enum PayloadKind {
     Plain,
 }
 
-/// An encoded payload in flight between two endpoints.
-///
-/// Frames are [`Send`] so threaded exchanges can pass them through
-/// channels exactly like byte streams on a real fabric.
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) lookup table,
+/// built at compile time so framing stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 over a frame body.
+#[derive(Debug, Clone, Copy)]
+struct Crc32(u32);
+
+impl Crc32 {
+    fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.0;
+        for &b in bytes {
+            c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.0 = c;
+    }
+
+    fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// The payload of a [`WireFrame`]: either the in-process value shortcut
+/// or real NIC datapath packets.
 #[derive(Debug, Clone)]
-pub enum WireFrame {
+pub enum FrameBody {
     /// In-process shortcut: the (possibly quantized) values themselves.
     Loopback(Vec<f32>),
     /// Real NIC datapath output: ToS-tagged MTU packets whose payloads
@@ -61,16 +105,120 @@ pub enum WireFrame {
     Packets(Vec<Packet>),
 }
 
+fn crc_of(body: &FrameBody) -> u32 {
+    let mut c = Crc32::new();
+    match body {
+        FrameBody::Loopback(values) => {
+            for v in values {
+                c.update(&v.to_le_bytes());
+            }
+        }
+        FrameBody::Packets(packets) => {
+            for p in packets {
+                c.update(&[p.tos]);
+                c.update(&(p.value_count.map_or(u64::MAX, |n| n as u64)).to_le_bytes());
+                c.update(&p.payload);
+            }
+        }
+    }
+    c.finish()
+}
+
+/// An encoded payload in flight between two endpoints: a source-address
+/// header, a frame-level CRC-32 integrity tag, a compression marker, and
+/// the body.
+///
+/// The tag covers the body only — it rides *next to* the packet payload
+/// bytes, like an Ethernet FCS, so wire-byte and serialization
+/// accounting are unchanged by its presence. Delivery verifies it before
+/// any bytes reach the receive engines; fault decorators that perturb a
+/// body without re-tagging are therefore caught as
+/// [`FabricError::Integrity`] and recovered by retransmission.
+///
+/// Frames are [`Send`] so threaded exchanges can pass them through
+/// channels exactly like byte streams on a real fabric.
+#[derive(Debug, Clone)]
+pub struct WireFrame {
+    src: usize,
+    crc: u32,
+    compressed: bool,
+    body: FrameBody,
+}
+
 impl WireFrame {
+    /// A loopback frame from endpoint `src`; `compressed` marks whether
+    /// a lossy codec produced `values` (fault models only poison
+    /// compressed streams — plain traffic has no decode step to
+    /// desynchronize).
+    pub fn loopback(src: usize, values: Vec<f32>, compressed: bool) -> Self {
+        let body = FrameBody::Loopback(values);
+        WireFrame {
+            src,
+            crc: crc_of(&body),
+            compressed,
+            body,
+        }
+    }
+
+    /// A packet frame from endpoint `src`. The compression marker is
+    /// read off the first packet's ToS classification.
+    pub fn packets(src: usize, packets: Vec<Packet>) -> Self {
+        let compressed = packets.first().is_some_and(|p| p.value_count.is_some());
+        let body = FrameBody::Packets(packets);
+        WireFrame {
+            src,
+            crc: crc_of(&body),
+            compressed,
+            body,
+        }
+    }
+
+    /// The sending endpoint (the frame's source-address header).
+    pub fn src(&self) -> usize {
+        self.src
+    }
+
+    /// The integrity tag the sender stamped.
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// Whether the body carries a lossy-compressed stream.
+    pub fn is_compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// The frame payload.
+    pub fn body(&self) -> &FrameBody {
+        &self.body
+    }
+
+    /// Whether the body still matches the integrity tag.
+    pub fn integrity_ok(&self) -> bool {
+        crc_of(&self.body) == self.crc
+    }
+
+    /// Replaces the body *without* re-tagging — the fault injector's
+    /// model of in-flight corruption. The stale CRC is what lets the
+    /// receiver detect it.
+    pub(crate) fn with_perturbed_body(&self, body: FrameBody) -> Self {
+        WireFrame {
+            src: self.src,
+            crc: self.crc,
+            compressed: self.compressed,
+            body,
+        }
+    }
+
     /// Post-compression payload bytes of each packet this frame occupies
     /// on the wire (loopback frames count raw `f32` MTU packets).
     pub fn packet_wire_bytes(&self) -> Vec<u64> {
-        match self {
-            WireFrame::Loopback(values) => values
+        match &self.body {
+            FrameBody::Loopback(values) => values
                 .chunks(VALUES_PER_PACKET)
                 .map(|c| (c.len() * 4) as u64)
                 .collect(),
-            WireFrame::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
+            FrameBody::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
         }
     }
 }
@@ -97,6 +245,42 @@ pub enum FabricError {
     /// (truncated stream, or peer engines programmed to a different
     /// error bound).
     Decode(DecodeError),
+    /// The frame body no longer matches its CRC-32 tag — in-flight
+    /// corruption detected before the bytes reached the decoder.
+    Integrity {
+        /// The frame's source endpoint.
+        src: usize,
+    },
+    /// A link kept failing past its bounded retransmit budget.
+    RetriesExhausted {
+        /// Sending endpoint.
+        src: usize,
+        /// Receiving endpoint.
+        dst: usize,
+        /// Transmission attempts made (original plus retransmits).
+        attempts: u32,
+    },
+    /// The endpoint has crashed (one-shot fault): no traffic can be
+    /// sent to or from it until the collective is re-stitched around it.
+    EndpointDown {
+        /// The crashed endpoint.
+        endpoint: usize,
+    },
+}
+
+impl FabricError {
+    /// Whether the degradation ladder can retry this failure with an
+    /// uncompressed re-encode: integrity/decode/budget failures are
+    /// link-level trouble a plain resend can clear; a frame handed to
+    /// the wrong transport or a crashed endpoint cannot be retried.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            FabricError::Decode(_)
+                | FabricError::Integrity { .. }
+                | FabricError::RetriesExhausted { .. }
+        )
+    }
 }
 
 impl fmt::Display for FabricError {
@@ -106,6 +290,21 @@ impl fmt::Display for FabricError {
                 write!(f, "{fabric} fabric received a {got} frame")
             }
             FabricError::Decode(e) => write!(f, "receive-side decode failed: {e}"),
+            FabricError::Integrity { src } => {
+                write!(
+                    f,
+                    "frame from endpoint {src} failed its CRC-32 integrity check"
+                )
+            }
+            FabricError::RetriesExhausted { src, dst, attempts } => {
+                write!(
+                    f,
+                    "link {src} -> {dst} still failing after {attempts} transmission attempts"
+                )
+            }
+            FabricError::EndpointDown { endpoint } => {
+                write!(f, "endpoint {endpoint} has crashed")
+            }
         }
     }
 }
@@ -113,8 +312,8 @@ impl fmt::Display for FabricError {
 impl std::error::Error for FabricError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            FabricError::FrameMismatch { .. } => None,
             FabricError::Decode(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -273,6 +472,22 @@ pub trait Fabric: Send {
     /// Drains any buffered telemetry into the recorder this fabric was
     /// built with. A no-op for fabrics without instrumentation.
     fn flush_obs(&mut self) {}
+
+    /// Advances the fabric's iteration clock. Fault decorators use this
+    /// to arm iteration-indexed faults (e.g. a one-shot endpoint crash);
+    /// plain transports ignore it.
+    fn begin_iteration(&mut self, _iteration: u64) {}
+
+    /// Notes that the `src -> dst` leg was renegotiated down to the
+    /// uncompressed encoding after repeated decode failures. Default:
+    /// ignored; fault decorators count it.
+    fn note_degraded(&mut self, _src: usize, _dst: usize) {}
+
+    /// Fault-injection and recovery counters. All zero for fabrics
+    /// without a fault decorator in the stack.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
 }
 
 fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packets: u64) {
@@ -335,44 +550,149 @@ fn record_transfer(
     ));
 }
 
+/// Which software codec implementation the in-process shortcut runs its
+/// quantization round trip on. All three codecs are elementwise
+/// bit-identical (pinned by the differential tests), so the selection
+/// changes speed and threading, never values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CodecSelection {
+    /// Lossless: no codec in the loop.
+    #[default]
+    None,
+    /// The scalar reference codec.
+    Scalar(ErrorBound),
+    /// The burst-vectorized single-threaded fast path.
+    Burst(ErrorBound),
+    /// The sharded multi-threaded fast path. `shards == 0` uses the
+    /// host's available parallelism.
+    Parallel {
+        /// Quantization error bound.
+        bound: ErrorBound,
+        /// Shard count (`0` = host parallelism).
+        shards: usize,
+    },
+}
+
+impl CodecSelection {
+    /// The historical `Option<ErrorBound>` spelling: `Some` maps to the
+    /// host-parallel fast path (what every fabric ran before the codec
+    /// became selectable), `None` to lossless.
+    pub fn from_bound(bound: Option<ErrorBound>) -> Self {
+        match bound {
+            Some(b) => CodecSelection::Parallel {
+                bound: b,
+                shards: 0,
+            },
+            None => CodecSelection::None,
+        }
+    }
+
+    /// The error bound in effect, if any codec is selected.
+    pub fn bound(self) -> Option<ErrorBound> {
+        match self {
+            CodecSelection::None => None,
+            CodecSelection::Scalar(b) | CodecSelection::Burst(b) => Some(b),
+            CodecSelection::Parallel { bound, .. } => Some(bound),
+        }
+    }
+
+    /// Whether the selection is lossless.
+    pub fn is_none(self) -> bool {
+        self == CodecSelection::None
+    }
+}
+
+/// The instantiated codec behind a [`CodecSelection`].
+#[derive(Debug, Clone)]
+enum Quantizer {
+    Off,
+    Scalar(InceptionnCodec),
+    Burst(BurstCodec),
+    Parallel(ParallelCodec),
+}
+
+impl Quantizer {
+    fn new(selection: CodecSelection) -> Self {
+        match selection {
+            CodecSelection::None => Quantizer::Off,
+            CodecSelection::Scalar(b) => Quantizer::Scalar(InceptionnCodec::new(b)),
+            CodecSelection::Burst(b) => Quantizer::Burst(BurstCodec::new(b)),
+            CodecSelection::Parallel { bound, shards: 0 } => {
+                Quantizer::Parallel(ParallelCodec::with_host_parallelism(bound))
+            }
+            CodecSelection::Parallel { bound, shards } => {
+                Quantizer::Parallel(ParallelCodec::new(bound, shards))
+            }
+        }
+    }
+
+    fn is_on(&self) -> bool {
+        !matches!(self, Quantizer::Off)
+    }
+
+    fn quantize(&self, values: &[f32]) -> Vec<f32> {
+        match self {
+            Quantizer::Off => values.to_vec(),
+            Quantizer::Scalar(c) => c.quantize(values),
+            Quantizer::Burst(c) => c.quantize(values),
+            Quantizer::Parallel(c) => c.quantize(values),
+        }
+    }
+
+    /// Like `quantize`, recording shard counters when the codec has
+    /// them (only the sharded fast path is instrumented).
+    fn quantize_traced(&self, values: &[f32], buf: &mut EventBuf) -> Vec<f32> {
+        match self {
+            Quantizer::Parallel(c) => c.quantize_traced(values, buf),
+            other => other.quantize(values),
+        }
+    }
+}
+
 /// The current lossless/quantize shortcut, preserved for bit-exact
 /// baselines: values never leave process memory, and compression is the
 /// whole-stream `quantize()` round trip of the software codec.
 #[derive(Debug, Clone)]
 pub struct InProcessFabric {
     endpoints: usize,
-    codec: Option<ParallelCodec>,
+    codec: Quantizer,
     stats: FabricStats,
     buf: EventBuf,
     seq: u64,
 }
 
 impl InProcessFabric {
-    /// A fabric over `endpoints` endpoints, quantizing gradient payloads
-    /// when `compression` is set.
-    ///
-    /// Quantization runs on the burst fast path, sharded to the host's
-    /// available parallelism for multi-megabyte blocks — the elementwise
-    /// results are bit-identical to the scalar codec, so every pinned
-    /// cross-fabric equality still holds.
-    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
-        Self::with_recorder(endpoints, compression, &Recorder::off())
+    /// The real constructor, reached through [`FabricBuilder`].
+    pub(crate) fn assemble(endpoints: usize, codec: CodecSelection, recorder: &Recorder) -> Self {
+        InProcessFabric {
+            endpoints,
+            codec: Quantizer::new(codec),
+            stats: FabricStats::default(),
+            buf: recorder.buffer(),
+            seq: 0,
+        }
     }
 
-    /// Like [`InProcessFabric::new`], recording transfer telemetry into
-    /// `recorder` when it is on.
+    /// A fabric over `endpoints` endpoints, quantizing gradient payloads
+    /// when `compression` is set.
+    #[deprecated(note = "construct through FabricBuilder::new(..).compression(..).build()")]
+    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        Self::assemble(
+            endpoints,
+            CodecSelection::from_bound(compression),
+            &Recorder::off(),
+        )
+    }
+
+    /// Like `new`, recording transfer telemetry into `recorder` when it
+    /// is on.
+    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
     pub fn with_recorder(
         endpoints: usize,
         compression: Option<ErrorBound>,
         recorder: &Recorder,
     ) -> Self {
-        InProcessFabric {
-            endpoints,
-            codec: compression.map(ParallelCodec::with_host_parallelism),
-            stats: FabricStats::default(),
-            buf: recorder.buffer(),
-            seq: 0,
-        }
+        Self::assemble(endpoints, CodecSelection::from_bound(compression), recorder)
     }
 }
 
@@ -382,9 +702,11 @@ impl Fabric for InProcessFabric {
     }
 
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
-        let out = match (kind, &self.codec) {
-            (PayloadKind::Gradient, Some(c)) => c.quantize_traced(values, &mut self.buf),
-            _ => values.to_vec(),
+        let compressed = kind == PayloadKind::Gradient && self.codec.is_on();
+        let out = if compressed {
+            self.codec.quantize_traced(values, &mut self.buf)
+        } else {
+            values.to_vec()
         };
         count_payload(
             &mut self.stats,
@@ -401,7 +723,7 @@ impl Fabric for InProcessFabric {
             (values.len() * 4) as u64,
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
-        WireFrame::Loopback(out)
+        WireFrame::loopback(src, out, compressed)
     }
 
     fn deliver(
@@ -410,12 +732,15 @@ impl Fabric for InProcessFabric {
         frame: &WireFrame,
         sink: &mut dyn FnMut(&[f32]),
     ) -> Result<(), FabricError> {
-        match frame {
-            WireFrame::Loopback(values) => {
+        if !frame.integrity_ok() {
+            return Err(FabricError::Integrity { src: frame.src() });
+        }
+        match frame.body() {
+            FrameBody::Loopback(values) => {
                 sink(values);
                 Ok(())
             }
-            WireFrame::Packets(_) => Err(FabricError::FrameMismatch {
+            FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
                 fabric: "loopback",
                 got: "packet",
             }),
@@ -451,9 +776,10 @@ impl Fabric for InProcessFabric {
             (values.len() * 4) as u64,
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
-        match (kind, &self.codec) {
-            (PayloadKind::Gradient, Some(c)) => sink(&c.quantize_traced(values, &mut self.buf)),
-            _ => sink(values),
+        if kind == PayloadKind::Gradient && self.codec.is_on() {
+            sink(&self.codec.quantize_traced(values, &mut self.buf));
+        } else {
+            sink(values);
         }
         Ok(())
     }
@@ -463,10 +789,7 @@ impl Fabric for InProcessFabric {
         _endpoint: usize,
         values: &[f32],
     ) -> Result<Vec<f32>, FabricError> {
-        Ok(match &self.codec {
-            Some(c) => c.quantize(values),
-            None => values.to_vec(),
-        })
+        Ok(self.codec.quantize(values))
     }
 
     fn flush_obs(&mut self) {
@@ -494,19 +817,11 @@ pub struct NicFabric {
 }
 
 impl NicFabric {
-    /// A fabric of `endpoints` NICs, engines programmed to `compression`
-    /// (lossless bypass when `None`).
-    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
-        Self::with_recorder(endpoints, compression, &Recorder::off())
-    }
-
-    /// Like [`NicFabric::new`], recording transfer counters and engine
-    /// busy spans into `recorder` when it is on.
-    pub fn with_recorder(
-        endpoints: usize,
-        compression: Option<ErrorBound>,
-        recorder: &Recorder,
-    ) -> Self {
+    /// The real constructor, reached through [`FabricBuilder`]. The
+    /// engines are hardware: only the error bound of a selection is
+    /// programmable, the implementation choice is meaningless here.
+    pub(crate) fn assemble(endpoints: usize, codec: CodecSelection, recorder: &Recorder) -> Self {
+        let compression = codec.bound();
         let cfg = NicConfig {
             bound: compression.unwrap_or_default(),
             ..NicConfig::default()
@@ -519,6 +834,28 @@ impl NicFabric {
             clock: vec![0; endpoints],
             seq: 0,
         }
+    }
+
+    /// A fabric of `endpoints` NICs, engines programmed to `compression`
+    /// (lossless bypass when `None`).
+    #[deprecated(note = "construct through FabricBuilder::new(..).transport(Nic).build()")]
+    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
+        Self::assemble(
+            endpoints,
+            CodecSelection::from_bound(compression),
+            &Recorder::off(),
+        )
+    }
+
+    /// Like `new`, recording transfer counters and engine busy spans
+    /// into `recorder` when it is on.
+    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
+    pub fn with_recorder(
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+        recorder: &Recorder,
+    ) -> Self {
+        Self::assemble(endpoints, CodecSelection::from_bound(compression), recorder)
     }
 
     /// Per-endpoint NIC statistics (packet and byte counters).
@@ -577,7 +914,7 @@ impl Fabric for NicFabric {
             }
             self.clock[src] += trace.engine_cycles;
         }
-        WireFrame::Packets(wire)
+        WireFrame::packets(src, wire)
     }
 
     fn deliver(
@@ -586,12 +923,15 @@ impl Fabric for NicFabric {
         frame: &WireFrame,
         sink: &mut dyn FnMut(&[f32]),
     ) -> Result<(), FabricError> {
-        match frame {
-            WireFrame::Loopback(_) => Err(FabricError::FrameMismatch {
+        if !frame.integrity_ok() {
+            return Err(FabricError::Integrity { src: frame.src() });
+        }
+        match frame.body() {
+            FrameBody::Loopback(_) => Err(FabricError::FrameMismatch {
                 fabric: "NIC",
                 got: "loopback",
             }),
-            WireFrame::Packets(packets) => {
+            FrameBody::Packets(packets) => {
                 let bursts_before = self.nics[dst].stats().rx_bursts;
                 let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)?;
                 self.stats.engine_cycles += cycles;
@@ -660,6 +1000,10 @@ pub struct TimedFabric {
     net: NetworkConfig,
     /// Latency charged per source endpoint's uplink, nanoseconds.
     link_ns: Vec<u64>,
+    /// Per-source-link time-varying rate schedule: congestion windows
+    /// and straggler uplinks slow the base serialization latency down
+    /// by a multiplicative factor over windows of link virtual time.
+    schedules: Vec<LinkRateSchedule>,
     total_ns: u64,
     buf: EventBuf,
 }
@@ -677,22 +1021,42 @@ impl fmt::Debug for TimedFabric {
 }
 
 impl TimedFabric {
-    /// Times `inner` over `net`.
-    pub fn new(inner: Box<dyn Fabric>, net: NetworkConfig) -> Self {
-        Self::with_recorder(inner, net, &Recorder::off())
-    }
-
-    /// Like [`TimedFabric::new`], recording per-leg link occupancy spans
-    /// into `recorder` when it is on. The wrapped fabric keeps its own
-    /// buffer; build it with the same recorder to capture both layers.
-    pub fn with_recorder(inner: Box<dyn Fabric>, net: NetworkConfig, recorder: &Recorder) -> Self {
+    /// The real constructor, reached through [`FabricBuilder`].
+    pub(crate) fn assemble(
+        inner: Box<dyn Fabric>,
+        net: NetworkConfig,
+        recorder: &Recorder,
+    ) -> Self {
         let endpoints = inner.endpoints();
         TimedFabric {
             inner,
             net,
             link_ns: vec![0; endpoints],
+            schedules: vec![LinkRateSchedule::new(); endpoints],
             total_ns: 0,
             buf: recorder.buffer(),
+        }
+    }
+
+    /// Times `inner` over `net`.
+    #[deprecated(note = "construct through FabricBuilder::new(..).network(..).build()")]
+    pub fn new(inner: Box<dyn Fabric>, net: NetworkConfig) -> Self {
+        Self::assemble(inner, net, &Recorder::off())
+    }
+
+    /// Like `new`, recording per-leg link occupancy spans into
+    /// `recorder` when it is on. The wrapped fabric keeps its own
+    /// buffer; build it with the same recorder to capture both layers.
+    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
+    pub fn with_recorder(inner: Box<dyn Fabric>, net: NetworkConfig, recorder: &Recorder) -> Self {
+        Self::assemble(inner, net, recorder)
+    }
+
+    /// Replaces the rate schedule of endpoint `src`'s uplink. Out-of-
+    /// range endpoints are ignored.
+    pub fn set_link_schedule(&mut self, src: usize, schedule: LinkRateSchedule) {
+        if let Some(slot) = self.schedules.get_mut(src) {
+            *slot = schedule;
         }
     }
 
@@ -724,7 +1088,11 @@ impl Fabric for TimedFabric {
             return;
         }
         let packet_bytes = frame.packet_wire_bytes();
-        let ns = self.net.message_latency_ns(&packet_bytes);
+        let base_ns = self.net.message_latency_ns(&packet_bytes);
+        // A slowdown window (congestion, straggler uplink) stretches the
+        // charge by the schedule's factor at the link's current virtual
+        // time; the identity schedule is exactly the historical charge.
+        let ns = self.schedules[src].scaled_ns(self.link_ns[src], base_ns);
         if self.buf.is_on() {
             // Stamped in the source link's virtual time: spans on one
             // track abut exactly because each leg occupies its uplink
@@ -777,6 +1145,18 @@ impl Fabric for TimedFabric {
         self.buf.flush();
         self.inner.flush_obs();
     }
+
+    fn begin_iteration(&mut self, iteration: u64) {
+        self.inner.begin_iteration(iteration);
+    }
+
+    fn note_degraded(&mut self, src: usize, dst: usize) {
+        self.inner.note_degraded(src, dst);
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        self.inner.fault_stats()
+    }
 }
 
 /// User-facing fabric selector, consumed by `TrainerConfig` and the
@@ -800,44 +1180,37 @@ impl TransportKind {
     /// Builds the fabric for `endpoints` endpoints, compressing gradient
     /// payloads per `compression`. Timed variants model the paper's
     /// 10 GbE star.
+    #[deprecated(note = "construct through FabricBuilder::new(endpoints).transport(kind).build()")]
     pub fn build(self, endpoints: usize, compression: Option<ErrorBound>) -> Box<dyn Fabric> {
-        self.build_with(endpoints, compression, &Recorder::off())
+        FabricBuilder::new(endpoints)
+            .transport(self)
+            .compression(compression)
+            .build()
     }
 
-    /// Like [`TransportKind::build`], wiring every layer of the fabric
-    /// to `recorder` so transfers, engine spans, and link occupancy are
-    /// all captured when it is on.
+    /// Like `build`, wiring every layer of the fabric to `recorder` so
+    /// transfers, engine spans, and link occupancy are all captured when
+    /// it is on.
+    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
     pub fn build_with(
         self,
         endpoints: usize,
         compression: Option<ErrorBound>,
         recorder: &Recorder,
     ) -> Box<dyn Fabric> {
-        let net = NetworkConfig::ten_gbe(endpoints.max(2));
-        match self {
-            TransportKind::InProcess => Box::new(InProcessFabric::with_recorder(
-                endpoints,
-                compression,
-                recorder,
-            )),
-            TransportKind::Nic => {
-                Box::new(NicFabric::with_recorder(endpoints, compression, recorder))
-            }
-            TransportKind::TimedInProcess => Box::new(TimedFabric::with_recorder(
-                Box::new(InProcessFabric::with_recorder(
-                    endpoints,
-                    compression,
-                    recorder,
-                )),
-                net,
-                recorder,
-            )),
-            TransportKind::TimedNic => Box::new(TimedFabric::with_recorder(
-                Box::new(NicFabric::with_recorder(endpoints, compression, recorder)),
-                net,
-                recorder,
-            )),
-        }
+        FabricBuilder::new(endpoints)
+            .transport(self)
+            .compression(compression)
+            .recorder(recorder)
+            .build()
+    }
+
+    /// Whether this kind wraps the base transport in a [`TimedFabric`].
+    pub fn is_timed(self) -> bool {
+        matches!(
+            self,
+            TransportKind::TimedInProcess | TransportKind::TimedNic
+        )
     }
 
     /// All four kinds, for exhaustive property tests.
@@ -847,6 +1220,127 @@ impl TransportKind {
         TransportKind::TimedInProcess,
         TransportKind::TimedNic,
     ];
+}
+
+/// The one construction path for every fabric stack in this crate.
+///
+/// Collapses the historical `new` / `with_recorder` constructor pairs and
+/// the `TransportKind::build` / `build_with` selectors into a single
+/// builder: pick the endpoints, then optionally a transport kind, codec,
+/// recorder, network model, and fault plan, and [`build`](Self::build)
+/// assembles the full decorator stack in the right order —
+/// base transport → [`TimedFabric`] (timed kinds) → fault decorator
+/// (outermost, so perturbed frames cross the timing layer like real
+/// corrupted traffic).
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_distrib::fabric::{Fabric, FabricBuilder, TransportKind};
+/// use inceptionn_compress::ErrorBound;
+///
+/// let mut fabric = FabricBuilder::new(4)
+///     .transport(TransportKind::TimedNic)
+///     .compression(Some(ErrorBound::pow2(10)))
+///     .build();
+/// let out = fabric.transfer(0, 1, &[0.25, -0.5]).unwrap();
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FabricBuilder {
+    endpoints: usize,
+    transport: TransportKind,
+    codec: CodecSelection,
+    recorder: Recorder,
+    network: Option<NetworkConfig>,
+    faults: Option<FaultPlan>,
+}
+
+impl FabricBuilder {
+    /// Starts a builder for `endpoints` endpoints: in-process transport,
+    /// lossless, untraced, default 10 GbE star, no faults.
+    pub fn new(endpoints: usize) -> Self {
+        FabricBuilder {
+            endpoints,
+            transport: TransportKind::default(),
+            codec: CodecSelection::default(),
+            recorder: Recorder::off(),
+            network: None,
+            faults: None,
+        }
+    }
+
+    /// Selects the transport stack.
+    pub fn transport(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Selects the gradient codec.
+    pub fn codec(mut self, codec: CodecSelection) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// The historical `Option<ErrorBound>` compression knob: `Some`
+    /// selects the host-parallel fast path, `None` lossless.
+    pub fn compression(mut self, bound: Option<ErrorBound>) -> Self {
+        self.codec = CodecSelection::from_bound(bound);
+        self
+    }
+
+    /// Wires every layer of the stack to `recorder`.
+    pub fn recorder(mut self, recorder: &Recorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
+    /// Overrides the network model for timed transports (default: the
+    /// paper's 10 GbE star sized to the endpoint count). Ignored by
+    /// untimed transports.
+    pub fn network(mut self, net: NetworkConfig) -> Self {
+        self.network = Some(net);
+        self
+    }
+
+    /// Arms deterministic fault injection: the built stack is wrapped in
+    /// a fault decorator driving `plan`.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Assembles the configured stack.
+    pub fn build(self) -> Box<dyn Fabric> {
+        let base: Box<dyn Fabric> = match self.transport {
+            TransportKind::InProcess | TransportKind::TimedInProcess => Box::new(
+                InProcessFabric::assemble(self.endpoints, self.codec, &self.recorder),
+            ),
+            TransportKind::Nic | TransportKind::TimedNic => Box::new(NicFabric::assemble(
+                self.endpoints,
+                self.codec,
+                &self.recorder,
+            )),
+        };
+        let timed: Box<dyn Fabric> = if self.transport.is_timed() {
+            let net = self
+                .network
+                .unwrap_or_else(|| NetworkConfig::ten_gbe(self.endpoints.max(2)));
+            let mut timed = TimedFabric::assemble(base, net, &self.recorder);
+            if let Some(plan) = &self.faults {
+                for (src, schedule) in plan.link_schedules(self.endpoints) {
+                    timed.set_link_schedule(src, schedule);
+                }
+            }
+            Box::new(timed)
+        } else {
+            base
+        };
+        match self.faults {
+            Some(plan) => Box::new(FaultyFabric::decorate(timed, plan, &self.recorder)),
+            None => timed,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -861,11 +1355,22 @@ mod tests {
         (0..n).map(|_| rng.gen_range(-0.1f32..0.1)).collect()
     }
 
+    fn build(
+        kind: TransportKind,
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+    ) -> Box<dyn Fabric> {
+        FabricBuilder::new(endpoints)
+            .transport(kind)
+            .compression(compression)
+            .build()
+    }
+
     #[test]
     fn lossless_transfer_is_identity_on_every_fabric() {
         let vals = gradients(1000, 1);
         for kind in TransportKind::ALL {
-            let mut fabric = kind.build(3, None);
+            let mut fabric = build(kind, 3, None);
             let out = fabric.transfer(0, 2, &vals).unwrap();
             assert_eq!(out, vals, "{kind:?} corrupted a lossless transfer");
             let out = fabric.transfer_plain(2, 1, &vals).unwrap();
@@ -877,8 +1382,8 @@ mod tests {
     fn nic_fabric_matches_quantize_shortcut_bit_exactly() {
         let bound = ErrorBound::pow2(10);
         let vals = gradients(2000, 2);
-        let mut shortcut = InProcessFabric::new(2, Some(bound));
-        let mut nic = NicFabric::new(2, Some(bound));
+        let mut shortcut = build(TransportKind::InProcess, 2, Some(bound));
+        let mut nic = build(TransportKind::Nic, 2, Some(bound));
         assert_eq!(
             nic.transfer(0, 1, &vals).unwrap(),
             shortcut.transfer(0, 1, &vals).unwrap(),
@@ -888,7 +1393,7 @@ mod tests {
 
     #[test]
     fn nic_fabric_accounts_wire_volume_and_cycles() {
-        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+        let mut fabric = build(TransportKind::Nic, 2, Some(ErrorBound::pow2(10)));
         let vals = gradients(1448, 3);
         fabric.transfer(0, 1, &vals).unwrap();
         let stats = fabric.stats();
@@ -903,7 +1408,11 @@ mod tests {
 
     #[test]
     fn plain_payloads_never_touch_the_engines() {
-        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(6)));
+        let mut fabric = NicFabric::assemble(
+            2,
+            CodecSelection::from_bound(Some(ErrorBound::pow2(6))),
+            &Recorder::off(),
+        );
         let vals = gradients(500, 4);
         let out = fabric.transfer_plain(0, 1, &vals).unwrap();
         assert_eq!(out, vals, "plain leg must be lossless");
@@ -913,9 +1422,14 @@ mod tests {
 
     #[test]
     fn timed_fabric_charges_per_source_link() {
-        let mut fabric = TimedFabric::new(
-            Box::new(NicFabric::new(3, Some(ErrorBound::pow2(10)))),
+        let mut fabric = TimedFabric::assemble(
+            Box::new(NicFabric::assemble(
+                3,
+                CodecSelection::from_bound(Some(ErrorBound::pow2(10))),
+                &Recorder::off(),
+            )),
             NetworkConfig::ten_gbe(3),
+            &Recorder::off(),
         );
         let vals = gradients(3000, 5);
         fabric.transfer(0, 1, &vals).unwrap();
@@ -939,10 +1453,7 @@ mod tests {
     fn compressed_transfers_charge_less_link_time_than_lossless() {
         let vals: Vec<f32> = gradients(100_000, 6).iter().map(|v| v * 1e-3).collect();
         let run = |compression| {
-            let mut fabric = TimedFabric::new(
-                Box::new(NicFabric::new(2, compression)),
-                NetworkConfig::ten_gbe(2),
-            );
+            let mut fabric = build(TransportKind::TimedNic, 2, compression);
             fabric.transfer(0, 1, &vals).unwrap();
             fabric.stats().link_latency_ns
         };
@@ -959,8 +1470,8 @@ mod tests {
         // A frame handed to the wrong transport is a protocol bug the
         // caller must see, not a process abort.
         let vals = gradients(16, 7);
-        let mut in_proc = InProcessFabric::new(2, None);
-        let mut nic = NicFabric::new(2, None);
+        let mut in_proc = build(TransportKind::InProcess, 2, None);
+        let mut nic = build(TransportKind::Nic, 2, None);
         let loopback = in_proc.encode(0, &vals, PayloadKind::Gradient);
         let packets = nic.encode(0, &vals, PayloadKind::Gradient);
         let err = in_proc
@@ -976,25 +1487,125 @@ mod tests {
 
     #[test]
     fn undecodable_packets_surface_decode_errors() {
-        // Truncate a compressed packet in flight: the RX engines must
-        // report a typed decode failure with the failure position.
-        let mut fabric = NicFabric::new(2, Some(ErrorBound::pow2(10)));
+        // Truncate a compressed packet and re-tag the frame (so the CRC
+        // gate passes): the RX engines must report a typed decode
+        // failure with the failure position. This models corruption that
+        // happens *before* framing — e.g. a sender-side engine bug —
+        // rather than in-flight damage, which the CRC gate catches.
+        let mut fabric = build(TransportKind::Nic, 2, Some(ErrorBound::pow2(10)));
         let frame = fabric.encode(0, &gradients(64, 8), PayloadKind::Gradient);
-        let WireFrame::Packets(mut packets) = frame else {
+        let FrameBody::Packets(packets) = frame.body() else {
             panic!("NIC fabric must emit packets");
         };
-        let cut = packets[0].payload.len() / 2;
-        packets[0].payload = packets[0].payload.slice(..cut);
+        let mut packets = packets.clone();
+        packets[0] = packets[0].truncated(packets[0].payload.len() / 2);
         let err = fabric
-            .deliver(1, &WireFrame::Packets(packets), &mut |_| {})
+            .deliver(1, &WireFrame::packets(0, packets), &mut |_| {})
             .expect_err("truncated payload must fail decode");
         assert!(matches!(err, FabricError::Decode(_)), "{err}");
     }
 
     #[test]
+    fn in_flight_corruption_is_caught_by_the_crc_gate() {
+        // Perturbing a body without re-tagging (what the fault injector
+        // does) must surface as an integrity failure on every transport,
+        // before any bytes reach a decoder or sink.
+        let vals = gradients(64, 12);
+        let mut nic = build(TransportKind::Nic, 2, Some(ErrorBound::pow2(10)));
+        let frame = nic.encode(0, &vals, PayloadKind::Gradient);
+        assert!(frame.integrity_ok());
+        let FrameBody::Packets(packets) = frame.body() else {
+            panic!("NIC fabric must emit packets");
+        };
+        let mut corrupted = packets.clone();
+        corrupted[0] = corrupted[0].with_bit_flipped(17);
+        let bad = frame.with_perturbed_body(FrameBody::Packets(corrupted));
+        assert!(!bad.integrity_ok());
+        let err = nic
+            .deliver(1, &bad, &mut |_| {})
+            .expect_err("stale CRC must be rejected");
+        assert_eq!(err, FabricError::Integrity { src: 0 });
+        assert!(err.is_recoverable());
+
+        let mut in_proc = build(TransportKind::InProcess, 2, None);
+        let frame = in_proc.encode(0, &vals, PayloadKind::Gradient);
+        let FrameBody::Loopback(values) = frame.body() else {
+            panic!("loopback fabric must emit values");
+        };
+        let mut flipped = values.clone();
+        flipped[3] = f32::from_bits(flipped[3].to_bits() ^ 1);
+        let bad = frame.with_perturbed_body(FrameBody::Loopback(flipped));
+        let mut delivered = false;
+        let err = in_proc
+            .deliver(1, &bad, &mut |_| delivered = true)
+            .expect_err("stale CRC must be rejected");
+        assert_eq!(err, FabricError::Integrity { src: 0 });
+        assert!(!delivered, "no bytes may reach the sink past the gate");
+    }
+
+    #[test]
+    fn every_codec_selection_is_bit_identical() {
+        // The codec selection picks an implementation, never values: the
+        // scalar reference, the burst fast path, and any sharding of the
+        // parallel path must quantize identically (the cross-codec
+        // differential property, now reachable through one enum).
+        let bound = ErrorBound::pow2(10);
+        let vals = gradients(5000, 13);
+        let selections = [
+            CodecSelection::Scalar(bound),
+            CodecSelection::Burst(bound),
+            CodecSelection::Parallel { bound, shards: 0 },
+            CodecSelection::Parallel { bound, shards: 3 },
+        ];
+        let mut reference = None;
+        for sel in selections {
+            let mut fabric = FabricBuilder::new(2).codec(sel).build();
+            let out = fabric.transfer(0, 1, &vals).unwrap();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "{sel:?} diverged from the scalar codec"),
+            }
+        }
+        assert_ne!(
+            reference.as_deref(),
+            Some(&vals[..]),
+            "the bound must actually quantize"
+        );
+    }
+
+    #[test]
+    fn link_schedules_stretch_timed_charges() {
+        let vals = gradients(3000, 14);
+        let baseline = {
+            let mut f = build(TransportKind::TimedNic, 2, None);
+            f.transfer(0, 1, &vals).unwrap();
+            f.stats().link_latency_ns
+        };
+        let mut slowed = TimedFabric::assemble(
+            Box::new(NicFabric::assemble(
+                2,
+                CodecSelection::None,
+                &Recorder::off(),
+            )),
+            NetworkConfig::ten_gbe(2),
+            &Recorder::off(),
+        );
+        slowed.set_link_schedule(0, LinkRateSchedule::always(3.0));
+        slowed.transfer(0, 1, &vals).unwrap();
+        let slow_ns = slowed.stats().link_latency_ns;
+        assert!(
+            slow_ns > baseline * 2 && slow_ns <= baseline * 3 + 1,
+            "3x straggler link should charge ~3x: {slow_ns} vs {baseline}"
+        );
+        // The other direction is unaffected.
+        slowed.transfer(1, 0, &vals).unwrap();
+        assert_eq!(slowed.per_link_latency_ns()[1], baseline);
+    }
+
+    #[test]
     fn zero_length_payloads_are_free() {
         for kind in TransportKind::ALL {
-            let mut fabric = kind.build(2, Some(ErrorBound::pow2(8)));
+            let mut fabric = build(kind, 2, Some(ErrorBound::pow2(8)));
             let out = fabric.transfer(0, 1, &[]).unwrap();
             assert!(out.is_empty());
             let stats = fabric.stats();
@@ -1008,9 +1619,9 @@ mod tests {
         let vals = gradients(3000, 9);
         for compression in [None, Some(ErrorBound::pow2(10))] {
             for kind in TransportKind::ALL {
-                let mut through = kind.build(2, compression);
+                let mut through = build(kind, 2, compression);
                 let received = through.transfer(0, 0, &vals).unwrap();
-                let mut local = kind.build(2, compression);
+                let mut local = build(kind, 2, compression);
                 let out = local.self_roundtrip(0, &vals).unwrap();
                 assert_eq!(
                     out, received,
@@ -1030,7 +1641,11 @@ mod tests {
         let vals = gradients(3000, 10);
         for kind in TransportKind::ALL {
             let rec = Recorder::on();
-            let mut fabric = kind.build_with(3, Some(ErrorBound::pow2(10)), &rec);
+            let mut fabric = FabricBuilder::new(3)
+                .transport(kind)
+                .compression(Some(ErrorBound::pow2(10)))
+                .recorder(&rec)
+                .build();
             fabric.transfer(0, 1, &vals).unwrap();
             fabric.transfer(1, 2, &vals).unwrap();
             fabric.transfer_plain(2, 0, &vals).unwrap();
@@ -1057,7 +1672,11 @@ mod tests {
     #[test]
     fn untraced_fabrics_record_nothing() {
         let rec = Recorder::off();
-        let mut fabric = TransportKind::TimedNic.build_with(2, Some(ErrorBound::pow2(10)), &rec);
+        let mut fabric = FabricBuilder::new(2)
+            .transport(TransportKind::TimedNic)
+            .compression(Some(ErrorBound::pow2(10)))
+            .recorder(&rec)
+            .build();
         fabric.transfer(0, 1, &gradients(500, 11)).unwrap();
         fabric.flush_obs();
         assert!(rec.finish().is_empty());

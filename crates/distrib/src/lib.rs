@@ -41,9 +41,10 @@
 //!
 //! ```
 //! use inceptionn_distrib::ring::ring_allreduce;
+//! use inceptionn_distrib::CodecSelection;
 //!
 //! let mut grads = vec![vec![1.0f32, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
-//! ring_allreduce(&mut grads, None);
+//! ring_allreduce(&mut grads, CodecSelection::None);
 //! for g in &grads {
 //!     assert_eq!(g, &vec![111.0, 222.0]);
 //! }
@@ -54,12 +55,14 @@
 
 pub mod aggregator;
 pub mod fabric;
+pub mod faults;
 pub mod ring;
 pub mod trainer;
 
 pub use fabric::{
-    Fabric, FabricError, FabricStats, InProcessFabric, NicFabric, PayloadKind, TimedFabric,
-    TransportKind, WireFrame,
+    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, FrameBody, InProcessFabric,
+    NicFabric, PayloadKind, TimedFabric, TransportKind, WireFrame,
 };
+pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
 pub use ring::{ring_allreduce, threaded_ring_allreduce};
 pub use trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};

@@ -2,19 +2,33 @@
 //!
 //! The exchange logic here is pure schedule — which block moves to which
 //! neighbor at which step. Everything about *how* a block moves (software
-//! quantization shortcut, real NIC engine bytes, link timing) lives
-//! behind the [`Fabric`] trait, so the same schedule drives bit-exact
-//! baselines and full hardware-modeled runs. Since the transports run on
-//! the burst-vectorized codec fast path (`inceptionn_compress::burst`,
-//! sharded by `ParallelCodec` for large blocks), every exchange strategy
-//! here inherits it without touching the schedule.
+//! quantization shortcut, real NIC engine bytes, link timing, injected
+//! faults) lives behind the [`Fabric`] trait, so the same schedule drives
+//! bit-exact baselines and full hardware-modeled runs. Since the
+//! transports run on the burst-vectorized codec fast path
+//! (`inceptionn_compress::burst`, sharded by `ParallelCodec` for large
+//! blocks), every exchange strategy here inherits it without touching
+//! the schedule.
+//!
+//! # Graceful degradation
+//!
+//! Every strategy recovers from *recoverable* delivery failures (CRC
+//! integrity misses, decode failures from a poisoned compressed stream,
+//! exhausted link retransmit budgets) by re-encoding the affected block
+//! with the uncompressed `Plain` payload kind and redelivering. After
+//! [`RENEGOTIATE_AFTER`] failures from the same sender, the whole leg
+//! renegotiates down to plain for the rest of the exchange (reported to
+//! the fabric through [`Fabric::note_degraded`]). Non-recoverable
+//! failures — a frame on the wrong transport, a crashed endpoint —
+//! surface as the typed error so callers (the trainer) can re-stitch.
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Mutex;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
+use std::sync::{Mutex, MutexGuard};
 
-use inceptionn_compress::InceptionnCodec;
-
-use crate::fabric::{Fabric, FabricError, InProcessFabric, NicFabric, PayloadKind, WireFrame};
+use crate::fabric::{
+    CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind, TransportKind, WireFrame,
+};
+use crate::faults::RENEGOTIATE_AFTER;
 
 /// The element range of block `k` when a vector of `len` elements is
 /// partitioned into `n` near-equal blocks (Algorithm 1 line 8).
@@ -38,14 +52,82 @@ fn assert_uniform(workers: &[Vec<f32>]) -> usize {
     len
 }
 
+/// Applies a received block: fold (reduce-scatter) or overwrite
+/// (all-gather). Element counts always match for well-formed frames;
+/// zipping (rather than `copy_from_slice`) keeps a malformed frame from
+/// aborting the process.
+fn apply_block(dst: &mut [f32], src: &[f32], fold: bool) {
+    if fold {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += *s;
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = *s;
+        }
+    }
+}
+
+/// Delivers `frames[from]` into `workers[i]`, running the degradation
+/// ladder on recoverable failures: the sender's block is still intact in
+/// `workers[from]` (the block a node sends at a step is never the block
+/// it folds or overwrites at that step), so it is re-encoded `Plain` and
+/// redelivered. Repeated failures from one sender degrade that leg for
+/// the rest of the exchange.
+#[allow(clippy::too_many_arguments)]
+fn deliver_with_recovery(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    frame: &WireFrame,
+    i: usize,
+    from: usize,
+    send_k: usize,
+    range: std::ops::Range<usize>,
+    fold: bool,
+    failures: &mut [usize],
+    degraded: &mut [bool],
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = workers[i].len();
+    let first = {
+        let worker = &mut workers[i];
+        let r = range.clone();
+        fabric.deliver(endpoints[i], frame, &mut |rb| {
+            apply_block(&mut worker[r.clone()], rb, fold);
+        })
+    };
+    match first {
+        Ok(()) => {
+            failures[from] = 0;
+            Ok(())
+        }
+        Err(e) if e.is_recoverable() => {
+            failures[from] += 1;
+            if failures[from] >= RENEGOTIATE_AFTER && !degraded[from] {
+                degraded[from] = true;
+                fabric.note_degraded(endpoints[from], endpoints[i]);
+            }
+            let block = workers[from][block_range(len, n, send_k)].to_vec();
+            let plain = fabric.encode(endpoints[from], &block, PayloadKind::Plain);
+            fabric.charge(endpoints[from], endpoints[i], &plain);
+            let worker = &mut workers[i];
+            fabric.deliver(endpoints[i], &plain, &mut |rb| {
+                apply_block(&mut worker[range.clone()], rb, fold);
+            })
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// In-place ring all-reduce over one gradient vector per worker
 /// (Algorithm 1, simultaneous-step semantics), exchanging blocks over
 /// `fabric` between the given endpoints (`endpoints[i]` is worker `i`'s
 /// NIC; the ring runs `endpoints[i] → endpoints[(i+1) % n]`).
 ///
 /// After the call, every `workers[i]` holds the elementwise sum of all
-/// inputs. Lossy compression, wire encoding, and latency accounting are
-/// whatever the fabric applies per transfer.
+/// inputs. Lossy compression, wire encoding, latency accounting, and
+/// fault injection are whatever the fabric applies per transfer.
 ///
 /// Without compression the result is **bit-exact and identical across
 /// workers**: each block is reduced along a fixed ring path, so every
@@ -53,8 +135,9 @@ fn assert_uniform(workers: &[Vec<f32>]) -> usize {
 ///
 /// # Errors
 ///
-/// Returns [`FabricError`] if the fabric rejects a frame (wrong wire
-/// format for the transport, or a receive-side decode failure).
+/// Returns [`FabricError`] if a delivery fails past recovery: the frame
+/// had the wrong wire format for the transport, an endpoint has crashed,
+/// or the plain redelivery of a degraded leg failed too.
 ///
 /// # Panics
 ///
@@ -76,6 +159,8 @@ pub fn ring_allreduce_over(
     if n == 1 || len == 0 {
         return Ok(());
     }
+    let mut failures = vec![0usize; n];
+    let mut degraded = vec![false; n];
     // Phase 1 — aggregation (reduce-scatter): at step s node i sends
     // blk[(i−s+1) mod n] and folds the incoming blk[(i−s) mod n]. All
     // sends of a step are encoded before any delivery is applied,
@@ -84,22 +169,32 @@ pub fn ring_allreduce_over(
         let mut frames: Vec<WireFrame> = Vec::with_capacity(n);
         for (i, w) in workers.iter().enumerate() {
             let k = (i + n - (s - 1)) % n; // (i - s + 1) mod n
-            let frame = fabric.encode(
-                endpoints[i],
-                &w[block_range(len, n, k)],
-                PayloadKind::Gradient,
-            );
+            let kind = if degraded[i] {
+                PayloadKind::Plain
+            } else {
+                PayloadKind::Gradient
+            };
+            let frame = fabric.encode(endpoints[i], &w[block_range(len, n, k)], kind);
             fabric.charge(endpoints[i], endpoints[(i + 1) % n], &frame);
             frames.push(frame);
         }
-        for (i, worker) in workers.iter_mut().enumerate() {
+        for i in 0..n {
             let from = (i + n - 1) % n;
+            let send_k = (from + n - (s - 1)) % n;
             let range = block_range(len, n, (i + n - s) % n);
-            fabric.deliver(endpoints[i], &frames[from], &mut |rb| {
-                for (dst, src) in worker[range.clone()].iter_mut().zip(rb) {
-                    *dst += *src;
-                }
-            })?;
+            deliver_with_recovery(
+                fabric,
+                workers,
+                endpoints,
+                &frames[from],
+                i,
+                from,
+                send_k,
+                range,
+                true,
+                &mut failures,
+                &mut degraded,
+            )?;
         }
     }
     // Phase 2 — propagation (all-gather): node i owns the fully reduced
@@ -109,38 +204,50 @@ pub fn ring_allreduce_over(
         let mut frames: Vec<WireFrame> = Vec::with_capacity(n);
         for (i, w) in workers.iter().enumerate() {
             let k = (i + 2 + n - t) % n;
-            let frame = fabric.encode(
-                endpoints[i],
-                &w[block_range(len, n, k)],
-                PayloadKind::Gradient,
-            );
+            let kind = if degraded[i] {
+                PayloadKind::Plain
+            } else {
+                PayloadKind::Gradient
+            };
+            let frame = fabric.encode(endpoints[i], &w[block_range(len, n, k)], kind);
             fabric.charge(endpoints[i], endpoints[(i + 1) % n], &frame);
             frames.push(frame);
         }
-        for (i, worker) in workers.iter_mut().enumerate() {
+        for i in 0..n {
             let from = (i + n - 1) % n;
+            let send_k = (from + 2 + n - t) % n;
             let range = block_range(len, n, (i + 1 + n - t) % n);
-            fabric.deliver(endpoints[i], &frames[from], &mut |rb| {
-                worker[range.clone()].copy_from_slice(rb);
-            })?;
+            deliver_with_recovery(
+                fabric,
+                workers,
+                endpoints,
+                &frames[from],
+                i,
+                from,
+                send_k,
+                range,
+                false,
+                &mut failures,
+                &mut degraded,
+            )?;
         }
     }
     Ok(())
 }
 
 /// In-place ring all-reduce with the compression round trip applied in
-/// process (the historical signature, preserved for bit-exact
-/// baselines). Equivalent to [`ring_allreduce_over`] on an
-/// [`InProcessFabric`].
+/// process (the historical convenience, preserved for bit-exact
+/// baselines). Equivalent to [`ring_allreduce_over`] on the in-process
+/// transport with the selected codec.
 ///
 /// # Panics
 ///
 /// Panics if the worker vectors have differing lengths or `workers` is
 /// empty.
-pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>) {
-    let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
+pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: CodecSelection) {
+    let mut fabric = FabricBuilder::new(workers.len()).codec(codec).build();
     let endpoints: Vec<usize> = (0..workers.len()).collect();
-    ring_allreduce_over(&mut fabric, workers, &endpoints)
+    ring_allreduce_over(fabric.as_mut(), workers, &endpoints)
         .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
@@ -154,8 +261,8 @@ pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: Option<&InceptionnCodec>)
 ///
 /// # Errors
 ///
-/// Returns [`FabricError`] if any hop's delivery fails (see
-/// [`ring_allreduce_over`]).
+/// Returns [`FabricError`] if any hop's delivery fails past recovery
+/// (see [`ring_allreduce_over`]).
 ///
 /// # Panics
 ///
@@ -196,10 +303,18 @@ pub fn hierarchical_ring_allreduce_over(
         // round trip locally (bit-identical to receiving its own frame)
         // instead of a phantom self-transfer that would inflate the
         // wire/packet counters with traffic that never crosses a link.
+        // A member hop that fails recoverably is redelivered plain.
         for (g, sum) in leader_grads.into_iter().enumerate() {
             let leader = g * group_size;
             for m in 1..group_size {
-                workers[leader + m] = fabric.transfer(leader, leader + m, &sum)?;
+                match fabric.transfer(leader, leader + m, &sum) {
+                    Ok(v) => workers[leader + m] = v,
+                    Err(e) if e.is_recoverable() => {
+                        fabric.note_degraded(leader, leader + m);
+                        workers[leader + m] = fabric.transfer_plain(leader, leader + m, &sum)?;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             workers[leader] = fabric.self_roundtrip(leader, &sum)?;
         }
@@ -208,8 +323,8 @@ pub fn hierarchical_ring_allreduce_over(
 }
 
 /// Two-level hierarchical ring exchange with the in-process compression
-/// shortcut (the historical signature). Equivalent to
-/// [`hierarchical_ring_allreduce_over`] on an [`InProcessFabric`].
+/// shortcut (the historical convenience). Equivalent to
+/// [`hierarchical_ring_allreduce_over`] on the in-process transport.
 ///
 /// # Panics
 ///
@@ -217,132 +332,234 @@ pub fn hierarchical_ring_allreduce_over(
 pub fn hierarchical_ring_allreduce(
     workers: &mut [Vec<f32>],
     group_size: usize,
-    codec: Option<&InceptionnCodec>,
+    codec: CodecSelection,
 ) {
-    let mut fabric = InProcessFabric::new(workers.len(), codec.map(|c| c.bound()));
-    hierarchical_ring_allreduce_over(&mut fabric, workers, group_size)
+    let mut fabric = FabricBuilder::new(workers.len()).codec(codec).build();
+    hierarchical_ring_allreduce_over(fabric.as_mut(), workers, group_size)
         .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
+}
+
+/// The shared-fabric lock, in one place so the poison `expect` appears
+/// exactly once: a poisoned mutex means a worker thread already
+/// panicked, and that panic is the failure to report.
+fn locked(fabric: &Mutex<Box<dyn Fabric>>) -> MutexGuard<'_, Box<dyn Fabric>> {
+    fabric
+        .lock()
+        .expect("fabric mutex poisoned: a worker thread panicked mid-exchange")
+}
+
+/// Receive-side acknowledgement, flowing backwards along the ring: every
+/// frame is either accepted or answered with a renegotiation request the
+/// sender serves by re-encoding its block uncompressed.
+enum Ctrl {
+    /// Frame delivered; the sender may move to the next step.
+    Ack,
+    /// Delivery failed recoverably; resend the block as `Plain`.
+    ResendPlain,
+}
+
+/// Encodes and ships one block to the ring successor.
+fn send_block(
+    fabric: &Mutex<Box<dyn Fabric>>,
+    i: usize,
+    n: usize,
+    grad: &[f32],
+    send_k: usize,
+    kind: PayloadKind,
+    tx: &SyncSender<WireFrame>,
+) -> Result<(), Option<FabricError>> {
+    let frame = {
+        let mut f = locked(fabric);
+        let frame = f.encode(i, &grad[block_range(grad.len(), n, send_k)], kind);
+        f.charge(i, (i + 1) % n, &frame);
+        frame
+    };
+    tx.send(frame).map_err(|_| None)
+}
+
+/// The per-worker loop of the threaded exchange: 2(n−1) steps of send /
+/// deliver / acknowledge. Recoverable delivery failures are NACKed back
+/// to the sender (bounded per frame); serving [`RENEGOTIATE_AFTER`]
+/// NACKs degrades the outgoing leg to plain for the rest of the run.
+#[allow(clippy::too_many_arguments)]
+fn threaded_worker(
+    fabric: &Mutex<Box<dyn Fabric>>,
+    i: usize,
+    n: usize,
+    len: usize,
+    grad: &mut [f32],
+    tx: SyncSender<WireFrame>,
+    rx: Receiver<WireFrame>,
+    ctrl_tx: SyncSender<Ctrl>,
+    ctrl_rx: Receiver<Ctrl>,
+) -> Result<(), Option<FabricError>> {
+    let mut nacks_served = 0usize;
+    let mut degraded = false;
+    for step in 0..2 * (n - 1) {
+        let fold = step < n - 1;
+        let (send_k, recv_k) = if fold {
+            let s = step + 1;
+            ((i + n - (s - 1)) % n, (i + n - s) % n)
+        } else {
+            let t = step - (n - 1) + 1;
+            ((i + 2 + n - t) % n, (i + 1 + n - t) % n)
+        };
+        let kind = if degraded {
+            PayloadKind::Plain
+        } else {
+            PayloadKind::Gradient
+        };
+        send_block(fabric, i, n, grad, send_k, kind, &tx)?;
+        let range = block_range(len, n, recv_k);
+        let mut delivered = false;
+        let mut acked = false;
+        let mut resend_requests = 0usize;
+        // Interleave the two obligations of a step: deliver the
+        // predecessor's frame (NACKing failures) and serve the
+        // successor's acknowledgement (resending on NACK). Both must be
+        // *polled* — blocking on the frame channel while a NACK waits in
+        // the control channel deadlocks the ring the moment every leg
+        // fails at once (each worker sits in recv() waiting for a resend
+        // its own successor is waiting on it to serve).
+        while !(delivered && acked) {
+            let mut idle = true;
+            if !delivered {
+                match rx.try_recv() {
+                    Ok(incoming) => {
+                        idle = false;
+                        let outcome = {
+                            let mut f = locked(fabric);
+                            let r = range.clone();
+                            f.deliver(i, &incoming, &mut |rb| {
+                                apply_block(&mut grad[r.clone()], rb, fold);
+                            })
+                        };
+                        match outcome {
+                            Ok(()) => {
+                                delivered = true;
+                                ctrl_tx.send(Ctrl::Ack).map_err(|_| None)?;
+                            }
+                            Err(e) if e.is_recoverable() && resend_requests < RENEGOTIATE_AFTER => {
+                                resend_requests += 1;
+                                ctrl_tx.send(Ctrl::ResendPlain).map_err(|_| None)?;
+                            }
+                            Err(e) => return Err(Some(e)),
+                        }
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => return Err(None),
+                }
+            }
+            if !acked {
+                match ctrl_rx.try_recv() {
+                    Ok(Ctrl::Ack) => {
+                        idle = false;
+                        acked = true;
+                    }
+                    Ok(Ctrl::ResendPlain) => {
+                        idle = false;
+                        nacks_served += 1;
+                        if nacks_served >= RENEGOTIATE_AFTER && !degraded {
+                            degraded = true;
+                            locked(fabric).note_degraded(i, (i + 1) % n);
+                        }
+                        send_block(fabric, i, n, grad, send_k, PayloadKind::Plain, &tx)?;
+                    }
+                    Err(TryRecvError::Empty) => {}
+                    Err(TryRecvError::Disconnected) => return Err(None),
+                }
+            }
+            if idle {
+                std::thread::yield_now();
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Message-passing implementation of Algorithm 1: `n` worker threads
 /// connected by bounded channels, each executing the per-node loop and
-/// exchanging [`WireFrame`]s encoded by the shared fabric — with a
-/// [`NicFabric`] those are actual hardware-compressed byte streams.
+/// exchanging [`WireFrame`]s encoded by the shared fabric — with a NIC
+/// transport those are actual hardware-compressed byte streams.
 ///
-/// Returns the per-worker reduced gradients (same result as
-/// [`ring_allreduce_over`] for any deterministic fabric, because the
-/// schedule is identical). The fabric is shared behind a mutex; frames
-/// move between threads through capacity-1 channels, mirroring the
-/// step-by-step hardware exchange.
+/// Reduces `workers` in place (same result as [`ring_allreduce_over`]
+/// for any deterministic fabric, because the schedule is identical). The
+/// fabric is shared behind a mutex; frames move between threads through
+/// capacity-1 channels, and a reverse acknowledgement ring lets a
+/// receiver ask its sender to re-encode a failed block uncompressed —
+/// the same degradation ladder as the sequential schedule, expressed as
+/// a wire protocol.
 ///
 /// # Errors
 ///
-/// Returns the first [`FabricError`] any worker thread hits while
-/// delivering a frame (remaining workers unwind through their closed
-/// channels).
+/// Returns the first [`FabricError`] any worker thread hit past
+/// recovery (remaining workers unwind through their closed channels).
+/// On error, the gradients are left partially exchanged; callers that
+/// need atomicity snapshot before calling (the trainer does).
 ///
 /// # Panics
 ///
-/// Panics if inputs are empty or differ in length, the fabric has fewer
+/// Panics if `workers` is empty or ragged, the fabric has fewer
 /// endpoints than workers, or a worker thread panics.
 pub fn threaded_ring_allreduce_over(
     fabric: &Mutex<Box<dyn Fabric>>,
-    inputs: Vec<Vec<f32>>,
-) -> Result<Vec<Vec<f32>>, FabricError> {
-    let n = inputs.len();
-    let len = assert_uniform(&inputs);
+    workers: &mut [Vec<f32>],
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = assert_uniform(workers);
     assert!(
-        fabric.lock().expect("fabric lock").endpoints() >= n,
+        locked(fabric).endpoints() >= n,
         "fabric must cover every worker"
     );
-    if n == 1 {
-        return Ok(inputs);
+    if n == 1 || len == 0 {
+        return Ok(());
     }
-    // Ring of channels: worker i sends to (i+1) % n.
-    let mut senders: Vec<Option<SyncSender<WireFrame>>> = (0..n).map(|_| None).collect();
-    let mut receivers: Vec<Option<Receiver<WireFrame>>> = (0..n).map(|_| None).collect();
-    for i in 0..n {
+    // Data ring: worker i sends frames to (i+1) % n, so worker i holds
+    // the receiver of pair i−1. Ctrl ring runs backwards: worker i acks
+    // its predecessor's frames on pair i, so worker i holds the ctrl
+    // receiver of pair i+1.
+    let mut frame_txs: Vec<SyncSender<WireFrame>> = Vec::with_capacity(n);
+    let mut frame_rxs: Vec<Receiver<WireFrame>> = Vec::with_capacity(n);
+    let mut ctrl_txs: Vec<SyncSender<Ctrl>> = Vec::with_capacity(n);
+    let mut ctrl_rxs: Vec<Receiver<Ctrl>> = Vec::with_capacity(n);
+    for _ in 0..n {
         let (tx, rx) = sync_channel::<WireFrame>(1);
-        senders[i] = Some(tx);
-        receivers[(i + 1) % n] = Some(rx);
+        frame_txs.push(tx);
+        frame_rxs.push(rx);
+        let (tx, rx) = sync_channel::<Ctrl>(1);
+        ctrl_txs.push(tx);
+        ctrl_rxs.push(rx);
     }
-    // A worker that hits a delivery error exits early, dropping its
-    // channel ends; neighbors then see a disconnect (`Err(None)`) and
-    // unwind too. The root-cause error is the one reported.
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .into_iter()
+    frame_rxs.rotate_right(1);
+    ctrl_rxs.rotate_left(1);
+    // A worker that hits an unrecoverable delivery error exits early,
+    // dropping its channel ends; neighbors then see a disconnect
+    // (`Err(None)`) and unwind too. The root-cause error is reported.
+    let outcomes: Vec<Result<(), Option<FabricError>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .iter_mut()
+            .zip(frame_txs)
+            .zip(frame_rxs)
+            .zip(ctrl_txs)
+            .zip(ctrl_rxs)
             .enumerate()
-            .map(|(i, mut grad)| {
-                let tx = senders[i].take().expect("sender wired");
-                let rx = receivers[i].take().expect("receiver wired");
-                scope.spawn(move || -> Result<Vec<f32>, Option<FabricError>> {
-                    // Phase 1: reduce-scatter.
-                    for s in 1..n {
-                        let send_k = (i + n - (s - 1)) % n;
-                        let frame = {
-                            let mut f = fabric.lock().expect("fabric lock");
-                            let frame = f.encode(
-                                i,
-                                &grad[block_range(len, n, send_k)],
-                                PayloadKind::Gradient,
-                            );
-                            f.charge(i, (i + 1) % n, &frame);
-                            frame
-                        };
-                        tx.send(frame).map_err(|_| None)?;
-                        let incoming = rx.recv().map_err(|_| None)?;
-                        let range = block_range(len, n, (i + n - s) % n);
-                        let mut f = fabric.lock().expect("fabric lock");
-                        f.deliver(i, &incoming, &mut |rb| {
-                            for (dst, src) in grad[range.clone()].iter_mut().zip(rb) {
-                                *dst += *src;
-                            }
-                        })
-                        .map_err(Some)?;
-                    }
-                    // Phase 2: all-gather.
-                    for t in 1..n {
-                        let send_k = (i + 2 + n - t) % n;
-                        let frame = {
-                            let mut f = fabric.lock().expect("fabric lock");
-                            let frame = f.encode(
-                                i,
-                                &grad[block_range(len, n, send_k)],
-                                PayloadKind::Gradient,
-                            );
-                            f.charge(i, (i + 1) % n, &frame);
-                            frame
-                        };
-                        tx.send(frame).map_err(|_| None)?;
-                        let incoming = rx.recv().map_err(|_| None)?;
-                        let range = block_range(len, n, (i + 1 + n - t) % n);
-                        let mut f = fabric.lock().expect("fabric lock");
-                        f.deliver(i, &incoming, &mut |rb| {
-                            grad[range.clone()].copy_from_slice(rb);
-                        })
-                        .map_err(Some)?;
-                    }
-                    Ok(grad)
+            .map(|(i, ((((grad, tx), rx), ctrl_tx), ctrl_rx))| {
+                scope.spawn(move || {
+                    threaded_worker(fabric, i, n, len, grad, tx, rx, ctrl_tx, ctrl_rx)
                 })
             })
             .collect();
-        let mut results: Vec<Vec<f32>> = Vec::with_capacity(n);
-        let mut first_error: Option<FabricError> = None;
-        for h in handles {
-            match h.join().expect("worker thread completed") {
-                Ok(grad) => results.push(grad),
-                Err(Some(e)) if first_error.is_none() => first_error = Some(e),
-                // A disconnect, or an error after the first: the root
-                // cause is already captured.
-                Err(_) => {}
-            }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    for outcome in outcomes {
+        if let Err(Some(e)) = outcome {
+            return Err(e);
         }
-        match first_error {
-            None => Ok(results),
-            Some(e) => Err(e),
-        }
-    })
+    }
+    Ok(())
 }
 
 /// [`threaded_ring_allreduce_over`] wrapped in an obs wall-time span, so
@@ -352,18 +569,19 @@ pub fn threaded_ring_allreduce_over(
 ///
 /// # Errors
 ///
-/// Propagates the first [`FabricError`] any worker thread hits.
+/// Propagates the first [`FabricError`] any worker thread hits past
+/// recovery.
 ///
 /// # Panics
 ///
 /// Panics under the same conditions as [`threaded_ring_allreduce_over`].
 pub fn threaded_ring_allreduce_traced(
     fabric: &Mutex<Box<dyn Fabric>>,
-    inputs: Vec<Vec<f32>>,
+    workers: &mut [Vec<f32>],
     recorder: &obs::Recorder,
-) -> Result<Vec<Vec<f32>>, FabricError> {
+) -> Result<(), FabricError> {
     let t0 = recorder.wall_ns();
-    let out = threaded_ring_allreduce_over(fabric, inputs)?;
+    threaded_ring_allreduce_over(fabric, workers)?;
     let mut buf = recorder.buffer();
     if buf.is_on() {
         buf.push(obs::Event::complete(
@@ -378,34 +596,37 @@ pub fn threaded_ring_allreduce_traced(
     if let Ok(mut f) = fabric.lock() {
         f.flush_obs();
     }
-    Ok(out)
+    Ok(())
 }
 
-/// Message-passing ring exchange over a [`NicFabric`] (the historical
-/// signature): worker threads exchange the actual hardware-encoded byte
-/// streams when `codec` is set, plain little-endian packets otherwise.
+/// Message-passing ring exchange over the NIC transport (the historical
+/// convenience): worker threads exchange the actual hardware-encoded
+/// byte streams when a codec is selected, plain little-endian packets
+/// otherwise.
 ///
 /// # Panics
 ///
 /// Panics if inputs are empty or differ in length, or if a worker thread
 /// panics.
-pub fn threaded_ring_allreduce(
-    inputs: Vec<Vec<f32>>,
-    codec: Option<InceptionnCodec>,
-) -> Vec<Vec<f32>> {
-    let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(Box::new(NicFabric::new(
-        inputs.len().max(1),
-        codec.map(|c| c.bound()),
-    )));
-    threaded_ring_allreduce_over(&fabric, inputs)
-        .expect("matched NIC endpoints always decode each other's frames")
+pub fn threaded_ring_allreduce(mut inputs: Vec<Vec<f32>>, codec: CodecSelection) -> Vec<Vec<f32>> {
+    let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(
+        FabricBuilder::new(inputs.len().max(1))
+            .transport(TransportKind::Nic)
+            .codec(codec)
+            .build(),
+    );
+    threaded_ring_allreduce_over(&fabric, &mut inputs)
+        .expect("matched NIC endpoints always decode each other's frames");
+    inputs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fabric::TransportKind;
-    use inceptionn_compress::ErrorBound;
+    use crate::fabric::{FrameBody, InProcessFabric};
+    use crate::faults::FaultPlan;
+    use inceptionn_compress::{ErrorBound, InceptionnCodec};
+    use obs::Recorder;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -427,13 +648,24 @@ mod tests {
             .collect()
     }
 
+    fn build(
+        kind: TransportKind,
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+    ) -> Box<dyn Fabric> {
+        FabricBuilder::new(endpoints)
+            .transport(kind)
+            .compression(compression)
+            .build()
+    }
+
     #[test]
     fn matches_direct_sum_for_various_sizes() {
         for n in [2usize, 3, 4, 5, 8] {
             for len in [1usize, 7, 8, 64, 101] {
                 let mut grads = random_grads(n, len, (n * 1000 + len) as u64);
                 let want = direct_sum(&grads);
-                ring_allreduce(&mut grads, None);
+                ring_allreduce(&mut grads, CodecSelection::None);
                 for (i, g) in grads.iter().enumerate() {
                     for (a, b) in g.iter().zip(&want) {
                         assert!(
@@ -449,7 +681,7 @@ mod tests {
     #[test]
     fn replicas_are_bit_identical_without_compression() {
         let mut grads = random_grads(4, 1000, 42);
-        ring_allreduce(&mut grads, None);
+        ring_allreduce(&mut grads, CodecSelection::None);
         for w in 1..4 {
             assert_eq!(grads[0], grads[w], "worker {w} diverged");
         }
@@ -461,7 +693,7 @@ mod tests {
         // the sum is 10 in every element — and intermediate blocks are
         // easy to misroute, which would break the total.
         let mut grads: Vec<Vec<f32>> = (0..4).map(|i| vec![(i + 1) as f32; 8]).collect();
-        ring_allreduce(&mut grads, None);
+        ring_allreduce(&mut grads, CodecSelection::None);
         for g in &grads {
             assert_eq!(g, &vec![10.0f32; 8]);
         }
@@ -470,10 +702,9 @@ mod tests {
     #[test]
     fn compressed_exchange_respects_error_bound() {
         let n = 4;
-        let codec = InceptionnCodec::new(ErrorBound::pow2(10));
         let mut grads = random_grads(n, 512, 7);
         let want = direct_sum(&grads);
-        ring_allreduce(&mut grads, Some(&codec));
+        ring_allreduce(&mut grads, CodecSelection::Scalar(ErrorBound::pow2(10)));
         // Each element passes through at most 2(n-1) quantizations, each
         // within eb, so the aggregate error is bounded by ~2n·eb.
         let eb = ErrorBound::pow2(10).value();
@@ -487,9 +718,8 @@ mod tests {
 
     #[test]
     fn compressed_replica_divergence_is_bounded() {
-        let codec = InceptionnCodec::new(ErrorBound::pow2(8));
         let mut grads = random_grads(4, 600, 13);
-        ring_allreduce(&mut grads, Some(&codec));
+        ring_allreduce(&mut grads, CodecSelection::Scalar(ErrorBound::pow2(8)));
         let eb = ErrorBound::pow2(8).value();
         for w in 1..4 {
             for (a, b) in grads[0].iter().zip(&grads[w]) {
@@ -511,8 +741,8 @@ mod tests {
             fn endpoints(&self) -> usize {
                 8
             }
-            fn encode(&mut self, _src: usize, values: &[f32], _kind: PayloadKind) -> WireFrame {
-                WireFrame::Loopback(self.codec.quantize(values))
+            fn encode(&mut self, src: usize, values: &[f32], _kind: PayloadKind) -> WireFrame {
+                WireFrame::loopback(src, self.codec.quantize(values), true)
             }
             fn deliver(
                 &mut self,
@@ -520,12 +750,12 @@ mod tests {
                 frame: &WireFrame,
                 sink: &mut dyn FnMut(&[f32]),
             ) -> Result<(), FabricError> {
-                match frame {
-                    WireFrame::Loopback(values) => {
+                match frame.body() {
+                    FrameBody::Loopback(values) => {
                         sink(values);
                         Ok(())
                     }
-                    WireFrame::Packets(_) => unreachable!(),
+                    FrameBody::Packets(_) => unreachable!(),
                 }
             }
             fn stats(&self) -> crate::fabric::FabricStats {
@@ -543,7 +773,7 @@ mod tests {
         ring_allreduce_over(&mut scalar, &mut reference, &endpoints).unwrap();
         for kind in TransportKind::ALL {
             let mut fast = grads.clone();
-            let mut fabric = kind.build(4, Some(bound));
+            let mut fabric = build(kind, 4, Some(bound));
             ring_allreduce_over(fabric.as_mut(), &mut fast, &endpoints).unwrap();
             assert_eq!(reference, fast, "{kind:?} diverged from the scalar codec");
         }
@@ -558,11 +788,11 @@ mod tests {
             let grads = random_grads(4, 777, 31);
             let endpoints: Vec<usize> = (0..4).collect();
             let mut in_proc = grads.clone();
-            let mut fabric = InProcessFabric::new(4, bound);
-            ring_allreduce_over(&mut fabric, &mut in_proc, &endpoints).unwrap();
+            let mut fabric = build(TransportKind::InProcess, 4, bound);
+            ring_allreduce_over(fabric.as_mut(), &mut in_proc, &endpoints).unwrap();
             let mut over_nic = grads.clone();
-            let mut fabric = NicFabric::new(4, bound);
-            ring_allreduce_over(&mut fabric, &mut over_nic, &endpoints).unwrap();
+            let mut fabric = build(TransportKind::Nic, 4, bound);
+            ring_allreduce_over(fabric.as_mut(), &mut over_nic, &endpoints).unwrap();
             assert_eq!(in_proc, over_nic, "bound {bound:?}");
             assert!(
                 bound.is_none() || fabric.stats().engine_cycles > 0,
@@ -575,20 +805,69 @@ mod tests {
     fn ring_counts_the_expected_transfers() {
         let n = 5;
         let mut grads = random_grads(n, 500, 77);
-        let mut fabric = NicFabric::new(n, Some(ErrorBound::pow2(10)));
+        let mut fabric = build(TransportKind::Nic, n, Some(ErrorBound::pow2(10)));
         let endpoints: Vec<usize> = (0..n).collect();
-        ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
+        ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints).unwrap();
         // 2(n-1) steps, n transfers each.
         assert_eq!(fabric.stats().transfers, (2 * (n - 1) * n) as u64);
         assert!(fabric.stats().wire_ratio() > 1.0);
     }
 
     #[test]
+    fn ring_recovers_bit_exactly_under_injected_faults() {
+        // Drops and corruption are absorbed by retransmission below the
+        // degradation threshold: the result must be bit-identical to the
+        // clean run, replicas included.
+        let mut clean = random_grads(4, 800, 78);
+        let mut faulty = clean.clone();
+        ring_allreduce(&mut clean, CodecSelection::None);
+        let mut fabric = FabricBuilder::new(4)
+            .transport(TransportKind::Nic)
+            .faults(FaultPlan::new(42).drop_prob(0.05).corrupt_prob(0.02))
+            .build();
+        let endpoints: Vec<usize> = (0..4).collect();
+        ring_allreduce_over(fabric.as_mut(), &mut faulty, &endpoints).unwrap();
+        assert_eq!(clean, faulty, "recovered exchange must be bit-exact");
+        assert!(
+            fabric.fault_stats().retransmits > 0,
+            "faults must actually have fired"
+        );
+    }
+
+    #[test]
+    fn ring_degrades_poisoned_legs_and_still_sums_correctly() {
+        // Every compressed frame on every link is poisoned: each leg
+        // falls back to the plain re-encode, the exchange completes, and
+        // the result is the exact lossless sum (plain frames are not
+        // poisoned — there is no decode step to damage).
+        let mut grads = random_grads(4, 400, 79);
+        let want = direct_sum(&grads);
+        let mut fabric = FabricBuilder::new(4)
+            .transport(TransportKind::Nic)
+            .compression(Some(ErrorBound::pow2(10)))
+            .faults(FaultPlan::new(7).poison_prob(1.0))
+            .build();
+        let endpoints: Vec<usize> = (0..4).collect();
+        ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints).unwrap();
+        for g in &grads {
+            for (a, b) in g.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+        let fs = fabric.fault_stats();
+        assert!(fs.poisons > 0);
+        assert!(
+            fs.degraded_legs > 0,
+            "constant poisoning must trip the renegotiation threshold"
+        );
+    }
+
+    #[test]
     fn threaded_matches_sequential_without_compression() {
         let inputs = random_grads(4, 321, 21);
         let mut seq = inputs.clone();
-        ring_allreduce(&mut seq, None);
-        let thr = threaded_ring_allreduce(inputs, None);
+        ring_allreduce(&mut seq, CodecSelection::None);
+        let thr = threaded_ring_allreduce(inputs, CodecSelection::None);
         assert_eq!(seq, thr);
     }
 
@@ -597,11 +876,11 @@ mod tests {
         // The threaded path sends actual hardware-compressed packets; the
         // sequential path quantizes in place. Identical schedules +
         // bit-exact engines => identical results.
-        let codec = InceptionnCodec::new(ErrorBound::pow2(10));
+        let codec = CodecSelection::Scalar(ErrorBound::pow2(10));
         let inputs = random_grads(5, 256, 22);
         let mut seq = inputs.clone();
-        ring_allreduce(&mut seq, Some(&codec));
-        let thr = threaded_ring_allreduce(inputs, Some(codec));
+        ring_allreduce(&mut seq, codec);
+        let thr = threaded_ring_allreduce(inputs, codec);
         assert_eq!(seq, thr);
     }
 
@@ -609,9 +888,10 @@ mod tests {
     fn threaded_over_timed_fabric_charges_link_latency() {
         let inputs = random_grads(4, 2000, 23);
         let mut seq = inputs.clone();
-        ring_allreduce(&mut seq, None);
-        let fabric = Mutex::new(TransportKind::TimedNic.build(4, None));
-        let thr = threaded_ring_allreduce_over(&fabric, inputs).unwrap();
+        ring_allreduce(&mut seq, CodecSelection::None);
+        let fabric = Mutex::new(build(TransportKind::TimedNic, 4, None));
+        let mut thr = inputs;
+        threaded_ring_allreduce_over(&fabric, &mut thr).unwrap();
         assert_eq!(seq, thr);
         let stats = fabric.lock().unwrap().stats();
         assert!(stats.link_latency_ns > 0, "timed fabric must charge links");
@@ -622,10 +902,16 @@ mod tests {
     fn threaded_traced_records_span_and_fabric_counters() {
         let inputs = random_grads(4, 512, 24);
         let mut seq = inputs.clone();
-        ring_allreduce(&mut seq, None);
-        let recorder = obs::Recorder::on();
-        let fabric = Mutex::new(TransportKind::TimedNic.build_with(4, None, &recorder));
-        let thr = threaded_ring_allreduce_traced(&fabric, inputs, &recorder).unwrap();
+        ring_allreduce(&mut seq, CodecSelection::None);
+        let recorder = Recorder::on();
+        let fabric = Mutex::new(
+            FabricBuilder::new(4)
+                .transport(TransportKind::TimedNic)
+                .recorder(&recorder)
+                .build(),
+        );
+        let mut thr = inputs;
+        threaded_ring_allreduce_traced(&fabric, &mut thr, &recorder).unwrap();
         assert_eq!(seq, thr);
         let summary = recorder.finish().summary();
         assert_eq!(
@@ -639,9 +925,10 @@ mod tests {
 
     #[test]
     fn threaded_ring_surfaces_delivery_errors_without_deadlock() {
-        // One failing delivery must come back as an `Err` from the
-        // orchestrator — the other workers unwind through their closed
-        // channels rather than blocking forever or panicking.
+        // One persistently failing delivery must come back as an `Err`
+        // from the orchestrator — the other workers unwind through their
+        // closed channels rather than blocking forever or panicking.
+        // `FrameMismatch` is non-recoverable, so no NACK is attempted.
         struct FailingFabric {
             inner: InProcessFabric,
             deliveries: usize,
@@ -673,12 +960,39 @@ mod tests {
             }
         }
         let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(Box::new(FailingFabric {
-            inner: InProcessFabric::new(4, None),
+            inner: InProcessFabric::assemble(4, CodecSelection::None, &Recorder::off()),
             deliveries: 0,
         }));
-        let err = threaded_ring_allreduce_over(&fabric, random_grads(4, 64, 99))
+        let mut grads = random_grads(4, 64, 99);
+        let err = threaded_ring_allreduce_over(&fabric, &mut grads)
             .expect_err("failing fabric must surface its error");
         assert!(matches!(err, FabricError::FrameMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn threaded_ring_renegotiates_poisoned_legs() {
+        // The NACK protocol end to end: all compressed frames poisoned,
+        // every leg renegotiates to plain, and the exchange still
+        // produces the exact lossless sum on every worker.
+        let inputs = random_grads(4, 300, 26);
+        let want = direct_sum(&inputs);
+        let fabric: Mutex<Box<dyn Fabric>> = Mutex::new(
+            FabricBuilder::new(4)
+                .transport(TransportKind::Nic)
+                .compression(Some(ErrorBound::pow2(10)))
+                .faults(FaultPlan::new(15).poison_prob(1.0))
+                .build(),
+        );
+        let mut grads = inputs;
+        threaded_ring_allreduce_over(&fabric, &mut grads).unwrap();
+        for g in &grads {
+            for (a, b) in g.iter().zip(&want) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            }
+        }
+        let fs = fabric.lock().unwrap().fault_stats();
+        assert!(fs.poisons > 0);
+        assert!(fs.degraded_legs > 0, "legs must renegotiate under poison");
     }
 
     #[test]
@@ -686,7 +1000,7 @@ mod tests {
         for (n, g) in [(4usize, 2usize), (6, 3), (8, 4), (8, 2), (4, 4)] {
             let mut grads = random_grads(n, 64, (n * 10 + g) as u64);
             let want = direct_sum(&grads);
-            hierarchical_ring_allreduce(&mut grads, g, None);
+            hierarchical_ring_allreduce(&mut grads, g, CodecSelection::None);
             for w in &grads {
                 for (a, b) in w.iter().zip(&want) {
                     assert!((a - b).abs() < 1e-4, "n={n} g={g}: {a} vs {b}");
@@ -699,10 +1013,10 @@ mod tests {
     fn hierarchical_over_nic_fabric_matches_in_process() {
         let grads = random_grads(6, 300, 91);
         let mut in_proc = grads.clone();
-        hierarchical_ring_allreduce(&mut in_proc, 3, None);
+        hierarchical_ring_allreduce(&mut in_proc, 3, CodecSelection::None);
         let mut over_nic = grads.clone();
-        let mut fabric = NicFabric::new(6, None);
-        hierarchical_ring_allreduce_over(&mut fabric, &mut over_nic, 3).unwrap();
+        let mut fabric = build(TransportKind::Nic, 6, None);
+        hierarchical_ring_allreduce_over(fabric.as_mut(), &mut over_nic, 3).unwrap();
         assert_eq!(in_proc, over_nic);
     }
 
@@ -713,8 +1027,8 @@ mod tests {
         // crosses a link. Intra rings: 2 groups × 2(3−1)·3; leader ring
         // over 2 groups: 2(2−1)·2; broadcast: one hop per non-leader.
         let mut grads = random_grads(6, 300, 92);
-        let mut fabric = NicFabric::new(6, Some(ErrorBound::pow2(10)));
-        hierarchical_ring_allreduce_over(&mut fabric, &mut grads, 3).unwrap();
+        let mut fabric = build(TransportKind::Nic, 6, Some(ErrorBound::pow2(10)));
+        hierarchical_ring_allreduce_over(fabric.as_mut(), &mut grads, 3).unwrap();
         let expected = (2 * 12 + 4 + 2 * 2) as u64;
         assert_eq!(fabric.stats().transfers, expected);
     }
@@ -728,7 +1042,7 @@ mod tests {
         let mut reference: Option<Vec<Vec<f32>>> = None;
         for kind in TransportKind::ALL {
             let mut workers = grads.clone();
-            let mut fabric = kind.build(6, bound);
+            let mut fabric = build(kind, 6, bound);
             hierarchical_ring_allreduce_over(fabric.as_mut(), &mut workers, 3).unwrap();
             for g in 0..2 {
                 for m in 1..3 {
@@ -749,7 +1063,7 @@ mod tests {
     #[test]
     fn single_worker_is_identity() {
         let mut grads = vec![vec![1.0f32, 2.0, 3.0]];
-        ring_allreduce(&mut grads, None);
+        ring_allreduce(&mut grads, CodecSelection::None);
         assert_eq!(grads[0], vec![1.0, 2.0, 3.0]);
     }
 
@@ -770,7 +1084,7 @@ mod tests {
     #[should_panic(expected = "equally sized")]
     fn rejects_ragged_inputs() {
         let mut grads = vec![vec![1.0f32], vec![1.0, 2.0]];
-        ring_allreduce(&mut grads, None);
+        ring_allreduce(&mut grads, CodecSelection::None);
     }
 
     proptest! {
@@ -782,7 +1096,7 @@ mod tests {
         ) {
             let mut grads = random_grads(n, len, seed);
             let want = direct_sum(&grads);
-            ring_allreduce(&mut grads, None);
+            ring_allreduce(&mut grads, CodecSelection::None);
             for g in &grads {
                 for (a, b) in g.iter().zip(&want) {
                     prop_assert!((a - b).abs() < 1e-4);

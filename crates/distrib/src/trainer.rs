@@ -1,13 +1,15 @@
 //! End-to-end data-parallel training over model replicas.
 
-use inceptionn_compress::ErrorBound;
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::optim::{Sgd, SgdConfig};
 use inceptionn_dnn::Network;
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 use crate::aggregator::worker_aggregator_allreduce_over;
-use crate::fabric::{Fabric, FabricStats, TransportKind};
+use crate::fabric::{
+    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, TransportKind,
+};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
 
 /// Which gradient-exchange algorithm the cluster runs.
@@ -44,9 +46,12 @@ pub struct TrainerConfig {
     pub strategy: ExchangeStrategy,
     /// Transport the exchange runs over (see [`TransportKind`]).
     pub transport: TransportKind,
-    /// Lossy compression applied to exchanged gradients (`None` = the
-    /// lossless baseline).
-    pub compression: Option<ErrorBound>,
+    /// Lossy compression applied to exchanged gradients
+    /// ([`CodecSelection::None`] = the lossless baseline).
+    pub codec: CodecSelection,
+    /// Deterministic fault injection armed on the transport (`None` =
+    /// a clean fabric).
+    pub faults: Option<FaultPlan>,
     /// Optimizer hyper-parameters (shared by all replicas).
     pub sgd: SgdConfig,
     /// Per-worker minibatch size.
@@ -64,7 +69,8 @@ impl Default for TrainerConfig {
             workers: 4,
             strategy: ExchangeStrategy::Ring,
             transport: TransportKind::InProcess,
-            compression: None,
+            codec: CodecSelection::None,
+            faults: None,
             sgd: SgdConfig::default(),
             batch_per_worker: 16,
             seed: 0,
@@ -74,23 +80,57 @@ impl Default for TrainerConfig {
 }
 
 /// Per-iteration record of a training run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IterationLog {
-    /// Mean training loss across workers.
+    /// Mean training loss across live workers.
     pub loss: f32,
-    /// Mean minibatch accuracy across workers.
+    /// Mean minibatch accuracy across live workers.
     pub accuracy: f32,
+    /// The endpoint excised from the exchange topology this iteration
+    /// (a crashed worker, or the aggregator), if any.
+    pub excised: Option<usize>,
+    /// A gradient-exchange failure that survived every recovery layer;
+    /// the iteration's SGD update is skipped when set.
+    pub exchange_error: Option<FabricError>,
+}
+
+impl IterationLog {
+    fn clean(loss: f32, accuracy: f32) -> Self {
+        IterationLog {
+            loss,
+            accuracy,
+            excised: None,
+            exchange_error: None,
+        }
+    }
 }
 
 /// A data-parallel cluster of model replicas (Sec. II-A / Sec. IV).
 ///
 /// Every worker holds a full model replica initialized from the same
 /// seed (`w_0` shared, Algorithm 1 line 1) and a shard `D_i` of the
-/// training data. Each iteration: every worker computes its local
+/// training data. Each iteration: every live worker computes its local
 /// gradient on its own minibatch, the configured exchange sums the
 /// gradients over the configured transport fabric (with optional lossy
-/// compression in flight), and every worker applies the same SGD
+/// compression in flight), and every live worker applies the same SGD
 /// update.
+///
+/// # Fault handling
+///
+/// With a [`FaultPlan`] armed, most injected faults are absorbed below
+/// this layer (frame retransmission in the fault decorator, per-leg
+/// plain renegotiation in the exchanges). Two kinds surface here:
+///
+/// * **Endpoint crash** ([`FabricError::EndpointDown`]): the trainer
+///   excises the endpoint — the ring is re-stitched over the survivors
+///   (every strategy falls back to the flat survivor ring, since group
+///   structure and the star topology no longer hold), the iteration's
+///   exchange is re-run from the pre-exchange gradients, and training
+///   continues on the live replicas.
+/// * Anything else that defeats recovery: recorded in
+///   [`IterationLog::exchange_error`], and the iteration's update is
+///   skipped on all replicas (so they stay consistent) instead of
+///   unwinding.
 ///
 /// # Examples
 ///
@@ -114,6 +154,8 @@ pub struct DistributedTrainer {
     fabric: Box<dyn Fabric>,
     buf: EventBuf,
     iteration: u64,
+    alive: Vec<bool>,
+    aggregator_down: bool,
 }
 
 impl std::fmt::Debug for DistributedTrainer {
@@ -124,6 +166,7 @@ impl std::fmt::Debug for DistributedTrainer {
         f.debug_struct("DistributedTrainer")
             .field("config", &self.config)
             .field("cursor", &self.cursor)
+            .field("alive", &self.alive)
             .field("fabric_stats", &self.fabric.stats())
             .finish_non_exhaustive()
     }
@@ -156,11 +199,16 @@ impl DistributedTrainer {
             .map(|_| Sgd::new(config.sgd, replicas[0].param_count()))
             .collect();
         let shards = dataset.shards(config.workers);
-        let fabric =
-            config
-                .transport
-                .build_with(config.workers + 1, config.compression, &config.recorder);
+        let mut builder = FabricBuilder::new(config.workers + 1)
+            .transport(config.transport)
+            .codec(config.codec)
+            .recorder(&config.recorder);
+        if let Some(plan) = &config.faults {
+            builder = builder.faults(plan.clone());
+        }
+        let fabric = builder.build();
         let buf = config.recorder.buffer();
+        let alive = vec![true; config.workers];
         DistributedTrainer {
             config,
             replicas,
@@ -170,6 +218,8 @@ impl DistributedTrainer {
             fabric,
             buf,
             iteration: 0,
+            alive,
+            aggregator_down: false,
         }
     }
 
@@ -184,15 +234,59 @@ impl DistributedTrainer {
         self.fabric.stats()
     }
 
+    /// What the fault decorator injected and recovered so far (all zero
+    /// on a clean fabric).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fabric.fault_stats()
+    }
+
+    /// Which workers are still in the exchange topology (`false` =
+    /// excised after a crash).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Indices of live workers, in ring order.
+    fn live_workers(&self) -> Vec<usize> {
+        (0..self.config.workers)
+            .filter(|&w| self.alive[w])
+            .collect()
+    }
+
+    /// Runs the configured exchange over the live workers' gradients
+    /// (`grads[k]` belongs to worker `live[k]`). Once any endpoint has
+    /// been excised, every strategy degrades to the flat survivor ring:
+    /// hierarchical group structure no longer holds, and a downed
+    /// aggregator star has no center.
+    fn exchange(&mut self, grads: &mut [Vec<f32>], live: &[usize]) -> Result<(), FabricError> {
+        let fabric = self.fabric.as_mut();
+        let intact = live.len() == self.config.workers && !self.aggregator_down;
+        match self.config.strategy {
+            _ if !intact => ring_allreduce_over(fabric, grads, live),
+            ExchangeStrategy::Ring => ring_allreduce_over(fabric, grads, live),
+            ExchangeStrategy::HierarchicalRing { group_size } => {
+                hierarchical_ring_allreduce_over(fabric, grads, group_size)
+            }
+            ExchangeStrategy::WorkerAggregator => worker_aggregator_allreduce_over(fabric, grads),
+        }
+    }
+
     /// Runs one synchronous training iteration; returns the mean loss
-    /// and accuracy across workers.
+    /// and accuracy across live workers, plus any fault-handling events
+    /// (see the type-level docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every worker has crashed.
     pub fn step(&mut self) -> IterationLog {
-        let p = self.config.workers;
+        self.fabric.begin_iteration(self.iteration);
+        let mut live = self.live_workers();
+        assert!(!live.is_empty(), "every worker has crashed");
         let t_compute = self.config.recorder.wall_ns();
-        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(p);
+        let mut grads: Vec<Vec<f32>> = Vec::with_capacity(live.len());
         let mut loss_sum = 0.0f32;
         let mut acc_sum = 0.0f32;
-        for w in 0..p {
+        for &w in &live {
             let (x, y) = self.shards[w].minibatch(self.cursor, self.config.batch_per_worker);
             let (loss, acc) = self.replicas[w].forward_backward(&x, &y);
             loss_sum += loss;
@@ -200,37 +294,64 @@ impl DistributedTrainer {
             grads.push(self.replicas[w].flat_grads());
         }
         self.cursor += self.config.batch_per_worker;
+        // With faults armed the exchange can fail mid-flight, leaving
+        // gradients partially folded; a snapshot makes the re-stitched
+        // retry start from clean inputs.
+        let snapshot = self.config.faults.as_ref().map(|_| grads.clone());
         let t_exchange = self.config.recorder.wall_ns();
-        let fabric = self.fabric.as_mut();
-        match self.config.strategy {
-            ExchangeStrategy::Ring => {
-                let endpoints: Vec<usize> = (0..p).collect();
-                ring_allreduce_over(fabric, &mut grads, &endpoints)
+        let mut log =
+            IterationLog::clean(loss_sum / live.len() as f32, acc_sum / live.len() as f32);
+        match self.exchange(&mut grads, &live) {
+            Ok(()) => {}
+            Err(FabricError::EndpointDown { endpoint }) => {
+                log.excised = Some(endpoint);
+                if endpoint < self.config.workers {
+                    self.alive[endpoint] = false;
+                } else {
+                    self.aggregator_down = true;
+                }
+                if let Some(snap) = snapshot {
+                    grads = snap;
+                }
+                if let Some(pos) = live.iter().position(|&w| w == endpoint) {
+                    live.remove(pos);
+                    grads.remove(pos);
+                }
+                if self.buf.is_on() {
+                    self.buf.push(Event::metric(
+                        labels::RING_RESTITCH,
+                        Domain::Wall,
+                        0,
+                        self.iteration as u32,
+                        self.config.recorder.wall_ns(),
+                        endpoint as f64,
+                    ));
+                }
+                if live.is_empty() {
+                    log.exchange_error = Some(FabricError::EndpointDown { endpoint });
+                } else if let Err(e) = ring_allreduce_over(self.fabric.as_mut(), &mut grads, &live)
+                {
+                    log.exchange_error = Some(e);
+                }
             }
-            ExchangeStrategy::HierarchicalRing { group_size } => {
-                hierarchical_ring_allreduce_over(fabric, &mut grads, group_size)
-            }
-            ExchangeStrategy::WorkerAggregator => {
-                worker_aggregator_allreduce_over(fabric, &mut grads)
+            Err(e) => {
+                log.exchange_error = Some(e);
             }
         }
-        .expect("gradient exchange failed on the configured transport");
         let t_update = self.config.recorder.wall_ns();
-        // Average the summed gradient so the effective step matches the
-        // single-node formulation regardless of worker count.
-        let scale = 1.0 / p as f32;
-        for (w, mut g) in grads.into_iter().enumerate() {
-            for v in &mut g {
-                *v *= scale;
+        if log.exchange_error.is_none() {
+            // Average the summed gradient so the effective step matches
+            // the single-node formulation regardless of worker count.
+            let scale = 1.0 / live.len() as f32;
+            for (&w, mut g) in live.iter().zip(grads) {
+                for v in &mut g {
+                    *v *= scale;
+                }
+                let mut params = self.replicas[w].flat_params();
+                self.optimizers[w].step(&mut params, &mut g);
+                self.replicas[w].set_flat_params(&params);
             }
-            let mut params = self.replicas[w].flat_params();
-            self.optimizers[w].step(&mut params, &mut g);
-            self.replicas[w].set_flat_params(&params);
         }
-        let log = IterationLog {
-            loss: loss_sum / p as f32,
-            accuracy: acc_sum / p as f32,
-        };
         if self.buf.is_on() {
             let t_end = self.config.recorder.wall_ns();
             let key = self.iteration as u32;
@@ -293,20 +414,24 @@ impl DistributedTrainer {
         (0..iters).map(|_| self.step()).collect()
     }
 
-    /// Evaluates replica 0 on a held-out dataset.
+    /// Evaluates the first live replica on a held-out dataset.
     pub fn evaluate(&mut self, test: &DigitDataset) -> f32 {
+        let w = self.live_workers()[0];
         let x = test.images_flat();
-        self.replicas[0].evaluate(&x, test.labels(), 64)
+        self.replicas[w].evaluate(&x, test.labels(), 64)
     }
 
-    /// The largest absolute parameter difference between any replica and
-    /// replica 0 — zero for lossless exchanges, bounded by the
-    /// accumulated quantization drift otherwise.
+    /// The largest absolute parameter difference between any live
+    /// replica and the first live replica — zero for lossless
+    /// exchanges, bounded by the accumulated quantization drift
+    /// otherwise. Crashed replicas are excluded: they stopped receiving
+    /// updates when they were excised.
     pub fn max_replica_divergence(&self) -> f32 {
-        let reference = self.replicas[0].flat_params();
+        let live = self.live_workers();
+        let reference = self.replicas[live[0]].flat_params();
         let mut worst = 0.0f32;
-        for r in &self.replicas[1..] {
-            for (a, b) in reference.iter().zip(r.flat_params()) {
+        for &w in &live[1..] {
+            for (a, b) in reference.iter().zip(self.replicas[w].flat_params()) {
                 worst = worst.max((a - b).abs());
             }
         }
@@ -323,13 +448,14 @@ impl DistributedTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inceptionn_compress::ErrorBound;
     use inceptionn_dnn::models;
 
-    fn quick_config(strategy: ExchangeStrategy, compression: Option<ErrorBound>) -> TrainerConfig {
+    fn quick_config(strategy: ExchangeStrategy, codec: CodecSelection) -> TrainerConfig {
         TrainerConfig {
             workers: 4,
             strategy,
-            compression,
+            codec,
             sgd: SgdConfig {
                 learning_rate: 0.05,
                 ..SgdConfig::default()
@@ -340,11 +466,15 @@ mod tests {
         }
     }
 
+    fn pow2_codec(e: u8) -> CodecSelection {
+        CodecSelection::from_bound(Some(ErrorBound::pow2(e)))
+    }
+
     #[test]
     fn replicas_stay_identical_without_compression() {
         let data = DigitDataset::generate(160, 8);
         let mut t = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, None),
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
             models::hdc_mlp_small,
             &data,
         );
@@ -356,12 +486,12 @@ mod tests {
     fn ring_and_aggregator_train_equivalently_without_compression() {
         let data = DigitDataset::generate(160, 9);
         let mut ring = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, None),
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
             models::hdc_mlp_small,
             &data,
         );
         let mut agg = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::WorkerAggregator, None),
+            quick_config(ExchangeStrategy::WorkerAggregator, CodecSelection::None),
             models::hdc_mlp_small,
             &data,
         );
@@ -386,7 +516,7 @@ mod tests {
         let train = DigitDataset::generate(400, 10);
         let test = DigitDataset::generate(100, 11);
         let mut t = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, None),
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
             models::hdc_mlp_small,
             &train,
         );
@@ -406,12 +536,12 @@ mod tests {
         let train = DigitDataset::generate(400, 12);
         let test = DigitDataset::generate(100, 13);
         let mut lossless = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, None),
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
             models::hdc_mlp_small,
             &train,
         );
         let mut lossy = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            quick_config(ExchangeStrategy::Ring, pow2_codec(10)),
             models::hdc_mlp_small,
             &train,
         );
@@ -426,7 +556,7 @@ mod tests {
     fn compressed_replica_drift_stays_small() {
         let data = DigitDataset::generate(160, 14);
         let mut t = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            quick_config(ExchangeStrategy::Ring, pow2_codec(10)),
             models::hdc_mlp_small,
             &data,
         );
@@ -441,12 +571,15 @@ mod tests {
     fn hierarchical_strategy_trains_like_the_flat_ring() {
         let data = DigitDataset::generate(160, 15);
         let mut flat = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, None),
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
             models::hdc_mlp_small,
             &data,
         );
         let mut hier = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::HierarchicalRing { group_size: 2 }, None),
+            quick_config(
+                ExchangeStrategy::HierarchicalRing { group_size: 2 },
+                CodecSelection::None,
+            ),
             models::hdc_mlp_small,
             &data,
         );
@@ -464,14 +597,14 @@ mod tests {
         // datapath round trip is bit-exact against the shortcut.
         let data = DigitDataset::generate(160, 16);
         let mut shortcut = DistributedTrainer::new(
-            quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10))),
+            quick_config(ExchangeStrategy::Ring, pow2_codec(10)),
             models::hdc_mlp_small,
             &data,
         );
         let mut nic = DistributedTrainer::new(
             TrainerConfig {
                 transport: TransportKind::TimedNic,
-                ..quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)))
+                ..quick_config(ExchangeStrategy::Ring, pow2_codec(10))
             },
             models::hdc_mlp_small,
             &data,
@@ -496,7 +629,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             TrainerConfig {
                 recorder: recorder.clone(),
-                ..quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)))
+                ..quick_config(ExchangeStrategy::Ring, pow2_codec(10))
             },
             models::hdc_mlp_small,
             &data,
@@ -525,7 +658,7 @@ mod tests {
     #[test]
     fn tracing_does_not_change_training() {
         let data = DigitDataset::generate(160, 18);
-        let cfg = quick_config(ExchangeStrategy::Ring, Some(ErrorBound::pow2(10)));
+        let cfg = quick_config(ExchangeStrategy::Ring, pow2_codec(10));
         let mut plain = DistributedTrainer::new(cfg.clone(), models::hdc_mlp_small, &data);
         let mut traced = DistributedTrainer::new(
             TrainerConfig {
@@ -541,6 +674,84 @@ mod tests {
             plain.replica(0).flat_params(),
             traced.replica(0).flat_params()
         );
+    }
+
+    #[test]
+    fn injected_faults_are_absorbed_bit_exactly() {
+        // Drops and corruption below the degradation threshold are
+        // repaired by retransmission: training is bit-identical to the
+        // clean run and replicas never diverge.
+        let data = DigitDataset::generate(160, 19);
+        let cfg = TrainerConfig {
+            transport: TransportKind::Nic,
+            ..quick_config(ExchangeStrategy::Ring, CodecSelection::None)
+        };
+        let mut clean = DistributedTrainer::new(cfg.clone(), models::hdc_mlp_small, &data);
+        let mut faulty = DistributedTrainer::new(
+            TrainerConfig {
+                faults: Some(FaultPlan::new(31).drop_prob(0.01).corrupt_prob(0.001)),
+                ..cfg
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let lc = clean.train_iterations(5);
+        let lf = faulty.train_iterations(5);
+        assert_eq!(lc, lf, "fault recovery must not perturb training");
+        assert_eq!(
+            clean.replica(0).flat_params(),
+            faulty.replica(0).flat_params()
+        );
+        assert_eq!(faulty.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn endpoint_crash_is_excised_and_training_continues() {
+        let data = DigitDataset::generate(160, 20);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                faults: Some(FaultPlan::new(5).crash(2, 3)),
+                ..quick_config(ExchangeStrategy::Ring, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(6);
+        assert_eq!(logs[2].excised, None, "crash arms at iteration 3");
+        assert_eq!(logs[3].excised, Some(2), "crash must excise worker 2");
+        assert!(
+            logs.iter().all(|l| l.exchange_error.is_none()),
+            "re-stitched ring must complete every iteration"
+        );
+        assert_eq!(t.alive(), &[true, true, false, true]);
+        assert_eq!(
+            t.max_replica_divergence(),
+            0.0,
+            "survivors must stay in lockstep after the re-stitch"
+        );
+        assert_eq!(t.fault_stats().crashes, 1);
+    }
+
+    #[test]
+    fn aggregator_crash_reroutes_to_the_survivor_ring() {
+        // Endpoint `workers` is the aggregator; crashing it forces the
+        // star topology over to the flat worker ring.
+        let data = DigitDataset::generate(160, 21);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                faults: Some(FaultPlan::new(6).crash(4, 2)),
+                ..quick_config(ExchangeStrategy::WorkerAggregator, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(4);
+        assert_eq!(logs[2].excised, Some(4));
+        assert!(logs.iter().all(|l| l.exchange_error.is_none()));
+        assert_eq!(t.alive(), &[true, true, true, true]);
+        assert_eq!(t.max_replica_divergence(), 0.0);
     }
 
     #[test]

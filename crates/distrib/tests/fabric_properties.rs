@@ -8,7 +8,7 @@
 use std::sync::Mutex;
 
 use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
-use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::fabric::{Fabric, FabricBuilder, TransportKind};
 use inceptionn_distrib::ring::{
     hierarchical_ring_allreduce_over, ring_allreduce_over, threaded_ring_allreduce_over,
 };
@@ -31,6 +31,10 @@ fn direct_sum(inputs: &[Vec<f32>]) -> Vec<f32> {
         }
     }
     sum
+}
+
+fn build(kind: TransportKind, endpoints: usize) -> Box<dyn Fabric> {
+    FabricBuilder::new(endpoints).transport(kind).build()
 }
 
 fn divisor_of(n: usize, pick: u64) -> usize {
@@ -71,7 +75,7 @@ proptest! {
         for kind in TransportKind::ALL {
             let mut by_ring = inputs.clone();
             ring_allreduce_over(
-                kind.build(n, None).as_mut(),
+                build(kind, n).as_mut(),
                 &mut by_ring,
                 &endpoints,
             ).unwrap();
@@ -86,7 +90,7 @@ proptest! {
 
             let mut by_hier = inputs.clone();
             hierarchical_ring_allreduce_over(
-                kind.build(n, None).as_mut(),
+                build(kind, n).as_mut(),
                 &mut by_hier,
                 group_size,
             ).unwrap();
@@ -100,7 +104,7 @@ proptest! {
 
             let mut by_agg = inputs.clone();
             worker_aggregator_allreduce_over(
-                kind.build(n + 1, None).as_mut(),
+                build(kind, n + 1).as_mut(),
                 &mut by_agg,
             ).unwrap();
             if len > 0 {
@@ -119,9 +123,10 @@ proptest! {
         let endpoints: Vec<usize> = (0..n).collect();
         for kind in TransportKind::ALL {
             let mut seq = inputs.clone();
-            ring_allreduce_over(kind.build(n, None).as_mut(), &mut seq, &endpoints).unwrap();
-            let fabric = Mutex::new(kind.build(n, None));
-            let thr = threaded_ring_allreduce_over(&fabric, inputs.clone()).unwrap();
+            ring_allreduce_over(build(kind, n).as_mut(), &mut seq, &endpoints).unwrap();
+            let fabric = Mutex::new(build(kind, n));
+            let mut thr = inputs.clone();
+            threaded_ring_allreduce_over(&fabric, &mut thr).unwrap();
             prop_assert_eq!(&seq, &thr);
         }
     }

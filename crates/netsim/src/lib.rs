@@ -41,5 +41,5 @@ pub mod sim;
 pub mod transfer;
 pub mod twotier;
 
-pub use sim::{NetworkConfig, SimTime, StarNetworkSim};
+pub use sim::{LinkRateSchedule, NetworkConfig, RateWindow, SimTime, StarNetworkSim};
 pub use transfer::{CompressionSpec, Transfer};

@@ -114,6 +114,98 @@ impl NetworkConfig {
     }
 }
 
+/// One window of degraded service on a link: between `start_ns`
+/// (inclusive) and `end_ns` (exclusive) of the link's virtual time, every
+/// transfer takes `slowdown` times as long.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateWindow {
+    /// Window start, nanoseconds of link-local virtual time (inclusive).
+    pub start_ns: u64,
+    /// Window end, nanoseconds (exclusive). `u64::MAX` never ends.
+    pub end_ns: u64,
+    /// Latency multiplier while the window is active (`>= 1.0` models a
+    /// degraded link; values below 1.0 are clamped to 1.0).
+    pub slowdown: f64,
+}
+
+impl RateWindow {
+    /// A window that never ends — a permanently degraded (straggler)
+    /// link.
+    pub fn forever(slowdown: f64) -> Self {
+        RateWindow {
+            start_ns: 0,
+            end_ns: u64::MAX,
+            slowdown,
+        }
+    }
+
+    fn contains(&self, at_ns: u64) -> bool {
+        at_ns >= self.start_ns && at_ns < self.end_ns
+    }
+
+    fn factor(&self) -> f64 {
+        if self.slowdown > 1.0 {
+            self.slowdown
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A piecewise schedule of link-rate degradation windows. Outside every
+/// window the link runs at full rate; overlapping windows compound
+/// multiplicatively. The empty schedule is the identity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkRateSchedule {
+    windows: Vec<RateWindow>,
+}
+
+impl LinkRateSchedule {
+    /// The identity schedule: full rate at all times.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A permanent uniform slowdown (a straggler link).
+    pub fn always(slowdown: f64) -> Self {
+        LinkRateSchedule {
+            windows: vec![RateWindow::forever(slowdown)],
+        }
+    }
+
+    /// Adds a degradation window.
+    pub fn with_window(mut self, window: RateWindow) -> Self {
+        self.windows.push(window);
+        self
+    }
+
+    /// The combined slowdown factor in effect at `at_ns` of the link's
+    /// virtual time (`1.0` when no window is active).
+    pub fn slowdown_at(&self, at_ns: u64) -> f64 {
+        self.windows
+            .iter()
+            .filter(|w| w.contains(at_ns))
+            .map(RateWindow::factor)
+            .product()
+    }
+
+    /// Scales a base latency charge that starts at `at_ns` by the
+    /// slowdown in effect at that instant.
+    pub fn scaled_ns(&self, at_ns: u64, base_ns: u64) -> u64 {
+        let factor = self.slowdown_at(at_ns);
+        if factor <= 1.0 {
+            base_ns
+        } else {
+            (base_ns as f64 * factor).round() as u64
+        }
+    }
+
+    /// Whether the schedule never changes anything.
+    pub fn is_identity(&self) -> bool {
+        self.windows.iter().all(|w| w.factor() <= 1.0)
+    }
+}
+
 /// Completion report for one simulated transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransferResult {
@@ -644,5 +736,36 @@ mod tests {
         let des = sim.run().makespan().as_nanos();
         assert_eq!(c.message_latency_ns(&payloads), des);
         assert!(c.message_latency_ns(&[]) == 0);
+    }
+
+    #[test]
+    fn rate_schedule_scales_only_inside_windows() {
+        let sched = LinkRateSchedule::new().with_window(RateWindow {
+            start_ns: 1_000,
+            end_ns: 2_000,
+            slowdown: 4.0,
+        });
+        assert_eq!(sched.scaled_ns(0, 100), 100);
+        assert_eq!(sched.scaled_ns(1_000, 100), 400);
+        assert_eq!(sched.scaled_ns(1_999, 100), 400);
+        assert_eq!(sched.scaled_ns(2_000, 100), 100);
+        assert!(!sched.is_identity());
+    }
+
+    #[test]
+    fn overlapping_windows_compound_and_identity_is_free() {
+        let sched = LinkRateSchedule::always(2.0).with_window(RateWindow {
+            start_ns: 0,
+            end_ns: 10,
+            slowdown: 3.0,
+        });
+        assert_eq!(sched.scaled_ns(5, 100), 600);
+        assert_eq!(sched.scaled_ns(50, 100), 200);
+        let identity = LinkRateSchedule::new();
+        assert!(identity.is_identity());
+        assert_eq!(identity.scaled_ns(123, 777), 777);
+        // Sub-unity slowdowns clamp: a "fast" window cannot create time.
+        assert!(LinkRateSchedule::always(0.5).is_identity());
+        assert_eq!(LinkRateSchedule::always(0.5).scaled_ns(0, 100), 100);
     }
 }

@@ -353,6 +353,9 @@ pub struct Summary {
     pub net_transfer_bytes: u64,
     /// Last value and sample count per metric label.
     pub metrics: BTreeMap<String, (f64, u64)>,
+    /// Fault-injection and recovery counters (`fault/*` labels plus the
+    /// trainer's ring re-stitch events), summed per label.
+    pub faults: BTreeMap<String, u64>,
 }
 
 impl Summary {
@@ -449,6 +452,8 @@ impl Summary {
                         .exchange_ns_by_label
                         .entry(other.to_string())
                         .or_insert(0) += value;
+                } else if other.starts_with("fault/") || other == labels::RING_RESTITCH {
+                    *self.faults.entry(other.to_string()).or_insert(0) += value;
                 }
             }
         }

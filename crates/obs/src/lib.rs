@@ -105,6 +105,28 @@ pub mod labels {
     pub const METRIC_ACCURACY: &str = "metrics/accuracy";
     /// Counter: one confusion-matrix cell (track = truth, key = predicted).
     pub const METRIC_CONFUSION: &str = "metrics/confusion";
+    /// Counter: a transmission dropped by fault injection (track = src,
+    /// key = dst).
+    pub const FAULT_DROP: &str = "fault/drop";
+    /// Counter: a frame corrupted in flight and caught by its CRC tag.
+    pub const FAULT_CORRUPT: &str = "fault/corrupt";
+    /// Counter: packets reordered inside a frame (caught by the CRC tag).
+    pub const FAULT_REORDER: &str = "fault/reorder";
+    /// Counter: an undetected (post-tag) corruption that reached the
+    /// decoder and surfaced as a decode error.
+    pub const FAULT_POISON: &str = "fault/poison";
+    /// Counter: one bounded-retransmit attempt on a link.
+    pub const FAULT_RETRANSMIT: &str = "fault/retransmit";
+    /// Counter: retransmit backoff charged, nanoseconds.
+    pub const FAULT_BACKOFF_NS: &str = "fault/backoff_ns";
+    /// Counter: a leg renegotiated down to the uncompressed encoding
+    /// after repeated decode failures.
+    pub const FAULT_DEGRADED: &str = "fault/degraded";
+    /// Counter: a delivery refused because an endpoint has crashed.
+    pub const FAULT_CRASH: &str = "fault/crash";
+    /// Counter: the trainer excised a crashed endpoint and re-stitched
+    /// the ring over the survivors (key = excised endpoint).
+    pub const RING_RESTITCH: &str = "ring/restitch";
 }
 
 /// The clock an event's `ts` (and a span's duration) is expressed in.

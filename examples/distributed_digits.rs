@@ -7,7 +7,7 @@
 //! ```
 
 use inceptionn::ErrorBound;
-use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_distrib::{CodecSelection, DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
 use inceptionn_dnn::optim::SgdConfig;
@@ -16,7 +16,7 @@ fn run(label: &str, compression: Option<ErrorBound>, train: &DigitDataset, test:
     let cfg = TrainerConfig {
         workers: 4,
         strategy: ExchangeStrategy::Ring,
-        compression,
+        codec: CodecSelection::from_bound(compression),
         sgd: SgdConfig {
             learning_rate: 0.05,
             ..SgdConfig::default()

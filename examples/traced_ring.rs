@@ -14,7 +14,7 @@
 use std::path::Path;
 
 use inceptionn::ErrorBound;
-use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
 use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
@@ -26,7 +26,7 @@ fn main() {
         workers: 4,
         strategy: ExchangeStrategy::Ring,
         transport: TransportKind::TimedNic,
-        compression: Some(ErrorBound::pow2(10)),
+        codec: CodecSelection::from_bound(Some(ErrorBound::pow2(10))),
         batch_per_worker: 16,
         seed: 21,
         recorder: recorder.clone(),

@@ -52,20 +52,33 @@ fn seeded_violations_fail_with_file_and_line() {
     )
     .expect("seed file");
 
+    // And a sixth: an unwrap seeded onto a fault-recovery path, which
+    // has no allowlist escape at all.
+    let faults_dir = scratch.join("crates/distrib/src");
+    fs::create_dir_all(&faults_dir).expect("scratch tree");
+    fs::write(
+        faults_dir.join("faults.rs"),
+        "pub fn redeliver(x: Option<u8>) -> u8 {\n\
+         \x20   x.unwrap()\n\
+         }\n",
+    )
+    .expect("seed file");
+
     let diags = rules::lint_tree(&scratch).expect("lint runs on the scratch tree");
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
-    for (rule, line) in [
-        ("no-time-rng-in-wire", 2),
-        ("no-eager-format-hot-path", 2),
-        ("safety-comment", 3),
-        ("no-eager-format-hot-path", 4),
-        ("no-panic-hot-path", 5),
+    for (rule, line, file) in [
+        ("no-time-rng-in-wire", 2, "bitio.rs"),
+        ("no-eager-format-hot-path", 2, "bitio.rs"),
+        ("safety-comment", 3, "bitio.rs"),
+        ("no-eager-format-hot-path", 4, "bitio.rs"),
+        ("no-panic-hot-path", 5, "bitio.rs"),
+        ("no-panic-recovery-path", 2, "faults.rs"),
     ] {
         assert!(
             diags
                 .iter()
-                .any(|d| d.rule == rule && d.line == line && d.file.ends_with("bitio.rs")),
-            "seeded `{rule}` violation at line {line} not reported; got:\n{}",
+                .any(|d| d.rule == rule && d.line == line && d.file.ends_with(file)),
+            "seeded `{rule}` violation at {file}:{line} not reported; got:\n{}",
             rendered.join("\n")
         );
     }

@@ -6,6 +6,7 @@ use inceptionn::cluster::{compression_spec, measured_compression_ratio};
 use inceptionn::{ErrorBound, InceptionnCodec};
 use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
 use inceptionn_distrib::ring::{ring_allreduce, threaded_ring_allreduce};
+use inceptionn_distrib::CodecSelection;
 use inceptionn_nicsim::engine::{CompressionEngine, DecompressionEngine};
 use inceptionn_nicsim::{NicConfig, NicPipeline, Packet};
 use rand::rngs::StdRng;
@@ -63,13 +64,13 @@ fn threaded_ring_carries_the_hardware_wire_format_correctly() {
     // The threaded runtime exchanges real compressed byte streams; its
     // result must equal the sequential simulation for every bound.
     for e in [10u8, 6] {
-        let codec = InceptionnCodec::new(ErrorBound::pow2(e));
+        let codec = CodecSelection::Scalar(ErrorBound::pow2(e));
         let inputs: Vec<Vec<f32>> = (0..4)
             .map(|w| sample(GradientPreset::ResNet50, 400, 100 + w))
             .collect();
         let mut seq = inputs.clone();
-        ring_allreduce(&mut seq, Some(&codec));
-        let thr = threaded_ring_allreduce(inputs, Some(codec));
+        ring_allreduce(&mut seq, codec);
+        let thr = threaded_ring_allreduce(inputs, codec);
         assert_eq!(seq, thr, "bound 2^-{e}");
     }
 }

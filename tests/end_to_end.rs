@@ -3,7 +3,7 @@
 
 use inceptionn::api::CollectiveContext;
 use inceptionn::ErrorBound;
-use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_distrib::{CodecSelection, DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
 use inceptionn_dnn::optim::SgdConfig;
@@ -12,7 +12,7 @@ fn trainer_config(strategy: ExchangeStrategy, compression: Option<ErrorBound>) -
     TrainerConfig {
         workers: 4,
         strategy,
-        compression,
+        codec: CodecSelection::from_bound(compression),
         sgd: SgdConfig {
             learning_rate: 0.05,
             ..SgdConfig::default()

@@ -5,8 +5,11 @@
 //! agree with the analytic engine and network models.
 
 use inceptionn_compress::{ErrorBound, InceptionnCodec};
-use inceptionn_distrib::fabric::{Fabric, NicFabric, PayloadKind, TimedFabric, WireFrame};
+use inceptionn_distrib::fabric::{
+    CodecSelection, FabricBuilder, FrameBody, PayloadKind, TransportKind,
+};
 use inceptionn_distrib::ring::{block_range, ring_allreduce, ring_allreduce_over};
+use inceptionn_distrib::FaultPlan;
 use inceptionn_netsim::NetworkConfig;
 use inceptionn_nicsim::engine::{CompressionEngine, DecompressionEngine, PIPELINE_DEPTH};
 use inceptionn_nicsim::VALUES_PER_PACKET;
@@ -79,7 +82,11 @@ fn fabric_ring_is_bit_exact_with_the_pre_refactor_reference() {
             let mut want = inputs.clone();
             reference_ring_allreduce(&mut want, codec.as_ref());
             let mut got = inputs;
-            ring_allreduce(&mut got, codec.as_ref());
+            let selection = match bound {
+                None => CodecSelection::None,
+                Some(b) => CodecSelection::Scalar(b),
+            };
+            ring_allreduce(&mut got, selection);
             assert_eq!(got, want, "n={n} len={len} bound={bound:?} diverged");
         }
     }
@@ -94,9 +101,12 @@ fn nic_wire_bytes_are_engine_output_not_a_quantize_shortcut() {
     // rather than quantizing in software and shipping raw floats.
     let bound = ErrorBound::pow2(10);
     let vals = gradients(1000, 42); // 2 full packets + 1 ragged tail
-    let mut fabric = NicFabric::new(2, Some(bound));
+    let mut fabric = FabricBuilder::new(2)
+        .transport(TransportKind::Nic)
+        .compression(Some(bound))
+        .build();
     let frame = fabric.encode(0, &vals, PayloadKind::Gradient);
-    let WireFrame::Packets(packets) = &frame else {
+    let FrameBody::Packets(packets) = frame.body() else {
         panic!("NicFabric must emit packet frames");
     };
     assert_eq!(packets.len(), vals.len().div_ceil(VALUES_PER_PACKET));
@@ -179,9 +189,12 @@ fn timed_nic_ring_matches_the_analytic_engine_and_network_models() {
 
     // Lossless run: wire bytes are the raw floats, so the netsim charge
     // is predictable to the nanosecond and the engines never spin.
-    let mut fabric = TimedFabric::new(Box::new(NicFabric::new(n, None)), net);
+    let mut fabric = FabricBuilder::new(n)
+        .transport(TransportKind::TimedNic)
+        .network(net)
+        .build();
     let mut grads = worker_grads(n, len, 7);
-    ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
+    ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints).unwrap();
     let stats = fabric.stats();
     assert_eq!(
         stats.engine_cycles, 0,
@@ -200,9 +213,13 @@ fn timed_nic_ring_matches_the_analytic_engine_and_network_models() {
     // Compressed run: engine cycles are exact (they depend only on value
     // counts), and the link charge must agree with the closed form
     // applied to ratio-shrunk payloads within 5%.
-    let mut fabric = TimedFabric::new(Box::new(NicFabric::new(n, Some(bound))), net);
+    let mut fabric = FabricBuilder::new(n)
+        .transport(TransportKind::TimedNic)
+        .compression(Some(bound))
+        .network(net)
+        .build();
     let mut grads = worker_grads(n, len, 7);
-    ring_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
+    ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints).unwrap();
     let stats = fabric.stats();
     let want_cycles: u64 = rounds
         * block_values
@@ -238,4 +255,43 @@ fn timed_nic_ring_matches_the_analytic_engine_and_network_models() {
     // Consistency of the paper's headline: the compressed exchange holds
     // the wire for less time than the lossless one.
     assert!(stats.link_latency_ns < want_link);
+}
+
+#[test]
+fn zero_fault_decorator_is_bit_invisible() {
+    // Arming a `FaultPlan` whose probabilities are all zero must change
+    // nothing: same floats, same transfer accounting, zero fault
+    // counters — the decorator's pass-through path is free of side
+    // effects.
+    for bound in [None, Some(ErrorBound::pow2(10))] {
+        let endpoints: Vec<usize> = (0..4).collect();
+        let inputs = worker_grads(4, 900, 55);
+
+        let mut plain = inputs.clone();
+        let mut bare = FabricBuilder::new(4)
+            .transport(TransportKind::TimedNic)
+            .compression(bound)
+            .build();
+        ring_allreduce_over(bare.as_mut(), &mut plain, &endpoints).unwrap();
+
+        let mut decorated = inputs;
+        let mut faulty = FabricBuilder::new(4)
+            .transport(TransportKind::TimedNic)
+            .compression(bound)
+            .faults(FaultPlan::new(99))
+            .build();
+        ring_allreduce_over(faulty.as_mut(), &mut decorated, &endpoints).unwrap();
+
+        assert_eq!(plain, decorated, "bound {bound:?}: values changed");
+        assert_eq!(
+            bare.stats(),
+            faulty.stats(),
+            "bound {bound:?}: accounting changed"
+        );
+        assert_eq!(
+            faulty.fault_stats(),
+            inceptionn_distrib::FaultStats::default(),
+            "a clean plan must inject nothing"
+        );
+    }
 }

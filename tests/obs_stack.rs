@@ -4,7 +4,7 @@
 //! the recorder on must not change training at all.
 
 use inceptionn::ErrorBound;
-use inceptionn_distrib::fabric::TransportKind;
+use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
 use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
@@ -19,7 +19,7 @@ fn config(recorder: Recorder) -> TrainerConfig {
         workers: 4,
         strategy: ExchangeStrategy::Ring,
         transport: TransportKind::TimedNic,
-        compression: Some(ErrorBound::pow2(10)),
+        codec: CodecSelection::from_bound(Some(ErrorBound::pow2(10))),
         batch_per_worker: 8,
         seed: 33,
         recorder,
