@@ -78,7 +78,11 @@ pub const RECOVERY_PATH_FILES: &[&str] = &["crates/distrib/src/faults.rs"];
 /// Files whose code determines wire byte layout: covered by
 /// `no-time-rng-in-wire`. A wall-clock or RNG read here could make two
 /// encoders of the same block disagree — the one thing the codec's
-/// bit-exactness claim cannot survive.
+/// bit-exactness claim cannot survive. The event core and the topology
+/// layer are covered too: a wall-clock timestamp or random tie-break in
+/// the scheduler would let two replays of the same schedule order
+/// deliveries (and thus switch folds) differently, breaking the
+/// bit-identity guarantee of in-network reduction.
 pub const WIRE_LAYOUT_FILES: &[&str] = &[
     "crates/compress/src/burst.rs",
     "crates/compress/src/parallel.rs",
@@ -88,6 +92,9 @@ pub const WIRE_LAYOUT_FILES: &[&str] = &[
     "crates/nicsim/src/engine.rs",
     "crates/nicsim/src/nic.rs",
     "crates/nicsim/src/packet.rs",
+    "crates/nicsim/src/switchagg.rs",
+    "crates/netsim/src/event.rs",
+    "crates/netsim/src/topology.rs",
 ];
 
 /// The declared shim facade: which workspace crates may import each

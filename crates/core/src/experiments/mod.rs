@@ -26,6 +26,7 @@
 //! | error-bound sweep (ratio/accuracy knee) | [`boundsweep`] |
 //! | Fig. 1 organizations on an oversubscribed fabric | [`hierarchy`] |
 //! | vs 1-bit SGD / TernGrad / DGC top-k (Sec. IX) | [`related`] |
+//! | 4→1024 topology-tree sweep + in-network reduction | [`toposcale`] |
 
 pub mod ablation;
 pub mod boundsweep;
@@ -37,6 +38,7 @@ pub mod related;
 pub mod scaling;
 pub mod softcomp;
 pub mod speedup;
+pub mod toposcale;
 pub mod truncation;
 
 /// How much work an experiment run should invest.

@@ -31,8 +31,10 @@
 use std::fmt;
 
 use inceptionn_compress::{BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec};
-use inceptionn_netsim::{LinkRateSchedule, NetworkConfig};
-use inceptionn_nicsim::{decode_payload, encode_payload, NicConfig, NicPipeline, Packet};
+use inceptionn_netsim::{LinkRateSchedule, NetworkConfig, TierMap, Topology};
+use inceptionn_nicsim::{
+    decode_payload, encode_payload, NicConfig, NicPipeline, Packet, SwitchReducer,
+};
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 use crate::faults::{FaultPlan, FaultStats, FaultyFabric};
@@ -374,6 +376,19 @@ pub trait Fabric: Send {
     /// Untimed fabrics charge nothing.
     fn charge(&mut self, _src: usize, _dst: usize, _frame: &WireFrame) {}
 
+    /// Charges the *uplink half* of a transfer: `endpoint` pushes `frame`
+    /// as far as its first-hop switch and no further. The
+    /// switch-resident aggregation mode uses this for contribution legs,
+    /// whose traffic terminates at the reduce unit instead of descending
+    /// to an aggregation host. Untimed fabrics charge nothing.
+    fn charge_to_switch(&mut self, _endpoint: usize, _frame: &WireFrame) {}
+
+    /// Charges the *downlink half* of a transfer: the first-hop switch
+    /// pushes `frame` down to `endpoint`. The switch-resident
+    /// aggregation mode uses this for the result distribution legs.
+    /// Untimed fabrics charge nothing.
+    fn charge_from_switch(&mut self, _endpoint: usize, _frame: &WireFrame) {}
+
     /// Decodes `frame` at endpoint `dst` and hands the received values
     /// to `sink` (borrowed, so lossless in-process delivery can avoid
     /// copies).
@@ -388,6 +403,32 @@ pub trait Fabric: Send {
         frame: &WireFrame,
         sink: &mut dyn FnMut(&[f32]),
     ) -> Result<(), FabricError>;
+
+    /// Folds `frame`'s decoded values into `acc` *at the switch* — the
+    /// in-network reduction step of the switch-resident aggregation
+    /// mode. The fold is plain `f32` adds in call order, so a gather
+    /// performed through this hook is bit-identical to the host-side
+    /// aggregator folding the same delivered values.
+    ///
+    /// The default decodes through [`deliver`](Fabric::deliver) at the
+    /// frame's source endpoint (a pure software model); [`NicFabric`]
+    /// overrides it with the `inceptionn-nicsim` reduce unit so switch
+    /// cycles and reduced bytes are observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] on an integrity or decode failure. The
+    /// accumulator may then hold a partial fold — like real reduce
+    /// hardware, recovery is restarting the exchange, not the packet.
+    fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
+        let mut at = 0usize;
+        self.deliver(frame.src(), frame, &mut |b| {
+            for &v in b {
+                acc[at] += v;
+                at += 1;
+            }
+        })
+    }
 
     /// Totals accumulated so far.
     fn stats(&self) -> FabricStats;
@@ -672,28 +713,6 @@ impl InProcessFabric {
             seq: 0,
         }
     }
-
-    /// A fabric over `endpoints` endpoints, quantizing gradient payloads
-    /// when `compression` is set.
-    #[deprecated(note = "construct through FabricBuilder::new(..).compression(..).build()")]
-    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
-        Self::assemble(
-            endpoints,
-            CodecSelection::from_bound(compression),
-            &Recorder::off(),
-        )
-    }
-
-    /// Like `new`, recording transfer telemetry into `recorder` when it
-    /// is on.
-    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
-    pub fn with_recorder(
-        endpoints: usize,
-        compression: Option<ErrorBound>,
-        recorder: &Recorder,
-    ) -> Self {
-        Self::assemble(endpoints, CodecSelection::from_bound(compression), recorder)
-    }
 }
 
 impl Fabric for InProcessFabric {
@@ -792,6 +811,26 @@ impl Fabric for InProcessFabric {
         Ok(self.codec.quantize(values))
     }
 
+    fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
+        // Loopback shortcut: the frame already carries the (possibly
+        // quantized) values, so the switch fold is a direct add.
+        if !frame.integrity_ok() {
+            return Err(FabricError::Integrity { src: frame.src() });
+        }
+        match frame.body() {
+            FrameBody::Loopback(values) => {
+                for (a, &v) in acc.iter_mut().zip(values) {
+                    *a += v;
+                }
+                Ok(())
+            }
+            FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
+                fabric: "loopback",
+                got: "packet",
+            }),
+        }
+    }
+
     fn flush_obs(&mut self) {
         self.buf.flush();
     }
@@ -813,6 +852,10 @@ pub struct NicFabric {
     /// Per-endpoint cumulative engine time, the cycle-domain clock the
     /// compress/decompress spans are stamped in.
     clock: Vec<u64>,
+    /// Cumulative switch reduce-unit time, the clock the in-network
+    /// aggregation spans are stamped in (one reduce unit per fabric —
+    /// the mode folds at the workers' first-hop switch).
+    switch_clock: u64,
     seq: u64,
 }
 
@@ -832,30 +875,9 @@ impl NicFabric {
             stats: FabricStats::default(),
             buf: recorder.buffer(),
             clock: vec![0; endpoints],
+            switch_clock: 0,
             seq: 0,
         }
-    }
-
-    /// A fabric of `endpoints` NICs, engines programmed to `compression`
-    /// (lossless bypass when `None`).
-    #[deprecated(note = "construct through FabricBuilder::new(..).transport(Nic).build()")]
-    pub fn new(endpoints: usize, compression: Option<ErrorBound>) -> Self {
-        Self::assemble(
-            endpoints,
-            CodecSelection::from_bound(compression),
-            &Recorder::off(),
-        )
-    }
-
-    /// Like `new`, recording transfer counters and engine busy spans
-    /// into `recorder` when it is on.
-    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
-    pub fn with_recorder(
-        endpoints: usize,
-        compression: Option<ErrorBound>,
-        recorder: &Recorder,
-    ) -> Self {
-        Self::assemble(endpoints, CodecSelection::from_bound(compression), recorder)
     }
 
     /// Per-endpoint NIC statistics (packet and byte counters).
@@ -985,6 +1007,57 @@ impl Fabric for NicFabric {
         })
     }
 
+    fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
+        if !frame.integrity_ok() {
+            return Err(FabricError::Integrity { src: frame.src() });
+        }
+        match frame.body() {
+            FrameBody::Loopback(_) => Err(FabricError::FrameMismatch {
+                fabric: "NIC",
+                got: "loopback",
+            }),
+            FrameBody::Packets(packets) => {
+                // The switch's reduce unit decodes and folds the
+                // contribution; its cycles belong to the switch, not to
+                // any endpoint's NIC engines, so they are observable as
+                // `switch/reduce` spans rather than engine-cycle stats.
+                let mut unit = match self.compression {
+                    Some(bound) => SwitchReducer::with_codec(acc.len(), bound),
+                    None => SwitchReducer::plain(acc.len()),
+                };
+                unit.fold_contribution(packets)?;
+                for (a, &v) in acc.iter_mut().zip(unit.sum()) {
+                    *a += v;
+                }
+                if self.buf.is_on() {
+                    let track = frame.src() as u32;
+                    let cycles = unit.cycles();
+                    let wire: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::SWITCH_REDUCE,
+                            Domain::Cycles,
+                            track,
+                            packets.len() as u32,
+                            self.switch_clock,
+                            cycles,
+                        ));
+                    }
+                    self.buf.push(Event::count(
+                        labels::SWITCH_REDUCE_BYTES,
+                        Domain::Cycles,
+                        track,
+                        0,
+                        self.switch_clock,
+                        wire,
+                    ));
+                    self.switch_clock += cycles;
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn flush_obs(&mut self) {
         self.buf.flush();
     }
@@ -1004,6 +1077,10 @@ pub struct TimedFabric {
     /// and straggler uplinks slow the base serialization latency down
     /// by a multiplicative factor over windows of link virtual time.
     schedules: Vec<LinkRateSchedule>,
+    /// Compiled topology tree: attributes each charge's wire bytes to
+    /// the switch tier the traffic crosses. Defaults to a flat
+    /// single-switch tree (everything on tier 0).
+    tiers: TierMap,
     total_ns: u64,
     buf: EventBuf,
 }
@@ -1025,6 +1102,7 @@ impl TimedFabric {
     pub(crate) fn assemble(
         inner: Box<dyn Fabric>,
         net: NetworkConfig,
+        tiers: TierMap,
         recorder: &Recorder,
     ) -> Self {
         let endpoints = inner.endpoints();
@@ -1033,23 +1111,68 @@ impl TimedFabric {
             net,
             link_ns: vec![0; endpoints],
             schedules: vec![LinkRateSchedule::new(); endpoints],
+            tiers,
             total_ns: 0,
             buf: recorder.buffer(),
         }
     }
 
-    /// Times `inner` over `net`.
-    #[deprecated(note = "construct through FabricBuilder::new(..).network(..).build()")]
-    pub fn new(inner: Box<dyn Fabric>, net: NetworkConfig) -> Self {
-        Self::assemble(inner, net, &Recorder::off())
+    /// Attributes one charge's wire bytes to topology tier `tier`,
+    /// stamped at the charging link's current virtual time. Per-tier
+    /// sums therefore reconcile with the wire counters by construction
+    /// (fault-free; retransmits re-cross their tier).
+    fn note_tier_bytes(&mut self, tier: usize, endpoint: usize, wire: u64) {
+        if self.buf.is_on() {
+            self.buf.push(Event::count(
+                labels::FABRIC_TIER_BYTES,
+                Domain::Net,
+                tier as u32,
+                endpoint as u32,
+                self.link_ns[endpoint],
+                wire,
+            ));
+        }
     }
 
-    /// Like `new`, recording per-leg link occupancy spans into
-    /// `recorder` when it is on. The wrapped fabric keeps its own
-    /// buffer; build it with the same recorder to capture both layers.
-    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
-    pub fn with_recorder(inner: Box<dyn Fabric>, net: NetworkConfig, recorder: &Recorder) -> Self {
-        Self::assemble(inner, net, recorder)
+    /// Charges one switch half-leg (uplink when `to_switch`, else
+    /// downlink) against `endpoint`'s link and emits its occupancy span.
+    fn charge_switch_leg(&mut self, endpoint: usize, frame: &WireFrame, to_switch: bool) {
+        let packet_bytes = frame.packet_wire_bytes();
+        let wire: u64 = packet_bytes.iter().sum();
+        let base_ns = self.net.half_message_latency_ns(&packet_bytes);
+        // Only the uplink runs through the endpoint's rate schedule:
+        // stragglers and congestion windows model the host's send side.
+        let ns = if to_switch {
+            self.schedules[endpoint].scaled_ns(self.link_ns[endpoint], base_ns)
+        } else {
+            base_ns
+        };
+        // Switch legs terminate in the fabric: the edge tier carries the
+        // bytes, and the leg's `key == track` self-loop marks that no
+        // remote endpoint is involved.
+        self.note_tier_bytes(self.tiers.tiers() - 1, endpoint, wire);
+        if self.buf.is_on() {
+            let track = endpoint as u32;
+            let at = self.link_ns[endpoint];
+            self.buf.push(Event::complete(
+                labels::NET_LINK,
+                Domain::Net,
+                track,
+                track,
+                at,
+                ns,
+            ));
+            self.buf.push(Event::count(
+                labels::NET_LEG_BYTES,
+                Domain::Net,
+                track,
+                track,
+                at,
+                wire,
+            ));
+        }
+        self.link_ns[endpoint] += ns;
+        self.total_ns += ns;
     }
 
     /// Replaces the rate schedule of endpoint `src`'s uplink. Out-of-
@@ -1082,12 +1205,18 @@ impl Fabric for TimedFabric {
 
     fn charge(&mut self, src: usize, dst: usize, frame: &WireFrame) {
         self.inner.charge(src, dst, frame);
+        let packet_bytes = frame.packet_wire_bytes();
+        let wire: u64 = packet_bytes.iter().sum();
+        // Tier attribution happens before the self-delivery early return:
+        // a self-transfer's encoded bytes were counted by the wire
+        // counters, so the edge tier absorbs them to keep the per-tier
+        // sums equal to `fabric/wire_bytes`.
+        self.note_tier_bytes(self.tiers.tier_of(src, dst), src, wire);
         if src == dst {
             // Self-delivery (e.g. a leader rebroadcasting to itself)
             // never touches the network.
             return;
         }
-        let packet_bytes = frame.packet_wire_bytes();
         let base_ns = self.net.message_latency_ns(&packet_bytes);
         // A slowdown window (congestion, straggler uplink) stretches the
         // charge by the schedule's factor at the link's current virtual
@@ -1108,7 +1237,6 @@ impl Fabric for TimedFabric {
                 at,
                 ns,
             ));
-            let wire: u64 = packet_bytes.iter().sum();
             self.buf.push(Event::count(
                 labels::NET_LEG_BYTES,
                 Domain::Net,
@@ -1120,6 +1248,16 @@ impl Fabric for TimedFabric {
         }
         self.link_ns[src] += ns;
         self.total_ns += ns;
+    }
+
+    fn charge_to_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+        self.inner.charge_to_switch(endpoint, frame);
+        self.charge_switch_leg(endpoint, frame, true);
+    }
+
+    fn charge_from_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+        self.inner.charge_from_switch(endpoint, frame);
+        self.charge_switch_leg(endpoint, frame, false);
     }
 
     fn deliver(
@@ -1139,6 +1277,12 @@ impl Fabric for TimedFabric {
 
     fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
         self.inner.self_roundtrip(endpoint, values)
+    }
+
+    fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
+        // The reduce unit spends switch cycles, not link time; timing of
+        // the contribution leg was already charged by `charge_to_switch`.
+        self.inner.switch_fold(acc, frame)
     }
 
     fn flush_obs(&mut self) {
@@ -1177,34 +1321,6 @@ pub enum TransportKind {
 }
 
 impl TransportKind {
-    /// Builds the fabric for `endpoints` endpoints, compressing gradient
-    /// payloads per `compression`. Timed variants model the paper's
-    /// 10 GbE star.
-    #[deprecated(note = "construct through FabricBuilder::new(endpoints).transport(kind).build()")]
-    pub fn build(self, endpoints: usize, compression: Option<ErrorBound>) -> Box<dyn Fabric> {
-        FabricBuilder::new(endpoints)
-            .transport(self)
-            .compression(compression)
-            .build()
-    }
-
-    /// Like `build`, wiring every layer of the fabric to `recorder` so
-    /// transfers, engine spans, and link occupancy are all captured when
-    /// it is on.
-    #[deprecated(note = "construct through FabricBuilder::new(..).recorder(..).build()")]
-    pub fn build_with(
-        self,
-        endpoints: usize,
-        compression: Option<ErrorBound>,
-        recorder: &Recorder,
-    ) -> Box<dyn Fabric> {
-        FabricBuilder::new(endpoints)
-            .transport(self)
-            .compression(compression)
-            .recorder(recorder)
-            .build()
-    }
-
     /// Whether this kind wraps the base transport in a [`TimedFabric`].
     pub fn is_timed(self) -> bool {
         matches!(
@@ -1224,11 +1340,10 @@ impl TransportKind {
 
 /// The one construction path for every fabric stack in this crate.
 ///
-/// Collapses the historical `new` / `with_recorder` constructor pairs and
-/// the `TransportKind::build` / `build_with` selectors into a single
-/// builder: pick the endpoints, then optionally a transport kind, codec,
-/// recorder, network model, and fault plan, and [`build`](Self::build)
-/// assembles the full decorator stack in the right order —
+/// Pick the endpoints, then optionally a transport kind, codec,
+/// recorder, network model, topology tree, and fault plan, and
+/// [`build`](Self::build) assembles the full decorator stack in the
+/// right order —
 /// base transport → [`TimedFabric`] (timed kinds) → fault decorator
 /// (outermost, so perturbed frames cross the timing layer like real
 /// corrupted traffic).
@@ -1253,6 +1368,7 @@ pub struct FabricBuilder {
     codec: CodecSelection,
     recorder: Recorder,
     network: Option<NetworkConfig>,
+    topology: Option<Topology>,
     faults: Option<FaultPlan>,
 }
 
@@ -1266,6 +1382,7 @@ impl FabricBuilder {
             codec: CodecSelection::default(),
             recorder: Recorder::off(),
             network: None,
+            topology: None,
             faults: None,
         }
     }
@@ -1303,6 +1420,16 @@ impl FabricBuilder {
         self
     }
 
+    /// Declares the topology tree the endpoints hang off. Timed
+    /// transports attribute every charge's wire bytes to the switch tier
+    /// the traffic crosses (`fabric/tier_bytes`, tier 0 = core); untimed
+    /// transports have no charge step, so the declaration is inert
+    /// there. Default: a flat single-switch tree (all traffic tier 0).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+
     /// Arms deterministic fault injection: the built stack is wrapped in
     /// a fault decorator driving `plan`.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
@@ -1326,7 +1453,12 @@ impl FabricBuilder {
             let net = self
                 .network
                 .unwrap_or_else(|| NetworkConfig::ten_gbe(self.endpoints.max(2)));
-            let mut timed = TimedFabric::assemble(base, net, &self.recorder);
+            let tiers = self
+                .topology
+                .as_ref()
+                .map(Topology::tier_map)
+                .unwrap_or_else(|| Topology::flat(self.endpoints.max(1)).tier_map());
+            let mut timed = TimedFabric::assemble(base, net, tiers, &self.recorder);
             if let Some(plan) = &self.faults {
                 for (src, schedule) in plan.link_schedules(self.endpoints) {
                     timed.set_link_schedule(src, schedule);
@@ -1429,6 +1561,7 @@ mod tests {
                 &Recorder::off(),
             )),
             NetworkConfig::ten_gbe(3),
+            Topology::flat(3).tier_map(),
             &Recorder::off(),
         );
         let vals = gradients(3000, 5);
@@ -1588,6 +1721,7 @@ mod tests {
                 &Recorder::off(),
             )),
             NetworkConfig::ten_gbe(2),
+            Topology::flat(2).tier_map(),
             &Recorder::off(),
         );
         slowed.set_link_schedule(0, LinkRateSchedule::always(3.0));
@@ -1667,6 +1801,122 @@ mod tests {
             );
             assert_eq!(summary.total_link_ns(), stats.link_latency_ns, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn switch_fold_matches_the_host_gather_fold_bit_exactly() {
+        // The in-network reduction must be indistinguishable (in values)
+        // from delivering every contribution to a host and folding there
+        // in the same worker order — the property that lets the trainer
+        // swap the aggregation mode without perturbing training.
+        let grads: Vec<Vec<f32>> = (0..3).map(|w| gradients(1500, 20 + w as u64)).collect();
+        for compression in [None, Some(ErrorBound::pow2(10))] {
+            for kind in TransportKind::ALL {
+                let mut host_fabric = build(kind, 4, compression);
+                let mut host = vec![0.0f32; 1500];
+                for (w, g) in grads.iter().enumerate() {
+                    let out = host_fabric.transfer(w, 3, g).unwrap();
+                    for (a, v) in host.iter_mut().zip(out) {
+                        *a += v;
+                    }
+                }
+                let mut fabric = build(kind, 4, compression);
+                let mut acc = vec![0.0f32; 1500];
+                for (w, g) in grads.iter().enumerate() {
+                    let frame = fabric.encode(w, g, PayloadKind::Gradient);
+                    fabric.charge_to_switch(w, &frame);
+                    fabric.switch_fold(&mut acc, &frame).unwrap();
+                }
+                assert_eq!(acc, host, "{kind:?} {compression:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn switch_half_legs_split_the_full_message_charge() {
+        let vals = gradients(50_000, 21);
+        let mut full = build(TransportKind::TimedNic, 2, None);
+        full.transfer(0, 1, &vals).unwrap();
+        let full_ns = full.stats().link_latency_ns;
+        let mut half = build(TransportKind::TimedNic, 2, None);
+        let frame = half.encode(0, &vals, PayloadKind::Gradient);
+        half.charge_to_switch(0, &frame);
+        let up_ns = half.stats().link_latency_ns;
+        assert!(
+            up_ns > 0 && up_ns < full_ns,
+            "one half-leg must cost less than the full path: {up_ns} vs {full_ns}"
+        );
+        half.charge_from_switch(1, &frame);
+        let both_ns = half.stats().link_latency_ns;
+        assert_eq!(
+            both_ns,
+            2 * up_ns,
+            "identity schedules make the two half-legs symmetric"
+        );
+    }
+
+    #[test]
+    fn tier_accounting_reconciles_with_wire_counters_at_every_depth() {
+        let vals = gradients(2000, 22);
+        for topo in [
+            Topology::flat(4),
+            Topology::two_tier(2, 2),
+            Topology::uniform(&[2, 2, 1]),
+        ] {
+            let rec = Recorder::on();
+            let mut fabric = FabricBuilder::new(4)
+                .transport(TransportKind::TimedNic)
+                .compression(Some(ErrorBound::pow2(10)))
+                .topology(topo.clone())
+                .recorder(&rec)
+                .build();
+            fabric.transfer(0, 3, &vals).unwrap(); // crosses the core
+            fabric.transfer(0, 1, &vals).unwrap(); // same rack on deep trees
+            fabric.transfer_plain(2, 2, &vals).unwrap(); // self → edge tier
+            let frame = fabric.encode(1, &vals, PayloadKind::Gradient);
+            fabric.charge_to_switch(1, &frame); // switch half-leg → edge tier
+            fabric.flush_obs();
+            let stats = fabric.stats();
+            let summary = rec.finish().summary();
+            assert_eq!(
+                summary.total_tier_bytes(),
+                stats.wire_bytes,
+                "{topo:?}: per-tier sums must equal the wire total to the byte"
+            );
+            assert!(
+                summary
+                    .wire_bytes_by_tier
+                    .keys()
+                    .all(|&t| (t as usize) < topo.depth()),
+                "{topo:?}: tiers beyond the tree depth appeared"
+            );
+            assert!(summary.wire_bytes_by_tier.contains_key(&0), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn switch_reduction_is_observable() {
+        let vals = gradients(1448 * 2, 23);
+        let rec = Recorder::on();
+        let mut fabric = FabricBuilder::new(2)
+            .transport(TransportKind::Nic)
+            .compression(Some(ErrorBound::pow2(10)))
+            .recorder(&rec)
+            .build();
+        let mut acc = vec![0.0f32; vals.len()];
+        for w in 0..2 {
+            let frame = fabric.encode(w, &vals, PayloadKind::Gradient);
+            fabric.switch_fold(&mut acc, &frame).unwrap();
+        }
+        fabric.flush_obs();
+        let summary = rec.finish().summary();
+        assert_eq!(summary.switch_reduce_folds, 2);
+        assert!(summary.switch_reduce_cycles > 0);
+        assert_eq!(
+            summary.switch_reduce_bytes,
+            fabric.stats().wire_bytes,
+            "the reduce unit saw exactly the encoded wire bytes"
+        );
     }
 
     #[test]

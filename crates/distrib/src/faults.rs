@@ -528,6 +528,14 @@ impl Fabric for FaultyFabric {
         self.inner.charge(src, dst, frame);
     }
 
+    fn charge_to_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+        self.inner.charge_to_switch(endpoint, frame);
+    }
+
+    fn charge_from_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+        self.inner.charge_from_switch(endpoint, frame);
+    }
+
     fn deliver(
         &mut self,
         dst: usize,
@@ -614,6 +622,19 @@ impl Fabric for FaultyFabric {
 
     fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
         self.inner.self_roundtrip(endpoint, values)
+    }
+
+    fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
+        // A crashed endpoint offers no contribution; link-level faults
+        // on the uplink half-leg are folded into the plan's per-link
+        // poisoning of the *exchange restart* path instead of being
+        // drawn here — the reduce unit has no retransmission protocol.
+        if let Some(ep) = self.crashed_endpoint() {
+            if ep == frame.src() {
+                return Err(FabricError::EndpointDown { endpoint: ep });
+            }
+        }
+        self.inner.switch_fold(acc, frame)
     }
 
     fn flush_obs(&mut self) {
@@ -804,6 +825,24 @@ mod tests {
         // Survivor-to-survivor traffic is unaffected.
         assert_eq!(fabric.transfer(0, 1, &v).unwrap(), v);
         assert_eq!(fabric.fault_stats().crashes, 1);
+    }
+
+    #[test]
+    fn crashed_endpoint_contributes_nothing_to_the_switch() {
+        let v = vals(64);
+        let mut fabric = FabricBuilder::new(2)
+            .faults(FaultPlan::new(1).crash(1, 1))
+            .build();
+        fabric.begin_iteration(1);
+        let mut acc = vec![0.0f32; 64];
+        let frame = fabric.encode(1, &v, PayloadKind::Gradient);
+        let err = fabric
+            .switch_fold(&mut acc, &frame)
+            .expect_err("a crashed worker cannot reach the reduce unit");
+        assert_eq!(err, FabricError::EndpointDown { endpoint: 1 });
+        let frame = fabric.encode(0, &v, PayloadKind::Gradient);
+        fabric.switch_fold(&mut acc, &frame).unwrap();
+        assert_eq!(acc, v, "the survivor's contribution still folds");
     }
 
     #[test]

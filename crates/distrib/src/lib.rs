@@ -22,10 +22,16 @@
 //!   channels (with a [`fabric::NicFabric`], the actual
 //!   hardware-compressed byte streams);
 //! * [`ring::hierarchical_ring_allreduce_over`] — the grouped
-//!   composition of Fig. 1(c);
+//!   composition of Fig. 1(c), now the two-tier special case of
+//!   [`ring::tree_allreduce_over`], which runs the same scheme over a
+//!   topology tree of arbitrary depth;
 //! * [`aggregator::worker_aggregator_allreduce_over`] — the conventional
 //!   centralized exchange (Fig. 2), where only the gradient (up) leg is
 //!   compressible;
+//! * [`switch::switch_allreduce_over`] — in-network reduction: the
+//!   switch's reduce unit folds gradient packets in flight, eliminating
+//!   the gather leg entirely (bit-identical to the worker/aggregator
+//!   result);
 //! * [`trainer::DistributedTrainer`] — end-to-end data-parallel training
 //!   of model replicas over dataset shards with any exchange × transport
 //!   combination ([`trainer::TrainerConfig::transport`]).
@@ -57,6 +63,7 @@ pub mod aggregator;
 pub mod fabric;
 pub mod faults;
 pub mod ring;
+pub mod switch;
 pub mod trainer;
 
 pub use fabric::{
@@ -64,5 +71,6 @@ pub use fabric::{
     NicFabric, PayloadKind, TimedFabric, TransportKind, WireFrame,
 };
 pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
-pub use ring::{ring_allreduce, threaded_ring_allreduce};
+pub use ring::{ring_allreduce, threaded_ring_allreduce, tree_allreduce_over};
+pub use switch::{switch_allreduce, switch_allreduce_over};
 pub use trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};

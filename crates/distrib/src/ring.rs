@@ -22,8 +22,11 @@
 //! failures — a frame on the wrong transport, a crashed endpoint —
 //! surface as the typed error so callers (the trainer) can re-stitch.
 
+use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::sync::{Mutex, MutexGuard};
+
+use inceptionn_netsim::Topology;
 
 use crate::fabric::{
     CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind, TransportKind, WireFrame,
@@ -251,13 +254,165 @@ pub fn ring_allreduce(workers: &mut [Vec<f32>], codec: CodecSelection) {
         .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
 }
 
+/// Bottom-up reduction over one topology subtree: recursively reduce
+/// each child, then ring all-reduce over the child leaders' gradient
+/// slots in place. Returns the subtree's leader endpoint; on return
+/// every child leader of this subtree holds the subtree sum.
+fn reduce_up(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+) -> Result<usize, FabricError> {
+    match topo {
+        Topology::Worker(w) => Ok(*w),
+        Topology::Group(children) => {
+            let mut leaders = Vec::with_capacity(children.len());
+            for child in children {
+                leaders.push(reduce_up(fabric, workers, pos, child)?);
+            }
+            if leaders.len() > 1 {
+                // Ring over the leaders' own slots: the ring needs a
+                // contiguous `&mut [Vec<f32>]`, so the slots are taken
+                // out and restored around the call (even on error, so a
+                // failed exchange leaves every gradient where it was).
+                let mut grads: Vec<Vec<f32>> = leaders
+                    .iter()
+                    .map(|&e| std::mem::take(&mut workers[pos[&e]]))
+                    .collect();
+                let outcome = ring_allreduce_over(fabric, &mut grads, &leaders);
+                for (&e, g) in leaders.iter().zip(grads) {
+                    workers[pos[&e]] = g;
+                }
+                outcome?;
+            }
+            Ok(leaders[0])
+        }
+    }
+}
+
+/// Top-down broadcast into one subtree whose leader already holds the
+/// sum: the leader forwards it to every other child leader (one
+/// compressible gradient hop each, redelivered plain on recoverable
+/// failure) and applies the wire round trip to its own slot, then each
+/// child group recurses. Worker leaves are no-ops: a worker that is
+/// reached here already received the sum from its group leader.
+fn spread_into(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+) -> Result<(), FabricError> {
+    let Topology::Group(children) = topo else {
+        return Ok(());
+    };
+    let leader = topo.leader();
+    let sum = workers[pos[&leader]].clone();
+    for child in children {
+        let to = child.leader();
+        if to == leader {
+            continue;
+        }
+        match fabric.transfer(leader, to, &sum) {
+            Ok(v) => workers[pos[&to]] = v,
+            Err(e) if e.is_recoverable() => {
+                fabric.note_degraded(leader, to);
+                workers[pos[&to]] = fabric.transfer_plain(leader, to, &sum)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // The leader applies the same wire round trip locally (bit-identical
+    // to receiving its own frame) instead of a phantom self-transfer
+    // that would inflate the wire/packet counters with traffic that
+    // never crosses a link.
+    workers[pos[&leader]] = fabric.self_roundtrip(leader, &sum)?;
+    for child in children {
+        spread_into(fabric, workers, pos, child)?;
+    }
+    Ok(())
+}
+
+/// Starts the broadcast below the topmost level at which a leader ring
+/// actually ran: after that ring every child leader already holds the
+/// sum, so the descent begins inside each child subtree. Single-child
+/// groups contribute no ring of their own and are skipped through.
+fn spread_from_root(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+) -> Result<(), FabricError> {
+    match topo {
+        Topology::Worker(_) => Ok(()),
+        Topology::Group(children) if children.len() == 1 => {
+            spread_from_root(fabric, workers, pos, &children[0])
+        }
+        Topology::Group(children) => {
+            for child in children {
+                spread_into(fabric, workers, pos, child)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Topology-tree composition of the ring exchange: rings run bottom-up
+/// at every level of `topo` (members of each group first, then group
+/// leaders one tier up, and so on to the root), and the global sum is
+/// broadcast back down leader-to-leader. The two-level hierarchy of
+/// Fig. 1(c) is the `depth == 2` special case; arbitrary depths model
+/// deeper switch hierarchies.
+///
+/// `workers[k]` is the gradient of topology leaf `topo.workers()[k]`,
+/// and that leaf id is used as the fabric endpoint.
+///
+/// Without compression the result equals the flat ring bit-for-bit on
+/// every worker. With compression, workers inside one group stay
+/// bit-identical to their group leader; divergence across groups is
+/// bounded by the codec's error bound per tier.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if any hop's delivery fails past recovery
+/// (see [`ring_allreduce_over`]).
+///
+/// # Panics
+///
+/// Panics if `workers.len()` differs from the topology's leaf count, if
+/// the worker vectors differ in length, or if a leaf id is out of range
+/// for the fabric.
+pub fn tree_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    topo: &Topology,
+) -> Result<(), FabricError> {
+    let order = topo.workers();
+    assert_eq!(
+        order.len(),
+        workers.len(),
+        "one gradient vector per topology leaf"
+    );
+    assert_uniform(workers);
+    assert!(
+        order.iter().all(|&e| e < fabric.endpoints()),
+        "topology leaf out of range for a fabric with {} endpoints",
+        fabric.endpoints()
+    );
+    let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(k, &e)| (e, k)).collect();
+    reduce_up(fabric, workers, &pos, topo)?;
+    spread_from_root(fabric, workers, &pos, topo)
+}
+
 /// Two-level hierarchical composition of the ring exchange (Fig. 1(c))
 /// over a fabric: rings within each group of `group_size` workers reduce
 /// locally, group leaders (the first member of each group) ring-exchange
 /// across groups, and leaders propagate the global sum back through
 /// their group with one more compressible gradient hop per member.
 ///
-/// Worker `i` uses fabric endpoint `i`.
+/// Worker `i` uses fabric endpoint `i`. This is [`tree_allreduce_over`]
+/// on the matching two-tier topology (or the flat one when there is a
+/// single group, where no broadcast leg exists).
 ///
 /// # Errors
 ///
@@ -281,45 +436,12 @@ pub fn hierarchical_ring_allreduce_over(
     );
     assert!(fabric.endpoints() >= n, "fabric must cover every worker");
     let groups = n / group_size;
-    // Level 1: intra-group rings.
-    for g in 0..groups {
-        let endpoints: Vec<usize> = (g * group_size..(g + 1) * group_size).collect();
-        ring_allreduce_over(
-            fabric,
-            &mut workers[g * group_size..(g + 1) * group_size],
-            &endpoints,
-        )?;
-    }
-    if groups > 1 {
-        // Level 2: leaders exchange across groups.
-        let leader_endpoints: Vec<usize> = (0..groups).map(|g| g * group_size).collect();
-        let mut leader_grads: Vec<Vec<f32>> = leader_endpoints
-            .iter()
-            .map(|&e| workers[e].clone())
-            .collect();
-        ring_allreduce_over(fabric, &mut leader_grads, &leader_endpoints)?;
-        // Broadcast the global sum back through each group. Members
-        // receive it over the fabric; the leader applies the same wire
-        // round trip locally (bit-identical to receiving its own frame)
-        // instead of a phantom self-transfer that would inflate the
-        // wire/packet counters with traffic that never crosses a link.
-        // A member hop that fails recoverably is redelivered plain.
-        for (g, sum) in leader_grads.into_iter().enumerate() {
-            let leader = g * group_size;
-            for m in 1..group_size {
-                match fabric.transfer(leader, leader + m, &sum) {
-                    Ok(v) => workers[leader + m] = v,
-                    Err(e) if e.is_recoverable() => {
-                        fabric.note_degraded(leader, leader + m);
-                        workers[leader + m] = fabric.transfer_plain(leader, leader + m, &sum)?;
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            workers[leader] = fabric.self_roundtrip(leader, &sum)?;
-        }
-    }
-    Ok(())
+    let topo = if groups == 1 {
+        Topology::flat(n)
+    } else {
+        Topology::two_tier(groups, group_size)
+    };
+    tree_allreduce_over(fabric, workers, &topo)
 }
 
 /// Two-level hierarchical ring exchange with the in-process compression
@@ -1056,6 +1178,105 @@ mod tests {
             match &reference {
                 None => reference = Some(workers),
                 Some(r) => assert_eq!(r, &workers, "{kind:?} diverged across transports"),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_matches_direct_sum_on_deep_topologies() {
+        for arities in [
+            [2usize, 2, 2].as_slice(),
+            &[2, 2, 1],
+            &[3, 2],
+            &[2, 4],
+            &[8],
+            &[1, 4],
+        ] {
+            let topo = Topology::uniform(arities);
+            let n = topo.worker_count();
+            let mut grads = random_grads(n, 120, (n * 7 + arities.len()) as u64);
+            let want = direct_sum(&grads);
+            let mut fabric = build(TransportKind::InProcess, n, None);
+            tree_allreduce_over(fabric.as_mut(), &mut grads, &topo).unwrap();
+            for (i, g) in grads.iter().enumerate() {
+                for (a, b) in g.iter().zip(&want) {
+                    assert!((a - b).abs() < 1e-4, "{arities:?} worker {i}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_over_nic_matches_in_process_bit_exactly() {
+        let topo = Topology::uniform(&[2, 2, 2]);
+        for bound in [None, Some(ErrorBound::pow2(10))] {
+            let grads = random_grads(8, 300, 94);
+            let mut in_proc = grads.clone();
+            let mut a = build(TransportKind::InProcess, 8, bound);
+            tree_allreduce_over(a.as_mut(), &mut in_proc, &topo).unwrap();
+            let mut over_nic = grads.clone();
+            let mut b = build(TransportKind::Nic, 8, bound);
+            tree_allreduce_over(b.as_mut(), &mut over_nic, &topo).unwrap();
+            assert_eq!(in_proc, over_nic, "bound {bound:?}");
+        }
+    }
+
+    #[test]
+    fn tree_groups_stay_bit_identical_under_compression() {
+        // The broadcast descends leader-to-leader, so every worker must
+        // end bit-identical to its innermost group leader even when each
+        // tier adds a quantization hop.
+        let topo = Topology::uniform(&[2, 2, 2]);
+        let mut grads = random_grads(8, 300, 95);
+        let mut fabric = build(TransportKind::Nic, 8, Some(ErrorBound::pow2(10)));
+        tree_allreduce_over(fabric.as_mut(), &mut grads, &topo).unwrap();
+        for pair in 0..4 {
+            assert_eq!(
+                grads[pair * 2],
+                grads[pair * 2 + 1],
+                "pair {pair} diverged from its leader"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_on_two_tiers_matches_the_hierarchical_exchange_bit_exactly() {
+        // The historical two-level function is now a wrapper; pin the
+        // equivalence explicitly so a tree regression cannot hide behind
+        // the wrapper's own tests.
+        let grads = random_grads(6, 300, 96);
+        let mut via_wrapper = grads.clone();
+        let mut a = build(TransportKind::Nic, 6, Some(ErrorBound::pow2(10)));
+        hierarchical_ring_allreduce_over(a.as_mut(), &mut via_wrapper, 3).unwrap();
+        let mut via_tree = grads.clone();
+        let mut b = build(TransportKind::Nic, 6, Some(ErrorBound::pow2(10)));
+        tree_allreduce_over(b.as_mut(), &mut via_tree, &Topology::two_tier(2, 3)).unwrap();
+        assert_eq!(via_wrapper, via_tree);
+        assert_eq!(a.stats().wire_bytes, b.stats().wire_bytes);
+    }
+
+    #[test]
+    fn excised_tree_still_reduces_the_survivors() {
+        // Losing leaf 3 of a [2,2,2] tree leaves 7 survivors; the
+        // exchange must still produce the survivors' sum on each of them
+        // while endpoint 3 is never touched.
+        let topo = Topology::uniform(&[2, 2, 2])
+            .excise(3)
+            .expect("seven workers remain");
+        let grads = random_grads(8, 120, 97);
+        let survivors: Vec<usize> = topo.workers();
+        assert_eq!(survivors, vec![0, 1, 2, 4, 5, 6, 7]);
+        let mut live: Vec<Vec<f32>> = survivors.iter().map(|&w| grads[w].clone()).collect();
+        let want = direct_sum(&live);
+        let mut fabric = build(TransportKind::Nic, 8, None);
+        tree_allreduce_over(fabric.as_mut(), &mut live, &topo).unwrap();
+        for (k, g) in live.iter().enumerate() {
+            for (a, b) in g.iter().zip(&want) {
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "survivor {} diverged: {a} vs {b}",
+                    survivors[k]
+                );
             }
         }
     }

@@ -1,0 +1,313 @@
+//! Switch-resident in-network aggregation exchange.
+//!
+//! Instead of hauling every gradient to a host-side aggregator and back
+//! (the worker/aggregator pattern of Fig. 1(a)), each contribution climbs
+//! its uplink once and terminates at the switch's reduce unit, which
+//! folds packets in flight. The gather leg that would descend from the
+//! switch to an aggregator host never exists, halving the volume on the
+//! aggregator's link and removing the host fold from the critical path.
+//!
+//! The fold order is the worker order, so the result is bit-identical to
+//! [`worker_aggregator_allreduce_over`](crate::worker_aggregator_allreduce_over)
+//! under the same fabric — pinned by tests here, which is what makes the
+//! mode a drop-in substitution rather than a numerically different
+//! algorithm.
+
+use crate::fabric::{CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind};
+
+/// In-place all-reduce through a switch-resident reduce unit:
+/// `endpoints[k]` is worker `k`'s NIC. Gather: each worker's gradient is
+/// encoded, charged one **uplink half-leg**, and folded into the switch
+/// accumulator. Distribute: the folded sum streams down every member
+/// port as a plain (incompressible) frame, charged one **downlink
+/// half-leg** each.
+///
+/// The reduce unit has no retransmission protocol: a contribution that
+/// fails recoverably leaves a partial fold behind, so the whole gather
+/// restarts from a zeroed accumulator with plain frames (and the failing
+/// endpoint's leg is noted degraded). Modeling shortcut on the
+/// distribute leg: the plain frame is encoded at the receiving endpoint
+/// — the bytes equal what the switch would send, and the wire counters
+/// attribute the downlink volume to the endpoint that owns the link.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if a fold or delivery fails past recovery
+/// (wrong wire format for the transport, a crashed endpoint, or a
+/// failure on the already-degraded plain path).
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, the gradients differ in length,
+/// `endpoints.len() != workers.len()`, or an endpoint is out of range.
+pub fn switch_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    assert!(n > 0, "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    assert_eq!(endpoints.len(), n, "one endpoint per worker");
+    assert!(
+        endpoints.iter().all(|&e| e < fabric.endpoints()),
+        "endpoint out of range for a fabric with {} endpoints",
+        fabric.endpoints()
+    );
+
+    let mut sum = vec![0.0f32; len];
+    let mut plain_restart = false;
+    'gather: loop {
+        for (k, w) in workers.iter().enumerate() {
+            let kind = if plain_restart {
+                PayloadKind::Plain
+            } else {
+                PayloadKind::Gradient
+            };
+            let frame = fabric.encode(endpoints[k], w, kind);
+            fabric.charge_to_switch(endpoints[k], &frame);
+            match fabric.switch_fold(&mut sum, &frame) {
+                Ok(()) => {}
+                Err(e) if e.is_recoverable() && !plain_restart => {
+                    fabric.note_degraded(endpoints[k], endpoints[k]);
+                    sum.fill(0.0);
+                    plain_restart = true;
+                    continue 'gather;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        break;
+    }
+
+    for (k, w) in workers.iter_mut().enumerate() {
+        let e = endpoints[k];
+        let frame = fabric.encode(e, &sum, PayloadKind::Plain);
+        fabric.charge_from_switch(e, &frame);
+        match fabric.deliver(e, &frame, &mut |b| w.copy_from_slice(b)) {
+            Ok(()) => {}
+            Err(err) if err.is_recoverable() => {
+                fabric.note_degraded(e, e);
+                let frame = fabric.encode(e, &sum, PayloadKind::Plain);
+                fabric.charge_from_switch(e, &frame);
+                fabric.deliver(e, &frame, &mut |b| w.copy_from_slice(b))?;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
+}
+
+/// Switch-resident all-reduce with the in-process shortcut: builds a
+/// fabric with one endpoint per worker (the switch itself holds no
+/// endpoint) and runs [`switch_allreduce_over`] with worker `k` on
+/// endpoint `k`.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty or the gradients differ in length.
+pub fn switch_allreduce(workers: &mut [Vec<f32>], codec: CodecSelection) {
+    let endpoints: Vec<usize> = (0..workers.len()).collect();
+    let mut fabric = FabricBuilder::new(workers.len()).codec(codec).build();
+    switch_allreduce_over(fabric.as_mut(), workers, &endpoints)
+        .expect("in-process delivery is infallible: the fabric sees only its own loopback frames");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::worker_aggregator_allreduce_over;
+    use crate::fabric::{FabricStats, TransportKind, WireFrame};
+    use inceptionn_compress::ErrorBound;
+    use inceptionn_netsim::NetworkConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.1f32..0.1)).collect())
+            .collect()
+    }
+
+    fn build(
+        kind: TransportKind,
+        endpoints: usize,
+        compression: Option<ErrorBound>,
+    ) -> Box<dyn Fabric> {
+        FabricBuilder::new(endpoints)
+            .transport(kind)
+            .compression(compression)
+            .build()
+    }
+
+    #[test]
+    fn switch_fold_matches_the_host_aggregator_bit_exactly() {
+        // The acceptance bar for in-network reduction: final weights
+        // must equal the host-side gather/broadcast under a fixed seed,
+        // on every transport, with and without compression.
+        for kind in TransportKind::ALL {
+            for bound in [None, Some(ErrorBound::pow2(10))] {
+                let grads = random_grads(5, 300, 31);
+                let mut host = grads.clone();
+                let mut wa = build(kind, 6, bound); // workers + aggregator
+                worker_aggregator_allreduce_over(wa.as_mut(), &mut host).unwrap();
+                let mut net = grads.clone();
+                let endpoints: Vec<usize> = (0..5).collect();
+                let mut sw = build(kind, 5, bound); // workers only
+                switch_allreduce_over(sw.as_mut(), &mut net, &endpoints).unwrap();
+                assert_eq!(host, net, "{kind:?} bound {bound:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_leg_compresses_and_distribute_stays_plain() {
+        let n = 4;
+        let mut compressed = random_grads(n, 512, 32);
+        let endpoints: Vec<usize> = (0..n).collect();
+        let mut fabric = build(TransportKind::Nic, n, Some(ErrorBound::pow2(10)));
+        switch_allreduce_over(fabric.as_mut(), &mut compressed, &endpoints).unwrap();
+        let stats = fabric.stats();
+        assert_eq!(
+            stats.transfers,
+            2 * n as u64,
+            "one up + one down per worker"
+        );
+
+        let mut plain = random_grads(n, 512, 32);
+        let mut baseline = build(TransportKind::Nic, n, None);
+        switch_allreduce_over(baseline.as_mut(), &mut plain, &endpoints).unwrap();
+        assert!(
+            stats.wire_bytes < baseline.stats().wire_bytes,
+            "compressed gather must shrink the exchange: {} vs {}",
+            stats.wire_bytes,
+            baseline.stats().wire_bytes
+        );
+    }
+
+    #[test]
+    fn half_legs_undercut_the_host_aggregator_link_time() {
+        // Same star network for both modes: the switch path charges 2n
+        // half-message legs, the host path 2n full messages plus the
+        // descent/ascent on the aggregator's own link.
+        let net = NetworkConfig::ten_gbe(8);
+        let grads = random_grads(4, 2048, 33);
+
+        let mut host = grads.clone();
+        let mut wa = FabricBuilder::new(5)
+            .transport(TransportKind::TimedNic)
+            .network(net)
+            .build();
+        worker_aggregator_allreduce_over(wa.as_mut(), &mut host).unwrap();
+
+        let mut net_side = grads.clone();
+        let endpoints: Vec<usize> = (0..4).collect();
+        let mut sw = FabricBuilder::new(4)
+            .transport(TransportKind::TimedNic)
+            .network(net)
+            .build();
+        switch_allreduce_over(sw.as_mut(), &mut net_side, &endpoints).unwrap();
+
+        assert_eq!(host, net_side);
+        let (host_ns, switch_ns) = (wa.stats().link_latency_ns, sw.stats().link_latency_ns);
+        assert!(switch_ns > 0);
+        assert!(
+            switch_ns < host_ns,
+            "eliminating the gather leg must cut link time: {switch_ns} vs {host_ns}"
+        );
+    }
+
+    #[test]
+    fn poisoned_contribution_restarts_the_gather_plain() {
+        // A reduce unit cannot retransmit one packet; the exchange
+        // restarts from a zeroed accumulator. Wrap a real fabric and
+        // poison the first fold.
+        struct PoisonedSwitch {
+            inner: Box<dyn Fabric>,
+            remaining_failures: u32,
+            degraded: Vec<(usize, usize)>,
+        }
+        impl Fabric for PoisonedSwitch {
+            fn endpoints(&self) -> usize {
+                self.inner.endpoints()
+            }
+            fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+                self.inner.encode(src, values, kind)
+            }
+            fn charge(&mut self, src: usize, dst: usize, frame: &WireFrame) {
+                self.inner.charge(src, dst, frame);
+            }
+            fn charge_to_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+                self.inner.charge_to_switch(endpoint, frame);
+            }
+            fn charge_from_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+                self.inner.charge_from_switch(endpoint, frame);
+            }
+            fn deliver(
+                &mut self,
+                dst: usize,
+                frame: &WireFrame,
+                sink: &mut dyn FnMut(&[f32]),
+            ) -> Result<(), FabricError> {
+                self.inner.deliver(dst, frame, sink)
+            }
+            fn switch_fold(
+                &mut self,
+                acc: &mut [f32],
+                frame: &WireFrame,
+            ) -> Result<(), FabricError> {
+                if self.remaining_failures > 0 {
+                    self.remaining_failures -= 1;
+                    // Scribble on the accumulator to prove the restart
+                    // really zeroes partial state.
+                    acc.fill(1e9);
+                    return Err(FabricError::Decode(inceptionn_compress::DecodeError {
+                        at_value: 0,
+                        bit_offset: 0,
+                        tag: None,
+                    }));
+                }
+                self.inner.switch_fold(acc, frame)
+            }
+            fn stats(&self) -> FabricStats {
+                self.inner.stats()
+            }
+            fn note_degraded(&mut self, src: usize, dst: usize) {
+                self.degraded.push((src, dst));
+                self.inner.note_degraded(src, dst);
+            }
+        }
+
+        let mut grads = random_grads(3, 64, 34);
+        let want = {
+            let mut exact = grads.clone();
+            switch_allreduce(&mut exact, CodecSelection::None);
+            exact[0].clone()
+        };
+        let mut fabric = PoisonedSwitch {
+            inner: build(TransportKind::Nic, 3, Some(ErrorBound::pow2(10))),
+            remaining_failures: 1,
+            degraded: Vec::new(),
+        };
+        let endpoints: Vec<usize> = (0..3).collect();
+        switch_allreduce_over(&mut fabric, &mut grads, &endpoints).unwrap();
+        // The restart re-encodes every contribution Plain, so the result
+        // is the exact sum even though the fabric compresses.
+        for w in &grads {
+            assert_eq!(w, &want, "plain restart must produce the exact sum");
+        }
+        assert_eq!(fabric.degraded, vec![(0, 0)], "the failing leg was noted");
+    }
+
+    #[test]
+    fn single_worker_round_trips_through_the_switch() {
+        let mut grads = vec![vec![1.0f32, -2.0, 3.5]];
+        switch_allreduce(&mut grads, CodecSelection::None);
+        assert_eq!(grads[0], vec![1.0, -2.0, 3.5]);
+    }
+}

@@ -3,6 +3,7 @@
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::optim::{Sgd, SgdConfig};
 use inceptionn_dnn::Network;
+use inceptionn_netsim::Topology;
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 use crate::aggregator::worker_aggregator_allreduce_over;
@@ -10,7 +11,8 @@ use crate::fabric::{
     CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, TransportKind,
 };
 use crate::faults::{FaultPlan, FaultStats};
-use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
+use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over, tree_allreduce_over};
+use crate::switch::switch_allreduce_over;
 
 /// Which gradient-exchange algorithm the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,6 +26,12 @@ pub enum ExchangeStrategy {
         /// Workers per leaf group (must divide the worker count).
         group_size: usize,
     },
+    /// Topology-tree rings over [`TrainerConfig::topology`] (flat over
+    /// all workers when no topology is configured).
+    Tree,
+    /// Switch-resident in-network reduction: the switch's reduce unit
+    /// folds gradient packets in flight, so no gather leg exists.
+    SwitchReduce,
 }
 
 impl ExchangeStrategy {
@@ -33,6 +41,8 @@ impl ExchangeStrategy {
             ExchangeStrategy::Ring => labels::EXCHANGE_RING,
             ExchangeStrategy::HierarchicalRing { .. } => labels::EXCHANGE_HIERARCHICAL,
             ExchangeStrategy::WorkerAggregator => labels::EXCHANGE_WORKER_AGGREGATOR,
+            ExchangeStrategy::Tree => labels::EXCHANGE_TREE,
+            ExchangeStrategy::SwitchReduce => labels::EXCHANGE_SWITCH_REDUCE,
         }
     }
 }
@@ -52,6 +62,11 @@ pub struct TrainerConfig {
     /// Deterministic fault injection armed on the transport (`None` =
     /// a clean fabric).
     pub faults: Option<FaultPlan>,
+    /// Switch topology the cluster hangs off (`None` = one flat switch
+    /// over all workers). Leaves must be exactly the worker ids. Drives
+    /// [`ExchangeStrategy::Tree`] and the timed transports' per-tier
+    /// wire accounting.
+    pub topology: Option<Topology>,
     /// Optimizer hyper-parameters (shared by all replicas).
     pub sgd: SgdConfig,
     /// Per-worker minibatch size.
@@ -71,6 +86,7 @@ impl Default for TrainerConfig {
             transport: TransportKind::InProcess,
             codec: CodecSelection::None,
             faults: None,
+            topology: None,
             sgd: SgdConfig::default(),
             batch_per_worker: 16,
             seed: 0,
@@ -122,11 +138,14 @@ impl IterationLog {
 /// plain renegotiation in the exchanges). Two kinds surface here:
 ///
 /// * **Endpoint crash** ([`FabricError::EndpointDown`]): the trainer
-///   excises the endpoint — the ring is re-stitched over the survivors
-///   (every strategy falls back to the flat survivor ring, since group
-///   structure and the star topology no longer hold), the iteration's
-///   exchange is re-run from the pre-exchange gradients, and training
-///   continues on the live replicas.
+///   excises the endpoint — [`ExchangeStrategy::Tree`] prunes the leaf
+///   from its topology and keeps the tree,
+///   [`ExchangeStrategy::SwitchReduce`] keeps folding the survivor
+///   ports, and the flat strategies re-stitch over the survivor ring
+///   (group structure and
+///   the star topology no longer hold) — the iteration's exchange is
+///   re-run from the pre-exchange gradients, and training continues on
+///   the live replicas.
 /// * Anything else that defeats recovery: recorded in
 ///   [`IterationLog::exchange_error`], and the iteration's update is
 ///   skipped on all replicas (so they stay consistent) instead of
@@ -156,6 +175,9 @@ pub struct DistributedTrainer {
     iteration: u64,
     alive: Vec<bool>,
     aggregator_down: bool,
+    /// The live switch topology: starts as the configured tree (or flat)
+    /// and shrinks leaf by leaf as crashed workers are excised.
+    topology: Topology,
 }
 
 impl std::fmt::Debug for DistributedTrainer {
@@ -199,9 +221,21 @@ impl DistributedTrainer {
             .map(|_| Sgd::new(config.sgd, replicas[0].param_count()))
             .collect();
         let shards = dataset.shards(config.workers);
+        let topology = match &config.topology {
+            Some(t) => {
+                assert_eq!(
+                    t.workers(),
+                    (0..config.workers).collect::<Vec<_>>(),
+                    "topology leaves must be exactly the worker ids"
+                );
+                t.clone()
+            }
+            None => Topology::flat(config.workers),
+        };
         let mut builder = FabricBuilder::new(config.workers + 1)
             .transport(config.transport)
             .codec(config.codec)
+            .topology(topology.clone())
             .recorder(&config.recorder);
         if let Some(plan) = &config.faults {
             builder = builder.faults(plan.clone());
@@ -220,6 +254,7 @@ impl DistributedTrainer {
             iteration: 0,
             alive,
             aggregator_down: false,
+            topology,
         }
     }
 
@@ -254,20 +289,38 @@ impl DistributedTrainer {
     }
 
     /// Runs the configured exchange over the live workers' gradients
-    /// (`grads[k]` belongs to worker `live[k]`). Once any endpoint has
-    /// been excised, every strategy degrades to the flat survivor ring:
-    /// hierarchical group structure no longer holds, and a downed
-    /// aggregator star has no center.
+    /// (`grads[k]` belongs to worker `live[k]`). After an excision,
+    /// [`ExchangeStrategy::Tree`] keeps running over the pruned topology
+    /// and [`ExchangeStrategy::SwitchReduce`] keeps folding the survivor
+    /// ports; the flat strategies degrade to the flat survivor ring
+    /// (hierarchical group structure no longer holds, and a downed
+    /// aggregator star has no center).
     fn exchange(&mut self, grads: &mut [Vec<f32>], live: &[usize]) -> Result<(), FabricError> {
-        let fabric = self.fabric.as_mut();
         let intact = live.len() == self.config.workers && !self.aggregator_down;
         match self.config.strategy {
-            _ if !intact => ring_allreduce_over(fabric, grads, live),
-            ExchangeStrategy::Ring => ring_allreduce_over(fabric, grads, live),
-            ExchangeStrategy::HierarchicalRing { group_size } => {
-                hierarchical_ring_allreduce_over(fabric, grads, group_size)
+            ExchangeStrategy::SwitchReduce => {
+                switch_allreduce_over(self.fabric.as_mut(), grads, live)
             }
-            ExchangeStrategy::WorkerAggregator => worker_aggregator_allreduce_over(fabric, grads),
+            ExchangeStrategy::Tree => {
+                let DistributedTrainer {
+                    fabric, topology, ..
+                } = self;
+                if topology.workers() == live {
+                    tree_allreduce_over(fabric.as_mut(), grads, topology)
+                } else {
+                    // The pruned tree fell out of sync with the survivor
+                    // set (excision had nothing to remove): flat ring.
+                    ring_allreduce_over(fabric.as_mut(), grads, live)
+                }
+            }
+            _ if !intact => ring_allreduce_over(self.fabric.as_mut(), grads, live),
+            ExchangeStrategy::Ring => ring_allreduce_over(self.fabric.as_mut(), grads, live),
+            ExchangeStrategy::HierarchicalRing { group_size } => {
+                hierarchical_ring_allreduce_over(self.fabric.as_mut(), grads, group_size)
+            }
+            ExchangeStrategy::WorkerAggregator => {
+                worker_aggregator_allreduce_over(self.fabric.as_mut(), grads)
+            }
         }
     }
 
@@ -307,6 +360,9 @@ impl DistributedTrainer {
                 log.excised = Some(endpoint);
                 if endpoint < self.config.workers {
                     self.alive[endpoint] = false;
+                    if let Some(pruned) = self.topology.excise(endpoint) {
+                        self.topology = pruned;
+                    }
                 } else {
                     self.aggregator_down = true;
                 }
@@ -329,8 +385,7 @@ impl DistributedTrainer {
                 }
                 if live.is_empty() {
                     log.exchange_error = Some(FabricError::EndpointDown { endpoint });
-                } else if let Err(e) = ring_allreduce_over(self.fabric.as_mut(), &mut grads, &live)
-                {
+                } else if let Err(e) = self.exchange(&mut grads, &live) {
                     log.exchange_error = Some(e);
                 }
             }
@@ -589,6 +644,101 @@ mod tests {
             assert!((a.loss - b.loss).abs() < 1e-3, "{} vs {}", a.loss, b.loss);
         }
         assert_eq!(hier.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn tree_strategy_trains_like_the_flat_ring() {
+        let data = DigitDataset::generate(160, 25);
+        let mut flat = DistributedTrainer::new(
+            quick_config(ExchangeStrategy::Ring, CodecSelection::None),
+            models::hdc_mlp_small,
+            &data,
+        );
+        let mut tree = DistributedTrainer::new(
+            TrainerConfig {
+                topology: Some(inceptionn_netsim::Topology::two_tier(2, 2)),
+                ..quick_config(ExchangeStrategy::Tree, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let lf = flat.train_iterations(5);
+        let lt = tree.train_iterations(5);
+        for (a, b) in lf.iter().zip(&lt) {
+            assert!((a.loss - b.loss).abs() < 1e-3, "{} vs {}", a.loss, b.loss);
+        }
+        assert_eq!(tree.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn switch_reduce_trains_bit_identically_to_the_host_aggregator() {
+        // Acceptance criterion for in-network reduction: final weights
+        // under a fixed seed must equal host-side gather/broadcast.
+        let data = DigitDataset::generate(160, 26);
+        for codec in [CodecSelection::None, pow2_codec(10)] {
+            let mut host = DistributedTrainer::new(
+                TrainerConfig {
+                    transport: TransportKind::Nic,
+                    ..quick_config(ExchangeStrategy::WorkerAggregator, codec)
+                },
+                models::hdc_mlp_small,
+                &data,
+            );
+            let mut in_net = DistributedTrainer::new(
+                TrainerConfig {
+                    transport: TransportKind::Nic,
+                    ..quick_config(ExchangeStrategy::SwitchReduce, codec)
+                },
+                models::hdc_mlp_small,
+                &data,
+            );
+            host.train_iterations(3);
+            in_net.train_iterations(3);
+            assert_eq!(
+                host.replica(0).flat_params(),
+                in_net.replica(0).flat_params(),
+                "switch-resident reduction must be a drop-in substitution"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_crash_prunes_the_leaf_and_keeps_the_tree() {
+        let data = DigitDataset::generate(160, 27);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                faults: Some(FaultPlan::new(7).crash(2, 3)),
+                topology: Some(inceptionn_netsim::Topology::two_tier(2, 2)),
+                ..quick_config(ExchangeStrategy::Tree, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(6);
+        assert_eq!(logs[3].excised, Some(2), "crash must excise worker 2");
+        assert!(logs.iter().all(|l| l.exchange_error.is_none()));
+        assert_eq!(t.alive(), &[true, true, false, true]);
+        assert_eq!(t.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn switch_reduce_crash_drops_the_port_and_continues() {
+        let data = DigitDataset::generate(160, 28);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                faults: Some(FaultPlan::new(8).crash(1, 2)),
+                ..quick_config(ExchangeStrategy::SwitchReduce, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(4);
+        assert_eq!(logs[2].excised, Some(1));
+        assert!(logs.iter().all(|l| l.exchange_error.is_none()));
+        assert_eq!(t.alive(), &[true, false, true, true]);
+        assert_eq!(t.max_replica_divergence(), 0.0);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::topology::TreeConfig;
+
 /// The α-β-γ parameters (seconds, seconds/byte, seconds/byte).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CostModel {
@@ -87,11 +89,104 @@ pub fn flat_wa_time(p: usize, n_bytes: u64, m: &CostModel) -> f64 {
     2.0 * m.alpha + 2.0 * p_f * n * m.beta + p_f * n * m.gamma
 }
 
+/// Per-tier extension of the α-β-γ model for tree fabrics: one β per
+/// switch tier (index 0 the core), derived from the tier link rates the
+/// same way [`CostModel::ten_gbe`] derives its flat β.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeCostModel {
+    /// Per-message network latency, seconds.
+    pub alpha: f64,
+    /// Per-byte wire time per tier, seconds/byte; index 0 is the core.
+    pub tier_beta: Vec<f64>,
+    /// Per-byte sum-reduction time at a host, seconds.
+    pub gamma: f64,
+}
+
+impl TreeCostModel {
+    /// Derives the per-tier betas from a tree fabric's link rates,
+    /// folding per-packet header overhead into each β.
+    pub fn of_tree(cfg: &TreeConfig, gamma: f64) -> Self {
+        let wire_per_payload = (cfg.mtu_payload + cfg.header_bytes) as f64 / cfg.mtu_payload as f64;
+        TreeCostModel {
+            alpha: 3e-6,
+            tier_beta: cfg
+                .tier_bps
+                .iter()
+                .map(|&bps| 8.0 * wire_per_payload / bps as f64)
+                .collect(),
+            gamma,
+        }
+    }
+
+    /// The per-byte time of a transfer whose route spans tiers
+    /// `from_tier..` — store-and-forward pipelines the hops, so the
+    /// slowest link on the path sets the throughput.
+    fn path_beta(&self, from_tier: usize) -> f64 {
+        self.tier_beta[from_tier..]
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Closed-form exchange time of the generic tree ring
+/// ([`crate::topology::ring_exchange_on`]) for a collective hierarchy
+/// `arities` over the fabric the model was derived from: ring
+/// all-reduce among the children of every level (deepest first), then
+/// chain broadcasts back down. A level-ℓ ring step moves one
+/// `n/aₗ` block between adjacent subtree leaders, so it pays the
+/// slowest β on the tier-ℓ..edge path.
+///
+/// Degenerate single-member levels contribute nothing, so the model is
+/// exact over `arities = [p]` too, where it reduces to [`ring_time`]'s
+/// structure with the fabric's own β.
+pub fn tree_ring_time(arities: &[usize], n_bytes: u64, m: &TreeCostModel) -> f64 {
+    assert!(
+        arities.len() <= m.tier_beta.len(),
+        "collective deeper than the fabric"
+    );
+    let n = n_bytes as f64;
+    let mut t = 0.0;
+    for (level, &a) in arities.iter().enumerate() {
+        if a < 2 {
+            continue;
+        }
+        let block = n_bytes.div_ceil(a as u64) as f64;
+        let beta = m.path_beta(level);
+        // 2(a−1) ring steps (reduce-scatter + all-gather) …
+        t += 2.0 * (a - 1) as f64 * (m.alpha + block * beta);
+        // … each folding one block at every member.
+        t += (a - 1) as f64 * block * m.gamma;
+        // Levels below the top also rebroadcast the full sum down the
+        // leader chain afterwards.
+        if level > 0 {
+            t += m.alpha + n * beta;
+        }
+    }
+    t
+}
+
+/// Closed-form exchange time of switch-resident in-network reduction
+/// ([`crate::topology::switch_reduce_exchange`]): one full-gradient
+/// traversal up each tier (workers→edge switches, then one folded
+/// stream per uplink) and its mirror image down — `2·Σ_d (α + n·β_d)`.
+/// Switch reduce units fold at line rate, so there is no γ term: the
+/// gather leg, and the host reduction with it, are gone.
+pub fn switch_reduce_time(n_bytes: u64, m: &TreeCostModel) -> f64 {
+    let n = n_bytes as f64;
+    2.0 * m
+        .tier_beta
+        .iter()
+        .map(|&beta| m.alpha + n * beta)
+        .sum::<f64>()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::collective::{ring_exchange, worker_aggregator_exchange};
     use crate::sim::NetworkConfig;
+    use crate::topology::{ring_exchange_on, switch_reduce_exchange};
 
     const GAMMA: f64 = 1e-10;
 
@@ -162,5 +257,68 @@ mod tests {
     #[should_panic(expected = "at least two workers")]
     fn ring_rejects_singleton() {
         ring_time(1, 10, &CostModel::ten_gbe(GAMMA));
+    }
+
+    /// The scale-sweep agreement the refactor is accepted on: at 64,
+    /// 256, and 1024 workers, the extended per-tier model tracks the
+    /// packet-level tree simulator within tolerance.
+    #[test]
+    fn tree_ring_model_matches_simulator_at_scale() {
+        for (arities, n) in [
+            (&[8usize, 8][..], 16_000_000u64),
+            (&[16, 16][..], 8_000_000),
+            (&[32, 32][..], 4_000_000),
+        ] {
+            let cfg = TreeConfig::ten_gbe(arities, &[4, 1]);
+            let m = TreeCostModel::of_tree(&cfg, 0.0);
+            let sim = ring_exchange_on(&cfg, arities, n, 0.0, None, 0.0);
+            let model = tree_ring_time(arities, n, &m);
+            let rel = (sim.comm_s - model).abs() / model;
+            assert!(
+                rel < 0.15,
+                "{arities:?} n={n}: sim {:.4} vs model {model:.4} ({rel:.3})",
+                sim.comm_s
+            );
+        }
+    }
+
+    #[test]
+    fn switch_reduce_model_matches_simulator_at_scale() {
+        for (arities, n) in [
+            (&[8usize, 8][..], 16_000_000u64),
+            (&[16, 16][..], 8_000_000),
+            (&[32, 32][..], 4_000_000),
+        ] {
+            let cfg = TreeConfig::ten_gbe(arities, &[4, 1]);
+            let m = TreeCostModel::of_tree(&cfg, 0.0);
+            let (sim, _) = switch_reduce_exchange(&cfg, n, None);
+            let model = switch_reduce_time(n, &m);
+            let rel = (sim.comm_s - model).abs() / model;
+            assert!(
+                rel < 0.15,
+                "{arities:?} n={n}: sim {:.4} vs model {model:.4} ({rel:.3})",
+                sim.comm_s
+            );
+        }
+    }
+
+    #[test]
+    fn flat_collective_makes_tree_model_collapse_to_ring_time() {
+        // Over a flat fabric the per-tier model and the paper's flat
+        // ring formula describe the same machine.
+        let cfg = TreeConfig::ten_gbe(&[8], &[1]);
+        let m = TreeCostModel::of_tree(&cfg, GAMMA);
+        let flat = CostModel {
+            alpha: m.alpha,
+            beta: m.tier_beta[0],
+            gamma: GAMMA,
+        };
+        let n = 50_000_000;
+        let tree = tree_ring_time(&[8], n, &m);
+        let classic = ring_time(8, n, &flat);
+        assert!(
+            (tree - classic).abs() / classic < 0.01,
+            "{tree} vs {classic}"
+        );
     }
 }

@@ -16,7 +16,12 @@
 //!   transfers: the worker-aggregator gather/broadcast and INCEPTIONN's
 //!   ring reduce-scatter/all-gather (Algorithm 1);
 //! * [`analytic`] — the closed-form α-β-γ cost models of Sec. VIII-D,
-//!   cross-validated against the event simulation in this crate's tests.
+//!   cross-validated against the event simulation in this crate's tests;
+//! * [`event`] — the calendar-queue scheduler every simulator in this
+//!   crate runs on (O(1) amortized vs the binary heap's O(log n));
+//! * [`topology`] — first-class topology trees: arbitrary-depth switch
+//!   hierarchies the exchanges traverse generically, plus the
+//!   switch-resident in-network aggregation mode.
 //!
 //! # Examples
 //!
@@ -37,9 +42,12 @@
 
 pub mod analytic;
 pub mod collective;
+pub mod event;
 pub mod sim;
+pub mod topology;
 pub mod transfer;
 pub mod twotier;
 
 pub use sim::{LinkRateSchedule, NetworkConfig, RateWindow, SimTime, StarNetworkSim};
+pub use topology::{TierMap, Topology, TreeConfig, TreeSim};
 pub use transfer::{CompressionSpec, Transfer};

@@ -1,13 +1,13 @@
 //! The discrete-event core: a star of full-duplex links around one
 //! store-and-forward switch.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+use crate::event::{CalendarQueue, EventQueue};
 use crate::transfer::Transfer;
 
 /// Simulated time in nanoseconds since the start of the run.
@@ -110,6 +110,28 @@ impl NetworkConfig {
             0
         } else {
             downlink_free + self.hop_latency_ns
+        }
+    }
+
+    /// Latency of one *half* leg — host to switch port, or switch port to
+    /// host — given the wire payload of each packet. This is the charge a
+    /// switch-resident aggregation path pays per contribution: packets
+    /// terminate (or originate) at the switch's reduce unit, so only one
+    /// access link is serialized instead of the uplink + downlink pair of
+    /// [`message_latency_ns`]. Injection pacing applies in both
+    /// directions (the switch forwards at the same per-packet cadence the
+    /// host injects at — a deliberate simplification).
+    pub fn half_message_latency_ns(&self, packet_payloads: &[u64]) -> u64 {
+        let mut link_free = 0u64;
+        for (i, &payload) in packet_payloads.iter().enumerate() {
+            let inject = i as u64 * self.host_ns_per_packet;
+            let ser = self.serialize_ns(payload + self.header_bytes);
+            link_free = inject.max(link_free) + ser;
+        }
+        if packet_payloads.is_empty() {
+            0
+        } else {
+            link_free + self.hop_latency_ns + self.switch_latency_ns
         }
     }
 }
@@ -283,30 +305,6 @@ enum EventKind {
     AtDst { packet: Packet },
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: u64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
 /// Progress of one transfer during the run.
 #[derive(Debug, Clone, Copy)]
 struct FlowState {
@@ -319,16 +317,16 @@ struct FlowState {
 
 /// A packet-level simulation of concurrent transfers through one switch.
 ///
-/// Submission order is deterministic: ties in event time resolve by
-/// submission sequence, so repeated runs produce identical results.
+/// Submission order is deterministic: the calendar queue resolves ties
+/// in event time by push sequence, so repeated runs produce identical
+/// results.
 #[derive(Debug)]
 pub struct StarNetworkSim {
     cfg: NetworkConfig,
     flows: Vec<FlowState>,
     uplinks: Vec<LinkState>,
     downlinks: Vec<LinkState>,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    events: CalendarQueue<EventKind>,
 }
 
 impl StarNetworkSim {
@@ -346,8 +344,7 @@ impl StarNetworkSim {
             flows: Vec::new(),
             uplinks: (0..cfg.nodes).map(|_| LinkState::default()).collect(),
             downlinks: (0..cfg.nodes).map(|_| LinkState::default()).collect(),
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: CalendarQueue::new(),
         }
     }
 
@@ -381,9 +378,7 @@ impl StarNetworkSim {
     }
 
     fn push_event(&mut self, time: u64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.push(time, kind);
     }
 
     fn start_link(&mut self, link: LinkId, now: u64) {
@@ -415,9 +410,8 @@ impl StarNetworkSim {
                 self.push_event(flow.transfer.start_ns, EventKind::Inject { transfer: id });
             }
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
-            let now = ev.time;
-            match ev.kind {
+        while let Some((now, kind)) = self.events.pop() {
+            match kind {
                 EventKind::Inject { transfer } => {
                     let cfg = self.cfg;
                     let flow = &mut self.flows[transfer];
@@ -736,6 +730,29 @@ mod tests {
         let des = sim.run().makespan().as_nanos();
         assert_eq!(c.message_latency_ns(&payloads), des);
         assert!(c.message_latency_ns(&[]) == 0);
+    }
+
+    #[test]
+    fn half_leg_latency_is_between_half_and_full_message_latency() {
+        // One access link serialized instead of two: the half leg is
+        // strictly cheaper than the full star traversal, but no cheaper
+        // than the serialization floor of the same packets on one link.
+        let c = cfg(2);
+        for &bytes in &[1u64, 1448, 50_000, 3_000_000] {
+            let t = Transfer::new(0, 1, bytes);
+            let payloads: Vec<u64> = (0..t.packet_count(c.mtu_payload))
+                .map(|i| t.wire_payload(c.mtu_payload, i))
+                .collect();
+            let half = c.half_message_latency_ns(&payloads);
+            let full = c.message_latency_ns(&payloads);
+            assert!(half < full, "{bytes} bytes: half {half} vs full {full}");
+            let floor: u64 = payloads
+                .iter()
+                .map(|&p| c.serialize_ns(p + c.header_bytes))
+                .sum();
+            assert!(half >= floor, "{bytes} bytes: half {half} < floor {floor}");
+        }
+        assert_eq!(c.half_message_latency_ns(&[]), 0);
     }
 
     #[test]

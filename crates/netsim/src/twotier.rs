@@ -3,9 +3,10 @@
 //!
 //! Sec. VII-C motivates the paper's topology assumptions: servers hang
 //! off top-of-rack switches at 1–10 Gb/s while ToR→core uplinks are
-//! *oversubscribed*. This module models that fabric as a packet-level
-//! DES (same machinery as [`crate::sim`], one more switch tier) and
-//! implements the four cluster organizations the paper sketches:
+//! *oversubscribed*. Since the topology-tree refactor this module is a
+//! thin façade: the fabric is [`Topology::two_tier`] compiled into a
+//! [`TreeSim`], and the four cluster organizations the paper sketches
+//! delegate to the generic tree exchanges in [`crate::topology`]:
 //!
 //! * flat worker-aggregator (Fig. 2) — one aggregator behind one uplink;
 //! * hierarchical worker-aggregator (Fig. 1(a)) — per-rack aggregators
@@ -14,12 +15,10 @@
 //! * hierarchical ring (Fig. 1(c)) — rings within racks, a leader ring
 //!   across racks, then in-rack propagation.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
-
 use serde::{Deserialize, Serialize};
 
 use crate::collective::ExchangeTimes;
+use crate::topology::{ring_exchange_on, wa_exchange_on, Topology, TreeConfig, TreeSim};
 use crate::transfer::{CompressionSpec, Transfer};
 
 /// Parameters of the two-tier fabric.
@@ -78,115 +77,34 @@ impl TwoTierConfig {
     pub fn rack_of(&self, node: usize) -> usize {
         node / self.nodes_per_rack
     }
-}
 
-/// Directed links of the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Link {
-    /// Node → ToR.
-    NodeUp(usize),
-    /// ToR → node.
-    NodeDown(usize),
-    /// ToR → core.
-    CoreUp(usize),
-    /// Core → ToR.
-    CoreDown(usize),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Pkt {
-    transfer: usize,
-    wire_bytes: u64,
-    extra_latency_ns: u64,
-    last: bool,
-    /// Remaining path (index into the per-transfer route).
-    hop: usize,
-}
-
-#[derive(Debug, Default)]
-struct Server {
-    queue: VecDeque<Pkt>,
-    busy: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    Inject { transfer: usize },
-    Free { link_idx: usize },
-    Arrive { pkt: Pkt },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: u64,
-    seq: u64,
-    kind: Ev,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, o: &Self) -> bool {
-        (self.time, self.seq) == (o.time, o.seq)
+    /// The equivalent depth-2 topology-tree configuration: racks of
+    /// nodes, core tier 0 at `uplink_bps`, edge tier 1 at `edge_bps`.
+    pub fn tree(&self) -> TreeConfig {
+        TreeConfig {
+            topology: Topology::two_tier(self.racks, self.nodes_per_rack),
+            tier_bps: vec![self.uplink_bps, self.edge_bps],
+            hop_latency_ns: self.hop_latency_ns,
+            switch_latency_ns: self.switch_latency_ns,
+            mtu_payload: self.mtu_payload,
+            header_bytes: self.header_bytes,
+            host_ns_per_packet: self.host_ns_per_packet,
+        }
     }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(o.time, o.seq))
-    }
-}
-
-#[derive(Debug)]
-struct Flow {
-    transfer: Transfer,
-    route: Vec<usize>,
-    next_packet: u64,
-    packets: u64,
-    finish_ns: u64,
 }
 
 /// Packet-level simulation of concurrent transfers through the two-tier
-/// fabric.
+/// fabric: a depth-2 [`TreeSim`] behind the historical API.
 #[derive(Debug)]
 pub struct TwoTierSim {
-    cfg: TwoTierConfig,
-    links: Vec<Server>,
-    rates: Vec<u64>,
-    flows: Vec<Flow>,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    inner: TreeSim,
 }
 
 impl TwoTierSim {
     /// Creates an empty simulation.
     pub fn new(cfg: TwoTierConfig) -> Self {
-        let n = cfg.nodes();
-        let r = cfg.racks;
-        // Layout: [NodeUp xN][NodeDown xN][CoreUp xR][CoreDown xR].
-        let mut rates = Vec::with_capacity(2 * n + 2 * r);
-        rates.extend(std::iter::repeat_n(cfg.edge_bps, 2 * n));
-        rates.extend(std::iter::repeat_n(cfg.uplink_bps, 2 * r));
         TwoTierSim {
-            links: (0..2 * n + 2 * r).map(|_| Server::default()).collect(),
-            rates,
-            cfg,
-            flows: Vec::new(),
-            events: BinaryHeap::new(),
-            seq: 0,
-        }
-    }
-
-    fn link_index(&self, link: Link) -> usize {
-        let n = self.cfg.nodes();
-        match link {
-            Link::NodeUp(i) => i,
-            Link::NodeDown(i) => n + i,
-            Link::CoreUp(r) => 2 * n + r,
-            Link::CoreDown(r) => 2 * n + self.cfg.racks + r,
+            inner: TreeSim::new(cfg.tree()),
         }
     }
 
@@ -196,148 +114,19 @@ impl TwoTierSim {
     ///
     /// Panics if an endpoint is out of range.
     pub fn add_transfer(&mut self, t: Transfer) -> usize {
-        let n = self.cfg.nodes();
-        assert!(t.src < n && t.dst < n, "endpoint out of range");
-        let (sr, dr) = (self.cfg.rack_of(t.src), self.cfg.rack_of(t.dst));
-        let route = if sr == dr {
-            vec![
-                self.link_index(Link::NodeUp(t.src)),
-                self.link_index(Link::NodeDown(t.dst)),
-            ]
-        } else {
-            vec![
-                self.link_index(Link::NodeUp(t.src)),
-                self.link_index(Link::CoreUp(sr)),
-                self.link_index(Link::CoreDown(dr)),
-                self.link_index(Link::NodeDown(t.dst)),
-            ]
-        };
-        let id = self.flows.len();
-        self.flows.push(Flow {
-            packets: t.packet_count(self.cfg.mtu_payload),
-            transfer: t,
-            route,
-            next_packet: 0,
-            finish_ns: 0,
-        });
-        id
-    }
-
-    fn push(&mut self, time: u64, kind: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
-    }
-
-    fn kick(&mut self, link_idx: usize, now: u64) {
-        if self.links[link_idx].busy {
-            return;
-        }
-        let Some(&pkt) = self.links[link_idx].queue.front() else {
-            return;
-        };
-        self.links[link_idx].busy = true;
-        let wire = pkt.wire_bytes + self.cfg.header_bytes;
-        let ser = (wire * 8 * 1_000_000_000).div_ceil(self.rates[link_idx]);
-        self.push(now + ser, Ev::Free { link_idx });
+        self.inner.add_transfer(t)
     }
 
     /// Runs all transfers to completion; returns the makespan in seconds.
     pub fn run(&mut self) -> f64 {
-        for id in 0..self.flows.len() {
-            if self.flows[id].packets == 0 {
-                self.flows[id].finish_ns = self.flows[id].transfer.start_ns;
-            } else {
-                self.push(
-                    self.flows[id].transfer.start_ns,
-                    Ev::Inject { transfer: id },
-                );
-            }
-        }
-        let mut makespan = 0u64;
-        while let Some(Reverse(ev)) = self.events.pop() {
-            let now = ev.time;
-            match ev.kind {
-                Ev::Inject { transfer } => {
-                    let cfg = self.cfg;
-                    let flow = &mut self.flows[transfer];
-                    let i = flow.next_packet;
-                    flow.next_packet += 1;
-                    let pkt = Pkt {
-                        transfer,
-                        wire_bytes: flow.transfer.wire_payload(cfg.mtu_payload, i),
-                        extra_latency_ns: flow
-                            .transfer
-                            .compression
-                            .map_or(0, |c| c.engine_latency_ns),
-                        last: i + 1 == flow.packets,
-                        hop: 0,
-                    };
-                    let first = flow.route[0];
-                    let more = flow.next_packet < flow.packets;
-                    self.links[first].queue.push_back(pkt);
-                    self.kick(first, now);
-                    if more {
-                        self.push(now + cfg.host_ns_per_packet, Ev::Inject { transfer });
-                    }
-                }
-                Ev::Free { link_idx } => {
-                    let mut pkt = {
-                        let s = &mut self.links[link_idx];
-                        s.busy = false;
-                        s.queue.pop_front().expect("busy link has head")
-                    };
-                    pkt.hop += 1;
-                    let route_len = self.flows[pkt.transfer].route.len();
-                    if pkt.hop < route_len {
-                        let latency = self.cfg.hop_latency_ns + self.cfg.switch_latency_ns;
-                        self.push(now + latency, Ev::Arrive { pkt });
-                    } else {
-                        let latency = self.cfg.hop_latency_ns + pkt.extra_latency_ns;
-                        self.push(now + latency, Ev::Arrive { pkt });
-                    }
-                    self.kick(link_idx, now);
-                }
-                Ev::Arrive { pkt } => {
-                    let route_len = self.flows[pkt.transfer].route.len();
-                    if pkt.hop < route_len {
-                        let next = self.flows[pkt.transfer].route[pkt.hop];
-                        self.links[next].queue.push_back(pkt);
-                        self.kick(next, now);
-                    } else if pkt.last {
-                        self.flows[pkt.transfer].finish_ns = now;
-                        makespan = makespan.max(now);
-                    }
-                }
-            }
-        }
-        for f in &self.flows {
-            makespan = makespan.max(f.finish_ns);
-        }
-        makespan as f64 * 1e-9
-    }
-}
-
-fn maybe_compress(t: Transfer, spec: Option<CompressionSpec>) -> Transfer {
-    match spec {
-        Some(s) => t.compressed(s),
-        None => t,
+        self.inner.run().makespan_s
     }
 }
 
 /// Runs a batch of concurrent transfers and returns the makespan.
+#[cfg(test)]
 fn phase(cfg: &TwoTierConfig, transfers: impl IntoIterator<Item = Transfer>) -> f64 {
-    let mut sim = TwoTierSim::new(*cfg);
-    let mut any = false;
-    for t in transfers {
-        sim.add_transfer(t);
-        any = true;
-    }
-    if any {
-        sim.run()
-    } else {
-        0.0
-    }
+    crate::topology::phase(&cfg.tree(), transfers)
 }
 
 /// Flat worker-aggregator on the fabric: every node ships `bytes` to
@@ -349,16 +138,7 @@ pub fn flat_wa(
     gamma: f64,
     spec: Option<CompressionSpec>,
 ) -> ExchangeTimes {
-    let n = cfg.nodes();
-    let gather = phase(
-        cfg,
-        (1..n).map(|s| maybe_compress(Transfer::new(s, 0, bytes), spec)),
-    );
-    let scatter = phase(cfg, (1..n).map(|d| Transfer::new(0, d, bytes)));
-    ExchangeTimes {
-        comm_s: gather + scatter,
-        reduce_s: (n - 1) as f64 * bytes as f64 * gamma,
-    }
+    wa_exchange_on(&cfg.tree(), &[cfg.nodes()], bytes, gamma, spec)
 }
 
 /// Hierarchical worker-aggregator (Fig. 1(a)): rack members gather to a
@@ -370,32 +150,13 @@ pub fn hierarchical_wa(
     gamma: f64,
     spec: Option<CompressionSpec>,
 ) -> ExchangeTimes {
-    let g = cfg.nodes_per_rack;
-    // Level 1 up: members -> rack leader (first node of each rack).
-    let l1_up = phase(
-        cfg,
-        (0..cfg.racks)
-            .flat_map(|r| (1..g).map(move |m| Transfer::new(r * g + m, r * g, bytes)))
-            .map(|t| maybe_compress(t, spec)),
-    );
-    // Level 2 up: rack leaders -> root.
-    let l2_up = phase(
-        cfg,
-        (1..cfg.racks).map(|r| maybe_compress(Transfer::new(r * g, 0, bytes), spec)),
-    );
-    // Reductions: each rack leader folds g streams, the root folds R.
-    let reduce = (g as f64 + cfg.racks as f64) * bytes as f64 * gamma;
-    // Downward: root -> leaders, leaders -> members (weights,
-    // uncompressed).
-    let l2_down = phase(cfg, (1..cfg.racks).map(|r| Transfer::new(0, r * g, bytes)));
-    let l1_down = phase(
-        cfg,
-        (0..cfg.racks).flat_map(|r| (1..g).map(move |m| Transfer::new(r * g, r * g + m, bytes))),
-    );
-    ExchangeTimes {
-        comm_s: l1_up + l2_up + l2_down + l1_down,
-        reduce_s: reduce,
-    }
+    wa_exchange_on(
+        &cfg.tree(),
+        &[cfg.racks, cfg.nodes_per_rack],
+        bytes,
+        gamma,
+        spec,
+    )
 }
 
 /// Flat ring (Fig. 1(b)) across all nodes in rack-major order; ring
@@ -407,18 +168,15 @@ pub fn flat_ring(
     spec: Option<CompressionSpec>,
     host_s_per_byte: f64,
 ) -> ExchangeTimes {
-    let p = cfg.nodes();
-    assert!(p >= 2, "ring needs two nodes");
-    let block = bytes.div_ceil(p as u64);
-    let step = phase(
-        cfg,
-        (0..p).map(|i| maybe_compress(Transfer::new(i, (i + 1) % p, block), spec)),
-    ) + block as f64 * host_s_per_byte;
-    let steps = (p - 1) as f64;
-    ExchangeTimes {
-        comm_s: 2.0 * steps * step,
-        reduce_s: steps * block as f64 * gamma,
-    }
+    assert!(cfg.nodes() >= 2, "ring needs two nodes");
+    ring_exchange_on(
+        &cfg.tree(),
+        &[cfg.nodes()],
+        bytes,
+        gamma,
+        spec,
+        host_s_per_byte,
+    )
 }
 
 /// Hierarchical ring (Fig. 1(c)): a full ring all-reduce inside every
@@ -430,51 +188,14 @@ pub fn hierarchical_ring(
     spec: Option<CompressionSpec>,
     host_s_per_byte: f64,
 ) -> ExchangeTimes {
-    let g = cfg.nodes_per_rack;
-    let r = cfg.racks;
-    let mut comm = 0.0;
-    let mut reduce = 0.0;
-    // Phase 1: intra-rack ring all-reduce (all racks concurrently).
-    if g >= 2 {
-        let block = bytes.div_ceil(g as u64);
-        let step = phase(
-            cfg,
-            (0..r)
-                .flat_map(|rack| {
-                    (0..g).map(move |m| Transfer::new(rack * g + m, rack * g + (m + 1) % g, block))
-                })
-                .map(|t| maybe_compress(t, spec)),
-        ) + block as f64 * host_s_per_byte;
-        comm += 2.0 * (g - 1) as f64 * step;
-        reduce += (g - 1) as f64 * block as f64 * gamma;
-    }
-    // Phase 2: leader ring across racks (through the core).
-    if r >= 2 {
-        let block = bytes.div_ceil(r as u64);
-        let step = phase(
-            cfg,
-            (0..r).map(|rack| {
-                maybe_compress(Transfer::new(rack * g, ((rack + 1) % r) * g, block), spec)
-            }),
-        ) + block as f64 * host_s_per_byte;
-        comm += 2.0 * (r - 1) as f64 * step;
-        reduce += (r - 1) as f64 * block as f64 * gamma;
-    }
-    // Phase 3: leaders propagate the global sum inside their rack via a
-    // pipelined chain broadcast (leader → m1 → m2 → …): every edge link
-    // forwards chunks concurrently, so the makespan is one full-`bytes`
-    // edge traversal plus pipeline fill — modeled as a single transfer
-    // along the slowest (first) hop. A compressible gradient hop.
-    if g >= 2 {
-        comm += phase(
-            cfg,
-            (0..r).map(|rack| maybe_compress(Transfer::new(rack * g, rack * g + 1, bytes), spec)),
-        );
-    }
-    ExchangeTimes {
-        comm_s: comm,
-        reduce_s: reduce,
-    }
+    ring_exchange_on(
+        &cfg.tree(),
+        &[cfg.racks, cfg.nodes_per_rack],
+        bytes,
+        gamma,
+        spec,
+        host_s_per_byte,
+    )
 }
 
 #[cfg(test)]
@@ -592,6 +313,21 @@ mod tests {
             sim.run()
         };
         assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn delegation_matches_the_tree_simulator_exactly() {
+        // The façade must be a zero-cost rename: a TwoTierSim run and a
+        // TreeSim run over `cfg.tree()` are the same event sequence.
+        let cfg = TwoTierConfig::ten_gbe(3, 4, 6);
+        let mut two = TwoTierSim::new(cfg);
+        let mut tree = TreeSim::new(cfg.tree());
+        for i in 0..12 {
+            let t = Transfer::new(i, (i + 5) % 12, MB);
+            two.add_transfer(t);
+            tree.add_transfer(t);
+        }
+        assert_eq!(two.run().to_bits(), tree.run().makespan_s.to_bits());
     }
 
     #[test]

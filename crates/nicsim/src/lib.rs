@@ -48,8 +48,10 @@ pub mod datapath;
 pub mod engine;
 pub mod nic;
 pub mod packet;
+pub mod switchagg;
 
 pub use chunker::{decode_payload, encode_payload, PayloadTrace, TOS_PLAIN, VALUES_PER_PACKET};
 pub use engine::{CompressionEngine, DecompressionEngine, EngineOutput};
 pub use nic::{NicConfig, NicPipeline};
 pub use packet::{Packet, TOS_COMPRESSED};
+pub use switchagg::SwitchReducer;

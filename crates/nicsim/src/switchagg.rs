@@ -1,0 +1,286 @@
+//! Switch-resident in-network aggregation: the reduce unit a switch
+//! port runs when gradient packets are folded in flight.
+//!
+//! NetReduce (PAPERS.md) observes that the gather leg of a
+//! worker-aggregator exchange disappears entirely once the switch sums
+//! gradient packets as they arrive: no contribution ever descends to an
+//! aggregation host. This module models that reduce unit at packet
+//! granularity, composing with the INCEPTIONN wire codec through the
+//! reduction-friendly hooks of `inceptionn_compress::reduction`:
+//!
+//! * **plain path** — `TOS_PLAIN` packets carry raw little-endian `f32`
+//!   lanes; the unit adds them straight into the running sum;
+//! * **compressed path** — `TOS_COMPRESSED` packets are walked value by
+//!   value with the streaming fold
+//!   ([`fold_compressed_payload_into`]) — constant space, no
+//!   materialized vector, each decoded value added in stream order.
+//!
+//! Both paths are plain `f32` adds in worker arrival order, so the
+//! switch sum is bit-identical to the host-side gather fold over the
+//! same (round-tripped) values — the property the trainer's
+//! switch-reduce strategy relies on.
+
+use inceptionn_compress::reduction::fold_compressed_payload_into;
+use inceptionn_compress::{DecodeError, ErrorBound, InceptionnCodec};
+
+use crate::packet::Packet;
+
+/// Reduce-unit cycles charged per 8-lane group of folded values: one
+/// decode+add per lane per cycle, mirroring the NIC engines' burst
+/// width.
+const LANES_PER_CYCLE: u64 = 8;
+
+/// The per-port gradient reduce unit of an aggregation-capable switch.
+///
+/// Holds one running sum sized to the gradient vector; workers'
+/// contributions are folded in the order they are offered (the
+/// collective layer presents them in worker-id order, which pins the
+/// floating-point fold order and hence bit-identity with the host
+/// path).
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_nicsim::switchagg::SwitchReducer;
+/// use inceptionn_nicsim::{encode_payload, NicConfig, NicPipeline};
+///
+/// let mut tx = NicPipeline::new(NicConfig::default());
+/// let grad = vec![0.5f32; 100];
+/// let (wire, _) = encode_payload(&mut tx, &grad, false);
+/// let mut unit = SwitchReducer::plain(100);
+/// unit.fold_contribution(&wire).unwrap();
+/// unit.fold_contribution(&wire).unwrap();
+/// assert_eq!(unit.sum()[0], 1.0);
+/// assert_eq!(unit.contributions(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SwitchReducer {
+    acc: Vec<f32>,
+    codec: Option<InceptionnCodec>,
+    contributions: u32,
+    cycles: u64,
+}
+
+impl SwitchReducer {
+    /// A reduce unit for uncompressed gradient traffic of `values`
+    /// lanes.
+    pub fn plain(values: usize) -> Self {
+        SwitchReducer {
+            acc: vec![0.0; values],
+            codec: None,
+            contributions: 0,
+            cycles: 0,
+        }
+    }
+
+    /// A reduce unit that also decodes INCEPTIONN-compressed packets
+    /// under `bound` (plain packets are still accepted — a mixed
+    /// contribution stream folds fine).
+    pub fn with_codec(values: usize, bound: ErrorBound) -> Self {
+        SwitchReducer {
+            acc: vec![0.0; values],
+            codec: Some(InceptionnCodec::new(bound)),
+            contributions: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Folds one worker's full contribution — the packet sequence of
+    /// one gradient transfer, in order — into the running sum.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the codec's [`DecodeError`] on a corrupt or truncated
+    /// compressed payload; the accumulator is left with the partial
+    /// fold, matching what real reduce hardware would have committed —
+    /// callers recover by restarting the exchange, not the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contribution does not cover exactly the unit's
+    /// lane count, if a compressed packet arrives on a plain-only unit,
+    /// or if a plain payload is not whole `f32`s — all collective-layer
+    /// bugs, not wire faults.
+    pub fn fold_contribution(&mut self, packets: &[Packet]) -> Result<(), DecodeError> {
+        let mut at = 0usize;
+        for pkt in packets {
+            at += self.fold_packet(at, pkt)?;
+        }
+        assert_eq!(
+            at,
+            self.acc.len(),
+            "contribution covered {at} of {} lanes",
+            self.acc.len()
+        );
+        self.contributions += 1;
+        Ok(())
+    }
+
+    /// Folds one packet's values into the sum starting at lane `at`;
+    /// returns how many lanes it covered.
+    fn fold_packet(&mut self, at: usize, pkt: &Packet) -> Result<usize, DecodeError> {
+        if pkt.is_compressible() {
+            let values = pkt
+                .value_count
+                .expect("compressed gradient packet carries its value count");
+            let codec = self
+                .codec
+                .as_ref()
+                .expect("compressed packet reached a plain-only reduce unit");
+            assert!(
+                at + values <= self.acc.len(),
+                "contribution overruns the sum"
+            );
+            fold_compressed_payload_into(
+                codec,
+                &mut self.acc[at..at + values],
+                &pkt.payload,
+                values,
+            )?;
+            self.cycles += (values as u64).div_ceil(LANES_PER_CYCLE);
+            Ok(values)
+        } else {
+            assert!(
+                pkt.payload.len().is_multiple_of(4),
+                "plain gradient payload must be whole f32s"
+            );
+            let values = pkt.payload.len() / 4;
+            assert!(
+                at + values <= self.acc.len(),
+                "contribution overruns the sum"
+            );
+            for (lane, chunk) in pkt.payload.chunks_exact(4).enumerate() {
+                self.acc[at + lane] += f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            self.cycles += (values as u64).div_ceil(LANES_PER_CYCLE);
+            Ok(values)
+        }
+    }
+
+    /// The running sum.
+    pub fn sum(&self) -> &[f32] {
+        &self.acc
+    }
+
+    /// Consumes the unit, returning the folded sum.
+    pub fn into_sum(self) -> Vec<f32> {
+        self.acc
+    }
+
+    /// How many full contributions have been folded.
+    pub fn contributions(&self) -> u32 {
+        self.contributions
+    }
+
+    /// Reduce-unit cycles spent folding so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the sum and counters for the next iteration, keeping the
+    /// codec configuration.
+    pub fn reset(&mut self) {
+        self.acc.fill(0.0);
+        self.contributions = 0;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunker::encode_payload;
+    use crate::nic::{NicConfig, NicPipeline};
+
+    fn grad(seed: u32, len: usize) -> Vec<f32> {
+        // Small deterministic values spanning the codec's interesting
+        // tag range.
+        (0..len)
+            .map(|i| {
+                let x = (i as u32).wrapping_mul(2654435761).wrapping_add(seed) % 2048;
+                (x as f32 - 1024.0) / 8192.0
+            })
+            .collect()
+    }
+
+    fn pipeline() -> NicPipeline {
+        NicPipeline::new(NicConfig::default())
+    }
+
+    #[test]
+    fn plain_fold_matches_host_sum_bit_for_bit() {
+        let grads: Vec<Vec<f32>> = (0..4).map(|w| grad(w, 1000)).collect();
+        let mut unit = SwitchReducer::plain(1000);
+        for g in &grads {
+            let (wire, _) = encode_payload(&mut pipeline(), g, false);
+            unit.fold_contribution(&wire).unwrap();
+        }
+        let mut host = vec![0.0f32; 1000];
+        for g in &grads {
+            for (a, &v) in host.iter_mut().zip(g) {
+                *a += v;
+            }
+        }
+        assert_eq!(unit.sum(), &host[..]);
+        assert_eq!(unit.contributions(), 4);
+        assert!(unit.cycles() >= 4 * 1000 / 8);
+    }
+
+    #[test]
+    fn compressed_fold_matches_host_fold_over_roundtripped_values() {
+        let bound = inceptionn_compress::ErrorBound::pow2(10);
+        let grads: Vec<Vec<f32>> = (0..3).map(|w| grad(w + 9, 725)).collect();
+        let mut unit = SwitchReducer::with_codec(725, bound);
+        for g in &grads {
+            let (wire, _) = encode_payload(&mut pipeline(), g, true);
+            unit.fold_contribution(&wire).unwrap();
+        }
+        // Host side: decode every contribution (the lossy round trip)
+        // and add in the same worker order.
+        let mut host = vec![0.0f32; 725];
+        for g in &grads {
+            let (wire, _) = encode_payload(&mut pipeline(), g, true);
+            let (vals, _, _) = crate::chunker::decode_payload(&mut pipeline(), &wire).unwrap();
+            for (a, v) in host.iter_mut().zip(vals) {
+                *a += v;
+            }
+        }
+        assert_eq!(unit.sum(), &host[..]);
+    }
+
+    #[test]
+    fn reset_clears_state_for_the_next_iteration() {
+        let mut unit = SwitchReducer::plain(10);
+        let (wire, _) = encode_payload(&mut pipeline(), &grad(1, 10), false);
+        unit.fold_contribution(&wire).unwrap();
+        unit.reset();
+        assert!(unit.sum().iter().all(|&v| v == 0.0));
+        assert_eq!(unit.contributions(), 0);
+        assert_eq!(unit.cycles(), 0);
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_is_an_error() {
+        let bound = inceptionn_compress::ErrorBound::pow2(10);
+        let (wire, _) = encode_payload(&mut pipeline(), &grad(2, 500), true);
+        let mut unit = SwitchReducer::with_codec(500, bound);
+        let truncated: Vec<Packet> = wire.iter().map(|p| p.truncated(3)).collect();
+        assert!(unit.fold_contribution(&truncated).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "covered")]
+    fn short_contribution_is_a_collective_bug() {
+        let mut unit = SwitchReducer::plain(100);
+        let (wire, _) = encode_payload(&mut pipeline(), &grad(3, 50), false);
+        unit.fold_contribution(&wire).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "plain-only reduce unit")]
+    fn compressed_packet_needs_a_codec() {
+        let mut unit = SwitchReducer::plain(500);
+        let (wire, _) = encode_payload(&mut pipeline(), &grad(4, 500), true);
+        let _ = unit.fold_contribution(&wire);
+    }
+}

@@ -351,6 +351,15 @@ pub struct Summary {
     pub net_transfer_ns: u64,
     /// Total netsim flow wire bytes.
     pub net_transfer_bytes: u64,
+    /// Wire bytes attributed to each topology tier (0 = core), from
+    /// `fabric/tier_bytes` events of a topology-aware timed fabric.
+    pub wire_bytes_by_tier: BTreeMap<u32, u64>,
+    /// Cycles switch reduce units spent folding contributions in-network.
+    pub switch_reduce_cycles: u64,
+    /// Contributions folded at switch reduce units.
+    pub switch_reduce_folds: u64,
+    /// Gradient wire bytes folded in-network (never descended to a host).
+    pub switch_reduce_bytes: u64,
     /// Last value and sample count per metric label.
     pub metrics: BTreeMap<String, (f64, u64)>,
     /// Fault-injection and recovery counters (`fault/*` labels plus the
@@ -395,6 +404,16 @@ impl Summary {
             }
             labels::FABRIC_PACKETS => {
                 self.legs.entry((track, key)).or_default().packets += value;
+            }
+            labels::FABRIC_TIER_BYTES => {
+                *self.wire_bytes_by_tier.entry(track).or_insert(0) += value;
+            }
+            labels::SWITCH_REDUCE => {
+                self.switch_reduce_cycles += value;
+                self.switch_reduce_folds += 1;
+            }
+            labels::SWITCH_REDUCE_BYTES => {
+                self.switch_reduce_bytes += value;
             }
             labels::NIC_COMPRESS => {
                 self.engines.entry(track).or_default().compress_cycles += value;
@@ -490,6 +509,14 @@ impl Summary {
     /// Total virtual link occupancy.
     pub fn total_link_ns(&self) -> u64 {
         self.links.values().map(|l| l.busy_ns).sum()
+    }
+
+    /// Wire bytes summed across topology tiers. When a topology-aware
+    /// timed fabric recorded the run, this equals
+    /// [`total_wire_bytes`](Self::total_wire_bytes) to the byte — every
+    /// encoded frame is attributed to exactly one tier.
+    pub fn total_tier_bytes(&self) -> u64 {
+        self.wire_bytes_by_tier.values().sum()
     }
 
     /// payload / wire over all legs.
@@ -615,6 +642,25 @@ impl fmt::Display for Summary {
             for (label, ns) in &self.exchange_ns_by_label {
                 writeln!(f, "   {label}: {:.4} ms", ms(*ns))?;
             }
+        }
+        if !self.wire_bytes_by_tier.is_empty() {
+            writeln!(f, "== wire volume per topology tier ==")?;
+            for (tier, bytes) in &self.wire_bytes_by_tier {
+                writeln!(
+                    f,
+                    "   tier {tier}{}: {bytes} B",
+                    if *tier == 0 { " (core)" } else { "" }
+                )?;
+            }
+            writeln!(f, "   all tiers: {} B", self.total_tier_bytes())?;
+        }
+        if self.switch_reduce_folds > 0 {
+            writeln!(f, "== switch-resident reduction ==")?;
+            writeln!(
+                f,
+                "   contributions folded: {}  reduce cycles: {}  bytes folded in-network: {}",
+                self.switch_reduce_folds, self.switch_reduce_cycles, self.switch_reduce_bytes
+            )?;
         }
         if self.codec_shard_values > 0 {
             writeln!(f, "== codec shards ==")?;

@@ -49,6 +49,10 @@ pub mod labels {
     pub const EXCHANGE_WORKER_AGGREGATOR: &str = "exchange/worker-aggregator";
     /// Wall-time span: threaded ring gradient exchange.
     pub const EXCHANGE_THREADED_RING: &str = "exchange/threaded-ring";
+    /// Wall-time span: topology-tree gradient exchange (rings per tier).
+    pub const EXCHANGE_TREE: &str = "exchange/tree";
+    /// Wall-time span: switch-resident in-network reduction exchange.
+    pub const EXCHANGE_SWITCH_REDUCE: &str = "exchange/switch-reduce";
     /// Metric: mean training loss for one iteration.
     pub const ITER_LOSS: &str = "iter/loss";
     /// Metric: mean training accuracy for one iteration.
@@ -61,6 +65,16 @@ pub mod labels {
     pub const FABRIC_WIRE_BYTES: &str = "fabric/wire_bytes";
     /// Counter: packets emitted (track = source endpoint).
     pub const FABRIC_PACKETS: &str = "fabric/packets";
+    /// Counter: wire bytes attributed to one topology tier
+    /// (track = tier, 0 = core; emitted by timed fabrics built with a
+    /// topology). Per-tier sums equal `fabric/wire_bytes` to the byte.
+    pub const FABRIC_TIER_BYTES: &str = "fabric/tier_bytes";
+    /// Cycle-domain span: a switch reduce unit folding one contribution
+    /// (track = worker whose contribution was folded).
+    pub const SWITCH_REDUCE: &str = "switch/reduce";
+    /// Counter: gradient wire bytes folded in-network at a switch reduce
+    /// unit instead of descending to an aggregation host.
+    pub const SWITCH_REDUCE_BYTES: &str = "switch/reduce_bytes";
     /// Cycle-domain span: NIC compression engine busy on one payload.
     pub const NIC_COMPRESS: &str = "nic/compress";
     /// Cycle-domain span: NIC decompression engine busy on one payload.

@@ -64,6 +64,20 @@ fn seeded_violations_fail_with_file_and_line() {
     )
     .expect("seed file");
 
+    // And a seventh: an RNG read seeded into the event core, which the
+    // wire-layout rule now covers (a random tie-break would let two
+    // replays of the same schedule disagree on wire bytes).
+    let netsim_dir = scratch.join("crates/netsim/src");
+    fs::create_dir_all(&netsim_dir).expect("scratch tree");
+    fs::write(
+        netsim_dir.join("event.rs"),
+        "pub fn tie_break() -> u64 {\n\
+         \x20   let _rng = thread_rng();\n\
+         \x20   0\n\
+         }\n",
+    )
+    .expect("seed file");
+
     let diags = rules::lint_tree(&scratch).expect("lint runs on the scratch tree");
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
     for (rule, line, file) in [
@@ -73,6 +87,7 @@ fn seeded_violations_fail_with_file_and_line() {
         ("no-eager-format-hot-path", 4, "bitio.rs"),
         ("no-panic-hot-path", 5, "bitio.rs"),
         ("no-panic-recovery-path", 2, "faults.rs"),
+        ("no-time-rng-in-wire", 2, "event.rs"),
     ] {
         assert!(
             diags

@@ -8,6 +8,7 @@ use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
 use inceptionn_distrib::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
+use inceptionn_netsim::Topology;
 use obs::export::{events_from_json, Summary};
 use obs::json::{self, Value};
 use obs::{labels, Recorder};
@@ -121,6 +122,45 @@ fn obs_totals_match_the_fabric_ground_truth() {
     assert_eq!(summary.total_link_ns(), stats.link_latency_ns);
     assert!(stats.wire_bytes > 0, "the run actually moved bytes");
     assert!(stats.engine_cycles > 0, "compression engines ran");
+}
+
+/// Satellite of the topology-tree refactor: the per-tier wire-byte
+/// attribution in obs must reconcile with the fabric's own wire total
+/// to the byte at every tree depth, through a full traced training run
+/// (not just isolated transfers).
+#[test]
+fn tier_bytes_reconcile_with_fabric_totals_at_every_depth() {
+    for topo in [
+        Topology::flat(4),
+        Topology::two_tier(2, 2),
+        Topology::uniform(&[2, 2, 1]),
+    ] {
+        let recorder = Recorder::on();
+        let data = DigitDataset::generate(160, 33);
+        let cfg = TrainerConfig {
+            strategy: ExchangeStrategy::Tree,
+            topology: Some(topo.clone()),
+            ..config(recorder.clone())
+        };
+        let mut t = DistributedTrainer::new(cfg, models::hdc_mlp_small, &data);
+        t.train_iterations(ITERS);
+        t.flush_trace();
+        let stats = t.fabric_stats();
+        let summary = recorder.finish().summary();
+        assert_eq!(
+            summary.total_tier_bytes(),
+            stats.wire_bytes,
+            "{topo:?}: per-tier sums must equal the fabric wire total to the byte"
+        );
+        assert!(
+            summary
+                .wire_bytes_by_tier
+                .keys()
+                .all(|&tier| (tier as usize) < topo.depth()),
+            "{topo:?}: a tier beyond the tree depth appeared"
+        );
+        assert!(stats.wire_bytes > 0, "{topo:?}: the run moved bytes");
+    }
 }
 
 #[test]
