@@ -1,6 +1,6 @@
 //! The project-invariant rule engine.
 //!
-//! Seven lexical rules over every `crates/*/src/**/*.rs` file, each
+//! Eight lexical rules over every `crates/*/src/**/*.rs` file, each
 //! encoding an invariant the INCEPTIONN reproduction's correctness
 //! story depends on (see DESIGN.md §"Static analysis & concurrency
 //! audit" for the catalog and how to add a rule):
@@ -14,6 +14,7 @@
 //! | `no-time-rng-in-wire` | code that determines wire byte layout never consults wall clocks or RNGs |
 //! | `shim-facade` | vendored shims are only imported by the crates the facade declares |
 //! | `no-eager-format-hot-path` | obs-instrumented hot paths never format strings (`format!`, `.to_string()`) or read `Instant` — events are static labels + integers, rendering deferred to export |
+//! | `no-transient-thread-hot-path` | codec/fabric hot paths never create threads per call (`thread::spawn` / `thread::scope`) — shard work goes through the persistent pool |
 //!
 //! Rules run on the token stream of [`crate::lexer`], so text inside
 //! strings and comments never fires them, and `#[cfg(test)]` regions
@@ -61,6 +62,29 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/distrib/src/fabric.rs",
     "crates/distrib/src/ring.rs",
     "crates/distrib/src/aggregator.rs",
+    "crates/nicsim/src/chunker.rs",
+    "crates/nicsim/src/datapath.rs",
+    "crates/nicsim/src/engine.rs",
+    "crates/nicsim/src/nic.rs",
+    "crates/nicsim/src/packet.rs",
+];
+
+/// Files covered by `no-transient-thread-hot-path`: the per-exchange
+/// codec and fabric paths, where creating OS threads per call would put
+/// spawn/teardown latency on every transfer. Shard fan-out belongs on
+/// the persistent worker pool (`inceptionn_compress::pool::global()`).
+/// Deliberately absent: `crates/compress/src/pool.rs` (its spawns run
+/// once per process, building that pool) and `crates/distrib/src/ring.rs`
+/// (the threaded ring exchange models one long-lived thread per worker,
+/// not a per-call fan-out).
+pub const TRANSIENT_THREAD_FILES: &[&str] = &[
+    "crates/compress/src/burst.rs",
+    "crates/compress/src/parallel.rs",
+    "crates/compress/src/inceptionn.rs",
+    "crates/compress/src/bitio.rs",
+    "crates/distrib/src/fabric.rs",
+    "crates/distrib/src/aggregator.rs",
+    "crates/distrib/src/pipeline.rs",
     "crates/nicsim/src/chunker.rs",
     "crates/nicsim/src/datapath.rs",
     "crates/nicsim/src/engine.rs",
@@ -751,6 +775,48 @@ pub fn rule_no_eager_format_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: no-transient-thread-hot-path
+// ---------------------------------------------------------------------
+
+/// Flags per-call thread creation (`thread::spawn`, `thread::scope`) in
+/// non-test code of pooled hot-path files. The parallel codec's shard
+/// fan-out runs on a persistent, parked worker pool precisely so the
+/// steady-state exchange loop never pays thread spawn/teardown; a
+/// transient scope reappearing on one of these paths silently reverts
+/// that and the analyzer treats it as a perf regression, not style.
+pub fn rule_no_transient_thread_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if !TRANSIENT_THREAD_FILES.contains(&ctx.path) {
+        return;
+    }
+    for i in 0..ctx.code.len() {
+        if !ctx.is_ident(i, "thread") || ctx.in_test(i) {
+            continue;
+        }
+        let is_path =
+            i + 3 < ctx.code.len() && ctx.is_punct(i + 1, b':') && ctx.is_punct(i + 2, b':');
+        if !is_path {
+            continue;
+        }
+        let callee = ctx.text(i + 3);
+        if callee == "spawn" || callee == "scope" {
+            out.push(Diagnostic {
+                rule: "no-transient-thread-hot-path",
+                file: ctx.path.to_string(),
+                line: ctx.ct(i).line,
+                message: format!(
+                    "`thread::{callee}` creates transient threads on a pooled hot path"
+                ),
+                hint: "run shard work on the persistent pool \
+                       (inceptionn_compress::pool::global().run_indexed) so steady-state \
+                       exchanges never pay thread creation; one-time spawns belong in \
+                       pool.rs, long-lived exchange threads in ring.rs"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Rule: shim-facade
 // ---------------------------------------------------------------------
 
@@ -923,6 +989,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     rule_no_panic_recovery_path(&ctx, &mut out);
     rule_no_time_rng_in_wire(&ctx, &mut out);
     rule_no_eager_format_hot_path(&ctx, &mut out);
+    rule_no_transient_thread_hot_path(&ctx, &mut out);
     rule_shim_facade(&ctx, &mut out);
     out
 }
@@ -984,6 +1051,7 @@ pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
         rule_no_panic_recovery_path(ctx, &mut raw);
         rule_no_time_rng_in_wire(ctx, &mut raw);
         rule_no_eager_format_hot_path(ctx, &mut raw);
+        rule_no_transient_thread_hot_path(ctx, &mut raw);
         rule_shim_facade(ctx, &mut raw);
     }
     let allow_path = repo_root.join("crates/analyzer/allowlist.txt");
@@ -1205,6 +1273,43 @@ mod tests {
     fn ident_named_format_without_bang_is_not_flagged() {
         let src = "fn f(format: u8) -> u8 { format }\n";
         assert!(lint_source("crates/distrib/src/fabric.rs", src).is_empty());
+    }
+
+    // -- no-transient-thread-hot-path ----------------------------------
+
+    #[test]
+    fn transient_thread_creation_is_flagged_on_pooled_hot_paths() {
+        let src = "fn f() { std::thread::scope(|s| { let _ = s; }); }\n";
+        let diags = lint_source("crates/compress/src/parallel.rs", src);
+        assert_eq!(fired(&diags), ["no-transient-thread-hot-path"]);
+        assert!(diags[0].message.contains("thread::scope"));
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/pipeline.rs", src)),
+            ["no-transient-thread-hot-path"]
+        );
+    }
+
+    #[test]
+    fn pool_and_threaded_ring_spawns_are_out_of_scope() {
+        // pool.rs spawns once per process to build the persistent pool;
+        // ring.rs's threaded exchange keeps one thread per worker alive
+        // for the whole schedule. Neither is a per-call fan-out.
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(lint_source("crates/compress/src/pool.rs", src).is_empty());
+        assert!(lint_source("crates/distrib/src/ring.rs", src).is_empty());
+    }
+
+    #[test]
+    fn transient_thread_rule_exempts_tests_and_plain_idents() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::scope(|s| { let _ = s; }); }\n}\n";
+        assert!(lint_source("crates/compress/src/parallel.rs", test_src).is_empty());
+        // `thread` as an ordinary identifier (no `::spawn`/`::scope`
+        // path) and other thread:: items stay legal.
+        let src = "fn f(thread: u8) -> u8 { thread }\n";
+        assert!(lint_source("crates/compress/src/parallel.rs", src).is_empty());
+        let src = "fn f() { std::thread::yield_now(); }\n";
+        assert!(lint_source("crates/compress/src/parallel.rs", src).is_empty());
     }
 
     // -- shim-facade ---------------------------------------------------

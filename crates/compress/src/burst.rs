@@ -535,10 +535,11 @@ struct ByteSink {
 const MAX_GROUP_BYTES: usize = 2 + LANES_PER_BURST * 4;
 
 impl ByteSink {
-    fn with_capacity_bits(bits: usize) -> Self {
-        ByteSink {
-            out: Vec::with_capacity(bits.div_ceil(8) + MAX_GROUP_BYTES + 4),
-        }
+    /// Wraps an existing buffer, reserving room for `bits` more bits of
+    /// stream: groups append after whatever the buffer already holds.
+    fn appending_to(mut out: Vec<u8>, bits: usize) -> Self {
+        out.reserve(bits.div_ceil(8) + MAX_GROUP_BYTES + 4);
+        ByteSink { out }
     }
 
     /// Appends one group: the 16-bit tag vector, then each payload as
@@ -565,12 +566,6 @@ impl ByteSink {
             }
             self.out.set_len(len + 2 + payload_bytes);
         }
-    }
-
-    /// Total bits emitted so far (always a whole number of bytes).
-    #[inline]
-    fn bit_len(&self) -> usize {
-        self.out.len() * 8
     }
 
     fn into_bytes(self) -> Vec<u8> {
@@ -716,10 +711,26 @@ impl BurstCodec {
     /// Compresses a gradient slice — bit-identical to
     /// [`InceptionnCodec::compress`].
     pub fn compress(&self, values: &[f32]) -> CompressedStream {
+        let mut bytes = Vec::new();
+        let bit_len = self.compress_append(values, &mut bytes);
+        CompressedStream {
+            len: values.len(),
+            bytes,
+            bit_len,
+        }
+    }
+
+    /// Compresses a gradient slice **appending** to `out`, so shard
+    /// streams can serialize straight into a caller-owned wire buffer
+    /// with no intermediate `Vec`. The appended bytes are exactly
+    /// [`BurstCodec::compress`]'s stream for `values`; returns its bit
+    /// length.
+    pub fn compress_append(&self, values: &[f32], out: &mut Vec<u8>) -> usize {
         // Pre-size from the scalar codec's sampled tag histogram so the
         // flush loop never reallocates on typical gradient streams.
         let estimate = InceptionnCodec::new(self.bound).estimate_wire_bits(values);
-        let mut w = ByteSink::with_capacity_bits(estimate);
+        let start = out.len();
+        let mut w = ByteSink::appending_to(std::mem::take(out), estimate);
         let mut rest = values;
         #[cfg(target_arch = "x86_64")]
         if self.avx512 {
@@ -751,12 +762,8 @@ impl BurstCodec {
             let (tags16, pays) = classify_group_scalar(self.eb_exp, rem);
             w.put_group(tags16, &pays);
         }
-        let bit_len = w.bit_len();
-        CompressedStream {
-            len: values.len(),
-            bytes: w.into_bytes(),
-            bit_len,
-        }
+        *out = w.into_bytes();
+        (out.len() - start) * 8
     }
 
     /// Decompresses a packed stream — same values and same

@@ -54,6 +54,7 @@ pub mod gradmodel;
 pub mod inceptionn;
 pub mod lz;
 pub mod parallel;
+pub mod pool;
 pub mod reduction;
 pub mod stats;
 pub mod szlike;
@@ -62,4 +63,5 @@ pub mod truncate;
 pub use burst::BurstCodec;
 pub use inceptionn::{CompressedStream, DecodeError, ErrorBound, InceptionnCodec, Tag};
 pub use parallel::{ParallelCodec, ShardFrame};
+pub use pool::WorkerPool;
 pub use stats::{BitwidthHistogram, CodecStats};

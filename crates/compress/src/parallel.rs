@@ -18,14 +18,16 @@
 //! and thread schedules — pinned by `tests/differential.rs`.
 
 use std::fmt;
+use std::sync::Mutex;
 
 use crate::burst::BurstCodec;
 use crate::inceptionn::{DecodeError, ErrorBound, LANES_PER_BURST};
+use crate::pool;
 
 /// Below this many values, shard work runs inline on the calling
-/// thread: spawn overhead would exceed the codec work itself. The frame
-/// *format* is unaffected — only where the work executes.
-const SPAWN_THRESHOLD: usize = 64 * 1024;
+/// thread: waking the pool would cost more than the codec work itself.
+/// The frame *format* is unaffected — only where the work executes.
+const POOL_THRESHOLD: usize = 64 * 1024;
 
 /// One shard's decode work unit: header entry, payload slice, disjoint
 /// output segment, and the shard's absolute value/byte offsets for
@@ -167,8 +169,8 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// The sharded parallel codec: burst-encodes/decodes shards across
-/// worker threads via `std::thread::scope`.
+/// The sharded parallel codec: burst-encodes/decodes shards across the
+/// persistent [`pool`] workers (parked threads — no per-call spawn).
 ///
 /// # Examples
 ///
@@ -190,21 +192,23 @@ pub struct ParallelCodec {
 }
 
 impl ParallelCodec {
-    /// Creates a codec splitting blocks into up to `shards` shards
-    /// (`shards >= 1`; clamped to 1 if 0 is passed).
+    /// Creates a codec splitting blocks into up to `shards` shards.
+    /// `shards == 0` adapts to the host's available cores (the
+    /// explicit-override contract: pass a nonzero count to pin it).
     pub fn new(bound: ErrorBound, shards: usize) -> Self {
         ParallelCodec {
             burst: BurstCodec::new(bound),
-            shards: shards.max(1),
+            shards: if shards == 0 {
+                pool::host_parallelism()
+            } else {
+                shards
+            },
         }
     }
 
     /// Creates a codec sharded to the host's available parallelism.
     pub fn with_host_parallelism(bound: ErrorBound) -> Self {
-        let shards = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        Self::new(bound, shards)
+        Self::new(bound, 0)
     }
 
     /// The configured error bound.
@@ -238,75 +242,120 @@ impl ParallelCodec {
         ranges
     }
 
-    /// Encodes a gradient block into a sharded frame. Shards encode in
-    /// parallel for large blocks; the resulting bytes depend only on
-    /// `(values, shards)`, never on thread scheduling.
+    /// Encodes a gradient block into a sharded frame. Shards encode on
+    /// the persistent pool for large blocks; the resulting bytes depend
+    /// only on `(values, shards)`, never on thread scheduling.
     pub fn encode(&self, values: &[f32]) -> ShardFrame {
+        let mut frame = ShardFrame {
+            len: 0,
+            shards: Vec::new(),
+            payload: Vec::new(),
+        };
+        self.encode_into(values, &mut frame);
+        frame
+    }
+
+    /// Encodes a gradient block **into** a caller-owned frame, reusing
+    /// its header and payload allocations across calls. On the serial
+    /// path every shard serializes straight into `frame.payload` via
+    /// [`BurstCodec::compress_append`] — no intermediate `Vec` at all;
+    /// the pooled path compresses shards into index-addressed slots and
+    /// concatenates them in shard order, so both paths emit identical
+    /// bytes.
+    pub fn encode_into(&self, values: &[f32], frame: &mut ShardFrame) {
         let ranges = self.shard_ranges(values.len());
-        let streams: Vec<crate::CompressedStream> =
-            if ranges.len() <= 1 || values.len() < SPAWN_THRESHOLD {
-                ranges
-                    .iter()
-                    .map(|r| self.burst.compress(&values[r.clone()]))
-                    .collect()
-            } else {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = ranges
-                        .iter()
-                        .map(|r| {
-                            let slice = &values[r.clone()];
-                            let burst = self.burst;
-                            scope.spawn(move || burst.compress(slice))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard encoder panicked"))
-                        .collect()
-                })
-            };
-        let mut shards = Vec::with_capacity(streams.len());
-        let mut payload = Vec::with_capacity(streams.iter().map(|s| s.bytes.len()).sum());
-        for s in streams {
-            shards.push(ShardInfo {
-                values: s.len,
-                bytes: s.bytes.len(),
-                bit_len: s.bit_len,
-            });
-            payload.extend_from_slice(&s.bytes);
+        frame.len = values.len();
+        frame.shards.clear();
+        frame.payload.clear();
+        let pool = pool::global();
+        if ranges.len() <= 1 || values.len() < POOL_THRESHOLD || pool.workers() == 0 {
+            for r in &ranges {
+                let before = frame.payload.len();
+                let bit_len = self
+                    .burst
+                    .compress_append(&values[r.clone()], &mut frame.payload);
+                frame.shards.push(ShardInfo {
+                    values: r.len(),
+                    bytes: frame.payload.len() - before,
+                    bit_len,
+                });
+            }
+            return;
         }
-        ShardFrame {
-            len: values.len(),
-            shards,
-            payload,
+        // Shard `i` writes slot `i`: output position is a function of
+        // the index, not the claim order, so the concatenation below is
+        // byte-identical to the serial path.
+        let slots: Vec<Mutex<Option<crate::CompressedStream>>> =
+            ranges.iter().map(|_| Mutex::new(None)).collect();
+        let job = |i: usize| {
+            let stream = self.burst.compress(&values[ranges[i].clone()]);
+            if let Ok(mut slot) = slots[i].lock() {
+                *slot = Some(stream);
+            }
+        };
+        pool.run_indexed(ranges.len(), &job)
+            .unwrap_or_else(|p| p.resume());
+        frame.payload.reserve(slots.iter().fold(0, |acc, s| {
+            acc + s
+                .lock()
+                .ok()
+                .and_then(|g| g.as_ref().map(|c| c.bytes.len()))
+                .unwrap_or(0)
+        }));
+        for slot in slots {
+            let Some(stream) = slot.into_inner().unwrap_or_else(|p| p.into_inner()) else {
+                continue;
+            };
+            frame.shards.push(ShardInfo {
+                values: stream.len,
+                bytes: stream.bytes.len(),
+                bit_len: stream.bit_len,
+            });
+            frame.payload.extend_from_slice(&stream.bytes);
         }
     }
 
     /// Decodes a sharded frame back into the gradient block, fanning
-    /// shards across threads for large frames.
+    /// shards across the pool for large frames.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`ParallelCodec::decode_into`].
+    pub fn decode(&self, frame: &ShardFrame) -> Result<Vec<f32>, DecodeError> {
+        let mut out = vec![0f32; frame.len];
+        self.decode_into(frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes a sharded frame **into** a caller-owned block of exactly
+    /// `frame.len` slots — the zero-copy hot path: no per-call
+    /// allocation, shards write disjoint segments of `out` directly.
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] (with value index and bit offset made
     /// absolute within the block/payload) if any shard stream is
-    /// truncated, or if the header is inconsistent with the payload.
-    pub fn decode(&self, frame: &ShardFrame) -> Result<Vec<f32>, DecodeError> {
+    /// truncated, if the header is inconsistent with the payload or
+    /// with `out.len()`, or if a shard decoder panicked (reported at
+    /// the end of the frame rather than unwinding into the recovery
+    /// path).
+    pub fn decode_into(&self, frame: &ShardFrame, out: &mut [f32]) -> Result<(), DecodeError> {
         let declared: usize = frame.shards.iter().map(|s| s.values).sum();
         let payload_bytes: usize = frame.shards.iter().map(|s| s.bytes).sum();
-        if declared != frame.len || payload_bytes > frame.payload.len() {
-            // Header/payload mismatch: report at the first inconsistent
-            // position rather than touching out-of-bounds memory.
+        if declared != frame.len || payload_bytes > frame.payload.len() || out.len() != frame.len {
+            // Header/payload/destination mismatch: report at the first
+            // inconsistent position rather than touching out-of-bounds
+            // memory.
             return Err(DecodeError {
-                at_value: declared.min(frame.len),
+                at_value: declared.min(frame.len).min(out.len()),
                 bit_offset: frame.payload.len() * 8,
                 tag: None,
             });
         }
-        let mut out = vec![0f32; frame.len];
         // Carve the output block and payload into per-shard segments.
         let mut jobs: Vec<DecodeJob> = Vec::with_capacity(frame.shards.len());
         {
-            let mut rest: &mut [f32] = &mut out;
+            let mut rest: &mut [f32] = out;
             let mut byte_at = 0usize;
             let mut value_at = 0usize;
             for info in &frame.shards {
@@ -327,29 +376,51 @@ impl ParallelCodec {
                     tag: e.tag,
                 })
         };
-        if jobs.len() <= 1 || frame.len < SPAWN_THRESHOLD {
+        let pool = pool::global();
+        if jobs.len() <= 1 || frame.len < POOL_THRESHOLD || pool.workers() == 0 {
             for job in jobs {
                 run(job)?;
             }
-        } else {
-            let results: Vec<Result<(), DecodeError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .into_iter()
-                    .map(|job| scope.spawn(move || run(job)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard decoder panicked"))
-                    .collect()
-            });
-            for r in results {
-                r?;
-            }
+            return Ok(());
         }
-        Ok(out)
+        // Pooled: shard `i` takes job `i` from its slot; the
+        // lowest-indexed failure wins so the reported error does not
+        // depend on the schedule.
+        let n = jobs.len();
+        let slots: Vec<Mutex<Option<DecodeJob>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let first_err: Mutex<Option<(usize, DecodeError)>> = Mutex::new(None);
+        let job = |i: usize| {
+            let Some(work) = slots[i].lock().ok().and_then(|mut s| s.take()) else {
+                return;
+            };
+            if let Err(e) = run(work) {
+                if let Ok(mut slot) = first_err.lock() {
+                    match &*slot {
+                        Some((at, _)) if *at <= i => {}
+                        _ => *slot = Some((i, e)),
+                    }
+                }
+            }
+        };
+        let outcome = pool.run_indexed(n, &job);
+        if let Some((_, e)) = first_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        match outcome {
+            Ok(()) => Ok(()),
+            // A panicked shard decoder is contained as a typed error so
+            // the recovery ladder can renegotiate the leg plain instead
+            // of unwinding.
+            Err(_panic) => Err(DecodeError {
+                at_value: frame.len,
+                bit_offset: frame.payload.len() * 8,
+                tag: None,
+            }),
+        }
     }
 
-    /// The lossy round trip, fanned across threads for large blocks.
+    /// The lossy round trip, fanned across the pool for large blocks.
     /// Identical values to the scalar `quantize` (elementwise codec, so
     /// threading cannot change results).
     pub fn quantize(&self, values: &[f32]) -> Vec<f32> {
@@ -360,17 +431,23 @@ impl ParallelCodec {
 
     /// Applies the lossy round trip in place, in parallel.
     pub fn quantize_inplace(&self, values: &mut [f32]) {
-        if self.shards <= 1 || values.len() < SPAWN_THRESHOLD {
+        let pool = pool::global();
+        if self.shards <= 1 || values.len() < POOL_THRESHOLD || pool.workers() == 0 {
             self.burst.quantize_inplace(values);
             return;
         }
         let chunk = values.len().div_ceil(self.shards).max(LANES_PER_BURST);
-        std::thread::scope(|scope| {
-            for seg in values.chunks_mut(chunk) {
-                let burst = self.burst;
-                scope.spawn(move || burst.quantize_inplace(seg));
+        let slots: Vec<Mutex<Option<&mut [f32]>>> = values
+            .chunks_mut(chunk)
+            .map(|seg| Mutex::new(Some(seg)))
+            .collect();
+        let job = |i: usize| {
+            if let Some(seg) = slots[i].lock().ok().and_then(|mut s| s.take()) {
+                self.burst.quantize_inplace(seg);
             }
-        });
+        };
+        pool.run_indexed(slots.len(), &job)
+            .unwrap_or_else(|p| p.resume());
     }
 
     /// Records one counter pair per shard after the fact: shard workers
@@ -429,7 +506,15 @@ impl ParallelCodec {
     /// [`ParallelCodec::quantize`], recording one counter per shard
     /// chunk. Values are identical to the untraced path.
     pub fn quantize_traced(&self, values: &[f32], buf: &mut obs::EventBuf) -> Vec<f32> {
-        let out = self.quantize(values);
+        let mut out = values.to_vec();
+        self.quantize_inplace_traced(&mut out, buf);
+        out
+    }
+
+    /// [`ParallelCodec::quantize_inplace`], recording one counter per
+    /// shard chunk. Values are identical to the untraced path.
+    pub fn quantize_inplace_traced(&self, values: &mut [f32], buf: &mut obs::EventBuf) {
+        self.quantize_inplace(values);
         if buf.is_on() {
             for (i, r) in self.shard_ranges(values.len()).into_iter().enumerate() {
                 buf.push(obs::Event::count(
@@ -442,7 +527,6 @@ impl ParallelCodec {
                 ));
             }
         }
-        out
     }
 }
 
@@ -543,6 +627,61 @@ mod tests {
             err.at_value >= frame.shards[0].values,
             "error must be attributed past the first shard: {err:?}"
         );
+    }
+
+    #[test]
+    fn encode_into_reuses_the_frame_and_matches_fresh_encode() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 3);
+        let mut frame = ShardFrame {
+            len: 0,
+            shards: Vec::new(),
+            payload: Vec::new(),
+        };
+        // Encode a large block first so the second call runs inside
+        // already-sized allocations, then verify bytes are identical to
+        // a fresh encode anyway.
+        for n in [999usize, 100, 0, 640] {
+            let v = vals(n);
+            codec.encode_into(&v, &mut frame);
+            assert_eq!(frame, codec.encode(&v), "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_decode_in_a_reused_buffer() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(8), 4);
+        let mut out = vec![7.0f32; 999];
+        for n in [999usize, 640, 8, 0] {
+            let v = vals(n);
+            let frame = codec.encode(&v);
+            out.resize(n, 7.0);
+            // Poison the buffer: decode_into must overwrite every slot.
+            out.fill(7.0);
+            codec.decode_into(&frame, &mut out).unwrap();
+            assert_eq!(out, codec.decode(&frame).unwrap(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn decode_into_rejects_a_mis_sized_destination() {
+        let codec = ParallelCodec::new(ErrorBound::pow2(10), 2);
+        let frame = codec.encode(&vals(64));
+        let mut short = vec![0.0f32; 63];
+        assert!(codec.decode_into(&frame, &mut short).is_err());
+        let mut long = vec![0.0f32; 65];
+        assert!(codec.decode_into(&frame, &mut long).is_err());
+    }
+
+    #[test]
+    fn zero_shard_count_adapts_to_the_host() {
+        let adaptive = ParallelCodec::new(ErrorBound::pow2(10), 0);
+        assert_eq!(adaptive.shards(), crate::pool::host_parallelism());
+        assert_eq!(
+            ParallelCodec::with_host_parallelism(ErrorBound::pow2(10)),
+            adaptive
+        );
+        // Explicit override pins the count regardless of the host.
+        assert_eq!(ParallelCodec::new(ErrorBound::pow2(10), 5).shards(), 5);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::fmt;
 use inceptionn_compress::{BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec};
 use inceptionn_netsim::{LinkRateSchedule, NetworkConfig, TierMap, Topology};
 use inceptionn_nicsim::{
-    decode_payload, encode_payload, NicConfig, NicPipeline, Packet, SwitchReducer,
+    decode_payload_into, encode_payload_into, NicConfig, NicPipeline, Packet, SwitchReducer,
 };
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
@@ -148,6 +148,19 @@ pub struct WireFrame {
 }
 
 impl WireFrame {
+    /// An empty placeholder frame: what a [`FrameArena`] hands out
+    /// before the first [`encode_into`](Fabric::encode_into) fills (and
+    /// thereafter recycles) its body allocation.
+    pub fn empty() -> Self {
+        let body = FrameBody::Loopback(Vec::new());
+        WireFrame {
+            src: 0,
+            crc: crc_of(&body),
+            compressed: false,
+            body,
+        }
+    }
+
     /// A loopback frame from endpoint `src`; `compressed` marks whether
     /// a lossy codec produced `values` (fault models only poison
     /// compressed streams — plain traffic has no decode step to
@@ -221,6 +234,45 @@ impl WireFrame {
                 .map(|c| (c.len() * 4) as u64)
                 .collect(),
             FrameBody::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
+        }
+    }
+}
+
+/// Recycled per-endpoint wire-frame buffers for exchange loops.
+///
+/// A pipelined exchange keeps several frames in flight per endpoint
+/// (chunk `k+1` encoding while chunk `k` is on the wire); checking
+/// frames out of the arena and recycling them after delivery means each
+/// endpoint's frame bodies — the loopback value vector or the packet
+/// vector — are allocated once and reused for every subsequent leg via
+/// [`Fabric::encode_into`].
+#[derive(Debug)]
+pub struct FrameArena {
+    free: Vec<Vec<WireFrame>>,
+}
+
+impl FrameArena {
+    /// An arena with one free-list per fabric endpoint.
+    pub fn new(endpoints: usize) -> Self {
+        FrameArena {
+            free: (0..endpoints).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Takes a recycled frame for `endpoint` (or an empty one if none
+    /// is free). The caller owns it until [`recycle`](Self::recycle).
+    pub fn checkout(&mut self, endpoint: usize) -> WireFrame {
+        self.free
+            .get_mut(endpoint)
+            .and_then(|v| v.pop())
+            .unwrap_or_else(WireFrame::empty)
+    }
+
+    /// Returns a delivered frame to `endpoint`'s free-list so its body
+    /// allocation is reused by the next checkout.
+    pub fn recycle(&mut self, endpoint: usize, frame: WireFrame) {
+        if let Some(v) = self.free.get_mut(endpoint) {
+            v.push(frame);
         }
     }
 }
@@ -371,6 +423,24 @@ pub trait Fabric: Send {
 
     /// Encodes `values` for the wire at endpoint `src`.
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame;
+
+    /// Encodes `values` at endpoint `src` **into** a caller-owned frame
+    /// — the zero-copy seam: production transports serialize straight
+    /// into the frame's existing body allocation (the loopback value
+    /// vector, or the packet vector) instead of materializing a fresh
+    /// one per leg. The resulting frame is identical to what
+    /// [`encode`](Fabric::encode) returns; pair with a [`FrameArena`]
+    /// to recycle frames across exchange legs. The default falls back
+    /// to a plain encode-and-assign for decorators and test fabrics.
+    fn encode_into(
+        &mut self,
+        src: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        frame: &mut WireFrame,
+    ) {
+        *frame = self.encode(src, values, kind);
+    }
 
     /// Charges transport latency for moving `frame` from `src` to `dst`.
     /// Untimed fabrics charge nothing.
@@ -688,6 +758,20 @@ impl Quantizer {
             other => other.quantize(values),
         }
     }
+
+    /// In-place round trip for the zero-copy encode path — identical
+    /// values to [`Quantizer::quantize_traced`] on every codec.
+    fn quantize_inplace_traced(&self, values: &mut [f32], buf: &mut EventBuf) {
+        match self {
+            Quantizer::Off => {}
+            Quantizer::Scalar(c) => {
+                let q = c.quantize(values);
+                values.copy_from_slice(&q);
+            }
+            Quantizer::Burst(c) => c.quantize_inplace(values),
+            Quantizer::Parallel(c) => c.quantize_inplace_traced(values, buf),
+        }
+    }
 }
 
 /// The current lossless/quantize shortcut, preserved for bit-exact
@@ -721,12 +805,31 @@ impl Fabric for InProcessFabric {
     }
 
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+        let mut frame = WireFrame::empty();
+        self.encode_into(src, values, kind, &mut frame);
+        frame
+    }
+
+    fn encode_into(
+        &mut self,
+        src: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        frame: &mut WireFrame,
+    ) {
         let compressed = kind == PayloadKind::Gradient && self.codec.is_on();
-        let out = if compressed {
-            self.codec.quantize_traced(values, &mut self.buf)
-        } else {
-            values.to_vec()
+        // Reuse the frame's loopback vector: copy the values in and
+        // quantize them in place — no fresh allocation once the arena
+        // has warmed up.
+        let mut out = match std::mem::replace(&mut frame.body, FrameBody::Loopback(Vec::new())) {
+            FrameBody::Loopback(v) => v,
+            FrameBody::Packets(_) => Vec::new(),
         };
+        out.clear();
+        out.extend_from_slice(values);
+        if compressed {
+            self.codec.quantize_inplace_traced(&mut out, &mut self.buf);
+        }
         count_payload(
             &mut self.stats,
             values,
@@ -742,7 +845,10 @@ impl Fabric for InProcessFabric {
             (values.len() * 4) as u64,
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
-        WireFrame::loopback(src, out, compressed)
+        frame.src = src;
+        frame.compressed = compressed;
+        frame.body = FrameBody::Loopback(out);
+        frame.crc = crc_of(&frame.body);
     }
 
     fn deliver(
@@ -849,6 +955,10 @@ pub struct NicFabric {
     compression: Option<ErrorBound>,
     stats: FabricStats,
     buf: EventBuf,
+    /// Reused receive-side value buffer: `deliver` reassembles into it
+    /// and hands the sink a borrowed slice, so steady-state delivery
+    /// allocates nothing (`&mut self` makes the reuse exclusive).
+    scratch: Vec<f32>,
     /// Per-endpoint cumulative engine time, the cycle-domain clock the
     /// compress/decompress spans are stamped in.
     clock: Vec<u64>,
@@ -874,6 +984,7 @@ impl NicFabric {
             compression,
             stats: FabricStats::default(),
             buf: recorder.buffer(),
+            scratch: Vec::new(),
             clock: vec![0; endpoints],
             switch_clock: 0,
             seq: 0,
@@ -892,9 +1003,27 @@ impl Fabric for NicFabric {
     }
 
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+        let mut frame = WireFrame::empty();
+        self.encode_into(src, values, kind, &mut frame);
+        frame
+    }
+
+    fn encode_into(
+        &mut self,
+        src: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        frame: &mut WireFrame,
+    ) {
         let compressible = self.compression.is_some() && kind == PayloadKind::Gradient;
         let bursts_before = self.nics[src].stats().tx_bursts;
-        let (wire, trace) = encode_payload(&mut self.nics[src], values, compressible);
+        // Reuse the frame's packet vector across legs; the datapath
+        // writes its output packets straight into it.
+        let mut wire = match std::mem::replace(&mut frame.body, FrameBody::Loopback(Vec::new())) {
+            FrameBody::Packets(p) => p,
+            FrameBody::Loopback(_) => Vec::new(),
+        };
+        let trace = encode_payload_into(&mut self.nics[src], values, compressible, &mut wire);
         count_payload(
             &mut self.stats,
             values,
@@ -936,7 +1065,10 @@ impl Fabric for NicFabric {
             }
             self.clock[src] += trace.engine_cycles;
         }
-        WireFrame::packets(src, wire)
+        frame.src = src;
+        frame.compressed = wire.first().is_some_and(|p| p.value_count.is_some());
+        frame.body = FrameBody::Packets(wire);
+        frame.crc = crc_of(&frame.body);
     }
 
     fn deliver(
@@ -955,7 +1087,15 @@ impl Fabric for NicFabric {
             }),
             FrameBody::Packets(packets) => {
                 let bursts_before = self.nics[dst].stats().rx_bursts;
-                let (values, _ns, cycles) = decode_payload(&mut self.nics[dst], packets)?;
+                let mut values = std::mem::take(&mut self.scratch);
+                let decoded = decode_payload_into(&mut self.nics[dst], packets, &mut values);
+                let (_ns, cycles) = match decoded {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        self.scratch = values;
+                        return Err(e.into());
+                    }
+                };
                 self.stats.engine_cycles += cycles;
                 if self.buf.is_on() {
                     let track = dst as u32;
@@ -983,6 +1123,7 @@ impl Fabric for NicFabric {
                     self.clock[dst] += cycles;
                 }
                 sink(&values);
+                self.scratch = values;
                 Ok(())
             }
         }
@@ -1201,6 +1342,16 @@ impl Fabric for TimedFabric {
 
     fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
         self.inner.encode(src, values, kind)
+    }
+
+    fn encode_into(
+        &mut self,
+        src: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        frame: &mut WireFrame,
+    ) {
+        self.inner.encode_into(src, values, kind, frame);
     }
 
     fn charge(&mut self, src: usize, dst: usize, frame: &WireFrame) {

@@ -524,6 +524,16 @@ impl Fabric for FaultyFabric {
         self.inner.encode(src, values, kind)
     }
 
+    fn encode_into(
+        &mut self,
+        src: usize,
+        values: &[f32],
+        kind: PayloadKind,
+        frame: &mut WireFrame,
+    ) {
+        self.inner.encode_into(src, values, kind, frame);
+    }
+
     fn charge(&mut self, src: usize, dst: usize, frame: &WireFrame) {
         self.inner.charge(src, dst, frame);
     }

@@ -62,15 +62,21 @@
 pub mod aggregator;
 pub mod fabric;
 pub mod faults;
+pub mod pipeline;
 pub mod ring;
 pub mod switch;
 pub mod trainer;
 
+pub use aggregator::{worker_aggregator_allreduce, worker_aggregator_allreduce_over};
 pub use fabric::{
-    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, FrameBody, InProcessFabric,
-    NicFabric, PayloadKind, TimedFabric, TransportKind, WireFrame,
+    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, FrameArena, FrameBody,
+    InProcessFabric, NicFabric, PayloadKind, TimedFabric, TransportKind, WireFrame,
 };
 pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
-pub use ring::{ring_allreduce, threaded_ring_allreduce, tree_allreduce_over};
+pub use pipeline::{
+    pipelined_ring_allreduce_over, pipelined_switch_allreduce_over, pipelined_tree_allreduce_over,
+    pipelined_worker_aggregator_allreduce_over, PipelineConfig,
+};
+pub use ring::{ring_allreduce, ring_allreduce_over, threaded_ring_allreduce, tree_allreduce_over};
 pub use switch::{switch_allreduce, switch_allreduce_over};
 pub use trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};

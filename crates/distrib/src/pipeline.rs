@@ -1,0 +1,990 @@
+//! Pipelined (chunked) variants of the exchange strategies.
+//!
+//! Every `_over` strategy in this crate moves whole blocks: encode a
+//! leg, put it on the wire, decode it, then start the next leg. The
+//! variants here split each leg into fixed-size **pipeline chunks** and
+//! keep a bounded window of encoded frames in flight, so chunk `k+1`
+//! encodes while chunk `k` is on the wire and chunk `k-1` decodes —
+//! the software shape of the paper's NIC datapath, where compression is
+//! overlapped with DMA and transmission so the link never idles behind
+//! the codec.
+//!
+//! Frames are checked out of a [`FrameArena`] and filled through
+//! [`Fabric::encode_into`], so a steady-state exchange allocates no
+//! frame bodies at all: each endpoint's loopback vector or packet
+//! vector is recycled from chunk to chunk.
+//!
+//! # Bit-identity with the unpipelined schedules
+//!
+//! The INCEPTIONN codec is elementwise: quantizing a slice chunk by
+//! chunk produces exactly the bytes-then-values of quantizing it whole
+//! (`inceptionn-compress` pins this; packet framing is value-count
+//! independent above [`VALUES_PER_PACKET`] granularity only for wire
+//! *accounting*, never for values). Folds are elementwise too, and a
+//! chunked leg touches the same disjoint element ranges in the same
+//! per-element order as the whole leg, so every pipelined strategy here
+//! is **bit-identical** to its unpipelined counterpart for every
+//! [`CodecSelection`] — ragged final chunks included. The differential
+//! suite in `tests/` pins this for all four strategies.
+//!
+//! Recovery mirrors the unpipelined ladders at chunk granularity: a
+//! recoverably failed chunk is re-encoded [`PayloadKind::Plain`] and
+//! redelivered, and repeated failures degrade the leg through
+//! [`Fabric::note_degraded`] exactly as the whole-block schedules do.
+//!
+//! [`VALUES_PER_PACKET`]: inceptionn_nicsim::VALUES_PER_PACKET
+//! [`CodecSelection`]: crate::fabric::CodecSelection
+
+use std::collections::{BTreeMap, VecDeque};
+use std::ops::Range;
+
+use inceptionn_netsim::Topology;
+
+use crate::fabric::{Fabric, FabricError, FrameArena, PayloadKind, WireFrame};
+use crate::faults::RENEGOTIATE_AFTER;
+use crate::ring::{apply_block, block_range};
+
+/// How a pipelined exchange cuts legs into chunks and how many encoded
+/// frames it keeps in flight per leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Values per pipeline chunk. Legs shorter than one chunk move
+    /// whole; the final chunk of a longer leg is ragged.
+    pub chunk_values: usize,
+    /// Encoded frames in flight per leg before the oldest is delivered
+    /// (the pipeline depth). `1` degenerates to encode-then-deliver.
+    pub depth: usize,
+}
+
+impl PipelineConfig {
+    /// A chunk size that keeps several chunks in flight for typical
+    /// layer-sized blocks while staying far above per-frame overheads.
+    pub const DEFAULT_CHUNK_VALUES: usize = 32 * 1024;
+
+    /// Three stages in flight: encode, wire, decode.
+    pub const DEFAULT_DEPTH: usize = 3;
+
+    /// A config with the given chunk size and the default depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_values` is zero.
+    pub fn with_chunk(chunk_values: usize) -> Self {
+        assert!(chunk_values > 0, "pipeline chunks must hold values");
+        PipelineConfig {
+            chunk_values,
+            depth: Self::DEFAULT_DEPTH,
+        }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            chunk_values: Self::DEFAULT_CHUNK_VALUES,
+            depth: Self::DEFAULT_DEPTH,
+        }
+    }
+}
+
+/// Splits `range` into consecutive chunks of `chunk` elements; the last
+/// chunk is ragged. An empty range yields no chunks.
+fn chunk_ranges(range: Range<usize>, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+    let chunk = chunk.max(1);
+    let Range { start, end } = range;
+    (0..)
+        .map(move |i| start + i * chunk)
+        .take_while(move |&s| s < end)
+        .map(move |s| s..(s + chunk).min(end))
+}
+
+/// Which latency a chunk's transfer is charged: a full point-to-point
+/// link, or the downlink half-leg of the switch-resident aggregation
+/// path (the uplink half is charged inline by the switch gather, which
+/// has its own fold-and-restart flow).
+#[derive(Debug, Clone, Copy)]
+enum Charge {
+    Link,
+    FromSwitch,
+}
+
+fn charge_chunk(fabric: &mut dyn Fabric, leg: Charge, src: usize, dst: usize, frame: &WireFrame) {
+    match leg {
+        Charge::Link => fabric.charge(src, dst, frame),
+        Charge::FromSwitch => fabric.charge_from_switch(dst, frame),
+    }
+}
+
+/// One leg of a pipelined exchange: `values` at endpoint `src` stream
+/// to endpoint `dst` chunk by chunk with up to `cfg.depth` frames in
+/// flight, each delivered chunk handed to `apply` with its element
+/// range. A recoverably failed chunk is re-encoded plain (after
+/// `note_degraded`) and redelivered once, mirroring the unpipelined
+/// single-retry ladders.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_leg(
+    fabric: &mut dyn Fabric,
+    arena: &mut FrameArena,
+    cfg: PipelineConfig,
+    src: usize,
+    dst: usize,
+    values: &[f32],
+    kind: PayloadKind,
+    leg: Charge,
+    apply: &mut dyn FnMut(Range<usize>, &[f32]),
+) -> Result<(), FabricError> {
+    let mut inflight: VecDeque<(WireFrame, Range<usize>)> = VecDeque::new();
+    let mut degraded = false;
+    let drain = |fabric: &mut dyn Fabric,
+                 arena: &mut FrameArena,
+                 degraded: &mut bool,
+                 frame: WireFrame,
+                 r: Range<usize>,
+                 apply: &mut dyn FnMut(Range<usize>, &[f32])|
+     -> Result<(), FabricError> {
+        let outcome = fabric.deliver(dst, &frame, &mut |rb| apply(r.clone(), rb));
+        arena.recycle(src, frame);
+        match outcome {
+            Ok(()) => Ok(()),
+            Err(e) if e.is_recoverable() => {
+                if !*degraded {
+                    *degraded = true;
+                    fabric.note_degraded(src, dst);
+                }
+                let mut plain = arena.checkout(src);
+                fabric.encode_into(src, &values[r.clone()], PayloadKind::Plain, &mut plain);
+                charge_chunk(fabric, leg, src, dst, &plain);
+                let retried = fabric.deliver(dst, &plain, &mut |rb| apply(r.clone(), rb));
+                arena.recycle(src, plain);
+                retried
+            }
+            Err(e) => Err(e),
+        }
+    };
+    for r in chunk_ranges(0..values.len(), cfg.chunk_values) {
+        let mut frame = arena.checkout(src);
+        let kind = if degraded { PayloadKind::Plain } else { kind };
+        fabric.encode_into(src, &values[r.clone()], kind, &mut frame);
+        charge_chunk(fabric, leg, src, dst, &frame);
+        inflight.push_back((frame, r));
+        if inflight.len() >= cfg.depth.max(1) {
+            if let Some((frame, r)) = inflight.pop_front() {
+                drain(fabric, arena, &mut degraded, frame, r, apply)?;
+            }
+        }
+    }
+    while let Some((frame, r)) = inflight.pop_front() {
+        drain(fabric, arena, &mut degraded, frame, r, apply)?;
+    }
+    Ok(())
+}
+
+fn assert_uniform(workers: &[Vec<f32>]) -> usize {
+    assert!(!workers.is_empty(), "at least one worker required");
+    let len = workers[0].len();
+    assert!(
+        workers.iter().all(|w| w.len() == len),
+        "all workers must hold equally sized gradients"
+    );
+    len
+}
+
+/// Delivers one in-flight ring chunk into `workers[i]`, running the
+/// chunk-granular degradation ladder: the sender's chunk is still
+/// intact in `workers[from]` (the block a node sends at a step is never
+/// the block it folds or overwrites at that step), so on a recoverable
+/// failure it is re-encoded plain and redelivered.
+#[allow(clippy::too_many_arguments)]
+fn deliver_ring_chunk(
+    fabric: &mut dyn Fabric,
+    arena: &mut FrameArena,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    frame: WireFrame,
+    i: usize,
+    from: usize,
+    r: Range<usize>,
+    fold: bool,
+    failures: &mut [usize],
+    degraded: &mut [bool],
+) -> Result<(), FabricError> {
+    let first = {
+        let worker = &mut workers[i];
+        let rr = r.clone();
+        fabric.deliver(endpoints[i], &frame, &mut |rb| {
+            apply_block(&mut worker[rr.clone()], rb, fold);
+        })
+    };
+    arena.recycle(endpoints[from], frame);
+    match first {
+        Ok(()) => {
+            failures[from] = 0;
+            Ok(())
+        }
+        Err(e) if e.is_recoverable() => {
+            failures[from] += 1;
+            if failures[from] >= RENEGOTIATE_AFTER && !degraded[from] {
+                degraded[from] = true;
+                fabric.note_degraded(endpoints[from], endpoints[i]);
+            }
+            let chunk = workers[from][r.clone()].to_vec();
+            let mut plain = arena.checkout(endpoints[from]);
+            fabric.encode_into(endpoints[from], &chunk, PayloadKind::Plain, &mut plain);
+            fabric.charge(endpoints[from], endpoints[i], &plain);
+            let worker = &mut workers[i];
+            let retried = fabric.deliver(endpoints[i], &plain, &mut |rb| {
+                apply_block(&mut worker[r.clone()], rb, fold);
+            });
+            arena.recycle(endpoints[from], plain);
+            retried
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// One ring leg (sender `i` → its successor) pipelined: the leg's block
+/// is cut into chunks, each encoded into an arena frame and charged,
+/// with up to `cfg.depth` frames in flight before the oldest delivers.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_ring_leg(
+    fabric: &mut dyn Fabric,
+    arena: &mut FrameArena,
+    cfg: PipelineConfig,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    i: usize,
+    k: usize,
+    fold: bool,
+    failures: &mut [usize],
+    degraded: &mut [bool],
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = workers[i].len();
+    let recv = (i + 1) % n;
+    let mut inflight: VecDeque<(WireFrame, Range<usize>)> = VecDeque::new();
+    for r in chunk_ranges(block_range(len, n, k), cfg.chunk_values) {
+        let kind = if degraded[i] {
+            PayloadKind::Plain
+        } else {
+            PayloadKind::Gradient
+        };
+        let mut frame = arena.checkout(endpoints[i]);
+        fabric.encode_into(endpoints[i], &workers[i][r.clone()], kind, &mut frame);
+        fabric.charge(endpoints[i], endpoints[recv], &frame);
+        inflight.push_back((frame, r));
+        if inflight.len() >= cfg.depth.max(1) {
+            if let Some((frame, r)) = inflight.pop_front() {
+                deliver_ring_chunk(
+                    fabric, arena, workers, endpoints, frame, recv, i, r, fold, failures, degraded,
+                )?;
+            }
+        }
+    }
+    while let Some((frame, r)) = inflight.pop_front() {
+        deliver_ring_chunk(
+            fabric, arena, workers, endpoints, frame, recv, i, r, fold, failures, degraded,
+        )?;
+    }
+    Ok(())
+}
+
+/// Pipelined [`ring_allreduce_over`](crate::ring::ring_allreduce_over):
+/// the same 2(n−1)-step block schedule, with every leg cut into
+/// [`PipelineConfig::chunk_values`]-sized chunks streamed through a
+/// bounded in-flight window of recycled arena frames.
+///
+/// Chunking happens **within** each leg at the schedule's fixed block
+/// boundaries, so each element is folded along the same ring path in
+/// the same order as the unpipelined exchange — the result is
+/// bit-identical for every codec, and replicas stay bit-identical to
+/// each other without compression.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if a chunk's delivery fails past the
+/// chunk-granular recovery ladder.
+///
+/// # Panics
+///
+/// Panics if the worker vectors differ in length, `workers` is empty,
+/// `endpoints.len() != workers.len()`, or an endpoint is out of range.
+pub fn pipelined_ring_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = assert_uniform(workers);
+    assert_eq!(endpoints.len(), n, "one endpoint per worker");
+    assert!(
+        endpoints.iter().all(|&e| e < fabric.endpoints()),
+        "endpoint out of range for fabric with {} endpoints",
+        fabric.endpoints()
+    );
+    if n == 1 || len == 0 {
+        return Ok(());
+    }
+    let mut arena = FrameArena::new(fabric.endpoints());
+    let mut failures = vec![0usize; n];
+    let mut degraded = vec![false; n];
+    // Phase 1 — aggregation: at step s node i sends blk[(i−s+1) mod n]
+    // and its successor folds it. The block a node folds at a step is
+    // never a block any node sends at that step, so streaming each
+    // sender's leg to completion is value-identical to the batched
+    // encode-all-then-deliver-all schedule.
+    for s in 1..n {
+        for i in 0..n {
+            let k = (i + n - (s - 1)) % n;
+            pipelined_ring_leg(
+                fabric,
+                &mut arena,
+                cfg,
+                workers,
+                endpoints,
+                i,
+                k,
+                true,
+                &mut failures,
+                &mut degraded,
+            )?;
+        }
+    }
+    // Phase 2 — propagation: node i sends blk[(i+2−t) mod n] and its
+    // successor overwrites its copy.
+    for t in 1..n {
+        for i in 0..n {
+            let k = (i + 2 + n - t) % n;
+            pipelined_ring_leg(
+                fabric,
+                &mut arena,
+                cfg,
+                workers,
+                endpoints,
+                i,
+                k,
+                false,
+                &mut failures,
+                &mut degraded,
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Bottom-up reduction mirroring `ring::reduce_up`, with the leader
+/// rings pipelined.
+fn reduce_up(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+    cfg: PipelineConfig,
+) -> Result<usize, FabricError> {
+    match topo {
+        Topology::Worker(w) => Ok(*w),
+        Topology::Group(children) => {
+            let mut leaders = Vec::with_capacity(children.len());
+            for child in children {
+                leaders.push(reduce_up(fabric, workers, pos, child, cfg)?);
+            }
+            if leaders.len() > 1 {
+                let mut grads: Vec<Vec<f32>> = leaders
+                    .iter()
+                    .map(|&e| std::mem::take(&mut workers[pos[&e]]))
+                    .collect();
+                let outcome = pipelined_ring_allreduce_over(fabric, &mut grads, &leaders, cfg);
+                for (&e, g) in leaders.iter().zip(grads) {
+                    workers[pos[&e]] = g;
+                }
+                outcome?;
+            }
+            Ok(leaders[0])
+        }
+    }
+}
+
+/// Top-down broadcast mirroring `ring::spread_into`, with each
+/// leader-to-leader hop pipelined and the leader's local round trip
+/// applied chunk by chunk (elementwise codec, so chunked equals whole).
+fn spread_into(
+    fabric: &mut dyn Fabric,
+    arena: &mut FrameArena,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    let Topology::Group(children) = topo else {
+        return Ok(());
+    };
+    let leader = topo.leader();
+    let sum = workers[pos[&leader]].clone();
+    for child in children {
+        let to = child.leader();
+        if to == leader {
+            continue;
+        }
+        let slot = &mut workers[pos[&to]];
+        pipelined_leg(
+            fabric,
+            arena,
+            cfg,
+            leader,
+            to,
+            &sum,
+            PayloadKind::Gradient,
+            Charge::Link,
+            &mut |r, rb| apply_block(&mut slot[r], rb, false),
+        )?;
+    }
+    let slot = &mut workers[pos[&leader]];
+    for r in chunk_ranges(0..sum.len(), cfg.chunk_values) {
+        let rt = fabric.self_roundtrip(leader, &sum[r.clone()])?;
+        apply_block(&mut slot[r], &rt, false);
+    }
+    for child in children {
+        spread_into(fabric, arena, workers, pos, child, cfg)?;
+    }
+    Ok(())
+}
+
+/// Broadcast entry mirroring `ring::spread_from_root`.
+fn spread_from_root(
+    fabric: &mut dyn Fabric,
+    arena: &mut FrameArena,
+    workers: &mut [Vec<f32>],
+    pos: &BTreeMap<usize, usize>,
+    topo: &Topology,
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    match topo {
+        Topology::Worker(_) => Ok(()),
+        Topology::Group(children) if children.len() == 1 => {
+            spread_from_root(fabric, arena, workers, pos, &children[0], cfg)
+        }
+        Topology::Group(children) => {
+            for child in children {
+                spread_into(fabric, arena, workers, pos, child, cfg)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Pipelined [`tree_allreduce_over`](crate::ring::tree_allreduce_over):
+/// the same bottom-up rings and leader-to-leader broadcast, with every
+/// ring leg and broadcast hop chunked through the in-flight window.
+/// Chunk boundaries sit inside each leg, so the fold path per element
+/// is unchanged and the result is bit-identical to the unpipelined
+/// tree for every codec.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if any hop's delivery fails past recovery.
+///
+/// # Panics
+///
+/// Panics if `workers.len()` differs from the topology's leaf count,
+/// the vectors differ in length, or a leaf id is out of range.
+pub fn pipelined_tree_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    topo: &Topology,
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    let order = topo.workers();
+    assert_eq!(
+        order.len(),
+        workers.len(),
+        "one gradient vector per topology leaf"
+    );
+    assert_uniform(workers);
+    assert!(
+        order.iter().all(|&e| e < fabric.endpoints()),
+        "topology leaf out of range for a fabric with {} endpoints",
+        fabric.endpoints()
+    );
+    let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(k, &e)| (e, k)).collect();
+    let mut arena = FrameArena::new(fabric.endpoints());
+    reduce_up(fabric, workers, &pos, topo, cfg)?;
+    spread_from_root(fabric, &mut arena, workers, &pos, topo, cfg)
+}
+
+/// Pipelined [`worker_aggregator_allreduce_over`]: the gather and
+/// broadcast legs stream in pipeline chunks through recycled arena
+/// frames. The aggregator folds workers in order within every element,
+/// exactly like the whole-block gather, so the result is bit-identical
+/// for every codec.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if either leg fails past the chunk-granular
+/// recovery ladder.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, the vectors differ in length, or the
+/// fabric has fewer than `workers.len() + 1` endpoints.
+///
+/// [`worker_aggregator_allreduce_over`]: crate::aggregator::worker_aggregator_allreduce_over
+pub fn pipelined_worker_aggregator_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = assert_uniform(workers);
+    let aggregator = n;
+    assert!(
+        fabric.endpoints() > aggregator,
+        "fabric needs {n} worker endpoints plus an aggregator endpoint"
+    );
+    let mut arena = FrameArena::new(fabric.endpoints());
+    let mut sum = vec![0.0f32; len];
+    for (i, w) in workers.iter().enumerate() {
+        pipelined_leg(
+            fabric,
+            &mut arena,
+            cfg,
+            i,
+            aggregator,
+            w,
+            PayloadKind::Gradient,
+            Charge::Link,
+            &mut |r, rb| apply_block(&mut sum[r], rb, true),
+        )?;
+    }
+    for (i, w) in workers.iter_mut().enumerate() {
+        pipelined_leg(
+            fabric,
+            &mut arena,
+            cfg,
+            aggregator,
+            i,
+            &sum,
+            PayloadKind::Plain,
+            Charge::Link,
+            &mut |r, rb| apply_block(&mut w[r], rb, false),
+        )?;
+    }
+    Ok(())
+}
+
+/// Pipelined [`switch_allreduce_over`](crate::switch::switch_allreduce_over):
+/// the gather is chunked at top level — for each chunk range, every
+/// worker's contribution climbs its uplink and folds at the reduce unit
+/// in worker order (bit-identical per element to the whole-block
+/// gather), with the in-flight window overlapping worker `k+1`'s encode
+/// with worker `k`'s fold. The reduce unit still has no retransmission
+/// protocol, so a recoverably failed contribution restarts **that
+/// chunk's** gather from a zeroed accumulator with plain frames.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if a fold or delivery fails past recovery.
+///
+/// # Panics
+///
+/// Panics if `workers` is empty, the gradients differ in length,
+/// `endpoints.len() != workers.len()`, or an endpoint is out of range.
+pub fn pipelined_switch_allreduce_over(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    cfg: PipelineConfig,
+) -> Result<(), FabricError> {
+    let n = workers.len();
+    let len = assert_uniform(workers);
+    assert_eq!(endpoints.len(), n, "one endpoint per worker");
+    assert!(
+        endpoints.iter().all(|&e| e < fabric.endpoints()),
+        "endpoint out of range for a fabric with {} endpoints",
+        fabric.endpoints()
+    );
+    let mut arena = FrameArena::new(fabric.endpoints());
+    let mut sum = vec![0.0f32; len];
+    for r in chunk_ranges(0..len, cfg.chunk_values) {
+        let mut plain_restart = false;
+        'gather: loop {
+            let acc = &mut sum[r.clone()];
+            if plain_restart {
+                acc.fill(0.0);
+            }
+            let mut inflight: VecDeque<(WireFrame, usize)> = VecDeque::new();
+            let mut fold =
+                |fabric: &mut dyn Fabric, arena: &mut FrameArena, frame: WireFrame, k: usize| {
+                    let outcome = fabric.switch_fold(acc, &frame);
+                    arena.recycle(endpoints[k], frame);
+                    outcome.map_err(|e| (e, k))
+                };
+            let mut failed = None;
+            for (k, w) in workers.iter().enumerate() {
+                let kind = if plain_restart {
+                    PayloadKind::Plain
+                } else {
+                    PayloadKind::Gradient
+                };
+                let mut frame = arena.checkout(endpoints[k]);
+                fabric.encode_into(endpoints[k], &w[r.clone()], kind, &mut frame);
+                fabric.charge_to_switch(endpoints[k], &frame);
+                inflight.push_back((frame, k));
+                if inflight.len() >= cfg.depth.max(1) {
+                    if let Some((frame, k)) = inflight.pop_front() {
+                        if let Err(e) = fold(fabric, &mut arena, frame, k) {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+            }
+            if failed.is_none() {
+                while let Some((frame, k)) = inflight.pop_front() {
+                    if let Err(e) = fold(fabric, &mut arena, frame, k) {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            // Frames still in flight when a fold fails are abandoned to
+            // the arena: the chunk restarts from a zeroed accumulator.
+            while let Some((frame, k)) = inflight.pop_front() {
+                arena.recycle(endpoints[k], frame);
+            }
+            match failed {
+                None => break,
+                Some((e, k)) if e.is_recoverable() && !plain_restart => {
+                    fabric.note_degraded(endpoints[k], endpoints[k]);
+                    plain_restart = true;
+                    continue 'gather;
+                }
+                Some((e, _)) => return Err(e),
+            }
+        }
+    }
+    for (k, w) in workers.iter_mut().enumerate() {
+        let e = endpoints[k];
+        pipelined_leg(
+            fabric,
+            &mut arena,
+            cfg,
+            e,
+            e,
+            &sum,
+            PayloadKind::Plain,
+            Charge::FromSwitch,
+            &mut |r, rb| apply_block(&mut w[r], rb, false),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::worker_aggregator_allreduce_over;
+    use crate::fabric::{FabricBuilder, TransportKind};
+    use crate::ring::{ring_allreduce_over, tree_allreduce_over};
+    use crate::switch::switch_allreduce_over;
+    use inceptionn_compress::ErrorBound;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.1f32..0.1)).collect())
+            .collect()
+    }
+
+    fn build(kind: TransportKind, endpoints: usize, bound: Option<ErrorBound>) -> Box<dyn Fabric> {
+        FabricBuilder::new(endpoints)
+            .transport(kind)
+            .compression(bound)
+            .build()
+    }
+
+    /// Chunk sizes that exercise single-chunk legs, aligned chunks, and
+    /// ragged final chunks against the 1000-element workloads below.
+    const CHUNKS: [usize; 3] = [64, 256, 4096];
+
+    #[test]
+    fn chunk_ranges_cover_exactly_with_ragged_tail() {
+        let got: Vec<_> = chunk_ranges(10..45, 16).collect();
+        assert_eq!(got, vec![10..26, 26..42, 42..45]);
+        assert_eq!(chunk_ranges(7..7, 16).count(), 0);
+    }
+
+    #[test]
+    fn pipelined_ring_matches_unpipelined_bit_exactly() {
+        for kind in [TransportKind::InProcess, TransportKind::Nic] {
+            for bound in [None, Some(ErrorBound::pow2(10))] {
+                for chunk in CHUNKS {
+                    let grads = random_grads(4, 1000, 41);
+                    let endpoints: Vec<usize> = (0..4).collect();
+                    let mut plainly = grads.clone();
+                    let mut a = build(kind, 4, bound);
+                    ring_allreduce_over(a.as_mut(), &mut plainly, &endpoints).unwrap();
+                    let mut piped = grads.clone();
+                    let mut b = build(kind, 4, bound);
+                    pipelined_ring_allreduce_over(
+                        b.as_mut(),
+                        &mut piped,
+                        &endpoints,
+                        PipelineConfig::with_chunk(chunk),
+                    )
+                    .unwrap();
+                    assert_eq!(plainly, piped, "{kind:?} bound {bound:?} chunk {chunk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_moves_the_same_payload_in_more_frames() {
+        let grads = random_grads(4, 1000, 42);
+        let endpoints: Vec<usize> = (0..4).collect();
+        let mut whole = grads.clone();
+        let mut a = build(TransportKind::Nic, 4, Some(ErrorBound::pow2(10)));
+        ring_allreduce_over(a.as_mut(), &mut whole, &endpoints).unwrap();
+        let mut piped = grads.clone();
+        let mut b = build(TransportKind::Nic, 4, Some(ErrorBound::pow2(10)));
+        pipelined_ring_allreduce_over(
+            b.as_mut(),
+            &mut piped,
+            &endpoints,
+            PipelineConfig::with_chunk(100),
+        )
+        .unwrap();
+        assert_eq!(a.stats().payload_bytes, b.stats().payload_bytes);
+        assert!(b.stats().transfers > a.stats().transfers);
+    }
+
+    #[test]
+    fn pipelined_tree_matches_unpipelined_bit_exactly() {
+        let topo = inceptionn_netsim::Topology::uniform(&[2, 2, 2]);
+        for bound in [None, Some(ErrorBound::pow2(10))] {
+            for chunk in CHUNKS {
+                let grads = random_grads(8, 1000, 43);
+                let mut whole = grads.clone();
+                let mut a = build(TransportKind::Nic, 8, bound);
+                tree_allreduce_over(a.as_mut(), &mut whole, &topo).unwrap();
+                let mut piped = grads.clone();
+                let mut b = build(TransportKind::Nic, 8, bound);
+                pipelined_tree_allreduce_over(
+                    b.as_mut(),
+                    &mut piped,
+                    &topo,
+                    PipelineConfig::with_chunk(chunk),
+                )
+                .unwrap();
+                assert_eq!(whole, piped, "bound {bound:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_aggregator_matches_unpipelined_bit_exactly() {
+        for bound in [None, Some(ErrorBound::pow2(10))] {
+            for chunk in CHUNKS {
+                let grads = random_grads(4, 1000, 44);
+                let mut whole = grads.clone();
+                let mut a = build(TransportKind::Nic, 5, bound);
+                worker_aggregator_allreduce_over(a.as_mut(), &mut whole).unwrap();
+                let mut piped = grads.clone();
+                let mut b = build(TransportKind::Nic, 5, bound);
+                pipelined_worker_aggregator_allreduce_over(
+                    b.as_mut(),
+                    &mut piped,
+                    PipelineConfig::with_chunk(chunk),
+                )
+                .unwrap();
+                assert_eq!(whole, piped, "bound {bound:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_switch_matches_unpipelined_bit_exactly() {
+        for bound in [None, Some(ErrorBound::pow2(10))] {
+            for chunk in CHUNKS {
+                let grads = random_grads(5, 1000, 45);
+                let endpoints: Vec<usize> = (0..5).collect();
+                let mut whole = grads.clone();
+                let mut a = build(TransportKind::Nic, 5, bound);
+                switch_allreduce_over(a.as_mut(), &mut whole, &endpoints).unwrap();
+                let mut piped = grads.clone();
+                let mut b = build(TransportKind::Nic, 5, bound);
+                pipelined_switch_allreduce_over(
+                    b.as_mut(),
+                    &mut piped,
+                    &endpoints,
+                    PipelineConfig::with_chunk(chunk),
+                )
+                .unwrap();
+                assert_eq!(whole, piped, "bound {bound:?} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_ring_recovers_bit_exactly_under_injected_faults() {
+        use crate::faults::FaultPlan;
+        let grads = random_grads(4, 800, 46);
+        let endpoints: Vec<usize> = (0..4).collect();
+        let mut clean = grads.clone();
+        let mut a = build(TransportKind::Nic, 4, None);
+        pipelined_ring_allreduce_over(
+            a.as_mut(),
+            &mut clean,
+            &endpoints,
+            PipelineConfig::with_chunk(100),
+        )
+        .unwrap();
+        let mut faulty = grads.clone();
+        let mut b = FabricBuilder::new(4)
+            .transport(TransportKind::Nic)
+            .faults(FaultPlan::new(42).drop_prob(0.05).corrupt_prob(0.02))
+            .build();
+        pipelined_ring_allreduce_over(
+            b.as_mut(),
+            &mut faulty,
+            &endpoints,
+            PipelineConfig::with_chunk(100),
+        )
+        .unwrap();
+        assert_eq!(clean, faulty, "recovered pipelined exchange must be exact");
+        assert!(b.fault_stats().retransmits > 0, "faults must have fired");
+    }
+
+    #[test]
+    fn pipelined_switch_restarts_only_the_failed_chunk_plain() {
+        // A fold failure restarts *that chunk's* gather from a zeroed
+        // accumulator with plain frames; every other chunk still folds
+        // compressed. So the failed chunk's range must carry the exact
+        // sum while the rest matches the clean compressed exchange.
+        struct FailingFold {
+            inner: Box<dyn Fabric>,
+            remaining_failures: u32,
+            degraded: Vec<(usize, usize)>,
+        }
+        impl Fabric for FailingFold {
+            fn endpoints(&self) -> usize {
+                self.inner.endpoints()
+            }
+            fn encode(&mut self, src: usize, values: &[f32], kind: PayloadKind) -> WireFrame {
+                self.inner.encode(src, values, kind)
+            }
+            fn encode_into(
+                &mut self,
+                src: usize,
+                values: &[f32],
+                kind: PayloadKind,
+                frame: &mut WireFrame,
+            ) {
+                self.inner.encode_into(src, values, kind, frame);
+            }
+            fn charge_from_switch(&mut self, endpoint: usize, frame: &WireFrame) {
+                self.inner.charge_from_switch(endpoint, frame);
+            }
+            fn deliver(
+                &mut self,
+                dst: usize,
+                frame: &WireFrame,
+                sink: &mut dyn FnMut(&[f32]),
+            ) -> Result<(), FabricError> {
+                self.inner.deliver(dst, frame, sink)
+            }
+            fn switch_fold(
+                &mut self,
+                acc: &mut [f32],
+                frame: &WireFrame,
+            ) -> Result<(), FabricError> {
+                if self.remaining_failures > 0 {
+                    self.remaining_failures -= 1;
+                    acc.fill(1e9); // the restart must zero this scribble
+                    return Err(FabricError::Decode(inceptionn_compress::DecodeError {
+                        at_value: 0,
+                        bit_offset: 0,
+                        tag: None,
+                    }));
+                }
+                self.inner.switch_fold(acc, frame)
+            }
+            fn stats(&self) -> crate::fabric::FabricStats {
+                self.inner.stats()
+            }
+            fn note_degraded(&mut self, src: usize, dst: usize) {
+                self.degraded.push((src, dst));
+                self.inner.note_degraded(src, dst);
+            }
+        }
+
+        let grads = random_grads(3, 600, 47);
+        let endpoints: Vec<usize> = (0..3).collect();
+        let mut exact = vec![0.0f32; 600];
+        for w in &grads {
+            for (s, v) in exact.iter_mut().zip(w) {
+                *s += v;
+            }
+        }
+        let mut compressed = grads.clone();
+        let mut clean = build(TransportKind::Nic, 3, Some(ErrorBound::pow2(10)));
+        switch_allreduce_over(clean.as_mut(), &mut compressed, &endpoints).unwrap();
+
+        let mut fabric = FailingFold {
+            inner: build(TransportKind::Nic, 3, Some(ErrorBound::pow2(10))),
+            remaining_failures: 1,
+            degraded: Vec::new(),
+        };
+        let mut piped = grads.clone();
+        pipelined_switch_allreduce_over(
+            &mut fabric,
+            &mut piped,
+            &endpoints,
+            PipelineConfig::with_chunk(100),
+        )
+        .unwrap();
+        for w in &piped {
+            assert_eq!(&w[..100], &exact[..100], "failed chunk must refold plain");
+            assert_eq!(
+                &w[100..],
+                &compressed[0][100..],
+                "untouched chunks must keep the compressed fold"
+            );
+        }
+        assert_eq!(fabric.degraded, vec![(0, 0)], "the failing leg was noted");
+    }
+
+    #[test]
+    fn depth_one_degenerates_to_stop_and_wait_with_identical_values() {
+        let grads = random_grads(3, 500, 48);
+        let endpoints: Vec<usize> = (0..3).collect();
+        let mut deep = grads.clone();
+        let mut a = build(TransportKind::Nic, 3, Some(ErrorBound::pow2(10)));
+        pipelined_ring_allreduce_over(
+            a.as_mut(),
+            &mut deep,
+            &endpoints,
+            PipelineConfig {
+                chunk_values: 64,
+                depth: 3,
+            },
+        )
+        .unwrap();
+        let mut shallow = grads.clone();
+        let mut b = build(TransportKind::Nic, 3, Some(ErrorBound::pow2(10)));
+        pipelined_ring_allreduce_over(
+            b.as_mut(),
+            &mut shallow,
+            &endpoints,
+            PipelineConfig {
+                chunk_values: 64,
+                depth: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(deep, shallow);
+        assert_eq!(a.stats().transfers, b.stats().transfers);
+    }
+}

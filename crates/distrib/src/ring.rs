@@ -58,8 +58,9 @@ fn assert_uniform(workers: &[Vec<f32>]) -> usize {
 /// Applies a received block: fold (reduce-scatter) or overwrite
 /// (all-gather). Element counts always match for well-formed frames;
 /// zipping (rather than `copy_from_slice`) keeps a malformed frame from
-/// aborting the process.
-fn apply_block(dst: &mut [f32], src: &[f32], fold: bool) {
+/// aborting the process. Shared with the pipelined schedules in
+/// [`crate::pipeline`].
+pub(crate) fn apply_block(dst: &mut [f32], src: &[f32], fold: bool) {
     if fold {
         for (d, s) in dst.iter_mut().zip(src) {
             *d += *s;

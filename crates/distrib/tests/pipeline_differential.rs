@@ -1,0 +1,214 @@
+//! Differential contract of the pipelined exchange engine: for every
+//! strategy × codec × transport cell, the chunked, windowed, arena-fed
+//! schedule must land on gradients bit-identical to the whole-block
+//! `_over` schedule it accelerates. The INCEPTIONN codec quantizes per
+//! value, so splitting a leg into pipeline chunks cannot change any
+//! encoded byte — these tests pin that equivalence from outside the
+//! crate, over the public builder API, including ragged final chunks
+//! and fault-plan replay under pipelining.
+
+use inceptionn_compress::ErrorBound;
+use inceptionn_distrib::{
+    pipelined_ring_allreduce_over, pipelined_switch_allreduce_over, pipelined_tree_allreduce_over,
+    pipelined_worker_aggregator_allreduce_over, ring_allreduce_over, switch_allreduce_over,
+    tree_allreduce_over, worker_aggregator_allreduce_over, CodecSelection, Fabric, FabricBuilder,
+    FaultPlan, FaultStats, PipelineConfig, TransportKind,
+};
+use inceptionn_netsim::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workers in every exchange; 4 keeps the two-tier tree balanced.
+const WORKERS: usize = 4;
+
+/// A deliberately ragged block length: not a multiple of any chunk size
+/// used below, so every leg ends in a partial chunk.
+const LEN: usize = 1013;
+
+fn random_grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(-0.4f32..0.4)).collect())
+        .collect()
+}
+
+fn bits(workers: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    workers
+        .iter()
+        .map(|w| w.iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+/// Every codec the fabric can carry, including both parallel-shard
+/// configurations (adaptive and pinned).
+fn all_codecs() -> Vec<(&'static str, CodecSelection)> {
+    let bound = ErrorBound::pow2(9);
+    vec![
+        ("none", CodecSelection::None),
+        ("scalar", CodecSelection::Scalar(bound)),
+        ("burst", CodecSelection::Burst(bound)),
+        (
+            "parallel-auto",
+            CodecSelection::Parallel { bound, shards: 0 },
+        ),
+        ("parallel-3", CodecSelection::Parallel { bound, shards: 3 }),
+    ]
+}
+
+fn build(endpoints: usize, transport: TransportKind, codec: CodecSelection) -> Box<dyn Fabric> {
+    FabricBuilder::new(endpoints)
+        .transport(transport)
+        .codec(codec)
+        .build()
+}
+
+/// Runs one (unpipelined, pipelined) pair over fresh fabrics and
+/// asserts bit-identical results, labeling failures with the cell.
+fn assert_cell(
+    label: &str,
+    transport: TransportKind,
+    codec: CodecSelection,
+    cfg: PipelineConfig,
+    run_plain: impl Fn(&mut dyn Fabric, &mut [Vec<f32>]),
+    run_piped: impl Fn(&mut dyn Fabric, &mut [Vec<f32>], PipelineConfig),
+    endpoints: usize,
+) {
+    let grads = random_grads(WORKERS, LEN, 0xd1ff);
+    let mut plain = grads.clone();
+    let mut fabric = build(endpoints, transport, codec);
+    run_plain(fabric.as_mut(), &mut plain);
+    let mut piped = grads;
+    let mut fabric = build(endpoints, transport, codec);
+    run_piped(fabric.as_mut(), &mut piped, cfg);
+    assert_eq!(
+        bits(&plain),
+        bits(&piped),
+        "{label}/{codec:?}/{transport:?} chunk={} depth={}: pipelined diverged",
+        cfg.chunk_values,
+        cfg.depth,
+    );
+}
+
+/// Ring: every codec variant × both transports × ragged chunk sizes
+/// (including chunk 1 at depth 1, the stop-and-wait degenerate case).
+#[test]
+fn pipelined_ring_matches_for_every_codec_and_transport() {
+    let endpoints: Vec<usize> = (0..WORKERS).collect();
+    for (name, codec) in all_codecs() {
+        for transport in [TransportKind::InProcess, TransportKind::Nic] {
+            for cfg in [
+                PipelineConfig::with_chunk(97),
+                PipelineConfig {
+                    chunk_values: 512,
+                    depth: 1,
+                },
+            ] {
+                assert_cell(
+                    &format!("ring/{name}"),
+                    transport,
+                    codec,
+                    cfg,
+                    |f, w| ring_allreduce_over(f, w, &endpoints).expect("ring"),
+                    |f, w, cfg| {
+                        pipelined_ring_allreduce_over(f, w, &endpoints, cfg)
+                            .expect("pipelined ring")
+                    },
+                    WORKERS,
+                );
+            }
+        }
+    }
+}
+
+/// Topology tree: every codec variant over the NIC datapath.
+#[test]
+fn pipelined_tree_matches_for_every_codec() {
+    let topo = Topology::two_tier(2, WORKERS / 2);
+    for (name, codec) in all_codecs() {
+        assert_cell(
+            &format!("tree/{name}"),
+            TransportKind::Nic,
+            codec,
+            PipelineConfig::with_chunk(97),
+            |f, w| tree_allreduce_over(f, w, &topo).expect("tree"),
+            |f, w, cfg| pipelined_tree_allreduce_over(f, w, &topo, cfg).expect("pipelined tree"),
+            WORKERS,
+        );
+    }
+}
+
+/// Worker-aggregator: every codec variant; the aggregator endpoint
+/// rides along as endpoint `WORKERS`.
+#[test]
+fn pipelined_worker_aggregator_matches_for_every_codec() {
+    for (name, codec) in all_codecs() {
+        assert_cell(
+            &format!("worker-aggregator/{name}"),
+            TransportKind::Nic,
+            codec,
+            PipelineConfig::with_chunk(97),
+            |f, w| worker_aggregator_allreduce_over(f, w).expect("wa"),
+            |f, w, cfg| {
+                pipelined_worker_aggregator_allreduce_over(f, w, cfg).expect("pipelined wa")
+            },
+            WORKERS + 1,
+        );
+    }
+}
+
+/// Switch-resident in-network reduction: every codec variant.
+#[test]
+fn pipelined_switch_matches_for_every_codec() {
+    let endpoints: Vec<usize> = (0..WORKERS).collect();
+    for (name, codec) in all_codecs() {
+        assert_cell(
+            &format!("switch/{name}"),
+            TransportKind::Nic,
+            codec,
+            PipelineConfig::with_chunk(97),
+            |f, w| switch_allreduce_over(f, w, &endpoints).expect("switch"),
+            |f, w, cfg| {
+                pipelined_switch_allreduce_over(f, w, &endpoints, cfg).expect("pipelined switch")
+            },
+            WORKERS,
+        );
+    }
+}
+
+/// The fault-determinism contract survives pipelining: one seed and one
+/// plan replayed over the chunked schedule land on byte-identical
+/// gradients and identical fault counters, and the plan actually fires.
+#[test]
+fn pipelined_ring_replays_fault_plans_bit_exactly() {
+    let endpoints: Vec<usize> = (0..WORKERS).collect();
+    let run = || -> (Vec<Vec<u32>>, FaultStats) {
+        let mut grads = random_grads(WORKERS, LEN, 0xfa57);
+        let mut fabric = FabricBuilder::new(WORKERS)
+            .transport(TransportKind::Nic)
+            .compression(Some(ErrorBound::pow2(10)))
+            .faults(FaultPlan::new(91).drop_prob(0.05).corrupt_prob(0.02))
+            .build();
+        pipelined_ring_allreduce_over(
+            fabric.as_mut(),
+            &mut grads,
+            &endpoints,
+            PipelineConfig::with_chunk(97),
+        )
+        .expect("all injected faults in this plan are recoverable");
+        (
+            grads
+                .iter()
+                .map(|g| g.iter().map(|v| v.to_bits()).collect())
+                .collect(),
+            fabric.fault_stats(),
+        )
+    };
+    let (values_a, stats_a) = run();
+    let (values_b, stats_b) = run();
+    assert_eq!(values_a, values_b, "same seed+plan must replay bit-exactly");
+    assert_eq!(stats_a, stats_b, "fault counters are part of the trace");
+    assert!(
+        stats_a.drops + stats_a.corruptions > 0,
+        "the plan must actually have fired: {stats_a:?}"
+    );
+}

@@ -78,13 +78,28 @@ pub fn encode_payload(
     values: &[f32],
     compressible: bool,
 ) -> (Vec<Packet>, PayloadTrace) {
+    let mut wire = Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET));
+    let trace = encode_payload_into(tx, values, compressible, &mut wire);
+    (wire, trace)
+}
+
+/// [`encode_payload`] writing **into** a caller-owned packet vector
+/// (cleared first), so exchange loops can recycle the allocation across
+/// legs instead of materializing a fresh `Vec` per transfer.
+pub fn encode_payload_into(
+    tx: &mut NicPipeline,
+    values: &[f32],
+    compressible: bool,
+    wire: &mut Vec<Packet>,
+) -> PayloadTrace {
     let base = tx.config().base_latency_ns;
     let mut trace = PayloadTrace {
         payload_bytes_in: (values.len() * 4) as u64,
         packet_wire_bytes: Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET)),
         ..PayloadTrace::default()
     };
-    let mut wire = Vec::with_capacity(values.len().div_ceil(VALUES_PER_PACKET));
+    wire.clear();
+    wire.reserve(values.len().div_ceil(VALUES_PER_PACKET));
     for chunk in values.chunks(VALUES_PER_PACKET) {
         let payload: Vec<u8> = chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
         let pkt = if compressible {
@@ -99,7 +114,7 @@ pub fn encode_payload(
         trace.engine_cycles += ns.saturating_sub(base) / NS_PER_CYCLE;
         wire.push(out);
     }
-    (wire, trace)
+    trace
 }
 
 /// Receives on-wire packets produced by [`encode_payload`] through the
@@ -115,17 +130,48 @@ pub fn decode_payload(
     rx: &mut NicPipeline,
     wire: &[Packet],
 ) -> Result<(Vec<f32>, u64, u64), DecodeError> {
+    let mut values = Vec::new();
+    let (total_ns, cycles) = decode_payload_into(rx, wire, &mut values)?;
+    Ok((values, total_ns, cycles))
+}
+
+/// [`decode_payload`] reassembling **into** a caller-owned value buffer
+/// (cleared first), so receive loops can recycle the allocation across
+/// legs. Returns the RX NIC traversal latency in nanoseconds and the
+/// decompression-engine cycles spent.
+///
+/// # Errors
+///
+/// Exactly those of [`decode_payload`].
+///
+/// # Panics
+///
+/// Panics if a decompressed payload is not whole `f32`s (like
+/// [`reassemble`]).
+pub fn decode_payload_into(
+    rx: &mut NicPipeline,
+    wire: &[Packet],
+    values: &mut Vec<f32>,
+) -> Result<(u64, u64), DecodeError> {
     let base = rx.config().base_latency_ns;
-    let mut restored = Vec::with_capacity(wire.len());
+    values.clear();
     let mut total_ns = 0u64;
     let mut cycles = 0u64;
     for pkt in wire {
         let (out, ns) = rx.receive(pkt.clone())?;
         total_ns += ns;
         cycles += ns.saturating_sub(base) / NS_PER_CYCLE;
-        restored.push(out);
+        assert!(
+            out.payload.len() % 4 == 0,
+            "gradient payload must be whole f32s"
+        );
+        values.extend(
+            out.payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
     }
-    Ok((reassemble(&restored), total_ns, cycles))
+    Ok((total_ns, cycles))
 }
 
 /// Cuts a gradient slice into ToS-tagged MTU packets (the last packet

@@ -50,7 +50,10 @@ pub mod nic;
 pub mod packet;
 pub mod switchagg;
 
-pub use chunker::{decode_payload, encode_payload, PayloadTrace, TOS_PLAIN, VALUES_PER_PACKET};
+pub use chunker::{
+    decode_payload, decode_payload_into, encode_payload, encode_payload_into, PayloadTrace,
+    TOS_PLAIN, VALUES_PER_PACKET,
+};
 pub use engine::{CompressionEngine, DecompressionEngine, EngineOutput};
 pub use nic::{NicConfig, NicPipeline};
 pub use packet::{Packet, TOS_COMPRESSED};

@@ -78,6 +78,19 @@ fn seeded_violations_fail_with_file_and_line() {
     )
     .expect("seed file");
 
+    // And an eighth: per-call thread creation seeded onto the pooled
+    // codec hot path, which the transient-thread rule must flag as a
+    // perf regression.
+    fs::write(
+        src_dir.join("parallel.rs"),
+        "pub fn fan_out() {\n\
+         \x20   std::thread::scope(|s| {\n\
+         \x20       let _ = s;\n\
+         \x20   });\n\
+         }\n",
+    )
+    .expect("seed file");
+
     let diags = rules::lint_tree(&scratch).expect("lint runs on the scratch tree");
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
     for (rule, line, file) in [
@@ -88,6 +101,7 @@ fn seeded_violations_fail_with_file_and_line() {
         ("no-panic-hot-path", 5, "bitio.rs"),
         ("no-panic-recovery-path", 2, "faults.rs"),
         ("no-time-rng-in-wire", 2, "event.rs"),
+        ("no-transient-thread-hot-path", 2, "parallel.rs"),
     ] {
         assert!(
             diags
