@@ -547,6 +547,76 @@ impl<T> Drop for SimMutexGuard<'_, T> {
 }
 
 // ---------------------------------------------------------------------
+// SimCondvar
+// ---------------------------------------------------------------------
+
+/// A model-level condition variable paired with [`SimMutex`], modeling
+/// `std::sync::Condvar`'s atomic release-and-wait: [`SimCondvar::wait`]
+/// releases the guard and parks in one step with no scheduling point in
+/// between, so a notification can never land between the release and
+/// the park. [`SimCondvar::wait_racy`] deliberately opens that window —
+/// it exists so the checker's lost-wakeup detection stays honest (see
+/// `models::pool_lost_wakeup_fixture`).
+pub struct SimCondvar {
+    sim: Arc<Sim>,
+    resource: usize,
+}
+
+impl fmt::Debug for SimCondvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimCondvar")
+            .field("resource", &self.resource)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimCondvar {
+    /// Creates a condvar owned by the given simulation.
+    pub fn new(sim: &Arc<Sim>) -> Self {
+        SimCondvar {
+            sim: Arc::clone(sim),
+            resource: sim.fresh_resource(),
+        }
+    }
+
+    /// Releases `guard`, parks until notified, re-locks, and returns the
+    /// new guard. Atomic in the model: dropping the guard wakes mutex
+    /// contenders but transfers no control, and the park happens before
+    /// the next scheduling point — exactly std's release-and-wait
+    /// contract. Spurious wakeups exist (every notification wakes all
+    /// waiters), so callers loop over their predicate as they would with
+    /// std.
+    pub fn wait<'a, T>(&self, guard: SimMutexGuard<'a, T>) -> SimMutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        drop(guard);
+        self.sim.block_on(self.resource);
+        mutex.lock()
+    }
+
+    /// The broken variant: releases the guard, *yields*, and only then
+    /// parks. A notification delivered in that window wakes nobody —
+    /// the classic lost wakeup. Kept only as a seeded fixture target;
+    /// production models must use [`SimCondvar::wait`].
+    pub fn wait_racy<'a, T>(&self, guard: SimMutexGuard<'a, T>) -> SimMutexGuard<'a, T> {
+        let mutex = guard.mutex;
+        drop(guard);
+        self.sim.schedule_point(); // <- the lost-wakeup window
+        self.sim.block_on(self.resource);
+        mutex.lock()
+    }
+
+    /// Wakes every thread parked in [`SimCondvar::wait`], then offers to
+    /// yield so a woken waiter can run. Call while holding the paired
+    /// mutex for std-equivalent semantics (the model does not enforce
+    /// it — dropping the guard first is exactly the bug `wait_racy`
+    /// fixtures catch).
+    pub fn notify_all(&self) {
+        self.sim.wake(self.resource);
+        self.sim.schedule_point();
+    }
+}
+
+// ---------------------------------------------------------------------
 // Bounded channel (models std::sync::mpsc::sync_channel)
 // ---------------------------------------------------------------------
 
@@ -952,6 +1022,57 @@ mod tests {
             .expect("bounded producer/consumer is deadlock-free");
         assert_eq!(report.output, vec![0, 1, 2]);
         assert!(report.schedules >= 1);
+    }
+
+    #[test]
+    fn condvar_handshake_is_clean_on_every_schedule() {
+        let report = Explorer::default()
+            .explore(|sim| {
+                let slot = Arc::new(SimMutex::new(sim, None::<u8>));
+                let cv = Arc::new(SimCondvar::new(sim));
+                let (s2, c2) = (Arc::clone(&slot), Arc::clone(&cv));
+                let t = sim.spawn(move || {
+                    let mut g = s2.lock();
+                    while g.is_none() {
+                        g = c2.wait(g);
+                    }
+                    assert_eq!(*g, Some(7), "woke to the published value");
+                });
+                {
+                    let mut g = slot.lock();
+                    *g = Some(7);
+                }
+                cv.notify_all();
+                t.join();
+                vec![1]
+            })
+            .expect("atomic release-and-wait never loses a wakeup");
+        assert!(report.schedules > 1, "should explore >1 interleaving");
+    }
+
+    #[test]
+    fn racy_wait_loses_a_wakeup_and_deadlocks() {
+        let err = Explorer::default()
+            .explore(|sim| {
+                let slot = Arc::new(SimMutex::new(sim, None::<u8>));
+                let cv = Arc::new(SimCondvar::new(sim));
+                let (s2, c2) = (Arc::clone(&slot), Arc::clone(&cv));
+                let t = sim.spawn(move || {
+                    let mut g = s2.lock();
+                    while g.is_none() {
+                        g = c2.wait_racy(g); // release, yield, park
+                    }
+                });
+                {
+                    let mut g = slot.lock();
+                    *g = Some(7);
+                }
+                cv.notify_all();
+                t.join();
+                Vec::new()
+            })
+            .expect_err("the notify can land in the release->park window");
+        assert!(matches!(err, Violation::Deadlock { .. }), "got {err}");
     }
 
     #[test]

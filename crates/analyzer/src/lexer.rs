@@ -489,6 +489,53 @@ mod tests {
     }
 
     #[test]
+    fn alloc_and_panic_sink_text_inside_literals_never_surfaces() {
+        // The interprocedural pass matches sink names (`Vec::new`,
+        // `to_vec`, `panic!`, `format!`) against identifier tokens; any
+        // of them appearing inside a literal must stay invisible.
+        let src = "let a = r#\"Vec::new() then panic!(\"x\")\"#;\n\
+                   let b = b\"to_vec format!\";\n\
+                   let c = c\"Box::new\";\n\
+                   tail();";
+        let ids = idents(src);
+        for hidden in ["Vec", "panic", "to_vec", "format", "Box"] {
+            assert!(
+                !ids.contains(&hidden.to_string()),
+                "`{hidden}` leaked out of a literal"
+            );
+        }
+        assert!(ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn multihash_raw_string_spanning_lines_keeps_line_numbers() {
+        // `r###"…"###` closing requires exactly three hashes; a `"#`
+        // inside must not terminate it, and embedded newlines must keep
+        // advancing the line counter for everything after.
+        let src =
+            "let s = r###\"line one \"# fake close\nline two unsafe\nline three\"###;\nafter();";
+        let toks = tokenize(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].line, 1);
+        assert!(strs[0].text(src).ends_with("\"###"));
+        let after = toks.iter().rfind(|t| t.kind == TokenKind::Ident).unwrap();
+        assert_eq!(after.text(src), "after");
+        assert_eq!(after.line, 4);
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn quotes_inside_nested_comments_do_not_desync() {
+        // An odd number of quotes inside a nested block comment must not
+        // open a phantom string that swallows the code after it.
+        let src = "/* outer \" /* inner Box::new(\" */ unwrap() */ real();";
+        let toks = tokenize(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(idents(src), vec!["real".to_string()]);
+    }
+
+    #[test]
     fn ranges_do_not_merge_into_numbers() {
         let src = "for i in 1..n { a[i] = 0.5; }";
         let texts: Vec<_> = kinds(src);

@@ -5,17 +5,24 @@
 //! environment has no crates.io, so clippy plugins, miri, and loom are
 //! unavailable by construction):
 //!
-//! - [`lexer`] + [`rules`]: a string/comment-aware Rust tokenizer and a
-//!   rule engine that walks every `crates/*/src/**.rs` enforcing the
-//!   project's safety and determinism invariants (SAFETY comments on
-//!   `unsafe`, guarded `#[target_feature]` dispatch, no panics on hot
-//!   paths modulo a shrink-only allowlist, no clocks/RNG in wire-layout
-//!   code, shim-facade hygiene).
+//! - [`lexer`] + [`rules`] + [`callgraph`]: a string/comment-aware Rust
+//!   tokenizer, a rule engine that walks every `crates/*/src/**.rs`
+//!   enforcing the project's safety and determinism invariants (SAFETY
+//!   comments on `unsafe`, guarded `#[target_feature]` dispatch, no
+//!   clocks/RNG in wire-layout code, shim-facade hygiene), and an
+//!   interprocedural pass: a function-level call graph over the whole
+//!   workspace in which hot roots (encode/decode, `Fabric::transfer*`,
+//!   the pipelined exchanges, the recovery ladders) taint everything
+//!   reachable — panic and allocation sites in the reachable set fail
+//!   with the root→sink call chain, modulo a shrink-only allowlist.
 //! - [`conc`] + [`models`]: a mini-loom that exhaustively explores
 //!   bounded-preemption thread interleavings of the ParallelCodec shard
-//!   protocol and the threaded ring handshake, asserting deadlock
-//!   freedom and byte-identical output on every schedule — plus racy
-//!   and deadlocking fixtures it must keep catching.
+//!   protocol, the threaded ring handshake, the compression pool's
+//!   park/unpark handshake, the `FrameArena` checkout/recycle
+//!   discipline, and the pipeline's bounded in-flight window, asserting
+//!   deadlock freedom and byte-identical output on every schedule —
+//!   plus racy, deadlocking, lost-wakeup, and use-after-recycle
+//!   fixtures it must keep catching.
 //!
 //! `cargo run -p analyzer -- --check` runs both and exits nonzero on
 //! any violation; `tests/analyzer_gate.rs` wires the same entry points
@@ -24,6 +31,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod callgraph;
 pub mod conc;
 pub mod lexer;
 pub mod models;
@@ -56,8 +64,10 @@ pub fn run_lint(repo_root: &Path) -> CheckOutcome {
             let n = rules::workspace_rust_files(repo_root)
                 .map(|f| f.len())
                 .unwrap_or(0);
-            out.summary
-                .push(format!("lint: OK ({n} files, 5 rules, 0 violations)"));
+            out.summary.push(format!(
+                "lint: OK ({n} files, {} rules, 0 violations)",
+                rules::RULE_COUNT
+            ));
         }
         Ok(diags) => {
             for d in &diags {
@@ -101,6 +111,36 @@ pub fn run_conc(smoke: bool) -> CheckOutcome {
         )),
         Err(v) => out.failures.push(format!("conc: threaded ring: {v}")),
     }
+    match models::pool_handshake_model(2, 3) {
+        Ok(r) => out.summary.push(format!(
+            "conc: pool handshake OK ({} schedules, no lost wakeup, deterministic placement)",
+            r.schedules
+        )),
+        Err(v) => out.failures.push(format!("conc: pool handshake: {v}")),
+    }
+    match models::pool_panic_propagation_model() {
+        Ok(r) => out.summary.push(format!(
+            "conc: pool panic propagation OK ({} schedules, JobPanic surfaces identically)",
+            r.schedules
+        )),
+        Err(v) => out
+            .failures
+            .push(format!("conc: pool panic propagation: {v}")),
+    }
+    match models::frame_arena_model(false) {
+        Ok(r) => out.summary.push(format!(
+            "conc: frame arena discipline OK ({} schedules, recycle-after-ack is safe)",
+            r.schedules
+        )),
+        Err(v) => out.failures.push(format!("conc: frame arena: {v}")),
+    }
+    match models::pipeline_window_model(4, 2) {
+        Ok(r) => out.summary.push(format!(
+            "conc: pipeline window OK ({} schedules, in-flight stays within the window)",
+            r.schedules
+        )),
+        Err(v) => out.failures.push(format!("conc: pipeline window: {v}")),
+    }
     match models::racy_counter_model() {
         Err(conc::Violation::ModelPanic { .. }) => out
             .summary
@@ -123,5 +163,48 @@ pub fn run_conc(smoke: bool) -> CheckOutcome {
             .failures
             .push("conc: deadlock fixture NOT caught — checker is blind to deadlocks".to_string()),
     }
+    match models::pool_lost_wakeup_fixture() {
+        Err(conc::Violation::Deadlock { .. }) => out.summary.push(
+            "conc: lost-wakeup fixture caught (notify lands in the release->park window)"
+                .to_string(),
+        ),
+        Err(v) => out
+            .failures
+            .push(format!("conc: lost-wakeup fixture misreported: {v}")),
+        Ok(_) => out.failures.push(
+            "conc: lost-wakeup fixture NOT caught — checker is blind to lost wakeups".to_string(),
+        ),
+    }
+    match models::frame_arena_model(true) {
+        Err(conc::Violation::ModelPanic { message, .. })
+            if message.contains("use-after-recycle") =>
+        {
+            out.summary.push(
+                "conc: use-after-recycle fixture caught (early recycle corrupts a chunk)"
+                    .to_string(),
+            )
+        }
+        Err(v) => out
+            .failures
+            .push(format!("conc: use-after-recycle fixture misreported: {v}")),
+        Ok(_) => out.failures.push(
+            "conc: use-after-recycle fixture NOT caught — checker is blind to arena reuse"
+                .to_string(),
+        ),
+    }
     out
+}
+
+/// Builds the workspace call graph and renders the hot-reachable
+/// subgraph as DOT (with a per-crate node/edge summary in leading
+/// comment lines). `cargo run -p analyzer -- --callgraph` prints it;
+/// pipe through `dot -Tsvg` to render.
+pub fn run_callgraph(repo_root: &Path) -> Result<String, String> {
+    let sources = rules::load_workspace_sources(repo_root)?;
+    let ctxs: Vec<rules::FileCtx> = sources
+        .iter()
+        .map(|(path, text)| rules::FileCtx::new(path, text))
+        .collect();
+    let graph = callgraph::CallGraph::build(&ctxs);
+    Ok(callgraph::hot_subgraph_dot(&graph))
 }

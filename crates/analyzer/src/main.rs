@@ -6,6 +6,9 @@
 //! - `--lint`: linter only.
 //! - `--conc`: concurrency checker only, full-sized models.
 //! - `--smoke`: concurrency checker only, smoke-sized models.
+//! - `--callgraph`: emit the hot-reachable call subgraph as DOT on
+//!   stdout (per-crate node/edge summary in leading comment lines);
+//!   pipe through `dot -Tsvg` to render.
 //!
 //! `--root <dir>` overrides the workspace root (default: walk up from
 //! the current directory until a `crates/` directory is found).
@@ -15,7 +18,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use analyzer::{run_conc, run_lint, CheckOutcome};
+use analyzer::{run_callgraph, run_conc, run_lint, CheckOutcome};
 
 fn find_repo_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
     if let Some(root) = explicit {
@@ -53,14 +56,35 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--check" | "--lint" | "--conc" | "--smoke" => mode = arg,
+            "--check" | "--lint" | "--conc" | "--smoke" | "--callgraph" => mode = arg,
             "--root" => root = args.next().map(PathBuf::from),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: analyzer [--check|--lint|--conc|--smoke] [--root <dir>]");
+                eprintln!(
+                    "usage: analyzer [--check|--lint|--conc|--smoke|--callgraph] [--root <dir>]"
+                );
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if mode == "--callgraph" {
+        return match find_repo_root(root) {
+            Some(repo_root) => match run_callgraph(&repo_root) {
+                Ok(dot) => {
+                    print!("{dot}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("callgraph: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => {
+                eprintln!("callgraph: could not locate workspace root (pass --root <dir>)");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let mut ok = true;

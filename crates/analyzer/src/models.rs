@@ -27,7 +27,9 @@ use std::sync::Arc;
 use inceptionn_compress::{BurstCodec, ErrorBound};
 use inceptionn_distrib::ring::block_range;
 
-use crate::conc::{sim_channel, Explorer, JoinHandle, RaceCell, Report, SimMutex, Violation};
+use crate::conc::{
+    sim_channel, Explorer, JoinHandle, RaceCell, Report, SimCondvar, SimMutex, Violation,
+};
 
 /// Deterministic pseudo-gradient: a fixed mix of zeros, small and large
 /// magnitudes, with no RNG (the checker forbids wall-clock/RNG in
@@ -291,6 +293,292 @@ pub fn lock_inversion_model() -> Result<Report, Violation> {
     })
 }
 
+/// Shared state of the miniature `compress::pool` model: the installed
+/// task's claim cursor, the completion count, the first recorded job
+/// panic (the real pool's `Task::panicked` slot), and the shutdown
+/// flag the model adds so exploration terminates (real workers park
+/// forever between tasks).
+struct PoolTask {
+    next: usize,
+    remaining: usize,
+    jobs: usize,
+    installed: bool,
+    shutdown: bool,
+    panicked: Option<&'static str>,
+}
+
+/// The `compress::pool` worker park/unpark handshake, in miniature but
+/// with the real protocol shape: workers park on a work condvar while
+/// no task is installed, claim job indices from a shared cursor under
+/// the state mutex, run the job with the lock dropped, write an
+/// index-addressed slot, and signal a done condvar when the last job
+/// completes; the submitter installs the task, notifies, and waits on
+/// the done condvar. Clean on every schedule = no lost wakeup; byte-
+/// identical output = shard placement is a function of the index, not
+/// the claim order. `poison_job` injects the real pool's `JobPanic`
+/// capture: that job records itself in the `panicked` slot instead of
+/// producing output, and the submitter surfaces the message after the
+/// barrier — completion of the *other* jobs must not depend on it.
+fn pool_model(workers: usize, jobs: usize, poison_job: Option<usize>) -> Result<Report, Violation> {
+    let explorer = Explorer {
+        // Two condvars multiply scheduling points; one forced preemption
+        // already interleaves park/notify every way that matters.
+        max_preemptions: 1,
+        ..Explorer::default()
+    };
+    explorer.explore(move |sim| {
+        let state = Arc::new(SimMutex::new(
+            sim,
+            PoolTask {
+                next: 0,
+                remaining: jobs,
+                jobs,
+                installed: false,
+                shutdown: false,
+                panicked: None,
+            },
+        ));
+        let work_cv = Arc::new(SimCondvar::new(sim));
+        let done_cv = Arc::new(SimCondvar::new(sim));
+        let slots: Arc<SimMutex<Vec<u8>>> = Arc::new(SimMutex::new(sim, vec![0; jobs]));
+        let inputs = Arc::new(synthetic_values(jobs * 8));
+
+        let handles: Vec<JoinHandle> = (0..workers)
+            .map(|_| {
+                let (state, work_cv, done_cv) = (
+                    Arc::clone(&state),
+                    Arc::clone(&work_cv),
+                    Arc::clone(&done_cv),
+                );
+                let (slots, inputs) = (Arc::clone(&slots), Arc::clone(&inputs));
+                sim.spawn(move || loop {
+                    let i = {
+                        let mut g = state.lock();
+                        loop {
+                            if g.shutdown {
+                                return;
+                            }
+                            if g.installed && g.next < g.jobs {
+                                break;
+                            }
+                            g = work_cv.wait(g);
+                        }
+                        let i = g.next;
+                        g.next += 1;
+                        i
+                    };
+                    // Job body runs with the state lock dropped, like the
+                    // real pool: fold the job's input block to one byte.
+                    let byte = if poison_job == Some(i) {
+                        None
+                    } else {
+                        let block = &inputs[i * 8..(i + 1) * 8];
+                        Some(block.iter().fold(0u8, |acc, v| {
+                            acc.wrapping_mul(31).wrapping_add(v.to_bits() as u8)
+                        }))
+                    };
+                    match byte {
+                        Some(b) => slots.lock()[i] = b,
+                        None => {
+                            // The real worker records the first panic via
+                            // get_or_insert and still decrements `remaining`.
+                            state.lock().panicked.get_or_insert("shard poisoned");
+                        }
+                    }
+                    let mut g = state.lock();
+                    g.remaining -= 1;
+                    if g.remaining == 0 {
+                        drop(g);
+                        done_cv.notify_all();
+                    }
+                })
+            })
+            .collect();
+
+        // Submitter: install the task, wake the parked workers, wait for
+        // the barrier, then shut the pool down.
+        {
+            let mut g = state.lock();
+            g.installed = true;
+        }
+        work_cv.notify_all();
+        {
+            let mut g = state.lock();
+            while g.remaining > 0 {
+                g = done_cv.wait(g);
+            }
+            g.shutdown = true;
+        }
+        work_cv.notify_all();
+        for h in handles {
+            h.join();
+        }
+
+        // Output: the slot bytes, plus the propagated panic (if any) the
+        // way `JobPanic::resume` would re-surface it to the submitter.
+        let mut out = slots.lock().clone();
+        if let Some(msg) = state.lock().panicked {
+            out.push(0xEE);
+            out.extend_from_slice(msg.as_bytes());
+        }
+        out
+    })
+}
+
+/// Clean pool handshake: no lost wakeup (deadlock-free on every
+/// schedule) and deterministic, index-addressed shard placement.
+pub fn pool_handshake_model(workers: usize, jobs: usize) -> Result<Report, Violation> {
+    pool_model(workers, jobs, None)
+}
+
+/// Pool panic propagation: job 1 "panics"; every other job still
+/// completes and the recorded panic surfaces identically on every
+/// schedule (the real pool's `JobPanic::resume` contract).
+pub fn pool_panic_propagation_model() -> Result<Report, Violation> {
+    pool_model(2, 3, Some(1))
+}
+
+/// Seeded-bug fixture: a worker parks with the broken release-yield-
+/// park sequence ([`SimCondvar::wait_racy`]); the submitter's only
+/// notification can land in the window, after which nobody ever wakes
+/// the worker. The checker must report the deadlock.
+pub fn pool_lost_wakeup_fixture() -> Result<Report, Violation> {
+    Explorer::default().explore(|sim| {
+        let installed = Arc::new(SimMutex::new(sim, false));
+        let work_cv = Arc::new(SimCondvar::new(sim));
+        let (st, cv) = (Arc::clone(&installed), Arc::clone(&work_cv));
+        let worker = sim.spawn(move || {
+            let mut g = st.lock();
+            while !*g {
+                g = cv.wait_racy(g); // release, yield, park: the bug
+            }
+        });
+        {
+            let mut g = installed.lock();
+            *g = true;
+        }
+        work_cv.notify_all();
+        worker.join();
+        Vec::new()
+    })
+}
+
+/// The `FrameArena` checkout/recycle discipline under a pipelined
+/// chunk in flight. A producer checks frames out of a two-frame free
+/// list, writes the chunk payload, and sends the frame index to a
+/// consumer over a capacity-1 channel (the in-flight chunk). Correct
+/// discipline (`buggy = false`) recycles a frame only after the
+/// consumer acknowledges the read. With `buggy = true` the producer
+/// checks the frame back into the free list while the chunk still
+/// references it — the next checkout reuses and overwrites the frame
+/// under the consumer, and the consumer's payload assertion fails on
+/// some schedule: the use-after-recycle the checker must catch.
+pub fn frame_arena_model(buggy: bool) -> Result<Report, Violation> {
+    const CHUNKS: u32 = 3;
+    Explorer::default().explore(move |sim| {
+        let free: Arc<SimMutex<Vec<usize>>> = Arc::new(SimMutex::new(sim, vec![0, 1]));
+        let frames: Arc<Vec<RaceCell<u32>>> =
+            Arc::new((0..2).map(|_| RaceCell::new(sim, 0)).collect());
+        let (tx, rx) = sim_channel::<usize>(sim, 1);
+        let (ack_tx, ack_rx) = sim_channel::<u8>(sim, 1);
+
+        let consumer = {
+            let frames = Arc::clone(&frames);
+            sim.spawn(move || {
+                for chunk in 0..CHUNKS {
+                    let idx = rx.recv();
+                    let got = frames[idx].get();
+                    assert_eq!(
+                        got,
+                        10 + chunk,
+                        "use-after-recycle: chunk {chunk} in frame {idx} was overwritten"
+                    );
+                    if !buggy {
+                        ack_tx.send(1);
+                    }
+                }
+            })
+        };
+
+        for chunk in 0..CHUNKS {
+            let idx = free.lock().pop().expect("two frames cover one in flight");
+            frames[idx].set(10 + chunk);
+            tx.send(idx);
+            if buggy {
+                // Recycled while the chunk is still in flight.
+                free.lock().push(idx);
+            } else {
+                ack_rx.recv();
+                free.lock().push(idx);
+            }
+        }
+        consumer.join();
+        Vec::new()
+    })
+}
+
+/// The bounded in-flight window of `distrib::pipeline`: a producer may
+/// encode at most `window` chunks ahead of the consumer's folds
+/// (`deliver_ring_chunk` recycles a frame per fold before the next
+/// checkout). Window permits are a condvar-guarded counter; the
+/// consumer asserts, at every fold, that folds arrive in order and
+/// that `1 <= in-flight <= window` — the window invariant on every
+/// interleaving. Output is the fold order, so determinism is also
+/// checked.
+pub fn pipeline_window_model(chunks: u8, window: usize) -> Result<Report, Violation> {
+    let explorer = Explorer {
+        max_preemptions: 1,
+        ..Explorer::default()
+    };
+    explorer.explore(move |sim| {
+        let in_flight = Arc::new(SimMutex::new(sim, 0usize));
+        let space_cv = Arc::new(SimCondvar::new(sim));
+        let (tx, rx) = sim_channel::<u8>(sim, window.max(1));
+        let folds: Arc<SimMutex<Vec<u8>>> = Arc::new(SimMutex::new(sim, Vec::new()));
+
+        let consumer = {
+            let (in_flight, space_cv, folds) = (
+                Arc::clone(&in_flight),
+                Arc::clone(&space_cv),
+                Arc::clone(&folds),
+            );
+            sim.spawn(move || {
+                for k in 0..chunks {
+                    let chunk = rx.recv();
+                    let mut log = folds.lock();
+                    assert_eq!(chunk, k, "folds must land in pipeline order");
+                    log.push(chunk);
+                    drop(log);
+                    let mut g = in_flight.lock();
+                    assert!(
+                        *g >= 1 && *g <= window,
+                        "window invariant violated: {} in flight, window {window}",
+                        *g
+                    );
+                    *g -= 1; // fold recycles the frame
+                    drop(g);
+                    space_cv.notify_all();
+                }
+            })
+        };
+
+        for chunk in 0..chunks {
+            // Checkout blocks while the window is full — the pipeline's
+            // backpressure.
+            let mut g = in_flight.lock();
+            while *g == window {
+                g = space_cv.wait(g);
+            }
+            *g += 1;
+            drop(g);
+            tx.send(chunk);
+        }
+        consumer.join();
+        let order = folds.lock().clone();
+        order
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +620,50 @@ mod tests {
     fn deadlock_fixture_is_caught() {
         let err = lock_inversion_model().expect_err("the inversion must deadlock");
         assert!(matches!(err, Violation::Deadlock { .. }), "got {err}");
+    }
+
+    #[test]
+    fn pool_handshake_is_clean_and_placement_is_deterministic() {
+        let report = pool_handshake_model(2, 3).expect("park/claim handshake is clean");
+        assert!(report.schedules > 1, "exploration actually branched");
+        assert_eq!(report.output.len(), 3, "one byte per index-addressed slot");
+    }
+
+    #[test]
+    fn pool_panic_propagates_identically_on_every_schedule() {
+        let report = pool_panic_propagation_model().expect("panic capture is schedule-independent");
+        // Slots for jobs 0 and 2, a zeroed slot for the poisoned job,
+        // then the marker and message — identical on every schedule.
+        assert_eq!(report.output[3], 0xEE);
+        assert!(report.output.ends_with(b"shard poisoned"));
+    }
+
+    #[test]
+    fn pool_lost_wakeup_fixture_is_caught() {
+        let err = pool_lost_wakeup_fixture().expect_err("the lost wakeup must be found");
+        assert!(matches!(err, Violation::Deadlock { .. }), "got {err}");
+    }
+
+    #[test]
+    fn frame_arena_discipline_is_clean() {
+        let report = frame_arena_model(false).expect("ack-before-recycle is safe");
+        assert!(report.schedules > 1);
+    }
+
+    #[test]
+    fn frame_arena_use_after_recycle_is_caught() {
+        let err = frame_arena_model(true).expect_err("early recycle must corrupt a chunk");
+        match err {
+            Violation::ModelPanic { message, .. } => {
+                assert!(message.contains("use-after-recycle"), "message: {message}")
+            }
+            other => panic!("expected ModelPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_window_invariant_holds_on_every_schedule() {
+        let report = pipeline_window_model(4, 2).expect("bounded window is clean");
+        assert_eq!(report.output, vec![0, 1, 2, 3], "folds in pipeline order");
     }
 }

@@ -1,24 +1,32 @@
 //! The project-invariant rule engine.
 //!
-//! Eight lexical rules over every `crates/*/src/**/*.rs` file, each
-//! encoding an invariant the INCEPTIONN reproduction's correctness
-//! story depends on (see DESIGN.md §"Static analysis & concurrency
-//! audit" for the catalog and how to add a rule):
+//! Nine rules over every `crates/*/src/**/*.rs` file, each encoding an
+//! invariant the INCEPTIONN reproduction's correctness story depends on
+//! (see DESIGN.md §"Static analysis & concurrency audit" for the
+//! catalog and how to add a rule):
 //!
 //! | id | invariant |
 //! |----|-----------|
 //! | `safety-comment` | every `unsafe` block/fn/impl carries a `SAFETY:` comment immediately above it |
 //! | `target-feature-dispatch` | `#[target_feature]` kernels are only referenced under a matching `is_x86_feature_detected!` guard (or from a kernel enabling a superset) |
-//! | `no-panic-hot-path` | no `unwrap()`/`expect()`/`panic!` in non-test code on codec/fabric hot paths, modulo a shrink-only allowlist |
+//! | `no-panic-hot-path` | no `unwrap()`/`expect()`/`panic!` in non-test code **reachable from a hot root** over the [`crate::callgraph`] call graph, modulo a shrink-only allowlist |
+//! | `no-alloc-hot-path` | no `Vec::new`/`to_vec`/`clone`/`Box::new`/`format!` allocation sites in code reachable from a hot root, modulo the same allowlist |
 //! | `no-panic-recovery-path` | fault-injection and recovery code never panics at all — no allowlist: a recovery path that can itself unwind defeats its purpose |
 //! | `no-time-rng-in-wire` | code that determines wire byte layout never consults wall clocks or RNGs |
 //! | `shim-facade` | vendored shims are only imported by the crates the facade declares |
 //! | `no-eager-format-hot-path` | obs-instrumented hot paths never format strings (`format!`, `.to_string()`) or read `Instant` — events are static labels + integers, rendering deferred to export |
 //! | `no-transient-thread-hot-path` | codec/fabric hot paths never create threads per call (`thread::spawn` / `thread::scope`) — shard work goes through the persistent pool |
 //!
-//! Rules run on the token stream of [`crate::lexer`], so text inside
-//! strings and comments never fires them, and `#[cfg(test)]` regions
-//! are excluded where a rule targets production code only.
+//! The two hot-path rules are *interprocedural*: instead of a file
+//! list, [`crate::callgraph`] seeds the codec/transport entry points
+//! (`encode_into`/`decode_into`, the `Fabric::transfer*` family, the
+//! four `pipelined_*_allreduce_over` loops, and the recovery ladders)
+//! as hot roots and taints everything reachable; a panic or allocation
+//! site anywhere in the reachable set fails with the full root→sink
+//! call chain in the diagnostic. The remaining rules run on the token
+//! stream of [`crate::lexer`], so text inside strings and comments
+//! never fires them, and `#[cfg(test)]` regions are excluded where a
+//! rule targets production code only.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -51,9 +59,15 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Hot-path files covered by `no-panic-hot-path`: the codec fast path,
-/// the transport seam, and the NIC datapath. Growing this list is
-/// encouraged; shrinking it needs a DESIGN.md note.
+/// Number of distinct rule ids the engine can emit (excluding the
+/// `allowlist-ratchet` meta-diagnostic).
+pub const RULE_COUNT: usize = 9;
+
+/// Obs-instrumented hot-path files covered by
+/// `no-eager-format-hot-path`: the codec fast path, the transport seam,
+/// and the NIC datapath. (Panic/alloc coverage is no longer file-based:
+/// [`crate::callgraph`] propagates hotness over the call graph.)
+/// Growing this list is encouraged; shrinking it needs a DESIGN.md note.
 pub const HOT_PATH_FILES: &[&str] = &[
     "crates/compress/src/burst.rs",
     "crates/compress/src/parallel.rs",
@@ -184,12 +198,12 @@ impl<'a> FileCtx<'a> {
     }
 
     /// The `i`-th code token.
-    fn ct(&self, i: usize) -> &Token {
+    pub(crate) fn ct(&self, i: usize) -> &Token {
         &self.tokens[self.code[i]]
     }
 
     /// Text of the `i`-th code token.
-    fn text(&self, i: usize) -> &str {
+    pub(crate) fn text(&self, i: usize) -> &str {
         self.ct(i).text(self.src)
     }
 
@@ -204,11 +218,11 @@ impl<'a> FileCtx<'a> {
         self.test_ranges.iter().any(|&(s, e)| at >= s && at < e)
     }
 
-    fn is_punct(&self, i: usize, b: u8) -> bool {
+    pub(crate) fn is_punct(&self, i: usize, b: u8) -> bool {
         self.ct(i).kind == TokenKind::Punct(b)
     }
 
-    fn is_ident(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn is_ident(&self, i: usize, s: &str) -> bool {
         self.ct(i).kind == TokenKind::Ident && self.text(i) == s
     }
 }
@@ -613,47 +627,6 @@ pub fn rule_target_feature_dispatch(
 }
 
 // ---------------------------------------------------------------------
-// Rule: no-panic-hot-path
-// ---------------------------------------------------------------------
-
-/// Finds `unwrap()` / `expect(` / `panic!` in non-test code of a
-/// hot-path file. Returned raw; the allowlist ratchet in
-/// [`apply_allowlist`] decides which survive.
-pub fn rule_no_panic_hot_path(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    if !HOT_PATH_FILES.contains(&ctx.path) {
-        return;
-    }
-    for i in 0..ctx.code.len() {
-        if ctx.ct(i).kind != TokenKind::Ident || ctx.in_test(i) {
-            continue;
-        }
-        let name = ctx.text(i);
-        let flagged = match name {
-            "unwrap" | "expect" => {
-                i > 0
-                    && ctx.is_punct(i - 1, b'.')
-                    && i + 1 < ctx.code.len()
-                    && ctx.is_punct(i + 1, b'(')
-            }
-            "panic" => i + 1 < ctx.code.len() && ctx.is_punct(i + 1, b'!'),
-            _ => false,
-        };
-        if flagged {
-            out.push(Diagnostic {
-                rule: "no-panic-hot-path",
-                file: ctx.path.to_string(),
-                line: ctx.ct(i).line,
-                message: format!("`{name}` on a codec/fabric hot path"),
-                hint: "propagate a typed error (DecodeError / FrameError / FabricError) \
-                       instead; if the panic is provably unreachable, add an allowlist \
-                       entry with the proof sketch"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
 // Rule: no-panic-recovery-path
 // ---------------------------------------------------------------------
 
@@ -977,20 +950,21 @@ pub fn apply_allowlist(raw: Vec<Diagnostic>, allow: &[AllowEntry]) -> Vec<Diagno
 // Driver
 // ---------------------------------------------------------------------
 
-/// Lints one in-memory file against every rule (kernel cross-file info
-/// restricted to this file). Unit-test entry point.
+/// Lints one in-memory file against every rule (kernel and call-graph
+/// cross-file info restricted to this file). Unit-test entry point.
 pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let ctx = FileCtx::new(path, src);
     let kernels = collect_kernels(&ctx);
     let mut out = Vec::new();
     rule_safety_comment(&ctx, &mut out);
     rule_target_feature_dispatch(&ctx, &kernels, &mut out);
-    rule_no_panic_hot_path(&ctx, &mut out);
     rule_no_panic_recovery_path(&ctx, &mut out);
     rule_no_time_rng_in_wire(&ctx, &mut out);
     rule_no_eager_format_hot_path(&ctx, &mut out);
     rule_no_transient_thread_hot_path(&ctx, &mut out);
     rule_shim_facade(&ctx, &mut out);
+    let graph = crate::callgraph::CallGraph::build(std::slice::from_ref(&ctx));
+    crate::callgraph::rule_hot_reachability(&graph, &mut out);
     out
 }
 
@@ -1021,10 +995,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace tree rooted at `repo_root`, applying the
-/// allowlist at `crates/analyzer/allowlist.txt` (missing file = empty
-/// list). Returns surviving diagnostics, deterministically ordered.
-pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
+/// Reads every workspace `.rs` file into `(repo-relative path, text)`
+/// pairs, sorted. Shared by [`lint_tree`] and the `--callgraph` mode.
+pub fn load_workspace_sources(repo_root: &Path) -> Result<Vec<(String, String)>, String> {
     let files = workspace_rust_files(repo_root).map_err(|e| format!("walking tree: {e}"))?;
     let mut sources = Vec::with_capacity(files.len());
     for f in &files {
@@ -1036,6 +1009,14 @@ pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
         let text = std::fs::read_to_string(f).map_err(|e| format!("reading {rel}: {e}"))?;
         sources.push((rel, text));
     }
+    Ok(sources)
+}
+
+/// Lints the whole workspace tree rooted at `repo_root`, applying the
+/// allowlist at `crates/analyzer/allowlist.txt` (missing file = empty
+/// list). Returns surviving diagnostics, deterministically ordered.
+pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let sources = load_workspace_sources(repo_root)?;
     let ctxs: Vec<FileCtx> = sources
         .iter()
         .map(|(rel, text)| FileCtx::new(rel, text))
@@ -1047,13 +1028,16 @@ pub fn lint_tree(repo_root: &Path) -> Result<Vec<Diagnostic>, String> {
     for ctx in &ctxs {
         rule_safety_comment(ctx, &mut raw);
         rule_target_feature_dispatch(ctx, &kernels, &mut raw);
-        rule_no_panic_hot_path(ctx, &mut raw);
         rule_no_panic_recovery_path(ctx, &mut raw);
         rule_no_time_rng_in_wire(ctx, &mut raw);
         rule_no_eager_format_hot_path(ctx, &mut raw);
         rule_no_transient_thread_hot_path(ctx, &mut raw);
         rule_shim_facade(ctx, &mut raw);
     }
+    // The interprocedural pass needs the whole tree at once: hot roots
+    // in one crate taint callees in another.
+    let graph = crate::callgraph::CallGraph::build(&ctxs);
+    crate::callgraph::rule_hot_reachability(&graph, &mut raw);
     let allow_path = repo_root.join("crates/analyzer/allowlist.txt");
     let allow = if allow_path.exists() {
         let text =
@@ -1157,27 +1141,48 @@ mod tests {
         );
     }
 
-    // -- no-panic-hot-path ---------------------------------------------
+    // -- no-panic-hot-path / no-alloc-hot-path (interprocedural) -------
 
     #[test]
-    fn unwrap_is_flagged_only_on_hot_path_files() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    fn unwrap_in_a_hot_root_is_flagged_in_any_file() {
+        // Hotness follows the call graph, not the file list: a root-named
+        // fn is hot wherever it lives…
+        let src = "pub fn decode_into(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert_eq!(
-            fired(&lint_source("crates/compress/src/bitio.rs", src)),
+            fired(&lint_source("crates/compress/src/frame.rs", src)),
             ["no-panic-hot-path"]
         );
+        // …and the same body under a non-root name is unreachable, so clean.
+        let src = "pub fn helper(x: Option<u8>) -> u8 { x.unwrap() }\n";
         assert!(lint_source("crates/compress/src/frame.rs", src).is_empty());
     }
 
     #[test]
+    fn panic_via_helper_reports_the_full_call_chain() {
+        let src = "pub fn transfer_plain(n: usize) { stage(n) }\n\
+                   fn stage(n: usize) { finish(n) }\n\
+                   fn finish(n: usize) { if n == 0 { panic!(\"empty\"); } }\n";
+        let diags = lint_source("crates/demo/src/lib.rs", src);
+        assert_eq!(fired(&diags), ["no-panic-hot-path"]);
+        assert!(
+            diags[0]
+                .message
+                .contains("transfer_plain -> stage -> finish"),
+            "chain missing from: {}",
+            diags[0].message
+        );
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
     fn panics_in_test_modules_are_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); panic!(\"x\"); }\n}\n";
+        let src = "#[cfg(test)]\nmod tests {\n    fn decode_into(x: Option<u8>) -> u8 { x.unwrap() }\n}\n";
         assert!(lint_source("crates/compress/src/bitio.rs", src).is_empty());
     }
 
     #[test]
     fn expect_and_panic_macro_are_flagged() {
-        let src = "fn f(x: Option<u8>) -> u8 {\n    if x.is_none() { panic!(\"no\"); }\n    x.expect(\"checked\")\n}\n";
+        let src = "pub fn encode_into(x: Option<u8>) -> u8 {\n    if x.is_none() { panic!(\"no\"); }\n    x.expect(\"checked\")\n}\n";
         assert_eq!(
             fired(&lint_source("crates/compress/src/bitio.rs", src)),
             ["no-panic-hot-path", "no-panic-hot-path"]
@@ -1187,7 +1192,29 @@ mod tests {
     #[test]
     fn expects_a_field_named_unwrap_is_not_flagged() {
         // Only `.unwrap(` call syntax counts, not arbitrary identifiers.
-        let src = "fn f(unwrap: u8) -> u8 { unwrap }\n";
+        let src = "pub fn transfer(unwrap: u8) -> u8 { unwrap }\n";
+        assert!(lint_source("crates/compress/src/bitio.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allocation_reachable_from_a_hot_root_is_flagged_with_chain() {
+        let src = "pub fn pipelined_ring_allreduce_over(n: usize) { stage(n) }\n\
+                   fn stage(n: usize) { let _ = format!(\"{n}\"); }\n";
+        let diags = lint_source("crates/demo/src/lib.rs", src);
+        assert_eq!(fired(&diags), ["no-alloc-hot-path"]);
+        assert!(
+            diags[0]
+                .message
+                .contains("pipelined_ring_allreduce_over -> stage"),
+            "chain missing from: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn sized_preallocation_is_not_an_alloc_sink() {
+        // `Vec::with_capacity`/`vec![]` are the sanctioned setup pattern.
+        let src = "pub fn decode_into(n: usize) -> Vec<u8> { Vec::with_capacity(n) }\n";
         assert!(lint_source("crates/compress/src/bitio.rs", src).is_empty());
     }
 

@@ -33,7 +33,8 @@ use std::fmt;
 use inceptionn_compress::{BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec};
 use inceptionn_netsim::{LinkRateSchedule, NetworkConfig, TierMap, Topology};
 use inceptionn_nicsim::{
-    decode_payload_into, encode_payload_into, NicConfig, NicPipeline, Packet, SwitchReducer,
+    decode_payload_flat, decode_payload_into, encode_payload_flat, FlatPayload, NicConfig,
+    NicPipeline, Packet, SwitchReducer,
 };
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
@@ -105,6 +106,11 @@ pub enum FrameBody {
     /// Real NIC datapath output: ToS-tagged MTU packets whose payloads
     /// are the hardware-encoded bytes.
     Packets(Vec<Packet>),
+    /// Real NIC datapath output in flat form: the same hardware-encoded
+    /// bytes as [`FrameBody::Packets`], segment for segment, but laid
+    /// back to back in one reusable buffer — the representation the
+    /// zero-allocation steady state of the pipelined exchanges runs on.
+    Flat(FlatPayload),
 }
 
 fn crc_of(body: &FrameBody) -> u32 {
@@ -121,6 +127,14 @@ fn crc_of(body: &FrameBody) -> u32 {
                 c.update(&(p.value_count.map_or(u64::MAX, |n| n as u64)).to_le_bytes());
                 c.update(&p.payload);
             }
+        }
+        FrameBody::Flat(payload) => {
+            for seg in &payload.segs {
+                c.update(&[seg.compressed as u8]);
+                c.update(&(seg.value_count as u64).to_le_bytes());
+                c.update(&(seg.wire_bytes as u64).to_le_bytes());
+            }
+            c.update(&payload.bytes);
         }
     }
     c.finish()
@@ -188,6 +202,20 @@ impl WireFrame {
         }
     }
 
+    /// A flat-datapath frame from endpoint `src`. The compression
+    /// marker is read off the first segment's classification, mirroring
+    /// [`packets`](Self::packets).
+    pub fn flat(src: usize, payload: FlatPayload) -> Self {
+        let compressed = payload.is_compressed();
+        let body = FrameBody::Flat(payload);
+        WireFrame {
+            src,
+            crc: crc_of(&body),
+            compressed,
+            body,
+        }
+    }
+
     /// The sending endpoint (the frame's source-address header).
     pub fn src(&self) -> usize {
         self.src
@@ -234,6 +262,7 @@ impl WireFrame {
                 .map(|c| (c.len() * 4) as u64)
                 .collect(),
             FrameBody::Packets(packets) => packets.iter().map(|p| p.payload.len() as u64).collect(),
+            FrameBody::Flat(payload) => payload.segs.iter().map(|s| s.wire_bytes as u64).collect(),
         }
     }
 }
@@ -251,11 +280,26 @@ pub struct FrameArena {
     free: Vec<Vec<WireFrame>>,
 }
 
+impl Default for FrameArena {
+    fn default() -> Self {
+        FrameArena { free: Vec::new() }
+    }
+}
+
 impl FrameArena {
     /// An arena with one free-list per fabric endpoint.
     pub fn new(endpoints: usize) -> Self {
         FrameArena {
             free: (0..endpoints).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Grows the arena to at least `endpoints` free-lists, keeping every
+    /// recycled frame it already holds — what lets a persistent scratch
+    /// arena outlive individual exchange calls.
+    pub fn ensure_endpoints(&mut self, endpoints: usize) {
+        while self.free.len() < endpoints {
+            self.free.push(Vec::new());
         }
     }
 
@@ -823,7 +867,7 @@ impl Fabric for InProcessFabric {
         // has warmed up.
         let mut out = match std::mem::replace(&mut frame.body, FrameBody::Loopback(Vec::new())) {
             FrameBody::Loopback(v) => v,
-            FrameBody::Packets(_) => Vec::new(),
+            FrameBody::Packets(_) | FrameBody::Flat(_) => Vec::new(),
         };
         out.clear();
         out.extend_from_slice(values);
@@ -868,6 +912,10 @@ impl Fabric for InProcessFabric {
             FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
                 fabric: "loopback",
                 got: "packet",
+            }),
+            FrameBody::Flat(_) => Err(FabricError::FrameMismatch {
+                fabric: "loopback",
+                got: "flat",
             }),
         }
     }
@@ -933,6 +981,10 @@ impl Fabric for InProcessFabric {
             FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
                 fabric: "loopback",
                 got: "packet",
+            }),
+            FrameBody::Flat(_) => Err(FabricError::FrameMismatch {
+                fabric: "loopback",
+                got: "flat",
             }),
         }
     }
@@ -1017,18 +1069,19 @@ impl Fabric for NicFabric {
     ) {
         let compressible = self.compression.is_some() && kind == PayloadKind::Gradient;
         let bursts_before = self.nics[src].stats().tx_bursts;
-        // Reuse the frame's packet vector across legs; the datapath
-        // writes its output packets straight into it.
+        // Reuse the frame's flat wire buffer across legs; the datapath
+        // appends its engine output straight into it, so a recycled
+        // frame encodes with zero heap allocations.
         let mut wire = match std::mem::replace(&mut frame.body, FrameBody::Loopback(Vec::new())) {
-            FrameBody::Packets(p) => p,
-            FrameBody::Loopback(_) => Vec::new(),
+            FrameBody::Flat(p) => p,
+            FrameBody::Loopback(_) | FrameBody::Packets(_) => FlatPayload::new(),
         };
-        let trace = encode_payload_into(&mut self.nics[src], values, compressible, &mut wire);
+        let trace = encode_payload_flat(&mut self.nics[src], values, compressible, &mut wire);
         count_payload(
             &mut self.stats,
             values,
-            trace.wire_payload_bytes(),
-            trace.packets(),
+            trace.wire_payload_bytes,
+            trace.packets,
         );
         self.stats.engine_cycles += trace.engine_cycles;
         record_transfer(
@@ -1037,8 +1090,8 @@ impl Fabric for NicFabric {
             src,
             kind,
             (values.len() * 4) as u64,
-            trace.wire_payload_bytes(),
-            trace.packets(),
+            trace.wire_payload_bytes,
+            trace.packets,
         );
         if self.buf.is_on() {
             let track = src as u32;
@@ -1047,7 +1100,7 @@ impl Fabric for NicFabric {
                     labels::NIC_COMPRESS,
                     Domain::Cycles,
                     track,
-                    trace.packets() as u32,
+                    trace.packets as u32,
                     self.clock[src],
                     trace.engine_cycles,
                 ));
@@ -1066,8 +1119,8 @@ impl Fabric for NicFabric {
             self.clock[src] += trace.engine_cycles;
         }
         frame.src = src;
-        frame.compressed = wire.first().is_some_and(|p| p.value_count.is_some());
-        frame.body = FrameBody::Packets(wire);
+        frame.compressed = wire.is_compressed();
+        frame.body = FrameBody::Flat(wire);
         frame.crc = crc_of(&frame.body);
     }
 
@@ -1105,6 +1158,47 @@ impl Fabric for NicFabric {
                             Domain::Cycles,
                             track,
                             packets.len() as u32,
+                            self.clock[dst],
+                            cycles,
+                        ));
+                    }
+                    let bursts = self.nics[dst].stats().rx_bursts - bursts_before;
+                    if bursts > 0 {
+                        self.buf.push(Event::count(
+                            labels::NIC_RX_BURSTS,
+                            Domain::Cycles,
+                            track,
+                            0,
+                            self.clock[dst],
+                            bursts,
+                        ));
+                    }
+                    self.clock[dst] += cycles;
+                }
+                sink(&values);
+                self.scratch = values;
+                Ok(())
+            }
+            FrameBody::Flat(payload) => {
+                let bursts_before = self.nics[dst].stats().rx_bursts;
+                let mut values = std::mem::take(&mut self.scratch);
+                let decoded = decode_payload_flat(&mut self.nics[dst], payload, &mut values);
+                let (_ns, cycles) = match decoded {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        self.scratch = values;
+                        return Err(e.into());
+                    }
+                };
+                self.stats.engine_cycles += cycles;
+                if self.buf.is_on() {
+                    let track = dst as u32;
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::NIC_DECOMPRESS,
+                            Domain::Cycles,
+                            track,
+                            payload.segs.len() as u32,
                             self.clock[dst],
                             cycles,
                         ));
@@ -1180,6 +1274,41 @@ impl Fabric for NicFabric {
                             Domain::Cycles,
                             track,
                             packets.len() as u32,
+                            self.switch_clock,
+                            cycles,
+                        ));
+                    }
+                    self.buf.push(Event::count(
+                        labels::SWITCH_REDUCE_BYTES,
+                        Domain::Cycles,
+                        track,
+                        0,
+                        self.switch_clock,
+                        wire,
+                    ));
+                    self.switch_clock += cycles;
+                }
+                Ok(())
+            }
+            FrameBody::Flat(payload) => {
+                let mut unit = match self.compression {
+                    Some(bound) => SwitchReducer::with_codec(acc.len(), bound),
+                    None => SwitchReducer::plain(acc.len()),
+                };
+                unit.fold_flat_contribution(payload)?;
+                for (a, &v) in acc.iter_mut().zip(unit.sum()) {
+                    *a += v;
+                }
+                if self.buf.is_on() {
+                    let track = frame.src() as u32;
+                    let cycles = unit.cycles();
+                    let wire = payload.wire_bytes();
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::SWITCH_REDUCE,
+                            Domain::Cycles,
+                            track,
+                            payload.segs.len() as u32,
                             self.switch_clock,
                             cycles,
                         ));
@@ -1778,13 +1907,13 @@ mod tests {
         // rather than in-flight damage, which the CRC gate catches.
         let mut fabric = build(TransportKind::Nic, 2, Some(ErrorBound::pow2(10)));
         let frame = fabric.encode(0, &gradients(64, 8), PayloadKind::Gradient);
-        let FrameBody::Packets(packets) = frame.body() else {
-            panic!("NIC fabric must emit packets");
+        let FrameBody::Flat(payload) = frame.body() else {
+            panic!("NIC fabric must emit a flat body");
         };
-        let mut packets = packets.clone();
-        packets[0] = packets[0].truncated(packets[0].payload.len() / 2);
+        let mut payload = payload.clone();
+        payload.truncate_seg(0, payload.segs[0].wire_bytes as usize / 2);
         let err = fabric
-            .deliver(1, &WireFrame::packets(0, packets), &mut |_| {})
+            .deliver(1, &WireFrame::flat(0, payload), &mut |_| {})
             .expect_err("truncated payload must fail decode");
         assert!(matches!(err, FabricError::Decode(_)), "{err}");
     }
@@ -1798,12 +1927,12 @@ mod tests {
         let mut nic = build(TransportKind::Nic, 2, Some(ErrorBound::pow2(10)));
         let frame = nic.encode(0, &vals, PayloadKind::Gradient);
         assert!(frame.integrity_ok());
-        let FrameBody::Packets(packets) = frame.body() else {
-            panic!("NIC fabric must emit packets");
+        let FrameBody::Flat(payload) = frame.body() else {
+            panic!("NIC fabric must emit a flat body");
         };
-        let mut corrupted = packets.clone();
-        corrupted[0] = corrupted[0].with_bit_flipped(17);
-        let bad = frame.with_perturbed_body(FrameBody::Packets(corrupted));
+        let mut corrupted = payload.clone();
+        corrupted.flip_bit(17);
+        let bad = frame.with_perturbed_body(FrameBody::Flat(corrupted));
         assert!(!bad.integrity_ok());
         let err = nic
             .deliver(1, &bad, &mut |_| {})

@@ -429,6 +429,11 @@ impl FaultyFabric {
                 }
                 frame.with_perturbed_body(FrameBody::Packets(packets))
             }
+            FrameBody::Flat(payload) => {
+                let mut payload = payload.clone();
+                payload.flip_bit(pos(payload.bytes.len().max(1) * 8));
+                frame.with_perturbed_body(FrameBody::Flat(payload))
+            }
         }
     }
 
@@ -454,6 +459,21 @@ impl FaultyFabric {
                     packets.swap(i, j);
                 }
                 frame.with_perturbed_body(FrameBody::Packets(packets))
+            }
+            FrameBody::Flat(payload) => {
+                let mut payload = payload.clone();
+                if payload.segs.len() >= 2 {
+                    let i = draw_index(
+                        self.plan.seed,
+                        src,
+                        dst,
+                        seq,
+                        SALT_POSITION,
+                        payload.segs.len(),
+                    );
+                    payload.swap_adjacent_segs(i);
+                }
+                frame.with_perturbed_body(FrameBody::Flat(payload))
             }
         }
     }
@@ -483,6 +503,17 @@ impl FaultyFabric {
                     Ok(()) => Ok(()),
                     Err(e) => Err(e),
                 }
+            }
+            FrameBody::Flat(payload) => {
+                let mut payload = payload.clone();
+                if let Some(i) = payload.segs.iter().position(|s| s.compressed) {
+                    let keep = payload.segs[i].wire_bytes as usize / 2;
+                    payload.truncate_seg(i, keep);
+                }
+                // Rebuilt (not perturbed), so the CRC is fresh: this
+                // fault models sender-side damage before framing.
+                let poisoned = WireFrame::flat(frame.src(), payload);
+                self.inner.deliver(dst, &poisoned, sink)
             }
             FrameBody::Loopback(values) => {
                 // The loopback shortcut has no encoded stream to damage;

@@ -74,8 +74,11 @@ pub use fabric::{
 };
 pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
 pub use pipeline::{
-    pipelined_ring_allreduce_over, pipelined_switch_allreduce_over, pipelined_tree_allreduce_over,
-    pipelined_worker_aggregator_allreduce_over, PipelineConfig,
+    pipelined_ring_allreduce_over, pipelined_ring_allreduce_over_with,
+    pipelined_switch_allreduce_over, pipelined_switch_allreduce_over_with,
+    pipelined_tree_allreduce_over, pipelined_tree_allreduce_over_with,
+    pipelined_worker_aggregator_allreduce_over, pipelined_worker_aggregator_allreduce_over_with,
+    PipelineConfig, PipelineScratch,
 };
 pub use ring::{ring_allreduce, ring_allreduce_over, threaded_ring_allreduce, tree_allreduce_over};
 pub use switch::{switch_allreduce, switch_allreduce_over};

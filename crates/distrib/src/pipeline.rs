@@ -87,6 +87,51 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Reusable working state of the pipelined exchanges: the frame arena,
+/// the in-flight windows, the recovery ladders' counters, and the
+/// reduction accumulator.
+///
+/// The one-shot entry points (`pipelined_*_allreduce_over`) build one of
+/// these per call; a training loop that instead holds a scratch across
+/// iterations and calls the `_with` variants reaches a **zero-allocation
+/// steady state** after the first iteration warms every buffer — the
+/// invariant `tests/alloc_gate.rs` enforces for the NIC-transport ring
+/// exchange.
+#[derive(Debug, Default)]
+pub struct PipelineScratch {
+    /// Recycled wire frames, one free-list per fabric endpoint.
+    pub arena: FrameArena,
+    /// The bounded in-flight window of a point-to-point leg.
+    inflight: VecDeque<(WireFrame, Range<usize>)>,
+    /// The bounded in-flight window of a switch gather (frame plus the
+    /// contributing worker's index).
+    gather_inflight: VecDeque<(WireFrame, usize)>,
+    /// Consecutive-failure counter per worker (ring degradation ladder).
+    failures: Vec<usize>,
+    /// Whether each worker's sends have been renegotiated down to plain.
+    degraded: Vec<bool>,
+    /// Reduction accumulator (aggregator/switch sum, tree broadcast
+    /// buffer).
+    sum: Vec<f32>,
+}
+
+impl PipelineScratch {
+    /// An empty scratch; every buffer warms on first use.
+    pub fn new() -> Self {
+        PipelineScratch::default()
+    }
+
+    /// Resets the per-call state: ladders back to clean, arena sized to
+    /// the fabric. Allocation-free once warmed to `endpoints`/`workers`.
+    fn prepare(&mut self, endpoints: usize, workers: usize) {
+        self.arena.ensure_endpoints(endpoints);
+        self.failures.clear();
+        self.failures.resize(workers, 0);
+        self.degraded.clear();
+        self.degraded.resize(workers, false);
+    }
+}
+
 /// Splits `range` into consecutive chunks of `chunk` elements; the last
 /// chunk is ragged. An empty range yields no chunks.
 fn chunk_ranges(range: Range<usize>, chunk: usize) -> impl Iterator<Item = Range<usize>> {
@@ -125,6 +170,7 @@ fn charge_chunk(fabric: &mut dyn Fabric, leg: Charge, src: usize, dst: usize, fr
 fn pipelined_leg(
     fabric: &mut dyn Fabric,
     arena: &mut FrameArena,
+    inflight: &mut VecDeque<(WireFrame, Range<usize>)>,
     cfg: PipelineConfig,
     src: usize,
     dst: usize,
@@ -133,7 +179,8 @@ fn pipelined_leg(
     leg: Charge,
     apply: &mut dyn FnMut(Range<usize>, &[f32]),
 ) -> Result<(), FabricError> {
-    let mut inflight: VecDeque<(WireFrame, Range<usize>)> = VecDeque::new();
+    // A failed prior leg may have left frames behind; they are dead.
+    inflight.clear();
     let mut degraded = false;
     let drain = |fabric: &mut dyn Fabric,
                  arena: &mut FrameArena,
@@ -249,6 +296,7 @@ fn deliver_ring_chunk(
 fn pipelined_ring_leg(
     fabric: &mut dyn Fabric,
     arena: &mut FrameArena,
+    inflight: &mut VecDeque<(WireFrame, Range<usize>)>,
     cfg: PipelineConfig,
     workers: &mut [Vec<f32>],
     endpoints: &[usize],
@@ -261,7 +309,7 @@ fn pipelined_ring_leg(
     let n = workers.len();
     let len = workers[i].len();
     let recv = (i + 1) % n;
-    let mut inflight: VecDeque<(WireFrame, Range<usize>)> = VecDeque::new();
+    inflight.clear();
     for r in chunk_ranges(block_range(len, n, k), cfg.chunk_values) {
         let kind = if degraded[i] {
             PayloadKind::Plain
@@ -314,6 +362,31 @@ pub fn pipelined_ring_allreduce_over(
     endpoints: &[usize],
     cfg: PipelineConfig,
 ) -> Result<(), FabricError> {
+    pipelined_ring_allreduce_over_with(fabric, workers, endpoints, cfg, &mut PipelineScratch::new())
+}
+
+/// [`pipelined_ring_allreduce_over`] with a caller-held
+/// [`PipelineScratch`]: a training loop that reuses the scratch across
+/// iterations runs every iteration after the first with **zero heap
+/// allocations** on an untimed NIC fabric (frames, windows, ladders, and
+/// the receive buffer are all recycled) — the property
+/// `tests/alloc_gate.rs` pins.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if a chunk's delivery fails past the
+/// chunk-granular recovery ladder.
+///
+/// # Panics
+///
+/// Panics as [`pipelined_ring_allreduce_over`] does.
+pub fn pipelined_ring_allreduce_over_with(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
+) -> Result<(), FabricError> {
     let n = workers.len();
     let len = assert_uniform(workers);
     assert_eq!(endpoints.len(), n, "one endpoint per worker");
@@ -325,9 +398,7 @@ pub fn pipelined_ring_allreduce_over(
     if n == 1 || len == 0 {
         return Ok(());
     }
-    let mut arena = FrameArena::new(fabric.endpoints());
-    let mut failures = vec![0usize; n];
-    let mut degraded = vec![false; n];
+    scratch.prepare(fabric.endpoints(), n);
     // Phase 1 — aggregation: at step s node i sends blk[(i−s+1) mod n]
     // and its successor folds it. The block a node folds at a step is
     // never a block any node sends at that step, so streaming each
@@ -338,15 +409,16 @@ pub fn pipelined_ring_allreduce_over(
             let k = (i + n - (s - 1)) % n;
             pipelined_ring_leg(
                 fabric,
-                &mut arena,
+                &mut scratch.arena,
+                &mut scratch.inflight,
                 cfg,
                 workers,
                 endpoints,
                 i,
                 k,
                 true,
-                &mut failures,
-                &mut degraded,
+                &mut scratch.failures,
+                &mut scratch.degraded,
             )?;
         }
     }
@@ -357,15 +429,16 @@ pub fn pipelined_ring_allreduce_over(
             let k = (i + 2 + n - t) % n;
             pipelined_ring_leg(
                 fabric,
-                &mut arena,
+                &mut scratch.arena,
+                &mut scratch.inflight,
                 cfg,
                 workers,
                 endpoints,
                 i,
                 k,
                 false,
-                &mut failures,
-                &mut degraded,
+                &mut scratch.failures,
+                &mut scratch.degraded,
             )?;
         }
     }
@@ -380,20 +453,22 @@ fn reduce_up(
     pos: &BTreeMap<usize, usize>,
     topo: &Topology,
     cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
 ) -> Result<usize, FabricError> {
     match topo {
         Topology::Worker(w) => Ok(*w),
         Topology::Group(children) => {
             let mut leaders = Vec::with_capacity(children.len());
             for child in children {
-                leaders.push(reduce_up(fabric, workers, pos, child, cfg)?);
+                leaders.push(reduce_up(fabric, workers, pos, child, cfg, scratch)?);
             }
             if leaders.len() > 1 {
                 let mut grads: Vec<Vec<f32>> = leaders
                     .iter()
                     .map(|&e| std::mem::take(&mut workers[pos[&e]]))
                     .collect();
-                let outcome = pipelined_ring_allreduce_over(fabric, &mut grads, &leaders, cfg);
+                let outcome =
+                    pipelined_ring_allreduce_over_with(fabric, &mut grads, &leaders, cfg, scratch);
                 for (&e, g) in leaders.iter().zip(grads) {
                     workers[pos[&e]] = g;
                 }
@@ -409,17 +484,22 @@ fn reduce_up(
 /// applied chunk by chunk (elementwise codec, so chunked equals whole).
 fn spread_into(
     fabric: &mut dyn Fabric,
-    arena: &mut FrameArena,
     workers: &mut [Vec<f32>],
     pos: &BTreeMap<usize, usize>,
     topo: &Topology,
     cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
 ) -> Result<(), FabricError> {
     let Topology::Group(children) = topo else {
         return Ok(());
     };
     let leader = topo.leader();
-    let sum = workers[pos[&leader]].clone();
+    // The broadcast source must be snapshotted (the leader's own slot is
+    // overwritten by its self round trip below), but into the scratch
+    // accumulator rather than a fresh clone.
+    let mut sum = std::mem::take(&mut scratch.sum);
+    sum.clear();
+    sum.extend_from_slice(&workers[pos[&leader]]);
     for child in children {
         let to = child.leader();
         if to == leader {
@@ -428,7 +508,8 @@ fn spread_into(
         let slot = &mut workers[pos[&to]];
         pipelined_leg(
             fabric,
-            arena,
+            &mut scratch.arena,
+            &mut scratch.inflight,
             cfg,
             leader,
             to,
@@ -443,8 +524,10 @@ fn spread_into(
         let rt = fabric.self_roundtrip(leader, &sum[r.clone()])?;
         apply_block(&mut slot[r], &rt, false);
     }
+    // Return the buffer before recursing so every level reuses it.
+    scratch.sum = sum;
     for child in children {
-        spread_into(fabric, arena, workers, pos, child, cfg)?;
+        spread_into(fabric, workers, pos, child, cfg, scratch)?;
     }
     Ok(())
 }
@@ -452,20 +535,20 @@ fn spread_into(
 /// Broadcast entry mirroring `ring::spread_from_root`.
 fn spread_from_root(
     fabric: &mut dyn Fabric,
-    arena: &mut FrameArena,
     workers: &mut [Vec<f32>],
     pos: &BTreeMap<usize, usize>,
     topo: &Topology,
     cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
 ) -> Result<(), FabricError> {
     match topo {
         Topology::Worker(_) => Ok(()),
         Topology::Group(children) if children.len() == 1 => {
-            spread_from_root(fabric, arena, workers, pos, &children[0], cfg)
+            spread_from_root(fabric, workers, pos, &children[0], cfg, scratch)
         }
         Topology::Group(children) => {
             for child in children {
-                spread_into(fabric, arena, workers, pos, child, cfg)?;
+                spread_into(fabric, workers, pos, child, cfg, scratch)?;
             }
             Ok(())
         }
@@ -493,6 +576,26 @@ pub fn pipelined_tree_allreduce_over(
     topo: &Topology,
     cfg: PipelineConfig,
 ) -> Result<(), FabricError> {
+    pipelined_tree_allreduce_over_with(fabric, workers, topo, cfg, &mut PipelineScratch::new())
+}
+
+/// [`pipelined_tree_allreduce_over`] with a caller-held
+/// [`PipelineScratch`] reused across iterations.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if any hop's delivery fails past recovery.
+///
+/// # Panics
+///
+/// Panics as [`pipelined_tree_allreduce_over`] does.
+pub fn pipelined_tree_allreduce_over_with(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    topo: &Topology,
+    cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
+) -> Result<(), FabricError> {
     let order = topo.workers();
     assert_eq!(
         order.len(),
@@ -506,9 +609,9 @@ pub fn pipelined_tree_allreduce_over(
         fabric.endpoints()
     );
     let pos: BTreeMap<usize, usize> = order.iter().enumerate().map(|(k, &e)| (e, k)).collect();
-    let mut arena = FrameArena::new(fabric.endpoints());
-    reduce_up(fabric, workers, &pos, topo, cfg)?;
-    spread_from_root(fabric, &mut arena, workers, &pos, topo, cfg)
+    scratch.prepare(fabric.endpoints(), workers.len());
+    reduce_up(fabric, workers, &pos, topo, cfg, scratch)?;
+    spread_from_root(fabric, workers, &pos, topo, cfg, scratch)
 }
 
 /// Pipelined [`worker_aggregator_allreduce_over`]: the gather and
@@ -533,6 +636,31 @@ pub fn pipelined_worker_aggregator_allreduce_over(
     workers: &mut [Vec<f32>],
     cfg: PipelineConfig,
 ) -> Result<(), FabricError> {
+    pipelined_worker_aggregator_allreduce_over_with(
+        fabric,
+        workers,
+        cfg,
+        &mut PipelineScratch::new(),
+    )
+}
+
+/// [`pipelined_worker_aggregator_allreduce_over`] with a caller-held
+/// [`PipelineScratch`] reused across iterations.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if either leg fails past the chunk-granular
+/// recovery ladder.
+///
+/// # Panics
+///
+/// Panics as [`pipelined_worker_aggregator_allreduce_over`] does.
+pub fn pipelined_worker_aggregator_allreduce_over_with(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
+) -> Result<(), FabricError> {
     let n = workers.len();
     let len = assert_uniform(workers);
     let aggregator = n;
@@ -540,12 +668,15 @@ pub fn pipelined_worker_aggregator_allreduce_over(
         fabric.endpoints() > aggregator,
         "fabric needs {n} worker endpoints plus an aggregator endpoint"
     );
-    let mut arena = FrameArena::new(fabric.endpoints());
-    let mut sum = vec![0.0f32; len];
+    scratch.prepare(fabric.endpoints(), n);
+    let mut sum = std::mem::take(&mut scratch.sum);
+    sum.clear();
+    sum.resize(len, 0.0);
     for (i, w) in workers.iter().enumerate() {
         pipelined_leg(
             fabric,
-            &mut arena,
+            &mut scratch.arena,
+            &mut scratch.inflight,
             cfg,
             i,
             aggregator,
@@ -558,7 +689,8 @@ pub fn pipelined_worker_aggregator_allreduce_over(
     for (i, w) in workers.iter_mut().enumerate() {
         pipelined_leg(
             fabric,
-            &mut arena,
+            &mut scratch.arena,
+            &mut scratch.inflight,
             cfg,
             aggregator,
             i,
@@ -568,6 +700,7 @@ pub fn pipelined_worker_aggregator_allreduce_over(
             &mut |r, rb| apply_block(&mut w[r], rb, false),
         )?;
     }
+    scratch.sum = sum;
     Ok(())
 }
 
@@ -594,6 +727,32 @@ pub fn pipelined_switch_allreduce_over(
     endpoints: &[usize],
     cfg: PipelineConfig,
 ) -> Result<(), FabricError> {
+    pipelined_switch_allreduce_over_with(
+        fabric,
+        workers,
+        endpoints,
+        cfg,
+        &mut PipelineScratch::new(),
+    )
+}
+
+/// [`pipelined_switch_allreduce_over`] with a caller-held
+/// [`PipelineScratch`] reused across iterations.
+///
+/// # Errors
+///
+/// Returns [`FabricError`] if a fold or delivery fails past recovery.
+///
+/// # Panics
+///
+/// Panics as [`pipelined_switch_allreduce_over`] does.
+pub fn pipelined_switch_allreduce_over_with(
+    fabric: &mut dyn Fabric,
+    workers: &mut [Vec<f32>],
+    endpoints: &[usize],
+    cfg: PipelineConfig,
+    scratch: &mut PipelineScratch,
+) -> Result<(), FabricError> {
     let n = workers.len();
     let len = assert_uniform(workers);
     assert_eq!(endpoints.len(), n, "one endpoint per worker");
@@ -602,8 +761,12 @@ pub fn pipelined_switch_allreduce_over(
         "endpoint out of range for a fabric with {} endpoints",
         fabric.endpoints()
     );
-    let mut arena = FrameArena::new(fabric.endpoints());
-    let mut sum = vec![0.0f32; len];
+    scratch.prepare(fabric.endpoints(), n);
+    let arena = &mut scratch.arena;
+    let mut sum = std::mem::take(&mut scratch.sum);
+    sum.clear();
+    sum.resize(len, 0.0);
+    let mut inflight = std::mem::take(&mut scratch.gather_inflight);
     for r in chunk_ranges(0..len, cfg.chunk_values) {
         let mut plain_restart = false;
         'gather: loop {
@@ -611,7 +774,7 @@ pub fn pipelined_switch_allreduce_over(
             if plain_restart {
                 acc.fill(0.0);
             }
-            let mut inflight: VecDeque<(WireFrame, usize)> = VecDeque::new();
+            inflight.clear();
             let mut fold =
                 |fabric: &mut dyn Fabric, arena: &mut FrameArena, frame: WireFrame, k: usize| {
                     let outcome = fabric.switch_fold(acc, &frame);
@@ -631,7 +794,7 @@ pub fn pipelined_switch_allreduce_over(
                 inflight.push_back((frame, k));
                 if inflight.len() >= cfg.depth.max(1) {
                     if let Some((frame, k)) = inflight.pop_front() {
-                        if let Err(e) = fold(fabric, &mut arena, frame, k) {
+                        if let Err(e) = fold(fabric, arena, frame, k) {
                             failed = Some(e);
                             break;
                         }
@@ -640,7 +803,7 @@ pub fn pipelined_switch_allreduce_over(
             }
             if failed.is_none() {
                 while let Some((frame, k)) = inflight.pop_front() {
-                    if let Err(e) = fold(fabric, &mut arena, frame, k) {
+                    if let Err(e) = fold(fabric, arena, frame, k) {
                         failed = Some(e);
                         break;
                     }
@@ -662,11 +825,13 @@ pub fn pipelined_switch_allreduce_over(
             }
         }
     }
+    scratch.gather_inflight = inflight;
     for (k, w) in workers.iter_mut().enumerate() {
         let e = endpoints[k];
         pipelined_leg(
             fabric,
-            &mut arena,
+            &mut scratch.arena,
+            &mut scratch.inflight,
             cfg,
             e,
             e,
@@ -676,6 +841,7 @@ pub fn pipelined_switch_allreduce_over(
             &mut |r, rb| apply_block(&mut w[r], rb, false),
         )?;
     }
+    scratch.sum = sum;
     Ok(())
 }
 

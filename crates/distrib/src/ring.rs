@@ -878,7 +878,7 @@ mod tests {
                         sink(values);
                         Ok(())
                     }
-                    FrameBody::Packets(_) => unreachable!(),
+                    _ => unreachable!(),
                 }
             }
             fn stats(&self) -> crate::fabric::FabricStats {

@@ -39,6 +39,28 @@ impl EngineOutput {
     }
 }
 
+/// Cycle and burst accounting of one engine pass, without the payload
+/// bytes: what the buffer-reusing entry points return so steady-state
+/// datapath traversals move no owned allocations at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Engine-occupancy cycles (pipelined: one burst per cycle plus the
+    /// pipeline depth).
+    pub cycles: u64,
+    /// 256-bit bursts consumed on the input side.
+    pub input_bursts: u64,
+    /// 256-bit bursts produced on the output side (final partial burst
+    /// counted).
+    pub output_bursts: u64,
+}
+
+impl EngineMetrics {
+    /// The engine latency contribution in nanoseconds.
+    pub fn latency_ns(&self) -> u64 {
+        self.cycles * NS_PER_CYCLE
+    }
+}
+
 /// The 256-bit burst compressor: eight Compression Blocks plus the
 /// alignment unit (Fig. 9).
 ///
@@ -85,6 +107,27 @@ impl CompressionEngine {
             input_bursts,
             output_bursts,
         }
+    }
+
+    /// [`process`](Self::process) appending the wire bytes to a
+    /// caller-owned buffer instead of materializing an [`EngineOutput`]:
+    /// returns the accounting plus the appended byte length.
+    /// Reserve-only growth, so the pass is allocation-free once `out`
+    /// has warmed to capacity — the entry point of the flat zero-copy
+    /// datapath.
+    pub fn process_append(&self, values: &[f32], out: &mut Vec<u8>) -> (EngineMetrics, usize) {
+        let before = out.len();
+        let bit_len = self.codec.compress_append(values, out);
+        let input_bursts = values.len().div_ceil(LANES_PER_BURST) as u64;
+        let output_bursts = (bit_len as u64).div_ceil(BURST_BITS);
+        (
+            EngineMetrics {
+                cycles: input_bursts + PIPELINE_DEPTH,
+                input_bursts,
+                output_bursts,
+            },
+            out.len() - before,
+        )
     }
 
     /// Convenience: payload given as little-endian `f32` bytes, as it
@@ -163,6 +206,30 @@ impl DecompressionEngine {
             },
             out,
         ))
+    }
+
+    /// [`process`](Self::process) decoding straight into a caller-owned
+    /// slice (`out.len()` is the value count): no byte vector, no value
+    /// vector — the allocation-free receive half of the flat datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the payload is too short for
+    /// `out.len()` values.
+    pub fn process_into(
+        &self,
+        payload: &[u8],
+        out: &mut [f32],
+    ) -> Result<EngineMetrics, DecodeError> {
+        let count = out.len();
+        self.codec.decompress_into(payload, count, out)?;
+        let output_bursts = count.div_ceil(LANES_PER_BURST) as u64;
+        let input_bursts = (payload.len() as u64 * 8).div_ceil(BURST_BITS);
+        Ok(EngineMetrics {
+            cycles: output_bursts + PIPELINE_DEPTH,
+            input_bursts,
+            output_bursts,
+        })
     }
 }
 

@@ -46,6 +46,7 @@
 pub mod chunker;
 pub mod datapath;
 pub mod engine;
+pub mod flat;
 pub mod nic;
 pub mod packet;
 pub mod switchagg;
@@ -54,7 +55,8 @@ pub use chunker::{
     decode_payload, decode_payload_into, encode_payload, encode_payload_into, PayloadTrace,
     TOS_PLAIN, VALUES_PER_PACKET,
 };
-pub use engine::{CompressionEngine, DecompressionEngine, EngineOutput};
+pub use engine::{CompressionEngine, DecompressionEngine, EngineMetrics, EngineOutput};
+pub use flat::{decode_payload_flat, encode_payload_flat, FlatPayload, FlatSeg, FlatTrace};
 pub use nic::{NicConfig, NicPipeline};
 pub use packet::{Packet, TOS_COMPRESSED};
 pub use switchagg::SwitchReducer;

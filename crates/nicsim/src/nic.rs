@@ -5,6 +5,7 @@ use inceptionn_compress::{DecodeError, ErrorBound};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{CompressionEngine, DecompressionEngine, NS_PER_CYCLE};
+use crate::flat::FlatSeg;
 use crate::packet::Packet;
 
 /// Static NIC parameters.
@@ -124,6 +125,87 @@ impl NicPipeline {
             },
             latency,
         )
+    }
+
+    /// TX path, flat wire representation: pushes one
+    /// [`VALUES_PER_PACKET`](crate::chunker::VALUES_PER_PACKET)-sized
+    /// value chunk through the engine, appending its wire bytes to a
+    /// caller-owned buffer. Stats and latency are accounted exactly as
+    /// [`transmit`](Self::transmit) accounts one packet, and the
+    /// appended bytes are bit-identical to that packet's payload — the
+    /// flat path changes the memory discipline, not the wire contents.
+    ///
+    /// An empty or non-compressible chunk bypasses the engine and lands
+    /// as raw little-endian `f32` bytes, mirroring the packet bypass.
+    pub fn transmit_chunk(
+        &mut self,
+        chunk: &[f32],
+        compressible: bool,
+        bytes: &mut Vec<u8>,
+    ) -> (FlatSeg, u64) {
+        if !compressible || chunk.is_empty() {
+            bytes.reserve(chunk.len() * 4);
+            for v in chunk {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            self.stats.bypassed_packets += 1;
+            return (
+                FlatSeg {
+                    wire_bytes: (chunk.len() * 4) as u32,
+                    value_count: chunk.len() as u32,
+                    compressed: false,
+                },
+                self.cfg.base_latency_ns,
+            );
+        }
+        let (metrics, wire_len) = self.compressor.process_append(chunk, bytes);
+        self.stats.compressed_packets += 1;
+        self.stats.tx_payload_in += (chunk.len() * 4) as u64;
+        self.stats.tx_payload_out += wire_len as u64;
+        self.stats.tx_bursts += metrics.input_bursts;
+        (
+            FlatSeg {
+                wire_bytes: wire_len as u32,
+                value_count: chunk.len() as u32,
+                compressed: true,
+            },
+            self.cfg.base_latency_ns + metrics.latency_ns(),
+        )
+    }
+
+    /// RX path, flat wire representation: decodes one segment's wire
+    /// bytes straight into `out` (whose length must equal the segment's
+    /// value count). Stats and latency mirror [`receive`](Self::receive)
+    /// packet for packet. Returns the traversal latency in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] when a compressed segment is truncated or
+    /// corrupt.
+    pub fn receive_chunk(
+        &mut self,
+        seg: FlatSeg,
+        payload: &[u8],
+        out: &mut [f32],
+    ) -> Result<u64, DecodeError> {
+        debug_assert_eq!(out.len(), seg.value_count as usize);
+        if !seg.compressed {
+            self.stats.bypassed_packets += 1;
+            if payload.len() != out.len() * 4 {
+                return Err(DecodeError {
+                    at_value: 0,
+                    bit_offset: 0,
+                    tag: None,
+                });
+            }
+            for (v, raw) in out.iter_mut().zip(payload.chunks_exact(4)) {
+                *v = f32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
+            }
+            return Ok(self.cfg.base_latency_ns);
+        }
+        let metrics = self.decompressor.process_into(payload, out)?;
+        self.stats.rx_bursts += metrics.output_bursts;
+        Ok(self.cfg.base_latency_ns + metrics.cycles * NS_PER_CYCLE)
     }
 
     /// RX path: classify by ToS, decompress gradient payloads back to

@@ -23,6 +23,7 @@
 use inceptionn_compress::reduction::fold_compressed_payload_into;
 use inceptionn_compress::{DecodeError, ErrorBound, InceptionnCodec};
 
+use crate::flat::FlatPayload;
 use crate::packet::Packet;
 
 /// Reduce-unit cycles charged per 8-lane group of folded values: one
@@ -105,6 +106,60 @@ impl SwitchReducer {
         let mut at = 0usize;
         for pkt in packets {
             at += self.fold_packet(at, pkt)?;
+        }
+        assert_eq!(
+            at,
+            self.acc.len(),
+            "contribution covered {at} of {} lanes",
+            self.acc.len()
+        );
+        self.contributions += 1;
+        Ok(())
+    }
+
+    /// Folds one worker's contribution in flat wire form — the exact
+    /// same per-segment fold as [`fold_contribution`](Self::fold_contribution)
+    /// over equivalent packets (segments arrive in wire order, values in
+    /// stream order), so the sum stays bit-identical between
+    /// representations and no per-contribution buffers are allocated.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DecodeError`] on a corrupt or truncated compressed
+    /// segment, leaving the partial fold committed (see
+    /// [`fold_contribution`](Self::fold_contribution)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on lane-count mismatch, a compressed segment on a
+    /// plain-only unit, or a ragged plain segment — collective-layer
+    /// bugs, not wire faults.
+    pub fn fold_flat_contribution(&mut self, payload: &FlatPayload) -> Result<(), DecodeError> {
+        let mut at = 0usize;
+        for (seg, bytes) in payload.iter() {
+            let values = seg.value_count as usize;
+            assert!(
+                at + values <= self.acc.len(),
+                "contribution overruns the sum"
+            );
+            if seg.compressed {
+                let codec = self
+                    .codec
+                    .as_ref()
+                    .expect("compressed segment reached a plain-only reduce unit");
+                fold_compressed_payload_into(codec, &mut self.acc[at..at + values], bytes, values)?;
+            } else {
+                assert!(
+                    bytes.len() == values * 4,
+                    "plain gradient segment must be whole f32s"
+                );
+                for (lane, chunk) in bytes.chunks_exact(4).enumerate() {
+                    self.acc[at + lane] +=
+                        f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+            }
+            self.cycles += (values as u64).div_ceil(LANES_PER_CYCLE);
+            at += values;
         }
         assert_eq!(
             at,
@@ -246,6 +301,24 @@ mod tests {
             }
         }
         assert_eq!(unit.sum(), &host[..]);
+    }
+
+    #[test]
+    fn flat_fold_is_bit_identical_with_the_packet_fold() {
+        let bound = inceptionn_compress::ErrorBound::pow2(10);
+        let grads: Vec<Vec<f32>> = (0..3).map(|w| grad(w + 21, 900)).collect();
+        let mut pkt_unit = SwitchReducer::with_codec(900, bound);
+        let mut flat_unit = SwitchReducer::with_codec(900, bound);
+        let mut flat = crate::flat::FlatPayload::new();
+        for g in &grads {
+            let (wire, _) = encode_payload(&mut pipeline(), g, true);
+            pkt_unit.fold_contribution(&wire).unwrap();
+            crate::flat::encode_payload_flat(&mut pipeline(), g, true, &mut flat);
+            flat_unit.fold_flat_contribution(&flat).unwrap();
+        }
+        assert_eq!(flat_unit.sum(), pkt_unit.sum());
+        assert_eq!(flat_unit.contributions(), pkt_unit.contributions());
+        assert_eq!(flat_unit.cycles(), pkt_unit.cycles());
     }
 
     #[test]

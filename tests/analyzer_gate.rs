@@ -36,13 +36,15 @@ fn seeded_violations_fail_with_file_and_line() {
     let scratch = Path::new(env!("CARGO_TARGET_TMPDIR")).join("analyzer_gate_seeded");
     let src_dir = scratch.join("crates/compress/src");
     fs::create_dir_all(&src_dir).expect("scratch tree");
-    // Five violation kinds: wall-clock time inside wire-layout code
-    // (which is also an obs hot path, so the eager-format rule fires on
-    // the same line), an uncommented unsafe block, eager string
-    // formatting on an instrumented hot path, and a panic on a hot path.
+    // Several violation kinds in one fn: wall-clock time inside
+    // wire-layout code (which is also an obs hot path, so the eager-
+    // format rule fires on the same line), an uncommented unsafe block,
+    // eager string formatting on an instrumented hot path, and — because
+    // `decode_into` is an interprocedural hot root wherever it is
+    // defined — a heap allocation and a panic on a hot path.
     fs::write(
         src_dir.join("bitio.rs"),
-        "pub fn f(x: Option<u8>) -> String {\n\
+        "pub fn decode_into(x: Option<u8>) -> String {\n\
          \x20   let t = std::time::Instant::now();\n\
          \x20   unsafe { core::hint::unreachable_unchecked() };\n\
          \x20   let label = format!(\"t={t:?}\").to_string();\n\
@@ -80,14 +82,34 @@ fn seeded_violations_fail_with_file_and_line() {
 
     // And an eighth: per-call thread creation seeded onto the pooled
     // codec hot path, which the transient-thread rule must flag as a
-    // perf regression.
+    // perf regression. The same file also holds the helper chain of the
+    // interprocedural seed below — `stage` and `finish` are not hot by
+    // name or by file; only the call graph makes them hot.
     fs::write(
         src_dir.join("parallel.rs"),
         "pub fn fan_out() {\n\
          \x20   std::thread::scope(|s| {\n\
          \x20       let _ = s;\n\
          \x20   });\n\
+         }\n\
+         pub fn stage(n: usize) { finish(n) }\n\
+         fn finish(n: usize) {\n\
+         \x20   let _scratch = [0u8; 4].to_vec();\n\
+         \x20   if n == 0 { panic!(\"empty fold window\"); }\n\
          }\n",
+    )
+    .expect("seed file");
+
+    // The interprocedural seed: a pipelined hot root in one crate whose
+    // panic and allocation live two calls away in another crate. Only
+    // root→sink propagation over the cross-file call graph can connect
+    // them.
+    fs::write(
+        faults_dir.join("pipeline.rs"),
+        "pub fn pipelined_ring_allreduce_over(n: usize) {\n\
+         \x20   super_stage(n)\n\
+         }\n\
+         fn super_stage(n: usize) { crate::stage(n) }\n",
     )
     .expect("seed file");
 
@@ -98,16 +120,32 @@ fn seeded_violations_fail_with_file_and_line() {
         ("no-eager-format-hot-path", 2, "bitio.rs"),
         ("safety-comment", 3, "bitio.rs"),
         ("no-eager-format-hot-path", 4, "bitio.rs"),
+        ("no-alloc-hot-path", 4, "bitio.rs"),
         ("no-panic-hot-path", 5, "bitio.rs"),
         ("no-panic-recovery-path", 2, "faults.rs"),
         ("no-time-rng-in-wire", 2, "event.rs"),
         ("no-transient-thread-hot-path", 2, "parallel.rs"),
+        // The cross-file chain: both sinks sit in parallel.rs but are
+        // reported hot because pipeline.rs's root reaches them.
+        ("no-alloc-hot-path", 8, "parallel.rs"),
+        ("no-panic-hot-path", 9, "parallel.rs"),
     ] {
         assert!(
             diags
                 .iter()
                 .any(|d| d.rule == rule && d.line == line && d.file.ends_with(file)),
             "seeded `{rule}` violation at {file}:{line} not reported; got:\n{}",
+            rendered.join("\n")
+        );
+    }
+    // The interprocedural diagnostics carry the full root→sink chain.
+    for rule in ["no-panic-hot-path", "no-alloc-hot-path"] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule
+                && d.file.ends_with("parallel.rs")
+                && d.message
+                    .contains("pipelined_ring_allreduce_over -> super_stage -> stage -> finish")),
+            "`{rule}` diagnostic lost its call chain; got:\n{}",
             rendered.join("\n")
         );
     }
@@ -138,8 +176,9 @@ fn concurrency_smoke_bound_holds() {
     );
 }
 
-/// The checker itself must stay able to see bugs: a lost-update race
-/// and an AB-BA lock inversion seeded on purpose.
+/// The checker itself must stay able to see bugs: a lost-update race,
+/// an AB-BA lock inversion, a condvar lost wakeup, and an arena
+/// use-after-recycle — all seeded on purpose.
 #[test]
 fn seeded_race_and_deadlock_are_still_caught() {
     assert!(matches!(
@@ -150,4 +189,17 @@ fn seeded_race_and_deadlock_are_still_caught() {
         models::lock_inversion_model(),
         Err(conc::Violation::Deadlock { .. })
     ));
+    assert!(matches!(
+        models::pool_lost_wakeup_fixture(),
+        Err(conc::Violation::Deadlock { .. })
+    ));
+    match models::frame_arena_model(true) {
+        Err(conc::Violation::ModelPanic { message, .. }) => {
+            assert!(
+                message.contains("use-after-recycle"),
+                "wrong failure: {message}"
+            );
+        }
+        other => panic!("use-after-recycle not caught: {other:?}"),
+    }
 }

@@ -94,9 +94,9 @@ fn fabric_ring_is_bit_exact_with_the_pre_refactor_reference() {
 
 #[test]
 fn nic_wire_bytes_are_engine_output_not_a_quantize_shortcut() {
-    // Every packet a `NicFabric` puts on the wire must carry the exact
-    // byte stream the hardware `CompressionEngine` emits for that MTU
-    // chunk, and the receive side must recover the values through the
+    // Every wire segment a `NicFabric` emits must carry the exact byte
+    // stream the hardware `CompressionEngine` emits for that MTU chunk,
+    // and the receive side must recover the values through the
     // `DecompressionEngine` — proving the fabric runs the real datapath
     // rather than quantizing in software and shipping raw floats.
     let bound = ErrorBound::pow2(10);
@@ -106,33 +106,31 @@ fn nic_wire_bytes_are_engine_output_not_a_quantize_shortcut() {
         .compression(Some(bound))
         .build();
     let frame = fabric.encode(0, &vals, PayloadKind::Gradient);
-    let FrameBody::Packets(packets) = frame.body() else {
-        panic!("NicFabric must emit packet frames");
+    let FrameBody::Flat(payload) = frame.body() else {
+        panic!("NicFabric must emit flat wire frames");
     };
-    assert_eq!(packets.len(), vals.len().div_ceil(VALUES_PER_PACKET));
+    assert_eq!(payload.segs.len(), vals.len().div_ceil(VALUES_PER_PACKET));
 
     let tx_engine = CompressionEngine::new(bound);
     let rx_engine = DecompressionEngine::new(bound);
     let codec = InceptionnCodec::new(bound);
-    for (pkt, chunk) in packets.iter().zip(vals.chunks(VALUES_PER_PACKET)) {
-        assert!(
-            pkt.is_compressible(),
-            "gradient packets carry the lossy ToS"
-        );
+    for ((seg, wire), chunk) in payload.iter().zip(vals.chunks(VALUES_PER_PACKET)) {
+        assert!(seg.compressed, "gradient segments carry the lossy marker");
+        assert_eq!(seg.value_count as usize, chunk.len());
         let raw: Vec<u8> = chunk.iter().flat_map(|v| v.to_le_bytes()).collect();
         let want = tx_engine.process_bytes(&raw);
         assert_eq!(
-            &pkt.payload[..],
+            wire,
             &want.bytes[..],
             "wire payload is not the compression engine's output"
         );
         assert!(
-            pkt.payload.len() < raw.len(),
+            wire.len() < raw.len(),
             "engine output must actually be compressed"
         );
         // And the decompression engine — not a software decode — must be
         // able to consume those bytes back to the quantized values.
-        let (_, restored) = rx_engine.process(&pkt.payload, chunk.len()).unwrap();
+        let (_, restored) = rx_engine.process(wire, chunk.len()).unwrap();
         assert_eq!(restored, codec.quantize(chunk));
     }
 
