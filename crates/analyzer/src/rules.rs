@@ -73,6 +73,8 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/compress/src/parallel.rs",
     "crates/compress/src/inceptionn.rs",
     "crates/compress/src/bitio.rs",
+    "crates/compress/src/sparse.rs",
+    "crates/compress/src/sketch.rs",
     "crates/distrib/src/fabric.rs",
     "crates/distrib/src/ring.rs",
     "crates/distrib/src/aggregator.rs",
@@ -96,6 +98,8 @@ pub const TRANSIENT_THREAD_FILES: &[&str] = &[
     "crates/compress/src/parallel.rs",
     "crates/compress/src/inceptionn.rs",
     "crates/compress/src/bitio.rs",
+    "crates/compress/src/sparse.rs",
+    "crates/compress/src/sketch.rs",
     "crates/distrib/src/fabric.rs",
     "crates/distrib/src/aggregator.rs",
     "crates/distrib/src/pipeline.rs",
@@ -126,6 +130,8 @@ pub const WIRE_LAYOUT_FILES: &[&str] = &[
     "crates/compress/src/parallel.rs",
     "crates/compress/src/inceptionn.rs",
     "crates/compress/src/bitio.rs",
+    "crates/compress/src/sparse.rs",
+    "crates/compress/src/sketch.rs",
     "crates/nicsim/src/chunker.rs",
     "crates/nicsim/src/engine.rs",
     "crates/nicsim/src/nic.rs",

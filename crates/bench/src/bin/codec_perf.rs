@@ -1,8 +1,11 @@
-//! Codec fast-path perf harness: scalar vs burst vs parallel.
+//! Codec fast-path perf harness: scalar vs burst vs parallel, plus the
+//! sparse and sketch wire families.
 //!
 //! Times encode and decode of one large gradient block through the
 //! scalar reference codec ([`InceptionnCodec`]), the burst-vectorized
-//! fast path ([`BurstCodec`]), and the sharded [`ParallelCodec`], then
+//! fast path ([`BurstCodec`]), the sharded [`ParallelCodec`], the
+//! threshold+error-feedback [`SparseCodec`], and the homomorphic
+//! [`SketchCodec`], then
 //! writes the numbers to `BENCH_codec.json` at the repo root (or the
 //! path given as the first argument). Future PRs regress against that
 //! artifact; the binary itself exits nonzero if the parallel codec's
@@ -19,7 +22,10 @@ use std::time::Instant;
 
 use inceptionn_bench::{banner, fidelity_from_env};
 use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
-use inceptionn_compress::{BurstCodec, ErrorBound, InceptionnCodec, ParallelCodec};
+use inceptionn_compress::{
+    sketch, sparse, BurstCodec, ErrorBound, InceptionnCodec, ParallelCodec, ResidualState,
+    SketchCodec, SparseCodec, SparseConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -157,7 +163,53 @@ fn main() {
     let frame_shards = pframe.shards.len();
     let pool_workers = inceptionn_compress::pool::global().workers();
 
-    let timings = [&scalar_t, &burst_t, &parallel_t];
+    // --- sparse threshold+EF codec ---
+    // A different wire family (index/value pairs, not truncated floats),
+    // so no bit-identity against the rows above; the roundtrip is
+    // checked in-family. Throughput is still quoted per *input* byte so
+    // the rows compare on the same axis. `begin_iteration` rewinds the
+    // residual leg each rep, so every rep encodes the same leg slot.
+    let sparse_codec = SparseCodec::new(SparseConfig {
+        bound: ErrorBound::pow2(6),
+        top_per_mille: 0,
+        seed: 0x1CEE_D5EE_D0DE_C0DE,
+    });
+    let mut sp_state = ResidualState::new();
+    let mut sp_buf = Vec::new();
+    sparse_codec.encode_append(0, &mut sp_state, &grads, &mut sp_buf);
+    let (enc_s, ()) = best(|| {
+        sp_state.begin_iteration();
+        sp_buf.clear();
+        sparse_codec.encode_append(0, &mut sp_state, &grads, &mut sp_buf);
+    });
+    let mut sp_out = vec![0f32; n];
+    let (dec_s, ()) = best(|| sparse::decode_frame(&sp_buf, &mut sp_out).expect("sparse decode"));
+    let sparse_wire_ratio = raw_bytes as f64 / sp_buf.len() as f64;
+    let sparse_t = CodecTiming {
+        name: "sparse",
+        encode_s: enc_s,
+        decode_s: dec_s,
+    };
+
+    // --- count-sketch codec ---
+    let sketch_codec = SketchCodec::new(6, 0x1CEE_D5EE_D0DE_C0DE);
+    let mut sk_buf = Vec::new();
+    sketch_codec.encode_append(&grads, &mut sk_buf);
+    let (enc_s, ()) = best(|| {
+        sk_buf.clear();
+        sketch_codec.encode_append(&grads, &mut sk_buf);
+    });
+    let mut sk_out = vec![0f32; n];
+    let (dec_s, ()) = best(|| sketch::decode_frame(&sk_buf, &mut sk_out).expect("sketch decode"));
+    assert_eq!(sk_out, sketch_codec.quantize(&grads), "sketch not exact");
+    let sketch_wire_ratio = raw_bytes as f64 / sk_buf.len() as f64;
+    let sketch_t = CodecTiming {
+        name: "sketch",
+        encode_s: enc_s,
+        decode_s: dec_s,
+    };
+
+    let timings = [&scalar_t, &burst_t, &parallel_t, &sparse_t, &sketch_t];
     println!(
         "\n{:<10} {:>12} {:>12} {:>14}",
         "codec", "enc GB/s", "dec GB/s", "enc+dec GB/s"
@@ -175,6 +227,10 @@ fn main() {
     println!(
         "\nwire ratio {wire_ratio:.2}x (framed {frame_ratio:.2}x), parallel/scalar speedup {speedup:.2}x, \
          {frame_shards} shard(s) over {pool_workers} pool worker(s)"
+    );
+    println!(
+        "sparse wire ratio {sparse_wire_ratio:.2}x (2^-6 threshold), \
+         sketch wire ratio {sketch_wire_ratio:.2}x (frac_bits 6)"
     );
 
     // --- tracing-off overhead gate ---
@@ -261,6 +317,12 @@ fn main() {
     ));
     json.push_str(&format!("  \"wire_ratio\": {wire_ratio:.4},\n"));
     json.push_str(&format!("  \"framed_wire_ratio\": {frame_ratio:.4},\n"));
+    json.push_str(&format!(
+        "  \"sparse_wire_ratio\": {sparse_wire_ratio:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"sketch_wire_ratio\": {sketch_wire_ratio:.4},\n"
+    ));
     json.push_str("  \"codecs\": {\n");
     for (i, t) in timings.iter().enumerate() {
         json.push_str(&format!(

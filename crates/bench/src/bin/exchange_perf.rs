@@ -29,8 +29,8 @@ use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::{
     pipelined_ring_allreduce_over, pipelined_switch_allreduce_over, pipelined_tree_allreduce_over,
     pipelined_worker_aggregator_allreduce_over, ring_allreduce_over, switch_allreduce_over,
-    tree_allreduce_over, worker_aggregator_allreduce_over, Fabric, FabricBuilder, PipelineConfig,
-    TransportKind,
+    tree_allreduce_over, worker_aggregator_allreduce_over, CodecSelection, Fabric, FabricBuilder,
+    PipelineConfig, TransportKind,
 };
 use inceptionn_netsim::Topology;
 use rand::rngs::StdRng;
@@ -76,10 +76,10 @@ fn time_exchange(grads: &[Vec<f32>], mut run: impl FnMut(&mut [Vec<f32>])) -> (f
     (best_s, out.expect("REPS > 0"))
 }
 
-fn build(endpoints: usize, bound: Option<ErrorBound>) -> Box<dyn Fabric> {
+fn build(endpoints: usize, codec: CodecSelection) -> Box<dyn Fabric> {
     FabricBuilder::new(endpoints)
         .transport(TransportKind::Nic)
-        .compression(bound)
+        .codec(codec)
         .build()
 }
 
@@ -120,9 +120,28 @@ fn main() {
 
     let endpoints: Vec<usize> = (0..WORKERS).collect();
     let topo = Topology::two_tier(2, WORKERS / 2);
-    let bounds: [(&'static str, Option<ErrorBound>); 2] = [
-        ("none", None),
-        ("inceptionn", Some(ErrorBound::pow2(BOUND_EXP))),
+    // All four wire families. The sparse cell runs threshold-only
+    // (`top_per_mille: 0`): per-encode-call top-k picks a different
+    // transmit set per chunk, so a capped cell could not pass the
+    // plain == pipelined bit-identity assert below. Threshold-EF and
+    // the sketch are elementwise and chunk-stable.
+    let bounds: [(&'static str, CodecSelection); 4] = [
+        ("none", CodecSelection::None),
+        (
+            "inceptionn",
+            CodecSelection::Parallel {
+                bound: ErrorBound::pow2(BOUND_EXP),
+                shards: 0,
+            },
+        ),
+        (
+            "sparse",
+            CodecSelection::Sparse {
+                bound: ErrorBound::pow2(6),
+                top_per_mille: 0,
+            },
+        ),
+        ("sketch", CodecSelection::Sketch { frac_bits: 10 }),
     ];
 
     let mut cells: Vec<Cell> = Vec::new();

@@ -56,6 +56,8 @@ pub mod lz;
 pub mod parallel;
 pub mod pool;
 pub mod reduction;
+pub mod sketch;
+pub mod sparse;
 pub mod stats;
 pub mod szlike;
 pub mod truncate;
@@ -64,4 +66,6 @@ pub use burst::BurstCodec;
 pub use inceptionn::{CompressedStream, DecodeError, ErrorBound, InceptionnCodec, Tag};
 pub use parallel::{ParallelCodec, ShardFrame};
 pub use pool::WorkerPool;
+pub use sketch::{SketchCodec, SketchFrame};
+pub use sparse::{ResidualState, SparseCodec, SparseConfig};
 pub use stats::{BitwidthHistogram, CodecStats};

@@ -1,0 +1,461 @@
+//! Error-feedback gradient sparsification (threshold + top-k).
+//!
+//! The RedSync family of gradient compressors (Fang et al., PAPERS.md)
+//! transmits only the largest-magnitude gradient entries each iteration
+//! and *accumulates everything it withheld* into a local residual that
+//! is added back before the next selection — so no gradient mass is
+//! ever lost, only delayed. Two selection rules are implemented:
+//!
+//! * **Threshold**: every residual-corrected entry with magnitude
+//!   strictly above `2^-e` ([`ErrorBound`]) is sent. Selection is
+//!   purely elementwise, so a block split into chunks selects exactly
+//!   what the whole block would — the property the pipelined exchange
+//!   differential tests pin.
+//! * **Top-k** (`top_per_mille > 0`): the threshold survivors are
+//!   additionally capped at `⌈len·k/1000⌉` entries, keeping the
+//!   largest magnitudes. Ties at the cut are broken by a seeded
+//!   [`splitmix64`] key over `(seed, rank, index)` — never by wall
+//!   clock, address, or a global RNG — so replaying a run reproduces
+//!   the wire bytes exactly. Top-k selection is per *encode call*: a
+//!   chunked (pipelined) leg budgets k per chunk rather than per
+//!   block, which is documented behavior, not drift.
+//!
+//! Selected values travel as exact `f32` bits — the lossiness is
+//! *omission*, not rounding — in a deterministic, self-describing
+//! frame: `[len: u32][nnz: u32]` then `nnz` ascending
+//! `[index: u32][value: f32]` pairs, all little-endian.
+//!
+//! Residual-state ownership: the codec itself is an immutable
+//! configuration; all mutable state lives in a caller-owned
+//! [`ResidualState`], one per worker endpoint. Within an iteration,
+//! consecutive gradient encodes at one endpoint get consecutive *leg
+//! slots* (a pipelined leg's chunk sequence is positionally aligned
+//! with the whole-block slot it replaces); `begin_iteration` rewinds
+//! the slot cursor so iteration `t+1`'s legs see iteration `t`'s
+//! residuals. Recovery never touches the state: retransmits re-deliver
+//! the already-encoded frame and renegotiation re-encodes the leg
+//! *plain*, so a seeded fault schedule leaves residuals byte-identical
+//! to the clean run's.
+
+use crate::inceptionn::{DecodeError, ErrorBound};
+
+/// Frame header: `[len: u32][nnz: u32]`, little-endian.
+pub const FRAME_HEADER_BYTES: usize = 8;
+/// Bytes per transmitted entry: `[index: u32][value: f32]`.
+pub const PAIR_BYTES: usize = 8;
+
+/// splitmix64 finalizer: the stateless mixer behind every tie-break
+/// draw (the same construction the fault planner uses — deterministic
+/// by design, no global RNG state anywhere near the wire layout).
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic tie-break key for `index` at `rank`: equal-magnitude
+/// entries at the top-k cut are ordered by this key, so two workers
+/// with identical gradients still make independent (but replayable)
+/// choices.
+#[inline]
+fn tie_key(seed: u64, rank: u64, index: u32) -> u64 {
+    let mut h = splitmix64(seed ^ rank);
+    h = splitmix64(h ^ u64::from(index));
+    h
+}
+
+/// Immutable sparsification configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SparseConfig {
+    /// Threshold: entries with `|residual + g| > 2^-e` are candidates.
+    pub bound: ErrorBound,
+    /// Top-k cap in per-mille of the block length (`0` = threshold
+    /// only, no cap).
+    pub top_per_mille: u16,
+    /// Seed for the tie-break key (mixed with the worker rank).
+    pub seed: u64,
+}
+
+/// Per-endpoint error-feedback residual state: one slot per gradient
+/// encode *leg* within an iteration, rewound by
+/// [`begin_iteration`](ResidualState::begin_iteration).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResidualState {
+    legs: Vec<Vec<f32>>,
+    cursor: usize,
+}
+
+impl ResidualState {
+    /// Fresh state: all residuals zero, cursor at leg 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rewinds the leg cursor: the next encode reuses leg slot 0 (and
+    /// therefore sees the residual that slot accumulated last
+    /// iteration). Residual *values* are untouched — that is the whole
+    /// point of error feedback.
+    pub fn begin_iteration(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Number of leg slots materialized so far.
+    pub fn legs(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// A leg slot's residual vector, if that slot exists.
+    pub fn residual(&self, leg: usize) -> Option<&[f32]> {
+        self.legs.get(leg).map(|v| v.as_slice())
+    }
+
+    /// The next leg slot, sized to `len` (a changed gradient length
+    /// restarts that slot's residual from zero).
+    fn next_leg(&mut self, len: usize) -> &mut Vec<f32> {
+        if self.cursor == self.legs.len() {
+            self.legs.push(Vec::with_capacity(len));
+        }
+        let slot = &mut self.legs[self.cursor];
+        self.cursor += 1;
+        if slot.len() != len {
+            slot.clear();
+            slot.resize(len, 0.0);
+        }
+        slot
+    }
+}
+
+/// The sparsifying codec: pure configuration, no interior state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SparseCodec {
+    config: SparseConfig,
+}
+
+impl SparseCodec {
+    /// Creates a codec from its configuration.
+    pub fn new(config: SparseConfig) -> Self {
+        SparseCodec { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SparseConfig {
+        self.config
+    }
+
+    /// Worst-case frame size for a block of `len` values.
+    pub fn max_wire_bytes(len: usize) -> usize {
+        FRAME_HEADER_BYTES + len * PAIR_BYTES
+    }
+
+    /// Selection core: folds `values` into the leg residual and picks
+    /// the transmit set (ascending indices into `picks`). Callers move
+    /// `leg[i]` to the wire and zero it for each pick.
+    fn select(&self, rank: u64, leg: &mut [f32], values: &[f32], picks: &mut Vec<u32>) {
+        for (r, &v) in leg.iter_mut().zip(values) {
+            *r += v;
+        }
+        let tau = self.config.bound.value();
+        picks.clear();
+        for (i, &r) in leg.iter().enumerate() {
+            // Strict threshold: exact zeros (and NaNs) never transmit,
+            // so wire values are always nonzero finite-ish floats and
+            // the switch's skip-the-zeros fold is bit-identical to a
+            // dense add.
+            if r.abs() > tau {
+                picks.push(i as u32);
+            }
+        }
+        if self.config.top_per_mille > 0 {
+            let k = (leg.len() * usize::from(self.config.top_per_mille))
+                .div_ceil(1000)
+                .max(1);
+            if picks.len() > k {
+                let seed = self.config.seed;
+                picks.select_nth_unstable_by(k - 1, |&a, &b| {
+                    let ma = leg[a as usize].abs();
+                    let mb = leg[b as usize].abs();
+                    mb.total_cmp(&ma)
+                        .then_with(|| tie_key(seed, rank, a).cmp(&tie_key(seed, rank, b)))
+                });
+                picks.truncate(k);
+                picks.sort_unstable();
+            }
+        }
+    }
+
+    /// Encodes one gradient leg at `rank`, appending the frame to
+    /// `out`; returns the appended byte count. Advances `state` to the
+    /// next leg slot and updates its residual.
+    pub fn encode_append(
+        &self,
+        rank: u64,
+        state: &mut ResidualState,
+        values: &[f32],
+        out: &mut Vec<u8>,
+    ) -> usize {
+        let before = out.len();
+        let leg = state.next_leg(values.len());
+        out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+        // nnz is patched after selection.
+        let nnz_at = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        let mut picks = Vec::with_capacity(values.len());
+        self.select(rank, leg, values, &mut picks);
+        for &i in picks.iter() {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&leg[i as usize].to_le_bytes());
+            leg[i as usize] = 0.0;
+        }
+        let nnz = (picks.len() as u32).to_le_bytes();
+        out[nnz_at..nnz_at + 4].copy_from_slice(&nnz);
+        out.len() - before
+    }
+
+    /// The wire round trip applied in place: `values` becomes exactly
+    /// what [`decode_frame`] would reconstruct from
+    /// [`encode_append`](Self::encode_append)'s frame, with the same
+    /// state advance — the in-process fabrics' shortcut.
+    pub fn apply(&self, rank: u64, state: &mut ResidualState, values: &mut [f32]) {
+        let leg = state.next_leg(values.len());
+        let mut picks = Vec::with_capacity(values.len());
+        self.select(rank, leg, values, &mut picks);
+        values.fill(0.0);
+        for &i in picks.iter() {
+            values[i as usize] = leg[i as usize];
+            leg[i as usize] = 0.0;
+        }
+    }
+}
+
+/// Decodes a sparse frame into `out` (zero-filled then scattered).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the frame is truncated, its length does
+/// not match `out.len()`, or its indices are not strictly ascending
+/// and in range — the canonical-layout checks that make corruption
+/// surface as a typed decode failure rather than silent drift.
+pub fn decode_frame(bytes: &[u8], out: &mut [f32]) -> Result<(), DecodeError> {
+    let fail = |at_value: usize| DecodeError {
+        at_value,
+        bit_offset: 0,
+        tag: None,
+    };
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(fail(0));
+    }
+    let n = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let nnz = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if n != out.len() || nnz > n || bytes.len() != FRAME_HEADER_BYTES + nnz * PAIR_BYTES {
+        return Err(fail(0));
+    }
+    out.fill(0.0);
+    let mut prev: Option<u32> = None;
+    for (pair, chunk) in bytes[FRAME_HEADER_BYTES..]
+        .chunks_exact(PAIR_BYTES)
+        .enumerate()
+    {
+        let idx = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        if idx as usize >= n || prev.is_some_and(|p| p >= idx) {
+            return Err(fail(pair));
+        }
+        out[idx as usize] = f32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        prev = Some(idx);
+    }
+    Ok(())
+}
+
+/// Streams a sparse frame's `(index, value)` pairs into a fold
+/// callback without materializing the dense block — the switch
+/// reduce-unit entry point. Returns the entry count folded.
+///
+/// # Errors
+///
+/// Same canonical-layout checks as [`decode_frame`], with `len` as the
+/// expected block length.
+pub fn fold_frame(
+    bytes: &[u8],
+    len: usize,
+    mut fold: impl FnMut(usize, f32),
+) -> Result<usize, DecodeError> {
+    let fail = |at_value: usize| DecodeError {
+        at_value,
+        bit_offset: 0,
+        tag: None,
+    };
+    if bytes.len() < FRAME_HEADER_BYTES {
+        return Err(fail(0));
+    }
+    let n = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let nnz = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    if n != len || nnz > n || bytes.len() != FRAME_HEADER_BYTES + nnz * PAIR_BYTES {
+        return Err(fail(0));
+    }
+    let mut prev: Option<u32> = None;
+    for (pair, chunk) in bytes[FRAME_HEADER_BYTES..]
+        .chunks_exact(PAIR_BYTES)
+        .enumerate()
+    {
+        let idx = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        if idx as usize >= n || prev.is_some_and(|p| p >= idx) {
+            return Err(fail(pair));
+        }
+        fold(
+            idx as usize,
+            f32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]),
+        );
+        prev = Some(idx);
+    }
+    Ok(nnz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec(exponent: u8, top_per_mille: u16) -> SparseCodec {
+        SparseCodec::new(SparseConfig {
+            bound: ErrorBound::pow2(exponent),
+            top_per_mille,
+            seed: 0xD15C_0DEC,
+        })
+    }
+
+    fn roundtrip(codec: &SparseCodec, state: &mut ResidualState, values: &[f32]) -> Vec<f32> {
+        let mut frame = Vec::new();
+        codec.encode_append(7, state, values, &mut frame);
+        let mut out = vec![0.0f32; values.len()];
+        decode_frame(&frame, &mut out).expect("well-formed frame");
+        out
+    }
+
+    #[test]
+    fn threshold_keeps_large_entries_exactly_and_banks_the_rest() {
+        let codec = codec(4, 0); // tau = 2^-4 = 0.0625
+        let mut state = ResidualState::new();
+        let values = [0.5f32, 0.01, -0.25, 0.0, 0.03];
+        let out = roundtrip(&codec, &mut state, &values);
+        assert_eq!(out, [0.5, 0.0, -0.25, 0.0, 0.0]);
+        let residual = state.residual(0).unwrap();
+        assert_eq!(residual, [0.0, 0.01, 0.0, 0.0, 0.03]);
+    }
+
+    #[test]
+    fn error_feedback_flushes_banked_mass_once_it_crosses_the_threshold() {
+        let codec = codec(4, 0);
+        let mut state = ResidualState::new();
+        // 0.04 < tau alone, but two iterations accumulate to 0.08 > tau.
+        let first = roundtrip(&codec, &mut state, &[0.04f32]);
+        assert_eq!(first, [0.0]);
+        state.begin_iteration();
+        let second = roundtrip(&codec, &mut state, &[0.04f32]);
+        assert_eq!(second, [0.08]);
+        assert_eq!(state.residual(0).unwrap(), [0.0]);
+    }
+
+    #[test]
+    fn top_k_caps_the_transmit_set_at_per_mille_of_the_block() {
+        let codec = codec(10, 250); // k = ceil(8 * 250 / 1000) = 2
+        let mut state = ResidualState::new();
+        let values = [0.9f32, 0.1, 0.2, 0.8, 0.3, 0.4, 0.5, 0.6];
+        let out = roundtrip(&codec, &mut state, &values);
+        assert_eq!(out, [0.9, 0.0, 0.0, 0.8, 0.0, 0.0, 0.0, 0.0]);
+        let banked: f32 = state.residual(0).unwrap().iter().sum();
+        assert!((banked - (0.1 + 0.2 + 0.3 + 0.4 + 0.5 + 0.6)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic_and_rank_keyed() {
+        let codec = codec(10, 250); // k = 1 on a 4-block
+        let values = [0.5f32, 0.5, 0.5, 0.5];
+        let pick = |rank: u64| {
+            let mut state = ResidualState::new();
+            let mut frame = Vec::new();
+            codec.encode_append(rank, &mut state, &values, &mut frame);
+            let mut out = vec![0.0f32; 4];
+            decode_frame(&frame, &mut out).unwrap();
+            out.iter().position(|&v| v != 0.0).unwrap()
+        };
+        assert_eq!(pick(3), pick(3), "same rank must replay identically");
+        let distinct: std::collections::BTreeSet<usize> = (0..16).map(pick).collect();
+        assert!(distinct.len() > 1, "ranks should not all agree on ties");
+    }
+
+    #[test]
+    fn apply_matches_the_wire_roundtrip_bit_for_bit() {
+        let codec = codec(6, 125);
+        let mut wire_state = ResidualState::new();
+        let mut apply_state = ResidualState::new();
+        let mut h = 0x5EED_u64;
+        for _ in 0..4 {
+            wire_state.begin_iteration();
+            apply_state.begin_iteration();
+            let values: Vec<f32> = (0..64)
+                .map(|_| {
+                    h = splitmix64(h);
+                    (h as f64 / u64::MAX as f64) as f32 - 0.5
+                })
+                .collect();
+            let wire = roundtrip(&codec, &mut wire_state, &values);
+            let mut applied = values.clone();
+            codec.apply(7, &mut apply_state, &mut applied);
+            let wire_bits: Vec<u32> = wire.iter().map(|v| v.to_bits()).collect();
+            let applied_bits: Vec<u32> = applied.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(wire_bits, applied_bits);
+            assert_eq!(wire_state, apply_state);
+        }
+    }
+
+    #[test]
+    fn chunked_threshold_encoding_matches_the_whole_block() {
+        let codec = codec(5, 0);
+        let values: Vec<f32> = (0..96)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) / 64.0)
+            .collect();
+        let mut whole_state = ResidualState::new();
+        let mut whole = values.clone();
+        codec.apply(2, &mut whole_state, &mut whole);
+        let mut chunk_state = ResidualState::new();
+        let mut chunked = values.clone();
+        for piece in chunked.chunks_mut(32) {
+            codec.apply(2, &mut chunk_state, piece);
+        }
+        assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            chunked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_bad_length_and_disorder() {
+        let codec = codec(8, 0);
+        let mut state = ResidualState::new();
+        let mut frame = Vec::new();
+        codec.encode_append(0, &mut state, &[1.0f32, -1.0, 0.5], &mut frame);
+        let mut out = vec![0.0f32; 3];
+        assert!(decode_frame(&frame[..frame.len() - 1], &mut out).is_err());
+        assert!(decode_frame(&frame, &mut out[..2].to_vec()).is_err());
+        let mut disordered = frame.clone();
+        // Swap the first two pairs' index bytes to break ascending order.
+        disordered.swap(8, 16);
+        assert!(decode_frame(&disordered, &mut out).is_err());
+        assert!(decode_frame(&frame, &mut out).is_ok());
+    }
+
+    #[test]
+    fn fold_frame_streams_the_same_pairs_decode_scatters() {
+        let codec = codec(6, 0);
+        let mut state = ResidualState::new();
+        let values = [0.5f32, -0.25, 0.01, 0.75];
+        let mut frame = Vec::new();
+        codec.encode_append(1, &mut state, &values, &mut frame);
+        let mut dense = vec![0.0f32; 4];
+        decode_frame(&frame, &mut dense).unwrap();
+        let mut folded = vec![0.0f32; 4];
+        let nnz = fold_frame(&frame, 4, |i, v| folded[i] += v).unwrap();
+        assert_eq!(nnz, 3);
+        assert_eq!(dense, folded);
+    }
+}

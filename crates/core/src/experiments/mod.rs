@@ -24,6 +24,7 @@
 //! | study | module |
 //! |---|---|
 //! | error-bound sweep (ratio/accuracy knee) | [`boundsweep`] |
+//! | accuracy-vs-wire-ratio frontier per codec family | [`frontier`] |
 //! | Fig. 1 organizations on an oversubscribed fabric | [`hierarchy`] |
 //! | vs 1-bit SGD / TernGrad / DGC top-k (Sec. IX) | [`related`] |
 //! | 4→1024 topology-tree sweep + in-network reduction | [`toposcale`] |
@@ -31,6 +32,7 @@
 pub mod ablation;
 pub mod boundsweep;
 pub mod breakdown;
+pub mod frontier;
 pub mod gradhist;
 pub mod hierarchy;
 pub mod ratios;

@@ -30,11 +30,14 @@
 
 use std::fmt;
 
-use inceptionn_compress::{BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec};
+use inceptionn_compress::{
+    sketch, sparse, BurstCodec, DecodeError, ErrorBound, InceptionnCodec, ParallelCodec,
+    ResidualState, SketchCodec, SparseCodec, SparseConfig,
+};
 use inceptionn_netsim::{LinkRateSchedule, NetworkConfig, TierMap, Topology};
 use inceptionn_nicsim::{
-    decode_payload_flat, decode_payload_into, encode_payload_flat, FlatPayload, NicConfig,
-    NicPipeline, Packet, SwitchReducer,
+    decode_payload_flat, decode_payload_into, encode_payload_flat, engine, switchagg, FlatPayload,
+    FlatSeg, FlatTrace, NicConfig, NicPipeline, Packet, SketchSwitchUnit, SwitchReducer,
 };
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
@@ -275,15 +278,9 @@ impl WireFrame {
 /// endpoint's frame bodies — the loopback value vector or the packet
 /// vector — are allocated once and reused for every subsequent leg via
 /// [`Fabric::encode_into`].
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct FrameArena {
     free: Vec<Vec<WireFrame>>,
-}
-
-impl Default for FrameArena {
-    fn default() -> Self {
-        FrameArena { free: Vec::new() }
-    }
 }
 
 impl FrameArena {
@@ -544,6 +541,42 @@ pub trait Fabric: Send {
         })
     }
 
+    /// Allocates the gather accumulator the switch-resident strategies
+    /// fold into. The default is a dense `f32` sum (every fabric can
+    /// fold into that); fabrics running the homomorphic sketch codec
+    /// override this to hand back a compressed-domain
+    /// [`SketchSwitchUnit`], so contributions fold without ever
+    /// decompressing.
+    fn switch_accum(&mut self, len: usize) -> SwitchAccum {
+        SwitchAccum::dense(len)
+    }
+
+    /// Folds `frame` into a [`SwitchAccum`] at the switch. The dense
+    /// arm dispatches through [`switch_fold`](Fabric::switch_fold), so
+    /// decorators and test fabrics that override only `switch_fold`
+    /// keep intercepting every dense fold. A sketch accumulator
+    /// reaching a fabric that did not create one is a wiring bug and
+    /// surfaces as a non-recoverable frame mismatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] on integrity/decode failure (partial
+    /// folds stay committed, as with `switch_fold`) or on a sketch
+    /// accumulator this fabric cannot fold into.
+    fn switch_fold_into(
+        &mut self,
+        acc: &mut SwitchAccum,
+        frame: &WireFrame,
+    ) -> Result<(), FabricError> {
+        match acc {
+            SwitchAccum::Dense(values) => self.switch_fold(values, frame),
+            SwitchAccum::Sketch(_) => Err(FabricError::FrameMismatch {
+                fabric: "dense-fold fabric",
+                got: "sketch accumulator",
+            }),
+        }
+    }
+
     /// Totals accumulated so far.
     fn stats(&self) -> FabricStats;
 
@@ -645,6 +678,65 @@ pub trait Fabric: Send {
     }
 }
 
+/// The switch-side gather accumulator of the switch-resident
+/// strategies: either a dense `f32` running sum (the historical fold
+/// target, and what plain-restart recovery always uses so the exact
+/// re-gather never quantizes), or the homomorphic sketch reduce unit
+/// folding compressed frames natively.
+#[derive(Debug)]
+pub enum SwitchAccum {
+    /// Dense `f32` sum; contributions decode (if needed) and add.
+    Dense(Vec<f32>),
+    /// Compressed-domain fixed-point accumulator; contributions fold
+    /// as sketch frames without decompressing.
+    Sketch(SketchSwitchUnit),
+}
+
+impl SwitchAccum {
+    /// A zeroed dense accumulator of `len` lanes.
+    pub fn dense(len: usize) -> Self {
+        SwitchAccum::Dense(vec![0.0; len])
+    }
+
+    /// Gradient lane count.
+    pub fn len(&self) -> usize {
+        match self {
+            SwitchAccum::Dense(v) => v.len(),
+            SwitchAccum::Sketch(u) => u.len(),
+        }
+    }
+
+    /// Whether the accumulator has zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears the accumulated sum (codec configuration survives).
+    pub fn reset(&mut self) {
+        match self {
+            SwitchAccum::Dense(v) => v.fill(0.0),
+            SwitchAccum::Sketch(u) => u.reset(),
+        }
+    }
+
+    /// Materializes the folded sum into `out` — for the sketch arm,
+    /// the one decompression of the whole gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` disagrees with the accumulator's lane
+    /// count (a collective-layer bug).
+    pub fn finish_into(&self, out: &mut [f32]) {
+        match self {
+            SwitchAccum::Dense(v) => {
+                assert_eq!(out.len(), v.len(), "finish buffer lane mismatch");
+                out.copy_from_slice(v);
+            }
+            SwitchAccum::Sketch(u) => u.finish_into(out),
+        }
+    }
+}
+
 fn count_payload(stats: &mut FabricStats, values: &[f32], wire_bytes: u64, packets: u64) {
     stats.transfers += 1;
     stats.payload_bytes += (values.len() * 4) as u64;
@@ -705,10 +797,17 @@ fn record_transfer(
     ));
 }
 
-/// Which software codec implementation the in-process shortcut runs its
-/// quantization round trip on. All three codecs are elementwise
-/// bit-identical (pinned by the differential tests), so the selection
-/// changes speed and threading, never values.
+/// The gradient codec a fabric runs on the wire.
+///
+/// The first family (`Scalar`/`Burst`/`Parallel`) is the INCEPTIONN
+/// FP-truncation *quantizer* — three implementations of one elementwise
+/// transform, bit-identical to each other (pinned by the differential
+/// tests), so that selection changes speed and threading, never values.
+/// `Sparse` and `Sketch` are different *compression families* with
+/// their own wire layouts and semantics (see
+/// `inceptionn_compress::{sparse, sketch}` and DESIGN.md "Compression
+/// families"); they are not quantizers, and [`bound()`](Self::bound)
+/// deliberately reports no error bound for them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CodecSelection {
     /// Lossless: no codec in the loop.
@@ -726,7 +825,35 @@ pub enum CodecSelection {
         /// Shard count (`0` = host parallelism).
         shards: usize,
     },
+    /// Error-feedback sparsification: entries whose residual-corrected
+    /// magnitude exceeds `2^-e` travel as exact `(index, f32)` pairs;
+    /// everything withheld accumulates in a per-endpoint residual and
+    /// drains on later iterations.
+    Sparse {
+        /// Transmit threshold `2^-e` on the residual-corrected
+        /// magnitude.
+        bound: ErrorBound,
+        /// Optional top-k cap in per-mille of the block length
+        /// (`0` = threshold only). Ties break by a seeded
+        /// rank-keyed hash, so replay is byte-identical.
+        top_per_mille: u16,
+    },
+    /// Lossless homomorphic count-sketch codec: frames add in the
+    /// compressed domain, so the switch-resident reduce unit folds
+    /// sketches natively without decompressing.
+    Sketch {
+        /// Fixed-point grid precision: values quantize to multiples of
+        /// `2^-frac_bits` (the only lossy step; the frame itself is
+        /// lossless).
+        frac_bits: u8,
+    },
 }
+
+/// Seed for the deterministic hash draws of the sparse tie-break and
+/// the sketch cell hashes. A fixed crate-level constant: replay
+/// determinism requires every run to agree on it, and worker rank is
+/// mixed in per draw so workers still decorrelate.
+pub const WIRE_CODEC_SEED: u64 = 0x1CEE_D5EE_D0DE_C0DE;
 
 impl CodecSelection {
     /// The historical `Option<ErrorBound>` spelling: `Some` maps to the
@@ -742,12 +869,19 @@ impl CodecSelection {
         }
     }
 
-    /// The error bound in effect, if any codec is selected.
+    /// The quantization error bound in effect, if the selection is a
+    /// member of the quantizer family. `Sparse` and `Sketch` are not
+    /// quantizers — their loss is omission resp. grid rounding, neither
+    /// of which the engine's per-value error bound describes — so they
+    /// report `None` here just like the lossless selection. Callers
+    /// that mean "is anything transforming the gradient?" must ask
+    /// [`is_none()`](Self::is_none), not this.
     pub fn bound(self) -> Option<ErrorBound> {
         match self {
             CodecSelection::None => None,
             CodecSelection::Scalar(b) | CodecSelection::Burst(b) => Some(b),
             CodecSelection::Parallel { bound, .. } => Some(bound),
+            CodecSelection::Sparse { .. } | CodecSelection::Sketch { .. } => None,
         }
     }
 
@@ -758,16 +892,26 @@ impl CodecSelection {
 }
 
 /// The instantiated codec behind a [`CodecSelection`].
+///
+/// The quantizer family is stateless; the sparse family carries one
+/// [`ResidualState`] per endpoint (error feedback is per-worker by
+/// definition), which is why every entry point takes the source
+/// endpoint and `&mut self`.
 #[derive(Debug, Clone)]
 enum Quantizer {
     Off,
     Scalar(InceptionnCodec),
     Burst(BurstCodec),
     Parallel(ParallelCodec),
+    Sparse {
+        codec: SparseCodec,
+        states: Vec<ResidualState>,
+    },
+    Sketch(SketchCodec),
 }
 
 impl Quantizer {
-    fn new(selection: CodecSelection) -> Self {
+    fn new(selection: CodecSelection, endpoints: usize) -> Self {
         match selection {
             CodecSelection::None => Quantizer::Off,
             CodecSelection::Scalar(b) => Quantizer::Scalar(InceptionnCodec::new(b)),
@@ -778,6 +922,20 @@ impl Quantizer {
             CodecSelection::Parallel { bound, shards } => {
                 Quantizer::Parallel(ParallelCodec::new(bound, shards))
             }
+            CodecSelection::Sparse {
+                bound,
+                top_per_mille,
+            } => Quantizer::Sparse {
+                codec: SparseCodec::new(SparseConfig {
+                    bound,
+                    top_per_mille,
+                    seed: WIRE_CODEC_SEED,
+                }),
+                states: vec![ResidualState::new(); endpoints],
+            },
+            CodecSelection::Sketch { frac_bits } => {
+                Quantizer::Sketch(SketchCodec::new(frac_bits, WIRE_CODEC_SEED))
+            }
         }
     }
 
@@ -785,27 +943,54 @@ impl Quantizer {
         !matches!(self, Quantizer::Off)
     }
 
-    fn quantize(&self, values: &[f32]) -> Vec<f32> {
+    /// Rewinds per-endpoint leg cursors at an iteration boundary so
+    /// this iteration's encode legs line up with last iteration's
+    /// residual slots. Stateless codecs ignore it.
+    fn begin_iteration(&mut self) {
+        if let Quantizer::Sparse { states, .. } = self {
+            for s in states.iter_mut() {
+                s.begin_iteration();
+            }
+        }
+    }
+
+    fn quantize(&mut self, src: usize, values: &[f32]) -> Vec<f32> {
+        // One-shot API: a single output copy, then the same in-place
+        // round trip the zero-copy encode path runs.
+        let mut out = values.to_vec();
+        self.quantize_inplace(src, &mut out);
+        out
+    }
+
+    /// Untraced in-place round trip (the stat-free entry points).
+    fn quantize_inplace(&mut self, src: usize, values: &mut [f32]) {
         match self {
-            Quantizer::Off => values.to_vec(),
-            Quantizer::Scalar(c) => c.quantize(values),
-            Quantizer::Burst(c) => c.quantize(values),
-            Quantizer::Parallel(c) => c.quantize(values),
+            Quantizer::Off => {}
+            Quantizer::Scalar(c) => {
+                let q = c.quantize(values);
+                values.copy_from_slice(&q);
+            }
+            Quantizer::Burst(c) => c.quantize_inplace(values),
+            Quantizer::Parallel(c) => c.quantize_inplace(values),
+            Quantizer::Sparse { codec, states } => {
+                codec.apply(src as u64, &mut states[src], values);
+            }
+            Quantizer::Sketch(c) => c.quantize_inplace(values),
         }
     }
 
     /// Like `quantize`, recording shard counters when the codec has
     /// them (only the sharded fast path is instrumented).
-    fn quantize_traced(&self, values: &[f32], buf: &mut EventBuf) -> Vec<f32> {
+    fn quantize_traced(&mut self, src: usize, values: &[f32], buf: &mut EventBuf) -> Vec<f32> {
         match self {
             Quantizer::Parallel(c) => c.quantize_traced(values, buf),
-            other => other.quantize(values),
+            other => other.quantize(src, values),
         }
     }
 
     /// In-place round trip for the zero-copy encode path — identical
     /// values to [`Quantizer::quantize_traced`] on every codec.
-    fn quantize_inplace_traced(&self, values: &mut [f32], buf: &mut EventBuf) {
+    fn quantize_inplace_traced(&mut self, src: usize, values: &mut [f32], buf: &mut EventBuf) {
         match self {
             Quantizer::Off => {}
             Quantizer::Scalar(c) => {
@@ -814,6 +999,10 @@ impl Quantizer {
             }
             Quantizer::Burst(c) => c.quantize_inplace(values),
             Quantizer::Parallel(c) => c.quantize_inplace_traced(values, buf),
+            Quantizer::Sparse { codec, states } => {
+                codec.apply(src as u64, &mut states[src], values);
+            }
+            Quantizer::Sketch(c) => c.quantize_inplace(values),
         }
     }
 }
@@ -835,7 +1024,7 @@ impl InProcessFabric {
     pub(crate) fn assemble(endpoints: usize, codec: CodecSelection, recorder: &Recorder) -> Self {
         InProcessFabric {
             endpoints,
-            codec: Quantizer::new(codec),
+            codec: Quantizer::new(codec, endpoints),
             stats: FabricStats::default(),
             buf: recorder.buffer(),
             seq: 0,
@@ -872,7 +1061,8 @@ impl Fabric for InProcessFabric {
         out.clear();
         out.extend_from_slice(values);
         if compressed {
-            self.codec.quantize_inplace_traced(&mut out, &mut self.buf);
+            self.codec
+                .quantize_inplace_traced(src, &mut out, &mut self.buf);
         }
         count_payload(
             &mut self.stats,
@@ -950,19 +1140,19 @@ impl Fabric for InProcessFabric {
             values.len().div_ceil(VALUES_PER_PACKET) as u64,
         );
         if kind == PayloadKind::Gradient && self.codec.is_on() {
-            sink(&self.codec.quantize_traced(values, &mut self.buf));
+            sink(&self.codec.quantize_traced(src, values, &mut self.buf));
         } else {
             sink(values);
         }
         Ok(())
     }
 
-    fn self_roundtrip(
-        &mut self,
-        _endpoint: usize,
-        values: &[f32],
-    ) -> Result<Vec<f32>, FabricError> {
-        Ok(self.codec.quantize(values))
+    fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
+        // Stat-free, but NOT state-free: a sparse self round trip is a
+        // real encode leg and advances the endpoint's residual exactly
+        // like a wire transfer would — that is what keeps a leader's
+        // kept block bit-identical to the block its peers received.
+        Ok(self.codec.quantize(endpoint, values))
     }
 
     fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
@@ -989,6 +1179,55 @@ impl Fabric for InProcessFabric {
         }
     }
 
+    fn switch_accum(&mut self, len: usize) -> SwitchAccum {
+        match &self.codec {
+            Quantizer::Sketch(c) => SwitchAccum::Sketch(SketchSwitchUnit::new(len, c.frac_bits())),
+            _ => SwitchAccum::dense(len),
+        }
+    }
+
+    fn switch_fold_into(
+        &mut self,
+        acc: &mut SwitchAccum,
+        frame: &WireFrame,
+    ) -> Result<(), FabricError> {
+        match acc {
+            SwitchAccum::Dense(values) => self.switch_fold(values, frame),
+            SwitchAccum::Sketch(unit) => {
+                if !frame.integrity_ok() {
+                    return Err(FabricError::Integrity { src: frame.src() });
+                }
+                match frame.body() {
+                    // Loopback gradient values already round-tripped
+                    // onto the codec grid, so the unit's exact
+                    // re-quantization reproduces the wire frame's
+                    // counts and the fold stays bit-identical with the
+                    // NIC fabric's native frame fold.
+                    FrameBody::Loopback(values) if frame.is_compressed() => {
+                        unit.fold_values(values);
+                        Ok(())
+                    }
+                    FrameBody::Loopback(_) => Err(FabricError::FrameMismatch {
+                        fabric: "sketch switch unit",
+                        got: "plain loopback",
+                    }),
+                    FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
+                        fabric: "loopback",
+                        got: "packet",
+                    }),
+                    FrameBody::Flat(_) => Err(FabricError::FrameMismatch {
+                        fabric: "loopback",
+                        got: "flat",
+                    }),
+                }
+            }
+        }
+    }
+
+    fn begin_iteration(&mut self, _iteration: u64) {
+        self.codec.begin_iteration();
+    }
+
     fn flush_obs(&mut self) {
         self.buf.flush();
     }
@@ -1004,7 +1243,7 @@ impl Fabric for InProcessFabric {
 #[derive(Debug, Clone)]
 pub struct NicFabric {
     nics: Vec<NicPipeline>,
-    compression: Option<ErrorBound>,
+    family: NicCodec,
     stats: FabricStats,
     buf: EventBuf,
     /// Reused receive-side value buffer: `deliver` reassembles into it
@@ -1021,19 +1260,91 @@ pub struct NicFabric {
     seq: u64,
 }
 
+/// The wire codec family a [`NicFabric`] runs, resolved from the
+/// [`CodecSelection`].
+///
+/// The truncation engines are hardware: within the quantizer family
+/// only the error bound is programmable (the software implementation
+/// choice is meaningless on the NIC), so all three quantizer
+/// selections collapse to `Engine(Some(bound))`. The sparse and sketch
+/// families are separate offload engines with their own frame formats
+/// and cycle models (`inceptionn_nicsim::engine`).
+#[derive(Debug, Clone)]
+enum NicCodec {
+    /// The INCEPTIONN truncation engine (or plain traffic when
+    /// `None`): MTU-chunked engine bursts.
+    Engine(Option<ErrorBound>),
+    /// The sparsifier engine: per-endpoint error-feedback state, exact
+    /// `(index, value)` pair frames.
+    Sparse {
+        codec: SparseCodec,
+        states: Vec<ResidualState>,
+    },
+    /// The homomorphic sketch engine: fixed-point self-describing
+    /// frames the switch folds without decompressing.
+    Sketch(SketchCodec),
+}
+
+/// `f32` values per MTU packet expressed in payload bytes — the
+/// segment ceiling for codec-framed byte payloads.
+const MTU_PAYLOAD_BYTES: usize = VALUES_PER_PACKET * 4;
+
+/// Cuts a codec-framed byte payload (already appended to
+/// `wire.bytes`) into MTU segments. The frame's bytes stay contiguous;
+/// segment 0 carries the block's value count and later segments carry
+/// 0, so [`FlatPayload::value_count`] still reports the block length.
+/// Every segment is marked compressed, so the fault machinery's
+/// poison/truncation paths hit these frames like any other compressed
+/// traffic.
+fn segment_codec_frame(wire: &mut FlatPayload, values: usize) {
+    let total = wire.bytes.len();
+    let mut off = 0usize;
+    loop {
+        let seg = (total - off).min(MTU_PAYLOAD_BYTES);
+        wire.segs.push(FlatSeg {
+            wire_bytes: seg as u32,
+            value_count: if off == 0 { values as u32 } else { 0 },
+            compressed: true,
+        });
+        off += seg;
+        if off >= total {
+            break;
+        }
+    }
+}
+
 impl NicFabric {
-    /// The real constructor, reached through [`FabricBuilder`]. The
-    /// engines are hardware: only the error bound of a selection is
-    /// programmable, the implementation choice is meaningless here.
+    /// The real constructor, reached through [`FabricBuilder`].
     pub(crate) fn assemble(endpoints: usize, codec: CodecSelection, recorder: &Recorder) -> Self {
-        let compression = codec.bound();
+        let family = match codec {
+            CodecSelection::None => NicCodec::Engine(None),
+            CodecSelection::Scalar(b) | CodecSelection::Burst(b) => NicCodec::Engine(Some(b)),
+            CodecSelection::Parallel { bound, .. } => NicCodec::Engine(Some(bound)),
+            CodecSelection::Sparse {
+                bound,
+                top_per_mille,
+            } => NicCodec::Sparse {
+                codec: SparseCodec::new(SparseConfig {
+                    bound,
+                    top_per_mille,
+                    seed: WIRE_CODEC_SEED,
+                }),
+                states: vec![ResidualState::new(); endpoints],
+            },
+            CodecSelection::Sketch { frac_bits } => {
+                NicCodec::Sketch(SketchCodec::new(frac_bits, WIRE_CODEC_SEED))
+            }
+        };
         let cfg = NicConfig {
-            bound: compression.unwrap_or_default(),
+            bound: match &family {
+                NicCodec::Engine(Some(b)) => *b,
+                _ => ErrorBound::default(),
+            },
             ..NicConfig::default()
         };
         NicFabric {
             nics: (0..endpoints).map(|_| NicPipeline::new(cfg)).collect(),
-            compression,
+            family,
             stats: FabricStats::default(),
             buf: recorder.buffer(),
             scratch: Vec::new(),
@@ -1046,6 +1357,21 @@ impl NicFabric {
     /// Per-endpoint NIC statistics (packet and byte counters).
     pub fn nic_stats(&self, endpoint: usize) -> &inceptionn_nicsim::nic::NicStats {
         self.nics[endpoint].stats()
+    }
+
+    /// The truncation-engine bound, when this fabric runs the engine
+    /// family (the reduce-unit and packet paths only exist there).
+    fn engine_bound(&self) -> Option<ErrorBound> {
+        match &self.family {
+            NicCodec::Engine(b) => *b,
+            NicCodec::Sparse { .. } | NicCodec::Sketch(_) => None,
+        }
+    }
+
+    /// Whether gradient frames on this fabric are single codec-framed
+    /// byte payloads (sparse/sketch) rather than engine-burst segments.
+    fn codec_frame_family(&self) -> bool {
+        matches!(self.family, NicCodec::Sparse { .. } | NicCodec::Sketch(_))
     }
 }
 
@@ -1067,7 +1393,6 @@ impl Fabric for NicFabric {
         kind: PayloadKind,
         frame: &mut WireFrame,
     ) {
-        let compressible = self.compression.is_some() && kind == PayloadKind::Gradient;
         let bursts_before = self.nics[src].stats().tx_bursts;
         // Reuse the frame's flat wire buffer across legs; the datapath
         // appends its engine output straight into it, so a recycled
@@ -1076,7 +1401,49 @@ impl Fabric for NicFabric {
             FrameBody::Flat(p) => p,
             FrameBody::Loopback(_) | FrameBody::Packets(_) => FlatPayload::new(),
         };
-        let trace = encode_payload_flat(&mut self.nics[src], values, compressible, &mut wire);
+        let trace = match &mut self.family {
+            NicCodec::Engine(bound) => {
+                let compressible = bound.is_some() && kind == PayloadKind::Gradient;
+                encode_payload_flat(&mut self.nics[src], values, compressible, &mut wire)
+            }
+            NicCodec::Sparse { codec, states } if kind == PayloadKind::Gradient => {
+                // The sparsifier engine emits one self-describing frame
+                // (its bytes MTU-segmented below) and advances the
+                // endpoint's error-feedback residual.
+                wire.clear();
+                let appended =
+                    codec.encode_append(src as u64, &mut states[src], values, &mut wire.bytes);
+                segment_codec_frame(&mut wire, values.len());
+                let pairs =
+                    appended.saturating_sub(sparse::FRAME_HEADER_BYTES) / sparse::PAIR_BYTES;
+                let cycles = engine::sparse_encode_cycles(values.len(), pairs);
+                FlatTrace {
+                    payload_bytes_in: (values.len() * 4) as u64,
+                    wire_payload_bytes: appended as u64,
+                    packets: wire.segs.len() as u64,
+                    nic_latency_ns: cycles * engine::NS_PER_CYCLE,
+                    engine_cycles: cycles,
+                }
+            }
+            NicCodec::Sketch(codec) if kind == PayloadKind::Gradient => {
+                wire.clear();
+                let appended = codec.encode_append(values, &mut wire.bytes);
+                segment_codec_frame(&mut wire, values.len());
+                let cycles = engine::sketch_encode_cycles(values.len(), appended);
+                FlatTrace {
+                    payload_bytes_in: (values.len() * 4) as u64,
+                    wire_payload_bytes: appended as u64,
+                    packets: wire.segs.len() as u64,
+                    nic_latency_ns: cycles * engine::NS_PER_CYCLE,
+                    engine_cycles: cycles,
+                }
+            }
+            // Non-gradient traffic of the sparse/sketch families ships
+            // plain through the standard datapath.
+            NicCodec::Sparse { .. } | NicCodec::Sketch(_) => {
+                encode_payload_flat(&mut self.nics[src], values, false, &mut wire)
+            }
+        };
         count_payload(
             &mut self.stats,
             values,
@@ -1179,6 +1546,54 @@ impl Fabric for NicFabric {
                 self.scratch = values;
                 Ok(())
             }
+            FrameBody::Flat(payload) if frame.is_compressed() && self.codec_frame_family() => {
+                // Sparse/sketch gradient frames: one self-describing
+                // byte frame, contiguous across the MTU segments, with
+                // the codec's own decoder and cycle model. Truncation
+                // (the poison fault) fails the frame-length checks and
+                // surfaces as a typed decode error.
+                let n = payload.value_count();
+                let mut values = std::mem::take(&mut self.scratch);
+                values.clear();
+                values.resize(n, 0.0);
+                let cycles = match &self.family {
+                    NicCodec::Sparse { .. } => {
+                        if let Err(e) = sparse::decode_frame(&payload.bytes, &mut values) {
+                            self.scratch = values;
+                            return Err(e.into());
+                        }
+                        let pairs = payload
+                            .bytes
+                            .len()
+                            .saturating_sub(sparse::FRAME_HEADER_BYTES)
+                            / sparse::PAIR_BYTES;
+                        engine::sparse_decode_cycles(n, pairs)
+                    }
+                    _ => {
+                        if let Err(e) = sketch::decode_frame(&payload.bytes, &mut values) {
+                            self.scratch = values;
+                            return Err(e.into());
+                        }
+                        engine::sketch_decode_cycles(n, payload.bytes.len())
+                    }
+                };
+                self.stats.engine_cycles += cycles;
+                if self.buf.is_on() {
+                    let track = dst as u32;
+                    self.buf.push(Event::complete(
+                        labels::NIC_DECOMPRESS,
+                        Domain::Cycles,
+                        track,
+                        payload.segs.len() as u32,
+                        self.clock[dst],
+                        cycles,
+                    ));
+                    self.clock[dst] += cycles;
+                }
+                sink(&values);
+                self.scratch = values;
+                Ok(())
+            }
             FrameBody::Flat(payload) => {
                 let bursts_before = self.nics[dst].stats().rx_bursts;
                 let mut values = std::mem::take(&mut self.scratch);
@@ -1227,19 +1642,24 @@ impl Fabric for NicFabric {
         self.stats
     }
 
-    fn self_roundtrip(
-        &mut self,
-        _endpoint: usize,
-        values: &[f32],
-    ) -> Result<Vec<f32>, FabricError> {
+    fn self_roundtrip(&mut self, endpoint: usize, values: &[f32]) -> Result<Vec<f32>, FabricError> {
         // Per-packet hardware compression composes to exactly the
         // whole-stream software quantization (pinned by the cross-fabric
         // tests), so a local round trip needs no engine time, packets,
-        // or wire accounting.
-        Ok(match self.compression {
-            Some(bound) => ParallelCodec::with_host_parallelism(bound).quantize(values),
-            None => values.to_vec(),
-        })
+        // or wire accounting. The sparse family is stat-free but not
+        // state-free: the round trip is a real encode leg and advances
+        // the endpoint's residual like a wire transfer would.
+        if let NicCodec::Engine(Some(bound)) = &self.family {
+            return Ok(ParallelCodec::with_host_parallelism(*bound).quantize(values));
+        }
+        if let NicCodec::Sketch(c) = &self.family {
+            return Ok(c.quantize(values));
+        }
+        let mut out = values.to_vec();
+        if let NicCodec::Sparse { codec, states } = &mut self.family {
+            codec.apply(endpoint as u64, &mut states[endpoint], &mut out);
+        }
+        Ok(out)
     }
 
     fn switch_fold(&mut self, acc: &mut [f32], frame: &WireFrame) -> Result<(), FabricError> {
@@ -1256,7 +1676,7 @@ impl Fabric for NicFabric {
                 // contribution; its cycles belong to the switch, not to
                 // any endpoint's NIC engines, so they are observable as
                 // `switch/reduce` spans rather than engine-cycle stats.
-                let mut unit = match self.compression {
+                let mut unit = match self.engine_bound() {
                     Some(bound) => SwitchReducer::with_codec(acc.len(), bound),
                     None => SwitchReducer::plain(acc.len()),
                 };
@@ -1290,8 +1710,54 @@ impl Fabric for NicFabric {
                 }
                 Ok(())
             }
+            FrameBody::Flat(payload) if payload.is_compressed() && self.codec_frame_family() => {
+                // Codec-framed contributions skip the engine reduce unit:
+                // the switch folds the frame bytes natively. Sparse frames
+                // are streamed pair-adds into the dense accumulator (only
+                // the nnz pairs cost lanes); sketch frames fold through a
+                // one-shot sketch unit, since this legacy dense-`acc` entry
+                // point cannot hold integer cells across contributions —
+                // the `switch_accum`/`switch_fold_into` seam does.
+                let wire = payload.wire_bytes();
+                let cycles = if let NicCodec::Sketch(c) = &self.family {
+                    let mut unit = SketchSwitchUnit::new(acc.len(), c.frac_bits());
+                    unit.fold_frame(&payload.bytes)?;
+                    let mut tmp = vec![0.0f32; acc.len()];
+                    unit.finish_into(&mut tmp);
+                    for (a, v) in acc.iter_mut().zip(tmp) {
+                        *a += v;
+                    }
+                    unit.cycles()
+                } else {
+                    let nnz = sparse::fold_frame(&payload.bytes, acc.len(), |i, v| acc[i] += v)?;
+                    switchagg::sparse_fold_cycles(nnz as u64)
+                };
+                if self.buf.is_on() {
+                    let track = frame.src() as u32;
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::SWITCH_REDUCE,
+                            Domain::Cycles,
+                            track,
+                            payload.segs.len() as u32,
+                            self.switch_clock,
+                            cycles,
+                        ));
+                    }
+                    self.buf.push(Event::count(
+                        labels::SWITCH_REDUCE_BYTES,
+                        Domain::Cycles,
+                        track,
+                        0,
+                        self.switch_clock,
+                        wire,
+                    ));
+                    self.switch_clock += cycles;
+                }
+                Ok(())
+            }
             FrameBody::Flat(payload) => {
-                let mut unit = match self.compression {
+                let mut unit = match self.engine_bound() {
                     Some(bound) => SwitchReducer::with_codec(acc.len(), bound),
                     None => SwitchReducer::plain(acc.len()),
                 };
@@ -1324,6 +1790,82 @@ impl Fabric for NicFabric {
                     self.switch_clock += cycles;
                 }
                 Ok(())
+            }
+        }
+    }
+
+    fn switch_accum(&mut self, len: usize) -> SwitchAccum {
+        match &self.family {
+            NicCodec::Sketch(c) => SwitchAccum::Sketch(SketchSwitchUnit::new(len, c.frac_bits())),
+            _ => SwitchAccum::dense(len),
+        }
+    }
+
+    fn switch_fold_into(
+        &mut self,
+        acc: &mut SwitchAccum,
+        frame: &WireFrame,
+    ) -> Result<(), FabricError> {
+        let unit = match acc {
+            SwitchAccum::Dense(values) => return self.switch_fold(values, frame),
+            SwitchAccum::Sketch(unit) => unit,
+        };
+        if !frame.integrity_ok() {
+            return Err(FabricError::Integrity { src: frame.src() });
+        }
+        match frame.body() {
+            FrameBody::Flat(payload) if frame.is_compressed() && payload.is_compressed() => {
+                // Native in-network sketch fold: the switch adds integer
+                // cells straight off the frame bytes, never widening to
+                // f32. The cycle delta the unit reports is switch time,
+                // observable under the same `switch/reduce` labels as the
+                // engine reduce unit.
+                let before = unit.cycles();
+                unit.fold_frame(&payload.bytes)?;
+                let cycles = unit.cycles() - before;
+                if self.buf.is_on() {
+                    let track = frame.src() as u32;
+                    if cycles > 0 {
+                        self.buf.push(Event::complete(
+                            labels::SWITCH_REDUCE,
+                            Domain::Cycles,
+                            track,
+                            payload.segs.len() as u32,
+                            self.switch_clock,
+                            cycles,
+                        ));
+                    }
+                    self.buf.push(Event::count(
+                        labels::SWITCH_REDUCE_BYTES,
+                        Domain::Cycles,
+                        track,
+                        0,
+                        self.switch_clock,
+                        payload.wire_bytes(),
+                    ));
+                    self.switch_clock += cycles;
+                }
+                Ok(())
+            }
+            FrameBody::Flat(_) => Err(FabricError::FrameMismatch {
+                fabric: "sketch switch unit",
+                got: "plain flat frame",
+            }),
+            FrameBody::Packets(_) => Err(FabricError::FrameMismatch {
+                fabric: "sketch switch unit",
+                got: "packets",
+            }),
+            FrameBody::Loopback(_) => Err(FabricError::FrameMismatch {
+                fabric: "NIC",
+                got: "loopback",
+            }),
+        }
+    }
+
+    fn begin_iteration(&mut self, _iteration: u64) {
+        if let NicCodec::Sparse { states, .. } = &mut self.family {
+            for s in states.iter_mut() {
+                s.begin_iteration();
             }
         }
     }
@@ -1563,6 +2105,18 @@ impl Fabric for TimedFabric {
         // The reduce unit spends switch cycles, not link time; timing of
         // the contribution leg was already charged by `charge_to_switch`.
         self.inner.switch_fold(acc, frame)
+    }
+
+    fn switch_accum(&mut self, len: usize) -> SwitchAccum {
+        self.inner.switch_accum(len)
+    }
+
+    fn switch_fold_into(
+        &mut self,
+        acc: &mut SwitchAccum,
+        frame: &WireFrame,
+    ) -> Result<(), FabricError> {
+        self.inner.switch_fold_into(acc, frame)
     }
 
     fn flush_obs(&mut self) {
@@ -1984,6 +2538,87 @@ mod tests {
             Some(&vals[..]),
             "the bound must actually quantize"
         );
+    }
+
+    #[test]
+    fn sparse_and_sketch_codecs_are_transport_invariant() {
+        // The compression families must deliver the same bits whether
+        // the wire is the in-process shortcut or the modeled NIC path:
+        // the shortcut's in-place apply, the NIC's encode/decode frame
+        // trip, and the timed wrappers all agree per codec. Two
+        // back-to-back transfers double as a residual-state check — the
+        // second sparse frame depends on what the first one banked.
+        let vals = gradients(4000, 21);
+        let codecs = [
+            CodecSelection::Sparse {
+                bound: ErrorBound::pow2(6),
+                top_per_mille: 0,
+            },
+            CodecSelection::Sparse {
+                bound: ErrorBound::pow2(8),
+                top_per_mille: 50,
+            },
+            CodecSelection::Sketch { frac_bits: 10 },
+        ];
+        for sel in codecs {
+            let mut reference: Option<[Vec<f32>; 2]> = None;
+            for kind in TransportKind::ALL {
+                let mut fabric = FabricBuilder::new(2).transport(kind).codec(sel).build();
+                fabric.begin_iteration(0);
+                let first = fabric.transfer(0, 1, &vals).unwrap();
+                fabric.begin_iteration(1);
+                let second = fabric.transfer(0, 1, &vals).unwrap();
+                match &reference {
+                    None => {
+                        assert_ne!(first, vals, "{sel:?} must be lossy on this input");
+                        reference = Some([first, second]);
+                    }
+                    Some([f, s]) => {
+                        assert_eq!(&first, f, "{sel:?} first transfer diverged on {kind:?}");
+                        assert_eq!(&second, s, "{sel:?} second transfer diverged on {kind:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_self_roundtrip_advances_the_residual_like_a_transfer() {
+        // A sparse self round trip is stat-free but not state-free: it
+        // must consume an encode leg exactly as a wire transfer would,
+        // so a leader that keeps its own block stays bit-identical to
+        // peers that received it through the fabric.
+        let vals = gradients(2000, 22);
+        let sel = CodecSelection::Sparse {
+            bound: ErrorBound::pow2(6),
+            top_per_mille: 0,
+        };
+        for kind in TransportKind::ALL {
+            // The leg cursor rewinds each iteration, so the second
+            // iteration's encode reuses leg 0 and sees what the first
+            // one banked there.
+            let mut wired = FabricBuilder::new(2).transport(kind).codec(sel).build();
+            wired.begin_iteration(0);
+            let w1 = wired.transfer(0, 0, &vals).unwrap();
+            wired.begin_iteration(1);
+            let w2 = wired.transfer(0, 0, &vals).unwrap();
+            let mut local = FabricBuilder::new(2).transport(kind).codec(sel).build();
+            local.begin_iteration(0);
+            let l1 = local.self_roundtrip(0, &vals).unwrap();
+            local.begin_iteration(1);
+            let l2 = local.self_roundtrip(0, &vals).unwrap();
+            assert_eq!(l1, w1, "{kind:?} first self round trip diverged");
+            assert_eq!(
+                l2, w2,
+                "{kind:?} second self round trip must see the banked residual"
+            );
+            assert_ne!(l1, l2, "error feedback must change the second leg");
+            assert_eq!(
+                local.stats(),
+                FabricStats::default(),
+                "{kind:?} self round trip must not count wire traffic"
+            );
+        }
     }
 
     #[test]

@@ -35,7 +35,9 @@ use inceptionn_compress::DecodeError;
 use inceptionn_netsim::{LinkRateSchedule, RateWindow};
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
-use crate::fabric::{Fabric, FabricError, FabricStats, FrameBody, PayloadKind, WireFrame};
+use crate::fabric::{
+    Fabric, FabricError, FabricStats, FrameBody, PayloadKind, SwitchAccum, WireFrame,
+};
 
 /// Consecutive recoverable delivery failures from one sender before an
 /// exchange strategy renegotiates that leg down to the uncompressed
@@ -676,6 +678,25 @@ impl Fabric for FaultyFabric {
             }
         }
         self.inner.switch_fold(acc, frame)
+    }
+
+    fn switch_accum(&mut self, len: usize) -> SwitchAccum {
+        self.inner.switch_accum(len)
+    }
+
+    fn switch_fold_into(
+        &mut self,
+        acc: &mut SwitchAccum,
+        frame: &WireFrame,
+    ) -> Result<(), FabricError> {
+        // Same contract as `switch_fold`: a crashed endpoint offers no
+        // contribution, whatever shape the accumulator takes.
+        if let Some(ep) = self.crashed_endpoint() {
+            if ep == frame.src() {
+                return Err(FabricError::EndpointDown { endpoint: ep });
+            }
+        }
+        self.inner.switch_fold_into(acc, frame)
     }
 
     fn flush_obs(&mut self) {

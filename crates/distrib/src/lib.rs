@@ -70,7 +70,8 @@ pub mod trainer;
 pub use aggregator::{worker_aggregator_allreduce, worker_aggregator_allreduce_over};
 pub use fabric::{
     CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, FrameArena, FrameBody,
-    InProcessFabric, NicFabric, PayloadKind, TimedFabric, TransportKind, WireFrame,
+    InProcessFabric, NicFabric, PayloadKind, SwitchAccum, TimedFabric, TransportKind, WireFrame,
+    WIRE_CODEC_SEED,
 };
 pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
 pub use pipeline::{

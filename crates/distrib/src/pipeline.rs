@@ -40,7 +40,7 @@ use std::ops::Range;
 
 use inceptionn_netsim::Topology;
 
-use crate::fabric::{Fabric, FabricError, FrameArena, PayloadKind, WireFrame};
+use crate::fabric::{Fabric, FabricError, FrameArena, PayloadKind, SwitchAccum, WireFrame};
 use crate::faults::RENEGOTIATE_AFTER;
 use crate::ring::{apply_block, block_range};
 
@@ -768,16 +768,20 @@ pub fn pipelined_switch_allreduce_over_with(
     sum.resize(len, 0.0);
     let mut inflight = std::mem::take(&mut scratch.gather_inflight);
     for r in chunk_ranges(0..len, cfg.chunk_values) {
+        // The fabric picks the accumulator shape per chunk (dense lanes,
+        // or the sketch unit folding compressed frames natively); the
+        // plain restart always re-gathers into a fresh dense accumulator
+        // so the exact path never touches a codec.
+        let mut accum = fabric.switch_accum(r.len());
         let mut plain_restart = false;
         'gather: loop {
-            let acc = &mut sum[r.clone()];
             if plain_restart {
-                acc.fill(0.0);
+                accum = SwitchAccum::dense(r.len());
             }
             inflight.clear();
             let mut fold =
                 |fabric: &mut dyn Fabric, arena: &mut FrameArena, frame: WireFrame, k: usize| {
-                    let outcome = fabric.switch_fold(acc, &frame);
+                    let outcome = fabric.switch_fold_into(&mut accum, &frame);
                     arena.recycle(endpoints[k], frame);
                     outcome.map_err(|e| (e, k))
                 };
@@ -824,6 +828,7 @@ pub fn pipelined_switch_allreduce_over_with(
                 Some((e, _)) => return Err(e),
             }
         }
+        accum.finish_into(&mut sum[r.clone()]);
     }
     scratch.gather_inflight = inflight;
     for (k, w) in workers.iter_mut().enumerate() {

@@ -13,7 +13,7 @@
 //! mode a drop-in substitution rather than a numerically different
 //! algorithm.
 
-use crate::fabric::{CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind};
+use crate::fabric::{CodecSelection, Fabric, FabricBuilder, FabricError, PayloadKind, SwitchAccum};
 
 /// In-place all-reduce through a switch-resident reduce unit:
 /// `endpoints[k]` is worker `k`'s NIC. Gather: each worker's gradient is
@@ -59,7 +59,10 @@ pub fn switch_allreduce_over(
         fabric.endpoints()
     );
 
-    let mut sum = vec![0.0f32; len];
+    // The fabric picks the accumulator shape: dense `f32` lanes for the
+    // engine families, the integer sketch unit for the homomorphic
+    // codec (contributions then fold without ever decompressing).
+    let mut accum = fabric.switch_accum(len);
     let mut plain_restart = false;
     'gather: loop {
         for (k, w) in workers.iter().enumerate() {
@@ -70,11 +73,14 @@ pub fn switch_allreduce_over(
             };
             let frame = fabric.encode(endpoints[k], w, kind);
             fabric.charge_to_switch(endpoints[k], &frame);
-            match fabric.switch_fold(&mut sum, &frame) {
+            match fabric.switch_fold_into(&mut accum, &frame) {
                 Ok(()) => {}
                 Err(e) if e.is_recoverable() && !plain_restart => {
                     fabric.note_degraded(endpoints[k], endpoints[k]);
-                    sum.fill(0.0);
+                    // The exact re-gather always folds plain frames into
+                    // a fresh dense accumulator — never through a codec's
+                    // sketch unit.
+                    accum = SwitchAccum::dense(len);
                     plain_restart = true;
                     continue 'gather;
                 }
@@ -83,6 +89,8 @@ pub fn switch_allreduce_over(
         }
         break;
     }
+    let mut sum = vec![0.0f32; len];
+    accum.finish_into(&mut sum);
 
     for (k, w) in workers.iter_mut().enumerate() {
         let e = endpoints[k];
@@ -309,5 +317,94 @@ mod tests {
         let mut grads = vec![vec![1.0f32, -2.0, 3.5]];
         switch_allreduce(&mut grads, CodecSelection::None);
         assert_eq!(grads[0], vec![1.0, -2.0, 3.5]);
+    }
+
+    #[test]
+    fn sketch_gather_folds_in_network_and_matches_the_host_merge_bit_for_bit() {
+        // The homomorphic acceptance bar: on every transport the switch
+        // folds sketch frames natively (no gather-leg descent exists —
+        // exactly one uplink and one downlink per worker) and the
+        // distributed result equals a host that merged the same frames
+        // with `SketchFrame::add_compressed`, bit for bit.
+        use crate::fabric::WIRE_CODEC_SEED;
+        use inceptionn_compress::SketchCodec;
+
+        let frac_bits = 10u8;
+        let n = 5;
+        let len = 300;
+        let grads = random_grads(n, len, 35);
+
+        let codec = SketchCodec::new(frac_bits, WIRE_CODEC_SEED);
+        let mut merged = codec.encode(&grads[0]);
+        for g in &grads[1..] {
+            merged
+                .add_compressed(&codec.encode(g))
+                .expect("frames share length, precision, and seed");
+        }
+        let mut want = vec![0.0f32; len];
+        merged
+            .decode_into(&mut want)
+            .expect("host merge of well-formed frames decodes");
+
+        let endpoints: Vec<usize> = (0..n).collect();
+        for kind in TransportKind::ALL {
+            let mut net = grads.clone();
+            let mut fabric = FabricBuilder::new(n)
+                .transport(kind)
+                .codec(CodecSelection::Sketch { frac_bits })
+                .build();
+            switch_allreduce_over(fabric.as_mut(), &mut net, &endpoints).unwrap();
+            for w in &net {
+                assert_eq!(w, &want, "{kind:?}: switch fold must equal the host merge");
+            }
+            assert_eq!(
+                fabric.stats().transfers,
+                2 * n as u64,
+                "{kind:?}: one up + one down per worker, zero gather-leg transfers"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_gather_streams_pair_adds_and_shrinks_the_uplink() {
+        // Threshold-EF contributions reach the switch as index/value
+        // frames; the fold is a streamed pair-add into the dense
+        // accumulator, and the uplink carries only the surviving pairs.
+        let n = 4;
+        let len = 512;
+        let endpoints: Vec<usize> = (0..n).collect();
+        // Threshold alone keeps too much of a uniform gradient to win
+        // against 4-byte dense lanes (pairs cost 8); the top-k cap is
+        // what guarantees the uplink shrinks.
+        let codec = CodecSelection::Sparse {
+            bound: ErrorBound::pow2(6),
+            top_per_mille: 100,
+        };
+
+        let grads = random_grads(n, len, 36);
+        let mut in_process = grads.clone();
+        let mut ip = FabricBuilder::new(n).codec(codec).build();
+        switch_allreduce_over(ip.as_mut(), &mut in_process, &endpoints).unwrap();
+
+        let mut over_nic = grads.clone();
+        let mut nic = FabricBuilder::new(n)
+            .transport(TransportKind::Nic)
+            .codec(codec)
+            .build();
+        switch_allreduce_over(nic.as_mut(), &mut over_nic, &endpoints).unwrap();
+        assert_eq!(
+            in_process, over_nic,
+            "sparse switch fold must be transport-invariant"
+        );
+
+        let mut plain = grads.clone();
+        let mut baseline = build(TransportKind::Nic, n, None);
+        switch_allreduce_over(baseline.as_mut(), &mut plain, &endpoints).unwrap();
+        assert!(
+            nic.stats().wire_bytes < baseline.stats().wire_bytes,
+            "sparse gather must shrink the exchange: {} vs {}",
+            nic.stats().wire_bytes,
+            baseline.stats().wire_bytes
+        );
     }
 }

@@ -101,3 +101,66 @@ fn same_seed_and_plan_replay_byte_identically() {
         "the plan must actually have fired: {last:?}"
     );
 }
+
+/// Error-feedback residuals are fabric state that persists across
+/// iterations, so they are part of the replay contract: a training run
+/// under the sparse codec with the full recovery ladder firing
+/// (retransmits, renegotiated-plain legs, and a crash excision) must
+/// land on byte-identical parameters when replayed from the same seed.
+/// Retransmits re-deliver an already-encoded frame and renegotiated
+/// legs re-encode `Plain`, so neither may touch a residual twice.
+#[test]
+fn sparse_error_feedback_replays_byte_identically_through_the_recovery_ladder() {
+    let data = DigitDataset::generate(160, 29);
+    let ladder_plan = || {
+        noisy_plan(321)
+            .poison_prob(0.25) // hot enough to exhaust budgets and renegotiate
+            .max_retransmits(1)
+            .crash(2, 3)
+    };
+    let run = |data: &DigitDataset| {
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                workers: 4,
+                strategy: ExchangeStrategy::Ring,
+                transport: TransportKind::Nic,
+                codec: CodecSelection::Sparse {
+                    bound: ErrorBound::pow2(6),
+                    top_per_mille: 200,
+                },
+                faults: Some(ladder_plan()),
+                batch_per_worker: 8,
+                ..TrainerConfig::default()
+            },
+            models::hdc_mlp_small,
+            data,
+        );
+        let mut trace = Vec::new();
+        for _ in 0..6 {
+            let log = t.step();
+            trace.push((log, t.fault_stats()));
+        }
+        let params: Vec<Vec<u32>> = (0..4).map(|w| bits(&t.replica(w).flat_params())).collect();
+        (trace, params)
+    };
+    let (trace_a, params_a) = run(&data);
+    let (trace_b, params_b) = run(&data);
+    assert_eq!(trace_a, trace_b, "iteration trace must replay exactly");
+    assert_eq!(
+        params_a, params_b,
+        "residual state must not desynchronize the replay"
+    );
+    let last = &trace_a.last().expect("six iterations ran").1;
+    assert!(
+        last.retransmits > 0,
+        "retransmits must have fired: {last:?}"
+    );
+    assert!(
+        last.degraded_legs > 0 || last.poisons > 0,
+        "the plain-renegotiation path must have been exercised: {last:?}"
+    );
+    assert!(
+        last.crashes > 0,
+        "the crash excision must have fired: {last:?}"
+    );
+}

@@ -39,8 +39,13 @@ fn bits(workers: &[Vec<f32>]) -> Vec<Vec<u32>> {
         .collect()
 }
 
-/// Every codec the fabric can carry, including both parallel-shard
-/// configurations (adaptive and pinned).
+/// Every codec the fabric can carry with chunk-stable semantics: the
+/// engine variants and both parallel-shard configurations, plus
+/// threshold-only sparsification and the homomorphic sketch (both
+/// decide per element, so chunking cannot move a byte). The top-k
+/// sparse cap is deliberately absent — k is computed per encode call,
+/// so a chunked leg legitimately picks a different transmit set than
+/// the whole block (documented in `compress::sparse`).
 fn all_codecs() -> Vec<(&'static str, CodecSelection)> {
     let bound = ErrorBound::pow2(9);
     vec![
@@ -52,6 +57,14 @@ fn all_codecs() -> Vec<(&'static str, CodecSelection)> {
             CodecSelection::Parallel { bound, shards: 0 },
         ),
         ("parallel-3", CodecSelection::Parallel { bound, shards: 3 }),
+        (
+            "sparse-thresh",
+            CodecSelection::Sparse {
+                bound: ErrorBound::pow2(4),
+                top_per_mille: 0,
+            },
+        ),
+        ("sketch", CodecSelection::Sketch { frac_bits: 10 }),
     ]
 }
 

@@ -233,6 +233,43 @@ impl DecompressionEngine {
     }
 }
 
+/// Cycle model for the sparsifier engine's encode pass: the residual
+/// update and threshold compare stream eight lanes per cycle (the same
+/// 256-bit datapath as the truncation engine), but the selected
+/// `(index, value)` pairs leave through a single emit port — priority
+/// encoders don't batch — so each transmitted pair costs one extra
+/// cycle, plus the shared pipeline depth.
+pub fn sparse_encode_cycles(values: usize, pairs: usize) -> u64 {
+    (values.div_ceil(LANES_PER_BURST) + pairs) as u64 + PIPELINE_DEPTH
+}
+
+/// Cycle model for the sparsifier engine's decode pass: zero-fill runs
+/// eight lanes per cycle; each received pair is a single-port scatter
+/// write, one per cycle, plus the pipeline depth.
+pub fn sparse_decode_cycles(values: usize, pairs: usize) -> u64 {
+    (values.div_ceil(LANES_PER_BURST) + pairs) as u64 + PIPELINE_DEPTH
+}
+
+/// Cycle model for the sketch engine's encode pass: fixed-point
+/// quantization streams eight lanes per cycle with the hash banks
+/// ([`inceptionn_compress::sketch::ROWS`] single-ported SRAMs, one per
+/// row) updated in parallel, then the frame drains at one 256-bit
+/// burst per cycle, plus the pipeline depth.
+pub fn sketch_encode_cycles(values: usize, wire_bytes: usize) -> u64 {
+    let lane_cycles = values.div_ceil(LANES_PER_BURST) as u64;
+    let drain_cycles = (wire_bytes as u64 * 8).div_ceil(BURST_BITS);
+    lane_cycles + drain_cycles + PIPELINE_DEPTH
+}
+
+/// Cycle model for the sketch engine's decode pass: the frame streams
+/// in at one 256-bit burst per cycle, peeling/copy-out emits eight
+/// lanes per cycle, plus the pipeline depth.
+pub fn sketch_decode_cycles(values: usize, wire_bytes: usize) -> u64 {
+    let lane_cycles = values.div_ceil(LANES_PER_BURST) as u64;
+    let fill_cycles = (wire_bytes as u64 * 8).div_ceil(BURST_BITS);
+    lane_cycles + fill_cycles + PIPELINE_DEPTH
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -59,4 +59,4 @@ pub use engine::{CompressionEngine, DecompressionEngine, EngineMetrics, EngineOu
 pub use flat::{decode_payload_flat, encode_payload_flat, FlatPayload, FlatSeg, FlatTrace};
 pub use nic::{NicConfig, NicPipeline};
 pub use packet::{Packet, TOS_COMPRESSED};
-pub use switchagg::SwitchReducer;
+pub use switchagg::{SketchSwitchUnit, SwitchReducer};

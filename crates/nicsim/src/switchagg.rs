@@ -241,11 +241,153 @@ impl SwitchReducer {
     }
 }
 
+/// Reduce-unit cycles for folding one sparsified contribution: the
+/// unit streams the frame's `(index, value)` pairs through one indexed
+/// accumulate port per cycle (random-access lanes don't batch the way
+/// dense lanes do).
+pub fn sparse_fold_cycles(pairs: u64) -> u64 {
+    pairs.max(1)
+}
+
+/// The switch reduce unit for homomorphic sketch traffic: folds
+/// compressed frames **without decompressing them to `f32`**.
+///
+/// Where [`SwitchReducer`] decodes every contribution into dense
+/// gradient lanes before adding, this unit exploits the sketch codec's
+/// additive structure (`inceptionn_compress::sketch`): frames fold
+/// into a fixed-point `i64` accumulator by exact integer addition, and
+/// the dense gradient only materializes once, at
+/// [`finish_into`](Self::finish_into). Because integer addition is
+/// associative and commutative and the finish step is the codec's own
+/// grid conversion, the result is bit-identical to merging the same
+/// frames host-side with `SketchFrame::add_compressed` and decoding —
+/// on any transport, in any fold order. (The collective layer still
+/// folds in worker order, matching the dense unit's convention.)
+#[derive(Debug, Clone)]
+pub struct SketchSwitchUnit {
+    q: Vec<i64>,
+    frac_bits: u8,
+    contributions: u32,
+    cycles: u64,
+}
+
+impl SketchSwitchUnit {
+    /// A reduce unit for `values` gradient lanes at the codec's grid
+    /// precision.
+    pub fn new(values: usize, frac_bits: u8) -> Self {
+        SketchSwitchUnit {
+            q: vec![0i64; values],
+            frac_bits,
+            contributions: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Gradient lane count.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the unit has zero lanes.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The grid precision contributions must arrive at.
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Folds one worker's sketch frame natively: exact `i64` adds in
+    /// the compressed domain, 64-bit cells streamed eight lanes per
+    /// cycle like the dense unit's `f32` lanes.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`DecodeError`] on a malformed frame, a lane-count
+    /// mismatch, or a grid-precision mismatch; the accumulator keeps
+    /// whatever the partial fold committed (callers restart the
+    /// exchange, as with [`SwitchReducer`]).
+    pub fn fold_frame(&mut self, bytes: &[u8]) -> Result<(), DecodeError> {
+        let meta = inceptionn_compress::sketch::fold_frame_into_q(bytes, &mut self.q)?;
+        if meta.frac_bits != self.frac_bits {
+            return Err(DecodeError {
+                at_value: 0,
+                bit_offset: 0,
+                tag: None,
+            });
+        }
+        let payload_words =
+            ((bytes.len() - inceptionn_compress::sketch::FRAME_HEADER_BYTES) as u64).div_ceil(8);
+        self.cycles += payload_words.div_ceil(LANES_PER_CYCLE).max(1);
+        self.contributions += 1;
+        Ok(())
+    }
+
+    /// Folds an uncompressed contribution by re-quantizing it to the
+    /// grid — the in-process loopback path, where "the wire" already
+    /// round-tripped values onto grid points so the re-quantization is
+    /// exact and the fold stays bit-identical with
+    /// [`fold_frame`](Self::fold_frame).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lane-count mismatch (a collective-layer bug, not a
+    /// wire fault).
+    pub fn fold_values(&mut self, values: &[f32]) {
+        assert_eq!(
+            values.len(),
+            self.q.len(),
+            "contribution covered {} of {} lanes",
+            values.len(),
+            self.q.len()
+        );
+        for (a, &v) in self.q.iter_mut().zip(values) {
+            *a = a.wrapping_add(inceptionn_compress::sketch::quantize_value(
+                v,
+                self.frac_bits,
+            ));
+        }
+        self.cycles += (values.len() as u64).div_ceil(LANES_PER_CYCLE);
+        self.contributions += 1;
+    }
+
+    /// Converts the accumulated grid counts to the dense gradient sum —
+    /// the one decompression in the whole exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a lane-count mismatch.
+    pub fn finish_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.q.len(), "finish buffer lane mismatch");
+        inceptionn_compress::sketch::finish_q(&self.q, self.frac_bits, out);
+    }
+
+    /// How many contributions have been folded.
+    pub fn contributions(&self) -> u32 {
+        self.contributions
+    }
+
+    /// Reduce-unit cycles spent folding so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the accumulator and counters for the next chunk,
+    /// keeping the grid precision.
+    pub fn reset(&mut self) {
+        self.q.fill(0);
+        self.contributions = 0;
+        self.cycles = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::chunker::encode_payload;
     use crate::nic::{NicConfig, NicPipeline};
+    use inceptionn_compress::SketchCodec;
 
     fn grad(seed: u32, len: usize) -> Vec<f32> {
         // Small deterministic values spanning the codec's interesting
@@ -355,5 +497,72 @@ mod tests {
         let mut unit = SwitchReducer::plain(500);
         let (wire, _) = encode_payload(&mut pipeline(), &grad(4, 500), true);
         let _ = unit.fold_contribution(&wire);
+    }
+
+    #[test]
+    fn sketch_unit_fold_is_bit_identical_with_host_merge() {
+        let codec = SketchCodec::new(12, 77);
+        let grads: Vec<Vec<f32>> = (0..4).map(|w| grad(w + 31, 640)).collect();
+        // Switch path: native compressed-domain folds.
+        let mut unit = SketchSwitchUnit::new(640, codec.frac_bits());
+        for g in &grads {
+            unit.fold_frame(codec.encode(g).as_bytes()).unwrap();
+        }
+        let mut switch = vec![0.0f32; 640];
+        unit.finish_into(&mut switch);
+        // Host path: merge the same frames compressed, decode once.
+        let mut merged = codec.encode(&grads[0]);
+        for g in &grads[1..] {
+            merged.add_compressed(&codec.encode(g)).unwrap();
+        }
+        let mut host = vec![0.0f32; 640];
+        merged.decode_into(&mut host).unwrap();
+        let switch_bits: Vec<u32> = switch.iter().map(|v| v.to_bits()).collect();
+        let host_bits: Vec<u32> = host.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(switch_bits, host_bits);
+        assert_eq!(unit.contributions(), 4);
+        assert!(unit.cycles() > 0);
+    }
+
+    #[test]
+    fn sketch_unit_value_fold_matches_frame_fold_on_grid_inputs() {
+        let codec = SketchCodec::new(12, 5);
+        // Loopback values are already grid round-tripped.
+        let grads: Vec<Vec<f32>> = (0..3).map(|w| codec.quantize(&grad(w, 256))).collect();
+        let mut by_frame = SketchSwitchUnit::new(256, codec.frac_bits());
+        let mut by_value = SketchSwitchUnit::new(256, codec.frac_bits());
+        for g in &grads {
+            by_frame.fold_frame(codec.encode(g).as_bytes()).unwrap();
+            by_value.fold_values(g);
+        }
+        let mut a = vec![0.0f32; 256];
+        let mut b = vec![0.0f32; 256];
+        by_frame.finish_into(&mut a);
+        by_value.finish_into(&mut b);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn sketch_unit_rejects_mismatched_frames_and_resets_clean() {
+        let codec = SketchCodec::new(12, 5);
+        let other = SketchCodec::new(8, 5);
+        let mut unit = SketchSwitchUnit::new(64, codec.frac_bits());
+        assert!(unit
+            .fold_frame(other.encode(&vec![0.5f32; 64]).as_bytes())
+            .is_err());
+        assert!(unit
+            .fold_frame(codec.encode(&[0.5f32; 32]).as_bytes())
+            .is_err());
+        unit.fold_frame(codec.encode(&vec![0.5f32; 64]).as_bytes())
+            .unwrap();
+        unit.reset();
+        assert_eq!(unit.contributions(), 0);
+        assert_eq!(unit.cycles(), 0);
+        let mut out = vec![1.0f32; 64];
+        unit.finish_into(&mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
     }
 }

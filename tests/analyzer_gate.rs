@@ -100,6 +100,20 @@ fn seeded_violations_fail_with_file_and_line() {
     )
     .expect("seed file");
 
+    // And a ninth: an RNG read seeded into the sparse wire codec. Its
+    // top-k tie-breaks must derive from the shared wire seed — a
+    // `thread_rng` draw would let two encoders of the same block pick
+    // different transmit sets, so the wire-layout rule covers the
+    // compression modules too.
+    fs::write(
+        src_dir.join("sparse.rs"),
+        "pub fn tie_key() -> u64 {\n\
+         \x20   let _rng = thread_rng();\n\
+         \x20   0\n\
+         }\n",
+    )
+    .expect("seed file");
+
     // The interprocedural seed: a pipelined hot root in one crate whose
     // panic and allocation live two calls away in another crate. Only
     // root→sink propagation over the cross-file call graph can connect
@@ -124,6 +138,7 @@ fn seeded_violations_fail_with_file_and_line() {
         ("no-panic-hot-path", 5, "bitio.rs"),
         ("no-panic-recovery-path", 2, "faults.rs"),
         ("no-time-rng-in-wire", 2, "event.rs"),
+        ("no-time-rng-in-wire", 2, "sparse.rs"),
         ("no-transient-thread-hot-path", 2, "parallel.rs"),
         // The cross-file chain: both sinks sit in parallel.rs but are
         // reported hot because pipeline.rs's root reaches them.
