@@ -48,6 +48,12 @@ pub const HOT_ROOT_NAMES: &[&str] = &[
     "decode_into",
     "deliver_ring_chunk",
     "deliver_with_recovery",
+    // Membership transitions run at the top of every training
+    // iteration; the per-endpoint liveness probe runs on every
+    // delivery. (Snapshot catch-up's `transfer_snapshot` is already
+    // tainted by the `transfer_` prefix rule.)
+    "apply_membership_event",
+    "down_at",
 ];
 
 /// The exact allocation-sink list. `Vec::with_capacity` and `vec![]`

@@ -1224,6 +1224,38 @@ mod tests {
         assert!(lint_source("crates/compress/src/bitio.rs", src).is_empty());
     }
 
+    #[test]
+    fn membership_transition_roots_are_hot() {
+        // The membership-event applier runs at the top of every training
+        // iteration; a panic seeded into it must fire the hot-path rule.
+        let src = "pub fn apply_membership_event(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/trainer.rs", src)),
+            ["no-panic-hot-path"]
+        );
+        // The per-delivery liveness probe is a hot root too.
+        let src = "pub fn down_at(n: u64) -> u64 { n.checked_mul(2).expect(\"ovf\") }\n";
+        assert_eq!(
+            fired(&lint_source("crates/distrib/src/membership.rs", src)),
+            ["no-panic-hot-path"]
+        );
+    }
+
+    #[test]
+    fn snapshot_transfer_path_may_not_allocate() {
+        // `transfer_snapshot` is tainted by the `transfer_` prefix rule,
+        // so an allocation seeded downstream of it fires with its chain.
+        let src = "pub fn transfer_snapshot(n: usize) { frame(n) }\n\
+                   fn frame(n: usize) { let _ = format!(\"{n}\"); }\n";
+        let diags = lint_source("crates/distrib/src/trainer.rs", src);
+        assert_eq!(fired(&diags), ["no-alloc-hot-path"]);
+        assert!(
+            diags[0].message.contains("transfer_snapshot -> frame"),
+            "chain missing from: {}",
+            diags[0].message
+        );
+    }
+
     // -- no-panic-recovery-path ----------------------------------------
 
     #[test]

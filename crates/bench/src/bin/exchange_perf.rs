@@ -27,10 +27,8 @@ use inceptionn_bench::{banner, fidelity_from_env};
 use inceptionn_compress::gradmodel::{GradientModel, GradientPreset};
 use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::{
-    pipelined_ring_allreduce_over, pipelined_switch_allreduce_over, pipelined_tree_allreduce_over,
-    pipelined_worker_aggregator_allreduce_over, ring_allreduce_over, switch_allreduce_over,
-    tree_allreduce_over, worker_aggregator_allreduce_over, CodecSelection, Fabric, FabricBuilder,
-    PipelineConfig, TransportKind,
+    CodecSelection, Exchange, ExchangeStrategy, Fabric, FabricBuilder, PipelineConfig,
+    TransportKind,
 };
 use inceptionn_netsim::Topology;
 use rand::rngs::StdRng;
@@ -81,6 +79,29 @@ fn build(endpoints: usize, codec: CodecSelection) -> Box<dyn Fabric> {
         .transport(TransportKind::Nic)
         .codec(codec)
         .build()
+}
+
+/// One all-reduce through the unified [`Exchange`] seam over a fresh
+/// fabric: whole-block when `pipeline` is `None`, the pipelined
+/// schedule otherwise.
+fn run_exchange(
+    strategy: ExchangeStrategy,
+    topo: Option<&Topology>,
+    pipeline: Option<PipelineConfig>,
+    endpoints: usize,
+    live: &[usize],
+    codec: CodecSelection,
+    w: &mut [Vec<f32>],
+) {
+    let mut f = build(endpoints, codec);
+    let mut ex = Exchange::new(live.len());
+    if let Some(t) = topo {
+        ex = ex.with_topology(t.clone());
+    }
+    if let Some(cfg) = pipeline {
+        ex = ex.pipelined(cfg);
+    }
+    ex.run(strategy, f.as_mut(), w, live).expect("exchange");
 }
 
 fn main() {
@@ -148,12 +169,26 @@ fn main() {
     for (codec, bound) in bounds {
         // Ring.
         let (plain_s, plain_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            ring_allreduce_over(f.as_mut(), w, &endpoints).expect("ring");
+            run_exchange(
+                ExchangeStrategy::Ring,
+                None,
+                None,
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         let (piped_s, piped_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            pipelined_ring_allreduce_over(f.as_mut(), w, &endpoints, cfg).expect("pipelined ring");
+            run_exchange(
+                ExchangeStrategy::Ring,
+                None,
+                Some(cfg),
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         assert_eq!(plain_out, piped_out, "ring/{codec}: pipelined diverged");
         cells.push(Cell {
@@ -165,12 +200,26 @@ fn main() {
 
         // Topology tree (two tiers of two).
         let (plain_s, plain_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            tree_allreduce_over(f.as_mut(), w, &topo).expect("tree");
+            run_exchange(
+                ExchangeStrategy::Tree,
+                Some(&topo),
+                None,
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         let (piped_s, piped_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            pipelined_tree_allreduce_over(f.as_mut(), w, &topo, cfg).expect("pipelined tree");
+            run_exchange(
+                ExchangeStrategy::Tree,
+                Some(&topo),
+                Some(cfg),
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         assert_eq!(plain_out, piped_out, "tree/{codec}: pipelined diverged");
         cells.push(Cell {
@@ -182,12 +231,26 @@ fn main() {
 
         // Worker-aggregator (one extra endpoint for the aggregator).
         let (plain_s, plain_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS + 1, bound);
-            worker_aggregator_allreduce_over(f.as_mut(), w).expect("wa");
+            run_exchange(
+                ExchangeStrategy::WorkerAggregator,
+                None,
+                None,
+                WORKERS + 1,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         let (piped_s, piped_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS + 1, bound);
-            pipelined_worker_aggregator_allreduce_over(f.as_mut(), w, cfg).expect("pipelined wa");
+            run_exchange(
+                ExchangeStrategy::WorkerAggregator,
+                None,
+                Some(cfg),
+                WORKERS + 1,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         assert_eq!(
             plain_out, piped_out,
@@ -202,13 +265,26 @@ fn main() {
 
         // Switch-resident in-network aggregation.
         let (plain_s, plain_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            switch_allreduce_over(f.as_mut(), w, &endpoints).expect("switch");
+            run_exchange(
+                ExchangeStrategy::SwitchReduce,
+                None,
+                None,
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         let (piped_s, piped_out) = time_exchange(&grads, |w| {
-            let mut f = build(WORKERS, bound);
-            pipelined_switch_allreduce_over(f.as_mut(), w, &endpoints, cfg)
-                .expect("pipelined switch");
+            run_exchange(
+                ExchangeStrategy::SwitchReduce,
+                None,
+                Some(cfg),
+                WORKERS,
+                &endpoints,
+                bound,
+                w,
+            );
         });
         assert_eq!(plain_out, piped_out, "switch/{codec}: pipelined diverged");
         cells.push(Cell {

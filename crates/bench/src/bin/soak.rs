@@ -1,7 +1,8 @@
 //! Fault-injection soak: seeded long runs of the resilient gradient
 //! exchange, asserting the recovery contracts end to end.
 //!
-//! Three phases, each against a deterministic [`FaultPlan`]:
+//! Three phases — link faults from a deterministic [`FaultPlan`],
+//! crashes from a typed [`MembershipSchedule`]:
 //!
 //! 1. **Recovery** — 1% frame drops + 0.1% corruption on every exchange
 //!    strategy. All injected faults must be absorbed *bit-invisibly*:
@@ -26,7 +27,7 @@ use inceptionn_bench::banner;
 use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
 use inceptionn_distrib::trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
-use inceptionn_distrib::FaultPlan;
+use inceptionn_distrib::{FaultPlan, MembershipSchedule};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
 
@@ -146,7 +147,7 @@ fn worker_crash_phase(soak: &mut Soak, data: &DigitDataset, iters: usize, crash_
     println!("\nphase 2: worker crash at iteration {crash_at} ({iters} iterations)");
     let mut t = DistributedTrainer::new(
         TrainerConfig {
-            faults: Some(FaultPlan::new(5).crash(2, crash_at)),
+            membership: MembershipSchedule::new().crash(crash_at, 2),
             ..config(ExchangeStrategy::Ring, CodecSelection::None)
         },
         models::hdc_mlp_small,
@@ -191,7 +192,7 @@ fn aggregator_crash_phase(soak: &mut Soak, data: &DigitDataset, iters: usize, cr
     println!("\nphase 3: aggregator crash at iteration {crash_at} ({iters} iterations)");
     let mut t = DistributedTrainer::new(
         TrainerConfig {
-            faults: Some(FaultPlan::new(7).crash(WORKERS, crash_at)),
+            membership: MembershipSchedule::new().crash(crash_at, WORKERS),
             ..config(ExchangeStrategy::WorkerAggregator, CodecSelection::None)
         },
         models::hdc_mlp_small,

@@ -10,9 +10,8 @@
 //! selected with a [`TransportKind`].
 
 use inceptionn_compress::ErrorBound;
-use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
 use inceptionn_distrib::fabric::{Fabric, FabricBuilder, FabricStats, TransportKind};
-use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
+use inceptionn_distrib::{Exchange, ExchangeStrategy};
 
 /// A handle over a fixed-size worker group, configured once and used
 /// for many exchanges (like an MPI communicator).
@@ -106,11 +105,7 @@ impl CollectiveContext {
     /// on the transport kind).
     pub fn allreduce_measured(&self, grads: &mut [Vec<f32>]) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
-        let mut fabric = self.fabric();
-        let endpoints: Vec<usize> = (0..self.workers).collect();
-        ring_allreduce_over(fabric.as_mut(), grads, &endpoints)
-            .expect("built-in transports deliver their own frames");
-        fabric.stats()
+        self.run(ExchangeStrategy::Ring, grads)
     }
 
     /// Sums gradients via the hierarchical grouping of Fig. 1(c).
@@ -131,10 +126,7 @@ impl CollectiveContext {
         group_size: usize,
     ) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
-        let mut fabric = self.fabric();
-        hierarchical_ring_allreduce_over(fabric.as_mut(), grads, group_size)
-            .expect("built-in transports deliver their own frames");
-        fabric.stats()
+        self.run(ExchangeStrategy::HierarchicalRing { group_size }, grads)
     }
 
     /// Sums gradients via the conventional worker-aggregator exchange
@@ -152,8 +144,16 @@ impl CollectiveContext {
     /// with transport accounting.
     pub fn allreduce_worker_aggregator_measured(&self, grads: &mut [Vec<f32>]) -> FabricStats {
         assert_eq!(grads.len(), self.workers, "one gradient vector per worker");
+        self.run(ExchangeStrategy::WorkerAggregator, grads)
+    }
+
+    /// One exchange through the unified [`Exchange`] dispatch seam over
+    /// a fresh fabric, returning the transport accounting.
+    fn run(&self, strategy: ExchangeStrategy, grads: &mut [Vec<f32>]) -> FabricStats {
         let mut fabric = self.fabric();
-        worker_aggregator_allreduce_over(fabric.as_mut(), grads)
+        let live: Vec<usize> = (0..self.workers).collect();
+        Exchange::new(self.workers)
+            .run(strategy, fabric.as_mut(), grads, &live)
             .expect("built-in transports deliver their own frames");
         fabric.stats()
     }

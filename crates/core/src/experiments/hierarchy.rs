@@ -120,9 +120,8 @@ pub struct WireVolumeRow {
 ///
 /// [`NicFabric`]: inceptionn_distrib::fabric::NicFabric
 pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolumeRow> {
-    use inceptionn_distrib::aggregator::worker_aggregator_allreduce_over;
     use inceptionn_distrib::fabric::{FabricBuilder, TransportKind};
-    use inceptionn_distrib::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over};
+    use inceptionn_distrib::{Exchange, ExchangeStrategy};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -153,20 +152,18 @@ pub fn measured_wire_volume(values_per_worker: usize, seed: u64) -> Vec<WireVolu
                 .transport(TransportKind::Nic)
                 .compression(bound)
                 .build();
-            match org {
-                Organization::FlatWa => {
-                    worker_aggregator_allreduce_over(fabric.as_mut(), &mut grads)
-                }
-                Organization::FlatRing => {
-                    let endpoints: Vec<usize> = (0..n).collect();
-                    ring_allreduce_over(fabric.as_mut(), &mut grads, &endpoints)
-                }
+            let strategy = match org {
+                Organization::FlatWa => ExchangeStrategy::WorkerAggregator,
+                Organization::FlatRing => ExchangeStrategy::Ring,
                 Organization::HierarchicalRing => {
-                    hierarchical_ring_allreduce_over(fabric.as_mut(), &mut grads, 4)
+                    ExchangeStrategy::HierarchicalRing { group_size: 4 }
                 }
                 Organization::HierarchicalWa => unreachable!(),
-            }
-            .expect("matched NIC endpoints always decode each other's frames");
+            };
+            let endpoints: Vec<usize> = (0..n).collect();
+            Exchange::new(n)
+                .run(strategy, fabric.as_mut(), &mut grads, &endpoints)
+                .expect("matched NIC endpoints always decode each other's frames");
             let stats = fabric.stats();
             out.push(WireVolumeRow {
                 organization: org,

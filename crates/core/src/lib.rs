@@ -21,7 +21,8 @@
 //! This crate is the top of the reproduction stack: it provides the
 //! user-facing collective API ([`api`]), the end-to-end cluster timing
 //! model ([`cluster`]) that regenerates the paper's performance results,
-//! and one driver per published table/figure ([`experiments`]).
+//! the elastic multi-tenant training host ([`service`]), and one driver
+//! per published table/figure ([`experiments`]).
 //!
 //! ## Quickstart
 //!
@@ -54,8 +55,10 @@ pub mod api;
 pub mod cluster;
 pub mod experiments;
 pub mod report;
+pub mod service;
 
 pub use inceptionn_compress::{ErrorBound, InceptionnCodec};
 pub use inceptionn_dnn::profile::{ModelId, ModelProfile};
 
 pub use cluster::{ClusterConfig, IterationBreakdown, SystemKind};
+pub use service::{ClusterService, JobSpec, TenantReport};

@@ -1,0 +1,448 @@
+//! Elastic multi-tenant cluster service over the unified membership +
+//! exchange API.
+//!
+//! A [`ClusterService`] hosts N concurrent training jobs on one modeled
+//! physical fabric: every tenant gets a slice of the switch's link
+//! bandwidth ([`TenantShares`], weighted by job priority), its own
+//! [`Recorder`] for isolated observability, and its own
+//! [`MembershipSchedule`] so workers can join, leave, and crash
+//! mid-run independently per job. The service interleaves tenant
+//! iterations with a deterministic weighted-fair scheduler that is
+//! straggler-aware: the next block goes to the job whose accumulated
+//! wire time (normalized by priority) is smallest, so a tenant slowed
+//! by a thin bandwidth share or a fault-recovery detour naturally
+//! yields the host to its peers without ever starving.
+//!
+//! Everything is replayable: the same admitted jobs in the same order
+//! produce byte-identical [`TenantReport`]s — parameters, wire bytes,
+//! and recovered-step counts included — and each tenant's obs-side
+//! wire-byte total reconciles against its transport's [`FabricStats`]
+//! to the byte.
+
+use inceptionn_distrib::fabric::{CodecSelection, FabricStats, TransportKind};
+use inceptionn_distrib::trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_distrib::{FaultPlan, MembershipSchedule};
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::{models, Network};
+use inceptionn_netsim::{NetworkConfig, TenantShares};
+use obs::Recorder;
+
+/// One tenant's training job, as admitted to the service.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable tenant name (lands on the report).
+    pub name: String,
+    /// Worker replicas this job trains with.
+    pub workers: usize,
+    /// Gradient-exchange strategy.
+    pub strategy: ExchangeStrategy,
+    /// Lossy wire codec ([`CodecSelection::None`] = lossless).
+    pub codec: CodecSelection,
+    /// Transport the job's exchanges run over. Bandwidth shares only
+    /// bite on the timed transports (default: [`TransportKind::TimedNic`]).
+    pub transport: TransportKind,
+    /// Iterations the job runs to completion.
+    pub iterations: usize,
+    /// Scheduling weight: both the tenant's bandwidth share and its
+    /// claim on host steps scale with it (0 is treated as 1).
+    pub priority: u64,
+    /// Per-worker minibatch size.
+    pub batch_per_worker: usize,
+    /// Seed for the job's model init and synthetic dataset.
+    pub seed: u64,
+    /// Samples in the job's synthetic dataset.
+    pub data_samples: usize,
+    /// Elastic membership schedule (joins / leaves / crashes).
+    pub membership: MembershipSchedule,
+    /// Link-fault injection, if any.
+    pub faults: Option<FaultPlan>,
+    /// Model constructor (seed → replica).
+    pub model: fn(u64) -> Network,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: "tenant".to_string(),
+            workers: 4,
+            strategy: ExchangeStrategy::Ring,
+            codec: CodecSelection::None,
+            transport: TransportKind::TimedNic,
+            iterations: 8,
+            priority: 1,
+            batch_per_worker: 8,
+            seed: 0,
+            data_samples: 160,
+            membership: MembershipSchedule::new(),
+            faults: None,
+            model: models::hdc_mlp_small,
+        }
+    }
+}
+
+/// What one tenant did, measured from both sides of the obs seam.
+///
+/// Equality is the *deterministic replay contract*: two reports compare
+/// equal iff every replayable field matches — parameters (via the
+/// fingerprint), wire/payload bytes, virtual link time, churn and
+/// recovery counts. The host wall-time fields (`compute_ns`,
+/// `exchange_ns`, `comm_fraction`) measure the machine the run happened
+/// on, not the run itself, and are excluded.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name from the [`JobSpec`].
+    pub name: String,
+    /// Admission index (also the tenant's share slot).
+    pub tenant: usize,
+    /// Fraction of the switch's link bandwidth this tenant held.
+    pub bandwidth_fraction: f64,
+    /// Iterations completed (always the spec's `iterations`).
+    pub completed_iterations: usize,
+    /// Post-compression bytes the tenant put on the wire, from the
+    /// transport's own counters ([`FabricStats::wire_bytes`]).
+    pub wire_bytes: u64,
+    /// The same total, independently accumulated through the tenant's
+    /// [`Recorder`] — must reconcile with `wire_bytes` to the byte.
+    pub obs_wire_bytes: u64,
+    /// Pre-compression payload bytes.
+    pub payload_bytes: u64,
+    /// Virtual link time the tenant's transfers occupied, ns.
+    pub link_latency_ns: u64,
+    /// Host wall time spent in forward/backward compute, ns.
+    pub compute_ns: u64,
+    /// Host wall time spent in the gradient exchange, ns.
+    pub exchange_ns: u64,
+    /// exchange / (compute + exchange) over the whole run.
+    pub comm_fraction: f64,
+    /// Iterations that hit the recovery ladder (an endpoint excision)
+    /// and were re-run over the survivors.
+    pub recovered_steps: u64,
+    /// Workers that joined (or rejoined) across the run.
+    pub joins: usize,
+    /// Workers that left gracefully across the run.
+    pub leaves: usize,
+    /// Crash events the fabric refused traffic for.
+    pub crashes: u64,
+    /// Mean training loss of the final iteration.
+    pub final_loss: f32,
+    /// FNV-1a over the lead replica's parameter bits — two runs
+    /// converged bit-identically iff the fingerprints match.
+    pub param_fingerprint: u64,
+}
+
+impl PartialEq for TenantReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything except the host wall-time measurements.
+        self.name == other.name
+            && self.tenant == other.tenant
+            && self.bandwidth_fraction == other.bandwidth_fraction
+            && self.completed_iterations == other.completed_iterations
+            && self.wire_bytes == other.wire_bytes
+            && self.obs_wire_bytes == other.obs_wire_bytes
+            && self.payload_bytes == other.payload_bytes
+            && self.link_latency_ns == other.link_latency_ns
+            && self.recovered_steps == other.recovered_steps
+            && self.joins == other.joins
+            && self.leaves == other.leaves
+            && self.crashes == other.crashes
+            && self.final_loss.to_bits() == other.final_loss.to_bits()
+            && self.param_fingerprint == other.param_fingerprint
+    }
+}
+
+/// FNV-1a over the bit patterns of a parameter vector.
+fn fingerprint(params: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in params {
+        for byte in p.to_bits().to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Tenant {
+    spec: JobSpec,
+    trainer: DistributedTrainer,
+    recorder: Recorder,
+    completed: usize,
+    recovered_steps: u64,
+    joins: usize,
+    leaves: usize,
+    final_loss: f32,
+}
+
+impl Tenant {
+    /// The tenant's weighted-fair virtual time: accumulated wire time
+    /// (or completed iterations, on untimed transports) normalized by
+    /// priority. The scheduler always serves the smallest.
+    fn virtual_time(&self) -> f64 {
+        let stats = self.trainer.fabric_stats();
+        let progress = if stats.link_latency_ns > 0 {
+            stats.link_latency_ns as f64
+        } else {
+            self.completed as f64
+        };
+        progress / self.spec.priority.max(1) as f64
+    }
+
+    fn done(&self) -> bool {
+        self.completed >= self.spec.iterations
+    }
+}
+
+/// A long-running multi-tenant training host: admit jobs, then [`run`]
+/// them to completion under weighted-fair scheduling and per-tenant
+/// bandwidth shares.
+///
+/// [`run`]: ClusterService::run
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn::service::{ClusterService, JobSpec};
+///
+/// let mut cluster = ClusterService::new();
+/// cluster.admit(JobSpec {
+///     name: "small".into(),
+///     workers: 2,
+///     iterations: 2,
+///     batch_per_worker: 4,
+///     data_samples: 32,
+///     ..JobSpec::default()
+/// });
+/// let reports = cluster.run();
+/// assert_eq!(reports[0].completed_iterations, 2);
+/// assert_eq!(reports[0].wire_bytes, reports[0].obs_wire_bytes);
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterService {
+    specs: Vec<JobSpec>,
+}
+
+impl ClusterService {
+    /// An empty service; admit jobs before running.
+    pub fn new() -> Self {
+        ClusterService::default()
+    }
+
+    /// Admits a job; returns its tenant index (also its bandwidth-share
+    /// slot). Shares are settled when [`run`](Self::run) starts, over
+    /// the full admitted set.
+    pub fn admit(&mut self, spec: JobSpec) -> usize {
+        self.specs.push(spec);
+        self.specs.len() - 1
+    }
+
+    /// Admitted jobs, in admission order.
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.specs
+    }
+
+    /// The bandwidth shares the admitted set resolves to (weighted by
+    /// job priority).
+    pub fn shares(&self) -> TenantShares {
+        let weights: Vec<u64> = self.specs.iter().map(|s| s.priority.max(1)).collect();
+        TenantShares::new(&weights)
+    }
+
+    /// Runs every admitted job to completion, interleaving iterations
+    /// under the weighted-fair scheduler, and reports per tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job was admitted, or if a job's configuration is
+    /// itself invalid (zero workers, dataset smaller than the worker
+    /// count).
+    pub fn run(&mut self) -> Vec<TenantReport> {
+        assert!(!self.specs.is_empty(), "admit at least one job");
+        let shares = self.shares();
+        let mut tenants: Vec<Tenant> = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let recorder = Recorder::on();
+                let data = DigitDataset::generate(spec.data_samples, spec.seed);
+                let base = NetworkConfig::ten_gbe(spec.workers + 1);
+                let trainer = DistributedTrainer::new(
+                    TrainerConfig {
+                        workers: spec.workers,
+                        strategy: spec.strategy,
+                        transport: spec.transport,
+                        codec: spec.codec,
+                        faults: spec.faults.clone(),
+                        membership: spec.membership.clone(),
+                        network: Some(shares.scaled(i, base)),
+                        batch_per_worker: spec.batch_per_worker,
+                        seed: spec.seed,
+                        recorder: recorder.clone(),
+                        ..TrainerConfig::default()
+                    },
+                    spec.model,
+                    &data,
+                );
+                Tenant {
+                    spec: spec.clone(),
+                    trainer,
+                    recorder,
+                    completed: 0,
+                    recovered_steps: 0,
+                    joins: 0,
+                    leaves: 0,
+                    final_loss: 0.0,
+                }
+            })
+            .collect();
+
+        // Deterministic weighted-fair interleave: serve the unfinished
+        // tenant with the smallest virtual time, admission order
+        // breaking ties.
+        loop {
+            let next = tenants
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !t.done())
+                .min_by(|(_, a), (_, b)| {
+                    a.virtual_time()
+                        .partial_cmp(&b.virtual_time())
+                        .expect("virtual times are finite")
+                })
+                .map(|(i, _)| i);
+            let Some(i) = next else { break };
+            let tenant = &mut tenants[i];
+            let log = tenant.trainer.step();
+            tenant.completed += 1;
+            tenant.final_loss = log.loss;
+            if log.excised.is_some() {
+                tenant.recovered_steps += 1;
+            }
+            tenant.joins += log.joined.len();
+            tenant.leaves += log.left.len();
+        }
+
+        tenants
+            .iter_mut()
+            .enumerate()
+            .map(|(i, t)| {
+                t.trainer.flush_trace();
+                let stats: FabricStats = t.trainer.fabric_stats();
+                let summary = t.recorder.finish().summary();
+                let alive = t.trainer.alive();
+                let lead = alive.iter().position(|&a| a).unwrap_or(0);
+                let compute_ns: u64 = summary.iters.values().map(|s| s.compute_ns).sum();
+                let exchange_ns: u64 = summary.iters.values().map(|s| s.exchange_ns).sum();
+                TenantReport {
+                    name: t.spec.name.clone(),
+                    tenant: i,
+                    bandwidth_fraction: shares.fraction(i),
+                    completed_iterations: t.completed,
+                    wire_bytes: stats.wire_bytes,
+                    obs_wire_bytes: summary.total_wire_bytes(),
+                    payload_bytes: stats.payload_bytes,
+                    link_latency_ns: stats.link_latency_ns,
+                    compute_ns,
+                    exchange_ns,
+                    comm_fraction: summary.comm_fraction(),
+                    recovered_steps: t.recovered_steps,
+                    joins: t.joins,
+                    leaves: t.leaves,
+                    crashes: t.trainer.fault_stats().crashes,
+                    final_loss: t.final_loss,
+                    param_fingerprint: fingerprint(&t.trainer.replica(lead).flat_params()),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn churn_jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                name: "elastic-ring".into(),
+                workers: 3,
+                iterations: 6,
+                priority: 3,
+                batch_per_worker: 4,
+                data_samples: 48,
+                seed: 11,
+                membership: MembershipSchedule::new().leave(2, 2).join(4, 2),
+                ..JobSpec::default()
+            },
+            JobSpec {
+                name: "crashy-switch".into(),
+                workers: 3,
+                strategy: ExchangeStrategy::SwitchReduce,
+                iterations: 5,
+                priority: 1,
+                batch_per_worker: 4,
+                data_samples: 48,
+                seed: 13,
+                membership: MembershipSchedule::new().crash(2, 1).join(4, 1),
+                ..JobSpec::default()
+            },
+        ]
+    }
+
+    fn run_cluster() -> Vec<TenantReport> {
+        let mut cluster = ClusterService::new();
+        for job in churn_jobs() {
+            cluster.admit(job);
+        }
+        cluster.run()
+    }
+
+    #[test]
+    fn two_tenants_with_churn_replay_byte_identically() {
+        let a = run_cluster();
+        let b = run_cluster();
+        assert_eq!(a, b, "the whole multi-tenant run must replay exactly");
+        assert_eq!(a[0].joins, 1);
+        assert_eq!(a[0].leaves, 1);
+        assert_eq!(a[1].crashes, 1);
+        assert_eq!(a[1].joins, 1);
+        assert_eq!(a[1].recovered_steps, 1);
+    }
+
+    #[test]
+    fn obs_wire_bytes_reconcile_with_the_fabric_to_the_byte() {
+        for report in run_cluster() {
+            assert!(report.wire_bytes > 0, "{}: nothing crossed", report.name);
+            assert_eq!(
+                report.wire_bytes, report.obs_wire_bytes,
+                "{}: transport and obs disagree on wire bytes",
+                report.name
+            );
+        }
+    }
+
+    #[test]
+    fn priorities_resolve_to_bandwidth_shares() {
+        let reports = run_cluster();
+        assert_eq!(reports[0].bandwidth_fraction, 0.75);
+        assert_eq!(reports[1].bandwidth_fraction, 0.25);
+        // The thin-share tenant pays more link time per wire byte.
+        let cost = |r: &TenantReport| r.link_latency_ns as f64 / r.wire_bytes as f64;
+        assert!(
+            cost(&reports[1]) > cost(&reports[0]),
+            "25% share must be slower per byte than 75%: {} vs {}",
+            cost(&reports[1]),
+            cost(&reports[0]),
+        );
+    }
+
+    #[test]
+    fn every_tenant_finishes_and_converges() {
+        let reports = run_cluster();
+        for (report, spec) in reports.iter().zip(churn_jobs()) {
+            assert_eq!(report.completed_iterations, spec.iterations);
+            assert!(report.final_loss.is_finite());
+            assert!(report.comm_fraction > 0.0 && report.comm_fraction < 1.0);
+        }
+    }
+}

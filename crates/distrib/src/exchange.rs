@@ -1,0 +1,415 @@
+//! The single dispatch seam over every gradient-exchange schedule.
+//!
+//! Historically every caller that wanted an all-reduce picked one of
+//! eight free functions by hand — four whole-block schedules
+//! ([`ring_allreduce_over`], [`tree_allreduce_over`],
+//! [`switch_allreduce_over`], [`worker_aggregator_allreduce_over`])
+//! and their four pipelined `pipelined_*_over` twins — and re-derived
+//! the fallback rules (degrade to the survivor ring when the worker
+//! set is not intact, when the tree fell out of sync with the live
+//! set, when the aggregator star lost its center) at every call site.
+//! Elastic membership makes that untenable: joins, leaves, and crashes
+//! all reshape the live set mid-run, and each reshaping would have to
+//! be re-implemented eight times.
+//!
+//! [`Exchange`] collapses the surface to one choke point:
+//! [`Exchange::run`] takes the configured [`ExchangeStrategy`], the
+//! fabric, the gradients, and the *live* worker set, and dispatches to
+//! the right schedule with the right fallback — whole-block by
+//! default, the bit-identical pipelined schedules when a
+//! [`PipelineConfig`] is armed (reusing one [`PipelineScratch`] across
+//! iterations, preserving the zero-allocation steady state). Membership
+//! transitions now touch exactly one struct: the trainer updates the
+//! exchange's live topology and aggregator flag, and every strategy
+//! follows.
+//!
+//! The eight underlying functions stay public — they are the
+//! differential-testing surface — but non-test code goes through this
+//! seam.
+
+use std::fmt;
+
+use inceptionn_netsim::Topology;
+
+use crate::aggregator::worker_aggregator_allreduce_over;
+use crate::fabric::{Fabric, FabricError};
+use crate::pipeline::{
+    pipelined_ring_allreduce_over_with, pipelined_switch_allreduce_over_with,
+    pipelined_tree_allreduce_over_with, pipelined_worker_aggregator_allreduce_over_with,
+    PipelineConfig, PipelineScratch,
+};
+use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over, tree_allreduce_over};
+use crate::switch::switch_allreduce_over;
+use crate::trainer::ExchangeStrategy;
+
+/// Unified dispatcher over the whole-block and pipelined exchange
+/// schedules, carrying the membership-dependent state every strategy
+/// needs: the live topology tree and whether the aggregator endpoint is
+/// down.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_distrib::fabric::FabricBuilder;
+/// use inceptionn_distrib::{Exchange, ExchangeStrategy};
+///
+/// let mut fabric = FabricBuilder::new(4).build();
+/// let mut grads = vec![vec![1.0f32, 2.0]; 3];
+/// let live: Vec<usize> = (0..3).collect();
+/// let mut exchange = Exchange::new(3);
+/// exchange
+///     .run(ExchangeStrategy::Ring, fabric.as_mut(), &mut grads, &live)
+///     .unwrap();
+/// assert_eq!(grads[0], vec![3.0, 6.0]);
+/// ```
+pub struct Exchange {
+    /// The configured (full) worker count; a live set smaller than this
+    /// is not intact and degrades the flat strategies to the survivor
+    /// ring.
+    workers: usize,
+    /// The live topology tree driving [`ExchangeStrategy::Tree`];
+    /// `None` falls back to the survivor ring.
+    topology: Option<Topology>,
+    /// Whether the aggregator endpoint (index `workers`) is down, which
+    /// reroutes [`ExchangeStrategy::WorkerAggregator`] to the ring.
+    aggregator_down: bool,
+    /// Armed pipelined mode; `None` runs the whole-block schedules.
+    pipeline: Option<PipelineConfig>,
+    /// Scratch reused across pipelined runs (zero-allocation steady
+    /// state).
+    scratch: PipelineScratch,
+}
+
+impl fmt::Debug for Exchange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Exchange")
+            .field("workers", &self.workers)
+            .field("topology", &self.topology)
+            .field("aggregator_down", &self.aggregator_down)
+            .field("pipeline", &self.pipeline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Exchange {
+    /// A dispatcher for a cluster of `workers` workers with no topology
+    /// tree (tree dispatch degrades to the ring until one is set).
+    pub fn new(workers: usize) -> Self {
+        Exchange {
+            workers,
+            topology: None,
+            aggregator_down: false,
+            pipeline: None,
+            scratch: PipelineScratch::new(),
+        }
+    }
+
+    /// Arms the live topology tree [`ExchangeStrategy::Tree`] runs
+    /// over.
+    pub fn with_topology(mut self, topo: Topology) -> Self {
+        self.topology = Some(topo);
+        self
+    }
+
+    /// Switches dispatch to the pipelined schedules (bit-identical to
+    /// whole-block; overlaps encode/transfer/decode per chunk).
+    pub fn pipelined(mut self, cfg: PipelineConfig) -> Self {
+        self.pipeline = Some(cfg);
+        self
+    }
+
+    /// Replaces the live topology (e.g. after a membership transition
+    /// re-derived it from the pristine tree). `None` degrades tree
+    /// dispatch to the survivor ring.
+    pub fn set_topology(&mut self, topo: Option<Topology>) {
+        self.topology = topo;
+    }
+
+    /// The live topology, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// Records that `endpoint` is down: the aggregator endpoint
+    /// (`>= workers`) drops the star's center, a worker endpoint is
+    /// pruned from the live topology.
+    pub fn note_endpoint_down(&mut self, endpoint: usize) {
+        if endpoint >= self.workers {
+            self.aggregator_down = true;
+        } else if let Some(topo) = &self.topology {
+            self.topology = topo.excise(endpoint);
+        }
+    }
+
+    /// Clears the aggregator-down flag (the aggregator endpoint
+    /// rejoined).
+    pub fn revive_aggregator(&mut self) {
+        self.aggregator_down = false;
+    }
+
+    /// Whether the aggregator endpoint is currently down.
+    pub fn aggregator_down(&self) -> bool {
+        self.aggregator_down
+    }
+
+    /// Runs one all-reduce of `grads` (where `grads[k]` belongs to
+    /// worker `live[k]`, which is also its fabric endpoint) under
+    /// `strategy`, with the membership-aware fallbacks:
+    ///
+    /// * a live set that is not the full worker set (or a downed
+    ///   aggregator) degrades the flat strategies to the survivor ring;
+    /// * [`ExchangeStrategy::Tree`] runs over the armed topology only
+    ///   while its leaves equal the live set, and falls back to the
+    ///   ring otherwise;
+    /// * [`ExchangeStrategy::SwitchReduce`] always folds exactly the
+    ///   live ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError`] when the selected schedule fails past
+    /// its recovery ladder (see the individual schedule docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics as the dispatched schedule does (empty worker set,
+    /// mismatched gradient lengths, endpoints out of range, or a group
+    /// size that does not divide an intact hierarchical cluster).
+    pub fn run(
+        &mut self,
+        strategy: ExchangeStrategy,
+        fabric: &mut dyn Fabric,
+        grads: &mut [Vec<f32>],
+        live: &[usize],
+    ) -> Result<(), FabricError> {
+        let Exchange {
+            workers,
+            topology,
+            aggregator_down,
+            pipeline,
+            scratch,
+        } = self;
+        let intact = live.len() == *workers && !*aggregator_down;
+        match strategy {
+            ExchangeStrategy::SwitchReduce => match *pipeline {
+                None => switch_allreduce_over(fabric, grads, live),
+                Some(cfg) => {
+                    pipelined_switch_allreduce_over_with(fabric, grads, live, cfg, scratch)
+                }
+            },
+            ExchangeStrategy::Tree => {
+                match topology.as_ref().filter(|t| t.workers() == live) {
+                    Some(topo) => match *pipeline {
+                        None => tree_allreduce_over(fabric, grads, topo),
+                        Some(cfg) => {
+                            pipelined_tree_allreduce_over_with(fabric, grads, topo, cfg, scratch)
+                        }
+                    },
+                    // The tree fell out of sync with the live set (no
+                    // topology armed, or excision had nothing to
+                    // remove): flat survivor ring.
+                    None => run_ring(*pipeline, scratch, fabric, grads, live),
+                }
+            }
+            _ if !intact => run_ring(*pipeline, scratch, fabric, grads, live),
+            ExchangeStrategy::Ring => run_ring(*pipeline, scratch, fabric, grads, live),
+            ExchangeStrategy::HierarchicalRing { group_size } => match *pipeline {
+                None => hierarchical_ring_allreduce_over(fabric, grads, group_size),
+                Some(cfg) => {
+                    // Mirror the whole-block hierarchical schedule: it
+                    // is the two-tier (or flat, for one group) special
+                    // case of the tree exchange.
+                    let n = grads.len();
+                    assert!(group_size > 0, "group size must be positive");
+                    assert!(
+                        n.is_multiple_of(group_size),
+                        "group size {group_size} must divide worker count {n}"
+                    );
+                    let groups = n / group_size;
+                    let topo = if groups <= 1 {
+                        Topology::flat(n)
+                    } else {
+                        Topology::two_tier(groups, group_size)
+                    };
+                    pipelined_tree_allreduce_over_with(fabric, grads, &topo, cfg, scratch)
+                }
+            },
+            ExchangeStrategy::WorkerAggregator => match *pipeline {
+                None => worker_aggregator_allreduce_over(fabric, grads),
+                Some(cfg) => {
+                    pipelined_worker_aggregator_allreduce_over_with(fabric, grads, cfg, scratch)
+                }
+            },
+        }
+    }
+}
+
+/// The survivor-ring leg every fallback lands on.
+fn run_ring(
+    pipeline: Option<PipelineConfig>,
+    scratch: &mut PipelineScratch,
+    fabric: &mut dyn Fabric,
+    grads: &mut [Vec<f32>],
+    live: &[usize],
+) -> Result<(), FabricError> {
+    match pipeline {
+        None => ring_allreduce_over(fabric, grads, live),
+        Some(cfg) => pipelined_ring_allreduce_over_with(fabric, grads, live, cfg, scratch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{FabricBuilder, TransportKind};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn grads(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-0.3f32..0.3)).collect())
+            .collect()
+    }
+
+    fn bits(w: &[Vec<f32>]) -> Vec<Vec<u32>> {
+        w.iter()
+            .map(|g| g.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    type Schedule = Box<dyn Fn(&mut dyn Fabric, &mut [Vec<f32>])>;
+
+    /// The seam must be a pure dispatcher: for every strategy, running
+    /// through `Exchange` equals calling the underlying schedule
+    /// directly, bit for bit, whole-block and pipelined alike.
+    #[test]
+    fn dispatch_matches_the_underlying_schedules_bit_exactly() {
+        let n = 4;
+        let live: Vec<usize> = (0..n).collect();
+        let topo = Topology::two_tier(2, 2);
+        let cases: Vec<(ExchangeStrategy, Schedule)> = vec![
+            (
+                ExchangeStrategy::Ring,
+                Box::new({
+                    let live = live.clone();
+                    move |f: &mut dyn Fabric, w: &mut [Vec<f32>]| {
+                        ring_allreduce_over(f, w, &live).unwrap()
+                    }
+                }),
+            ),
+            (
+                ExchangeStrategy::Tree,
+                Box::new({
+                    let topo = topo.clone();
+                    move |f: &mut dyn Fabric, w: &mut [Vec<f32>]| {
+                        tree_allreduce_over(f, w, &topo).unwrap()
+                    }
+                }),
+            ),
+            (
+                ExchangeStrategy::HierarchicalRing { group_size: 2 },
+                Box::new(|f: &mut dyn Fabric, w: &mut [Vec<f32>]| {
+                    hierarchical_ring_allreduce_over(f, w, 2).unwrap()
+                }),
+            ),
+            (
+                ExchangeStrategy::WorkerAggregator,
+                Box::new(|f: &mut dyn Fabric, w: &mut [Vec<f32>]| {
+                    worker_aggregator_allreduce_over(f, w).unwrap()
+                }),
+            ),
+            (
+                ExchangeStrategy::SwitchReduce,
+                Box::new({
+                    let live = live.clone();
+                    move |f: &mut dyn Fabric, w: &mut [Vec<f32>]| {
+                        switch_allreduce_over(f, w, &live).unwrap()
+                    }
+                }),
+            ),
+        ];
+        for (strategy, direct) in cases {
+            let mut want = grads(n, 600, 7);
+            let mut fabric = FabricBuilder::new(n + 1)
+                .transport(TransportKind::Nic)
+                .build();
+            direct(fabric.as_mut(), &mut want);
+
+            for pipelined in [false, true] {
+                let mut got = grads(n, 600, 7);
+                let mut fabric = FabricBuilder::new(n + 1)
+                    .transport(TransportKind::Nic)
+                    .build();
+                let mut ex = Exchange::new(n).with_topology(topo.clone());
+                if pipelined {
+                    ex = ex.pipelined(PipelineConfig::with_chunk(128));
+                }
+                ex.run(strategy, fabric.as_mut(), &mut got, &live).unwrap();
+                assert_eq!(
+                    bits(&got),
+                    bits(&want),
+                    "{strategy:?} pipelined={pipelined} diverged from the direct schedule"
+                );
+            }
+        }
+    }
+
+    /// A shrunken live set degrades every flat strategy to the survivor
+    /// ring, and a pruned topology keeps tree dispatch on the tree.
+    #[test]
+    fn non_intact_live_sets_fall_back_to_the_survivor_ring() {
+        let live = vec![0usize, 2, 3];
+        let mut want = grads(3, 300, 9);
+        let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+        ring_allreduce_over(fabric.as_mut(), &mut want, &live).unwrap();
+        for strategy in [
+            ExchangeStrategy::Ring,
+            ExchangeStrategy::HierarchicalRing { group_size: 2 },
+            ExchangeStrategy::WorkerAggregator,
+            ExchangeStrategy::Tree, // no topology armed
+        ] {
+            let mut got = grads(3, 300, 9);
+            let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+            let mut ex = Exchange::new(4);
+            ex.run(strategy, fabric.as_mut(), &mut got, &live).unwrap();
+            assert_eq!(bits(&got), bits(&want), "{strategy:?}");
+        }
+        // With a pruned topology matching the live set, Tree stays a tree.
+        let pruned = Topology::two_tier(2, 2).excise(1).unwrap();
+        let mut want_tree = grads(3, 300, 9);
+        let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+        tree_allreduce_over(fabric.as_mut(), &mut want_tree, &pruned).unwrap();
+        let mut got = grads(3, 300, 9);
+        let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+        let mut ex = Exchange::new(4).with_topology(Topology::two_tier(2, 2));
+        ex.note_endpoint_down(1);
+        ex.run(ExchangeStrategy::Tree, fabric.as_mut(), &mut got, &live)
+            .unwrap();
+        assert_eq!(bits(&got), bits(&want_tree));
+    }
+
+    /// A downed aggregator reroutes the star to the ring even when every
+    /// worker is live, and a revive restores the star.
+    #[test]
+    fn aggregator_down_reroutes_the_star() {
+        let live: Vec<usize> = (0..4).collect();
+        let mut want = grads(4, 200, 5);
+        let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+        ring_allreduce_over(fabric.as_mut(), &mut want, &live).unwrap();
+        let mut got = grads(4, 200, 5);
+        let mut fabric = FabricBuilder::new(5).transport(TransportKind::Nic).build();
+        let mut ex = Exchange::new(4);
+        ex.note_endpoint_down(4);
+        assert!(ex.aggregator_down());
+        ex.run(
+            ExchangeStrategy::WorkerAggregator,
+            fabric.as_mut(),
+            &mut got,
+            &live,
+        )
+        .unwrap();
+        assert_eq!(bits(&got), bits(&want), "star must degrade to the ring");
+        ex.revive_aggregator();
+        assert!(!ex.aggregator_down());
+    }
+}

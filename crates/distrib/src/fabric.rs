@@ -42,6 +42,7 @@ use inceptionn_nicsim::{
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
 use crate::faults::{FaultPlan, FaultStats, FaultyFabric};
+use crate::membership::MembershipSchedule;
 
 /// `f32` values per MTU packet — one 1448-byte payload.
 use inceptionn_nicsim::VALUES_PER_PACKET;
@@ -2204,6 +2205,7 @@ pub struct FabricBuilder {
     network: Option<NetworkConfig>,
     topology: Option<Topology>,
     faults: Option<FaultPlan>,
+    membership: MembershipSchedule,
 }
 
 impl FabricBuilder {
@@ -2218,6 +2220,7 @@ impl FabricBuilder {
             network: None,
             topology: None,
             faults: None,
+            membership: MembershipSchedule::new(),
         }
     }
 
@@ -2271,6 +2274,17 @@ impl FabricBuilder {
         self
     }
 
+    /// Arms a typed membership schedule: crash events take endpoints
+    /// down (every touching delivery fails with
+    /// [`FabricError::EndpointDown`]) and join events revive them.
+    /// Leave events are trainer-level and inert at the fabric layer.
+    /// Armed alone, the schedule still wraps the stack in the fault
+    /// decorator (with a clean plan) so liveness is enforced.
+    pub fn membership(mut self, schedule: MembershipSchedule) -> Self {
+        self.membership = schedule;
+        self
+    }
+
     /// Assembles the configured stack.
     pub fn build(self) -> Box<dyn Fabric> {
         let base: Box<dyn Fabric> = match self.transport {
@@ -2302,10 +2316,25 @@ impl FabricBuilder {
         } else {
             base
         };
-        match self.faults {
-            Some(plan) => Box::new(FaultyFabric::decorate(timed, plan, &self.recorder)),
-            None => timed,
+        // The deprecated one-shot `FaultPlan::crash` field desugars to a
+        // typed `MembershipEvent::Crash` on the schedule, so old plans
+        // and new schedules share one liveness mechanism.
+        let mut membership = self.membership;
+        if let Some(event) = self.faults.as_ref().and_then(FaultPlan::desugared_crash) {
+            membership = membership.push_event(event);
         }
+        if self.faults.is_none() && membership.is_empty() {
+            return timed;
+        }
+        let plan = self
+            .faults
+            .unwrap_or_else(|| FaultPlan::new(WIRE_CODEC_SEED));
+        Box::new(FaultyFabric::decorate(
+            timed,
+            plan,
+            membership,
+            &self.recorder,
+        ))
     }
 }
 

@@ -5,9 +5,14 @@
 //! *recovers* from that without stalling training. This module is the
 //! adversary: a seeded [`FaultPlan`] describes per-link packet drops,
 //! in-flight bit corruption, packet reordering, compressed-stream
-//! poisoning, link slowdown windows, straggler uplinks, and a one-shot
-//! endpoint crash; [`FaultyFabric`] decorates any [`Fabric`] stack and
-//! perturbs frames on delivery according to the plan.
+//! poisoning, link slowdown windows, and straggler uplinks;
+//! [`FaultyFabric`] decorates any [`Fabric`] stack and perturbs frames
+//! on delivery according to the plan. Endpoint liveness (crashes and
+//! the joins that revive them) comes from a typed
+//! [`MembershipSchedule`] armed through `FabricBuilder::membership`;
+//! the historical one-shot `FaultPlan::crash` field survives only as a
+//! deprecated shim that desugars to a single
+//! [`MembershipEvent::Crash`](crate::membership::MembershipEvent::Crash).
 //!
 //! Everything is deterministic by construction. Fault draws are pure
 //! functions of `(seed, src, dst, per-link sequence number, salt)`
@@ -38,6 +43,7 @@ use obs::{labels, Domain, Event, EventBuf, Recorder};
 use crate::fabric::{
     Fabric, FabricError, FabricStats, FrameBody, PayloadKind, SwitchAccum, WireFrame,
 };
+use crate::membership::{MembershipEvent, MembershipSchedule};
 
 /// Consecutive recoverable delivery failures from one sender before an
 /// exchange strategy renegotiates that leg down to the uncompressed
@@ -81,10 +87,14 @@ impl LinkFaults {
 /// let plan = FaultPlan::new(42)
 ///     .drop_prob(0.01)
 ///     .corrupt_prob(0.001)
-///     .straggler(2, 4.0)
-///     .crash(3, 10);
+///     .straggler(2, 4.0);
 /// assert!(plan.link_faults(0, 1).drop_prob > 0.0);
 /// ```
+///
+/// Endpoint crashes are no longer part of the plan: schedule them (and
+/// the joins/leaves around them) through a
+/// [`MembershipSchedule`](crate::membership::MembershipSchedule) on
+/// `FabricBuilder::membership` or `TrainerConfig::membership`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
@@ -175,6 +185,13 @@ impl FaultPlan {
     /// Arms a one-shot crash: starting at iteration `at`, `endpoint`
     /// neither sends nor receives until the collective is re-stitched
     /// around it.
+    #[deprecated(
+        since = "0.11.0",
+        note = "schedule a typed `MembershipEvent::Crash` through \
+                `MembershipSchedule::crash(at, worker)` on \
+                `FabricBuilder::membership` / `TrainerConfig::membership` \
+                instead; this field desugars to exactly that"
+    )]
     pub fn crash(mut self, endpoint: usize, at_iteration: u64) -> Self {
         self.crash = Some((endpoint, at_iteration));
         self
@@ -191,8 +208,21 @@ impl FaultPlan {
     }
 
     /// The armed crash, if any: `(endpoint, first faulty iteration)`.
+    #[deprecated(
+        since = "0.11.0",
+        note = "crashes live on the membership schedule now; inspect \
+                `MembershipSchedule::events` instead"
+    )]
     pub fn crash_schedule(&self) -> Option<(usize, u64)> {
         self.crash
+    }
+
+    /// The deprecated one-shot crash field, desugared to the typed
+    /// schedule it shims: the builder merges this into the fabric's
+    /// [`MembershipSchedule`] so old plans keep crashing identically.
+    pub(crate) fn desugared_crash(&self) -> Option<MembershipEvent> {
+        self.crash
+            .map(|(worker, at)| MembershipEvent::Crash { at, worker })
     }
 
     /// Fault probabilities in effect on the `src -> dst` link.
@@ -300,11 +330,17 @@ pub struct FaultStats {
 pub struct FaultyFabric {
     inner: Box<dyn Fabric>,
     plan: FaultPlan,
+    /// Endpoint liveness schedule (crashes and reviving joins); the
+    /// deprecated `FaultPlan::crash` field is desugared into it at
+    /// build time.
+    membership: MembershipSchedule,
     /// Per-directed-link transmission counters (`src * endpoints + dst`),
     /// the sequence dimension of every fault draw.
     seq: Vec<u64>,
     iteration: u64,
-    crash_fired: bool,
+    /// How many of the schedule's crash events (in schedule order) have
+    /// fired their one-time crash stat.
+    crashes_fired: u64,
     stats: FaultStats,
     buf: EventBuf,
     obs_seq: u64,
@@ -321,16 +357,25 @@ impl fmt::Debug for FaultyFabric {
 }
 
 impl FaultyFabric {
-    /// Wraps `inner`, perturbing deliveries per `plan`. Crate-private:
-    /// the only construction path is `FabricBuilder::faults`.
-    pub(crate) fn decorate(inner: Box<dyn Fabric>, plan: FaultPlan, recorder: &Recorder) -> Self {
+    /// Wraps `inner`, perturbing deliveries per `plan` and gating
+    /// endpoint liveness on `membership`. Crate-private: the only
+    /// construction path is `FabricBuilder::faults` /
+    /// `FabricBuilder::membership`, which also desugars the deprecated
+    /// `FaultPlan::crash` field into the schedule.
+    pub(crate) fn decorate(
+        inner: Box<dyn Fabric>,
+        plan: FaultPlan,
+        membership: MembershipSchedule,
+        recorder: &Recorder,
+    ) -> Self {
         let endpoints = inner.endpoints();
         FaultyFabric {
             inner,
             plan,
+            membership,
             seq: vec![0; endpoints * endpoints],
             iteration: 0,
-            crash_fired: false,
+            crashes_fired: 0,
             stats: FaultStats::default(),
             buf: recorder.buffer(),
             obs_seq: 0,
@@ -342,11 +387,14 @@ impl FaultyFabric {
         &self.plan
     }
 
-    fn crashed_endpoint(&self) -> Option<usize> {
-        self.plan
-            .crash
-            .filter(|&(_, at)| self.iteration >= at)
-            .map(|(ep, _)| ep)
+    /// The membership schedule gating endpoint liveness.
+    pub fn membership(&self) -> &MembershipSchedule {
+        &self.membership
+    }
+
+    /// Whether `endpoint` is crash-down at the current iteration.
+    fn is_down(&self, endpoint: usize) -> bool {
+        self.membership.down_at(endpoint, self.iteration)
     }
 
     fn record(&mut self, label: &'static str, src: usize, dst: usize, value: u64) {
@@ -590,10 +638,11 @@ impl Fabric for FaultyFabric {
             // Self-deliveries never cross the wire; nothing to fault.
             return self.inner.deliver(dst, frame, sink);
         }
-        if let Some(ep) = self.crashed_endpoint() {
-            if ep == src || ep == dst {
-                return Err(FabricError::EndpointDown { endpoint: ep });
-            }
+        if self.is_down(src) {
+            return Err(FabricError::EndpointDown { endpoint: src });
+        }
+        if self.is_down(dst) {
+            return Err(FabricError::EndpointDown { endpoint: dst });
         }
         let budget = self.plan.max_retransmits;
         let mut attempt: u32 = 0;
@@ -672,10 +721,10 @@ impl Fabric for FaultyFabric {
         // on the uplink half-leg are folded into the plan's per-link
         // poisoning of the *exchange restart* path instead of being
         // drawn here — the reduce unit has no retransmission protocol.
-        if let Some(ep) = self.crashed_endpoint() {
-            if ep == frame.src() {
-                return Err(FabricError::EndpointDown { endpoint: ep });
-            }
+        if self.is_down(frame.src()) {
+            return Err(FabricError::EndpointDown {
+                endpoint: frame.src(),
+            });
         }
         self.inner.switch_fold(acc, frame)
     }
@@ -691,10 +740,10 @@ impl Fabric for FaultyFabric {
     ) -> Result<(), FabricError> {
         // Same contract as `switch_fold`: a crashed endpoint offers no
         // contribution, whatever shape the accumulator takes.
-        if let Some(ep) = self.crashed_endpoint() {
-            if ep == frame.src() {
-                return Err(FabricError::EndpointDown { endpoint: ep });
-            }
+        if self.is_down(frame.src()) {
+            return Err(FabricError::EndpointDown {
+                endpoint: frame.src(),
+            });
         }
         self.inner.switch_fold_into(acc, frame)
     }
@@ -706,13 +755,25 @@ impl Fabric for FaultyFabric {
 
     fn begin_iteration(&mut self, iteration: u64) {
         self.iteration = iteration;
-        if let Some((ep, at)) = self.plan.crash {
-            if iteration >= at && !self.crash_fired {
-                self.crash_fired = true;
-                self.stats.crashes += 1;
-                self.record(labels::FAULT_CRASH, ep, ep, 1);
+        // Fire the one-time crash stat for every crash event whose
+        // iteration has arrived. Events are sorted by iteration, so the
+        // already-fired ones are exactly the first `crashes_fired`
+        // crash events in schedule order.
+        let mut due = 0u64;
+        for i in 0..self.membership.events().len() {
+            let event = self.membership.events()[i];
+            if event.at() > iteration {
+                break;
+            }
+            if let MembershipEvent::Crash { worker, .. } = event {
+                due += 1;
+                if due > self.crashes_fired {
+                    self.stats.crashes += 1;
+                    self.record(labels::FAULT_CRASH, worker, worker, 1);
+                }
             }
         }
+        self.crashes_fired = self.crashes_fired.max(due);
         self.inner.begin_iteration(iteration);
     }
 
@@ -874,7 +935,7 @@ mod tests {
     fn crash_blocks_all_touching_traffic_from_its_iteration() {
         let v = vals(64);
         let mut fabric = FabricBuilder::new(3)
-            .faults(FaultPlan::new(1).crash(2, 4))
+            .membership(MembershipSchedule::new().crash(4, 2))
             .build();
         fabric.begin_iteration(3);
         assert_eq!(fabric.transfer(0, 2, &v).unwrap(), v, "not crashed yet");
@@ -890,10 +951,45 @@ mod tests {
     }
 
     #[test]
+    fn join_revives_a_crashed_endpoint() {
+        let v = vals(64);
+        let mut fabric = FabricBuilder::new(3)
+            .membership(MembershipSchedule::new().crash(2, 1).join(5, 1))
+            .build();
+        fabric.begin_iteration(2);
+        let err = fabric.transfer(0, 1, &v).expect_err("crashed");
+        assert_eq!(err, FabricError::EndpointDown { endpoint: 1 });
+        fabric.begin_iteration(5);
+        assert_eq!(fabric.transfer(0, 1, &v).unwrap(), v, "revived by join");
+        assert_eq!(fabric.transfer(1, 2, &v).unwrap(), v, "sends again too");
+        assert_eq!(fabric.fault_stats().crashes, 1, "one crash event fired");
+    }
+
+    #[test]
+    fn deprecated_crash_field_desugars_to_a_membership_crash() {
+        // The old one-shot `FaultPlan::crash` shim must keep behaving
+        // exactly like the typed schedule it desugars into.
+        let v = vals(64);
+        #[allow(deprecated)]
+        let legacy = FaultPlan::new(1).crash(2, 4);
+        let mut old = FabricBuilder::new(3).faults(legacy).build();
+        let mut new = FabricBuilder::new(3)
+            .faults(FaultPlan::new(1))
+            .membership(MembershipSchedule::new().crash(4, 2))
+            .build();
+        for fabric in [&mut old, &mut new] {
+            fabric.begin_iteration(4);
+            let err = fabric.transfer(0, 2, &v).expect_err("crashed endpoint");
+            assert_eq!(err, FabricError::EndpointDown { endpoint: 2 });
+            assert_eq!(fabric.fault_stats().crashes, 1);
+        }
+    }
+
+    #[test]
     fn crashed_endpoint_contributes_nothing_to_the_switch() {
         let v = vals(64);
         let mut fabric = FabricBuilder::new(2)
-            .faults(FaultPlan::new(1).crash(1, 1))
+            .membership(MembershipSchedule::new().crash(1, 1))
             .build();
         fabric.begin_iteration(1);
         let mut acc = vec![0.0f32; 64];

@@ -60,20 +60,24 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aggregator;
+pub mod exchange;
 pub mod fabric;
 pub mod faults;
+pub mod membership;
 pub mod pipeline;
 pub mod ring;
 pub mod switch;
 pub mod trainer;
 
 pub use aggregator::{worker_aggregator_allreduce, worker_aggregator_allreduce_over};
+pub use exchange::Exchange;
 pub use fabric::{
     CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, FrameArena, FrameBody,
     InProcessFabric, NicFabric, PayloadKind, SwitchAccum, TimedFabric, TransportKind, WireFrame,
     WIRE_CODEC_SEED,
 };
 pub use faults::{FaultPlan, FaultStats, FaultyFabric, LinkFaults, RENEGOTIATE_AFTER};
+pub use membership::{MembershipEvent, MembershipSchedule};
 pub use pipeline::{
     pipelined_ring_allreduce_over, pipelined_ring_allreduce_over_with,
     pipelined_switch_allreduce_over, pipelined_switch_allreduce_over_with,

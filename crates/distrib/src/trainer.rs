@@ -3,16 +3,15 @@
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::optim::{Sgd, SgdConfig};
 use inceptionn_dnn::Network;
-use inceptionn_netsim::Topology;
+use inceptionn_netsim::{NetworkConfig, Topology};
 use obs::{labels, Domain, Event, EventBuf, Recorder};
 
-use crate::aggregator::worker_aggregator_allreduce_over;
+use crate::exchange::Exchange;
 use crate::fabric::{
-    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, TransportKind,
+    CodecSelection, Fabric, FabricBuilder, FabricError, FabricStats, PayloadKind, TransportKind,
 };
 use crate::faults::{FaultPlan, FaultStats};
-use crate::ring::{hierarchical_ring_allreduce_over, ring_allreduce_over, tree_allreduce_over};
-use crate::switch::switch_allreduce_over;
+use crate::membership::{MembershipEvent, MembershipSchedule};
 
 /// Which gradient-exchange algorithm the cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +61,14 @@ pub struct TrainerConfig {
     /// Deterministic fault injection armed on the transport (`None` =
     /// a clean fabric).
     pub faults: Option<FaultPlan>,
+    /// Typed membership transitions — joins (with snapshot catch-up),
+    /// graceful leaves, crashes — pinned to iterations. The empty
+    /// default never fires.
+    pub membership: MembershipSchedule,
+    /// Link/switch timing model for the timed transports (`None` = the
+    /// default 10 GbE model). A multi-tenant host scales each tenant's
+    /// `link_bps` by its bandwidth share here.
+    pub network: Option<NetworkConfig>,
     /// Switch topology the cluster hangs off (`None` = one flat switch
     /// over all workers). Leaves must be exactly the worker ids. Drives
     /// [`ExchangeStrategy::Tree`] and the timed transports' per-tier
@@ -86,6 +93,8 @@ impl Default for TrainerConfig {
             transport: TransportKind::InProcess,
             codec: CodecSelection::None,
             faults: None,
+            membership: MembershipSchedule::new(),
+            network: None,
             topology: None,
             sgd: SgdConfig::default(),
             batch_per_worker: 16,
@@ -108,6 +117,11 @@ pub struct IterationLog {
     /// A gradient-exchange failure that survived every recovery layer;
     /// the iteration's SGD update is skipped when set.
     pub exchange_error: Option<FabricError>,
+    /// Workers that (re)joined the collective this iteration, after
+    /// snapshot catch-up from the leader.
+    pub joined: Vec<usize>,
+    /// Workers that left gracefully before this iteration's exchange.
+    pub left: Vec<usize>,
 }
 
 impl IterationLog {
@@ -117,8 +131,69 @@ impl IterationLog {
             accuracy,
             excised: None,
             exchange_error: None,
+            joined: Vec::new(),
+            left: Vec::new(),
         }
     }
+}
+
+/// Applies one membership transition to the trainer-side live flags —
+/// the fabric-level half (endpoint liveness) is the schedule's own
+/// [`MembershipSchedule::down_at`]. Returns whether the transition
+/// changed anything: a join of an already-live worker, or a leave of an
+/// already-departed one, is a no-op, and crashes are not applied here
+/// at all (they surface through the fabric as
+/// [`FabricError::EndpointDown`] and take the recovery-ladder path).
+///
+/// Runs at the top of every training iteration, so it allocates nothing
+/// and cannot panic.
+fn apply_membership_event(
+    event: MembershipEvent,
+    alive: &mut [bool],
+    aggregator_down: &mut bool,
+) -> bool {
+    let workers = alive.len();
+    match event {
+        MembershipEvent::Join { worker, .. } if worker >= workers => {
+            let changed = *aggregator_down;
+            *aggregator_down = false;
+            changed
+        }
+        MembershipEvent::Join { worker, .. } => match alive.get_mut(worker) {
+            Some(slot) if !*slot => {
+                *slot = true;
+                true
+            }
+            _ => false,
+        },
+        MembershipEvent::Leave { worker, .. } => match alive.get_mut(worker) {
+            Some(slot) if *slot => {
+                *slot = false;
+                true
+            }
+            _ => false,
+        },
+        MembershipEvent::Crash { .. } => false,
+    }
+}
+
+/// Ships one snapshot block from `src` to `dst` as plain frames (the
+/// lossy engines must never touch checkpoint state), copying the
+/// delivered values into `out`. Snapshot catch-up rides the fabric's
+/// delivery path, so byte accounting, timing, and fault injection all
+/// apply to it like any other transfer; the copy itself allocates
+/// nothing beyond `out`'s growth and cannot panic.
+fn transfer_snapshot(
+    fabric: &mut dyn Fabric,
+    src: usize,
+    dst: usize,
+    values: &[f32],
+    out: &mut Vec<f32>,
+) -> Result<(), FabricError> {
+    out.clear();
+    fabric.transfer_with(src, dst, values, PayloadKind::Plain, &mut |vals| {
+        out.extend_from_slice(vals)
+    })
 }
 
 /// A data-parallel cluster of model replicas (Sec. II-A / Sec. IV).
@@ -151,6 +226,19 @@ impl IterationLog {
 ///   skipped on all replicas (so they stay consistent) instead of
 ///   unwinding.
 ///
+/// # Elastic membership
+///
+/// With a [`MembershipSchedule`] on [`TrainerConfig::membership`],
+/// scheduled transitions apply at the top of their iteration, before
+/// compute: a `Leave` drains the worker (it finished the previous
+/// iteration) and excises it without touching the recovery ladder; a
+/// `Join` revives the worker — including one that previously crashed or
+/// left — with snapshot catch-up (parameters + optimizer state shipped
+/// from the current leader over the fabric as plain frames) and
+/// re-grafts it at its original topology position; a `Crash` surfaces
+/// through the fabric exactly like the deprecated `FaultPlan::crash`
+/// hook did.
+///
 /// # Examples
 ///
 /// ```
@@ -174,10 +262,13 @@ pub struct DistributedTrainer {
     buf: EventBuf,
     iteration: u64,
     alive: Vec<bool>,
-    aggregator_down: bool,
-    /// The live switch topology: starts as the configured tree (or flat)
-    /// and shrinks leaf by leaf as crashed workers are excised.
-    topology: Topology,
+    /// The exchange dispatch seam, carrying the live topology and the
+    /// aggregator-down flag across membership transitions.
+    exchange: Exchange,
+    /// The configured tree (or flat) topology, untouched by membership:
+    /// the live topology is re-derived from it on every transition, so
+    /// a rejoining worker re-grafts at its original position.
+    pristine_topology: Topology,
 }
 
 impl std::fmt::Debug for DistributedTrainer {
@@ -236,13 +327,18 @@ impl DistributedTrainer {
             .transport(config.transport)
             .codec(config.codec)
             .topology(topology.clone())
+            .membership(config.membership.clone())
             .recorder(&config.recorder);
         if let Some(plan) = &config.faults {
             builder = builder.faults(plan.clone());
         }
+        if let Some(net) = config.network {
+            builder = builder.network(net);
+        }
         let fabric = builder.build();
         let buf = config.recorder.buffer();
         let alive = vec![true; config.workers];
+        let exchange = Exchange::new(config.workers).with_topology(topology.clone());
         DistributedTrainer {
             config,
             replicas,
@@ -253,8 +349,8 @@ impl DistributedTrainer {
             buf,
             iteration: 0,
             alive,
-            aggregator_down: false,
-            topology,
+            exchange,
+            pristine_topology: topology,
         }
     }
 
@@ -275,8 +371,9 @@ impl DistributedTrainer {
         self.fabric.fault_stats()
     }
 
-    /// Which workers are still in the exchange topology (`false` =
-    /// excised after a crash).
+    /// Which workers are currently in the exchange topology (`false` =
+    /// excised after a crash or a graceful leave; a later `Join` flips
+    /// it back).
     pub fn alive(&self) -> &[bool] {
         &self.alive
     }
@@ -288,51 +385,121 @@ impl DistributedTrainer {
             .collect()
     }
 
-    /// Runs the configured exchange over the live workers' gradients
-    /// (`grads[k]` belongs to worker `live[k]`). After an excision,
-    /// [`ExchangeStrategy::Tree`] keeps running over the pruned topology
-    /// and [`ExchangeStrategy::SwitchReduce`] keeps folding the survivor
-    /// ports; the flat strategies degrade to the flat survivor ring
-    /// (hierarchical group structure no longer holds, and a downed
-    /// aggregator star has no center).
-    fn exchange(&mut self, grads: &mut [Vec<f32>], live: &[usize]) -> Result<(), FabricError> {
-        let intact = live.len() == self.config.workers && !self.aggregator_down;
-        match self.config.strategy {
-            ExchangeStrategy::SwitchReduce => {
-                switch_allreduce_over(self.fabric.as_mut(), grads, live)
+    /// Applies this iteration's scheduled membership transitions:
+    /// graceful leaves excise without touching the recovery ladder,
+    /// joins revive the worker with snapshot catch-up from the current
+    /// leader, and an aggregator join restores the star. Returns the
+    /// workers that joined and left, plus any catch-up failure.
+    fn apply_membership(&mut self) -> (Vec<usize>, Vec<usize>, Option<FabricError>) {
+        let mut joined = Vec::new();
+        let mut left = Vec::new();
+        let mut error = None;
+        if self.config.membership.is_empty() {
+            return (joined, left, error);
+        }
+        let events: Vec<MembershipEvent> =
+            self.config.membership.events_at(self.iteration).collect();
+        let mut changed = false;
+        for event in events {
+            let mut aggregator_down = self.exchange.aggregator_down();
+            if !apply_membership_event(event, &mut self.alive, &mut aggregator_down) {
+                continue;
             }
-            ExchangeStrategy::Tree => {
-                let DistributedTrainer {
-                    fabric, topology, ..
-                } = self;
-                if topology.workers() == live {
-                    tree_allreduce_over(fabric.as_mut(), grads, topology)
-                } else {
-                    // The pruned tree fell out of sync with the survivor
-                    // set (excision had nothing to remove): flat ring.
-                    ring_allreduce_over(fabric.as_mut(), grads, live)
+            if !aggregator_down {
+                self.exchange.revive_aggregator();
+            }
+            match event {
+                MembershipEvent::Join { worker, .. } if worker < self.config.workers => {
+                    if let Err(e) = self.catch_up(worker) {
+                        // The joiner could not be caught up: keep it out
+                        // and surface the failure on the iteration log.
+                        self.alive[worker] = false;
+                        error = Some(e);
+                        continue;
+                    }
+                    changed = true;
+                    joined.push(worker);
+                    self.record_member(labels::MEMBER_JOIN, worker);
                 }
+                // An aggregator join only clears the star's down flag.
+                MembershipEvent::Join { .. } => {}
+                MembershipEvent::Leave { worker, .. } => {
+                    changed = true;
+                    left.push(worker);
+                    self.record_member(labels::MEMBER_LEAVE, worker);
+                }
+                MembershipEvent::Crash { .. } => {}
             }
-            _ if !intact => ring_allreduce_over(self.fabric.as_mut(), grads, live),
-            ExchangeStrategy::Ring => ring_allreduce_over(self.fabric.as_mut(), grads, live),
-            ExchangeStrategy::HierarchicalRing { group_size } => {
-                hierarchical_ring_allreduce_over(self.fabric.as_mut(), grads, group_size)
-            }
-            ExchangeStrategy::WorkerAggregator => {
-                worker_aggregator_allreduce_over(self.fabric.as_mut(), grads)
-            }
+        }
+        if changed {
+            // Re-derive the live topology from the pristine tree so a
+            // rejoining worker re-grafts at its original position.
+            let live = self.live_workers();
+            self.exchange
+                .set_topology(self.pristine_topology.restrict(&live));
+        }
+        (joined, left, error)
+    }
+
+    /// Ships the leader's parameters and optimizer state to a
+    /// (re)joining worker over the fabric as plain frames, so the joiner
+    /// resumes bit-identical to a worker that never left.
+    fn catch_up(&mut self, worker: usize) -> Result<(), FabricError> {
+        let Some(leader) = (0..self.config.workers).find(|&w| self.alive[w] && w != worker) else {
+            // Nobody to catch up from: the joiner's own state is the
+            // freshest copy left in the collective.
+            return Ok(());
+        };
+        let params = self.replicas[leader].flat_params();
+        let mut state = Vec::with_capacity(params.len());
+        transfer_snapshot(self.fabric.as_mut(), leader, worker, &params, &mut state)?;
+        self.replicas[worker].set_flat_params(&state);
+        transfer_snapshot(
+            self.fabric.as_mut(),
+            leader,
+            worker,
+            self.optimizers[leader].velocity(),
+            &mut state,
+        )?;
+        let snapshot_bytes = ((params.len() + state.len()) * 4) as f64;
+        let leader_iteration = self.optimizers[leader].iteration();
+        self.optimizers[worker].restore(state, leader_iteration);
+        if self.buf.is_on() {
+            self.buf.push(Event::metric(
+                labels::MEMBER_SNAPSHOT_BYTES,
+                Domain::Wall,
+                leader as u32,
+                worker as u32,
+                self.config.recorder.wall_ns(),
+                snapshot_bytes,
+            ));
+        }
+        Ok(())
+    }
+
+    fn record_member(&mut self, label: &'static str, worker: usize) {
+        if self.buf.is_on() {
+            self.buf.push(Event::metric(
+                label,
+                Domain::Wall,
+                0,
+                self.iteration as u32,
+                self.config.recorder.wall_ns(),
+                worker as f64,
+            ));
         }
     }
 
     /// Runs one synchronous training iteration; returns the mean loss
-    /// and accuracy across live workers, plus any fault-handling events
-    /// (see the type-level docs).
+    /// and accuracy across live workers, plus any membership and
+    /// fault-handling events (see the type-level docs).
     ///
     /// # Panics
     ///
-    /// Panics if every worker has crashed.
+    /// Panics if every worker has crashed or left.
     pub fn step(&mut self) -> IterationLog {
         self.fabric.begin_iteration(self.iteration);
+        let (joined, left, membership_error) = self.apply_membership();
         let mut live = self.live_workers();
         assert!(!live.is_empty(), "every worker has crashed");
         let t_compute = self.config.recorder.wall_ns();
@@ -347,25 +514,33 @@ impl DistributedTrainer {
             grads.push(self.replicas[w].flat_grads());
         }
         self.cursor += self.config.batch_per_worker;
-        // With faults armed the exchange can fail mid-flight, leaving
-        // gradients partially folded; a snapshot makes the re-stitched
-        // retry start from clean inputs.
-        let snapshot = self.config.faults.as_ref().map(|_| grads.clone());
+        // With faults or membership transitions armed the exchange can
+        // fail mid-flight, leaving gradients partially folded; a
+        // snapshot makes the re-stitched retry start from clean inputs.
+        let snapshot = (self.config.faults.is_some() || !self.config.membership.is_empty())
+            .then(|| grads.clone());
         let t_exchange = self.config.recorder.wall_ns();
         let mut log =
             IterationLog::clean(loss_sum / live.len() as f32, acc_sum / live.len() as f32);
-        match self.exchange(&mut grads, &live) {
+        log.joined = joined;
+        log.left = left;
+        let result = match membership_error {
+            Some(e) => Err(e),
+            None => self.exchange.run(
+                self.config.strategy,
+                self.fabric.as_mut(),
+                &mut grads,
+                &live,
+            ),
+        };
+        match result {
             Ok(()) => {}
             Err(FabricError::EndpointDown { endpoint }) => {
                 log.excised = Some(endpoint);
                 if endpoint < self.config.workers {
                     self.alive[endpoint] = false;
-                    if let Some(pruned) = self.topology.excise(endpoint) {
-                        self.topology = pruned;
-                    }
-                } else {
-                    self.aggregator_down = true;
                 }
+                self.exchange.note_endpoint_down(endpoint);
                 if let Some(snap) = snapshot {
                     grads = snap;
                 }
@@ -385,7 +560,12 @@ impl DistributedTrainer {
                 }
                 if live.is_empty() {
                     log.exchange_error = Some(FabricError::EndpointDown { endpoint });
-                } else if let Err(e) = self.exchange(&mut grads, &live) {
+                } else if let Err(e) = self.exchange.run(
+                    self.config.strategy,
+                    self.fabric.as_mut(),
+                    &mut grads,
+                    &live,
+                ) {
                     log.exchange_error = Some(e);
                 }
             }
@@ -708,7 +888,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             TrainerConfig {
                 transport: TransportKind::Nic,
-                faults: Some(FaultPlan::new(7).crash(2, 3)),
+                membership: MembershipSchedule::new().crash(3, 2),
                 topology: Some(inceptionn_netsim::Topology::two_tier(2, 2)),
                 ..quick_config(ExchangeStrategy::Tree, CodecSelection::None)
             },
@@ -728,7 +908,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             TrainerConfig {
                 transport: TransportKind::Nic,
-                faults: Some(FaultPlan::new(8).crash(1, 2)),
+                membership: MembershipSchedule::new().crash(2, 1),
                 ..quick_config(ExchangeStrategy::SwitchReduce, CodecSelection::None)
             },
             models::hdc_mlp_small,
@@ -861,7 +1041,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             TrainerConfig {
                 transport: TransportKind::Nic,
-                faults: Some(FaultPlan::new(5).crash(2, 3)),
+                membership: MembershipSchedule::new().crash(3, 2),
                 ..quick_config(ExchangeStrategy::Ring, CodecSelection::None)
             },
             models::hdc_mlp_small,
@@ -891,7 +1071,7 @@ mod tests {
         let mut t = DistributedTrainer::new(
             TrainerConfig {
                 transport: TransportKind::Nic,
-                faults: Some(FaultPlan::new(6).crash(4, 2)),
+                membership: MembershipSchedule::new().crash(2, 4),
                 ..quick_config(ExchangeStrategy::WorkerAggregator, CodecSelection::None)
             },
             models::hdc_mlp_small,
@@ -899,6 +1079,79 @@ mod tests {
         );
         let logs = t.train_iterations(4);
         assert_eq!(logs[2].excised, Some(4));
+        assert!(logs.iter().all(|l| l.exchange_error.is_none()));
+        assert_eq!(t.alive(), &[true, true, true, true]);
+        assert_eq!(t.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn graceful_leave_skips_the_recovery_ladder_and_rejoin_catches_up() {
+        let data = DigitDataset::generate(160, 22);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                membership: MembershipSchedule::new().leave(2, 3).join(4, 3),
+                ..quick_config(ExchangeStrategy::Ring, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(6);
+        assert_eq!(logs[2].left, vec![3]);
+        assert_eq!(logs[2].excised, None, "a leave never takes the ladder");
+        assert_eq!(logs[4].joined, vec![3]);
+        assert!(logs.iter().all(|l| l.exchange_error.is_none()));
+        assert_eq!(t.alive(), &[true, true, true, true]);
+        assert_eq!(t.fault_stats().crashes, 0, "no crash was ever injected");
+        assert_eq!(
+            t.max_replica_divergence(),
+            0.0,
+            "snapshot catch-up must restore bit-identical state"
+        );
+    }
+
+    #[test]
+    fn a_crashed_worker_rejoins_with_snapshot_catch_up() {
+        let data = DigitDataset::generate(160, 23);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                membership: MembershipSchedule::new().crash(2, 1).join(4, 1),
+                ..quick_config(ExchangeStrategy::Ring, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(6);
+        assert_eq!(logs[2].excised, Some(1), "crash takes the recovery ladder");
+        assert_eq!(logs[4].joined, vec![1]);
+        assert_eq!(t.alive(), &[true, true, true, true]);
+        assert_eq!(t.fault_stats().crashes, 1);
+        assert_eq!(
+            t.replica(1).flat_params(),
+            t.replica(0).flat_params(),
+            "the rejoined replica must match a survivor bit for bit"
+        );
+        assert_eq!(t.max_replica_divergence(), 0.0);
+    }
+
+    #[test]
+    fn tree_rejoin_regrafts_at_the_original_position() {
+        // Same schedule under the tree strategy: the leave prunes the
+        // leaf, the rejoin re-grafts it, and training never degrades to
+        // an error.
+        let data = DigitDataset::generate(160, 24);
+        let mut t = DistributedTrainer::new(
+            TrainerConfig {
+                transport: TransportKind::Nic,
+                membership: MembershipSchedule::new().leave(2, 1).join(4, 1),
+                topology: Some(inceptionn_netsim::Topology::two_tier(2, 2)),
+                ..quick_config(ExchangeStrategy::Tree, CodecSelection::None)
+            },
+            models::hdc_mlp_small,
+            &data,
+        );
+        let logs = t.train_iterations(6);
         assert!(logs.iter().all(|l| l.exchange_error.is_none()));
         assert_eq!(t.alive(), &[true, true, true, true]);
         assert_eq!(t.max_replica_divergence(), 0.0);

@@ -8,7 +8,7 @@ use inceptionn_compress::ErrorBound;
 use inceptionn_distrib::fabric::{CodecSelection, FabricBuilder, TransportKind};
 use inceptionn_distrib::ring::ring_allreduce_over;
 use inceptionn_distrib::trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
-use inceptionn_distrib::{FaultPlan, FaultStats};
+use inceptionn_distrib::{FaultPlan, FaultStats, MembershipSchedule};
 use inceptionn_dnn::data::DigitDataset;
 use inceptionn_dnn::models;
 use rand::rngs::StdRng;
@@ -116,7 +116,6 @@ fn sparse_error_feedback_replays_byte_identically_through_the_recovery_ladder() 
         noisy_plan(321)
             .poison_prob(0.25) // hot enough to exhaust budgets and renegotiate
             .max_retransmits(1)
-            .crash(2, 3)
     };
     let run = |data: &DigitDataset| {
         let mut t = DistributedTrainer::new(
@@ -129,6 +128,7 @@ fn sparse_error_feedback_replays_byte_identically_through_the_recovery_ladder() 
                     top_per_mille: 200,
                 },
                 faults: Some(ladder_plan()),
+                membership: MembershipSchedule::new().crash(3, 2),
                 batch_per_worker: 8,
                 ..TrainerConfig::default()
             },

@@ -1,0 +1,114 @@
+//! Determinism contract of elastic membership: one seed and one
+//! membership schedule produce one execution. Joins, graceful leaves,
+//! crashes, and join-after-crash rejoins must all replay bit-exactly —
+//! weights, iteration logs, fault counters, and wire-byte totals — and
+//! the snapshot catch-up that re-seeds a joiner must land it on exactly
+//! the bits of a worker that never left.
+
+use inceptionn_compress::ErrorBound;
+use inceptionn_distrib::fabric::{CodecSelection, TransportKind};
+use inceptionn_distrib::trainer::{DistributedTrainer, ExchangeStrategy, TrainerConfig};
+use inceptionn_distrib::MembershipSchedule;
+use inceptionn_dnn::data::DigitDataset;
+use inceptionn_dnn::models;
+
+/// The bit pattern of a parameter vector — `==` on `f32` would also
+/// accept `-0.0 == 0.0`, and "byte-identical" means bits, not values.
+fn bits(params: &[f32]) -> Vec<u32> {
+    params.iter().map(|p| p.to_bits()).collect()
+}
+
+/// A churny schedule exercising every event kind: a graceful leave with
+/// rejoin, and a crash followed by a join-after-crash revival.
+fn churn() -> MembershipSchedule {
+    MembershipSchedule::new()
+        .leave(2, 3)
+        .crash(3, 1)
+        .join(4, 3)
+        .join(5, 1)
+}
+
+fn run_once(
+    strategy: ExchangeStrategy,
+    codec: CodecSelection,
+    data: &DigitDataset,
+) -> (
+    Vec<inceptionn_distrib::trainer::IterationLog>,
+    Vec<Vec<u32>>,
+    u64,
+) {
+    let mut t = DistributedTrainer::new(
+        TrainerConfig {
+            workers: 4,
+            strategy,
+            transport: TransportKind::Nic,
+            codec,
+            membership: churn(),
+            batch_per_worker: 8,
+            ..TrainerConfig::default()
+        },
+        models::hdc_mlp_small,
+        data,
+    );
+    let trace = t.train_iterations(8);
+    let params: Vec<Vec<u32>> = (0..4).map(|w| bits(&t.replica(w).flat_params())).collect();
+    (trace, params, t.fabric_stats().wire_bytes)
+}
+
+/// Same seed + same membership schedule replays byte-identically —
+/// weights AND wire-byte totals — under every exchange strategy.
+#[test]
+fn membership_schedules_replay_byte_identically_across_all_strategies() {
+    let data = DigitDataset::generate(160, 41);
+    for strategy in [
+        ExchangeStrategy::WorkerAggregator,
+        ExchangeStrategy::Ring,
+        ExchangeStrategy::Tree,
+        ExchangeStrategy::SwitchReduce,
+    ] {
+        let codec = CodecSelection::Scalar(ErrorBound::pow2(10));
+        let (trace_a, params_a, wire_a) = run_once(strategy, codec, &data);
+        let (trace_b, params_b, wire_b) = run_once(strategy, codec, &data);
+        assert_eq!(
+            trace_a, trace_b,
+            "{strategy:?}: iteration trace must replay exactly"
+        );
+        assert_eq!(
+            params_a, params_b,
+            "{strategy:?}: final replica bits must replay exactly"
+        );
+        assert_eq!(
+            wire_a, wire_b,
+            "{strategy:?}: wire-byte totals are part of the trace"
+        );
+        // The schedule actually fired: the leave and the crash both
+        // removed a member, and both rejoined via snapshot catch-up.
+        let left: Vec<usize> = trace_a.iter().flat_map(|l| l.left.clone()).collect();
+        let joined: Vec<usize> = trace_a.iter().flat_map(|l| l.joined.clone()).collect();
+        assert_eq!(left, [3], "{strategy:?}: the graceful leave must fire");
+        assert_eq!(
+            joined,
+            [3, 1],
+            "{strategy:?}: both rejoins (incl. join-after-crash) must fire"
+        );
+        assert!(
+            trace_a.iter().any(|l| l.excised == Some(1)),
+            "{strategy:?}: the crash excision must fire"
+        );
+    }
+}
+
+/// Snapshot catch-up pins the joiner to the survivors' bits: after the
+/// rejoin, every replica — including one that never left — holds the
+/// identical parameter bit pattern. Runs lossless — under a lossy codec
+/// replicas legitimately differ by the error bound, which would mask a
+/// catch-up bug.
+#[test]
+fn snapshot_catch_up_lands_on_the_survivors_bits() {
+    let data = DigitDataset::generate(160, 43);
+    let (_, params, _) = run_once(ExchangeStrategy::Ring, CodecSelection::None, &data);
+    let anchor = &params[0]; // worker 0 never left
+    assert_eq!(&params[3], anchor, "graceful-leave rejoiner must match");
+    assert_eq!(&params[1], anchor, "crash rejoiner must match");
+    assert_eq!(&params[2], anchor, "continuous survivors agree");
+}

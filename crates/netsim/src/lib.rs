@@ -43,11 +43,13 @@
 pub mod analytic;
 pub mod collective;
 pub mod event;
+pub mod sharing;
 pub mod sim;
 pub mod topology;
 pub mod transfer;
 pub mod twotier;
 
+pub use sharing::TenantShares;
 pub use sim::{LinkRateSchedule, NetworkConfig, RateWindow, SimTime, StarNetworkSim};
 pub use topology::{TierMap, Topology, TreeConfig, TreeSim};
 pub use transfer::{CompressionSpec, Transfer};

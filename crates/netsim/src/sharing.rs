@@ -1,0 +1,123 @@
+//! Per-tenant bandwidth sharing of one switch fabric.
+//!
+//! A multi-tenant cluster runs several training jobs through the same
+//! physical switch. The switch arbitrates its link capacity between
+//! them by **weighted fair sharing**: each tenant holds a priority
+//! weight, and a tenant with weight `w_i` is guaranteed the fraction
+//! `w_i / Σ w` of every shared link. A tenant's training traffic then
+//! sees a private [`NetworkConfig`] whose `link_bps` is the shared
+//! fabric's rate scaled by that fraction — the standard fluid
+//! approximation of per-flow weighted round-robin, and deterministic by
+//! construction (no clock, no RNG), so multi-tenant runs replay
+//! byte-identically from their seeds.
+
+use crate::sim::NetworkConfig;
+
+/// Weighted fair shares of one switch between tenants.
+///
+/// # Examples
+///
+/// ```
+/// use inceptionn_netsim::sharing::TenantShares;
+/// use inceptionn_netsim::NetworkConfig;
+///
+/// let shares = TenantShares::new(&[3, 1]);
+/// assert_eq!(shares.fraction(0), 0.75);
+/// let net = shares.scaled(1, NetworkConfig::ten_gbe(4));
+/// assert_eq!(net.link_bps, 2_500_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantShares {
+    weights: Vec<u64>,
+}
+
+impl TenantShares {
+    /// Shares for tenants with the given priority weights. Zero weights
+    /// (including an all-zero or empty list) fall back to equal shares,
+    /// so a degenerate configuration never divides by zero or starves a
+    /// tenant outright.
+    pub fn new(weights: &[u64]) -> Self {
+        TenantShares {
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Number of tenants sharing the fabric.
+    pub fn tenants(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The fraction of every shared link guaranteed to `tenant`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn fraction(&self, tenant: usize) -> f64 {
+        let n = self.weights.len();
+        assert!(tenant < n, "tenant {tenant} out of range for {n} tenants");
+        let total: u64 = self.weights.iter().sum();
+        if total == 0 {
+            return 1.0 / n as f64;
+        }
+        self.weights[tenant] as f64 / total as f64
+    }
+
+    /// The network a tenant's traffic sees: `base` with `link_bps`
+    /// scaled down to the tenant's share (latencies, framing, and host
+    /// costs are per-packet properties of the hardware and do not
+    /// divide). The rate is floored at 1 bps so a zero-weight tenant
+    /// under non-zero competitors still makes progress, just very
+    /// slowly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn scaled(&self, tenant: usize, base: NetworkConfig) -> NetworkConfig {
+        let f = self.fraction(tenant);
+        NetworkConfig {
+            link_bps: ((base.link_bps as f64 * f) as u64).max(1),
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_follow_weights_and_sum_to_one() {
+        let s = TenantShares::new(&[2, 1, 1]);
+        assert_eq!(s.fraction(0), 0.5);
+        assert_eq!(s.fraction(1), 0.25);
+        let total: f64 = (0..s.tenants()).map(|t| s.fraction(t)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_equal_shares() {
+        let s = TenantShares::new(&[0, 0]);
+        assert_eq!(s.fraction(0), 0.5);
+        assert_eq!(s.fraction(1), 0.5);
+    }
+
+    #[test]
+    fn scaled_config_keeps_per_packet_constants() {
+        let base = NetworkConfig::ten_gbe(8);
+        let s = TenantShares::new(&[1, 3]);
+        let net = s.scaled(0, base);
+        assert_eq!(net.link_bps, base.link_bps / 4);
+        assert_eq!(net.hop_latency_ns, base.hop_latency_ns);
+        assert_eq!(net.mtu_payload, base.mtu_payload);
+        assert_eq!(net.host_ns_per_packet, base.host_ns_per_packet);
+        // A zero-weight tenant is floored, never stalled.
+        let starved = TenantShares::new(&[0]).scaled(0, base);
+        assert!(starved.link_bps >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tenant_panics() {
+        TenantShares::new(&[1]).fraction(1);
+    }
+}

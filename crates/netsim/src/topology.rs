@@ -175,6 +175,24 @@ impl Topology {
         }
     }
 
+    /// Rebuilds the subtree containing only the workers in `live`,
+    /// dropping any group the restriction empties. This is the
+    /// membership counterpart of [`excise`](Self::excise): excision
+    /// prunes one leaf from the *live* tree, while `restrict` re-derives
+    /// the live tree from the *pristine* configured topology — so a
+    /// worker that left (or crashed) and rejoins is re-grafted at its
+    /// original position with the original group structure around it.
+    /// Returns `None` when no live worker remains.
+    pub fn restrict(&self, live: &[usize]) -> Option<Topology> {
+        match self {
+            Topology::Worker(w) => live.contains(w).then(|| self.clone()),
+            Topology::Group(kids) => {
+                let kids: Vec<Topology> = kids.iter().filter_map(|k| k.restrict(live)).collect();
+                (!kids.is_empty()).then_some(Topology::Group(kids))
+            }
+        }
+    }
+
     /// Compiles the per-worker root paths used for tier attribution.
     pub fn tier_map(&self) -> TierMap {
         let mut paths = BTreeMap::new();
@@ -1092,6 +1110,26 @@ mod tests {
         );
         assert_eq!(t.excise(2).unwrap().workers(), vec![3]);
         assert_eq!(t.excise(2).unwrap().excise(3), None, "last worker");
+    }
+
+    #[test]
+    fn restrict_regrafts_a_rejoining_worker_at_its_original_position() {
+        let pristine = Topology::uniform(&[2, 2]);
+        // Worker 1 leaves: the live tree equals the excised tree.
+        let without = pristine.restrict(&[0, 2, 3]).expect("three live");
+        assert_eq!(without, pristine.excise(1).unwrap());
+        // Worker 1 rejoins: restriction over the pristine tree restores
+        // the original group structure exactly (excision cannot).
+        let regrafted = pristine.restrict(&[0, 1, 2, 3]).expect("all live");
+        assert_eq!(regrafted, pristine);
+        // Restriction drops emptied groups and handles the empty set.
+        assert_eq!(pristine.restrict(&[2, 3]).unwrap().workers(), vec![2, 3]);
+        assert_eq!(
+            pristine.restrict(&[3]).unwrap(),
+            Topology::Group(vec![Topology::Group(vec![Topology::Worker(3)])])
+        );
+        assert_eq!(pristine.restrict(&[]), None, "no live workers");
+        assert_eq!(pristine.restrict(&[99]), None, "unknown ids restrict away");
     }
 
     #[test]

@@ -141,6 +141,15 @@ pub mod labels {
     /// Counter: the trainer excised a crashed endpoint and re-stitched
     /// the ring over the survivors (key = excised endpoint).
     pub const RING_RESTITCH: &str = "ring/restitch";
+    /// Counter: a worker joined (or rejoined) the collective
+    /// (key = joining worker).
+    pub const MEMBER_JOIN: &str = "member/join";
+    /// Counter: a worker left the collective gracefully
+    /// (key = departing worker).
+    pub const MEMBER_LEAVE: &str = "member/leave";
+    /// Counter: snapshot catch-up bytes shipped to a joining worker
+    /// (track = leader, key = joiner).
+    pub const MEMBER_SNAPSHOT_BYTES: &str = "member/snapshot_bytes";
 }
 
 /// The clock an event's `ts` (and a span's duration) is expressed in.
